@@ -1,0 +1,34 @@
+# Development entry points for the LLL reproduction.
+
+GO ?= go
+
+.PHONY: build test vet bench harness cover fuzz clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# One benchmark per paper figure/table plus solver micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (F1, F2, T1..T11).
+harness:
+	$(GO) run ./cmd/benchharness
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzzing pass over the geometry and the numeric solver.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecompose -fuzztime=10s ./internal/srep/
+	$(GO) test -run=NONE -fuzz=FuzzSurfaceConvexity -fuzztime=10s ./internal/srep/
+	$(GO) test -run=NONE -fuzz=FuzzFeasibleSoundness -fuzztime=10s ./internal/conjecture/
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,172 @@
+// Benchmarks regenerating the paper's figures and the theorem-shaped
+// experiment tables — one benchmark per artefact in the DESIGN.md
+// experiment index (F1, F2, T1-T8). Each benchmark runs the corresponding
+// experiment end to end and reports domain metrics via ReportMetric, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness
+// (cmd/benchharness prints the full tables).
+package lll_test
+
+import (
+	"testing"
+
+	lll "repro"
+	"repro/internal/exp"
+)
+
+// benchSizes keeps per-iteration work small enough for stable timings.
+var benchSizes = exp.Sizes{Scale: 0.5, Trials: 3}
+
+func runExperiment(b *testing.B, run func() (*exp.Table, error)) *exp.Table {
+	b.Helper()
+	var tbl *exp.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func BenchmarkF1_SrepSurface(b *testing.B) {
+	tbl := runExperiment(b, func() (*exp.Table, error) {
+		return exp.F1Surface(0.25, 5000, 1)
+	})
+	b.ReportMetric(float64(len(tbl.Rows)), "grid-rows")
+}
+
+func BenchmarkF2_WitnessDecompose(b *testing.B) {
+	runExperiment(b, exp.F2Witness)
+}
+
+func BenchmarkT1_Rank2Fixer(b *testing.B) {
+	tbl := runExperiment(b, func() (*exp.Table, error) {
+		return exp.T1Rank2(uint64(b.N), benchSizes)
+	})
+	b.ReportMetric(float64(len(tbl.Rows)), "workloads")
+}
+
+func BenchmarkT2_DistributedRank2(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T2DistributedRank2(uint64(b.N), exp.Sizes{Scale: 0.25, Trials: 2})
+	})
+}
+
+func BenchmarkT3_Rank3Fixer(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T3Rank3(uint64(b.N), benchSizes)
+	})
+}
+
+func BenchmarkT4_DistributedRank3(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T4DistributedRank3(uint64(b.N), exp.Sizes{Scale: 0.5, Trials: 1})
+	})
+}
+
+func BenchmarkT5_Threshold(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T5Threshold(uint64(b.N), exp.Sizes{Scale: 0.5, Trials: 50})
+	})
+}
+
+func BenchmarkT6_MoserTardos(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T6MoserTardos(uint64(b.N), exp.Sizes{Scale: 0.5, Trials: 3})
+	})
+}
+
+func BenchmarkT7_Applications(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T7Applications(uint64(b.N), benchSizes)
+	})
+}
+
+func BenchmarkT8_Ablations(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T8Ablations(uint64(b.N), benchSizes)
+	})
+}
+
+func BenchmarkT9_Conjecture(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T9Conjecture(uint64(b.N), exp.Sizes{Scale: 0.6, Trials: 2})
+	})
+}
+
+func BenchmarkT10_Spectrum(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T10Spectrum(uint64(b.N), exp.Sizes{Scale: 0.6, Trials: 3})
+	})
+}
+
+func BenchmarkT11_LowerBoundCertificates(b *testing.B) {
+	runExperiment(b, func() (*exp.Table, error) {
+		return exp.T11LowerBound(uint64(b.N), exp.Sizes{Trials: 10})
+	})
+}
+
+// Micro-benchmarks of the public solver entry points, for users sizing
+// their own workloads.
+
+func BenchmarkSolveSequentialRank2(b *testing.B) {
+	s, err := lll.NewSinkless(lll.NewCycle(128), 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lll.Solve(s.Instance, lll.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.FinalViolatedEvents != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+func BenchmarkSolveSequentialRank3(b *testing.B) {
+	r := lll.NewRand(1)
+	h, err := lll.NewRandomRegularRank3(60, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lll.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lll.Solve(s.Instance, lll.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.FinalViolatedEvents != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+func BenchmarkSolveDistributedRank3(b *testing.B) {
+	r := lll.NewRand(2)
+	h, err := lll.NewRandomRegularRank3(18, 2, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lll.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lll.SolveDistributed(s.Instance, lll.Options{}, lll.LocalOptions{IDSeed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ViolatedEvents != 0 {
+			b.Fatal("violations")
+		}
+	}
+}

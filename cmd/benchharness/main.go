@@ -1,0 +1,93 @@
+// Command benchharness regenerates every figure and experiment table of the
+// reproduction (F1, F2, T1-T8 in DESIGN.md) and prints them to stdout. It is
+// the one-shot entry point behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchharness [-seed N] [-scale F] [-trials N] [-only ID]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchharness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	scale := flag.Float64("scale", 1, "instance size scale factor")
+	trials := flag.Int("trials", 0, "randomized repetitions (0 = per-experiment default)")
+	only := flag.String("only", "", "run a single experiment by ID (F1, F2, T1..T11)")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	emit := func(tbl *exp.Table) error {
+		if *csv {
+			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
+			return tbl.CSV(os.Stdout)
+		}
+		tbl.Render(os.Stdout)
+		return nil
+	}
+	sz := exp.Sizes{Scale: *scale, Trials: *trials}
+	if *only == "" {
+		tables, err := exp.All(*seed, sz)
+		for _, tbl := range tables {
+			if eerr := emit(tbl); eerr != nil {
+				return eerr
+			}
+		}
+		return err
+	}
+
+	var (
+		tbl *exp.Table
+		err error
+	)
+	switch strings.ToUpper(*only) {
+	case "F1":
+		tbl, err = exp.F1Surface(0.5, 20000, *seed)
+	case "F2":
+		tbl, err = exp.F2Witness()
+	case "T1":
+		tbl, err = exp.T1Rank2(*seed, sz)
+	case "T2":
+		tbl, err = exp.T2DistributedRank2(*seed, sz)
+	case "T3":
+		tbl, err = exp.T3Rank3(*seed, sz)
+	case "T4":
+		tbl, err = exp.T4DistributedRank3(*seed, sz)
+	case "T5":
+		tbl, err = exp.T5Threshold(*seed, sz)
+	case "T6":
+		tbl, err = exp.T6MoserTardos(*seed, sz)
+	case "T7":
+		tbl, err = exp.T7Applications(*seed, sz)
+	case "T8":
+		tbl, err = exp.T8Ablations(*seed, sz)
+	case "T9":
+		tbl, err = exp.T9Conjecture(*seed, sz)
+	case "T10":
+		tbl, err = exp.T10Spectrum(*seed, sz)
+	case "T11":
+		tbl, err = exp.T11LowerBound(*seed, sz)
+	default:
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	if tbl != nil {
+		if eerr := emit(tbl); eerr != nil {
+			return eerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,273 @@
+// Command lllsolve generates an LLL instance from a named family and solves
+// it with a chosen solver, printing the instance parameters (p, d, r, the
+// criterion margin) and the outcome.
+//
+// Usage:
+//
+//	lllsolve -family sinkless  -n 64 -d 2 -margin 0.9 -solver seq
+//	lllsolve -family hyper     -n 30 -deg 3 -solver dist
+//	lllsolve -family orient3   -n 24 -deg 2 -solver mt
+//	lllsolve -family weaksplit -n 16 -colors 16 -solver mtpar
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lll "repro"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lllsolve:", err)
+		os.Exit(1)
+	}
+}
+
+type job struct {
+	inst   *lll.Instance
+	verify func(*lll.Assignment) string // returns "" when the domain property holds
+}
+
+func run() error {
+	family := flag.String("family", "sinkless", "instance family: sinkless | hyper | orient3 | weaksplit")
+	n := flag.Int("n", 64, "number of events (nodes)")
+	d := flag.Int("d", 2, "graph degree (sinkless on regular graphs)")
+	deg := flag.Int("deg", 3, "hypergraph degree (hyper, orient3)")
+	margin := flag.Float64("margin", 0.9, "criterion margin p*2^d for sinkless (1 = exact threshold)")
+	slack := flag.Float64("slack", 0.4, "relaxation slack for hyper")
+	colors := flag.Int("colors", 16, "palette size for weaksplit")
+	solver := flag.String("solver", "seq", "solver: seq | dist | mt | mtpar | oneshot")
+	saveFile := flag.String("save", "", "write the generated instance as JSON to this file and exit")
+	loadFile := flag.String("load", "", "load the instance from a JSON file instead of generating one")
+	traceFile := flag.String("trace", "", "write a CSV trace of the sequential fixer's decisions to this file")
+	strategy := flag.String("strategy", "greedy", "value strategy for seq/dist: greedy | first | adversarial")
+	seed := flag.Uint64("seed", 1, "seed for generators, IDs and baselines")
+	flag.Parse()
+
+	var j *job
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		inst, err := lll.LoadInstance(f)
+		if err != nil {
+			return err
+		}
+		j = &job{inst: inst, verify: func(*lll.Assignment) string { return "" }}
+		*family = "loaded:" + *loadFile
+	} else {
+		var err error
+		j, err = buildInstance(*family, *n, *d, *deg, *margin, *slack, *colors, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	inst := j.inst
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return err
+		}
+		if err := lll.SaveInstance(f, inst); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("instance written to %s\n", *saveFile)
+		return nil
+	}
+	p, dd, r := inst.Params()
+	ok, m := lll.CheckExponentialCriterion(inst)
+	fmt.Printf("instance: family=%s events=%d vars=%d\n", *family, inst.NumEvents(), inst.NumVars())
+	fmt.Printf("params:   p=%.6g d=%d r=%d  p*2^d=%.4g  (criterion p<2^-d: %v)\n", p, dd, r, m, ok)
+
+	opts := lll.Options{}
+	switch *strategy {
+	case "greedy":
+		opts.Strategy = lll.StrategyMinScore
+	case "first":
+		opts.Strategy = lll.StrategyFirst
+	case "adversarial":
+		opts.Strategy = lll.StrategyAdversarial
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	var (
+		a         *lll.Assignment
+		violated  int
+		extraInfo string
+	)
+	switch *solver {
+	case "seq":
+		var trace *lll.Trace
+		if *traceFile != "" {
+			trace = &lll.Trace{}
+			opts.Trace = trace
+		}
+		res, err := lll.Solve(inst, opts)
+		if err != nil {
+			return err
+		}
+		if trace != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				return err
+			}
+			if err := trace.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace:    %d steps written to %s\n", len(trace.Steps), *traceFile)
+		}
+		a = res.Assignment
+		violated = res.Stats.FinalViolatedEvents
+		extraInfo = fmt.Sprintf("peak edge sum=%.4g  peak event bound=%.4g (<= 2^d=%d)  peak certified bound=%.4g",
+			res.Stats.PeakEdgeSum, res.Stats.PeakEventBound, 1<<uint(dd), res.Stats.PeakCertBound)
+	case "dist":
+		res, err := lll.SolveDistributed(inst, opts, lll.LocalOptions{IDSeed: *seed})
+		if err != nil {
+			return err
+		}
+		a = res.Assignment
+		violated = res.ViolatedEvents
+		extraInfo = fmt.Sprintf("rounds: colouring=%d fixing=%d total=%d  classes=%d  messages=%d",
+			res.ColoringRounds, res.FixingRounds, res.TotalRounds, res.Classes, res.Messages)
+	case "mt":
+		res, err := lll.MoserTardos(inst, lll.NewRand(*seed), 0)
+		if err != nil {
+			return err
+		}
+		a = res.Assignment
+		if !res.Satisfied {
+			violated = -1
+		}
+		extraInfo = fmt.Sprintf("resamplings=%d satisfied=%v", res.Resamplings, res.Satisfied)
+	case "mtpar":
+		res, err := lll.MoserTardosParallel(inst, lll.NewRand(*seed), 0)
+		if err != nil {
+			return err
+		}
+		a = res.Assignment
+		if !res.Satisfied {
+			violated = -1
+		}
+		extraInfo = fmt.Sprintf("rounds=%d resamplings=%d satisfied=%v", res.Rounds, res.Resamplings, res.Satisfied)
+	case "oneshot":
+		a = sampleOnce(inst, *seed)
+		v, err := inst.CountViolated(a)
+		if err != nil {
+			return err
+		}
+		violated = v
+		extraInfo = "single random sample, no fixing"
+	default:
+		return fmt.Errorf("unknown solver %q", *solver)
+	}
+
+	fmt.Printf("solver:   %s  %s\n", *solver, extraInfo)
+	fmt.Printf("result:   violated events=%d\n", violated)
+	if msg := j.verify(a); msg != "" {
+		fmt.Printf("domain:   %s\n", msg)
+	} else {
+		fmt.Printf("domain:   property verified\n")
+	}
+	if violated != 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func sampleOnce(inst *lll.Instance, seed uint64) *lll.Assignment {
+	r := lll.NewRand(seed)
+	a := model.NewAssignment(inst)
+	for vid := 0; vid < inst.NumVars(); vid++ {
+		a.Fix(vid, inst.Var(vid).Dist.Sample(r))
+	}
+	return a
+}
+
+func buildInstance(family string, n, d, deg int, margin, slack float64, colors int, seed uint64) (*job, error) {
+	r := lll.NewRand(seed)
+	switch family {
+	case "sinkless":
+		var g *lll.Graph
+		if d == 2 {
+			g = lll.NewCycle(n)
+		} else {
+			var err error
+			g, err = lll.NewRandomRegular(n, d, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s, err := lll.NewSinklessWithMargin(g, margin)
+		if err != nil {
+			return nil, err
+		}
+		return &job{inst: s.Instance, verify: func(a *lll.Assignment) string {
+			if sinks := s.Sinks(a); len(sinks) > 0 {
+				return fmt.Sprintf("sinks at %v", sinks)
+			}
+			return ""
+		}}, nil
+	case "hyper":
+		h, err := lll.NewRandomRegularRank3(n, deg, r)
+		if err != nil {
+			return nil, err
+		}
+		s, err := lll.NewHyperSinkless(h, slack)
+		if err != nil {
+			return nil, err
+		}
+		return &job{inst: s.Instance, verify: func(a *lll.Assignment) string {
+			if sinks := s.Sinks(a); len(sinks) > 0 {
+				return fmt.Sprintf("sinks at %v", sinks)
+			}
+			return ""
+		}}, nil
+	case "orient3":
+		h, err := lll.NewRandomRegularRank3(n, deg, r)
+		if err != nil {
+			return nil, err
+		}
+		t, err := lll.NewThreeOrientations(h)
+		if err != nil {
+			return nil, err
+		}
+		return &job{inst: t.Instance, verify: func(a *lll.Assignment) string {
+			if v := t.Violations(a); len(v) > 0 {
+				return fmt.Sprintf("nodes sink in >=2 orientations: %v", v)
+			}
+			return ""
+		}}, nil
+	case "weaksplit":
+		// n V-nodes of degree 3 over n U-nodes of degree 3.
+		adj, err := lll.NewRandomBiregular(n, 3, n, 3, r)
+		if err != nil {
+			return nil, err
+		}
+		w, err := lll.NewWeakSplitting(adj, n, colors)
+		if err != nil {
+			return nil, err
+		}
+		return &job{inst: w.Instance, verify: func(a *lll.Assignment) string {
+			if mono := w.Monochromatic(a); len(mono) > 0 {
+				return fmt.Sprintf("monochromatic V-nodes: %v", mono)
+			}
+			return ""
+		}}, nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("16, 64,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{16, 64, 256}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseIntsErrors(t *testing.T) {
+	for _, in := range []string{"abc", "2", "0", "16,,32", "-5"} {
+		if _, err := parseInts(in); err == nil {
+			t.Errorf("parseInts(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command threshold sweeps the exponential-criterion margin p·2^d of
+// sinkless-orientation instances across the sharp threshold and reports,
+// for every margin: the deterministic fixer's outcome under the greedy and
+// the adversarial strategy, the certified probability bound, the empirical
+// one-shot failure rate, and the Moser-Tardos resampling cost. The printed
+// series is the empirical face of the paper's title result.
+//
+// Usage:
+//
+//	threshold [-n N] [-d D] [-margins "0.5,0.9,0.99,1.0"] [-trials N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	lll "repro"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/mt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "threshold:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 64, "cycle length / node count")
+	d := flag.Int("d", 2, "degree of the regular topology (2 = cycle)")
+	marginsFlag := flag.String("margins", "0.25,0.5,0.75,0.9,0.99,0.999,1.0", "comma-separated margins p*2^d to sweep")
+	trials := flag.Int("trials", 400, "one-shot and Moser-Tardos trials per margin")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	margins, err := parseMargins(*marginsFlag)
+	if err != nil {
+		return err
+	}
+	var g *lll.Graph
+	if *d == 2 {
+		g = lll.NewCycle(*n)
+	} else {
+		g, err = lll.NewRandomRegular(*n, *d, lll.NewRand(*seed))
+		if err != nil {
+			return err
+		}
+	}
+
+	tbl := &exp.Table{
+		ID:    "T5+",
+		Title: fmt.Sprintf("Sharp threshold sweep on %d-regular topology, n=%d", *d, *n),
+		Note: "Strictly below margin 1 the deterministic fixer succeeds under EVERY strategy " +
+			"(the paper's guarantee); at margin 1 the certified bound degenerates to 1 and the " +
+			"adversarial strategy fails. Randomized costs rise toward the threshold.",
+		Header: []string{"margin", "greedy viol", "advers viol", "peak cert bound", "one-shot fail", "MT resamples (avg)"},
+	}
+	r := lll.NewRand(*seed)
+	for _, m := range margins {
+		s, err := lll.NewSinklessWithMargin(g, m)
+		if err != nil {
+			return err
+		}
+		greedy, err := lll.Solve(s.Instance, lll.Options{Strategy: lll.StrategyMinScore})
+		if err != nil {
+			return err
+		}
+		adv, err := lll.Solve(s.Instance, lll.Options{Strategy: lll.StrategyAdversarial})
+		if err != nil {
+			return err
+		}
+		failures := 0
+		resamples := 0
+		for i := 0; i < *trials; i++ {
+			a := model.NewAssignment(s.Instance)
+			for vid := 0; vid < s.Instance.NumVars(); vid++ {
+				a.Fix(vid, s.Instance.Var(vid).Dist.Sample(r))
+			}
+			violated, err := s.Instance.CountViolated(a)
+			if err != nil {
+				return err
+			}
+			if violated > 0 {
+				failures++
+			}
+			res, err := mt.Sequential(s.Instance, r.Split(), 0)
+			if err != nil {
+				return err
+			}
+			resamples += res.Resamplings
+		}
+		tbl.AddRow(m, greedy.Stats.FinalViolatedEvents, adv.Stats.FinalViolatedEvents,
+			adv.Stats.PeakCertBound,
+			float64(failures)/float64(*trials),
+			float64(resamples)/float64(*trials))
+	}
+	tbl.Render(os.Stdout)
+	return nil
+}
+
+func parseMargins(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad margin %q: %w", p, err)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("margin %v outside (0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no margins given")
+	}
+	return out, nil
+}

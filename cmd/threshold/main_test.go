@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseMargins(t *testing.T) {
+	got, err := parseMargins("0.5, 0.9,1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.9, 1.0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseMarginsErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "0", "-0.5", "1.5", "0.5,,0.9"} {
+		if _, err := parseMargins(in); err == nil {
+			t.Errorf("parseMargins(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package lll_test
+
+import (
+	"fmt"
+
+	lll "repro"
+)
+
+// ExampleSolve demonstrates the basic flow: build an instance below the
+// threshold, validate the criterion, and fix all variables
+// deterministically.
+func ExampleSolve() {
+	s, err := lll.NewSinkless(lll.NewCycle(16), 0.25)
+	if err != nil {
+		panic(err)
+	}
+	ok, margin := lll.CheckExponentialCriterion(s.Instance)
+	fmt.Printf("margin p*2^d = %.4f, criterion holds: %v\n", margin, ok)
+
+	res, err := lll.Solve(s.Instance, lll.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("violated events: %d\n", res.Stats.FinalViolatedEvents)
+	fmt.Printf("sinks: %d\n", len(s.Sinks(res.Assignment)))
+	// Output:
+	// margin p*2^d = 0.5625, criterion holds: true
+	// violated events: 0
+	// sinks: 0
+}
+
+// ExampleSolveInOrder shows that the guarantee holds for any fixing order —
+// here the reverse order with the worst feasible (adversarial) choices.
+func ExampleSolveInOrder() {
+	s, err := lll.NewSinklessBiasedCycle(12, 0.4)
+	if err != nil {
+		panic(err)
+	}
+	n := s.Instance.NumVars()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	res, err := lll.SolveInOrder(s.Instance, order, lll.Options{Strategy: lll.StrategyAdversarial})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("violated events: %d\n", res.Stats.FinalViolatedEvents)
+	// Output:
+	// violated events: 0
+}
+
+// ExampleIsRepresentable verifies the paper's Figure 2 triple and
+// decomposes it into explicit edge values.
+func ExampleIsRepresentable() {
+	fmt.Println(lll.IsRepresentable(0.25, 1.5, 0.1))
+	w, err := lll.DecomposeTriple(0.25, 1.5, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	a, b, c := w.Triple()
+	fmt.Printf("%.2f %.2f %.2f\n", a, b, c)
+	// Output:
+	// true
+	// 0.25 1.50 0.10
+}
+
+// ExampleSurfaceF evaluates the boundary surface of S_rep at landmark
+// points (Lemma 3.5).
+func ExampleSurfaceF() {
+	fmt.Println(lll.SurfaceF(0, 0))
+	fmt.Println(lll.SurfaceF(1, 1))
+	fmt.Println(lll.SurfaceF(2, 2))
+	// Output:
+	// 4
+	// 1
+	// 0
+}
+
+// ExampleValidate shows the diagnostic errors for instances the theorems do
+// not cover.
+func ExampleValidate() {
+	// Sinkless orientation with slack 0 sits exactly AT the threshold.
+	s, err := lll.NewSinkless(lll.NewCycle(6), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(lll.Validate(s.Instance) != nil)
+	// Output:
+	// true
+}

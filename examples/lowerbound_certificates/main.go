@@ -1,0 +1,62 @@
+// Lower-bound certificates: the other side of the sharp threshold, made
+// finite and machine-checkable. Sinkless orientation sits exactly at
+// p = 2^-d; the paper cites Ω(log n) deterministic lower bounds for it.
+// This example decides EXACTLY — via 2-SAT over all radius-t edge-view
+// orientation rules — for which ID spaces a t-round algorithm can exist on
+// cycles, extracts an explicit rule where one does, and prints the
+// impossibility certificates where none can.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	lll "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound_certificates:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("radius-t edge-view algorithms for sinkless orientation on cycles")
+	fmt.Println("(IDs from {0..m-1}; each decision is exact, via 2-SAT)")
+	fmt.Println()
+	fmt.Println("radius | ID space m | vars  | clauses | algorithm exists?")
+	fmt.Println("-------+------------+-------+---------+------------------")
+	type probe struct{ t, m int }
+	for _, p := range []probe{{1, 5}, {1, 6}, {1, 7}, {2, 7}, {2, 8}, {2, 9}} {
+		cert, err := lll.DecideLowerBound(p.t, p.m)
+		if err != nil {
+			return err
+		}
+		answer := "NO (certified impossible)"
+		if cert.Solvable {
+			answer = "yes (rule extracted)"
+		}
+		fmt.Printf("%6d | %10d | %5d | %7d | %s\n", p.t, p.m, cert.Vars, cert.Clauses, answer)
+	}
+
+	// Demonstrate the extracted radius-1 rule on the one solvable case.
+	cert, err := lll.DecideLowerBound(1, 5)
+	if err != nil {
+		return err
+	}
+	ids := []int{3, 0, 4, 1, 2}
+	sinks, err := cert.CheckCycle(ids)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nextracted radius-1 rule on cycle %v: sinks = %v\n", ids, sinks)
+
+	fmt.Println()
+	fmt.Println("reading the frontier: a rule exists ONLY when the whole cycle fits")
+	fmt.Println("inside the view window (m = 2t+3). One extra identifier and NO local")
+	fmt.Println("algorithm survives — while the below-threshold slack relaxation is")
+	fmt.Println("solvable at radius 0 by orienting nothing. That asymmetry is the")
+	fmt.Println("paper's sharp threshold, in a finite and fully checkable form.")
+	return nil
+}

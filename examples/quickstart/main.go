@@ -1,0 +1,66 @@
+// Quickstart: build a relaxed sinkless-orientation LLL instance on a cycle,
+// check the paper's criterion p < 2^-d, solve it with the deterministic
+// sequential fixer (Theorem 1.1) and print the resulting orientation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	lll "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Topology: a cycle of 16 nodes. Every edge carries one random
+	//    variable (its orientation), every node one bad event ("I am a
+	//    sink"), so variables affect exactly two events: the r = 2 setting.
+	g := lll.NewCycle(16)
+
+	// 2. Instance: slack 0.25 relaxes the orientation (edges may point at
+	//    nobody), pushing the failure probability strictly below 2^-d.
+	s, err := lll.NewSinkless(g, 0.25)
+	if err != nil {
+		return err
+	}
+
+	// 3. The criterion of the paper: p·2^d < 1.
+	ok, margin := lll.CheckExponentialCriterion(s.Instance)
+	p, d, r := s.Instance.Params()
+	fmt.Printf("instance: p=%.4f d=%d r=%d  margin p*2^d=%.4f  criterion holds: %v\n",
+		p, d, r, margin, ok)
+	if err := lll.Validate(s.Instance); err != nil {
+		return err
+	}
+
+	// 4. Solve deterministically. The guarantee: zero violated events, for
+	//    ANY fixing order, without ever revisiting a value.
+	res, err := lll.Solve(s.Instance, lll.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solved:   violated events=%d  certified bound=%.4f (< 1)\n",
+		res.Stats.FinalViolatedEvents, res.Stats.MaxFinalProbQuotient)
+
+	// 5. Interpret the assignment in domain terms.
+	for id := 0; id < g.M(); id++ {
+		e := g.Edge(id)
+		head := s.OrientationOf(id, res.Assignment)
+		if head < 0 {
+			fmt.Printf("  edge {%2d,%2d}: unoriented\n", e.U, e.V)
+		} else {
+			fmt.Printf("  edge {%2d,%2d}: -> %d\n", e.U, e.V, head)
+		}
+	}
+	if sinks := s.Sinks(res.Assignment); len(sinks) > 0 {
+		return fmt.Errorf("unexpected sinks: %v", sinks)
+	}
+	fmt.Println("no node is a sink — sinkless orientation found deterministically")
+	return nil
+}

@@ -1,0 +1,50 @@
+// Threshold phase: watch the sharp threshold of the paper's title happen.
+// Sinkless orientation on a cycle has per-node failure probability exactly
+// 2^-d; relaxing it by a slack δ scales the margin p·2^d to (1-δ)^d. This
+// example sweeps the margin towards 1 and prints, for each value, what the
+// deterministic fixer guarantees and what actually happens — including the
+// failure the adversarial-but-feasible strategy produces exactly AT the
+// threshold, where the certified bound degenerates to 1.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	lll "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "threshold_phase:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g := lll.NewCycle(32)
+	fmt.Println("margin p*2^d | cert bound | greedy violations | adversarial violations")
+	fmt.Println("-------------+------------+-------------------+-----------------------")
+	for _, margin := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		s, err := lll.NewSinklessWithMargin(g, margin)
+		if err != nil {
+			return err
+		}
+		greedy, err := lll.Solve(s.Instance, lll.Options{Strategy: lll.StrategyMinScore})
+		if err != nil {
+			return err
+		}
+		adv, err := lll.Solve(s.Instance, lll.Options{Strategy: lll.StrategyAdversarial})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%12.3f | %10.4f | %17d | %d\n",
+			margin, adv.Stats.MaxFinalProbQuotient,
+			greedy.Stats.FinalViolatedEvents, adv.Stats.FinalViolatedEvents)
+	}
+	fmt.Println()
+	fmt.Println("below margin 1 every feasible choice sequence succeeds (Theorem 1.1);")
+	fmt.Println("at margin 1 the guarantee degenerates and adversarial choices build a sink —")
+	fmt.Println("the deterministic O(d + log* n) regime ends exactly at p = 2^-d.")
+	return nil
+}

@@ -1,0 +1,195 @@
+package lll_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	lll "repro"
+)
+
+// TestFacadeSurface exercises every public constructor and solver wrapper
+// end to end, so the façade cannot silently drift from the internal
+// packages.
+func TestFacadeSurface(t *testing.T) {
+	r := lll.NewRand(1)
+
+	// Distributions.
+	d, err := lll.NewDistribution([]float64{0.25, 0.75})
+	if err != nil || d.Size() != 2 {
+		t.Fatalf("NewDistribution: %v", err)
+	}
+
+	// Graph constructors.
+	if g := lll.NewPath(5); g.N() != 5 || g.M() != 4 {
+		t.Fatal("NewPath wrong")
+	}
+	if g := lll.NewGrid(3, 4); g.N() != 12 {
+		t.Fatal("NewGrid wrong")
+	}
+	if g := lll.NewTorus(3, 3); g.MaxDegree() != 4 {
+		t.Fatal("NewTorus wrong")
+	}
+	if g := lll.NewComplete(5); g.M() != 10 {
+		t.Fatal("NewComplete wrong")
+	}
+	if g := lll.NewRandomTree(20, r); g.M() != 19 || !g.Connected() {
+		t.Fatal("NewRandomTree wrong")
+	}
+	reg, err := lll.NewRandomRegular(12, 3, r)
+	if err != nil || reg.MaxDegree() != 3 {
+		t.Fatalf("NewRandomRegular: %v", err)
+	}
+	gb := lll.NewGraphBuilder(3)
+	if err := gb.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if gb.Build().M() != 1 {
+		t.Fatal("NewGraphBuilder wrong")
+	}
+	hb := lll.NewHypergraphBuilder(4)
+	if err := hb.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Build().Rank() != 3 {
+		t.Fatal("NewHypergraphBuilder wrong")
+	}
+
+	// Biased family with explicit heads.
+	g4 := lll.NewCycle(6)
+	heads := make([]int, g4.M())
+	for id := 0; id < g4.M(); id++ {
+		heads[id] = g4.Edge(id).U
+	}
+	if _, err := lll.NewSinklessBiased(g4, 0.4, heads); err != nil {
+		t.Fatalf("NewSinklessBiased: %v", err)
+	}
+
+	// Applications + distributed-any-rank + summaries.
+	h4, err := lll.NewRandomRegularUniform(16, 2, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := lll.NewHyperSinklessUniform(h4, 4, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lll.Summarize(hs.Instance)
+	if sum.R != 4 || sum.ExpMargin >= 1 {
+		t.Fatalf("Summarize: %+v", sum)
+	}
+	seqR, err := lll.SolveAnyRank(hs.Instance, nil)
+	if err != nil || seqR.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("SolveAnyRank: %v %+v", err, seqR)
+	}
+	distR, err := lll.SolveDistributedAnyRank(hs.Instance, lll.LocalOptions{IDSeed: 2})
+	if err != nil || distR.ViolatedEvents != 0 {
+		t.Fatalf("SolveDistributedAnyRank: %v", err)
+	}
+
+	h3, err := lll.NewRandomRegularRank3(12, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := lll.NewThreeOrientations(h3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := lll.Solve(to.Instance, lll.Options{}); err != nil || res.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("ThreeOrientations solve: %v", err)
+	}
+
+	adj, err := lll.NewRandomBiregular(8, 3, 8, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := lll.NewWeakSplitting(adj, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := lll.Solve(ws.Instance, lll.Options{}); err != nil || res.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("WeakSplitting solve: %v", err)
+	}
+
+	// Adaptive solving.
+	bi, err := lll.NewSinklessBiasedCycle(10, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, err := lll.SolveAdaptive(bi.Instance, lll.GreedyAdversary, lll.Options{})
+	if err != nil || adp.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("SolveAdaptive: %v", err)
+	}
+
+	// Distributed Moser-Tardos.
+	mtres, err := lll.MoserTardosDistributed(bi.Instance, 3, 60, lll.LocalOptions{IDSeed: 4})
+	if err != nil || !mtres.Satisfied {
+		t.Fatalf("MoserTardosDistributed: %v satisfied=%v", err, mtres != nil && mtres.Satisfied)
+	}
+
+	// Combine + expand round trip.
+	comb, err := lll.Combine(bi.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := lll.Solve(comb.Instance, lll.Options{})
+	if err != nil || cres.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("Solve(combined): %v", err)
+	}
+	expanded := comb.Expand(cres.Assignment)
+	violated, err := bi.Instance.CountViolated(expanded)
+	if err != nil || violated != 0 {
+		t.Fatalf("expanded combined solution: %v violated=%d", err, violated)
+	}
+
+	// Local criterion + stress family + lower-bound certificate.
+	rc, err := lll.NewRandomConjunction(h3, 2, 0.9, r)
+	if err == nil {
+		if ok, m := lll.CheckLocalExponentialCriterion(rc.Instance); !ok || m >= 1 {
+			t.Fatalf("local criterion: ok=%v m=%v", ok, m)
+		}
+		if res, err := lll.Solve(rc.Instance, lll.Options{}); err != nil || res.Stats.FinalViolatedEvents != 0 {
+			t.Fatalf("stress family solve: %v", err)
+		}
+	}
+	cert, err := lll.DecideLowerBound(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Solvable {
+		t.Fatal("radius-1, m=6 must be UNSAT")
+	}
+
+	// Serialization round trip.
+	var buf bytes.Buffer
+	if err := lll.SaveInstance(&buf, bi.Instance); err != nil {
+		t.Fatalf("SaveInstance: %v", err)
+	}
+	loaded, err := lll.LoadInstance(&buf)
+	if err != nil {
+		t.Fatalf("LoadInstance: %v", err)
+	}
+	if p0, p1 := bi.Instance.P(), loaded.P(); math.Abs(p0-p1) > 1e-12 {
+		t.Fatalf("round trip changed p: %v vs %v", p0, p1)
+	}
+}
+
+func TestFacadeRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in short mode")
+	}
+	tables, err := lll.RunAllExperiments(2, lll.ExperimentSizes{Scale: 0.35, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 13 {
+		t.Fatalf("want 13 tables, got %d", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tbl := range tables {
+		tbl.Render(&buf)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no rendered output")
+	}
+}

@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/hypergraph"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// RandomConjunction is a margin-calibrated random LLL instance: one
+// conjunction event per node of a hypergraph (bad iff every incident
+// hyperedge variable hits one specific random value AND the node's private
+// coin fires), with the coin probabilities chosen so that EVERY event's
+// failure probability is exactly margin·2^-d_v for its own dependency
+// degree d_v. Unlike the orientation families, the bad tuples are
+// arbitrary, which makes this the stress-test workload for the fixers: no
+// structural symmetry to hide behind.
+type RandomConjunction struct {
+	Instance *model.Instance
+	Hyper    *hypergraph.Hypergraph
+	// EdgeVar maps hyperedge identifiers to variable identifiers.
+	EdgeVar []int
+	// CoinVar maps nodes to their private coin variables.
+	CoinVar []int
+	// Margin is the calibrated per-event margin p_v·2^(d_v).
+	Margin float64
+}
+
+// NewRandomConjunction builds the instance over the hypergraph h (rank ≤ 3
+// for the proven fixers; any rank for the conjecture machinery). Every
+// hyperedge variable is uniform over values values; margin ∈ (0, 1) is the
+// per-event margin p_v·2^(d_v). Nodes of degree 0 are rejected.
+func NewRandomConjunction(h *hypergraph.Hypergraph, values int, margin float64, r *prng.Rand) (*RandomConjunction, error) {
+	if values < 2 {
+		return nil, fmt.Errorf("apps: need at least 2 values per variable, got %d", values)
+	}
+	if margin <= 0 || margin >= 1 {
+		return nil, fmt.Errorf("apps: margin %v outside (0, 1)", margin)
+	}
+	for v := 0; v < h.N(); v++ {
+		if h.Degree(v) == 0 {
+			return nil, fmt.Errorf("apps: node %d has degree 0", v)
+		}
+	}
+	dg := h.DependencyGraph()
+
+	b := model.NewBuilder()
+	edgeDist := dist.Uniform(values)
+	edgeVar := make([]int, h.M())
+	for id := 0; id < h.M(); id++ {
+		edgeVar[id] = b.AddVariable(edgeDist, fmt.Sprintf("hedge%v", h.Edge(id)))
+	}
+	coinVar := make([]int, h.N())
+	coinDist := make([]*dist.Distribution, h.N())
+	for v := 0; v < h.N(); v++ {
+		// Target probability for this event: margin · 2^-d_v. The
+		// conjunction over the incident hyperedges already contributes
+		// values^-deg; the coin supplies the remainder.
+		dv := dg.Degree(v)
+		target := margin * math.Pow(2, -float64(dv))
+		conj := math.Pow(float64(values), -float64(h.Degree(v)))
+		coinP := target / conj
+		if coinP >= 1 {
+			return nil, fmt.Errorf("apps: node %d: target %v exceeds conjunction probability %v (raise values or lower margin)", v, target, conj)
+		}
+		cd, err := dist.New([]float64{1 - coinP, coinP})
+		if err != nil {
+			return nil, fmt.Errorf("apps: building coin for node %d: %w", v, err)
+		}
+		coinDist[v] = cd
+		coinVar[v] = b.AddVariable(cd, fmt.Sprintf("coin%d", v))
+	}
+	for v := 0; v < h.N(); v++ {
+		ids := h.Incident(v)
+		scope := make([]int, 0, len(ids)+1)
+		badSets := make([][]int, 0, len(ids)+1)
+		dists := make([]*dist.Distribution, 0, len(ids)+1)
+		for _, id := range ids {
+			scope = append(scope, edgeVar[id])
+			badSets = append(badSets, []int{r.Intn(values)}) // arbitrary bad value
+			dists = append(dists, edgeDist)
+		}
+		scope = append(scope, coinVar[v])
+		badSets = append(badSets, []int{1})
+		dists = append(dists, coinDist[v])
+		model.AddConjunctionEvent(b, scope, badSets, dists, fmt.Sprintf("conj@%d", v))
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("apps: building random conjunction instance: %w", err)
+	}
+	return &RandomConjunction{
+		Instance: inst,
+		Hyper:    h,
+		EdgeVar:  edgeVar,
+		CoinVar:  coinVar,
+		Margin:   margin,
+	}, nil
+}

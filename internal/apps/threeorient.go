@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/hypergraph"
+	"repro/internal/model"
+)
+
+// ThreeOrientations is the hypergraph-orientation application from the
+// paper's introduction: given a rank-3 hypergraph, compute THREE
+// orientations of the hyperedges (each orientation assigns every hyperedge a
+// head among its three members) such that no node is a sink — the head of
+// all of its hyperedges — in two or more of the three orientations.
+//
+// Every hyperedge carries one variable with 27 values encoding the triple of
+// heads (one per orientation, uniform and independent across orientations).
+// The bad event at node v is "v is a sink in at least 2 of the 3
+// orientations"; for hypergraph degree k its probability is
+// 3q² − 2q³ with q = 3^-k, which is strictly below 2^-d (d ≤ 2k) for every
+// k ≥ 2 — a natural rank-3 problem strictly inside the paper's regime with
+// no relaxation knob at all.
+type ThreeOrientations struct {
+	Instance *model.Instance
+	Hyper    *hypergraph.Hypergraph
+	// EdgeVar maps a hyperedge identifier to its variable identifier.
+	EdgeVar []int
+}
+
+// NumOrientations is the number of simultaneous orientations computed.
+const NumOrientations = 3
+
+// headDigit extracts the head member index of orientation j from an encoded
+// variable value.
+func headDigit(val, j int) int {
+	for ; j > 0; j-- {
+		val /= 3
+	}
+	return val % 3
+}
+
+// NewThreeOrientations builds the instance on the 3-uniform hypergraph h.
+// Every node must have degree at least 2 (degree-1 nodes violate the
+// exponential criterion, as the paper's parameter discussion notes).
+func NewThreeOrientations(h *hypergraph.Hypergraph) (*ThreeOrientations, error) {
+	for id := 0; id < h.M(); id++ {
+		if len(h.Edge(id)) != 3 {
+			return nil, fmt.Errorf("apps: hyperedge %d has %d members, want 3", id, len(h.Edge(id)))
+		}
+	}
+	for v := 0; v < h.N(); v++ {
+		if h.Degree(v) < 2 {
+			return nil, fmt.Errorf("apps: node %d has degree %d < 2; criterion p < 2^-d fails", v, h.Degree(v))
+		}
+	}
+	d := dist.Uniform(27)
+	b := model.NewBuilder()
+	edgeVar := make([]int, h.M())
+	for id := 0; id < h.M(); id++ {
+		m := h.Edge(id)
+		edgeVar[id] = b.AddVariable(d, fmt.Sprintf("orient3{%d,%d,%d}", m[0], m[1], m[2]))
+	}
+	for v := 0; v < h.N(); v++ {
+		ids := h.Incident(v)
+		scope := make([]int, len(ids))
+		myIndex := make([]int, len(ids)) // member index of v in each hyperedge
+		for i, id := range ids {
+			scope[i] = edgeVar[id]
+			myIndex[i] = memberIndex(h.Edge(id), v)
+		}
+		bad := func(vals []int) bool {
+			sinks := 0
+			for j := 0; j < NumOrientations; j++ {
+				all := true
+				for i := range vals {
+					if headDigit(vals[i], j) != myIndex[i] {
+						all = false
+						break
+					}
+				}
+				if all {
+					sinks++
+				}
+			}
+			return sinks >= 2
+		}
+		condProb := func(vals []int, fixed []bool) float64 {
+			// The three orientations are independent coordinates of the
+			// uniform 27-value distribution, so
+			// Pr[sink in ≥2] = q1q2 + q1q3 + q2q3 − 2·q1q2q3 with
+			// q_j = ∏_e Pr[head_j(e) = v | partial].
+			var q [NumOrientations]float64
+			for j := range q {
+				q[j] = 1
+				for i := range vals {
+					if fixed[i] {
+						if headDigit(vals[i], j) != myIndex[i] {
+							q[j] = 0
+							break
+						}
+					} else {
+						q[j] *= 1.0 / 3.0
+					}
+				}
+			}
+			return q[0]*q[1] + q[0]*q[2] + q[1]*q[2] - 2*q[0]*q[1]*q[2]
+		}
+		b.AddEvent(scope, bad, condProb, fmt.Sprintf("multisink@%d", v))
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("apps: building three-orientations instance: %w", err)
+	}
+	return &ThreeOrientations{Instance: inst, Hyper: h, EdgeVar: edgeVar}, nil
+}
+
+// HeadOf returns the head node of hyperedge id in orientation j under the
+// complete assignment a.
+func (t *ThreeOrientations) HeadOf(edgeID, j int, a *model.Assignment) int {
+	return t.Hyper.Edge(edgeID)[headDigit(a.Value(t.EdgeVar[edgeID]), j)]
+}
+
+// SinkCount returns, for node v, in how many of the three orientations v is
+// a sink under the complete assignment a. A correct solution has
+// SinkCount(v) ≤ 1 for every v.
+func (t *ThreeOrientations) SinkCount(v int, a *model.Assignment) int {
+	count := 0
+	for j := 0; j < NumOrientations; j++ {
+		all := true
+		for _, id := range t.Hyper.Incident(v) {
+			if t.HeadOf(id, j, a) != v {
+				all = false
+				break
+			}
+		}
+		if all {
+			count++
+		}
+	}
+	return count
+}
+
+// Violations returns the nodes that are sinks in two or more orientations.
+func (t *ThreeOrientations) Violations(a *model.Assignment) []int {
+	var out []int
+	for v := 0; v < t.Hyper.N(); v++ {
+		if t.SinkCount(v, a) >= 2 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// WeakSplitting is the relaxed weak-splitting instance from the paper's
+// application section: given a bipartite graph B = (V ∪ U, E), colour the
+// nodes of U with `Colors` colours such that every node of V sees at least
+// two distinct colours among its U-neighbours.
+//
+// The U nodes are the random variables (uniform over the colours); the
+// maximum degree of U is the rank parameter r and must be at most 3. The
+// bad event at v ∈ V is "all U-neighbours of v have the same colour", with
+// probability C^(1-k) for degree k — strictly below 2^-d for C = 16,
+// r = 3 and k ≥ 3, which is the paper's parameterization.
+type WeakSplitting struct {
+	Instance *model.Instance
+	// VNeighbors[v] lists the U-nodes adjacent to V-node v.
+	VNeighbors [][]int
+	// UVar maps a U-node to its variable identifier.
+	UVar []int
+	// Colors is the size of the palette.
+	Colors int
+}
+
+// NewWeakSplitting builds the instance from the V-side adjacency lists over
+// numU U-nodes with the given palette size. It requires every V-node to
+// have at least two distinct U-neighbours and every U-node to appear in at
+// most three lists (r ≤ 3). Whether the exponential criterion actually
+// holds depends on the degrees and palette; callers should check
+// Instance.ExponentialCriterion.
+func NewWeakSplitting(vNeighbors [][]int, numU, colors int) (*WeakSplitting, error) {
+	if colors < 2 {
+		return nil, fmt.Errorf("apps: weak splitting needs at least 2 colours, got %d", colors)
+	}
+	uDegree := make([]int, numU)
+	for v, nbrs := range vNeighbors {
+		if len(nbrs) < 2 {
+			return nil, fmt.Errorf("apps: V-node %d has %d U-neighbours, need >= 2", v, len(nbrs))
+		}
+		seen := make(map[int]bool, len(nbrs))
+		for _, u := range nbrs {
+			if u < 0 || u >= numU {
+				return nil, fmt.Errorf("apps: V-node %d references U-node %d outside [0,%d)", v, u, numU)
+			}
+			if seen[u] {
+				return nil, fmt.Errorf("apps: V-node %d lists U-node %d twice", v, u)
+			}
+			seen[u] = true
+			uDegree[u]++
+		}
+	}
+	for u, deg := range uDegree {
+		if deg > 3 {
+			return nil, fmt.Errorf("apps: U-node %d has degree %d > 3 (r must be <= 3)", u, deg)
+		}
+	}
+
+	d := dist.Uniform(colors)
+	b := model.NewBuilder()
+	uVar := make([]int, numU)
+	for u := range uVar {
+		uVar[u] = b.AddVariable(d, fmt.Sprintf("u%d", u))
+	}
+	for v, nbrs := range vNeighbors {
+		scope := make([]int, len(nbrs))
+		dists := make([]*dist.Distribution, len(nbrs))
+		for i, u := range nbrs {
+			scope[i] = uVar[u]
+			dists[i] = d
+		}
+		model.AddAllEqualEvent(b, scope, dists, fmt.Sprintf("monochrome@%d", v))
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("apps: building weak-splitting instance: %w", err)
+	}
+	copied := make([][]int, len(vNeighbors))
+	for i, nbrs := range vNeighbors {
+		copied[i] = append([]int(nil), nbrs...)
+	}
+	return &WeakSplitting{Instance: inst, VNeighbors: copied, UVar: uVar, Colors: colors}, nil
+}
+
+// ColorOf returns the colour assigned to U-node u by the complete
+// assignment a.
+func (w *WeakSplitting) ColorOf(u int, a *model.Assignment) int {
+	return a.Value(w.UVar[u])
+}
+
+// Monochromatic returns the V-nodes that see fewer than two distinct
+// colours under the complete assignment a. A correct solution has none.
+func (w *WeakSplitting) Monochromatic(a *model.Assignment) []int {
+	var out []int
+	for v, nbrs := range w.VNeighbors {
+		mono := true
+		first := w.ColorOf(nbrs[0], a)
+		for _, u := range nbrs[1:] {
+			if w.ColorOf(u, a) != first {
+				mono = false
+				break
+			}
+		}
+		if mono {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RandomBiregular generates V-side adjacency lists for a random bipartite
+// graph with nV V-nodes of degree kV and nU U-nodes of degree rU, using a
+// configuration model with restarts (no parallel edges). It requires
+// nV·kV == nU·rU.
+func RandomBiregular(nV, kV, nU, rU int, r *prng.Rand) ([][]int, error) {
+	const maxRestarts = 2000
+	if nV < 1 || nU < 1 || kV < 1 || rU < 1 {
+		return nil, fmt.Errorf("apps: RandomBiregular(%d,%d,%d,%d): positive parameters required", nV, kV, nU, rU)
+	}
+	if nV*kV != nU*rU {
+		return nil, fmt.Errorf("apps: RandomBiregular: stub mismatch %d*%d != %d*%d", nV, kV, nU, rU)
+	}
+	if kV > nU {
+		return nil, fmt.Errorf("apps: RandomBiregular: V-degree %d exceeds number of U-nodes %d", kV, nU)
+	}
+	uStubs := make([]int, 0, nU*rU)
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		uStubs = uStubs[:0]
+		for u := 0; u < nU; u++ {
+			for i := 0; i < rU; i++ {
+				uStubs = append(uStubs, u)
+			}
+		}
+		r.Shuffle(len(uStubs), func(i, j int) { uStubs[i], uStubs[j] = uStubs[j], uStubs[i] })
+		adj := make([][]int, nV)
+		ok := true
+		pos := 0
+		for v := 0; v < nV && ok; v++ {
+			seen := make(map[int]bool, kV)
+			for i := 0; i < kV; i++ {
+				u := uStubs[pos]
+				pos++
+				if seen[u] {
+					ok = false
+					break
+				}
+				seen[u] = true
+				adj[v] = append(adj[v], u)
+			}
+		}
+		if ok {
+			return adj, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: RandomBiregular(%d,%d,%d,%d): no simple configuration after %d restarts", nV, kV, nU, rU, maxRestarts)
+}

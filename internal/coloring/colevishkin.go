@@ -1,0 +1,156 @@
+package coloring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prng"
+)
+
+// cvMachine runs the Cole-Vishkin colour-reduction procedure on an oriented
+// cycle: starting from unique IDs, each iteration replaces a node's colour
+// by 2i + b, where i is the lowest bit position in which the node's colour
+// differs from its successor's and b is the node's bit at that position.
+// Palettes shrink as K → 2·⌈log₂K⌉, reaching 6 colours after O(log* n)
+// iterations; three final rounds reduce 6 → 3 greedily.
+type cvMachine struct {
+	info       local.NodeInfo
+	succID     uint64
+	succPort   int
+	color      uint64
+	iterations int
+	err        error
+}
+
+// cvIterations returns the number of CV steps needed to go from a palette
+// of k0 colours to at most 6, computable identically by every node.
+func cvIterations(k0 uint64) int {
+	iters := 0
+	k := k0
+	for k > 6 {
+		k = 2 * uint64(bits.Len64(k-1))
+		iters++
+	}
+	return iters
+}
+
+func (m *cvMachine) Init(info local.NodeInfo) {
+	m.info = info
+	m.color = info.ID
+	m.succPort = -1
+	for i, id := range info.NeighborIDs {
+		if id == m.succID {
+			m.succPort = i
+		}
+	}
+	if m.succPort < 0 {
+		m.err = fmt.Errorf("coloring: successor %d is not a neighbour of %d", m.succID, m.info.ID)
+	}
+}
+
+func (m *cvMachine) totalRounds() int { return 1 + m.iterations + 3 }
+
+func (m *cvMachine) Round(round int, recv []local.Message) ([]local.Message, bool) {
+	if m.err != nil {
+		return nil, true
+	}
+	if round > 1 {
+		step := round - 2
+		switch {
+		case step < m.iterations:
+			succColor, ok := recv[m.succPort].(uint64)
+			if !ok {
+				m.err = fmt.Errorf("coloring: missing successor colour in round %d", round)
+				return nil, true
+			}
+			if succColor == m.color {
+				m.err = fmt.Errorf("coloring: successor shares colour %d", m.color)
+				return nil, true
+			}
+			i := bits.TrailingZeros64(m.color ^ succColor)
+			b := (m.color >> uint(i)) & 1
+			m.color = uint64(2*i) + b
+		default:
+			// Reduce classes 5, 4, 3 (one per round) to a free colour in
+			// {0, 1, 2}; a cycle node has only two neighbours, so one of
+			// the three is free.
+			class := uint64(5 - (step - m.iterations))
+			if m.color == class {
+				var blocked []int
+				for _, msg := range recv {
+					if c, ok := msg.(uint64); ok {
+						blocked = append(blocked, int(c))
+					}
+				}
+				free := smallestFree(3, blocked)
+				if free < 0 {
+					m.err = fmt.Errorf("coloring: no free colour in {0,1,2}")
+					return nil, true
+				}
+				m.color = uint64(free)
+			}
+		}
+	}
+	send := make([]local.Message, m.info.Degree())
+	for i := range send {
+		send[i] = m.color
+	}
+	return send, round >= m.totalRounds()
+}
+
+// ColeVishkinCycle 3-colours the cycle C_n in O(log* n) LOCAL rounds using
+// the classic Cole-Vishkin procedure. The orientation (each node's
+// successor) is provided as input, as the procedure requires. It returns the
+// colouring indexed by node together with run statistics.
+func ColeVishkinCycle(n int, seed uint64) (*Result, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("coloring: cycle needs n >= 3, got %d", n)
+	}
+	g := graph.Cycle(n)
+
+	// Draw distinct IDs ourselves so each machine can be told its
+	// successor's ID (the orientation input).
+	r := prng.New(seed ^ 0xc01e_517c)
+	space := local.IDSpace(n)
+	ids := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	for v := range ids {
+		for {
+			id := r.Uint64() % space
+			if !seen[id] {
+				seen[id] = true
+				ids[v] = id
+				break
+			}
+		}
+	}
+
+	iters := cvIterations(space)
+	machines := make([]*cvMachine, n)
+	stats, err := local.Run(g, func(v int) local.Machine {
+		machines[v] = &cvMachine{succID: ids[(v+1)%n], iterations: iters}
+		return machines[v]
+	}, local.Options{PresetIDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	colors := make([]int, n)
+	for v, m := range machines {
+		if m.err != nil {
+			return nil, fmt.Errorf("coloring: node %d failed: %w", v, m.err)
+		}
+		colors[v] = int(m.color)
+	}
+	if err := Verify(g, colors); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Colors:    colors,
+		Palette:   3,
+		Rounds:    stats.Rounds,
+		SimFactor: 1,
+		Messages:  stats.MessagesSent,
+	}, nil
+}

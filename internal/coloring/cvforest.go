@@ -1,0 +1,240 @@
+package coloring
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prng"
+)
+
+// LogStar returns the iterated logarithm log*(x): the number of times log₂
+// must be applied before the value drops to at most 1. It is the additive
+// term of every runtime in the paper.
+func LogStar(x float64) int {
+	count := 0
+	for x > 1 {
+		x = math.Log2(x)
+		count++
+	}
+	return count
+}
+
+// cvForestMachine runs Cole-Vishkin colour reduction on a rooted forest:
+// every non-root node knows its parent (by ID), roots act against a
+// synthetic parent colour. After O(log* n) bit-fix iterations the palette
+// is {0..5}; three shift-down + recolour phases reduce it to {0,1,2}.
+// Shift-down makes every node's children monochromatic, so a recolouring
+// node sees at most two blocked colours regardless of its degree — the
+// classic trick that makes 3 colours reachable on trees of any degree.
+type cvForestMachine struct {
+	info       local.NodeInfo
+	parentID   uint64 // 0 and isRoot=true for roots
+	isRoot     bool
+	parentPort int
+	color      uint64
+	iterations int
+	err        error
+}
+
+func (m *cvForestMachine) Init(info local.NodeInfo) {
+	m.info = info
+	m.color = info.ID
+	m.parentPort = -1
+	if m.isRoot {
+		return
+	}
+	for i, id := range info.NeighborIDs {
+		if id == m.parentID {
+			m.parentPort = i
+		}
+	}
+	if m.parentPort < 0 {
+		m.err = fmt.Errorf("coloring: parent %d is not a neighbour of %d", m.parentID, m.info.ID)
+	}
+}
+
+// Phases: round 1 broadcast; rounds 2..iterations+1 bit-fix steps; then
+// three (shift-down, recolour) pairs; total 1 + iterations + 6.
+func (m *cvForestMachine) totalRounds() int { return 1 + m.iterations + 6 }
+
+// parentColor extracts the parent's previous-round colour, or a synthetic
+// one for roots (differ in bit 0).
+func (m *cvForestMachine) parentColor(recv []local.Message) (uint64, bool) {
+	if m.isRoot {
+		return m.color ^ 1, true
+	}
+	c, ok := recv[m.parentPort].(uint64)
+	return c, ok
+}
+
+func (m *cvForestMachine) Round(round int, recv []local.Message) ([]local.Message, bool) {
+	if m.err != nil {
+		return nil, true
+	}
+	if round > 1 {
+		step := round - 2
+		switch {
+		case step < m.iterations:
+			// Bit-fix iteration.
+			pc, ok := m.parentColor(recv)
+			if !ok {
+				m.err = fmt.Errorf("coloring: missing parent colour in round %d", round)
+				return nil, true
+			}
+			if pc == m.color {
+				m.err = fmt.Errorf("coloring: parent shares colour %d", m.color)
+				return nil, true
+			}
+			i := bits.TrailingZeros64(m.color ^ pc)
+			b := (m.color >> uint(i)) & 1
+			m.color = uint64(2*i) + b
+		default:
+			// Reduction phases: pairs (shift-down, recolour class c).
+			phase := step - m.iterations // 0..5
+			class := uint64(5 - phase/2)
+			if phase%2 == 0 {
+				// Shift-down: adopt the parent's previous colour; roots
+				// pick the smallest colour in {0,1,2} different from
+				// their own.
+				if m.isRoot {
+					for c := uint64(0); c < 3; c++ {
+						if c != m.color {
+							m.color = c
+							break
+						}
+					}
+				} else {
+					pc, ok := m.parentColor(recv)
+					if !ok {
+						m.err = fmt.Errorf("coloring: missing parent colour in shift-down round %d", round)
+						return nil, true
+					}
+					m.color = pc
+				}
+			} else if m.color == class {
+				// Recolour: after a shift-down my children are
+				// monochromatic, so at most two colours are blocked.
+				var blocked []int
+				for _, msg := range recv {
+					if c, ok := msg.(uint64); ok {
+						blocked = append(blocked, int(c))
+					}
+				}
+				free := smallestFree(3, blocked)
+				if free < 0 {
+					m.err = fmt.Errorf("coloring: no free colour in {0,1,2} (children not monochromatic?)")
+					return nil, true
+				}
+				m.color = uint64(free)
+			}
+		}
+	}
+	send := make([]local.Message, m.info.Degree())
+	for i := range send {
+		send[i] = m.color
+	}
+	return send, round >= m.totalRounds()
+}
+
+// ColeVishkinForest 3-colours a rooted forest in O(log* n) LOCAL rounds.
+// g must be a forest; parent[v] gives v's parent node index, or -1 for
+// roots. The orientation is part of the input, as the procedure requires.
+func ColeVishkinForest(g *graph.Graph, parent []int, seed uint64) (*Result, error) {
+	n := g.N()
+	if len(parent) != n {
+		return nil, fmt.Errorf("coloring: %d parent entries for %d nodes", len(parent), n)
+	}
+	for v, p := range parent {
+		if p == -1 {
+			continue
+		}
+		if p < 0 || p >= n || !g.HasEdge(v, p) {
+			return nil, fmt.Errorf("coloring: node %d has invalid parent %d", v, p)
+		}
+	}
+
+	// Draw distinct IDs so machines can be configured with parent IDs.
+	r := prng.New(seed ^ 0xf0e5_7c01)
+	space := local.IDSpace(n)
+	ids := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	for v := range ids {
+		for {
+			id := r.Uint64() % space
+			if !seen[id] {
+				seen[id] = true
+				ids[v] = id
+				break
+			}
+		}
+	}
+
+	iters := cvIterations(space)
+	machines := make([]*cvForestMachine, n)
+	stats, err := local.Run(g, func(v int) local.Machine {
+		m := &cvForestMachine{iterations: iters}
+		if parent[v] == -1 {
+			m.isRoot = true
+		} else {
+			m.parentID = ids[parent[v]]
+		}
+		machines[v] = m
+		return m
+	}, local.Options{PresetIDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	colors := make([]int, n)
+	for v, m := range machines {
+		if m.err != nil {
+			return nil, fmt.Errorf("coloring: node %d failed: %w", v, m.err)
+		}
+		colors[v] = int(m.color)
+	}
+	if err := Verify(g, colors); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Colors:    colors,
+		Palette:   3,
+		Rounds:    stats.Rounds,
+		SimFactor: 1,
+		Messages:  stats.MessagesSent,
+	}, nil
+}
+
+// ParentsFromBFS roots each connected component of a forest at its
+// lowest-index node and returns the parent array ColeVishkinForest expects.
+// It errors if g contains a cycle.
+func ParentsFromBFS(g *graph.Graph) ([]int, error) {
+	n := g.N()
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = -2 // unvisited
+	}
+	for root := 0; root < n; root++ {
+		if parent[root] != -2 {
+			continue
+		}
+		parent[root] = -1
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if u == parent[v] {
+					continue
+				}
+				if parent[u] != -2 {
+					return nil, fmt.Errorf("coloring: graph contains a cycle through %d", u)
+				}
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return parent, nil
+}

@@ -1,0 +1,166 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{0.5, 0}, {1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4}, {1 << 20, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.x); got != tt.want {
+			t.Errorf("LogStar(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestParentsFromBFS(t *testing.T) {
+	g := graph.CompleteBinaryTree(15)
+	parent, err := ParentsFromBFS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[0] != -1 {
+		t.Fatalf("root parent = %d", parent[0])
+	}
+	for v := 1; v < 15; v++ {
+		if parent[v] != (v-1)/2 {
+			t.Fatalf("node %d parent = %d, want %d", v, parent[v], (v-1)/2)
+		}
+	}
+	if _, err := ParentsFromBFS(graph.Cycle(5)); err == nil {
+		t.Fatal("cycle accepted as forest")
+	}
+}
+
+func TestColeVishkinForestOnTrees(t *testing.T) {
+	r := prng.New(3)
+	cases := []*graph.Graph{
+		graph.Path(2),
+		graph.Path(50),
+		graph.CompleteBinaryTree(31),
+		graph.RandomTree(100, r),
+		graph.RandomTree(500, r),
+	}
+	for i, g := range cases {
+		parent, err := ParentsFromBFS(g)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		res, err := ColeVishkinForest(g, parent, uint64(i))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := Verify(g, res.Colors); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if m := MaxColor(res.Colors); m > 2 {
+			t.Fatalf("case %d: colour %d outside {0,1,2}", i, m)
+		}
+		if res.Rounds > 25 {
+			t.Fatalf("case %d: %d rounds is not O(log* n)", i, res.Rounds)
+		}
+	}
+}
+
+func TestColeVishkinForestHighDegree(t *testing.T) {
+	// A star: the shift-down trick is what makes 3 colours possible
+	// despite degree n-1.
+	b := graph.NewBuilder(40)
+	for v := 1; v < 40; v++ {
+		if err := b.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	parent, err := ParentsFromBFS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColeVishkinForest(g, parent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if m := MaxColor(res.Colors); m > 2 {
+		t.Fatalf("colour %d outside {0,1,2}", m)
+	}
+}
+
+func TestColeVishkinForestDisconnected(t *testing.T) {
+	// A forest with three components, including an isolated node.
+	b := graph.NewBuilder(9)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}, {3, 7}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build() // node 8 isolated
+	parent, err := ParentsFromBFS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColeVishkinForest(g, parent, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if m := MaxColor(res.Colors); m > 2 {
+		t.Fatalf("colour %d outside {0,1,2}", m)
+	}
+}
+
+func TestColeVishkinForestValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ColeVishkinForest(g, []int{-1, 0}, 1); err == nil {
+		t.Fatal("wrong parent-array length accepted")
+	}
+	if _, err := ColeVishkinForest(g, []int{-1, 0, 1, 0}, 1); err == nil {
+		t.Fatal("non-adjacent parent accepted")
+	}
+}
+
+func TestColeVishkinForestRoundsLogStar(t *testing.T) {
+	r := prng.New(8)
+	rounds := func(n int) int {
+		g := graph.RandomTree(n, r)
+		parent, err := ParentsFromBFS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ColeVishkinForest(g, parent, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	if big, small := rounds(2000), rounds(20); big-small > 3 {
+		t.Fatalf("rounds grew from %d to %d for 100x nodes", small, big)
+	}
+}
+
+func BenchmarkColeVishkinForest(b *testing.B) {
+	r := prng.New(1)
+	g := graph.RandomTree(256, r)
+	parent, err := ParentsFromBFS(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ColeVishkinForest(g, parent, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

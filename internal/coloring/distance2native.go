@@ -1,0 +1,182 @@
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// This file implements distance-2 colouring NATIVELY in the LOCAL model:
+// instead of running the vertex-colouring machine on a pre-built square
+// graph (DistributedDistance2Coloring, which accounts the simulation with
+// SimFactor = 2), the d2Machine realizes the 2-rounds-per-logical-round
+// protocol explicitly — an A round broadcasting one's colour and a B round
+// forwarding the received neighbour colours — so the reported round count
+// is the honest cost on the original graph. The test suite cross-validates
+// the two implementations.
+
+// d2ColorMsg is the A-round payload: the sender's current colour.
+type d2ColorMsg int
+
+// d2MapMsg is the B-round payload: the sender's own (id, colour) plus the
+// colours it heard from its neighbours in the A round.
+type d2MapMsg map[uint64]int
+
+// d2Machine runs Linial colour reduction + Kuhn-Wattenhofer halving against
+// the colours of all nodes within distance 2.
+type d2Machine struct {
+	info     local.NodeInfo
+	schedule []Step
+	kwSched  []int
+	finalK   int
+	target   int
+	color    int
+	// heard accumulates the latest known colours of nodes within distance
+	// two (excluding self), refreshed every A round.
+	heard map[uint64]int
+	err   error
+}
+
+func newD2Machine(k0, deltaSq, target int) *d2Machine {
+	finalK := FinalPalette(k0, deltaSq)
+	return &d2Machine{
+		schedule: Schedule(k0, deltaSq),
+		kwSched:  kwSchedule(finalK, target),
+		finalK:   finalK,
+		target:   target,
+	}
+}
+
+func (m *d2Machine) Init(info local.NodeInfo) {
+	m.info = info
+	m.color = int(info.ID)
+	m.heard = make(map[uint64]int)
+}
+
+// Logical steps: len(schedule) Linial reductions plus the Kuhn-Wattenhofer
+// reduction rounds. Step t is applied in (odd) real round 2t+3; the final
+// round is 2·steps+1.
+func (m *d2Machine) logicalSteps() int {
+	return len(m.schedule) + kwRounds(m.finalK, m.target)
+}
+
+func (m *d2Machine) totalRounds() int { return 2*m.logicalSteps() + 1 }
+
+func (m *d2Machine) Round(round int, recv []local.Message) ([]local.Message, bool) {
+	if m.err != nil {
+		return nil, true
+	}
+	if round%2 == 1 {
+		// A round. Fold in the forwarded maps (sent in the previous B
+		// round), then apply the due logical step and broadcast the colour.
+		if round > 1 {
+			for k := range m.heard {
+				delete(m.heard, k)
+			}
+			for _, msg := range recv {
+				if msg == nil {
+					continue
+				}
+				mp, ok := msg.(d2MapMsg)
+				if !ok {
+					m.err = fmt.Errorf("coloring: unexpected B-round message %T", msg)
+					return nil, true
+				}
+				for id, c := range mp {
+					if id != m.info.ID {
+						m.heard[id] = c
+					}
+				}
+			}
+			step := (round-3)/2 + 0 // logical step index applied this round
+			neighborColors := make([]int, 0, len(m.heard))
+			for _, c := range m.heard {
+				neighborColors = append(neighborColors, c)
+			}
+			switch {
+			case step < len(m.schedule):
+				next, err := Reduce(m.schedule[step], m.color, neighborColors)
+				if err != nil {
+					m.err = err
+					return nil, true
+				}
+				m.color = next
+			default:
+				j := (step - len(m.schedule)) % m.target
+				next, ok := kwStep(m.target, j, m.color, neighborColors)
+				if !ok {
+					m.err = fmt.Errorf("coloring: no free colour below target %d", m.target)
+					return nil, true
+				}
+				m.color = next
+			}
+		}
+		send := make([]local.Message, m.info.Degree())
+		for i := range send {
+			send[i] = d2ColorMsg(m.color)
+		}
+		return send, round >= m.totalRounds()
+	}
+
+	// B round: forward the colours received in the A round, plus our own.
+	mp := make(d2MapMsg, len(recv)+1)
+	mp[m.info.ID] = m.color
+	for i, msg := range recv {
+		if msg == nil {
+			continue
+		}
+		c, ok := msg.(d2ColorMsg)
+		if !ok {
+			m.err = fmt.Errorf("coloring: unexpected A-round message %T", msg)
+			return nil, true
+		}
+		mp[m.info.NeighborIDs[i]] = int(c)
+	}
+	send := make([]local.Message, m.info.Degree())
+	for i := range send {
+		send[i] = mp
+	}
+	return send, false
+}
+
+// DistributedDistance2Native computes a distance-2 colouring of g with at
+// most Δ²+1 colours, running the explicit 2-rounds-per-step protocol on g
+// itself (SimFactor 1: the round count is already native).
+func DistributedDistance2Native(g *graph.Graph, opts local.Options) (*Result, error) {
+	delta := g.MaxDegree()
+	deltaSq := delta * delta
+	target := deltaSq + 1
+	k0 := int(local.IDSpace(g.N()))
+	if opts.SequentialIDs {
+		k0 = g.N()
+	}
+	if k0 < target {
+		k0 = target
+	}
+	machines := make([]*d2Machine, g.N())
+	stats, err := local.Run(g, func(v int) local.Machine {
+		machines[v] = newD2Machine(k0, deltaSq, target)
+		return machines[v]
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	colors := make([]int, g.N())
+	for v, m := range machines {
+		if m.err != nil {
+			return nil, fmt.Errorf("coloring: node %d failed: %w", v, m.err)
+		}
+		colors[v] = m.color
+	}
+	if err := VerifyDistance2(g, colors); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Colors:    colors,
+		Palette:   target,
+		Rounds:    stats.Rounds,
+		SimFactor: 1,
+		Messages:  stats.MessagesSent,
+	}, nil
+}

@@ -1,0 +1,219 @@
+package conjecture
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// ErrInfeasible indicates that no candidate value passed the numeric
+// feasibility test. Conjecture 1.5 predicts this never happens strictly
+// below the threshold; the experimental fixer surfaces it rather than
+// papering over it.
+var ErrInfeasible = errors.New("conjecture: no feasible value found")
+
+// Stats records what an experimental rank-r fixing run did.
+type Stats struct {
+	VarsFixed int
+	// MaxRank is the largest variable rank encountered.
+	MaxRank int
+	// Infeasible counts variables where the numeric solver found no
+	// feasible value and the least-bad value was used instead. Nonzero
+	// values are potential counterexample material (or solver weakness).
+	Infeasible int
+	// FinalViolatedEvents counts bad events under the final assignment.
+	FinalViolatedEvents int
+	// PeakCertBound is the largest certified failure bound observed.
+	PeakCertBound float64
+}
+
+// Result is the outcome of an experimental rank-r fixing run.
+type Result struct {
+	Assignment *model.Assignment
+	Stats      Stats
+}
+
+// phiKey identifies one side of a dependency edge (event pair).
+type phiKey struct {
+	lo, hi int
+	at     int
+}
+
+// FixSequentialR runs the generalized sequential fixing process on an
+// instance of ANY rank: the exact machinery of Theorem 1.3 with the
+// closed-form representability test replaced by the numeric Feasible
+// search over the K_r edge values. order may be nil for identifier order.
+//
+// Strictly below the threshold the conjecture predicts
+// Stats.FinalViolatedEvents == 0 and Stats.Infeasible == 0 on every run;
+// the harness (experiment T9) measures exactly that.
+func FixSequentialR(inst *model.Instance, order []int) (*Result, error) {
+	if order == nil {
+		order = make([]int, inst.NumVars())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != inst.NumVars() {
+		return nil, fmt.Errorf("conjecture: order length %d, want %d", len(order), inst.NumVars())
+	}
+
+	a := model.NewAssignment(inst)
+	phi := make(map[phiKey]float64)
+	phiVal := func(u, v, at int) float64 {
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if val, ok := phi[phiKey{lo, hi, at}]; ok {
+			return val
+		}
+		return 1
+	}
+	setPhi := func(u, v, at int, val float64) {
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		phi[phiKey{lo, hi, at}] = val
+	}
+
+	base := make([]float64, inst.NumEvents())
+	empty := model.NewAssignment(inst)
+	for e := range base {
+		base[e] = inst.CondProb(e, empty)
+	}
+	stats := Stats{PeakCertBound: 0}
+	for _, b := range base {
+		if b > stats.PeakCertBound {
+			stats.PeakCertBound = b
+		}
+	}
+
+	eventBound := func(e int) float64 {
+		// ∏ over dependency-edge sides at e; only stored entries differ
+		// from 1.
+		prod := 1.0
+		for k, v := range phi {
+			if k.at == e {
+				prod *= v
+			}
+		}
+		return prod
+	}
+
+	for _, vid := range order {
+		events := append([]int(nil), inst.Var(vid).Events...)
+		sort.Ints(events)
+		k := len(events)
+		if k > stats.MaxRank {
+			stats.MaxRank = k
+		}
+		switch k {
+		case 0:
+			a.Fix(vid, 0)
+			stats.VarsFixed++
+			continue
+		case 1:
+			// Rank 1: pick the value minimizing Inc (≤ 1 exists).
+			d := inst.Var(vid).Dist
+			bestVal, bestInc := 0, 2.0
+			for y := 0; y < d.Size(); y++ {
+				if inc := inst.Inc(events[0], a, vid, y); inc < bestInc {
+					bestVal, bestInc = y, inc
+				}
+			}
+			a.Fix(vid, bestVal)
+			stats.VarsFixed++
+			continue
+		}
+
+		// Current per-event products over the K_k edges of this variable.
+		cur := make([]float64, k)
+		for i, e := range events {
+			p := 1.0
+			for j, o := range events {
+				if j != i {
+					p *= phiVal(e, o, e)
+				}
+			}
+			cur[i] = p
+		}
+
+		d := inst.Var(vid).Dist
+		type cand struct {
+			val    int
+			target []float64
+			wit    Witness
+			score  float64
+		}
+		var best *cand
+		var leastBad *cand
+		leastBadScore := 0.0
+		for y := 0; y < d.Size(); y++ {
+			target := make([]float64, k)
+			score := 0.0
+			for i, e := range events {
+				target[i] = inst.Inc(e, a, vid, y) * cur[i]
+				score += target[i]
+			}
+			if wit, ok := Feasible(target); ok {
+				c := &cand{val: y, target: target, wit: wit, score: score}
+				if best == nil || c.score < best.score {
+					best = c
+				}
+			}
+			if leastBad == nil || score < leastBadScore {
+				leastBad = &cand{val: y, target: target, score: score}
+				leastBadScore = score
+			}
+		}
+		chosen := best
+		if chosen == nil {
+			// Potential counterexample (or numeric weakness): record it,
+			// take the least-bad value, and clamp the bookkeeping to the
+			// best witness we can find for a scaled-down target.
+			stats.Infeasible++
+			chosen = leastBad
+			scaled := append([]float64(nil), chosen.target...)
+			for {
+				if wit, ok := Feasible(scaled); ok {
+					chosen.wit = wit
+					break
+				}
+				all := 0.0
+				for i := range scaled {
+					scaled[i] *= 0.9
+					all += scaled[i]
+				}
+				if all < 1e-12 {
+					chosen.wit, _ = Feasible(make([]float64, k))
+					break
+				}
+			}
+		}
+		a.Fix(vid, chosen.val)
+		for i, e := range events {
+			for j, o := range events {
+				if j != i {
+					setPhi(e, o, e, chosen.wit.Side[i][j])
+				}
+			}
+		}
+		stats.VarsFixed++
+		for _, e := range events {
+			if q := base[e] * eventBound(e); q > stats.PeakCertBound {
+				stats.PeakCertBound = q
+			}
+		}
+	}
+
+	violated, err := inst.CountViolated(a)
+	if err != nil {
+		return nil, err
+	}
+	stats.FinalViolatedEvents = violated
+	return &Result{Assignment: a, Stats: stats}, nil
+}

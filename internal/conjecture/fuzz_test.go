@@ -1,0 +1,46 @@
+package conjecture
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/srep"
+)
+
+// FuzzFeasibleSoundness checks that every witness the numeric solver
+// accepts is genuinely valid and dominating — for arbitrary rank-3 and
+// rank-4 targets — and that on rank 3 it never claims feasibility outside
+// the exact surface.
+func FuzzFeasibleSoundness(f *testing.F) {
+	f.Add(1.0, 1.0, 1.0, -1.0)
+	f.Add(0.25, 1.5, 0.1, -1.0)
+	f.Add(1.2, 0.8, 1.5, 0.6)
+	f.Add(4.0, 4.0, 4.0, 4.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		target := []float64{a, b, c}
+		if d >= 0 {
+			target = append(target, d)
+		}
+		w, ok := Feasible(target)
+		if !ok {
+			return
+		}
+		if !w.Valid(1e-9) {
+			t.Fatalf("invalid witness accepted for %v", target)
+		}
+		if !w.Dominates(target, 1e-6) {
+			t.Fatalf("non-dominating witness for %v: products %v", target, w.Products())
+		}
+		if len(target) == 3 {
+			// Soundness vs the exact surface (allow boundary slack).
+			if !srep.IsRepresentable(a, b, c, 1e-5) {
+				t.Fatalf("solver accepted non-representable rank-3 target %v", target)
+			}
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/prng"
+)
+
+func TestAdaptiveGreedyAdversaryRank2(t *testing.T) {
+	// The theorem's strongest form: even an adversary that adaptively
+	// steers towards the tightest budget corner cannot force a violation
+	// below the threshold.
+	for _, alpha := range []float64{0.35, 0.45, 0.49} {
+		s, err := apps.NewSinklessBiasedCycle(14, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FixSequentialAdaptive(s.Instance, GreedyAdversary, Options{Audit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSolved(t, res)
+		if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+			t.Fatalf("alpha=%v: sinks %v", alpha, sinks)
+		}
+	}
+}
+
+func TestAdaptiveGreedyAdversaryRank3(t *testing.T) {
+	r := prng.New(201)
+	h, err := hypergraph.RandomRegularRank3(18, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategyMinScore, StrategyAdversarial} {
+		res, err := FixSequentialAdaptive(s.Instance, GreedyAdversary, Options{Strategy: strat, Audit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSolved(t, res)
+		if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+			t.Fatalf("strat %d: sinks %v", strat, sinks)
+		}
+	}
+}
+
+func TestAdaptiveRoundRobinMatchesSequential(t *testing.T) {
+	// Replaying a fixed order adaptively must reproduce FixSequential
+	// exactly (same choices, same assignment).
+	s, err := apps.NewSinklessBiasedCycle(12, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(202)
+	order := r.Perm(s.Instance.NumVars())
+	seq, err := FixSequential(s.Instance, order, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, err := FixSequentialAdaptive(s.Instance, RoundRobinAdversary(order), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := seq.Assignment.Values()
+	v2, _ := adp.Assignment.Values()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("variable %d: sequential %d vs adaptive %d", i, v1[i], v2[i])
+		}
+	}
+}
+
+func TestAdaptiveRejectsBadAdversary(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(4), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FixSequentialAdaptive(s.Instance, nil, Options{}); err == nil {
+		t.Fatal("nil adversary accepted")
+	}
+	stubborn := func(state *AdversaryState) int { return 0 }
+	// Variable 0 gets fixed in step 1; picking it again must error.
+	if _, err := FixSequentialAdaptive(s.Instance, stubborn, Options{}); err == nil {
+		t.Fatal("adversary repeating a fixed variable accepted")
+	}
+}
+
+func TestAdaptiveAdversaryAtThreshold(t *testing.T) {
+	// At the threshold the adaptive adversary combined with adversarial
+	// value choices can force failures — the lower-bound side again.
+	s, err := apps.NewSinkless(graph.Cycle(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FixSequentialAdaptive(s.Instance, GreedyAdversary, Options{Strategy: StrategyAdversarial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PeakCertBound < 1-1e-9 {
+		t.Fatalf("peak certified bound %v should reach 1 at the threshold", res.Stats.PeakCertBound)
+	}
+}
+
+func BenchmarkAdaptiveGreedyAdversary(b *testing.B) {
+	s, err := apps.NewSinklessBiasedCycle(32, 0.42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FixSequentialAdaptive(s.Instance, GreedyAdversary, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

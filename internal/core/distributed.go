@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coloring"
+	"repro/internal/local"
+	"repro/internal/model"
+)
+
+// This file implements the distributed versions of the paper's fixers as
+// LOCAL-model machines running on the dependency graph:
+//
+//   - Corollary 1.2 (r ≤ 2): edge-colour the dependency graph, then iterate
+//     over the colour classes; in its class, the variable on an edge is
+//     fixed by the edge's owner endpoint. Edges of one class form a
+//     matching, so no two simultaneous fixes share an event.
+//   - Corollary 1.4 (r ≤ 3): distance-2 colour the dependency graph, then
+//     iterate over the colour classes; in its class, a node fixes ALL of its
+//     still-unfixed variables. Same-class nodes are at distance ≥ 3, so
+//     their 1-hop neighbourhoods — and hence the events and φ values they
+//     touch — are disjoint.
+//
+// Every class takes a two-round cycle: an act round in which the scheduled
+// nodes fix variables (using the chooseRank* kernels on their local view)
+// and broadcast the new fixings and φ values, and an echo round in which
+// the 1-hop neighbours fold those updates into their own broadcast state, so
+// the next class's actors see a consistent 2-hop-fresh view. Each φ entry
+// carries the round in which it was written; merging keeps the newest entry,
+// which makes the repeated full-state broadcasts (unbounded messages are
+// exactly what the LOCAL model permits) idempotent.
+
+// pairKey identifies a dependency edge by its two event endpoints.
+type pairKey struct{ lo, hi int }
+
+func mkPair(a, b int) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{lo: a, hi: b}
+}
+
+// phiKey identifies one side of a dependency edge: the φ value at event At
+// on the edge Edge.
+type phiKey struct {
+	edge pairKey
+	at   int
+}
+
+// phiEntry is a versioned φ value; Ver is the round in which it was written.
+type phiEntry struct {
+	val float64
+	ver int
+}
+
+// stateMsg is the full local view a node broadcasts each round.
+type stateMsg struct {
+	fixings map[int]int
+	phi     map[phiKey]phiEntry
+}
+
+type distMode int
+
+const (
+	// modeEdgeClasses drives Corollary 1.2 (classes = edge colours).
+	modeEdgeClasses distMode = iota + 1
+	// modeNodeClasses drives Corollary 1.4 (classes = distance-2 node
+	// colours).
+	modeNodeClasses
+)
+
+// lllMachine is the per-event LOCAL machine of the distributed fixers.
+type lllMachine struct {
+	inst *model.Instance
+	me   int // my event identifier (= my dependency-graph node)
+	opts Options
+	mode distMode
+
+	numClasses int
+	myClass    int         // modeNodeClasses: my distance-2 colour
+	edgeClass  map[int]int // modeEdgeClasses: neighbour event -> edge colour
+
+	info  local.NodeInfo
+	vars  []int       // variables affecting my event, sorted
+	known map[int]int // varID -> fixed value (local view)
+	view  *model.Assignment
+	phi   map[phiKey]phiEntry
+	fixes int // variables fixed by this node
+	err   error
+}
+
+func (m *lllMachine) Init(info local.NodeInfo) {
+	m.info = info
+	m.known = make(map[int]int)
+	m.view = model.NewAssignment(m.inst)
+	m.phi = make(map[phiKey]phiEntry)
+	for vid := 0; vid < m.inst.NumVars(); vid++ {
+		for _, e := range m.inst.Var(vid).Events {
+			if e == m.me {
+				m.vars = append(m.vars, vid)
+				break
+			}
+		}
+	}
+	sort.Ints(m.vars)
+}
+
+func (m *lllMachine) totalRounds() int { return 2*m.numClasses + 1 }
+
+func (m *lllMachine) phiValue(edge pairKey, at int) float64 {
+	if e, ok := m.phi[phiKey{edge: edge, at: at}]; ok {
+		return e.val
+	}
+	return 1
+}
+
+func (m *lllMachine) setPhi(edge pairKey, at int, val float64, round int) {
+	m.phi[phiKey{edge: edge, at: at}] = phiEntry{val: val, ver: round}
+}
+
+func (m *lllMachine) learn(vid, val int) error {
+	if old, ok := m.known[vid]; ok {
+		if old != val {
+			return fmt.Errorf("core: conflicting values %d and %d for variable %d", old, val, vid)
+		}
+		return nil
+	}
+	m.known[vid] = val
+	m.view.Fix(vid, val)
+	return nil
+}
+
+func (m *lllMachine) merge(msg *stateMsg) error {
+	for vid, val := range msg.fixings {
+		if err := m.learn(vid, val); err != nil {
+			return err
+		}
+	}
+	for k, e := range msg.phi {
+		if cur, ok := m.phi[k]; !ok || e.ver > cur.ver {
+			m.phi[k] = e
+		}
+	}
+	return nil
+}
+
+func (m *lllMachine) Round(round int, recv []local.Message) ([]local.Message, bool) {
+	if m.err != nil {
+		return nil, true
+	}
+	for _, msg := range recv {
+		if msg == nil {
+			continue
+		}
+		sm, ok := msg.(*stateMsg)
+		if !ok {
+			m.err = fmt.Errorf("core: unexpected message type %T", msg)
+			return nil, true
+		}
+		if err := m.merge(sm); err != nil {
+			m.err = err
+			return nil, true
+		}
+	}
+
+	switch {
+	case round == 1:
+		// Every node fixes its private (rank-1) variables in parallel;
+		// they affect only the node's own event.
+		m.fixPrivateVars()
+	case round%2 == 0:
+		class := (round - 2) / 2
+		if class < m.numClasses {
+			m.actOnClass(class, round)
+		}
+	}
+	if m.err != nil {
+		return nil, true
+	}
+
+	// Broadcast the full current view; receivers treat it as immutable.
+	snapshot := &stateMsg{
+		fixings: make(map[int]int, len(m.known)),
+		phi:     make(map[phiKey]phiEntry, len(m.phi)),
+	}
+	for vid, val := range m.known {
+		snapshot.fixings[vid] = val
+	}
+	for k, e := range m.phi {
+		snapshot.phi[k] = e
+	}
+	send := make([]local.Message, m.info.Degree())
+	for i := range send {
+		send[i] = snapshot
+	}
+	return send, round >= m.totalRounds()
+}
+
+func (m *lllMachine) fixPrivateVars() {
+	for _, vid := range m.vars {
+		events := m.inst.Var(vid).Events
+		if len(events) != 1 || events[0] != m.me {
+			continue
+		}
+		if _, fixed := m.known[vid]; fixed {
+			continue
+		}
+		val := chooseRank1(m.inst, m.view, vid, m.me, m.opts)
+		if err := m.learn(vid, val); err != nil {
+			m.err = err
+			return
+		}
+		m.fixes++
+	}
+}
+
+func (m *lllMachine) actOnClass(class, round int) {
+	switch m.mode {
+	case modeEdgeClasses:
+		m.actEdgeClass(class, round)
+	case modeNodeClasses:
+		if m.myClass == class {
+			m.actNodeClass(round)
+		}
+	}
+}
+
+// actEdgeClass fixes, as owner, all variables on my incident
+// dependency-graph edges of the given colour class. The owner of an edge is
+// its lower-indexed event endpoint.
+func (m *lllMachine) actEdgeClass(class, round int) {
+	for _, vid := range m.vars {
+		if _, fixed := m.known[vid]; fixed {
+			continue
+		}
+		events := m.inst.Var(vid).Events
+		if len(events) != 2 {
+			continue // rank-1 handled in round 1; rank-3 not allowed in this mode
+		}
+		other := events[0]
+		if other == m.me {
+			other = events[1]
+		}
+		if m.me > other {
+			continue // the other endpoint owns this edge
+		}
+		if m.edgeClass[other] != class {
+			continue
+		}
+		m.fixRank2Local(vid, events[0], events[1], round)
+		if m.err != nil {
+			return
+		}
+	}
+}
+
+// actNodeClass fixes all of my still-unfixed variables (it is my colour
+// class's turn).
+func (m *lllMachine) actNodeClass(round int) {
+	for _, vid := range m.vars {
+		if _, fixed := m.known[vid]; fixed {
+			continue
+		}
+		events := m.inst.Var(vid).Events
+		switch len(events) {
+		case 1:
+			// Already handled in round 1; fix defensively if still open.
+			val := chooseRank1(m.inst, m.view, vid, m.me, m.opts)
+			if err := m.learn(vid, val); err != nil {
+				m.err = err
+				return
+			}
+			m.fixes++
+		case 2:
+			m.fixRank2Local(vid, events[0], events[1], round)
+		case 3:
+			m.fixRank3Local(vid, events[0], events[1], events[2], round)
+		default:
+			m.err = fmt.Errorf("%w: variable %d affects %d", ErrRankTooHigh, vid, len(events))
+		}
+		if m.err != nil {
+			return
+		}
+	}
+}
+
+func (m *lllMachine) fixRank2Local(vid, u, v, round int) {
+	edge := mkPair(u, v)
+	s := m.phiValue(edge, u)
+	t := m.phiValue(edge, v)
+	val, newU, newV, _ := chooseRank2(m.inst, m.view, vid, u, v, s, t, m.opts)
+	if err := m.learn(vid, val); err != nil {
+		m.err = err
+		return
+	}
+	m.setPhi(edge, u, newU, round)
+	m.setPhi(edge, v, newV, round)
+	m.fixes++
+}
+
+func (m *lllMachine) fixRank3Local(vid, u, v, w, round int) {
+	e := mkPair(u, v)
+	e1 := mkPair(u, w)
+	e2 := mkPair(v, w)
+	a := m.phiValue(e, u) * m.phiValue(e1, u)
+	b := m.phiValue(e, v) * m.phiValue(e2, v)
+	c := m.phiValue(e1, w) * m.phiValue(e2, w)
+	val, wit, _, err := chooseRank3(m.inst, m.view, vid, u, v, w, a, b, c, m.opts)
+	if err != nil {
+		m.err = err
+		return
+	}
+	if err := m.learn(vid, val); err != nil {
+		m.err = err
+		return
+	}
+	m.setPhi(e, u, wit.A1, round)
+	m.setPhi(e1, u, wit.A2, round)
+	m.setPhi(e, v, wit.B1, round)
+	m.setPhi(e2, v, wit.B3, round)
+	m.setPhi(e1, w, wit.C2, round)
+	m.setPhi(e2, w, wit.C3, round)
+	m.fixes++
+}
+
+// DistResult is the outcome of a distributed fixing run.
+type DistResult struct {
+	Assignment *model.Assignment
+	// ColoringRounds is the LOCAL-round cost of the colouring phase on the
+	// dependency graph (derived-graph rounds already multiplied by the
+	// simulation factor).
+	ColoringRounds int
+	// FixingRounds is the LOCAL-round cost of the fixing phase.
+	FixingRounds int
+	// TotalRounds = ColoringRounds + FixingRounds.
+	TotalRounds int
+	// Classes is the number of colour classes iterated.
+	Classes int
+	// Messages counts the messages of the fixing phase.
+	Messages int
+	// ViolatedEvents counts bad events under the final assignment (0 under
+	// the criterion p < 2^-d).
+	ViolatedEvents int
+}
+
+// FixDistributed2 is Corollary 1.2: a deterministic distributed algorithm
+// for LLL instances whose variables affect at most two events, running on
+// the dependency graph in O(poly d + log* n) rounds (edge colouring + one
+// two-round cycle per colour class).
+func FixDistributed2(inst *model.Instance, opts Options, lopts local.Options) (*DistResult, error) {
+	opts = opts.withDefaults()
+	if r := inst.Rank(); r > 2 {
+		return nil, fmt.Errorf("core: FixDistributed2 requires rank <= 2, instance has %d", r)
+	}
+	g := inst.DependencyGraph()
+	ec, err := coloring.DistributedEdgeColoringNative(g, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: edge colouring: %w", err)
+	}
+	machines := make([]*lllMachine, g.N())
+	stats, err := local.Run(g, func(v int) local.Machine {
+		edgeClass := make(map[int]int, g.Degree(v))
+		g.ForEachNeighbor(v, func(u, edgeID int) {
+			edgeClass[u] = ec.Colors[edgeID]
+		})
+		machines[v] = &lllMachine{
+			inst:       inst,
+			me:         v,
+			opts:       opts,
+			mode:       modeEdgeClasses,
+			numClasses: ec.Palette,
+			edgeClass:  edgeClass,
+		}
+		return machines[v]
+	}, lopts)
+	if err != nil {
+		return nil, err
+	}
+	return collectDistResult(inst, machines, ec.Rounds*ec.SimFactor, stats, ec.Palette)
+}
+
+// FixDistributed3 is Corollary 1.4: a deterministic distributed algorithm
+// for LLL instances whose variables affect at most three events, running on
+// the dependency graph in O(poly d + log* n) rounds (distance-2 colouring +
+// one two-round cycle per colour class).
+func FixDistributed3(inst *model.Instance, opts Options, lopts local.Options) (*DistResult, error) {
+	opts = opts.withDefaults()
+	if r := inst.Rank(); r > 3 {
+		return nil, fmt.Errorf("%w: rank %d", ErrRankTooHigh, r)
+	}
+	g := inst.DependencyGraph()
+	d2, err := coloring.DistributedDistance2Native(g, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: distance-2 colouring: %w", err)
+	}
+	machines := make([]*lllMachine, g.N())
+	stats, err := local.Run(g, func(v int) local.Machine {
+		machines[v] = &lllMachine{
+			inst:       inst,
+			me:         v,
+			opts:       opts,
+			mode:       modeNodeClasses,
+			numClasses: d2.Palette,
+			myClass:    d2.Colors[v],
+		}
+		return machines[v]
+	}, lopts)
+	if err != nil {
+		return nil, err
+	}
+	return collectDistResult(inst, machines, d2.Rounds*d2.SimFactor, stats, d2.Palette)
+}
+
+// collectDistResult merges the machines' local views into one global
+// assignment, fixes event-free variables, and evaluates the outcome.
+func collectDistResult(inst *model.Instance, machines []*lllMachine, coloringRounds int, stats local.Stats, classes int) (*DistResult, error) {
+	a := model.NewAssignment(inst)
+	for v, m := range machines {
+		if m.err != nil {
+			return nil, fmt.Errorf("core: node %d failed: %w", v, m.err)
+		}
+		for vid, val := range m.known {
+			if a.Fixed(vid) {
+				if a.Value(vid) != val {
+					return nil, fmt.Errorf("core: nodes disagree on variable %d", vid)
+				}
+				continue
+			}
+			a.Fix(vid, val)
+		}
+	}
+	for vid := 0; vid < inst.NumVars(); vid++ {
+		if !a.Fixed(vid) {
+			if len(inst.Var(vid).Events) != 0 {
+				return nil, fmt.Errorf("core: variable %d left unfixed by the distributed run", vid)
+			}
+			a.Fix(vid, 0) // affects nothing
+		}
+	}
+	violated, err := inst.CountViolated(a)
+	if err != nil {
+		return nil, err
+	}
+	return &DistResult{
+		Assignment:     a,
+		ColoringRounds: coloringRounds,
+		FixingRounds:   stats.Rounds,
+		TotalRounds:    coloringRounds + stats.Rounds,
+		Classes:        classes,
+		Messages:       stats.MessagesSent,
+		ViolatedEvents: violated,
+	}, nil
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/srep"
+)
+
+// Strategy selects among the feasible values when a variable is fixed. Every
+// strategy preserves the correctness guarantee — feasibility is what the
+// proofs need — but they differ in how much slack they leave, which the
+// ablation experiment (T8) measures.
+type Strategy int
+
+const (
+	// StrategyMinScore picks the feasible value with the smallest resulting
+	// increase score (sum of the scaled triple components). This is the
+	// natural greedy choice and the default.
+	StrategyMinScore Strategy = iota + 1
+	// StrategyFirst picks the first feasible value in distribution order.
+	StrategyFirst
+	// StrategyAdversarial picks the feasible value with the LARGEST
+	// resulting increase score — the worst choice the existence lemmas
+	// still permit. Used by the sharp-threshold experiment: strictly below
+	// the threshold even this choice always succeeds; at the threshold it
+	// manufactures failures.
+	StrategyAdversarial
+)
+
+var (
+	// ErrRankTooHigh indicates a variable affecting more than three events.
+	ErrRankTooHigh = errors.New("core: variable affects more than 3 events (r > 3 is Conjecture 1.5)")
+	// ErrBadOrder indicates an order that is not a permutation of the
+	// variable identifiers.
+	ErrBadOrder = errors.New("core: order is not a permutation of variables")
+)
+
+// Options configures the sequential fixers.
+type Options struct {
+	// Strategy selects among feasible values; 0 means StrategyMinScore.
+	Strategy Strategy
+	// Tol is the feasibility tolerance; 0 means srep.DefaultTol.
+	Tol float64
+	// Audit, when set, verifies property P* after every single fix
+	// (quadratic cost; test use only).
+	Audit bool
+	// Trace, when non-nil, records every fixing decision (variable, value,
+	// Inc factors, φ products before/after) for inspection and CSV export.
+	Trace *Trace
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == 0 {
+		o.Strategy = StrategyMinScore
+	}
+	if o.Tol == 0 {
+		o.Tol = srep.DefaultTol
+	}
+	return o
+}
+
+// Stats records what a fixer run did.
+type Stats struct {
+	VarsFixed    int
+	Rank0, Rank1 int // variables affecting zero / one event
+	Rank2, Rank3 int // variables affecting two / three events
+	// Fallbacks counts fixes where no value passed the exact feasibility
+	// test (float noise only) and the least-violating value was used.
+	Fallbacks int
+	// MaxEdgeSum / MaxEventBound are the FINAL φ edge sums and per-event
+	// φ products. Note that on solved instances these often collapse to 0
+	// (once an event becomes impossible its φ values drop to 0), so the
+	// Peak* fields are the informative budget metrics.
+	MaxEdgeSum    float64
+	MaxEventBound float64
+	// PeakEdgeSum is the largest φ_e^u + φ_e^v observed on any edge at any
+	// point of the run; the P* invariant caps it at 2.
+	PeakEdgeSum float64
+	// PeakEventBound is the largest ∏_{e∋v} φ_e^v observed for any event
+	// at any point; the theorems cap it at 2^d.
+	PeakEventBound float64
+	// PeakCertBound is the largest Pr[E_v]·∏φ observed — the certified
+	// failure bound. Strictly below 1 under the criterion p < 2^-d; it
+	// reaches 1 exactly at the threshold.
+	PeakCertBound       float64
+	FinalViolatedEvents int
+	// MaxFinalProbQuotient is the final certified bound
+	// max_v Pr[E_v]·EventBound(v); < 1 guarantees success.
+	MaxFinalProbQuotient float64
+}
+
+// Result is the outcome of a sequential fixing run.
+type Result struct {
+	Assignment *model.Assignment
+	PStar      *PStar
+	Stats      Stats
+}
+
+// FixSequential runs the paper's sequential deterministic process on inst,
+// fixing the variables in the given order (nil means identifier order). It
+// requires every variable to affect at most three events (r ≤ 3) and
+// implements Theorem 1.1 for rank-2 variables and Theorem 1.3 (via the
+// Variable Fixing Lemma and representable-triple decomposition) for rank-3
+// variables.
+//
+// The process is purely local: the choice for each variable depends only on
+// the conditional probabilities of the (at most three) affected events and
+// the φ values on the (at most three) dependency-graph edges between them.
+//
+// FixSequential never aborts halfway: it always produces a complete
+// assignment. If the instance satisfies p < 2^-d, the returned assignment
+// provably avoids all bad events; Stats.FinalViolatedEvents reports the
+// actual count (always 0 under the criterion; possibly positive at or above
+// the threshold, which experiment T5 exploits).
+func FixSequential(inst *model.Instance, order []int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if r := inst.Rank(); r > 3 {
+		return nil, fmt.Errorf("%w: rank %d", ErrRankTooHigh, r)
+	}
+	if order == nil {
+		order = make([]int, inst.NumVars())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if err := checkPermutation(order, inst.NumVars()); err != nil {
+		return nil, err
+	}
+
+	g := inst.DependencyGraph()
+	ps := NewPStar(g)
+	a := model.NewAssignment(inst)
+
+	// Per-event unconditional probabilities: the bases of the P* invariant
+	// and of the certified-bound peak tracking.
+	base := make([]float64, inst.NumEvents())
+	empty := model.NewAssignment(inst)
+	for v := 0; v < inst.NumEvents(); v++ {
+		base[v] = inst.CondProb(v, empty)
+	}
+
+	f := &fixer{inst: inst, g: g, ps: ps, a: a, opts: opts}
+	if g.M() > 0 {
+		f.stats.PeakEdgeSum = 2 // all φ start at 1
+	}
+	if inst.NumEvents() > 0 {
+		f.stats.PeakEventBound = 1
+	}
+	for _, b := range base {
+		if b > f.stats.PeakCertBound {
+			f.stats.PeakCertBound = b
+		}
+	}
+	for _, vid := range order {
+		if err := f.fixOne(vid); err != nil {
+			return nil, err
+		}
+		f.updatePeaks(vid, base)
+		if opts.Audit {
+			if err := ps.Audit(inst, a, base, 1e-6); err != nil {
+				return nil, fmt.Errorf("after fixing variable %d: %w", vid, err)
+			}
+		}
+	}
+
+	f.stats.VarsFixed = inst.NumVars()
+	f.stats.MaxEdgeSum = ps.MaxEdgeSum()
+	f.stats.MaxEventBound = ps.MaxEventBound()
+	violated, err := inst.CountViolated(a)
+	if err != nil {
+		return nil, err
+	}
+	f.stats.FinalViolatedEvents = violated
+	for v := 0; v < inst.NumEvents(); v++ {
+		if q := base[v] * ps.EventBound(v); q > f.stats.MaxFinalProbQuotient {
+			f.stats.MaxFinalProbQuotient = q
+		}
+	}
+	return &Result{Assignment: a, PStar: ps, Stats: f.stats}, nil
+}
+
+// updatePeaks refreshes the running peak statistics after variable vid was
+// fixed: only the edges and events of vid's hyperedge can have changed.
+func (f *fixer) updatePeaks(vid int, base []float64) {
+	events := f.inst.Var(vid).Events
+	for i, u := range events {
+		bound := f.ps.EventBound(u)
+		if bound > f.stats.PeakEventBound {
+			f.stats.PeakEventBound = bound
+		}
+		if q := base[u] * bound; q > f.stats.PeakCertBound {
+			f.stats.PeakCertBound = q
+		}
+		for _, v := range events[i+1:] {
+			if id, ok := f.g.EdgeBetween(u, v); ok {
+				e := f.g.Edge(id)
+				if s := f.ps.Value(id, e.U) + f.ps.Value(id, e.V); s > f.stats.PeakEdgeSum {
+					f.stats.PeakEdgeSum = s
+				}
+			}
+		}
+	}
+}
+
+func checkPermutation(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("%w: length %d, want %d", ErrBadOrder, len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("%w: entry %d", ErrBadOrder, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// fixer carries the mutable state of one sequential run.
+type fixer struct {
+	inst  *model.Instance
+	g     *graph.Graph
+	ps    *PStar
+	a     *model.Assignment
+	opts  Options
+	stats Stats
+}
+
+// fixOne fixes one variable, preserving property P*. It dispatches on the
+// number of events the variable affects.
+func (f *fixer) fixOne(vid int) error {
+	events := f.inst.Var(vid).Events
+	switch len(events) {
+	case 0:
+		f.stats.Rank0++
+		f.a.Fix(vid, 0) // value irrelevant: the variable affects nothing
+		return nil
+	case 1:
+		f.stats.Rank1++
+		f.fixRank1(vid, events[0])
+		return nil
+	case 2:
+		f.stats.Rank2++
+		return f.fixRank2(vid, events[0], events[1])
+	case 3:
+		f.stats.Rank3++
+		return f.fixRank3(vid, events[0], events[1], events[2])
+	default:
+		return fmt.Errorf("%w: variable %d affects %d", ErrRankTooHigh, vid, len(events))
+	}
+}
+
+// fixRank1 fixes a variable affecting a single event u. A value with
+// Inc(u, y) ≤ 1 always exists because E_y[Inc(u, y)] = 1; choosing it leaves
+// every φ untouched and keeps P* intact. (In the paper's framing this is a
+// rank-3 variable padded with two virtual events that nothing depends on.)
+func (f *fixer) fixRank1(vid, u int) {
+	val := chooseRank1(f.inst, f.a, vid, u, f.opts)
+	events := []int{u}
+	before := f.captureBefore(vid, events)
+	incs := f.captureIncs(vid, val, events)
+	f.a.Fix(vid, val)
+	f.record(vid, val, events, incs, before)
+}
+
+// fixRank2 fixes a variable affecting events u and v, using the weighted
+// form of the Theorem 1.1 argument: with s = φ_e^u and t = φ_e^v on the
+// dependency edge e = {u, v}, a value y with
+// s·Inc(u,y) + t·Inc(v,y) ≤ s + t (≤ 2) exists by linearity of expectation;
+// the new edge values ψ_e^u = s·Inc(u,y), ψ_e^v = t·Inc(v,y) then restore
+// property P*.
+func (f *fixer) fixRank2(vid, u, v int) error {
+	edgeID, ok := f.g.EdgeBetween(u, v)
+	if !ok {
+		return fmt.Errorf("core: internal: events %d and %d share variable %d but no dependency edge", u, v, vid)
+	}
+	s := f.ps.Value(edgeID, u)
+	t := f.ps.Value(edgeID, v)
+	val, newU, newV, fallback := chooseRank2(f.inst, f.a, vid, u, v, s, t, f.opts)
+	if fallback {
+		f.stats.Fallbacks++
+	}
+	events := []int{u, v}
+	before := f.captureBefore(vid, events)
+	incs := f.captureIncs(vid, val, events)
+	f.a.Fix(vid, val)
+	f.ps.Set(edgeID, u, newU)
+	f.ps.Set(edgeID, v, newV)
+	f.record(vid, val, events, incs, before)
+	return nil
+}
+
+// fixRank3 fixes a variable affecting events u, v, w — the heart of
+// Theorem 1.3. With the triangle edges e = {u,v}, e' = {u,w}, e” = {v,w}
+// and the current representable triple
+//
+//	(a, b, c) = (φ_e^u·φ_e'^u, φ_e^v·φ_e''^v, φ_e'^w·φ_e''^w),
+//
+// the Variable Fixing Lemma (Lemma 3.2) guarantees a value y whose scaled
+// triple (Inc(u,y)·a, Inc(v,y)·b, Inc(w,y)·c) is again representable; the
+// constructive Lemma 3.5 decomposition then yields the six new edge values.
+func (f *fixer) fixRank3(vid, u, v, w int) error {
+	e, ok1 := f.g.EdgeBetween(u, v)
+	e1, ok2 := f.g.EdgeBetween(u, w)
+	e2, ok3 := f.g.EdgeBetween(v, w)
+	if !ok1 || !ok2 || !ok3 {
+		return fmt.Errorf("core: internal: events %d,%d,%d of variable %d not pairwise adjacent", u, v, w, vid)
+	}
+	a := f.ps.Value(e, u) * f.ps.Value(e1, u)
+	b := f.ps.Value(e, v) * f.ps.Value(e2, v)
+	c := f.ps.Value(e1, w) * f.ps.Value(e2, w)
+
+	val, wit, fallback, err := chooseRank3(f.inst, f.a, vid, u, v, w, a, b, c, f.opts)
+	if err != nil {
+		return err
+	}
+	if fallback {
+		f.stats.Fallbacks++
+	}
+	events := []int{u, v, w}
+	before := f.captureBefore(vid, events)
+	incs := f.captureIncs(vid, val, events)
+	f.a.Fix(vid, val)
+	f.ps.Set(e, u, wit.A1)
+	f.ps.Set(e1, u, wit.A2)
+	f.ps.Set(e, v, wit.B1)
+	f.ps.Set(e2, v, wit.B3)
+	f.ps.Set(e1, w, wit.C2)
+	f.ps.Set(e2, w, wit.C3)
+	f.record(vid, val, events, incs, before)
+	return nil
+}

@@ -1,0 +1,673 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/local"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// mustFix runs FixSequential and fails the test on error.
+func mustFix(t *testing.T, inst *model.Instance, order []int, opts Options) *Result {
+	t.Helper()
+	res, err := FixSequential(inst, order, opts)
+	if err != nil {
+		t.Fatalf("FixSequential: %v", err)
+	}
+	return res
+}
+
+// assertSolved checks the full Theorem guarantee: complete assignment, no
+// violated events, P* bounds intact, and a certified probability bound < 1.
+func assertSolved(t *testing.T, res *Result) {
+	t.Helper()
+	if !res.Assignment.Complete() {
+		t.Fatal("assignment incomplete")
+	}
+	if res.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("%d events violated", res.Stats.FinalViolatedEvents)
+	}
+	if res.Stats.MaxEdgeSum > 2+1e-9 {
+		t.Fatalf("edge sum %v > 2", res.Stats.MaxEdgeSum)
+	}
+	if res.Stats.PeakEdgeSum > 2+1e-9 {
+		t.Fatalf("peak edge sum %v > 2", res.Stats.PeakEdgeSum)
+	}
+	if res.Stats.PeakCertBound >= 1 {
+		t.Fatalf("peak certified bound %v >= 1 under the criterion", res.Stats.PeakCertBound)
+	}
+	if res.Stats.Fallbacks != 0 {
+		t.Fatalf("%d numeric fallbacks (existence lemma should make this 0)", res.Stats.Fallbacks)
+	}
+}
+
+func TestTheorem11OnCycles(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 12} {
+		s, err := apps.NewSinkless(graph.Cycle(n), 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustFix(t, s.Instance, nil, Options{Audit: true})
+		assertSolved(t, res)
+		if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+			t.Fatalf("n=%d: sinks %v", n, sinks)
+		}
+		if res.Stats.Rank2 != s.Instance.NumVars() {
+			t.Fatalf("expected all rank-2 variables, got %+v", res.Stats)
+		}
+	}
+}
+
+func TestTheorem11OnRegularGraphs(t *testing.T) {
+	r := prng.New(42)
+	for _, tc := range []struct {
+		n, d int
+	}{{10, 3}, {20, 4}, {24, 5}, {16, 6}} {
+		g, err := graph.RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := apps.NewSinkless(g, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, margin := s.Instance.ExponentialCriterion()
+		if !ok {
+			t.Fatalf("instance (n=%d,d=%d) violates criterion: %v", tc.n, tc.d, margin)
+		}
+		res := mustFix(t, s.Instance, nil, Options{})
+		assertSolved(t, res)
+		if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+			t.Fatalf("(n=%d,d=%d): sinks %v", tc.n, tc.d, sinks)
+		}
+		if res.Stats.MaxEventBound > math.Pow(2, float64(s.Instance.D()))+1e-9 {
+			t.Fatalf("event bound %v exceeds 2^d", res.Stats.MaxEventBound)
+		}
+	}
+}
+
+func TestTheorem11AdversarialOrders(t *testing.T) {
+	// Theorem 1.1 holds for ANY order; exercise many random permutations.
+	s, err := apps.NewSinkless(graph.Cycle(10), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		order := r.Perm(s.Instance.NumVars())
+		res := mustFix(t, s.Instance, order, Options{})
+		assertSolved(t, res)
+	}
+}
+
+func TestTheorem11AllStrategies(t *testing.T) {
+	// Below the threshold even the adversarial (worst feasible) strategy
+	// must succeed — that is exactly the sharp-threshold claim.
+	s, err := apps.NewSinkless(graph.Cycle(9), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategyMinScore, StrategyFirst, StrategyAdversarial} {
+		res := mustFix(t, s.Instance, nil, Options{Strategy: strat})
+		assertSolved(t, res)
+	}
+}
+
+func TestThresholdFailureWithAdversarialChoices(t *testing.T) {
+	// AT the threshold (slack 0, margin exactly 1) the guarantee
+	// degenerates to Pr ≤ 1 and the adversarial strategy does produce a
+	// sink: the empirical face of the lower-bound side of the phase
+	// transition.
+	s, err := apps.NewSinkless(graph.Cycle(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FixSequential(s.Instance, nil, Options{Strategy: StrategyAdversarial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalViolatedEvents == 0 {
+		t.Fatal("expected the adversarial strategy to create a sink at the threshold")
+	}
+	if res.Stats.MaxFinalProbQuotient < 1-1e-9 {
+		t.Fatalf("certified bound %v should have reached 1", res.Stats.MaxFinalProbQuotient)
+	}
+}
+
+func TestThresholdGreedyStillSolvesCycles(t *testing.T) {
+	// At the threshold the min-score greedy has no guarantee, but on even
+	// cycles it happens to find the consistent orientation. This documents
+	// that failures at the threshold are strategy-dependent, not forced.
+	s, err := apps.NewSinkless(graph.Cycle(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustFix(t, s.Instance, nil, Options{})
+	if res.Stats.FinalViolatedEvents != 0 {
+		t.Skipf("greedy failed at threshold (allowed): %d violations", res.Stats.FinalViolatedEvents)
+	}
+}
+
+func TestTheorem11BiasedFamilyNoEscape(t *testing.T) {
+	// The biased family has no "free" value, so every fix commits to a
+	// real orientation and the weighted bookkeeping genuinely moves. Below
+	// the threshold (alpha != 1/2) all strategies and orders must succeed.
+	r := prng.New(101)
+	for _, alpha := range []float64{0.3, 0.42, 0.49} {
+		s, err := apps.NewSinklessBiasedCycle(12, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, margin := s.Instance.ExponentialCriterion()
+		wantMargin := 4 * alpha * (1 - alpha)
+		if !ok || math.Abs(margin-wantMargin) > 1e-9 {
+			t.Fatalf("alpha=%v: margin %v, want %v", alpha, margin, wantMargin)
+		}
+		for _, strat := range []Strategy{StrategyMinScore, StrategyFirst, StrategyAdversarial} {
+			for trial := 0; trial < 5; trial++ {
+				var order []int
+				if trial > 0 {
+					order = r.Perm(s.Instance.NumVars())
+				}
+				res := mustFix(t, s.Instance, order, Options{Strategy: strat, Audit: true})
+				assertSolved(t, res)
+				if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+					t.Fatalf("alpha=%v strat=%d: sinks %v", alpha, strat, sinks)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem11BiasedPeaksAreNontrivial(t *testing.T) {
+	// Unlike the slack family (where the fixer escapes via 'free' and no
+	// event bound ever rises), the biased family forces real increases:
+	// the peak certified bound must exceed the initial p.
+	s, err := apps.NewSinklessBiasedCycle(16, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustFix(t, s.Instance, nil, Options{})
+	p := s.Instance.P()
+	if res.Stats.PeakCertBound <= p+1e-12 {
+		t.Fatalf("peak cert bound %v did not rise above p=%v: instance is trivial", res.Stats.PeakCertBound, p)
+	}
+	if res.Stats.PeakEventBound <= 1 {
+		t.Fatalf("peak event bound %v did not rise above 1", res.Stats.PeakEventBound)
+	}
+}
+
+func TestBiasedAtThresholdBehaviour(t *testing.T) {
+	// alpha = 1/2 is exactly the threshold instance (fair sinkless
+	// orientation); the adversarial strategy must be able to fail.
+	s, err := apps.NewSinklessBiasedCycle(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, margin := s.Instance.ExponentialCriterion(); math.Abs(margin-1) > 1e-12 {
+		t.Fatalf("margin = %v, want 1", margin)
+	}
+	res, err := FixSequential(s.Instance, nil, Options{Strategy: StrategyAdversarial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PeakCertBound < 1-1e-9 {
+		t.Fatalf("peak cert bound %v should reach 1 at the threshold", res.Stats.PeakCertBound)
+	}
+}
+
+func TestTheorem13OnRegularHypergraphs(t *testing.T) {
+	r := prng.New(11)
+	for _, tc := range []struct {
+		n, deg int
+	}{{12, 2}, {30, 3}, {21, 4}} {
+		h, err := hypergraph.RandomRegularRank3(tc.n, tc.deg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := apps.NewHyperSinkless(h, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, margin := s.Instance.ExponentialCriterion()
+		if !ok {
+			t.Fatalf("instance (n=%d,deg=%d) violates criterion: margin %v", tc.n, tc.deg, margin)
+		}
+		res := mustFix(t, s.Instance, nil, Options{Audit: tc.n <= 21})
+		assertSolved(t, res)
+		if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+			t.Fatalf("(n=%d,deg=%d): sinks %v", tc.n, tc.deg, sinks)
+		}
+		if res.Stats.Rank3 != s.Instance.NumVars() {
+			t.Fatalf("expected all rank-3 variables, got %+v", res.Stats)
+		}
+	}
+}
+
+func TestTheorem13AdversarialOrders(t *testing.T) {
+	r := prng.New(13)
+	h, err := hypergraph.RandomRegularRank3(15, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		order := r.Perm(s.Instance.NumVars())
+		res := mustFix(t, s.Instance, order, Options{})
+		assertSolved(t, res)
+	}
+}
+
+func TestTheorem13AllStrategies(t *testing.T) {
+	r := prng.New(17)
+	h, err := hypergraph.RandomRegularRank3(18, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategyMinScore, StrategyFirst, StrategyAdversarial} {
+		res := mustFix(t, s.Instance, nil, Options{Strategy: strat, Audit: true})
+		assertSolved(t, res)
+	}
+}
+
+func TestTheorem13ThreeOrientations(t *testing.T) {
+	// The paper's own rank-3 application, with no relaxation knob.
+	r := prng.New(19)
+	h, err := hypergraph.RandomRegularRank3(24, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := apps.NewThreeOrientations(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, margin := to.Instance.ExponentialCriterion()
+	if !ok {
+		t.Fatalf("criterion fails: margin %v", margin)
+	}
+	res := mustFix(t, to.Instance, nil, Options{})
+	assertSolved(t, res)
+	if viol := to.Violations(res.Assignment); len(viol) != 0 {
+		t.Fatalf("nodes sink in >=2 orientations: %v", viol)
+	}
+}
+
+func TestTheorem13WeakSplitting(t *testing.T) {
+	r := prng.New(23)
+	adj, err := apps.RandomBiregular(16, 3, 16, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := apps.NewWeakSplitting(adj, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, margin := w.Instance.ExponentialCriterion()
+	if !ok {
+		t.Fatalf("criterion fails: margin %v", margin)
+	}
+	res := mustFix(t, w.Instance, nil, Options{Audit: true})
+	assertSolved(t, res)
+	if mono := w.Monochromatic(res.Assignment); len(mono) != 0 {
+		t.Fatalf("monochromatic V-nodes: %v", mono)
+	}
+}
+
+// multiVarEdgeInstance builds a rank-2 cycle where every dependency edge
+// carries two variables (see the Section 2 remark on combining them).
+func multiVarEdgeInstance(t *testing.T, n int) *model.Instance {
+	t.Helper()
+	b := model.NewBuilder()
+	coin := make([]int, n)
+	die := make([]int, n)
+	biased := dist.MustNew([]float64{0.45, 0.55})
+	for e := 0; e < n; e++ {
+		coin[e] = b.AddVariable(biased, "coin")
+		die[e] = b.AddVariable(dist.Uniform(3), "die")
+	}
+	for v := 0; v < n; v++ {
+		left := (v - 1 + n) % n
+		right := v
+		scope := []int{coin[left], die[left], coin[right], die[right]}
+		b.AddEvent(scope, func(vals []int) bool {
+			return vals[0] == 1 && vals[1] == 0 && vals[2] == 0 && vals[3] == 0
+		}, nil, "")
+	}
+	return b.MustBuild()
+}
+
+func TestWeightedVsCombinedMultiVarEdges(t *testing.T) {
+	// Two equivalent routes through the Section 2 remark: fix the raw
+	// instance (several variables per edge, weighted bookkeeping) or
+	// combine each edge's variables into one and fix the normal form. Both
+	// must solve the instance.
+	inst := multiVarEdgeInstance(t, 8)
+	if ok, margin := inst.ExponentialCriterion(); !ok {
+		t.Fatalf("multi-var instance off criterion: margin %v", margin)
+	}
+	raw := mustFix(t, inst, nil, Options{Audit: true})
+	assertSolved(t, raw)
+
+	c, err := model.Combine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := mustFix(t, c.Instance, nil, Options{Audit: true})
+	assertSolved(t, comb)
+
+	// Expansion of the combined solution must avoid all original events.
+	expanded := c.Expand(comb.Assignment)
+	violated, err := inst.CountViolated(expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated != 0 {
+		t.Fatalf("expanded combined solution violates %d events", violated)
+	}
+}
+
+// mixedChainHypergraph builds a deterministic hypergraph on n nodes
+// (n divisible by 3) alternating rank-3 and rank-2 hyperedges around a
+// ring: triangles {3k, 3k+1, 3k+2} linked by pair edges {3k+2, 3(k+1)}.
+// Every node is covered and the dependency degree is at most 3.
+func mixedChainHypergraph(t *testing.T, n int) *hypergraph.Hypergraph {
+	t.Helper()
+	if n%3 != 0 {
+		t.Fatalf("n=%d not divisible by 3", n)
+	}
+	b := hypergraph.NewBuilder(n)
+	for k := 0; 3*k < n; k++ {
+		if err := b.AddEdge(3*k, 3*k+1, 3*k+2); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(3*k+2, (3*k+3)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestMixedRankHypergraphInstances(t *testing.T) {
+	// Hypergraphs mixing rank-2 and rank-3 hyperedges exercise fixRank2
+	// and fixRank3 (and the shared φ edges between them) in one run, both
+	// sequentially and distributed.
+	r := prng.New(401)
+	h := mixedChainHypergraph(t, 18)
+	// d = 3 at the linking nodes, so p = (1-δ)/3 < 2^-3 needs δ > 5/8.
+	s, err := apps.NewHyperSinklessMixed(h, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, margin := s.Instance.ExponentialCriterion(); !ok {
+		t.Fatalf("mixed chain off criterion: margin %v", margin)
+	}
+	if s.Instance.Rank() != 3 {
+		t.Fatalf("rank = %d", s.Instance.Rank())
+	}
+	for trial := 0; trial < 8; trial++ {
+		var order []int
+		if trial > 0 {
+			order = r.Perm(s.Instance.NumVars())
+		}
+		res := mustFix(t, s.Instance, order, Options{Audit: true})
+		assertSolved(t, res)
+		if res.Stats.Rank2 == 0 || res.Stats.Rank3 == 0 {
+			t.Fatalf("trial %d: ranks not mixed: %+v", trial, res.Stats)
+		}
+		if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+			t.Fatalf("trial %d: sinks %v", trial, sinks)
+		}
+	}
+	dres, err := FixDistributed3(s.Instance, Options{}, local.Options{IDSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.ViolatedEvents != 0 {
+		t.Fatal("distributed violations on mixed chain")
+	}
+}
+
+func TestMixedRankInstance(t *testing.T) {
+	// Hand-built instance mixing rank-1 (private coin), rank-2 (edge
+	// variable) and rank-3 (hyperedge variable) variables.
+	b := model.NewBuilder()
+	coin := b.AddVariable(dist.MustNew([]float64{0.7, 0.3}), "coin")
+	edge := b.AddVariable(dist.Uniform(2), "edge")
+	tri := b.AddVariable(dist.Uniform(3), "tri")
+
+	// E0 depends on coin, edge, tri; E1 on edge, tri; E2 on tri.
+	b.AddEvent([]int{coin, edge, tri}, func(v []int) bool {
+		return v[0] == 1 && v[1] == 1 && v[2] == 0
+	}, nil, "E0")
+	b.AddEvent([]int{edge, tri}, func(v []int) bool {
+		return v[0] == 0 && v[1] == 1
+	}, nil, "E1")
+	b.AddEvent([]int{tri}, func(v []int) bool {
+		return v[0] == 2
+	}, nil, "E2")
+	inst := b.MustBuild()
+
+	// p = max(0.3*0.5*1/3, 0.5*1/3, 1/3) = 1/3; d = 2; margin = 4/3 > 1:
+	// no guarantee, but the fixer must still run and report honestly.
+	res := mustFix(t, inst, nil, Options{})
+	if !res.Assignment.Complete() {
+		t.Fatal("assignment incomplete")
+	}
+	if res.Stats.Rank1 != 1 || res.Stats.Rank2 != 1 || res.Stats.Rank3 != 1 {
+		t.Fatalf("rank counts wrong: %+v", res.Stats)
+	}
+}
+
+func TestRank0VariableFixed(t *testing.T) {
+	b := model.NewBuilder()
+	b.AddVariable(dist.Uniform(5), "unused")
+	x := b.AddVariable(dist.Uniform(2), "x")
+	b.AddEvent([]int{x}, func(v []int) bool { return v[0] == 1 }, nil, "E")
+	inst := b.MustBuild()
+	res := mustFix(t, inst, nil, Options{})
+	if !res.Assignment.Complete() {
+		t.Fatal("rank-0 variable left unfixed")
+	}
+	if res.Stats.Rank0 != 1 || res.Stats.Rank1 != 1 {
+		t.Fatalf("rank counts wrong: %+v", res.Stats)
+	}
+	if res.Stats.FinalViolatedEvents != 0 {
+		t.Fatal("single rank-1 event should be avoidable")
+	}
+}
+
+func TestRank4Rejected(t *testing.T) {
+	b := model.NewBuilder()
+	x := b.AddVariable(dist.Uniform(2), "x")
+	for i := 0; i < 4; i++ {
+		b.AddEvent([]int{x}, func(v []int) bool { return v[0] == 1 }, nil, "E")
+	}
+	inst := b.MustBuild()
+	if _, err := FixSequential(inst, nil, Options{}); !errors.Is(err, ErrRankTooHigh) {
+		t.Fatalf("err = %v, want ErrRankTooHigh", err)
+	}
+}
+
+func TestBadOrderRejected(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(4), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{{0, 1}, {0, 1, 2, 2}, {0, 1, 2, 9}} {
+		if _, err := FixSequential(s.Instance, order, Options{}); !errors.Is(err, ErrBadOrder) {
+			t.Fatalf("order %v: err = %v, want ErrBadOrder", order, err)
+		}
+	}
+}
+
+func TestQuickTheorem13RandomHypergraphs(t *testing.T) {
+	// Property: on every random rank-3 instance satisfying the criterion,
+	// the fixer avoids all events, with zero numeric fallbacks, in a random
+	// order, under every strategy.
+	f := func(seed uint32) bool {
+		r := prng.New(uint64(seed))
+		h := hypergraph.RandomRank3(15, 14, 3, r)
+		if h.M() == 0 {
+			return true
+		}
+		// Nodes of degree 0 are fine here: their events do not exist (we
+		// only build events for covered nodes via HyperSinkless? No —
+		// HyperSinkless rejects them). Skip such hypergraphs.
+		for v := 0; v < h.N(); v++ {
+			if h.Degree(v) == 0 {
+				return true
+			}
+		}
+		s, err := apps.NewHyperSinkless(h, 0.45)
+		if err != nil {
+			return false
+		}
+		if ok, _ := s.Instance.ExponentialCriterion(); !ok {
+			return true // irregular degrees can break the criterion; skip
+		}
+		order := r.Perm(s.Instance.NumVars())
+		for _, strat := range []Strategy{StrategyMinScore, StrategyFirst, StrategyAdversarial} {
+			res, err := FixSequential(s.Instance, order, Options{Strategy: strat})
+			if err != nil || res.Stats.FinalViolatedEvents != 0 || res.Stats.Fallbacks != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifiedBoundBelowOne(t *testing.T) {
+	// The certified final bound Pr[E_v]·EventBound(v) must be < 1 under the
+	// criterion — this is the actual inequality chain of the proofs.
+	r := prng.New(29)
+	h, err := hypergraph.RandomRegularRank3(24, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustFix(t, s.Instance, nil, Options{})
+	if res.Stats.MaxFinalProbQuotient >= 1 {
+		t.Fatalf("certified bound %v >= 1", res.Stats.MaxFinalProbQuotient)
+	}
+}
+
+func BenchmarkFixRank2Cycle(b *testing.B) {
+	s, err := apps.NewSinkless(graph.Cycle(200), 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FixSequential(s.Instance, nil, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixRank3Hypergraph(b *testing.B) {
+	r := prng.New(1)
+	h, err := hypergraph.RandomRegularRank3(99, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FixSequential(s.Instance, nil, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStressFamilyAcrossStrategiesAndDistributed(t *testing.T) {
+	// The margin-calibrated random-conjunction family (arbitrary bad
+	// tuples, per-event margins) through every solving path.
+	r := prng.New(501)
+	solved := 0
+	for trial := 0; trial < 10 && solved < 3; trial++ {
+		h, err := hypergraph.RandomRegularRank3(12, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := apps.NewRandomConjunction(h, 2, 0.85, r)
+		if err != nil {
+			continue
+		}
+		for _, strat := range []Strategy{StrategyMinScore, StrategyFirst, StrategyAdversarial} {
+			res := mustFix(t, rc.Instance, r.Perm(rc.Instance.NumVars()), Options{Strategy: strat})
+			if res.Stats.FinalViolatedEvents != 0 {
+				t.Fatalf("trial %d strat %d: violations", trial, strat)
+			}
+		}
+		dres, err := FixDistributed3(rc.Instance, Options{}, local.Options{IDSeed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres.ViolatedEvents != 0 {
+			t.Fatalf("trial %d: distributed violations", trial)
+		}
+		ares, err := FixSequentialAdaptive(rc.Instance, GreedyAdversary, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ares.Stats.FinalViolatedEvents != 0 {
+			t.Fatalf("trial %d: adaptive violations", trial)
+		}
+		solved++
+	}
+	if solved < 2 {
+		t.Fatalf("only %d calibratable instances", solved)
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	// Guards accidental behaviour changes: a pinned instance and seed must
+	// keep producing exactly this assignment. If an intentional algorithm
+	// change breaks this test, update the golden values and note it in the
+	// commit.
+	s, err := apps.NewSinklessBiasedCycle(8, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustFix(t, s.Instance, nil, Options{})
+	vals, _ := res.Assignment.Values()
+	// Re-run: byte-identical.
+	res2 := mustFix(t, s.Instance, nil, Options{})
+	vals2, _ := res2.Assignment.Values()
+	for i := range vals {
+		if vals[i] != vals2[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	// The greedy run's peak certified bound on this family is empirically
+	// pinned at exactly alpha = 0.4 (see also the T8 ablation, where every
+	// strategy and order lands on alpha). If an intentional algorithm
+	// change moves this, update the golden value.
+	if math.Abs(res.Stats.PeakCertBound-0.4) > 1e-9 {
+		t.Fatalf("peak certified bound %v, want golden 0.4", res.Stats.PeakCertBound)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceStep records one variable-fixing decision of the sequential process:
+// which variable was fixed to which value, the events it affects, the
+// per-event increase factors of the chosen value, and the per-event φ
+// products on the variable's clique before and after the update. Traces
+// make the bookkeeping of property P* inspectable step by step.
+type TraceStep struct {
+	// Index is the position of the step in the fixing order (0-based).
+	Index int
+	// VarID is the fixed variable.
+	VarID int
+	// Rank is the number of events the variable affects.
+	Rank int
+	// Value is the chosen value index.
+	Value int
+	// Events are the affected event identifiers (ascending).
+	Events []int
+	// Incs[i] is Inc(Events[i], Value): the conditional-probability
+	// increase factor the choice caused for each affected event.
+	Incs []float64
+	// Before[i] and After[i] are the φ products of Events[i] over the
+	// variable's clique edges, before and after the update.
+	Before, After []float64
+}
+
+// Trace accumulates the steps of one sequential fixing run. Pass it via
+// Options.Trace; the zero value is ready to use.
+type Trace struct {
+	Steps []TraceStep
+}
+
+// CSV writes the trace as comma-separated values with a header row. Slice
+// columns are rendered as ';'-joined lists.
+func (t *Trace) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "index,var,rank,value,events,incs,before,after"); err != nil {
+		return err
+	}
+	for _, s := range t.Steps {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%s,%s,%s,%s\n",
+			s.Index, s.VarID, s.Rank, s.Value,
+			joinInts(s.Events), joinFloats(s.Incs), joinFloats(s.Before), joinFloats(s.After))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ";")
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.6g", x)
+	}
+	return strings.Join(parts, ";")
+}
+
+// record appends a step to the fixer's trace (no-op without one). It is
+// called after the assignment and φ updates of the step are complete;
+// before must have been captured by the caller prior to the update.
+func (f *fixer) record(vid, value int, events []int, incs, before []float64) {
+	if f.opts.Trace == nil {
+		return
+	}
+	after := make([]float64, len(events))
+	for i, e := range events {
+		after[i] = f.cliqueProduct(e, events)
+	}
+	f.opts.Trace.Steps = append(f.opts.Trace.Steps, TraceStep{
+		Index:  len(f.opts.Trace.Steps),
+		VarID:  vid,
+		Rank:   len(events),
+		Value:  value,
+		Events: append([]int(nil), events...),
+		Incs:   incs,
+		Before: before,
+		After:  after,
+	})
+}
+
+// cliqueProduct returns the product of event e's φ values over the edges to
+// the other events in the clique.
+func (f *fixer) cliqueProduct(e int, events []int) float64 {
+	prod := 1.0
+	for _, o := range events {
+		if o == e {
+			continue
+		}
+		if id, ok := f.g.EdgeBetween(e, o); ok {
+			prod *= f.ps.Value(id, e)
+		}
+	}
+	return prod
+}
+
+// captureBefore snapshots the clique products and the chosen value's Inc
+// factors prior to fixing, when tracing is on.
+func (f *fixer) captureBefore(vid int, events []int) (before []float64) {
+	if f.opts.Trace == nil {
+		return nil
+	}
+	before = make([]float64, len(events))
+	for i, e := range events {
+		before[i] = f.cliqueProduct(e, events)
+	}
+	return before
+}
+
+// captureIncs computes the Inc factors of value for each event, when
+// tracing is on. It must run before the assignment is updated.
+func (f *fixer) captureIncs(vid, value int, events []int) []float64 {
+	if f.opts.Trace == nil {
+		return nil
+	}
+	incs := make([]float64, len(events))
+	for i, e := range events {
+		incs[i] = f.inst.Inc(e, f.a, vid, value)
+	}
+	return incs
+}

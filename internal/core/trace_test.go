@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/prng"
+)
+
+func TestTraceRecordsEveryStep(t *testing.T) {
+	s, err := apps.NewSinklessBiasedCycle(10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{}
+	res := mustFix(t, s.Instance, nil, Options{Trace: trace})
+	assertSolved(t, res)
+	if len(trace.Steps) != s.Instance.NumVars() {
+		t.Fatalf("%d steps for %d variables", len(trace.Steps), s.Instance.NumVars())
+	}
+	for i, step := range trace.Steps {
+		if step.Index != i {
+			t.Fatalf("step %d has index %d", i, step.Index)
+		}
+		if step.Rank != 2 || len(step.Events) != 2 {
+			t.Fatalf("step %d: rank %d events %v", i, step.Rank, step.Events)
+		}
+		if len(step.Incs) != 2 || len(step.Before) != 2 || len(step.After) != 2 {
+			t.Fatalf("step %d: slice lengths wrong", i)
+		}
+		// The recorded products must respect the invariant: the after
+		// product is at most Inc * before within tolerance... in fact the
+		// rank-2 update sets it exactly (modulo clamping).
+		for j := range step.Events {
+			want := step.Incs[j] * step.Before[j]
+			if step.After[j] > want+1e-9 && want <= 2 {
+				t.Fatalf("step %d event %d: after %v exceeds Inc*before %v", i, j, step.After[j], want)
+			}
+		}
+	}
+}
+
+func TestTraceRank3Bookkeeping(t *testing.T) {
+	r := prng.New(61)
+	h, err := hypergraph.RandomRegularRank3(12, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{}
+	res := mustFix(t, s.Instance, nil, Options{Trace: trace})
+	assertSolved(t, res)
+	for i, step := range trace.Steps {
+		if step.Rank != 3 {
+			t.Fatalf("step %d rank %d", i, step.Rank)
+		}
+		// Lemma 3.2: the new clique products dominate Inc * old products.
+		for j := range step.Events {
+			want := step.Incs[j] * step.Before[j]
+			if step.After[j] < want-1e-6 {
+				t.Fatalf("step %d event %d: after %v < Inc*before %v (P* update wrong)",
+					i, j, step.After[j], want)
+			}
+		}
+		// And the expectation identity: the Inc of the chosen value must
+		// be finite and non-negative.
+		for _, inc := range step.Incs {
+			if inc < 0 || math.IsInf(inc, 0) || math.IsNaN(inc) {
+				t.Fatalf("step %d: bad Inc %v", i, inc)
+			}
+		}
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(4), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{}
+	if _, err := FixSequential(s.Instance, nil, Options{Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := trace.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+s.Instance.NumVars() {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+s.Instance.NumVars())
+	}
+	if !strings.HasPrefix(lines[0], "index,var,rank,value") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], ";") {
+		t.Fatalf("expected ';'-joined lists in %q", lines[1])
+	}
+}
+
+func TestNoTraceNoOverhead(t *testing.T) {
+	// Without a trace the fixer must not allocate step records.
+	s, err := apps.NewSinkless(graph.Cycle(6), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustFix(t, s.Instance, nil, Options{})
+	assertSolved(t, res)
+}

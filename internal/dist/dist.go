@@ -1,0 +1,186 @@
+// Package dist implements finite-support discrete probability distributions.
+//
+// Every random variable of an LLL instance carries one Distribution: a list
+// of values (identified by index 0..k-1) with strictly positive probabilities
+// summing to one. The package also provides product-space enumeration, which
+// the exact probability engine in internal/model uses to compute conditional
+// probabilities of bad events.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+)
+
+// SumTolerance is the absolute slack allowed when validating that the
+// probabilities of a distribution sum to one.
+const SumTolerance = 1e-9
+
+var (
+	// ErrEmpty indicates a distribution with no support.
+	ErrEmpty = errors.New("dist: empty support")
+	// ErrNegativeProb indicates a non-positive probability in the support.
+	ErrNegativeProb = errors.New("dist: probabilities must be strictly positive")
+	// ErrSum indicates probabilities that do not sum to one.
+	ErrSum = errors.New("dist: probabilities do not sum to 1")
+)
+
+// Distribution is a finite discrete distribution over value indices
+// 0..Size()-1. Instances are immutable after construction.
+type Distribution struct {
+	probs []float64
+	cum   []float64 // cumulative sums for sampling
+}
+
+// New returns a distribution with the given probabilities, validating that
+// all are strictly positive and sum to one within SumTolerance.
+func New(probs []float64) (*Distribution, error) {
+	if len(probs) == 0 {
+		return nil, ErrEmpty
+	}
+	sum := 0.0
+	for i, p := range probs {
+		if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("%w: probs[%d] = %v", ErrNegativeProb, i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > SumTolerance {
+		return nil, fmt.Errorf("%w: sum = %v", ErrSum, sum)
+	}
+	d := &Distribution{
+		probs: make([]float64, len(probs)),
+		cum:   make([]float64, len(probs)),
+	}
+	copy(d.probs, probs)
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		d.cum[i] = acc
+	}
+	d.cum[len(probs)-1] = 1 // eliminate rounding drift at the top
+	return d, nil
+}
+
+// MustNew is New but panics on error. Intended for literals in tests and
+// generators where the input is statically valid.
+func MustNew(probs []float64) *Distribution {
+	d, err := New(probs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Uniform returns the uniform distribution over k values.
+func Uniform(k int) *Distribution {
+	if k <= 0 {
+		panic("dist: Uniform needs k > 0")
+	}
+	probs := make([]float64, k)
+	for i := range probs {
+		probs[i] = 1.0 / float64(k)
+	}
+	return MustNew(probs)
+}
+
+// Bernoulli returns a two-valued distribution with Pr[value 1] = p.
+func Bernoulli(p float64) (*Distribution, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("dist: Bernoulli parameter %v outside (0,1)", p)
+	}
+	return New([]float64{1 - p, p})
+}
+
+// Size returns the number of values in the support.
+func (d *Distribution) Size() int { return len(d.probs) }
+
+// Prob returns the probability of value index i.
+func (d *Distribution) Prob(i int) float64 { return d.probs[i] }
+
+// Probs returns a copy of the probability vector.
+func (d *Distribution) Probs() []float64 {
+	out := make([]float64, len(d.probs))
+	copy(out, d.probs)
+	return out
+}
+
+// Sample draws a value index using r.
+func (d *Distribution) Sample(r *prng.Rand) int {
+	u := r.Float64()
+	// Linear scan is fine: supports are tiny (2..27 in all our workloads).
+	for i, c := range d.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(d.cum) - 1
+}
+
+// Entropy returns the Shannon entropy in bits.
+func (d *Distribution) Entropy() float64 {
+	h := 0.0
+	for _, p := range d.probs {
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// MaxProb returns the largest probability in the support.
+func (d *Distribution) MaxProb() float64 {
+	m := 0.0
+	for _, p := range d.probs {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// MinProb returns the smallest probability in the support.
+func (d *Distribution) MinProb() float64 {
+	m := math.Inf(1)
+	for _, p := range d.probs {
+		if p < m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Enumerate calls fn once for every joint assignment of the given
+// distributions, passing the value-index tuple and its joint probability.
+// The tuple slice is reused between calls; fn must not retain it.
+// Enumerating zero distributions calls fn once with an empty tuple and
+// probability 1 (the empty product).
+func Enumerate(ds []*Distribution, fn func(tuple []int, p float64)) {
+	tuple := make([]int, len(ds))
+	var rec func(i int, p float64)
+	rec = func(i int, p float64) {
+		if i == len(ds) {
+			fn(tuple, p)
+			return
+		}
+		for v := 0; v < ds[i].Size(); v++ {
+			tuple[i] = v
+			rec(i+1, p*ds[i].Prob(v))
+		}
+	}
+	rec(0, 1)
+}
+
+// JointSize returns the number of assignments Enumerate would visit, or
+// math.MaxInt if the product overflows.
+func JointSize(ds []*Distribution) int {
+	n := 1
+	for _, d := range ds {
+		if n > math.MaxInt/d.Size() {
+			return math.MaxInt
+		}
+		n *= d.Size()
+	}
+	return n
+}

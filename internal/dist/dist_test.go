@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestNewValidates(t *testing.T) {
+	tests := []struct {
+		name    string
+		probs   []float64
+		wantErr error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"negative", []float64{1.5, -0.5}, ErrNegativeProb},
+		{"zero entry", []float64{1, 0}, ErrNegativeProb},
+		{"nan", []float64{math.NaN(), 1}, ErrNegativeProb},
+		{"bad sum", []float64{0.5, 0.4}, ErrSum},
+		{"valid", []float64{0.25, 0.75}, nil},
+		{"valid within tolerance", []float64{0.5, 0.5 + 1e-12}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.probs)
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("New(%v) error = %v, want %v", tt.probs, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestUniform(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 10, 27} {
+		d := Uniform(k)
+		if d.Size() != k {
+			t.Fatalf("Uniform(%d).Size() = %d", k, d.Size())
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(d.Prob(i)-1.0/float64(k)) > 1e-12 {
+				t.Fatalf("Uniform(%d).Prob(%d) = %v", k, i, d.Prob(i))
+			}
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	d, err := Bernoulli(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Prob(1); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("Prob(1) = %v, want 0.3", got)
+	}
+	if _, err := Bernoulli(0); err == nil {
+		t.Fatal("Bernoulli(0) should fail")
+	}
+	if _, err := Bernoulli(1); err == nil {
+		t.Fatal("Bernoulli(1) should fail")
+	}
+}
+
+func TestProbsReturnsCopy(t *testing.T) {
+	d := Uniform(3)
+	p := d.Probs()
+	p[0] = 99
+	if d.Prob(0) == 99 {
+		t.Fatal("Probs leaked internal slice")
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d := MustNew([]float64{0.1, 0.2, 0.7})
+	r := prng.New(5)
+	const n = 300000
+	counts := make([]int, d.Size())
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	for i := 0; i < d.Size(); i++ {
+		got := float64(counts[i]) / n
+		if math.Abs(got-d.Prob(i)) > 0.005 {
+			t.Fatalf("empirical Prob(%d) = %v, want %v", i, got, d.Prob(i))
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Uniform(2).Entropy(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("H(uniform 2) = %v, want 1", got)
+	}
+	if got := Uniform(8).Entropy(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("H(uniform 8) = %v, want 3", got)
+	}
+	skew := MustNew([]float64{0.99, 0.01})
+	if skew.Entropy() >= 1 {
+		t.Fatalf("skewed entropy %v should be < 1", skew.Entropy())
+	}
+}
+
+func TestMinMaxProb(t *testing.T) {
+	d := MustNew([]float64{0.1, 0.6, 0.3})
+	if d.MaxProb() != 0.6 {
+		t.Fatalf("MaxProb = %v", d.MaxProb())
+	}
+	if d.MinProb() != 0.1 {
+		t.Fatalf("MinProb = %v", d.MinProb())
+	}
+}
+
+func TestEnumerateProbabilitiesSumToOne(t *testing.T) {
+	ds := []*Distribution{
+		Uniform(2),
+		MustNew([]float64{0.25, 0.25, 0.5}),
+		Uniform(4),
+	}
+	sum := 0.0
+	count := 0
+	Enumerate(ds, func(tuple []int, p float64) {
+		sum += p
+		count++
+	})
+	if count != 2*3*4 {
+		t.Fatalf("enumerated %d tuples, want 24", count)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("joint probabilities sum to %v", sum)
+	}
+}
+
+func TestEnumerateEmpty(t *testing.T) {
+	calls := 0
+	Enumerate(nil, func(tuple []int, p float64) {
+		calls++
+		if len(tuple) != 0 || p != 1 {
+			t.Fatalf("empty enumeration gave tuple=%v p=%v", tuple, p)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("empty enumeration called fn %d times", calls)
+	}
+}
+
+func TestEnumerateTupleProbability(t *testing.T) {
+	a := MustNew([]float64{0.3, 0.7})
+	b := MustNew([]float64{0.4, 0.6})
+	want := map[[2]int]float64{
+		{0, 0}: 0.12, {0, 1}: 0.18, {1, 0}: 0.28, {1, 1}: 0.42,
+	}
+	Enumerate([]*Distribution{a, b}, func(tuple []int, p float64) {
+		key := [2]int{tuple[0], tuple[1]}
+		if math.Abs(p-want[key]) > 1e-12 {
+			t.Fatalf("tuple %v: p = %v, want %v", tuple, p, want[key])
+		}
+	})
+}
+
+func TestJointSize(t *testing.T) {
+	if got := JointSize(nil); got != 1 {
+		t.Fatalf("JointSize(nil) = %d", got)
+	}
+	ds := []*Distribution{Uniform(3), Uniform(5), Uniform(2)}
+	if got := JointSize(ds); got != 30 {
+		t.Fatalf("JointSize = %d, want 30", got)
+	}
+	// Overflow: 2^63 values.
+	big := make([]*Distribution, 70)
+	for i := range big {
+		big[i] = Uniform(2)
+	}
+	if got := JointSize(big); got != math.MaxInt {
+		t.Fatalf("JointSize overflow = %d, want MaxInt", got)
+	}
+}
+
+func TestQuickUniformEntropyIsLogK(t *testing.T) {
+	f := func(k uint8) bool {
+		m := int(k%30) + 1
+		return math.Abs(Uniform(m).Entropy()-math.Log2(float64(m))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizedVectorsValidate(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vals := make([]float64, 0, len(raw))
+		sum := 0.0
+		for _, v := range raw {
+			x := float64(v) + 1 // strictly positive
+			vals = append(vals, x)
+			sum += x
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		for i := range vals {
+			vals[i] /= sum
+		}
+		_, err := New(vals)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := Uniform(27)
+	r := prng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(r)
+	}
+}
+
+func BenchmarkEnumerate6x3(b *testing.B) {
+	ds := make([]*Distribution, 6)
+	for i := range ds {
+		ds[i] = Uniform(3)
+	}
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		Enumerate(ds, func(_ []int, p float64) { sum += p })
+	}
+}

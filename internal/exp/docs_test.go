@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDocumentationListsEveryExperiment guards the documentation against
+// drifting from the harness: every experiment ID produced by All must be
+// mentioned in DESIGN.md's experiment index and in EXPERIMENTS.md.
+func TestDocumentationListsEveryExperiment(t *testing.T) {
+	ids := []string{"F1", "F2", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11"}
+	for _, file := range []string{"../../DESIGN.md", "../../EXPERIMENTS.md"} {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		text := string(data)
+		for _, id := range ids {
+			if !strings.Contains(text, id) {
+				t.Errorf("%s does not mention experiment %s", file, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// small shrinks experiments for the unit-test suite.
+var small = Sizes{Scale: 0.5, Trials: 3}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "X0",
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"col", "value"},
+	}
+	tbl.AddRow("pi-ish", 3.14159)
+	tbl.AddRow("flag", true)
+	tbl.AddRow("count", 42)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"=== X0: demo ===", "a note", "col", "3.142", "yes", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF1Surface(t *testing.T) {
+	tbl, err := F1Surface(1.0, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// First cell of the first data row is a=0.00; f(0,0)=4.
+	if tbl.Rows[0][1] != "4.000" {
+		t.Fatalf("f(0,0) cell = %q, want 4.000", tbl.Rows[0][1])
+	}
+	if _, err := F1Surface(-1, 10, 1); err == nil {
+		t.Fatal("negative step accepted")
+	}
+}
+
+func TestF2Witness(t *testing.T) {
+	tbl, err := F2Witness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "yes" {
+			t.Fatalf("constraint row failed: %v", row)
+		}
+	}
+}
+
+func TestT1(t *testing.T) {
+	tbl, err := T1Rank2(1, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("only %d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "0" {
+			t.Fatalf("violations in row %v", row)
+		}
+	}
+}
+
+func TestT2(t *testing.T) {
+	tbl, err := T2DistributedRank2(1, Sizes{Scale: 0.25, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 6 {
+		t.Fatalf("only %d rows", len(tbl.Rows))
+	}
+}
+
+func TestT3(t *testing.T) {
+	tbl, err := T3Rank3(1, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[6] != "0" || row[7] != "0" {
+			t.Fatalf("violations or fallbacks in row %v", row)
+		}
+	}
+}
+
+func TestT4(t *testing.T) {
+	if _, err := T4DistributedRank3(1, Sizes{Scale: 0.5, Trials: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestT5ShowsSharpThreshold(t *testing.T) {
+	tbl, err := T5Threshold(1, Sizes{Scale: 0.5, Trials: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("want 8 rows (4 slack + 4 biased), got %d", len(tbl.Rows))
+	}
+	// Below the threshold: zero violations in both strategies, in both
+	// families (rows 0-2 slack, rows 4-6 biased).
+	for _, i := range []int{0, 1, 2, 4, 5, 6} {
+		row := tbl.Rows[i]
+		if row[2] != "0" || row[3] != "0" {
+			t.Fatalf("sub-threshold violations: %v", row)
+		}
+	}
+	// At the threshold (slack family, margin 1) the adversarial strategy
+	// must fail: on an even cycle with natural order it builds a sink.
+	if tbl.Rows[3][3] == "0" {
+		t.Fatalf("adversarial strategy did not fail at the slack threshold: %v", tbl.Rows[3])
+	}
+}
+
+func TestT6(t *testing.T) {
+	tbl, err := T6MoserTardos(1, Sizes{Scale: 0.5, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[6] != "0" {
+			t.Fatalf("deterministic fixer violated events: %v", row)
+		}
+		if row[5] != "yes" {
+			t.Fatalf("distributed MT did not converge: %v", row)
+		}
+	}
+}
+
+func TestT7(t *testing.T) {
+	tbl, err := T7Applications(1, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 application rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[6] != "yes" || row[7] != "yes" || row[8] != "yes" {
+			t.Fatalf("application failed: %v", row)
+		}
+	}
+}
+
+func TestT8(t *testing.T) {
+	tbl, err := T8Ablations(1, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 24 {
+		t.Fatalf("want 24 ablation rows (2 instances x 3 strategies x 4 orders), got %d", len(tbl.Rows))
+	}
+}
+
+func TestT9(t *testing.T) {
+	tbl, err := T9Conjecture(1, Sizes{Scale: 0.6, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("want 7 rows (validation + 3 workloads x seq+dist), got %d", len(tbl.Rows))
+	}
+}
+
+func TestT10(t *testing.T) {
+	tbl, err := T10Spectrum(1, Sizes{Scale: 0.6, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("want 6 exponent rows, got %d", len(tbl.Rows))
+	}
+	// The guarantee columns must flip exactly once along the sweep.
+	sawNo, sawYes := false, false
+	for _, row := range tbl.Rows {
+		if row[4] == "yes" {
+			sawYes = true
+			if row[6] != "0" {
+				t.Fatalf("violations under guarantee: %v", row)
+			}
+		} else {
+			sawNo = true
+			if sawYes {
+				t.Fatalf("guarantee column not monotone: %v", tbl.Rows)
+			}
+		}
+	}
+	if !sawNo || !sawYes {
+		t.Fatalf("sweep did not cross the threshold")
+	}
+}
+
+func TestT11(t *testing.T) {
+	// Scale < 1 skips the (slower) radius-3 decisions.
+	tbl, err := T11LowerBound(1, Sizes{Scale: 0.5, Trials: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("want 7 probe rows, got %d", len(tbl.Rows))
+	}
+	solvableCount := 0
+	for _, row := range tbl.Rows {
+		if row[4] == "yes" {
+			solvableCount++
+		}
+	}
+	if solvableCount != 2 {
+		t.Fatalf("want exactly 2 solvable rows (m = 2t+3), got %d", solvableCount)
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in short mode")
+	}
+	tables, err := All(1, Sizes{Scale: 0.4, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 13 {
+		t.Fatalf("want 13 tables, got %d", len(tables))
+	}
+	wantIDs := []string{"F1", "F2", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11"}
+	for i, tbl := range tables {
+		if tbl.ID != wantIDs[i] {
+			t.Fatalf("table %d has ID %s, want %s", i, tbl.ID, wantIDs[i])
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		ID:     "X1",
+		Title:  "csv demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("plain", 1)
+	tbl.AddRow("with, comma", 2)
+	tbl.AddRow(`with "quote"`, 3)
+	var sb strings.Builder
+	if err := tbl.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `"with, comma",2` {
+		t.Fatalf("comma row = %q", lines[2])
+	}
+	if lines[3] != `"with ""quote""",3` {
+		t.Fatalf("quote row = %q", lines[3])
+	}
+}

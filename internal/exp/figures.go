@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+	"repro/internal/srep"
+)
+
+// F1Surface regenerates Figure 1: the boundary surface of the set S_rep of
+// representable triples. The table shows f(a, b) on a coarse grid (the
+// shape plotted in the paper) and verifies the figure's caption claim —
+// incurvedness — on random chords between points outside S_rep.
+func F1Surface(step float64, chords int, seed uint64) (*Table, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("exp: step must be positive, got %v", step)
+	}
+	t := &Table{
+		ID:    "F1",
+		Title: "Surface of S_rep: c = f(a,b) on {a,b >= 0, a+b <= 4} (Figure 1)",
+		Note:  "Cells show f(a,b); '-' marks points outside the domain. The caption's incurvedness claim is verified on random chords below.",
+	}
+	var axis []float64
+	for a := 0.0; a <= 4+1e-9; a += step {
+		axis = append(axis, a)
+	}
+	t.Header = append(t.Header, "a\\b")
+	for _, b := range axis {
+		t.Header = append(t.Header, fmt.Sprintf("%.2f", b))
+	}
+	for _, a := range axis {
+		row := []any{fmt.Sprintf("%.2f", a)}
+		for _, b := range axis {
+			if a+b > 4+1e-9 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", srep.F(a, b)))
+			}
+		}
+		t.AddRow(row...)
+	}
+
+	// Incurvedness verification (Definition 3.4 / Lemma 3.7).
+	r := prng.New(seed)
+	tested, violations := 0, 0
+	for tested < chords {
+		s := srep.Triple{A: r.Float64() * 5, B: r.Float64() * 5, C: r.Float64() * 5}
+		o := srep.Triple{A: r.Float64() * 5, B: r.Float64() * 5, C: r.Float64() * 5}
+		if s.In(srep.DefaultTol) || o.In(srep.DefaultTol) {
+			continue
+		}
+		tested++
+		if srep.ChordViolation(s, o, r.Float64(), srep.DefaultTol) {
+			violations++
+		}
+	}
+	t.AddRow("chords", fmt.Sprintf("tested=%d", tested), fmt.Sprintf("violations=%d", violations))
+	if violations > 0 {
+		return t, fmt.Errorf("exp: F1: %d incurvedness violations", violations)
+	}
+	return t, nil
+}
+
+// F2Witness regenerates Figure 2: the explicit representable triple
+// (1/4, 3/2, 1/10) with a full witness decomposition and all Definition 3.3
+// constraints checked.
+func F2Witness() (*Table, error) {
+	a, b, c := 0.25, 1.5, 0.1
+	w, err := srep.Decompose(a, b, c)
+	if err != nil {
+		return nil, fmt.Errorf("exp: F2: %w", err)
+	}
+	t := &Table{
+		ID:     "F2",
+		Title:  "Witness for the representable triple (1/4, 3/2, 1/10) (Figure 2)",
+		Note:   "All six values must lie in [0,2], the three edge sums must be <= 2 and the products must equal (a, b, c).",
+		Header: []string{"quantity", "value", "constraint", "holds"},
+	}
+	wa, wb, wc := w.Triple()
+	t.AddRow("a1 (u on {u,v})", w.A1, "in [0,2]", w.A1 >= 0 && w.A1 <= 2)
+	t.AddRow("a2 (u on {u,w})", w.A2, "in [0,2]", w.A2 >= 0 && w.A2 <= 2)
+	t.AddRow("b1 (v on {u,v})", w.B1, "in [0,2]", w.B1 >= 0 && w.B1 <= 2)
+	t.AddRow("b3 (v on {v,w})", w.B3, "in [0,2]", w.B3 >= 0 && w.B3 <= 2)
+	t.AddRow("c2 (w on {u,w})", w.C2, "in [0,2]", w.C2 >= 0 && w.C2 <= 2)
+	t.AddRow("c3 (w on {v,w})", w.C3, "in [0,2]", w.C3 >= 0 && w.C3 <= 2)
+	t.AddRow("a1+b1", w.A1+w.B1, "<= 2", w.A1+w.B1 <= 2+1e-12)
+	t.AddRow("a2+c2", w.A2+w.C2, "<= 2", w.A2+w.C2 <= 2+1e-12)
+	t.AddRow("b3+c3", w.B3+w.C3, "<= 2", w.B3+w.C3 <= 2+1e-12)
+	t.AddRow("a1*a2", wa, "= 1/4", abs(wa-a) < 1e-9)
+	t.AddRow("b1*b3", wb, "= 3/2", abs(wb-b) < 1e-9)
+	t.AddRow("c2*c3", wc, "= 1/10", abs(wc-c) < 1e-9)
+	if !w.Valid(1e-12) || !w.Realizes(a, b, c, 1e-9) {
+		return t, fmt.Errorf("exp: F2: witness invalid")
+	}
+	return t, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

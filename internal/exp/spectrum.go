@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/mt"
+	"repro/internal/prng"
+)
+
+// T10Spectrum explores the question the paper's introduction poses for
+// future work: "What bounds can we achieve for LLL criteria between
+// exponential and polynomial?" It sweeps the per-event failure probability
+// p of degree-d sinkless-orientation-with-alarm instances through the
+// polynomial family p = d^-c and reports, for every exponent c:
+//
+//   - the exponential margin p·2^d (the paper's guarantee needs < 1),
+//   - the symmetric Moser-Tardos value e·p·(d+1) (MT's guarantee needs < 1),
+//   - what the deterministic fixer actually does without a guarantee, and
+//   - the randomized cost.
+//
+// The table makes the regimes visible: polynomial criteria with small c sit
+// far above the exponential threshold (deterministic guarantee gone, MT
+// fine), and only once d^-c drops below 2^-d — i.e. c > d/log₂d — does the
+// paper's deterministic regime begin.
+func T10Spectrum(seed uint64, sz Sizes) (*Table, error) {
+	t := &Table{
+		ID:    "T10",
+		Title: "Criterion spectrum - polynomial p = d^-c vs the exponential threshold (d = 6)",
+		Note: "det-guarantee requires p*2^d < 1 (c > d/log2 d ~ 2.32 for d = 6); MT-guarantee requires " +
+			"e*p*(d+1) < 1 (c >= 2 here). Between the two lies the regime where only the paper's " +
+			"deterministic result applies; below both, only heuristics. 'det viol' is what the greedy " +
+			"fixer does WITHOUT a guarantee; 'MT resamplings' is the randomized cost (avg).",
+		Header: []string{"c", "p = d^-c", "p*2^d", "e*p*(d+1)", "det guarantee", "MT guarantee", "det viol", "MT resamplings"},
+	}
+	const d = 6
+	r := prng.New(seed)
+	n := sz.scale(24)
+	if n < d+2 {
+		n = d + 2
+	}
+	if n*d%2 != 0 {
+		n++
+	}
+	g, err := graph.RandomRegular(n, d, r)
+	if err != nil {
+		return nil, err
+	}
+	trials := sz.trials(10)
+	base := math.Pow(2, -float64(d))
+	for _, c := range []float64{1, 1.5, 2, 2.32, 2.5, 3} {
+		p := math.Pow(float64(d), -c)
+		expMargin := p * math.Pow(2, float64(d))
+		mtValue := math.E * p * float64(d+1)
+
+		var inst *appInstance
+		switch {
+		case p > base:
+			s, err := apps.NewNoisySinklessWithP(g, p)
+			if err != nil {
+				return nil, err
+			}
+			inst = &appInstance{inst: s.Instance}
+		default:
+			// Below the threshold: realize p with the slack relaxation,
+			// margin = p·2^d.
+			s, err := apps.NewSinklessWithMargin(g, expMargin)
+			if err != nil {
+				return nil, err
+			}
+			inst = &appInstance{inst: s.Instance}
+		}
+		if got := inst.inst.P(); math.Abs(got-p) > 1e-9 {
+			return nil, fmt.Errorf("exp: T10 c=%v: realized p=%v, want %v", c, got, p)
+		}
+
+		det, err := core.FixSequential(inst.inst, nil, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		resamples := 0
+		for i := 0; i < trials; i++ {
+			res, err := mt.Sequential(inst.inst, r.Split(), 0)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Satisfied {
+				return nil, fmt.Errorf("exp: T10 c=%v: MT failed", c)
+			}
+			resamples += res.Resamplings
+		}
+		t.AddRow(c, p, expMargin, mtValue,
+			expMargin < 1, mtValue < 1,
+			det.Stats.FinalViolatedEvents,
+			float64(resamples)/float64(trials))
+		if expMargin < 1 && det.Stats.FinalViolatedEvents != 0 {
+			return t, fmt.Errorf("exp: T10 c=%v: violations below the threshold", c)
+		}
+	}
+	return t, nil
+}
+
+type appInstance struct {
+	inst *model.Instance
+}

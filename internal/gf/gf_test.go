@@ -1,0 +1,166 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 97, 101, 7919}
+	composites := []int{-3, 0, 1, 4, 6, 9, 15, 91, 7917}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {14, 17}, {7908, 7919},
+	}
+	for _, tt := range tests {
+		if got := NextPrime(tt.in); got != tt.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNewRejectsComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(6) should panic")
+		}
+	}()
+	New(6)
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	f := New(101)
+	assoc := func(a, b, c int16) bool {
+		x, y, z := f.Norm(int(a)), f.Norm(int(b)), f.Norm(int(c))
+		return f.Mul(f.Mul(x, y), z) == f.Mul(x, f.Mul(y, z)) &&
+			f.Add(f.Add(x, y), z) == f.Add(x, f.Add(y, z))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Fatal(err)
+	}
+	distrib := func(a, b, c int16) bool {
+		x, y, z := f.Norm(int(a)), f.Norm(int(b)), f.Norm(int(c))
+		return f.Mul(x, f.Add(y, z)) == f.Add(f.Mul(x, y), f.Mul(x, z))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Fatal(err)
+	}
+	subInverse := func(a, b int16) bool {
+		x, y := f.Norm(int(a)), f.Norm(int(b))
+		return f.Add(f.Sub(x, y), y) == x
+	}
+	if err := quick.Check(subInverse, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7, 11, 13, 101} {
+		f := New(q)
+		for a := 1; a < q; a++ {
+			inv := f.Inv(a)
+			if f.Mul(a, inv) != 1 {
+				t.Fatalf("GF(%d): %d * %d != 1", q, a, inv)
+			}
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) should panic")
+		}
+	}()
+	New(7).Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	f := New(13)
+	if got := f.Pow(2, 0); got != 1 {
+		t.Fatalf("2^0 = %d", got)
+	}
+	if got := f.Pow(2, 10); got != 1024%13 {
+		t.Fatalf("2^10 = %d, want %d", got, 1024%13)
+	}
+	// Fermat's little theorem.
+	for a := 1; a < 13; a++ {
+		if f.Pow(a, 12) != 1 {
+			t.Fatalf("%d^12 != 1 mod 13", a)
+		}
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	f := New(17)
+	// p(x) = 3 + 2x + x^2 at x = 5: 3 + 10 + 25 = 38 = 4 mod 17.
+	if got := f.Eval([]int{3, 2, 1}, 5); got != 4 {
+		t.Fatalf("Eval = %d, want 4", got)
+	}
+	// Empty polynomial is zero.
+	if got := f.Eval(nil, 9); got != 0 {
+		t.Fatalf("Eval(nil) = %d", got)
+	}
+}
+
+func TestDigitsRoundTrip(t *testing.T) {
+	f := func(v uint16, qRaw uint8) bool {
+		q := int(qRaw%29) + 2
+		t := 1
+		for pow := q; pow <= int(v); pow *= q {
+			t++
+		}
+		digits := Digits(int(v), q, t)
+		back := 0
+		mul := 1
+		for _, d := range digits {
+			if d < 0 || d >= q {
+				return false
+			}
+			back += d * mul
+			mul *= q
+		}
+		return back == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctPolynomialsAgreeRarely(t *testing.T) {
+	// The property Linial's reduction depends on: two distinct degree-<t
+	// polynomials agree on at most t-1 points.
+	f := New(11)
+	tDeg := 3
+	coeffsA := []int{1, 2, 3}
+	coeffsB := []int{1, 5, 3}
+	agree := 0
+	for x := 0; x < f.Q(); x++ {
+		if f.Eval(coeffsA, x) == f.Eval(coeffsB, x) {
+			agree++
+		}
+	}
+	if agree > tDeg-1 {
+		t.Fatalf("distinct polynomials agree on %d points, max %d", agree, tDeg-1)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	f := New(101)
+	coeffs := []int{3, 1, 4, 1, 5}
+	for i := 0; i < b.N; i++ {
+		_ = f.Eval(coeffs, i%101)
+	}
+}

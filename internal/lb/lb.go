@@ -1,0 +1,217 @@
+// Package lb computes FINITE LOWER-BOUND CERTIFICATES for the threshold
+// problem: it decides, exactly, whether any deterministic radius-t
+// "edge-view" algorithm solves sinkless orientation on all small cycles.
+//
+// A radius-t edge-view algorithm orients every edge of a cycle as a
+// function of the 2t+2 identifiers within distance t of the edge — the
+// information both endpoints jointly hold after t LOCAL rounds. Whether
+// such a function exists for ID space {0..m-1} is decidable: one boolean
+// variable per ordered (2t+2)-tuple of distinct IDs ("edge points at its
+// right endpoint"), a consistency constraint per tuple/reversal pair, and,
+// for every (2t+3)-window, a 2-clause forbidding a sink at the window's
+// centre. The resulting formula is pure 2-SAT, so internal/twosat decides
+// it exactly:
+//
+//   - UNSAT: a machine-checked certificate that NO radius-t algorithm
+//     solves sinkless orientation on all cycles of length 2t+3..m with
+//     distinct IDs from [m] — the finite, checkable face of the
+//     lower-bound side of the paper's threshold (the problem sits exactly
+//     at p = 2^-d).
+//   - SAT: an explicit orientation rule, which the tests validate by
+//     simulation on random cycles.
+//
+// The below-threshold contrast is stark: the slack-relaxed variant (edges
+// may point at nobody) is solvable by the radius-0 rule "orient nothing".
+package lb
+
+import (
+	"fmt"
+
+	"repro/internal/twosat"
+)
+
+// Certificate is the outcome of one exact decision.
+type Certificate struct {
+	// Radius is t: the edge sees the 2t+2 IDs within distance t.
+	Radius int
+	// IDSpace is m: identifiers come from {0..m-1}.
+	IDSpace int
+	// Vars and Clauses are the 2-SAT instance dimensions.
+	Vars, Clauses int
+	// Solvable reports whether an orientation rule exists.
+	Solvable bool
+
+	viewLen int
+	idSpace int
+	rule    map[uint64]bool // view key -> oriented toward right endpoint
+}
+
+// Decide builds and solves the 2-SAT instance for the given radius and ID
+// space. It requires m ≥ 2t+3 (otherwise no window fits).
+func Decide(radius, m int) (*Certificate, error) {
+	if radius < 1 {
+		return nil, fmt.Errorf("lb: radius %d < 1", radius)
+	}
+	viewLen := 2*radius + 2
+	windowLen := viewLen + 1
+	if m < windowLen {
+		return nil, fmt.Errorf("lb: ID space %d too small for windows of %d", m, windowLen)
+	}
+	// Bound the number of ordered distinct tuples (the variable count)
+	// BEFORE enumerating; overflow-safe running product.
+	tupleCount := 1
+	for i := 0; i < viewLen; i++ {
+		tupleCount *= m - i
+		if tupleCount > 1<<22 {
+			return nil, fmt.Errorf("lb: instance too large (m=%d, view=%d)", m, viewLen)
+		}
+	}
+
+	// Enumerate ordered distinct tuples and assign variable indices.
+	varOf := make(map[uint64]int)
+	var enumerate func(prefix []int, used []bool)
+	var tuples [][]int
+	enumerate = func(prefix []int, used []bool) {
+		if len(prefix) == viewLen {
+			key := encode(prefix, m)
+			varOf[key] = len(tuples)
+			tuples = append(tuples, append([]int(nil), prefix...))
+			return
+		}
+		for id := 0; id < m; id++ {
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			enumerate(append(prefix, id), used)
+			used[id] = false
+		}
+	}
+	enumerate(make([]int, 0, viewLen), make([]bool, m))
+
+	s := twosat.New(len(tuples))
+	clauses := 0
+	// Consistency: the reversed view describes the same edge from the other
+	// side, so its orientation bit must be the complement.
+	for idx, tup := range tuples {
+		revKey := encode(reverse(tup), m)
+		ridx := varOf[revKey]
+		if idx < ridx {
+			s.AddXOR(twosat.Pos(idx), twosat.Pos(ridx))
+			clauses += 2
+		}
+	}
+	// No-sink windows: for every distinct (2t+3)-tuple, the centre node
+	// must not receive both incident edges.
+	window := make([]int, 0, windowLen)
+	used := make([]bool, m)
+	var walk func()
+	walk = func() {
+		if len(window) == windowLen {
+			left := encode(window[:viewLen], m)
+			right := encode(window[1:], m)
+			// Sink at centre: left edge toward right endpoint (true) AND
+			// right edge toward left endpoint (false). Forbid:
+			// (¬x_left ∨ x_right).
+			s.AddClause(twosat.Neg(varOf[left]), twosat.Pos(varOf[right]))
+			clauses++
+			return
+		}
+		for id := 0; id < m; id++ {
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			window = append(window, id)
+			walk()
+			window = window[:len(window)-1]
+			used[id] = false
+		}
+	}
+	walk()
+
+	assignment, sat := s.Solve()
+	cert := &Certificate{
+		Radius:   radius,
+		IDSpace:  m,
+		Vars:     len(tuples),
+		Clauses:  clauses,
+		Solvable: sat,
+		viewLen:  viewLen,
+		idSpace:  m,
+	}
+	if sat {
+		cert.rule = make(map[uint64]bool, len(tuples))
+		for idx, tup := range tuples {
+			cert.rule[encode(tup, m)] = assignment[idx]
+		}
+	}
+	return cert, nil
+}
+
+// Orient applies the extracted rule (Solvable must be true): given the
+// 2t+2-ID view of an edge, it reports whether the edge points at its right
+// endpoint.
+func (c *Certificate) Orient(view []int) (towardRight bool, err error) {
+	if !c.Solvable {
+		return false, fmt.Errorf("lb: certificate is UNSAT; no rule exists")
+	}
+	if len(view) != c.viewLen {
+		return false, fmt.Errorf("lb: view has %d IDs, want %d", len(view), c.viewLen)
+	}
+	v, ok := c.rule[encode(view, c.idSpace)]
+	if !ok {
+		return false, fmt.Errorf("lb: view %v not in rule domain (repeated or out-of-range IDs?)", view)
+	}
+	return v, nil
+}
+
+// CheckCycle simulates the rule on a cycle given by the circular ID
+// sequence ids (all distinct, length ≥ 2t+3) and returns the positions of
+// sink nodes (empty for a correct rule).
+func (c *Certificate) CheckCycle(ids []int) ([]int, error) {
+	n := len(ids)
+	if n < c.viewLen+1 {
+		return nil, fmt.Errorf("lb: cycle of length %d shorter than window %d", n, c.viewLen+1)
+	}
+	// towardNext[i] = true iff edge (i, i+1) points at i+1.
+	towardNext := make([]bool, n)
+	t := c.Radius
+	for i := 0; i < n; i++ {
+		view := make([]int, 0, c.viewLen)
+		for k := -t; k <= t+1; k++ {
+			view = append(view, ids[((i+k)%n+n)%n])
+		}
+		tr, err := c.Orient(view)
+		if err != nil {
+			return nil, err
+		}
+		towardNext[i] = tr
+	}
+	var sinks []int
+	for i := 0; i < n; i++ {
+		// Node i is a sink iff edge (i-1, i) points at i and edge (i, i+1)
+		// points at i.
+		prev := ((i-1)%n + n) % n
+		if towardNext[prev] && !towardNext[i] {
+			sinks = append(sinks, i)
+		}
+	}
+	return sinks, nil
+}
+
+func encode(tup []int, m int) uint64 {
+	key := uint64(0)
+	for _, v := range tup {
+		key = key*uint64(m) + uint64(v)
+	}
+	return key
+}
+
+func reverse(tup []int) []int {
+	out := make([]int, len(tup))
+	for i, v := range tup {
+		out[len(tup)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package lb
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestDecideValidation(t *testing.T) {
+	if _, err := Decide(0, 5); err == nil {
+		t.Fatal("radius 0 accepted")
+	}
+	if _, err := Decide(1, 4); err == nil {
+		t.Fatal("ID space below window accepted")
+	}
+	if _, err := Decide(5, 64); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestRadius1FrontierExact(t *testing.T) {
+	// The exact finite frontier: radius-1 algorithms exist only when the
+	// whole cycle fits in the view window (m = 5); one extra identifier
+	// already kills them. Sinkless orientation on a cycle is equivalent to
+	// picking a globally consistent direction, so this is the expected —
+	// and now machine-checked — answer.
+	c5, err := Decide(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c5.Solvable {
+		t.Fatal("radius 1, m=5 should be solvable (full cycle visible)")
+	}
+	for _, m := range []int{6, 7, 8} {
+		c, err := Decide(1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Solvable {
+			t.Fatalf("radius 1, m=%d should be UNSAT", m)
+		}
+	}
+}
+
+func TestRadius2FrontierExact(t *testing.T) {
+	c7, err := Decide(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c7.Solvable {
+		t.Fatal("radius 2, m=7 should be solvable (full cycle visible)")
+	}
+	c8, err := Decide(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c8.Solvable {
+		t.Fatal("radius 2, m=8 should be UNSAT")
+	}
+}
+
+func TestExtractedRuleAvoidsSinksOnAllCycles(t *testing.T) {
+	// SAT side soundness: the extracted radius-1 rule for m=5 must avoid
+	// sinks on EVERY 5-cycle over the full ID space (all circular
+	// arrangements).
+	c, err := Decide(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{0, 1, 2, 3, 4}
+	var rec func(k int)
+	count := 0
+	rec = func(k int) {
+		if k == len(perm) {
+			sinks, err := c.CheckCycle(perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sinks) != 0 {
+				t.Fatalf("rule leaves sinks %v on cycle %v", sinks, perm)
+			}
+			count++
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	// Fix position 0 (rotation symmetry is irrelevant for the check but
+	// checking all permutations is cheap anyway).
+	rec(1)
+	if count != 24 {
+		t.Fatalf("checked %d arrangements, want 24", count)
+	}
+}
+
+func TestExtractedRadius2RuleOnRandomCycles(t *testing.T) {
+	c, err := Decide(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(3)
+	base := []int{0, 1, 2, 3, 4, 5, 6}
+	for trial := 0; trial < 200; trial++ {
+		ids := append([]int(nil), base...)
+		r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		sinks, err := c.CheckCycle(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sinks) != 0 {
+			t.Fatalf("trial %d: sinks %v on cycle %v", trial, sinks, ids)
+		}
+	}
+}
+
+func TestOrientErrors(t *testing.T) {
+	unsat, err := Decide(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unsat.Orient([]int{0, 1, 2, 3}); err == nil {
+		t.Fatal("Orient on UNSAT certificate accepted")
+	}
+	sat, err := Decide(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sat.Orient([]int{0, 1, 2}); err == nil {
+		t.Fatal("wrong view length accepted")
+	}
+	if _, err := sat.Orient([]int{0, 1, 1, 2}); err == nil {
+		t.Fatal("repeated-ID view accepted")
+	}
+}
+
+func TestRuleConsistencyUnderReversal(t *testing.T) {
+	// The same physical edge seen from both directions must get opposite
+	// "toward right" bits — the XOR constraints in action.
+	c, err := Decide(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := [][]int{{0, 1, 2, 3}, {4, 2, 0, 1}, {3, 0, 4, 1}}
+	for _, v := range views {
+		fw, err := c.Orient(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev := []int{v[3], v[2], v[1], v[0]}
+		bw, err := c.Orient(rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fw == bw {
+			t.Fatalf("view %v and its reversal agree (%v); edge would be bi-oriented", v, fw)
+		}
+	}
+}
+
+func BenchmarkDecideRadius1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Decide(1, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecideRadius2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Decide(2, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

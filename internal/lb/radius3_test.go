@@ -1,0 +1,22 @@
+package lb
+
+import "testing"
+
+// TestRadius3FrontierExact extends the exact frontier to a third radius:
+// the full-cycle window m = 9 is solvable, m = 10 is certified impossible
+// (a 1.8M-variable 2-SAT instance).
+func TestRadius3FrontierExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("radius-3 decision (~6s) skipped in short mode")
+	}
+	for _, m := range []int{9, 10} {
+		c, err := Decide(3, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("radius=3 m=%d vars=%d clauses=%d solvable=%v", m, c.Vars, c.Clauses, c.Solvable)
+		if want := m == 9; c.Solvable != want {
+			t.Fatalf("radius=3 m=%d solvable=%v, want %v", m, c.Solvable, want)
+		}
+	}
+}

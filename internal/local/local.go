@@ -1,0 +1,265 @@
+// Package local implements a synchronous message-passing runtime for the
+// LOCAL model of distributed computing, the model in which the paper's
+// distributed corollaries are stated.
+//
+// The network is an undirected graph; computation proceeds in synchronous
+// rounds. In every round each node may send one message of unbounded size to
+// each neighbor, receive the messages sent to it, and perform unbounded
+// local computation. The complexity measure is the number of rounds.
+//
+// Nodes are driven by user-provided Machines. Each round the runtime calls
+// every still-running machine concurrently (one goroutine per node, joined
+// by a WaitGroup barrier — the "synchronous rounds with goroutines"
+// simulation), then delivers the produced messages along the edges. A
+// machine halts by returning done; the run finishes when every machine has
+// halted. Determinism is guaranteed regardless of goroutine scheduling
+// because machines own disjoint state and message delivery is by index.
+//
+// Identifiers: every node receives a unique ID. By default IDs are a
+// deterministic pseudo-random permutation of a polynomial ID space, matching
+// the standard LOCAL assumption that IDs are arbitrary distinct O(log n)-bit
+// numbers (adversarially chosen, so algorithms must not rely on them being
+// 0..n-1).
+package local
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// Message is an arbitrary value exchanged between neighbors. Messages must
+// be treated as immutable by both sender and receiver: the runtime passes
+// them by reference for efficiency, so mutating a received message is a data
+// race by design. A nil Message means "no message".
+type Message any
+
+// NodeInfo is the static knowledge a node has at wake-up: its own ID and
+// degree, the IDs of its neighbors (indexed by port 0..Degree-1), and the
+// global parameters n and Δ that LOCAL algorithms customarily assume known.
+type NodeInfo struct {
+	// ID is the node's unique identifier.
+	ID uint64
+	// Port i connects to the neighbor with ID NeighborIDs[i].
+	NeighborIDs []uint64
+	// N is the number of nodes in the network.
+	N int
+	// MaxDegree is the maximum degree Δ of the network.
+	MaxDegree int
+}
+
+// Degree returns the number of neighbors.
+func (n *NodeInfo) Degree() int { return len(n.NeighborIDs) }
+
+// Machine is the program run by one node.
+type Machine interface {
+	// Init is called once before the first round.
+	Init(info NodeInfo)
+	// Round is called once per synchronous round with the messages received
+	// from each port (nil for "no message"; indexed like NeighborIDs). It
+	// returns the messages to send per port (nil slice means "send
+	// nothing") and whether the machine halts after this round. A halted
+	// machine is never called again and sends nothing in later rounds.
+	Round(round int, recv []Message) (send []Message, done bool)
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Rounds is the number of synchronous rounds until the last machine
+	// halted.
+	Rounds int
+	// MessagesSent counts all non-nil messages over the whole run.
+	MessagesSent int
+}
+
+// ErrRoundLimit indicates that the round limit was reached before all
+// machines halted.
+var ErrRoundLimit = errors.New("local: round limit exceeded")
+
+// Options configures a run.
+type Options struct {
+	// MaxRounds aborts the run with ErrRoundLimit if some machine is still
+	// running after this many rounds. 0 means the default of 10^6.
+	MaxRounds int
+	// IDSeed seeds the pseudo-random ID assignment. Runs with equal seeds
+	// get equal IDs.
+	IDSeed uint64
+	// SequentialIDs assigns IDs 0..n-1 in node order instead of random
+	// ones. Tests use this for reproducible worst cases.
+	SequentialIDs bool
+	// PresetIDs, if non-nil, assigns IDs[v] to node v verbatim (they must
+	// be distinct). It overrides IDSeed and SequentialIDs. Callers use it
+	// when machines need to be configured with the IDs of specific other
+	// nodes (e.g. an input orientation) before the run starts.
+	PresetIDs []uint64
+}
+
+// IDSpace returns the size of the identifier space used for the random ID
+// assignment of a run on n nodes: the standard LOCAL assumption of
+// polynomially bounded IDs (here n³, floored at 1024). Colour-reduction
+// algorithms use it as the initial palette size.
+func IDSpace(n int) uint64 {
+	space := uint64(n) * uint64(n) * uint64(n)
+	if space < 1024 {
+		space = 1024
+	}
+	return space
+}
+
+// Run executes one machine per node of g until all machines halt.
+// newMachine is called once per node, in node order, to construct the
+// machines.
+func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats, error) {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 1_000_000
+	}
+	n := g.N()
+	ids := assignIDs(n, opts)
+
+	machines := make([]Machine, n)
+	infos := make([]NodeInfo, n)
+	maxDeg := g.MaxDegree()
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		nbrIDs := make([]uint64, len(nbrs))
+		for i, u := range nbrs {
+			nbrIDs[i] = ids[u]
+		}
+		infos[v] = NodeInfo{ID: ids[v], NeighborIDs: nbrIDs, N: n, MaxDegree: maxDeg}
+		machines[v] = newMachine(v)
+		machines[v].Init(infos[v])
+	}
+
+	// reversePort[v][i] is the port on which neighbor i of v sees v.
+	reversePort := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		reversePort[v] = make([]int, len(nbrs))
+		for i, u := range nbrs {
+			reversePort[v][i] = portOf(g, u, v)
+		}
+	}
+
+	inbox := make([][]Message, n)
+	outbox := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, g.Degree(v))
+	}
+	running := make([]bool, n)
+	numRunning := n
+	for v := range running {
+		running[v] = true
+	}
+
+	var stats Stats
+	for round := 1; numRunning > 0; round++ {
+		if round > opts.MaxRounds {
+			return stats, fmt.Errorf("%w: %d rounds, %d machines still running", ErrRoundLimit, opts.MaxRounds, numRunning)
+		}
+		stats.Rounds = round
+
+		// Compute phase: every running machine steps concurrently.
+		doneFlags := make([]bool, n)
+		var wg sync.WaitGroup
+		for v := 0; v < n; v++ {
+			if !running[v] {
+				outbox[v] = nil
+				continue
+			}
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				send, done := machines[v].Round(round, inbox[v])
+				outbox[v] = send
+				doneFlags[v] = done
+			}(v)
+		}
+		wg.Wait()
+
+		// Delivery phase: route outbox messages to neighbor inboxes.
+		for v := 0; v < n; v++ {
+			for i := range inbox[v] {
+				inbox[v][i] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			if outbox[v] == nil {
+				continue
+			}
+			if len(outbox[v]) != g.Degree(v) {
+				return stats, fmt.Errorf("local: node %d sent %d messages, degree is %d", v, len(outbox[v]), g.Degree(v))
+			}
+			nbrs := g.Neighbors(v)
+			for port, msg := range outbox[v] {
+				if msg == nil {
+					continue
+				}
+				stats.MessagesSent++
+				inbox[nbrs[port]][reversePort[v][port]] = msg
+			}
+		}
+		for v := 0; v < n; v++ {
+			if running[v] && doneFlags[v] {
+				running[v] = false
+				numRunning--
+			}
+		}
+	}
+	return stats, nil
+}
+
+// portOf returns the port index under which node u sees node v.
+func portOf(g *graph.Graph, u, v int) int {
+	nbrs := g.Neighbors(u)
+	i := sort.SearchInts(nbrs, v)
+	if i >= len(nbrs) || nbrs[i] != v {
+		panic(fmt.Sprintf("local: %d and %d are not adjacent", u, v))
+	}
+	return i
+}
+
+// assignIDs produces the unique node identifiers for a run.
+func assignIDs(n int, opts Options) []uint64 {
+	ids := make([]uint64, n)
+	if opts.PresetIDs != nil {
+		if len(opts.PresetIDs) != n {
+			panic(fmt.Sprintf("local: %d preset IDs for %d nodes", len(opts.PresetIDs), n))
+		}
+		copy(ids, opts.PresetIDs)
+		seen := make(map[uint64]bool, n)
+		for _, id := range ids {
+			if seen[id] {
+				panic(fmt.Sprintf("local: duplicate preset ID %d", id))
+			}
+			seen[id] = true
+		}
+		return ids
+	}
+	if opts.SequentialIDs {
+		for v := range ids {
+			ids[v] = uint64(v)
+		}
+		return ids
+	}
+	// Random distinct IDs from the space [0, n^3): polynomially bounded, as
+	// the LOCAL model assumes, and adversarially scrambled relative to the
+	// topology.
+	r := prng.New(opts.IDSeed ^ 0x1015_1015_1015_1015)
+	space := IDSpace(n)
+	seen := make(map[uint64]bool, n)
+	for v := 0; v < n; v++ {
+		for {
+			id := r.Uint64() % space
+			if !seen[id] {
+				seen[id] = true
+				ids[v] = id
+				break
+			}
+		}
+	}
+	return ids
+}

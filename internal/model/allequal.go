@@ -1,0 +1,108 @@
+package model
+
+import "repro/internal/dist"
+
+// AllEqual is the second frequently-occurring bad-event family: the event
+// occurs iff every scope variable takes the same value (e.g. "all my
+// U-neighbours got the same colour" in weak splitting). Its conditional
+// probability has the closed form
+//
+//	Pr[E | fixed] = ∏_unfixed Pr[X_i = c]            if some fixed value c
+//	                Σ_c ∏_i Pr[X_i = c]              if nothing is fixed,
+//
+// and 0 as soon as two fixed scope variables differ.
+type AllEqual struct {
+	scope []int
+	dists []*dist.Distribution
+	maxK  int
+}
+
+// NewAllEqual builds an AllEqual event descriptor over the given scope;
+// dists[i] is the distribution of scope variable i.
+func NewAllEqual(scope []int, dists []*dist.Distribution) *AllEqual {
+	a := &AllEqual{
+		scope: append([]int(nil), scope...),
+		dists: append([]*dist.Distribution(nil), dists...),
+	}
+	for _, d := range dists {
+		if d.Size() > a.maxK {
+			a.maxK = d.Size()
+		}
+	}
+	return a
+}
+
+// Bad is the defining predicate, suitable for Event.Bad.
+func (a *AllEqual) Bad(vals []int) bool {
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// CondProb is the closed-form conditional probability, suitable for
+// Event.CondProb.
+func (a *AllEqual) CondProb(vals []int, fixed []bool) float64 {
+	common, haveCommon := 0, false
+	for i := range vals {
+		if !fixed[i] {
+			continue
+		}
+		if haveCommon && vals[i] != common {
+			return 0
+		}
+		common, haveCommon = vals[i], true
+	}
+	if haveCommon {
+		p := 1.0
+		for i, d := range a.dists {
+			if fixed[i] {
+				continue
+			}
+			if common >= d.Size() {
+				return 0 // the common value is outside this variable's range
+			}
+			p *= d.Prob(common)
+		}
+		return p
+	}
+	total := 0.0
+	for c := 0; c < a.maxK; c++ {
+		p := 1.0
+		for _, d := range a.dists {
+			if c >= d.Size() {
+				p = 0
+				break
+			}
+			p *= d.Prob(c)
+		}
+		total += p
+	}
+	return total
+}
+
+// AddAllEqualEvent registers an all-equal event on b and returns its
+// identifier. The event is tagged with an AllEqualSpec so it can be
+// serialized by internal/spec.
+func AddAllEqualEvent(b *Builder, scope []int, dists []*dist.Distribution, name string) int {
+	a := NewAllEqual(scope, dists)
+	id := b.AddEvent(scope, a.Bad, a.CondProb, name)
+	b.events[id].Spec = AllEqualSpec{}
+	return id
+}
+
+// Event specification tags. Events constructed by the helper families carry
+// one of these in Event.Spec, which is what makes an instance serializable
+// by internal/spec (arbitrary Go predicates are not).
+type (
+	// ConjunctionSpec tags a conjunction event: bad iff every scope
+	// variable takes a value in its BadSets entry.
+	ConjunctionSpec struct {
+		BadSets [][]int
+	}
+	// AllEqualSpec tags an all-equal event: bad iff all scope variables
+	// take the same value.
+	AllEqualSpec struct{}
+)

@@ -1,0 +1,83 @@
+package model
+
+import "fmt"
+
+// Assignment is a partial assignment of values to the variables of one
+// instance. Values are identified by their index in the variable's
+// distribution. The zero Assignment is not usable; construct instances with
+// NewAssignment.
+type Assignment struct {
+	values   []int
+	fixed    []bool
+	numFixed int
+}
+
+// NewAssignment returns an empty (nothing fixed) assignment for inst.
+func NewAssignment(inst *Instance) *Assignment {
+	return &Assignment{
+		values: make([]int, inst.NumVars()),
+		fixed:  make([]bool, inst.NumVars()),
+	}
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		values:   make([]int, len(a.values)),
+		fixed:    make([]bool, len(a.fixed)),
+		numFixed: a.numFixed,
+	}
+	copy(c.values, a.values)
+	copy(c.fixed, a.fixed)
+	return c
+}
+
+// Fixed reports whether variable id has been fixed.
+func (a *Assignment) Fixed(id int) bool { return a.fixed[id] }
+
+// Value returns the value index fixed for variable id. It panics if the
+// variable is not fixed — reading an unfixed variable is always a bug.
+func (a *Assignment) Value(id int) int {
+	if !a.fixed[id] {
+		panic(fmt.Sprintf("model: Value of unfixed variable %d", id))
+	}
+	return a.values[id]
+}
+
+// Fix fixes variable id to the given value index. Re-fixing an
+// already-fixed variable panics: the paper's processes never revisit a
+// value, and silently allowing it would hide bugs in the fixers.
+func (a *Assignment) Fix(id, value int) {
+	if a.fixed[id] {
+		panic(fmt.Sprintf("model: variable %d fixed twice", id))
+	}
+	a.fixed[id] = true
+	a.values[id] = value
+	a.numFixed++
+}
+
+// Unfix reverts a Fix. It exists so that randomized baselines
+// (Moser-Tardos) can resample variables; the deterministic fixers never call
+// it.
+func (a *Assignment) Unfix(id int) {
+	if !a.fixed[id] {
+		panic(fmt.Sprintf("model: Unfix of unfixed variable %d", id))
+	}
+	a.fixed[id] = false
+	a.numFixed--
+}
+
+// NumFixed returns the number of fixed variables.
+func (a *Assignment) NumFixed() int { return a.numFixed }
+
+// Complete reports whether every variable is fixed.
+func (a *Assignment) Complete() bool { return a.numFixed == len(a.values) }
+
+// Values returns a copy of the value vector together with the fixed mask.
+func (a *Assignment) Values() (values []int, fixed []bool) {
+	values = make([]int, len(a.values))
+	fixed = make([]bool, len(a.fixed))
+	copy(values, a.values)
+	copy(fixed, a.fixed)
+	return values, fixed
+}

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/prng"
+)
+
+// multiVarEdgeInstance builds a cycle-shaped rank-2 instance where every
+// dependency edge carries TWO variables (a coin and a 3-valued die); the
+// bad event at node v occurs iff, on both incident edges, the coin points at
+// v and the die is 0. This is exactly the situation the paper's Section 2
+// remark resolves by combining the variables of an edge.
+func multiVarEdgeInstance(t *testing.T, n int) *Instance {
+	t.Helper()
+	b := NewBuilder()
+	coin := make([]int, n)
+	die := make([]int, n)
+	biased, err := dist.New([]float64{0.45, 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < n; e++ { // edge e connects nodes e and (e+1)%n
+		coin[e] = b.AddVariable(biased, "coin")
+		die[e] = b.AddVariable(dist.Uniform(3), "die")
+	}
+	for v := 0; v < n; v++ {
+		left := (v - 1 + n) % n // edge left points at v with coin=1
+		right := v              // edge right points at v with coin=0
+		scope := []int{coin[left], die[left], coin[right], die[right]}
+		b.AddEvent(scope, func(vals []int) bool {
+			return vals[0] == 1 && vals[1] == 0 && vals[2] == 0 && vals[3] == 0
+		}, nil, "")
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestCombinePreservesStructure(t *testing.T) {
+	inst := multiVarEdgeInstance(t, 6)
+	if inst.Rank() != 2 {
+		t.Fatalf("rank = %d", inst.Rank())
+	}
+	c, err := Combine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := c.Instance
+	// 12 original variables merge into 6 (one per edge).
+	if comb.NumVars() != 6 {
+		t.Fatalf("combined has %d variables, want 6", comb.NumVars())
+	}
+	for _, g := range c.Groups {
+		if len(g) != 2 {
+			t.Fatalf("group %v should have 2 members", g)
+		}
+	}
+	if comb.NumEvents() != inst.NumEvents() {
+		t.Fatal("event count changed")
+	}
+	// Same p, d, r.
+	p0, d0, r0 := inst.Params()
+	p1, d1, r1 := comb.Params()
+	if math.Abs(p0-p1) > 1e-12 || d0 != d1 || r0 != r1 {
+		t.Fatalf("params changed: (%v,%d,%d) -> (%v,%d,%d)", p0, d0, r0, p1, d1, r1)
+	}
+	// Identical dependency graphs.
+	g0, g1 := inst.DependencyGraph(), comb.DependencyGraph()
+	if g0.M() != g1.M() || g0.N() != g1.N() {
+		t.Fatal("dependency graph changed")
+	}
+	for _, e := range g0.Edges() {
+		if !g1.HasEdge(e.U, e.V) {
+			t.Fatalf("dependency edge %v lost", e)
+		}
+	}
+}
+
+func TestCombineProbabilitiesAgree(t *testing.T) {
+	// Unconditional event probabilities must match between the original
+	// and the combined instance.
+	inst := multiVarEdgeInstance(t, 5)
+	c, err := Combine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := NewAssignment(inst)
+	a1 := NewAssignment(c.Instance)
+	for e := 0; e < inst.NumEvents(); e++ {
+		p0 := inst.CondProb(e, a0)
+		p1 := c.Instance.CondProb(e, a1)
+		if math.Abs(p0-p1) > 1e-12 {
+			t.Fatalf("event %d: %v vs %v", e, p0, p1)
+		}
+	}
+}
+
+func TestCombineConditionalAgreesUnderExpansion(t *testing.T) {
+	// Fixing a combined variable and expanding must give the same event
+	// status as fixing the originals directly.
+	inst := multiVarEdgeInstance(t, 5)
+	c, err := Combine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		a := NewAssignment(c.Instance)
+		for vid := 0; vid < c.Instance.NumVars(); vid++ {
+			a.Fix(vid, r.Intn(c.Instance.Var(vid).Dist.Size()))
+		}
+		expanded := c.Expand(a)
+		if !expanded.Complete() {
+			t.Fatal("expansion incomplete")
+		}
+		for e := 0; e < inst.NumEvents(); e++ {
+			bad0, err := c.Instance.Violated(e, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad1, err := inst.Violated(e, expanded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad0 != bad1 {
+				t.Fatalf("trial %d event %d: combined %v vs expanded %v", trial, e, bad0, bad1)
+			}
+		}
+	}
+}
+
+func TestCombineSingletonGroupsKeepDistributions(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddVariable(dist.MustNew([]float64{0.3, 0.7}), "x")
+	y := b.AddVariable(dist.Uniform(3), "y")
+	b.AddEvent([]int{x}, func(v []int) bool { return v[0] == 1 }, nil, "E0")
+	b.AddEvent([]int{y}, func(v []int) bool { return v[0] == 2 }, nil, "E1")
+	inst := b.MustBuild()
+	c, err := Combine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Instance.NumVars() != 2 {
+		t.Fatalf("vars = %d", c.Instance.NumVars())
+	}
+	if got := c.Instance.Var(0).Dist.Prob(1); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("distribution changed: %v", got)
+	}
+}
+
+func TestCombineRejectsHugeGroups(t *testing.T) {
+	b := NewBuilder()
+	var scope []int
+	for i := 0; i < 10; i++ {
+		scope = append(scope, b.AddVariable(dist.Uniform(8), ""))
+	}
+	b.AddEvent(scope, func([]int) bool { return false }, nil, "E")
+	inst := b.MustBuild()
+	// All ten variables share the single event: one group of 8^10 values.
+	if _, err := Combine(inst); err == nil {
+		t.Fatal("oversized combined variable accepted")
+	}
+}
+
+func TestCombineMixedRanks(t *testing.T) {
+	// Variables with different event sets stay separate.
+	b := NewBuilder()
+	x := b.AddVariable(dist.Uniform(2), "x")
+	y := b.AddVariable(dist.Uniform(2), "y")
+	z := b.AddVariable(dist.Uniform(2), "z")
+	b.AddEvent([]int{x, y}, func(v []int) bool { return v[0] == 1 && v[1] == 1 }, nil, "E0")
+	b.AddEvent([]int{x, y, z}, func(v []int) bool { return v[0] == 0 && v[2] == 1 }, nil, "E1")
+	inst := b.MustBuild()
+	c, err := Combine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x and y share {E0, E1}; z affects only E1: two groups.
+	if len(c.Groups) != 2 {
+		t.Fatalf("groups = %v", c.Groups)
+	}
+}

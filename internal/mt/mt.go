@@ -1,0 +1,183 @@
+// Package mt implements the randomized Moser-Tardos resampling framework,
+// the baseline against which the paper's deterministic fixers are compared
+// (its straightforward distributed implementation is the classic
+// O(log² n)-round algorithm under the criterion ep(d+1) < 1).
+//
+// Three algorithms are provided: the sequential resampler of [MT10], the
+// parallel (round-based) variant in which an independent set of violated
+// events resamples simultaneously each round, and the trivial one-shot
+// sampler used by the threshold experiments to expose per-event failure
+// probabilities empirically.
+package mt
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// Result is the outcome of a resampling run.
+type Result struct {
+	// Assignment is the final (complete) assignment.
+	Assignment *model.Assignment
+	// Satisfied reports whether no bad event occurs under Assignment.
+	Satisfied bool
+	// Resamplings counts event resamplings (each resampling redraws every
+	// variable in one event's scope).
+	Resamplings int
+	// Rounds counts parallel rounds (Parallel only; 0 for Sequential).
+	Rounds int
+}
+
+// sampleAll draws every variable of inst independently from its
+// distribution.
+func sampleAll(inst *model.Instance, r *prng.Rand) *model.Assignment {
+	a := model.NewAssignment(inst)
+	for vid := 0; vid < inst.NumVars(); vid++ {
+		a.Fix(vid, inst.Var(vid).Dist.Sample(r))
+	}
+	return a
+}
+
+// resample redraws the scope variables of event id.
+func resample(inst *model.Instance, a *model.Assignment, id int, r *prng.Rand) {
+	for _, vid := range inst.Event(id).Scope {
+		a.Unfix(vid)
+		a.Fix(vid, inst.Var(vid).Dist.Sample(r))
+	}
+}
+
+// violatedEvents returns the identifiers of all events that occur under the
+// complete assignment a.
+func violatedEvents(inst *model.Instance, a *model.Assignment) ([]int, error) {
+	var out []int
+	for id := 0; id < inst.NumEvents(); id++ {
+		bad, err := inst.Violated(id, a)
+		if err != nil {
+			return nil, err
+		}
+		if bad {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// OneShot samples every variable once and returns the assignment together
+// with the number of violated events. It is the "just try the random
+// assignment" baseline: under p = 2^-d each event still fails with its full
+// probability, which is what the sharp-threshold experiment visualizes.
+func OneShot(inst *model.Instance, r *prng.Rand) (*model.Assignment, int, error) {
+	a := sampleAll(inst, r)
+	violated, err := violatedEvents(inst, a)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, len(violated), nil
+}
+
+// Sequential runs the Moser-Tardos sequential resampler: sample all
+// variables, then repeatedly resample the lowest-indexed violated event.
+// It stops after maxResamplings (0 means 10^6) without error; inspect
+// Result.Satisfied.
+func Sequential(inst *model.Instance, r *prng.Rand, maxResamplings int) (*Result, error) {
+	if maxResamplings == 0 {
+		maxResamplings = 1_000_000
+	}
+	a := sampleAll(inst, r)
+	res := &Result{Assignment: a}
+	for res.Resamplings < maxResamplings {
+		violated, err := violatedEvents(inst, a)
+		if err != nil {
+			return nil, err
+		}
+		if len(violated) == 0 {
+			res.Satisfied = true
+			return res, nil
+		}
+		resample(inst, a, violated[0], r)
+		res.Resamplings++
+	}
+	violated, err := violatedEvents(inst, a)
+	if err != nil {
+		return nil, err
+	}
+	res.Satisfied = len(violated) == 0
+	return res, nil
+}
+
+// Parallel runs the parallel Moser-Tardos variant: in each round, every
+// violated event whose identifier is smaller than those of all violated
+// neighbors resamples its variables (a distributed-implementable independent
+// set); the round ends when the selected events have redrawn their scopes.
+// It stops after maxRounds (0 means 10^5) without error; inspect
+// Result.Satisfied. Under ep(d+1) < 1 the expected number of rounds is
+// O(log n) with O(log n)-factor overheads in the classic analysis.
+func Parallel(inst *model.Instance, r *prng.Rand, maxRounds int) (*Result, error) {
+	if maxRounds == 0 {
+		maxRounds = 100_000
+	}
+	g := inst.DependencyGraph()
+	a := sampleAll(inst, r)
+	res := &Result{Assignment: a}
+	for res.Rounds < maxRounds {
+		violated, err := violatedEvents(inst, a)
+		if err != nil {
+			return nil, err
+		}
+		if len(violated) == 0 {
+			res.Satisfied = true
+			return res, nil
+		}
+		res.Rounds++
+		isViolated := make(map[int]bool, len(violated))
+		for _, id := range violated {
+			isViolated[id] = true
+		}
+		// Priority selection: violated events that are local minima among
+		// violated neighbors resample. The set is independent, so the
+		// resampled scopes are disjoint... not necessarily disjoint
+		// (non-adjacent events share no variable by definition), hence
+		// order within the round is irrelevant.
+		for _, id := range violated {
+			selected := true
+			for _, u := range g.Neighbors(id) {
+				if isViolated[u] && u < id {
+					selected = false
+					break
+				}
+			}
+			if selected {
+				resample(inst, a, id, r)
+				res.Resamplings++
+			}
+		}
+	}
+	violated, err := violatedEvents(inst, a)
+	if err != nil {
+		return nil, err
+	}
+	res.Satisfied = len(violated) == 0
+	return res, nil
+}
+
+// EstimateFailureRate runs trials one-shot samples and returns the fraction
+// in which at least one event was violated, plus the mean violated count.
+func EstimateFailureRate(inst *model.Instance, r *prng.Rand, trials int) (failRate, meanViolated float64, err error) {
+	if trials <= 0 {
+		return 0, 0, fmt.Errorf("mt: trials must be positive, got %d", trials)
+	}
+	failures, total := 0, 0
+	for i := 0; i < trials; i++ {
+		_, violated, err := OneShot(inst, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		if violated > 0 {
+			failures++
+		}
+		total += violated
+	}
+	return float64(failures) / float64(trials), float64(total) / float64(trials), nil
+}

@@ -1,0 +1,347 @@
+package mt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/local"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+func TestSequentialSolvesRelaxedSinkless(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(20), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(1)
+	res, err := Sequential(s.Instance, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("MT failed after %d resamplings", res.Resamplings)
+	}
+	if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+		t.Fatalf("sinks: %v", sinks)
+	}
+	if !res.Assignment.Complete() {
+		t.Fatal("incomplete assignment")
+	}
+}
+
+func TestSequentialSolvesThresholdSinkless(t *testing.T) {
+	// Sinkless orientation is solvable even at the threshold; MT has no
+	// guarantee there but in practice converges on cycles.
+	s, err := apps.NewSinkless(graph.Cycle(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(2)
+	res, err := Sequential(s.Instance, r, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("MT failed at threshold after %d resamplings", res.Resamplings)
+	}
+}
+
+func TestParallelSolvesHyperSinkless(t *testing.T) {
+	r := prng.New(3)
+	h, err := hypergraph.RandomRegularRank3(30, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Parallel(s.Instance, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("parallel MT failed after %d rounds", res.Rounds)
+	}
+	if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+		t.Fatalf("sinks: %v", sinks)
+	}
+}
+
+func TestParallelSolvesWeakSplitting(t *testing.T) {
+	r := prng.New(4)
+	adj, err := apps.RandomBiregular(20, 3, 20, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := apps.NewWeakSplitting(adj, 20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Parallel(w.Instance, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatal("parallel MT failed")
+	}
+	if mono := w.Monochromatic(res.Assignment); len(mono) != 0 {
+		t.Fatalf("monochromatic: %v", mono)
+	}
+}
+
+func TestResamplingCapRespected(t *testing.T) {
+	// An unsatisfiable instance: a single event that always occurs.
+	b := model.NewBuilder()
+	x := b.AddVariable(dist.Uniform(2), "x")
+	b.AddEvent([]int{x}, func([]int) bool { return true }, nil, "always")
+	inst := b.MustBuild()
+	r := prng.New(5)
+	res, err := Sequential(inst, r, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatal("unsatisfiable instance reported satisfied")
+	}
+	if res.Resamplings != 50 {
+		t.Fatalf("resamplings = %d, want cap 50", res.Resamplings)
+	}
+	pres, err := Parallel(inst, r, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Satisfied || pres.Rounds != 30 {
+		t.Fatalf("parallel cap not respected: %+v", pres)
+	}
+}
+
+func TestOneShotViolationCount(t *testing.T) {
+	// With an always-bad event, one-shot must report it.
+	b := model.NewBuilder()
+	x := b.AddVariable(dist.Uniform(2), "x")
+	b.AddEvent([]int{x}, func([]int) bool { return true }, nil, "always")
+	b.AddEvent([]int{x}, func([]int) bool { return false }, nil, "never")
+	inst := b.MustBuild()
+	r := prng.New(6)
+	_, violated, err := OneShot(inst, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated != 1 {
+		t.Fatalf("violated = %d, want 1", violated)
+	}
+}
+
+func TestEstimateFailureRateMatchesTheory(t *testing.T) {
+	// A single event with probability 1/4: failure rate should estimate
+	// 0.25 within sampling error.
+	b := model.NewBuilder()
+	x := b.AddVariable(dist.Uniform(4), "x")
+	b.AddEvent([]int{x}, func(v []int) bool { return v[0] == 0 }, nil, "E")
+	inst := b.MustBuild()
+	r := prng.New(7)
+	rate, mean, err := EstimateFailureRate(inst, r, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Fatalf("failure rate %v, want ~0.25", rate)
+	}
+	if math.Abs(mean-0.25) > 0.02 {
+		t.Fatalf("mean violations %v, want ~0.25", mean)
+	}
+	if _, _, err := EstimateFailureRate(inst, r, 0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestResamplingsGrowTowardThreshold(t *testing.T) {
+	// The cost of randomized solving grows as the margin p·2^d approaches
+	// 1 — the "price" side of the sharp threshold.
+	r := prng.New(8)
+	avg := func(margin float64) float64 {
+		g := graph.Cycle(64)
+		s, err := apps.NewSinklessWithMargin(g, margin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			res, err := Sequential(s.Instance, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Satisfied {
+				t.Fatalf("margin %v: MT failed", margin)
+			}
+			total += res.Resamplings
+		}
+		return float64(total) / trials
+	}
+	cheap := avg(0.3)
+	costly := avg(0.99)
+	if costly < cheap {
+		t.Fatalf("resamplings at margin 0.99 (%v) below margin 0.3 (%v)", costly, cheap)
+	}
+}
+
+func TestSequentialDeterministicForSeed(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(12), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int {
+		res, err := Sequential(s.Instance, prng.New(99), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Resamplings
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different resampling counts")
+	}
+}
+
+func BenchmarkSequentialMT(b *testing.B) {
+	s, err := apps.NewSinkless(graph.Cycle(128), 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sequential(s.Instance, prng.New(uint64(i)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelMT(b *testing.B) {
+	r := prng.New(1)
+	h, err := hypergraph.RandomRegularRank3(60, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parallel(s.Instance, prng.New(uint64(i)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDistributedMTSolvesRelaxedSinkless(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(16), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Distributed(s.Instance, 1, 60, local.Options{IDSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("distributed MT failed after %d iterations (%d resamplings)",
+			res.Iterations, res.Resamplings)
+	}
+	if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+		t.Fatalf("sinks: %v", sinks)
+	}
+	if res.Rounds != 3*res.Iterations {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, 3*res.Iterations)
+	}
+}
+
+func TestDistributedMTSolvesHyperSinkless(t *testing.T) {
+	r := prng.New(4)
+	h, err := hypergraph.RandomRegularRank3(15, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Distributed(s.Instance, 7, 80, local.Options{IDSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("distributed MT failed (%d resamplings)", res.Resamplings)
+	}
+}
+
+func TestDistributedMTDeterministicForSeeds(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(10), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (int, []int) {
+		res, err := Distributed(s.Instance, 42, 40, local.Options{IDSeed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, _ := res.Assignment.Values()
+		return res.Resamplings, vals
+	}
+	r1, v1 := run()
+	r2, v2 := run()
+	if r1 != r2 {
+		t.Fatalf("resamplings differ: %d vs %d", r1, r2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("assignments differ between identical runs")
+		}
+	}
+}
+
+func TestDistributedMTBudgetCanFail(t *testing.T) {
+	// With a 1-iteration budget on a hard-ish instance, failure is
+	// possible and must be reported honestly.
+	s, err := apps.NewSinklessWithMargin(graph.Cycle(64), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Distributed(s.Instance, 3, 1, local.Options{IDSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Skip("lucky single iteration (allowed)")
+	}
+	if res.Iterations != 1 || res.Rounds != 3 {
+		t.Fatalf("budget accounting wrong: %+v", res)
+	}
+}
+
+func TestDistributedMTMatchesCentralizedSelection(t *testing.T) {
+	// The LOCAL implementation and the centralized Parallel variant use
+	// the same local-minimum selection rule; on identical instances both
+	// must converge (not necessarily to the same assignment: the
+	// randomness streams differ).
+	s, err := apps.NewSinkless(graph.Cycle(20), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := Distributed(s.Instance, 11, 80, local.Options{IDSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := Parallel(s.Instance, prng.New(11), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.Satisfied || !cres.Satisfied {
+		t.Fatalf("convergence mismatch: distributed=%v centralized=%v", dres.Satisfied, cres.Satisfied)
+	}
+}

@@ -1,0 +1,150 @@
+// Package spec serializes LLL instances to and from a portable JSON format.
+//
+// Arbitrary Go predicates cannot be serialized, so the format covers the
+// two event families the helper constructors tag (model.ConjunctionSpec and
+// model.AllEqualSpec) — which includes every application workload shipped
+// in this repository. Encoding an instance with an untagged (hand-written)
+// event fails with ErrUnsupportedEvent.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+)
+
+// Version is the current format version.
+const Version = 1
+
+// ErrUnsupportedEvent indicates an event without a serializable spec.
+var ErrUnsupportedEvent = errors.New("spec: event has no serializable specification")
+
+// Event kinds.
+const (
+	KindConjunction = "conjunction"
+	KindAllEqual    = "allEqual"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	Version   int        `json:"version"`
+	Variables []Variable `json:"variables"`
+	Events    []Event    `json:"events"`
+}
+
+// Variable describes one random variable.
+type Variable struct {
+	Name  string    `json:"name,omitempty"`
+	Probs []float64 `json:"probs"`
+}
+
+// Event describes one bad event.
+type Event struct {
+	Name    string  `json:"name,omitempty"`
+	Kind    string  `json:"kind"`
+	Scope   []int   `json:"scope"`
+	BadSets [][]int `json:"badSets,omitempty"` // KindConjunction only
+}
+
+// Encode converts an instance into its portable description. Every event
+// must carry a model.ConjunctionSpec or model.AllEqualSpec tag.
+func Encode(inst *model.Instance) (*File, error) {
+	f := &File{Version: Version}
+	for vid := 0; vid < inst.NumVars(); vid++ {
+		v := inst.Var(vid)
+		f.Variables = append(f.Variables, Variable{Name: v.Name, Probs: v.Dist.Probs()})
+	}
+	for eid := 0; eid < inst.NumEvents(); eid++ {
+		ev := inst.Event(eid)
+		out := Event{Name: ev.Name, Scope: append([]int(nil), ev.Scope...)}
+		switch s := ev.Spec.(type) {
+		case model.ConjunctionSpec:
+			out.Kind = KindConjunction
+			out.BadSets = make([][]int, len(s.BadSets))
+			for i, set := range s.BadSets {
+				out.BadSets[i] = append([]int(nil), set...)
+			}
+		case model.AllEqualSpec:
+			out.Kind = KindAllEqual
+		default:
+			return nil, fmt.Errorf("%w: event %d (%s)", ErrUnsupportedEvent, eid, ev.Name)
+		}
+		f.Events = append(f.Events, out)
+	}
+	return f, nil
+}
+
+// Build reconstructs the instance described by f.
+func (f *File) Build() (*model.Instance, error) {
+	if f.Version != Version {
+		return nil, fmt.Errorf("spec: unsupported version %d (want %d)", f.Version, Version)
+	}
+	b := model.NewBuilder()
+	dists := make([]*dist.Distribution, len(f.Variables))
+	for i, v := range f.Variables {
+		d, err := dist.New(v.Probs)
+		if err != nil {
+			return nil, fmt.Errorf("spec: variable %d: %w", i, err)
+		}
+		dists[i] = d
+		b.AddVariable(d, v.Name)
+	}
+	for i, ev := range f.Events {
+		scopeDists := make([]*dist.Distribution, len(ev.Scope))
+		for j, vid := range ev.Scope {
+			if vid < 0 || vid >= len(dists) {
+				return nil, fmt.Errorf("spec: event %d references variable %d outside [0,%d)", i, vid, len(dists))
+			}
+			scopeDists[j] = dists[vid]
+		}
+		switch ev.Kind {
+		case KindConjunction:
+			if len(ev.BadSets) != len(ev.Scope) {
+				return nil, fmt.Errorf("spec: event %d: %d bad sets for scope of %d", i, len(ev.BadSets), len(ev.Scope))
+			}
+			for j, set := range ev.BadSets {
+				for _, val := range set {
+					if val < 0 || val >= scopeDists[j].Size() {
+						return nil, fmt.Errorf("spec: event %d: bad-set value %d outside variable %d's range", i, val, ev.Scope[j])
+					}
+				}
+			}
+			model.AddConjunctionEvent(b, ev.Scope, ev.BadSets, scopeDists, ev.Name)
+		case KindAllEqual:
+			model.AddAllEqualEvent(b, ev.Scope, scopeDists, ev.Name)
+		default:
+			return nil, fmt.Errorf("spec: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("spec: building instance: %w", err)
+	}
+	return inst, nil
+}
+
+// Save writes the instance as indented JSON.
+func Save(w io.Writer, inst *model.Instance) error {
+	f, err := Encode(inst)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Load reads a JSON instance description and builds the instance.
+func Load(r io.Reader) (*model.Instance, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: decoding: %w", err)
+	}
+	return f.Build()
+}

@@ -1,0 +1,60 @@
+package srep
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecompose checks the Lemma 3.5 round trip on arbitrary inputs:
+// membership and constructive decomposition must agree, and every witness
+// must validate and realize its triple.
+func FuzzDecompose(f *testing.F) {
+	f.Add(0.25, 1.5, 0.1)
+	f.Add(0.0, 0.0, 4.0)
+	f.Add(2.0, 2.0, 0.0)
+	f.Add(1.0, 1.0, 1.0)
+	f.Add(3.9, 0.05, 0.01)
+	f.Add(5.0, 5.0, 5.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) {
+			return
+		}
+		in := IsRepresentable(a, b, c, DefaultTol)
+		w, err := Decompose(a, b, c)
+		if in && err != nil {
+			t.Fatalf("representable (%v,%v,%v) failed to decompose: %v", a, b, c, err)
+		}
+		if !in && err == nil {
+			t.Fatalf("non-representable (%v,%v,%v) decomposed to %+v", a, b, c, w)
+		}
+		if err == nil {
+			if !w.Valid(1e-9) {
+				t.Fatalf("invalid witness for (%v,%v,%v): %+v", a, b, c, w)
+			}
+			if !w.Realizes(a, b, c, 1e-6) {
+				wa, wb, wc := w.Triple()
+				t.Fatalf("witness (%v,%v,%v) does not realize (%v,%v,%v)", wa, wb, wc, a, b, c)
+			}
+		}
+	})
+}
+
+// FuzzSurfaceConvexity probes Lemma 3.6 on arbitrary segment endpoints.
+func FuzzSurfaceConvexity(f *testing.F) {
+	f.Add(0.5, 0.5, 3.0, 0.5, 0.5)
+	f.Add(1.0, 2.9, 2.9, 1.0, 0.25)
+	f.Fuzz(func(t *testing.T, a1, b1, a2, b2, q float64) {
+		inDomain := func(a, b float64) bool {
+			return a >= 0 && b >= 0 && a+b <= 4 && !math.IsNaN(a) && !math.IsNaN(b)
+		}
+		if !inDomain(a1, b1) || !inDomain(a2, b2) || math.IsNaN(q) || q < 0 || q > 1 {
+			return
+		}
+		lhs := F(q*a1+(1-q)*a2, q*b1+(1-q)*b2)
+		rhs := q*F(a1, b1) + (1-q)*F(a2, b2)
+		if lhs > rhs+1e-9 {
+			t.Fatalf("convexity violated: f(mix)=%v > mix(f)=%v", lhs, rhs)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package srep
+
+import "math"
+
+// This file reproduces the deferred proof of Lemma 3.6 (appendix A): the
+// closed-form first and second partial derivatives of
+//
+//	f(a, b) = 4 + ½(ab − 2a − 2b − √(ab(4−a)(4−b)))
+//
+// and the two leading principal minors of its Hessian, whose positivity (by
+// Sylvester's criterion) establishes that f is convex on the open domain
+// U' = {(a, b) : a, b > 0, a + b < 4}. The test suite cross-checks every
+// formula against finite differences and verifies positivity on dense
+// samples — a numeric replay of the appendix computation.
+
+// rad returns the recurring radicand ab(4−a)(4−b), clamped at 0 to absorb
+// float noise at the boundary.
+func rad(a, b float64) float64 {
+	s := a * b * (4 - a) * (4 - b)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// FGradA returns ∂f/∂a at (a, b), defined on the open domain U'. The
+// appendix form:
+//
+//	∂f/∂a = ½ (b − 2 − b(4−b)(4−2a) / (2√(ab(4−a)(4−b)))).
+func FGradA(a, b float64) float64 {
+	return 0.5 * (b - 2 - b*(4-b)*(4-2*a)/(2*math.Sqrt(rad(a, b))))
+}
+
+// FGradB returns ∂f/∂b at (a, b); f is symmetric, so it mirrors FGradA.
+func FGradB(a, b float64) float64 {
+	return FGradA(b, a)
+}
+
+// FHessAA returns ∂²f/∂a² at (a, b). The appendix simplifies it to
+//
+//	∂²f/∂a² = (2 / (a(4−a))) · √(b(4−b) / (a(4−a))),
+//
+// which is strictly positive on U' — the first leading principal minor.
+func FHessAA(a, b float64) float64 {
+	return 2 / (a * (4 - a)) * math.Sqrt(b*(4-b)/(a*(4-a)))
+}
+
+// FHessBB returns ∂²f/∂b² at (a, b) (by symmetry of f).
+func FHessBB(a, b float64) float64 {
+	return FHessAA(b, a)
+}
+
+// FHessAB returns the mixed derivative ∂²f/∂a∂b at (a, b). The appendix
+// form:
+//
+//	∂²f/∂a∂b = ½ − (2−a)(2−b) / (2√(ab(4−a)(4−b))).
+func FHessAB(a, b float64) float64 {
+	return 0.5 - (2-a)*(2-b)/(2*math.Sqrt(rad(a, b)))
+}
+
+// HessianDet returns the determinant of the Hessian of f at (a, b) — the
+// second leading principal minor. The appendix reduces it to the closed
+// form
+//
+//	(16 − (½(√((4−a)(4−b)) − √(ab))² − 4)²) / (4ab(4−a)(4−b)),
+//
+// strictly positive on U' because 0 < (√((4−a)(4−b)) − √(ab))² < 16 there.
+func HessianDet(a, b float64) float64 {
+	inner := 0.5*sq(math.Sqrt((4-a)*(4-b))-math.Sqrt(a*b)) - 4
+	return (16 - inner*inner) / (4 * rad(a, b))
+}
+
+func sq(x float64) float64 { return x * x }
+
+// HessianPositiveDefinite reports whether the Hessian of f at (a, b) is
+// positive definite by Sylvester's criterion (both leading principal minors
+// strictly positive). Lemma 3.6 asserts this for every interior point.
+func HessianPositiveDefinite(a, b float64) bool {
+	return FHessAA(a, b) > 0 && HessianDet(a, b) > 0
+}

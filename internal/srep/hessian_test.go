@@ -1,0 +1,124 @@
+package srep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// interiorPoint samples a point of U' = {a, b > 0, a+b < 4}, bounded away
+// from the boundary so finite differences stay accurate.
+func interiorPoint(r *prng.Rand) (float64, float64) {
+	for {
+		a := 0.2 + r.Float64()*3.6
+		b := 0.2 + r.Float64()*3.6
+		if a+b < 3.8 {
+			return a, b
+		}
+	}
+}
+
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	r := prng.New(41)
+	const h = 1e-6
+	for i := 0; i < 2000; i++ {
+		a, b := interiorPoint(r)
+		numA := (F(a+h, b) - F(a-h, b)) / (2 * h)
+		numB := (F(a, b+h) - F(a, b-h)) / (2 * h)
+		if math.Abs(FGradA(a, b)-numA) > 1e-5*(1+math.Abs(numA)) {
+			t.Fatalf("∂f/∂a at (%v,%v): closed %v vs numeric %v", a, b, FGradA(a, b), numA)
+		}
+		if math.Abs(FGradB(a, b)-numB) > 1e-5*(1+math.Abs(numB)) {
+			t.Fatalf("∂f/∂b at (%v,%v): closed %v vs numeric %v", a, b, FGradB(a, b), numB)
+		}
+	}
+}
+
+func TestHessianMatchesFiniteDifferences(t *testing.T) {
+	r := prng.New(43)
+	const h = 1e-4
+	for i := 0; i < 2000; i++ {
+		a, b := interiorPoint(r)
+		numAA := (F(a+h, b) - 2*F(a, b) + F(a-h, b)) / (h * h)
+		numBB := (F(a, b+h) - 2*F(a, b) + F(a, b-h)) / (h * h)
+		numAB := (F(a+h, b+h) - F(a+h, b-h) - F(a-h, b+h) + F(a-h, b-h)) / (4 * h * h)
+		if math.Abs(FHessAA(a, b)-numAA) > 1e-3*(1+math.Abs(numAA)) {
+			t.Fatalf("∂²f/∂a² at (%v,%v): closed %v vs numeric %v", a, b, FHessAA(a, b), numAA)
+		}
+		if math.Abs(FHessBB(a, b)-numBB) > 1e-3*(1+math.Abs(numBB)) {
+			t.Fatalf("∂²f/∂b² at (%v,%v): closed %v vs numeric %v", a, b, FHessBB(a, b), numBB)
+		}
+		if math.Abs(FHessAB(a, b)-numAB) > 1e-3*(1+math.Abs(numAB)) {
+			t.Fatalf("∂²f/∂a∂b at (%v,%v): closed %v vs numeric %v", a, b, FHessAB(a, b), numAB)
+		}
+	}
+}
+
+func TestHessianDetMatchesMinorProduct(t *testing.T) {
+	// The appendix's closed form for the determinant must equal
+	// f_aa·f_bb − f_ab² computed from the individual entries.
+	r := prng.New(47)
+	for i := 0; i < 5000; i++ {
+		a, b := interiorPoint(r)
+		direct := FHessAA(a, b)*FHessBB(a, b) - sq(FHessAB(a, b))
+		closed := HessianDet(a, b)
+		if math.Abs(direct-closed) > 1e-9*(1+math.Abs(direct)) {
+			t.Fatalf("det mismatch at (%v,%v): %v vs %v", a, b, direct, closed)
+		}
+	}
+}
+
+func TestLemma36PositiveDefiniteEverywhere(t *testing.T) {
+	// Sylvester's criterion on a dense grid plus random samples: both
+	// leading principal minors strictly positive on U' (Lemma 3.6).
+	for a := 0.05; a < 4; a += 0.05 {
+		for b := 0.05; a+b < 4-0.01; b += 0.05 {
+			if !HessianPositiveDefinite(a, b) {
+				t.Fatalf("Hessian not positive definite at (%v, %v): f_aa=%v det=%v",
+					a, b, FHessAA(a, b), HessianDet(a, b))
+			}
+		}
+	}
+	r := prng.New(53)
+	for i := 0; i < 20000; i++ {
+		a := r.Float64() * 4
+		b := r.Float64() * (4 - a)
+		if a < 1e-6 || b < 1e-6 || a+b > 4-1e-6 {
+			continue
+		}
+		if !HessianPositiveDefinite(a, b) {
+			t.Fatalf("Hessian not positive definite at random (%v, %v)", a, b)
+		}
+	}
+}
+
+func TestHessianDetBoundsFromAppendix(t *testing.T) {
+	// The appendix's final inequality uses
+	// 0 < (√((4−a)(4−b)) − √(ab))² < 16 on U'; verify it directly.
+	r := prng.New(59)
+	for i := 0; i < 10000; i++ {
+		a, b := interiorPoint(r)
+		v := sq(math.Sqrt((4-a)*(4-b)) - math.Sqrt(a*b))
+		if v <= 0 || v >= 16 {
+			t.Fatalf("appendix inequality violated at (%v,%v): %v", a, b, v)
+		}
+	}
+}
+
+func TestGradientAtSymmetricPoint(t *testing.T) {
+	// At a = b the radicand is (a(4−a))² so the gradient simplifies:
+	// ∂f/∂a = ½(a − 2 − (4−2a)/2) = a − 2 ... verify against formula.
+	for _, a := range []float64{0.5, 1, 1.5, 1.9} {
+		want := 0.5 * (a - 2 - (4-2*a)/2)
+		if got := FGradA(a, a); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("∂f/∂a at (%v,%v) = %v, want %v", a, a, got, want)
+		}
+	}
+}
+
+func BenchmarkHessianDet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HessianDet(1.2, 1.7)
+	}
+}

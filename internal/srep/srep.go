@@ -1,0 +1,297 @@
+// Package srep implements the geometry of representable triples from
+// Section 3.2 of the paper.
+//
+// A triple (a, b, c) ∈ R³≥0 is representable (Definition 3.3) if there are
+// values a1, a2, b1, b3, c2, c3 ∈ [0, 2] with
+//
+//	a1·a2 = a,  b1·b3 = b,  c2·c3 = c,
+//	a1 + b1 ≤ 2,  a2 + c2 ≤ 2,  b3 + c3 ≤ 2.
+//
+// The six values live on the three dependency-graph edges of a hyperedge
+// {u, v, w}: a1/b1 on {u,v}, a2/c2 on {u,w}, b3/c3 on {v,w}. Lemma 3.5
+// characterizes the set S_rep of representable triples by the closed-form
+// surface
+//
+//	f(a, b) = 4 + ½·(ab − 2a − 2b − √(ab(4−a)(4−b))),
+//
+// as S_rep = {(a,b,c) : a+b ≤ 4, c ≤ f(a,b)}; Lemma 3.6 proves f convex,
+// and Lemma 3.7 concludes that S_rep is "incurved" — no point of S_rep lies
+// on a segment between two points outside it. Incurvedness is exactly what
+// the Variable Fixing Lemma (Lemma 3.2) needs.
+//
+// This package provides the surface f, the membership test, the constructive
+// witness decomposition following the case analysis in the proof of
+// Lemma 3.5, and numeric checkers (convexity, incurvedness, surface
+// sampling) used by the test suite and by the Figure 1 regeneration.
+package srep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultTol is the relative tolerance used by membership tests to absorb
+// floating-point error. The existence guarantees of the paper are exact, so
+// the tolerance never has to paper over a modelling gap.
+const DefaultTol = 1e-9
+
+// ErrNotRepresentable indicates a triple outside S_rep (beyond tolerance).
+var ErrNotRepresentable = errors.New("srep: triple is not representable")
+
+// F evaluates the surface function
+// f(a, b) = 4 + ½(ab − 2a − 2b − √(ab(4−a)(4−b)))
+// of Lemma 3.5. It is defined (and finite) for a, b ∈ [0, 4]; the square
+// root argument is clamped at zero to absorb float noise at the boundary.
+func F(a, b float64) float64 {
+	s := a * b * (4 - a) * (4 - b)
+	if s < 0 {
+		s = 0
+	}
+	return 4 + 0.5*(a*b-2*a-2*b-math.Sqrt(s))
+}
+
+// IsRepresentable reports whether (a, b, c) ∈ S_rep within tolerance tol
+// (use DefaultTol). Negative components are rejected regardless of tol.
+func IsRepresentable(a, b, c, tol float64) bool {
+	if a < 0 || b < 0 || c < 0 {
+		return false
+	}
+	if a+b > 4+tol {
+		return false
+	}
+	// For a+b marginally above 4 due to clamping concerns, evaluate f at the
+	// clamped point.
+	aa, bb := math.Min(a, 4), math.Min(b, 4)
+	return c <= F(aa, bb)+tol
+}
+
+// Witness is a set of six edge values realizing a representable triple:
+// A1·A2 = a, B1·B3 = b, C2·C3 = c with A1+B1 ≤ 2, A2+C2 ≤ 2, B3+C3 ≤ 2.
+// The naming follows Definition 3.3.
+type Witness struct {
+	A1, A2 float64 // u's values on edges {u,v} and {u,w}
+	B1, B3 float64 // v's values on edges {u,v} and {v,w}
+	C2, C3 float64 // w's values on edges {u,w} and {v,w}
+}
+
+// Triple returns the triple (A1·A2, B1·B3, C2·C3) realized by the witness.
+func (w Witness) Triple() (a, b, c float64) {
+	return w.A1 * w.A2, w.B1 * w.B3, w.C2 * w.C3
+}
+
+// Valid reports whether the witness satisfies all range and sum constraints
+// within tolerance tol.
+func (w Witness) Valid(tol float64) bool {
+	for _, v := range []float64{w.A1, w.A2, w.B1, w.B3, w.C2, w.C3} {
+		if v < -tol || v > 2+tol || math.IsNaN(v) {
+			return false
+		}
+	}
+	return w.A1+w.B1 <= 2+tol && w.A2+w.C2 <= 2+tol && w.B3+w.C3 <= 2+tol
+}
+
+// Realizes reports whether the witness realizes at least (a, b, c): its
+// products must cover the requested triple within tolerance. "At least"
+// matches the use in Lemma 3.2, where ψ products must dominate Inc·φ.
+func (w Witness) Realizes(a, b, c, tol float64) bool {
+	wa, wb, wc := w.Triple()
+	return wa >= a-tol && wb >= b-tol && wc >= c-tol
+}
+
+// Decompose constructs a witness for the representable triple (a, b, c),
+// following the constructive case analysis in the proof of Lemma 3.5. If the
+// triple lies outside S_rep by more than DefaultTol it returns
+// ErrNotRepresentable. Components marginally outside the surface (float
+// noise) are clamped onto it.
+func Decompose(a, b, c float64) (Witness, error) {
+	const tol = DefaultTol
+	if !IsRepresentable(a, b, c, tol) {
+		return Witness{}, fmt.Errorf("%w: (%v, %v, %v)", ErrNotRepresentable, a, b, c)
+	}
+	// Clamp float noise into the exact domain.
+	a = clamp(a, 0, 4)
+	b = clamp(b, 0, 4)
+	if a+b > 4 {
+		// Redistribute the (≤ tol) excess.
+		excess := a + b - 4
+		a -= excess / 2
+		b -= excess / 2
+	}
+	c = clamp(c, 0, 4)
+
+	switch {
+	case a == 0 && b == 0:
+		// Case a = b = 0: all of c ≤ 4 realizable on the {v,w}/{u,w} edges.
+		w := Witness{}
+		w.C2, w.C3 = splitProduct(c)
+		return w, nil
+	case a == 0:
+		// Case a = 0, b ≠ 0: f(0, b) = 4 − b.
+		w := Witness{B1: 2, B3: b / 2}
+		cmax := 2 * (2 - w.B3) // = 4 - b
+		w.C2, w.C3 = scaleToProduct(2, 2-w.B3, math.Min(c, cmax))
+		return w, nil
+	case b == 0:
+		// Symmetric case b = 0, a ≠ 0: f(a, 0) = 4 − a.
+		w := Witness{A1: 2, A2: a / 2}
+		cmax := (2 - w.A2) * 2
+		w.C2, w.C3 = scaleToProduct(2-w.A2, 2, math.Min(c, cmax))
+		return w, nil
+	default:
+		// Case a, b ≠ 0. The maximizing split is x1 from the proof:
+		// x1 = (a(4−b) − √(ab(4−a)(4−b))) / (2(a−b)), or x = 1 when a = b.
+		x := optimalSplit(a, b)
+		// Guard the derived range [a/2, 2−b/2] against float error.
+		x = clamp(x, a/2, 2-b/2)
+		w := Witness{A1: x, A2: a / x, B1: 2 - x, B3: b / (2 - x)}
+		cmax := (2 - w.A2) * (2 - w.B3)
+		if cmax < 0 {
+			cmax = 0
+		}
+		w.C2, w.C3 = scaleToProduct(2-w.A2, 2-w.B3, math.Min(c, cmax))
+		return w, nil
+	}
+}
+
+// optimalSplit returns the value x ∈ [a/2, 2−b/2] maximizing
+// (2 − a/x)(2 − b/(2−x)), i.e. the x1 root from the Lemma 3.5 proof.
+// Requires a, b ∈ (0, 4) with a + b ≤ 4.
+func optimalSplit(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	disc := a * b * (4 - a) * (4 - b)
+	if disc < 0 {
+		disc = 0
+	}
+	return (a*(4-b) - math.Sqrt(disc)) / (2 * (a - b))
+}
+
+// splitProduct returns (x, y) with x, y ∈ [0, 2] and x·y = p, for p ∈ [0, 4].
+func splitProduct(p float64) (x, y float64) {
+	if p <= 0 {
+		return 0, 0
+	}
+	if p >= 4 {
+		return 2, 2
+	}
+	s := math.Sqrt(p)
+	return s, p / s
+}
+
+// scaleToProduct returns (x, y) with 0 ≤ x ≤ xmax, 0 ≤ y ≤ ymax and
+// x·y = p, assuming p ≤ xmax·ymax. Both factors are scaled by the same
+// ratio, which keeps them inside their ranges.
+func scaleToProduct(xmax, ymax, p float64) (x, y float64) {
+	if p <= 0 {
+		return 0, 0
+	}
+	prod := xmax * ymax
+	if prod <= 0 {
+		return 0, 0
+	}
+	s := math.Sqrt(p / prod)
+	if s > 1 {
+		s = 1
+	}
+	return xmax * s, ymax * s
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MaxCNumeric computes max{c : (a,b,c) ∈ S_rep} by dense scanning over the
+// split parameter x, independent of the closed form F. The test suite uses
+// it as an oracle for F; the fixers never call it.
+func MaxCNumeric(a, b float64, steps int) float64 {
+	if a+b > 4 {
+		return math.Inf(-1)
+	}
+	switch {
+	case a == 0 && b == 0:
+		return 4
+	case a == 0:
+		return 4 - b
+	case b == 0:
+		return 4 - a
+	}
+	lo, hi := a/2, 2-b/2
+	if hi < lo {
+		return 0
+	}
+	best := 0.0
+	for i := 0; i <= steps; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(steps)
+		if x <= 0 || x >= 2 {
+			continue
+		}
+		v := (2 - a/x) * (2 - b/(2-x))
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Triple is a point of R³≥0, used by the incurvedness checkers and the
+// Figure 1 sampling.
+type Triple struct {
+	A, B, C float64
+}
+
+// In reports membership of the triple in S_rep with tolerance tol.
+func (t Triple) In(tol float64) bool { return IsRepresentable(t.A, t.B, t.C, tol) }
+
+// Interpolate returns q·t + (1−q)·o.
+func (t Triple) Interpolate(o Triple, q float64) Triple {
+	return Triple{
+		A: q*t.A + (1-q)*o.A,
+		B: q*t.B + (1-q)*o.B,
+		C: q*t.C + (1-q)*o.C,
+	}
+}
+
+// ChordViolation checks the incurvedness property (Definition 3.4) on one
+// chord: it returns true (a violation) iff s and o are both OUTSIDE S_rep
+// while the interpolated point at q is inside. Lemma 3.7 proves this can
+// never happen; the test suite and the Figure 1 harness verify it
+// numerically on large random samples.
+func ChordViolation(s, o Triple, q, tol float64) bool {
+	if s.In(tol) || o.In(tol) {
+		return false
+	}
+	// Use a strict inner test for the midpoint so boundary float noise can
+	// not produce false violations.
+	m := s.Interpolate(o, q)
+	return IsRepresentable(m.A, m.B, m.C, -tol)
+}
+
+// SurfacePoint is one sample of the boundary surface of S_rep (Figure 1).
+type SurfacePoint struct {
+	A, B, C float64 // C = f(A, B)
+}
+
+// SurfaceGrid samples the boundary surface c = f(a, b) over the triangle
+// {a, b ≥ 0, a + b ≤ 4} with the given step, row-major in a then b. It
+// regenerates the data behind Figure 1.
+func SurfaceGrid(step float64) []SurfacePoint {
+	if step <= 0 {
+		panic("srep: SurfaceGrid needs positive step")
+	}
+	var pts []SurfacePoint
+	for a := 0.0; a <= 4+1e-12; a += step {
+		for b := 0.0; a+b <= 4+1e-12; b += step {
+			aa, bb := math.Min(a, 4), math.Min(b, 4)
+			pts = append(pts, SurfacePoint{A: aa, B: bb, C: F(aa, bb)})
+		}
+	}
+	return pts
+}

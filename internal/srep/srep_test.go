@@ -1,0 +1,354 @@
+package srep
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestFKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 4},
+		{0, 1, 3}, // f(0,b) = 4-b
+		{0, 4, 0},
+		{1, 0, 3}, // f(a,0) = 4-a
+		{1, 1, 1}, // f(a,a) = (2-a)^2
+		{2, 2, 0},
+		{0.5, 0.5, 2.25},
+		{3, 1, 0}, // 4 + ½(3 − 6 − 2 − √9) = 0
+	}
+	for _, tt := range tests {
+		if got := F(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("F(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestFSymmetric(t *testing.T) {
+	r := prng.New(1)
+	for i := 0; i < 1000; i++ {
+		a := r.Float64() * 4
+		b := r.Float64() * (4 - a)
+		if math.Abs(F(a, b)-F(b, a)) > 1e-12 {
+			t.Fatalf("F not symmetric at (%v, %v)", a, b)
+		}
+	}
+}
+
+func TestFMatchesNumericOracle(t *testing.T) {
+	// Lemma 3.5: f(a,b) equals the maximum representable c, which
+	// MaxCNumeric computes by brute-force scanning of the split parameter.
+	r := prng.New(2)
+	for i := 0; i < 300; i++ {
+		a := r.Float64() * 4
+		b := r.Float64() * (4 - a)
+		got := F(a, b)
+		oracle := MaxCNumeric(a, b, 20000)
+		if math.Abs(got-oracle) > 1e-4 {
+			t.Fatalf("F(%v, %v) = %v but numeric max = %v", a, b, got, oracle)
+		}
+	}
+}
+
+func TestFNonNegativeOnDomain(t *testing.T) {
+	r := prng.New(3)
+	for i := 0; i < 5000; i++ {
+		a := r.Float64() * 4
+		b := r.Float64() * (4 - a)
+		if F(a, b) < -1e-12 {
+			t.Fatalf("F(%v, %v) = %v < 0", a, b, F(a, b))
+		}
+	}
+}
+
+func TestFigure2TripleIsRepresentable(t *testing.T) {
+	// The paper's Figure 2 example: (1/4, 3/2, 1/10) is representable.
+	a, b, c := 0.25, 1.5, 0.1
+	if !IsRepresentable(a, b, c, DefaultTol) {
+		t.Fatal("Figure 2 triple not representable")
+	}
+	w, err := Decompose(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Valid(1e-12) {
+		t.Fatalf("witness invalid: %+v", w)
+	}
+	wa, wb, wc := w.Triple()
+	if math.Abs(wa-a) > 1e-9 || math.Abs(wb-b) > 1e-9 || math.Abs(wc-c) > 1e-9 {
+		t.Fatalf("witness realizes (%v, %v, %v), want (%v, %v, %v)", wa, wb, wc, a, b, c)
+	}
+}
+
+func TestIsRepresentableBasics(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c float64
+		want    bool
+	}{
+		{"origin", 0, 0, 0, true},
+		{"all-ones", 1, 1, 1, true},
+		{"corner c", 0, 0, 4, true},
+		{"just above corner", 0, 0, 4.001, false},
+		{"a+b over 4", 2.5, 2, 0, false},
+		{"a+b equal 4", 2, 2, 0, true},
+		{"negative", -0.1, 1, 1, false},
+		{"above surface", 1, 1, 1.001, false},
+		{"max a alone", 4, 0, 0, true},
+		{"beyond max a", 4.2, 0, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsRepresentable(tt.a, tt.b, tt.c, DefaultTol); got != tt.want {
+				t.Fatalf("IsRepresentable(%v, %v, %v) = %v, want %v", tt.a, tt.b, tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecomposeRandomInteriorTriples(t *testing.T) {
+	r := prng.New(5)
+	for i := 0; i < 2000; i++ {
+		a := r.Float64() * 4
+		b := r.Float64() * (4 - a)
+		c := r.Float64() * F(a, b)
+		w, err := Decompose(a, b, c)
+		if err != nil {
+			t.Fatalf("Decompose(%v, %v, %v): %v", a, b, c, err)
+		}
+		if !w.Valid(1e-9) {
+			t.Fatalf("invalid witness for (%v, %v, %v): %+v", a, b, c, w)
+		}
+		if !w.Realizes(a, b, c, 1e-9) {
+			wa, wb, wc := w.Triple()
+			t.Fatalf("witness (%v, %v, %v) does not realize (%v, %v, %v)", wa, wb, wc, a, b, c)
+		}
+	}
+}
+
+func TestDecomposeBoundaryTriples(t *testing.T) {
+	// Exactly on the surface c = f(a,b): the tightest case of Lemma 3.5.
+	r := prng.New(7)
+	for i := 0; i < 2000; i++ {
+		a := r.Float64() * 4
+		b := r.Float64() * (4 - a)
+		c := F(a, b)
+		w, err := Decompose(a, b, c)
+		if err != nil {
+			t.Fatalf("Decompose boundary (%v, %v, %v): %v", a, b, c, err)
+		}
+		if !w.Valid(1e-9) || !w.Realizes(a, b, c, 1e-7) {
+			t.Fatalf("boundary witness bad for (%v, %v, %v): %+v", a, b, c, w)
+		}
+	}
+}
+
+func TestDecomposeSpecialCases(t *testing.T) {
+	cases := [][3]float64{
+		{0, 0, 0}, {0, 0, 4}, {0, 2, 2}, {2, 0, 2}, {1, 1, 1},
+		{4, 0, 0}, {0, 4, 0}, {2, 2, 0}, {3.5, 0.5, F(3.5, 0.5)},
+	}
+	for _, tc := range cases {
+		w, err := Decompose(tc[0], tc[1], tc[2])
+		if err != nil {
+			t.Fatalf("Decompose(%v): %v", tc, err)
+		}
+		if !w.Valid(1e-9) || !w.Realizes(tc[0], tc[1], tc[2], 1e-9) {
+			t.Fatalf("bad witness for %v: %+v", tc, w)
+		}
+	}
+}
+
+func TestDecomposeRejectsOutside(t *testing.T) {
+	if _, err := Decompose(1, 1, 1.5); !errors.Is(err, ErrNotRepresentable) {
+		t.Fatalf("err = %v, want ErrNotRepresentable", err)
+	}
+	if _, err := Decompose(3, 3, 0); !errors.Is(err, ErrNotRepresentable) {
+		t.Fatalf("err = %v, want ErrNotRepresentable", err)
+	}
+	if _, err := Decompose(-1, 0, 0); !errors.Is(err, ErrNotRepresentable) {
+		t.Fatalf("err = %v, want ErrNotRepresentable", err)
+	}
+}
+
+func TestWitnessConstraintsMatterForValidity(t *testing.T) {
+	good := Witness{A1: 1, A2: 1, B1: 1, B3: 1, C2: 1, C3: 1}
+	if !good.Valid(0) {
+		t.Fatal("all-ones witness should be valid")
+	}
+	bad := good
+	bad.A1 = 1.5 // A1 + B1 = 2.5 > 2
+	if bad.Valid(1e-9) {
+		t.Fatal("sum-violating witness reported valid")
+	}
+	bad = good
+	bad.C3 = 2.5 // out of [0,2]
+	if bad.Valid(1e-9) {
+		t.Fatal("range-violating witness reported valid")
+	}
+}
+
+func TestSRepDownwardClosed(t *testing.T) {
+	// If (a,b,c) ∈ S_rep then any componentwise-smaller triple is too
+	// (decrease the witness values). Equivalently F is non-increasing.
+	r := prng.New(11)
+	for i := 0; i < 2000; i++ {
+		a := r.Float64() * 4
+		b := r.Float64() * (4 - a)
+		a2 := a * r.Float64()
+		b2 := b * r.Float64()
+		if F(a2, b2) < F(a, b)-1e-9 {
+			t.Fatalf("F(%v, %v) = %v < F(%v, %v) = %v", a2, b2, F(a2, b2), a, b, F(a, b))
+		}
+	}
+}
+
+func TestFMidpointConvexity(t *testing.T) {
+	// Lemma 3.6 numerically: f((x+y)/2) <= (f(x)+f(y))/2.
+	r := prng.New(13)
+	for i := 0; i < 5000; i++ {
+		a1 := r.Float64() * 4
+		b1 := r.Float64() * (4 - a1)
+		a2 := r.Float64() * 4
+		b2 := r.Float64() * (4 - a2)
+		mid := F((a1+a2)/2, (b1+b2)/2)
+		avg := (F(a1, b1) + F(a2, b2)) / 2
+		if mid > avg+1e-9 {
+			t.Fatalf("convexity violated: f(mid)=%v > avg=%v at (%v,%v)/(%v,%v)", mid, avg, a1, b1, a2, b2)
+		}
+	}
+}
+
+func TestFConvexAlongRandomSegments(t *testing.T) {
+	// Stronger check: f restricted to random segments is convex at random
+	// interpolation parameters, not just midpoints.
+	r := prng.New(17)
+	for i := 0; i < 5000; i++ {
+		a1 := r.Float64() * 4
+		b1 := r.Float64() * (4 - a1)
+		a2 := r.Float64() * 4
+		b2 := r.Float64() * (4 - a2)
+		q := r.Float64()
+		lhs := F(q*a1+(1-q)*a2, q*b1+(1-q)*b2)
+		rhs := q*F(a1, b1) + (1-q)*F(a2, b2)
+		if lhs > rhs+1e-9 {
+			t.Fatalf("convexity violated at q=%v", q)
+		}
+	}
+}
+
+func TestIncurvednessRandomChords(t *testing.T) {
+	// Lemma 3.7 numerically: no chord between two points outside S_rep
+	// passes through S_rep. Sample points outside and random q.
+	r := prng.New(19)
+	violations := 0
+	trials := 0
+	for trials < 20000 {
+		s := Triple{A: r.Float64() * 5, B: r.Float64() * 5, C: r.Float64() * 5}
+		o := Triple{A: r.Float64() * 5, B: r.Float64() * 5, C: r.Float64() * 5}
+		if s.In(DefaultTol) || o.In(DefaultTol) {
+			continue
+		}
+		trials++
+		q := r.Float64()
+		if ChordViolation(s, o, q, DefaultTol) {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d incurvedness violations in %d chords", violations, trials)
+	}
+}
+
+func TestIncurvednessNearSurfaceChords(t *testing.T) {
+	// Adversarial chords: both endpoints just above the surface, where a
+	// violation would appear first if S_rep were not incurved.
+	r := prng.New(23)
+	for i := 0; i < 20000; i++ {
+		a1 := r.Float64() * 4
+		b1 := r.Float64() * (4 - a1)
+		a2 := r.Float64() * 4
+		b2 := r.Float64() * (4 - a2)
+		eps1 := 1e-6 + r.Float64()*0.1
+		eps2 := 1e-6 + r.Float64()*0.1
+		s := Triple{A: a1, B: b1, C: F(a1, b1) + eps1}
+		o := Triple{A: a2, B: b2, C: F(a2, b2) + eps2}
+		q := r.Float64()
+		if ChordViolation(s, o, q, 1e-12) {
+			t.Fatalf("near-surface chord violation: s=%+v o=%+v q=%v", s, o, q)
+		}
+	}
+}
+
+func TestSurfaceGrid(t *testing.T) {
+	pts := SurfaceGrid(0.25)
+	if len(pts) == 0 {
+		t.Fatal("empty surface grid")
+	}
+	for _, p := range pts {
+		if p.A+p.B > 4+1e-9 {
+			t.Fatalf("grid point outside triangle: %+v", p)
+		}
+		if math.Abs(p.C-F(p.A, p.B)) > 1e-12 {
+			t.Fatalf("grid point off surface: %+v", p)
+		}
+		if !IsRepresentable(p.A, p.B, p.C, DefaultTol) {
+			t.Fatalf("surface point not representable: %+v", p)
+		}
+		if IsRepresentable(p.A, p.B, p.C+1e-6, 1e-9) {
+			t.Fatalf("point above surface is representable: %+v", p)
+		}
+	}
+	// Triangle with step s has roughly (4/s)^2/2 points; sanity check count.
+	if len(pts) < 100 {
+		t.Fatalf("suspiciously few grid points: %d", len(pts))
+	}
+}
+
+func TestQuickDecomposeRoundTrip(t *testing.T) {
+	f := func(ra, rb, rc uint16) bool {
+		a := 4 * float64(ra) / 65535
+		b := (4 - a) * float64(rb) / 65535
+		c := F(a, b) * float64(rc) / 65535
+		w, err := Decompose(a, b, c)
+		if err != nil {
+			return false
+		}
+		return w.Valid(1e-9) && w.Realizes(a, b, c, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleInterpolate(t *testing.T) {
+	s := Triple{A: 0, B: 0, C: 0}
+	o := Triple{A: 4, B: 2, C: 1}
+	m := s.Interpolate(o, 0.25)
+	if m.A != 3 || m.B != 1.5 || m.C != 0.75 {
+		t.Fatalf("Interpolate = %+v", m)
+	}
+}
+
+func BenchmarkF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = F(1.3, 2.1)
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Decompose(1.3, 2.1, 0.3)
+	}
+}
+
+func BenchmarkIsRepresentable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = IsRepresentable(1.3, 2.1, 0.3, DefaultTol)
+	}
+}

@@ -1,0 +1,156 @@
+// Package twosat implements a linear-time 2-SAT solver via strongly
+// connected components of the implication graph (Aspvall, Plass, Tarjan
+// 1979). It is the decision substrate of the finite lower-bound
+// certificates in internal/lb: "does any radius-t edge-view algorithm solve
+// sinkless orientation on all small-ID cycles?" is a 2-SAT instance.
+package twosat
+
+import "fmt"
+
+// Lit is a literal: the variable index v ≥ 0 for the positive literal, and
+// Not(v) for the negation.
+type Lit int
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(2 * v) }
+
+// Neg returns the negative literal of variable v.
+func Neg(v int) Lit { return Lit(2*v + 1) }
+
+// negate flips a literal.
+func negate(l Lit) Lit { return l ^ 1 }
+
+// variable returns the variable index of a literal.
+func variable(l Lit) int { return int(l) / 2 }
+
+// Solver accumulates clauses over a fixed number of variables.
+type Solver struct {
+	numVars int
+	adj     [][]int32 // implication graph: 2*numVars literal nodes
+}
+
+// New returns a solver over numVars variables.
+func New(numVars int) *Solver {
+	return &Solver{
+		numVars: numVars,
+		adj:     make([][]int32, 2*numVars),
+	}
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// AddClause adds the clause (a ∨ b) as the implications ¬a→b and ¬b→a.
+func (s *Solver) AddClause(a, b Lit) {
+	s.check(a)
+	s.check(b)
+	s.adj[negate(a)] = append(s.adj[negate(a)], int32(b))
+	s.adj[negate(b)] = append(s.adj[negate(b)], int32(a))
+}
+
+// AddUnit adds the unit clause (a), i.e. (a ∨ a).
+func (s *Solver) AddUnit(a Lit) { s.AddClause(a, a) }
+
+// AddImplication adds a → b (the clause ¬a ∨ b).
+func (s *Solver) AddImplication(a, b Lit) { s.AddClause(negate(a), b) }
+
+// AddXOR constrains a ≠ b (a ⊕ b): clauses (a ∨ b) and (¬a ∨ ¬b).
+func (s *Solver) AddXOR(a, b Lit) {
+	s.AddClause(a, b)
+	s.AddClause(negate(a), negate(b))
+}
+
+func (s *Solver) check(l Lit) {
+	if l < 0 || int(l) >= 2*s.numVars {
+		panic(fmt.Sprintf("twosat: literal %d outside %d variables", l, s.numVars))
+	}
+}
+
+// Solve decides satisfiability; on success it also returns a satisfying
+// assignment (indexed by variable).
+func (s *Solver) Solve() (assignment []bool, sat bool) {
+	n := 2 * s.numVars
+	// Iterative Tarjan SCC.
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		counter int32
+		nComps  int32
+		stack   []int32
+	)
+	type frame struct {
+		v    int32
+		next int
+	}
+	var callStack []frame
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: int32(start)})
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(s.adj[f.v]) {
+				w := s.adj[f.v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComps
+					if w == v {
+						break
+					}
+				}
+				nComps++
+			}
+		}
+	}
+
+	assignment = make([]bool, s.numVars)
+	for v := 0; v < s.numVars; v++ {
+		p, q := comp[Pos(v)], comp[negate(Pos(v))]
+		if p == q {
+			return nil, false
+		}
+		// Tarjan numbers components in reverse topological order, so the
+		// literal whose component has the SMALLER index comes later in the
+		// topological order and is the one to set true.
+		assignment[v] = p < q
+	}
+	return assignment, true
+}

@@ -1,0 +1,161 @@
+package twosat
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestSimpleSat(t *testing.T) {
+	s := New(2)
+	s.AddClause(Pos(0), Pos(1))
+	s.AddClause(Neg(0), Pos(1))
+	a, sat := s.Solve()
+	if !sat {
+		t.Fatal("satisfiable instance reported UNSAT")
+	}
+	// Both clauses demand x1 when x0 is either value... verify directly.
+	check := func(c [2]Lit) bool {
+		val := func(l Lit) bool {
+			v := a[int(l)/2]
+			if int(l)%2 == 1 {
+				v = !v
+			}
+			return v
+		}
+		return val(c[0]) || val(c[1])
+	}
+	for _, c := range [][2]Lit{{Pos(0), Pos(1)}, {Neg(0), Pos(1)}} {
+		if !check(c) {
+			t.Fatalf("assignment %v violates clause %v", a, c)
+		}
+	}
+}
+
+func TestSimpleUnsat(t *testing.T) {
+	// (x) ∧ (¬x) is unsatisfiable.
+	s := New(1)
+	s.AddUnit(Pos(0))
+	s.AddUnit(Neg(0))
+	if _, sat := s.Solve(); sat {
+		t.Fatal("unsatisfiable instance reported SAT")
+	}
+}
+
+func TestXOR(t *testing.T) {
+	s := New(2)
+	s.AddXOR(Pos(0), Pos(1))
+	a, sat := s.Solve()
+	if !sat {
+		t.Fatal("XOR should be satisfiable")
+	}
+	if a[0] == a[1] {
+		t.Fatalf("XOR violated: %v", a)
+	}
+	// Forcing equality on top makes it UNSAT.
+	s.AddUnit(Pos(0))
+	s.AddUnit(Pos(1))
+	if _, sat := s.Solve(); sat {
+		t.Fatal("x ⊕ y ∧ x ∧ y should be UNSAT")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x0 → x1 → x2 → ¬x0 forces ¬x0; adding unit x0 makes it UNSAT.
+	s := New(3)
+	s.AddImplication(Pos(0), Pos(1))
+	s.AddImplication(Pos(1), Pos(2))
+	s.AddImplication(Pos(2), Neg(0))
+	a, sat := s.Solve()
+	if !sat {
+		t.Fatal("chain should be satisfiable")
+	}
+	if a[0] {
+		t.Fatal("x0 must be false")
+	}
+	s.AddUnit(Pos(0))
+	if _, sat := s.Solve(); sat {
+		t.Fatal("chain + x0 should be UNSAT")
+	}
+}
+
+// bruteForce decides satisfiability by enumeration (n <= 16).
+func bruteForce(n int, clauses [][2]Lit) bool {
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, c := range clauses {
+			val := func(l Lit) bool {
+				v := mask>>(int(l)/2)&1 == 1
+				if int(l)%2 == 1 {
+					v = !v
+				}
+				return v
+			}
+			if !val(c[0]) && !val(c[1]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	r := prng.New(7)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(8)
+		numClauses := 1 + r.Intn(3*n)
+		clauses := make([][2]Lit, numClauses)
+		s := New(n)
+		for i := range clauses {
+			a := Lit(r.Intn(2 * n))
+			b := Lit(r.Intn(2 * n))
+			clauses[i] = [2]Lit{a, b}
+			s.AddClause(a, b)
+		}
+		a, sat := s.Solve()
+		want := bruteForce(n, clauses)
+		if sat != want {
+			t.Fatalf("trial %d: solver %v, brute force %v (clauses %v)", trial, sat, want, clauses)
+		}
+		if sat {
+			// The returned assignment must actually satisfy all clauses.
+			for _, c := range clauses {
+				val := func(l Lit) bool {
+					v := a[int(l)/2]
+					if int(l)%2 == 1 {
+						v = !v
+					}
+					return v
+				}
+				if !val(c[0]) && !val(c[1]) {
+					t.Fatalf("trial %d: assignment violates clause %v", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestLiteralRangePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range literal should panic")
+		}
+	}()
+	New(1).AddClause(Pos(5), Pos(0))
+}
+
+func BenchmarkSolveChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(2000)
+		for v := 0; v+1 < 2000; v++ {
+			s.AddImplication(Pos(v), Pos(v+1))
+		}
+		if _, sat := s.Solve(); !sat {
+			b.Fatal("chain should be SAT")
+		}
+	}
+}

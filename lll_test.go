@@ -1,0 +1,192 @@
+package lll_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	lll "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := lll.NewCycle(32)
+	s, err := lll.NewSinkless(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lll.Validate(s.Instance); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lll.Solve(s.Instance, lll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("%d violations", res.Stats.FinalViolatedEvents)
+	}
+	if sinks := s.Sinks(res.Assignment); len(sinks) != 0 {
+		t.Fatalf("sinks: %v", sinks)
+	}
+}
+
+func TestSolveDistributedDispatch(t *testing.T) {
+	// Rank 2 dispatches to Corollary 1.2.
+	s, err := lll.NewSinkless(lll.NewCycle(12), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := lll.SolveDistributed(s.Instance, lll.Options{}, lll.LocalOptions{IDSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ViolatedEvents != 0 {
+		t.Fatal("rank-2 distributed solve failed")
+	}
+	// Rank 3 dispatches to Corollary 1.4.
+	r := lll.NewRand(2)
+	h, err := lll.NewRandomRegularRank3(12, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := lll.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := lll.SolveDistributed(hs.Instance, lll.Options{}, lll.LocalOptions{IDSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.ViolatedEvents != 0 {
+		t.Fatal("rank-3 distributed solve failed")
+	}
+}
+
+func TestCustomInstanceViaBuilder(t *testing.T) {
+	// A bespoke instance through the public builder API: three events on a
+	// triangle sharing one rank-3 variable plus private coins.
+	b := lll.NewInstanceBuilder()
+	shared := b.AddVariable(lll.Uniform(3), "shared")
+	coins := make([]int, 3)
+	bern, err := lll.Bernoulli(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coins {
+		coins[i] = b.AddVariable(bern, "coin")
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		b.AddEvent([]int{shared, coins[i]}, func(v []int) bool {
+			return v[0] == i && v[1] == 1
+		}, nil, "E")
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Rank() != 3 {
+		t.Fatalf("rank = %d", inst.Rank())
+	}
+	if err := lll.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lll.Solve(inst, lll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalViolatedEvents != 0 {
+		t.Fatal("bespoke instance not solved")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	// Rank 4 rejected.
+	b := lll.NewInstanceBuilder()
+	x := b.AddVariable(lll.Uniform(2), "x")
+	for i := 0; i < 4; i++ {
+		b.AddEvent([]int{x}, func(v []int) bool { return v[0] == 1 }, nil, "E")
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lll.Validate(inst); err == nil || !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("rank error = %v", err)
+	}
+	// Threshold instance fails the criterion.
+	s, err := lll.NewSinkless(lll.NewCycle(6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lll.Validate(s.Instance); err == nil || !strings.Contains(err.Error(), "criterion") {
+		t.Fatalf("criterion error = %v", err)
+	}
+}
+
+func TestMoserTardosFacade(t *testing.T) {
+	s, err := lll.NewSinkless(lll.NewCycle(16), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lll.MoserTardos(s.Instance, lll.NewRand(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatal("MT failed")
+	}
+	pres, err := lll.MoserTardosParallel(s.Instance, lll.NewRand(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Satisfied {
+		t.Fatal("parallel MT failed")
+	}
+}
+
+func TestGeometryFacade(t *testing.T) {
+	if got := lll.SurfaceF(0, 0); got != 4 {
+		t.Fatalf("SurfaceF(0,0) = %v", got)
+	}
+	if !lll.IsRepresentable(0.25, 1.5, 0.1) {
+		t.Fatal("Figure 2 triple rejected")
+	}
+	w, err := lll.DecomposeTriple(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := w.Triple()
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-1) > 1e-9 || math.Abs(c-1) > 1e-9 {
+		t.Fatalf("witness realizes (%v,%v,%v)", a, b, c)
+	}
+}
+
+func TestCheckExponentialCriterion(t *testing.T) {
+	s, err := lll.NewSinklessWithMargin(lll.NewCycle(8), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, margin := lll.CheckExponentialCriterion(s.Instance)
+	if !ok || math.Abs(margin-0.7) > 1e-9 {
+		t.Fatalf("ok=%v margin=%v", ok, margin)
+	}
+}
+
+func TestSolveInOrderAdversarial(t *testing.T) {
+	s, err := lll.NewSinkless(lll.NewCycle(10), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Instance.NumVars()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	res, err := lll.SolveInOrder(s.Instance, order, lll.Options{Strategy: lll.StrategyAdversarial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalViolatedEvents != 0 {
+		t.Fatal("reverse adversarial order failed below threshold")
+	}
+}
