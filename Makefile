@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet bench harness cover fuzz clean
+.PHONY: build test test-race vet bench harness cover fuzz clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# Race-detector pass over the sharded execution engine and its consumers
+# (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers).
+test-race:
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:

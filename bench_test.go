@@ -7,10 +7,14 @@
 package lll_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 
 	lll "repro"
+	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/local"
 )
 
 // benchSizes keeps per-iteration work small enough for stable timings.
@@ -105,6 +109,137 @@ func BenchmarkT11_LowerBoundCertificates(b *testing.B) {
 	runExperiment(b, func() (*exp.Table, error) {
 		return exp.T11LowerBound(uint64(b.N), exp.Sizes{Trials: 10})
 	})
+}
+
+// Engine benchmarks: the sharded worker-pool round loop vs the original
+// goroutine-per-node simulation, at simulator scale (n = 100k nodes). Run
+// with `-cpu 1,2,4` to see the scaling: the pool picks up GOMAXPROCS
+// workers per -cpu setting. Metrics: rounds/sec and allocs/round (the pool
+// reuses its buffers across rounds; the per-node variant pays one goroutine
+// plus a flag slice per round).
+
+// engineBenchRounds is the number of synchronous rounds simulated per
+// benchmark iteration.
+const engineBenchRounds = 4
+
+// benchComputePhase is the per-node compute work of one simulated round: a
+// few arithmetic ops and an index-addressed write, the same shape as a
+// lightweight LOCAL machine step.
+func benchComputePhase(v, round int, out []uint64) {
+	x := uint64(v)*0x9e3779b97f4a7c15 + uint64(round)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	out[v] = x
+}
+
+// reportRoundMetrics converts raw benchmark counters into the domain
+// metrics the ISSUE tracks: rounds/sec and allocs/round.
+func reportRoundMetrics(b *testing.B, totalRounds int, m0, m1 *runtime.MemStats) {
+	b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(totalRounds), "allocs/round")
+}
+
+func BenchmarkEngineRounds(b *testing.B) {
+	const n = 100_000
+	b.Run("pool", func(b *testing.B) {
+		pool := engine.New(runtime.GOMAXPROCS(0))
+		defer pool.Close()
+		out := make([]uint64, n)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for round := 1; round <= engineBenchRounds; round++ {
+				pool.ForEachShard(n, func(lo, hi int) {
+					for v := lo; v < hi; v++ {
+						benchComputePhase(v, round, out)
+					}
+				})
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		reportRoundMetrics(b, b.N*engineBenchRounds, &m0, &m1)
+	})
+	b.Run("goroutine-per-node", func(b *testing.B) {
+		// The seed simulator's compute phase: one fresh goroutine per node
+		// per round, joined by a WaitGroup barrier.
+		out := make([]uint64, n)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for round := 1; round <= engineBenchRounds; round++ {
+				var wg sync.WaitGroup
+				for v := 0; v < n; v++ {
+					wg.Add(1)
+					go func(v int) {
+						defer wg.Done()
+						benchComputePhase(v, round, out)
+					}(v)
+				}
+				wg.Wait()
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		reportRoundMetrics(b, b.N*engineBenchRounds, &m0, &m1)
+	})
+}
+
+// floodProbe is a minimal LOCAL machine (min-ID flooding with a fixed round
+// budget) used to benchmark the full runtime — compute, validation and
+// delivery phases — at large n.
+type floodProbe struct {
+	info   local.NodeInfo
+	min    uint64
+	budget int
+}
+
+func (m *floodProbe) Init(info local.NodeInfo) {
+	m.info = info
+	m.min = info.ID
+}
+
+func (m *floodProbe) Round(round int, recv []local.Message) ([]local.Message, bool) {
+	for _, msg := range recv {
+		if v, ok := msg.(uint64); ok && v < m.min {
+			m.min = v
+		}
+	}
+	send := make([]local.Message, m.info.Degree())
+	for i := range send {
+		send[i] = m.min
+	}
+	return send, round >= m.budget
+}
+
+// BenchmarkLocalSinkless100k runs the LOCAL runtime end to end on the
+// dependency graph of an n = 100k sinkless-orientation instance (a cycle at
+// the paper's threshold witness), with a fixed round budget per iteration.
+func BenchmarkLocalSinkless100k(b *testing.B) {
+	s, err := lll.NewSinkless(lll.NewCycle(100_000), 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := s.Instance.DependencyGraph()
+	const budget = 8
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	totalRounds := 0
+	for i := 0; i < b.N; i++ {
+		stats, err := local.Run(g, func(v int) local.Machine {
+			return &floodProbe{budget: budget}
+		}, local.Options{IDSeed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalRounds += stats.Rounds
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	reportRoundMetrics(b, totalRounds, &m0, &m1)
 }
 
 // Micro-benchmarks of the public solver entry points, for users sizing

@@ -2,9 +2,14 @@
 // reproduction (F1, F2, T1-T8 in DESIGN.md) and prints them to stdout. It is
 // the one-shot entry point behind EXPERIMENTS.md.
 //
+// Independent experiments run concurrently on a sharded worker pool
+// (-workers, default GOMAXPROCS); tables are collected per experiment and
+// emitted in DESIGN.md order, so the output matches a sequential run
+// cell for cell (only T6's wall-clock timing columns vary run to run).
+//
 // Usage:
 //
-//	benchharness [-seed N] [-scale F] [-trials N] [-only ID]
+//	benchharness [-seed N] [-scale F] [-trials N] [-only ID] [-workers N] [-csv]
 package main
 
 import (
@@ -29,6 +34,7 @@ func run() error {
 	trials := flag.Int("trials", 0, "randomized repetitions (0 = per-experiment default)")
 	only := flag.String("only", "", "run a single experiment by ID (F1, F2, T1..T11)")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	workers := flag.Int("workers", 0, "concurrent experiments and LOCAL-engine workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	emit := func(tbl *exp.Table) error {
@@ -39,9 +45,9 @@ func run() error {
 		tbl.Render(os.Stdout)
 		return nil
 	}
-	sz := exp.Sizes{Scale: *scale, Trials: *trials}
+	sz := exp.Sizes{Scale: *scale, Trials: *trials, Workers: *workers}
 	if *only == "" {
-		tables, err := exp.All(*seed, sz)
+		tables, err := exp.AllParallel(*seed, sz, *workers)
 		for _, tbl := range tables {
 			if eerr := emit(tbl); eerr != nil {
 				return eerr

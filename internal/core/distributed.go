@@ -22,6 +22,12 @@ import (
 //     their 1-hop neighbourhoods — and hence the events and φ values they
 //     touch — are disjoint.
 //
+// The machines execute on the LOCAL runtime's sharded worker-pool engine
+// (internal/engine); lopts.Workers selects the worker count. Runs are
+// bit-for-bit deterministic for every worker count: same-class actors touch
+// disjoint state by construction (matchings / distance-3 separation), and
+// each machine's view is merged only from its own inbox.
+//
 // Every class takes a two-round cycle: an act round in which the scheduled
 // nodes fix variables (using the chooseRank* kernels on their local view)
 // and broadcast the new fixings and φ values, and an echo round in which

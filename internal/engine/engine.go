@@ -1,0 +1,185 @@
+// Package engine provides the sharded worker-pool execution engine behind
+// the round-based simulators (the LOCAL runtime, the distributed
+// Moser-Tardos resampler and the distributed fixers) and the experiment
+// harness.
+//
+// A Pool is a fixed set of persistent workers. Each call to ForEach or
+// ForEachShard partitions the index range [0, n) into contiguous shards and
+// lets the workers pull shards off an atomic cursor until the range is
+// exhausted. Compared with spawning one goroutine per index per round (the
+// original LOCAL simulator), the pool amortises goroutine creation across
+// rounds and keeps per-round allocations flat.
+//
+// Determinism contract: the pool guarantees that fn is called exactly once
+// for every index in [0, n), with disjoint contiguous shards, and that the
+// call returns only after all indices were processed. It does NOT guarantee
+// any ordering between shards. Callers therefore must write results to
+// index-addressed locations (out[i] = ...) and must not let the result
+// depend on shard execution order; under that discipline results are
+// bit-for-bit identical for every worker count, which the golden-table
+// tests in internal/exp lock in.
+//
+// Nesting is safe: the submitting goroutine always participates in the work
+// itself and idle workers are enlisted with non-blocking handoffs, so a
+// ForEach issued from inside another ForEach (e.g. a LOCAL run inside a
+// parallel experiment harness) degrades to inline execution instead of
+// deadlocking.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// targetShardsPerWorker controls the shard granularity: enough shards per
+// worker for load balancing without making the atomic cursor contended.
+const targetShardsPerWorker = 8
+
+// Pool is a fixed-size set of persistent workers executing sharded index
+// ranges. The zero value is not usable; construct with New. A nil *Pool is
+// valid and executes everything inline on the caller.
+type Pool struct {
+	workers int
+	jobs    chan *job
+	closed  atomic.Bool
+}
+
+// job is one ForEachShard invocation: workers race on the cursor for the
+// next contiguous shard of [0, n).
+type job struct {
+	cursor atomic.Int64
+	n      int64
+	shard  int64
+	fn     func(lo, hi int)
+	wg     sync.WaitGroup
+}
+
+func (j *job) run() {
+	for {
+		lo := j.cursor.Add(j.shard) - j.shard
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.shard
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(int(lo), int(hi))
+	}
+}
+
+// New creates a pool with the given number of workers. workers <= 0 selects
+// runtime.GOMAXPROCS(0). A 1-worker pool spawns no goroutines and executes
+// inline.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		// The caller participates in every job, so workers-1 helper
+		// goroutines saturate `workers` ways of parallelism.
+		p.jobs = make(chan *job)
+		for i := 0; i < workers-1; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for j := range p.jobs {
+		j.run()
+		j.wg.Done()
+	}
+}
+
+// Workers returns the configured worker count (including the caller).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close shuts the helper goroutines down. The pool executes inline after
+// Close; Close must not be called concurrently with ForEach/ForEachShard.
+func (p *Pool) Close() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+	}
+}
+
+// ForEachShard covers [0, n) with disjoint contiguous shards, invoking fn
+// once per shard from the pool's workers (and the calling goroutine). It
+// returns after every index was processed. fn must be safe for concurrent
+// invocation on disjoint shards.
+func (p *Pool) ForEachShard(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers == 1 || p.closed.Load() || n == 1 {
+		fn(0, n)
+		return
+	}
+	shard := (n + p.workers*targetShardsPerWorker - 1) / (p.workers * targetShardsPerWorker)
+	if shard < 1 {
+		shard = 1
+	}
+	j := &job{n: int64(n), shard: int64(shard), fn: fn}
+	// Enlist idle helpers without blocking: a send on the unbuffered channel
+	// succeeds only if a worker is parked in its receive. Busy workers (we
+	// may be running inside one) are skipped, which is what makes nested
+	// ForEach calls deadlock-free.
+	for i := 0; i < p.workers-1; i++ {
+		j.wg.Add(1)
+		select {
+		case p.jobs <- j:
+		default:
+			j.wg.Done()
+		}
+	}
+	j.run() // the caller always participates
+	j.wg.Wait()
+}
+
+// ForEach invokes fn once for every index in [0, n), sharded across the
+// pool. See ForEachShard for the concurrency and determinism contract.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.ForEachShard(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// RoundStats describes one synchronous round executed on the pool, as
+// reported by the LOCAL runtime's Options.OnRound observer.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int
+	// Steps is the number of machines stepped (Round invocations) this
+	// round.
+	Steps int
+	// Messages is the number of non-nil messages delivered this round.
+	Messages int
+	// Active is the number of machines still running after the round.
+	Active int
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool with GOMAXPROCS workers, created on
+// first use and never closed. Round-based simulators default to it so that
+// buffer-sized worker state persists across runs.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = New(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}

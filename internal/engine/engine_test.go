@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversEveryIndexOnce checks the core contract: every index in
+// [0, n) is visited exactly once, for a spread of sizes and worker counts.
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			visits := make([]int32, n)
+			p.ForEach(n, func(i int) {
+				atomic.AddInt32(&visits[i], 1)
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestForEachShardDisjointContiguous checks that shards partition the range.
+func TestForEachShardDisjointContiguous(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 503
+	covered := make([]int32, n)
+	p.ForEachShard(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad shard [%d, %d)", lo, hi)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, v := range covered {
+		if v != 1 {
+			t.Fatalf("index %d covered %d times", i, v)
+		}
+	}
+}
+
+// TestIndexAddressedDeterminism checks the determinism discipline the LOCAL
+// runtime relies on: index-addressed writes yield identical results for
+// every worker count.
+func TestIndexAddressedDeterminism(t *testing.T) {
+	const n = 4096
+	run := func(workers int) []uint64 {
+		p := New(workers)
+		defer p.Close()
+		out := make([]uint64, n)
+		p.ForEach(n, func(i int) {
+			x := uint64(i) * 0x9e3779b97f4a7c15
+			x ^= x >> 29
+			out[i] = x
+		})
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNestedForEach checks that a ForEach issued from inside another
+// ForEach on the same pool completes (no deadlock) and covers its range.
+func TestNestedForEach(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const outer, inner = 16, 64
+	var total atomic.Int64
+	p.ForEach(outer, func(i int) {
+		p.ForEach(inner, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != outer*inner {
+		t.Fatalf("nested ForEach ran %d inner iterations, want %d", got, outer*inner)
+	}
+}
+
+// TestSharedPoolReuse checks the process-wide pool is a singleton and
+// usable repeatedly.
+func TestSharedPoolReuse(t *testing.T) {
+	a, b := Shared(), Shared()
+	if a != b {
+		t.Fatal("Shared returned distinct pools")
+	}
+	if a.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("shared pool has %d workers, want GOMAXPROCS=%d", a.Workers(), runtime.GOMAXPROCS(0))
+	}
+	for r := 0; r < 3; r++ {
+		var count atomic.Int64
+		a.ForEach(100, func(i int) { count.Add(1) })
+		if count.Load() != 100 {
+			t.Fatalf("round %d: %d iterations", r, count.Load())
+		}
+	}
+}
+
+// TestCloseFallsBackInline checks that a closed pool still executes work,
+// inline on the caller.
+func TestCloseFallsBackInline(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close() // idempotent
+	visited := make([]bool, 50)
+	p.ForEach(len(visited), func(i int) { visited[i] = true })
+	for i, v := range visited {
+		if !v {
+			t.Fatalf("index %d not visited after Close", i)
+		}
+	}
+}
+
+// TestNilPoolRunsInline checks the nil-pool convenience.
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	sum := 0
+	p.ForEach(10, func(i int) { sum += i })
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+	p.Close()
+}
+
+// TestWorkersDefault checks New(0) picks GOMAXPROCS.
+func TestWorkersDefault(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want %d", p.Workers(), runtime.GOMAXPROCS(0))
+	}
+}

@@ -6,9 +6,9 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
-	"repro/internal/local"
 	"repro/internal/model"
 	"repro/internal/mt"
 	"repro/internal/prng"
@@ -56,7 +56,7 @@ func T6MoserTardos(seed uint64, sz Sizes) (*Table, error) {
 				rounds += pres.Rounds
 			}
 			mtTime := time.Since(mtStart)
-			dist, err := mt.Distributed(s.Instance, seed, 0, local.Options{IDSeed: seed})
+			dist, err := mt.Distributed(s.Instance, seed, 0, sz.lopts(seed))
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +102,7 @@ func T7Applications(seed uint64, sz Sizes) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := runApp(t, "hyper-sinkless (deg 3)", hs.Instance, seed, func(a *appResult) bool {
+	if err := runApp(t, "hyper-sinkless (deg 3)", hs.Instance, seed, sz, func(a *appResult) bool {
 		return len(hs.Sinks(a.seq)) == 0 && len(hs.Sinks(a.dist)) == 0
 	}); err != nil {
 		return t, err
@@ -121,7 +121,7 @@ func T7Applications(seed uint64, sz Sizes) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := runApp(t, "3-orientations (deg 2)", to.Instance, seed, func(a *appResult) bool {
+	if err := runApp(t, "3-orientations (deg 2)", to.Instance, seed, sz, func(a *appResult) bool {
 		return len(to.Violations(a.seq)) == 0 && len(to.Violations(a.dist)) == 0
 	}); err != nil {
 		return t, err
@@ -137,7 +137,7 @@ func T7Applications(seed uint64, sz Sizes) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := runApp(t, "weak splitting (16 colours)", w.Instance, seed, func(a *appResult) bool {
+	if err := runApp(t, "weak splitting (16 colours)", w.Instance, seed, sz, func(a *appResult) bool {
 		return len(w.Monochromatic(a.seq)) == 0 && len(w.Monochromatic(a.dist)) == 0
 	}); err != nil {
 		return t, err
@@ -151,13 +151,13 @@ type appResult struct {
 
 // runApp solves inst sequentially and distributed, appends a row and checks
 // the domain property.
-func runApp(t *Table, name string, inst *model.Instance, seed uint64, domainOK func(*appResult) bool) error {
+func runApp(t *Table, name string, inst *model.Instance, seed uint64, sz Sizes, domainOK func(*appResult) bool) error {
 	_, margin := inst.ExponentialCriterion()
 	seq, err := core.FixSequential(inst, nil, core.Options{})
 	if err != nil {
 		return fmt.Errorf("exp: T7 %s: %w", name, err)
 	}
-	dist, err := core.FixDistributed3(inst, core.Options{}, local.Options{IDSeed: seed})
+	dist, err := core.FixDistributed3(inst, core.Options{}, sz.lopts(seed))
 	if err != nil {
 		return fmt.Errorf("exp: T7 %s: %w", name, err)
 	}
@@ -263,11 +263,11 @@ func reverseOrder(n int) []int {
 	return order
 }
 
-// All runs every experiment with default sizes and returns the tables in
-// DESIGN.md order.
-func All(seed uint64, sz Sizes) ([]*Table, error) {
-	type runner func() (*Table, error)
-	runners := []runner{
+// allRunners returns the experiments in DESIGN.md order. Each runner is
+// self-contained (own PRNG seeded from the shared seed), so runners may
+// execute concurrently.
+func allRunners(seed uint64, sz Sizes) []func() (*Table, error) {
+	return []func() (*Table, error){
 		func() (*Table, error) { return F1Surface(0.5, 20000, seed) },
 		F2Witness,
 		func() (*Table, error) { return T1Rank2(seed, sz) },
@@ -282,15 +282,36 @@ func All(seed uint64, sz Sizes) ([]*Table, error) {
 		func() (*Table, error) { return T10Spectrum(seed, sz) },
 		func() (*Table, error) { return T11LowerBound(seed, sz) },
 	}
-	var tables []*Table
-	for _, run := range runners {
-		tbl, err := run()
-		if tbl != nil {
-			tables = append(tables, tbl)
+}
+
+// All runs every experiment with default sizes and returns the tables in
+// DESIGN.md order.
+func All(seed uint64, sz Sizes) ([]*Table, error) {
+	return AllParallel(seed, sz, 1)
+}
+
+// AllParallel runs the independent experiments concurrently on a sharded
+// worker pool with the given worker count (0 = GOMAXPROCS) and returns the
+// tables in DESIGN.md order — the output is identical to All's, only the
+// wall-clock differs. As in All, tables stop at the first (by DESIGN.md
+// order) experiment that failed, including that experiment's partial table.
+func AllParallel(seed uint64, sz Sizes, workers int) ([]*Table, error) {
+	runners := allRunners(seed, sz)
+	tables := make([]*Table, len(runners))
+	errs := make([]error, len(runners))
+	pool := engine.New(workers)
+	defer pool.Close()
+	pool.ForEach(len(runners), func(i int) {
+		tables[i], errs[i] = runners[i]()
+	})
+	var out []*Table
+	for i := range runners {
+		if tables[i] != nil {
+			out = append(out, tables[i])
 		}
-		if err != nil {
-			return tables, err
+		if errs[i] != nil {
+			return out, errs[i]
 		}
 	}
-	return tables, nil
+	return out, nil
 }

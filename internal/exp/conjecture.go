@@ -6,7 +6,6 @@ import (
 	"repro/internal/apps"
 	"repro/internal/conjecture"
 	"repro/internal/hypergraph"
-	"repro/internal/local"
 	"repro/internal/prng"
 	"repro/internal/srep"
 )
@@ -93,7 +92,7 @@ func T9Conjecture(seed uint64, sz Sizes) (*Table, error) {
 		// Also exercise the DISTRIBUTED generalized fixer once per
 		// workload: Conjecture 1.5 explicitly claims a distributed
 		// algorithm, not just a sequential process.
-		dres, err := conjecture.FixDistributedR(s.Instance, local.Options{IDSeed: seed})
+		dres, err := conjecture.FixDistributedR(s.Instance, sz.lopts(seed))
 		if err != nil {
 			return t, fmt.Errorf("exp: T9 rank=%d deg=%d distributed: %w", w.rank, w.deg, err)
 		}

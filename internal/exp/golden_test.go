@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prng"
+)
+
+// The golden-table regression harness: every case renders an experiment
+// table to CSV with the LOCAL engine at Workers=1 and compares it byte for
+// byte against a checked-in golden under testdata/, then re-renders at
+// Workers ∈ {2, 4, GOMAXPROCS} and demands the identical bytes. This is
+// the executable form of the engine's determinism contract (index-addressed
+// writes ⇒ worker-count independence) AND a regression pin on the
+// experiment outputs themselves.
+//
+// Regenerate the goldens with:
+//
+//	go test ./internal/exp -run TestGoldenTables -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden tables under testdata")
+
+// goldenSizes keeps the golden workloads small enough for fast test runs
+// while still covering every distributed code path (both colouring
+// substrates, both fixers, cycles and irregular random-regular graphs).
+var goldenSizes = Sizes{Scale: 0.5, Trials: 2}
+
+type goldenCase struct {
+	name string
+	run  func(workers int) (*Table, error)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"T2", func(workers int) (*Table, error) {
+			sz := goldenSizes
+			sz.Workers = workers
+			return T2DistributedRank2(1, sz)
+		}},
+		{"T4", func(workers int) (*Table, error) {
+			sz := goldenSizes
+			sz.Trials = 1
+			sz.Workers = workers
+			return T4DistributedRank3(1, sz)
+		}},
+		{"coloring", func(workers int) (*Table, error) {
+			return coloringTable(1, workers)
+		}},
+	}
+}
+
+// coloringTable exercises the LOCAL coloring machines directly (vertex,
+// edge and distance-2 colouring) and pins palette, rounds, messages and a
+// digest of the full colour vector per workload.
+func coloringTable(seed uint64, workers int) (*Table, error) {
+	t := &Table{
+		ID:     "COL",
+		Title:  "LOCAL coloring machines - determinism pin",
+		Note:   "colour digest is an FNV-1a hash of the full colour vector; identical digests mean identical colourings.",
+		Header: []string{"graph", "algorithm", "n", "palette", "rounds", "sim factor", "messages", "colour digest"},
+	}
+	r := prng.New(seed)
+	g4, err := graph.RandomRegular(24, 4, r)
+	if err != nil {
+		return nil, err
+	}
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle-48", graph.Cycle(48)},
+		{"torus-5x5", graph.Torus(5, 5)},
+		{"4-regular-24", g4},
+	}
+	lopts := local.Options{IDSeed: seed, Workers: workers}
+	for _, gr := range graphs {
+		algos := []struct {
+			name string
+			run  func() (*coloring.Result, error)
+		}{
+			{"vertex", func() (*coloring.Result, error) {
+				return coloring.DistributedVertexColoring(gr.g, lopts, gr.g.MaxDegree()+1)
+			}},
+			{"edge-native", func() (*coloring.Result, error) {
+				return coloring.DistributedEdgeColoringNative(gr.g, lopts)
+			}},
+			{"distance2-native", func() (*coloring.Result, error) {
+				return coloring.DistributedDistance2Native(gr.g, lopts)
+			}},
+		}
+		for _, al := range algos {
+			res, err := al.run()
+			if err != nil {
+				return nil, fmt.Errorf("exp: coloring golden %s/%s: %w", gr.name, al.name, err)
+			}
+			t.AddRow(gr.name, al.name, gr.g.N(), res.Palette, res.Rounds, res.SimFactor,
+				res.Messages, colorDigest(res.Colors))
+		}
+	}
+	return t, nil
+}
+
+// colorDigest hashes a colour vector into a short stable hex string.
+func colorDigest(colors []int) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range colors {
+		v := uint64(c)
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func renderCSV(t *testing.T, tbl *Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenTables(t *testing.T) {
+	workerSweep := []int{2, 4, runtime.GOMAXPROCS(0)}
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			tbl, err := gc.run(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderCSV(t, tbl)
+
+			path := filepath.Join("testdata", gc.name+".golden.csv")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("Workers=1 output deviates from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+
+			// Determinism sweep: every worker count must reproduce the
+			// Workers=1 bytes exactly.
+			for _, workers := range workerSweep {
+				tbl, err := gc.run(workers)
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				if out := renderCSV(t, tbl); !bytes.Equal(out, got) {
+					t.Errorf("Workers=%d output differs from Workers=1:\ngot:\n%s\nwant:\n%s", workers, out, got)
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,16 @@ type Sizes struct {
 	// Trials is the number of randomized repetitions where applicable.
 	// 0 means the per-experiment default.
 	Trials int
+	// Workers is the worker count of the LOCAL simulator's sharded
+	// execution engine for the distributed experiments (0 = shared
+	// GOMAXPROCS pool). Tables are byte-identical for every value — the
+	// golden-table tests assert this.
+	Workers int
+}
+
+// lopts builds the LOCAL-runtime options the distributed experiments share.
+func (s Sizes) lopts(seed uint64) local.Options {
+	return local.Options{IDSeed: seed, Workers: s.Workers}
 }
 
 func (s Sizes) scale(n int) int {
@@ -141,7 +151,7 @@ func T2DistributedRank2(seed uint64, sz Sizes) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.FixDistributed2(s.Instance, core.Options{}, local.Options{IDSeed: seed})
+		res, err := core.FixDistributed2(s.Instance, core.Options{}, sz.lopts(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +177,7 @@ func T2DistributedRank2(seed uint64, sz Sizes) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.FixDistributed2(s.Instance, core.Options{}, local.Options{IDSeed: seed})
+		res, err := core.FixDistributed2(s.Instance, core.Options{}, sz.lopts(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +263,7 @@ func T4DistributedRank3(seed uint64, sz Sizes) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.FixDistributed3(s.Instance, core.Options{}, local.Options{IDSeed: seed})
+		res, err := core.FixDistributed3(s.Instance, core.Options{}, sz.lopts(seed))
 		if err != nil {
 			return nil, err
 		}

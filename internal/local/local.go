@@ -7,13 +7,17 @@
 // each neighbor, receive the messages sent to it, and perform unbounded
 // local computation. The complexity measure is the number of rounds.
 //
-// Nodes are driven by user-provided Machines. Each round the runtime calls
-// every still-running machine concurrently (one goroutine per node, joined
-// by a WaitGroup barrier — the "synchronous rounds with goroutines"
-// simulation), then delivers the produced messages along the edges. A
-// machine halts by returning done; the run finishes when every machine has
-// halted. Determinism is guaranteed regardless of goroutine scheduling
-// because machines own disjoint state and message delivery is by index.
+// Nodes are driven by user-provided Machines. Each round the runtime steps
+// every still-running machine concurrently on a persistent sharded worker
+// pool (internal/engine): workers pull contiguous node shards off an atomic
+// cursor, so goroutine creation is amortised across rounds and the outbox /
+// halt-flag buffers are reused round over round. Message delivery is
+// likewise sharded, by destination node. A machine halts by returning done;
+// the run finishes when every machine has halted. Determinism is guaranteed
+// bit-for-bit for every worker count because machines own disjoint state
+// and every phase writes only to index-addressed slices (the golden-table
+// tests in internal/exp assert byte-identical experiment output for
+// Workers ∈ {1, 2, GOMAXPROCS}).
 //
 // Identifiers: every node receives a unique ID. By default IDs are a
 // deterministic pseudo-random permutation of a polynomial ID space, matching
@@ -26,8 +30,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/prng"
 )
@@ -68,12 +73,21 @@ type Machine interface {
 }
 
 // Stats summarizes a run.
+//
+// When Run fails mid-round (a machine sent a message slice of the wrong
+// length), the returned Stats is still well defined: Rounds includes the
+// failing round, Steps includes its compute phase, MessagesSent excludes
+// the failing round entirely (no partial deliveries), and machines that
+// halted in the failing round are retired before the error is reported.
+// On ErrRoundLimit, Stats reflects the MaxRounds completed rounds.
 type Stats struct {
 	// Rounds is the number of synchronous rounds until the last machine
 	// halted.
 	Rounds int
 	// MessagesSent counts all non-nil messages over the whole run.
 	MessagesSent int
+	// Steps counts Machine.Round invocations over the whole run.
+	Steps int
 }
 
 // ErrRoundLimit indicates that the round limit was reached before all
@@ -96,6 +110,14 @@ type Options struct {
 	// when machines need to be configured with the IDs of specific other
 	// nodes (e.g. an input orientation) before the run starts.
 	PresetIDs []uint64
+	// Workers sets the worker count of the sharded execution engine.
+	// 0 uses the process-wide shared pool (GOMAXPROCS workers); 1 runs
+	// fully inline. Results are bit-for-bit identical for every value.
+	Workers int
+	// OnRound, if non-nil, observes per-round execution stats after each
+	// round's delivery phase. It is called from the coordinating goroutine,
+	// in round order.
+	OnRound func(engine.RoundStats)
 }
 
 // IDSpace returns the size of the identifier space used for the random ID
@@ -145,14 +167,34 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 	}
 
 	inbox := make([][]Message, n)
-	outbox := make([][]Message, n)
 	for v := 0; v < n; v++ {
 		inbox[v] = make([]Message, g.Degree(v))
 	}
+	// Buffers reused across every round: the per-node outboxes, halt flags
+	// and the running set. The engine shards index ranges over them; every
+	// write is index-addressed, so results are independent of the worker
+	// count and of shard scheduling.
+	outbox := make([][]Message, n)
+	doneFlags := make([]bool, n)
 	running := make([]bool, n)
 	numRunning := n
 	for v := range running {
 		running[v] = true
+	}
+
+	pool, release := runPool(opts)
+	defer release()
+
+	// markHalted retires machines that returned done this round. It runs
+	// on both the success and the error path, so Stats and the running set
+	// stay consistent even when a round fails mid-way.
+	markHalted := func() {
+		for v := 0; v < n; v++ {
+			if running[v] && doneFlags[v] {
+				running[v] = false
+				numRunning--
+			}
+		}
 	}
 
 	var stats Stats
@@ -162,54 +204,92 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 		}
 		stats.Rounds = round
 
-		// Compute phase: every running machine steps concurrently.
-		doneFlags := make([]bool, n)
-		var wg sync.WaitGroup
-		for v := 0; v < n; v++ {
-			if !running[v] {
-				outbox[v] = nil
-				continue
-			}
-			wg.Add(1)
-			go func(v int) {
-				defer wg.Done()
+		// Compute phase: workers pull contiguous node shards and step every
+		// running machine. Machines own disjoint state; outbox and
+		// doneFlags are written at the machine's own index only.
+		var steps atomic.Int64
+		pool.ForEachShard(n, func(lo, hi int) {
+			stepped := 0
+			for v := lo; v < hi; v++ {
+				if !running[v] {
+					outbox[v] = nil
+					continue
+				}
 				send, done := machines[v].Round(round, inbox[v])
 				outbox[v] = send
 				doneFlags[v] = done
-			}(v)
-		}
-		wg.Wait()
+				stepped++
+			}
+			steps.Add(int64(stepped))
+		})
+		stats.Steps += int(steps.Load())
 
-		// Delivery phase: route outbox messages to neighbor inboxes.
+		// Validation: a machine that returns a message slice of the wrong
+		// length poisons the round. Scan serially so the reported node is
+		// the lowest offender regardless of worker count, retire machines
+		// that halted this round, and return the (well-defined) partial
+		// Stats: this round's compute is counted, its messages are not.
 		for v := 0; v < n; v++ {
-			for i := range inbox[v] {
-				inbox[v][i] = nil
-			}
-		}
-		for v := 0; v < n; v++ {
-			if outbox[v] == nil {
-				continue
-			}
-			if len(outbox[v]) != g.Degree(v) {
+			if outbox[v] != nil && len(outbox[v]) != g.Degree(v) {
+				markHalted()
 				return stats, fmt.Errorf("local: node %d sent %d messages, degree is %d", v, len(outbox[v]), g.Degree(v))
 			}
-			nbrs := g.Neighbors(v)
-			for port, msg := range outbox[v] {
-				if msg == nil {
-					continue
-				}
-				stats.MessagesSent++
-				inbox[nbrs[port]][reversePort[v][port]] = msg
-			}
 		}
-		for v := 0; v < n; v++ {
-			if running[v] && doneFlags[v] {
-				running[v] = false
-				numRunning--
+
+		// Delivery phase, sharded by destination: node v's inbox slot i is
+		// filled from the outbox of its port-i neighbour, on the port under
+		// which that neighbour sees v. Each inbox is written by exactly one
+		// shard, so delivery is race-free; the message count is accumulated
+		// per shard and folded in atomically (order-independent sum).
+		var delivered atomic.Int64
+		pool.ForEachShard(n, func(lo, hi int) {
+			count := 0
+			for v := lo; v < hi; v++ {
+				in := inbox[v]
+				nbrs := g.Neighbors(v)
+				rp := reversePort[v]
+				for i := range in {
+					ob := outbox[nbrs[i]]
+					if ob == nil {
+						in[i] = nil
+						continue
+					}
+					msg := ob[rp[i]]
+					in[i] = msg
+					if msg != nil {
+						count++
+					}
+				}
 			}
+			delivered.Add(int64(count))
+		})
+		roundMsgs := int(delivered.Load())
+		stats.MessagesSent += roundMsgs
+
+		markHalted()
+		if opts.OnRound != nil {
+			opts.OnRound(engine.RoundStats{
+				Round:    round,
+				Steps:    int(steps.Load()),
+				Messages: roundMsgs,
+				Active:   numRunning,
+			})
 		}
 	}
 	return stats, nil
+}
+
+// runPool selects the execution pool for one run: the process-wide shared
+// pool by default, or a transient pool (closed by release) for an explicit
+// non-default worker count.
+func runPool(opts Options) (pool *engine.Pool, release func()) {
+	switch {
+	case opts.Workers == 0 || opts.Workers == engine.Shared().Workers():
+		return engine.Shared(), func() {}
+	default:
+		p := engine.New(opts.Workers)
+		return p, p.Close
+	}
 }
 
 // portOf returns the port index under which node u sees node v.

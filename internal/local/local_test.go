@@ -2,9 +2,12 @@ package local
 
 import (
 	"errors"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
@@ -180,6 +183,126 @@ func TestWrongMessageCountRejected(t *testing.T) {
 	g := graph.Path(3)
 	if _, err := Run(g, func(v int) Machine { return &badSender{} }, Options{}); err == nil {
 		t.Fatal("expected error for wrong message slice length")
+	}
+}
+
+// midRunFaulty behaves like a flood machine but sends one message too many
+// in failRound (if fail is set); otherwise it halts after stopRound.
+type midRunFaulty struct {
+	deg       int
+	fail      bool
+	failRound int
+	stopRound int
+}
+
+func (m *midRunFaulty) Init(info NodeInfo) { m.deg = info.Degree() }
+
+func (m *midRunFaulty) Round(round int, recv []Message) ([]Message, bool) {
+	if m.fail && round == m.failRound {
+		return make([]Message, m.deg+1), false
+	}
+	send := make([]Message, m.deg)
+	for i := range send {
+		send[i] = round
+	}
+	return send, round >= m.stopRound
+}
+
+// TestWrongMessageCountPartialStats pins the error-path contract: when a
+// machine sends the wrong number of messages mid-round, Run reports the
+// lowest offending node and returns well-defined partial Stats — the
+// failing round's compute is counted in Rounds and Steps, but none of its
+// messages are delivered or counted.
+func TestWrongMessageCountPartialStats(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		g := graph.Cycle(5)
+		stats, err := Run(g, func(v int) Machine {
+			// Nodes 2 and 4 both misbehave in round 2; node 2 must win the
+			// blame regardless of the worker count.
+			return &midRunFaulty{fail: v == 2 || v == 4, failRound: 2, stopRound: 4}
+		}, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !strings.Contains(err.Error(), "node 2 sent 3 messages") {
+			t.Fatalf("workers=%d: error %q does not blame the lowest offender", workers, err)
+		}
+		if stats.Rounds != 2 {
+			t.Fatalf("workers=%d: Rounds = %d, want 2 (failing round included)", workers, stats.Rounds)
+		}
+		if stats.Steps != 10 {
+			t.Fatalf("workers=%d: Steps = %d, want 10 (both rounds' compute)", workers, stats.Steps)
+		}
+		// Round 1 delivered 2 messages per node; round 2 delivered nothing.
+		if stats.MessagesSent != 10 {
+			t.Fatalf("workers=%d: MessagesSent = %d, want 10 (failing round excluded)", workers, stats.MessagesSent)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers checks the engine's determinism
+// guarantee end to end: identical machine results and identical Stats for
+// every worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]uint64, Stats) {
+		g := graph.Torus(6, 6)
+		machines := make([]*floodMachine, g.N())
+		stats, err := Run(g, func(v int) Machine {
+			machines[v] = &floodMachine{}
+			return machines[v]
+		}, Options{IDSeed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mins := make([]uint64, len(machines))
+		for v, m := range machines {
+			mins[v] = m.min
+		}
+		return mins, stats
+	}
+	wantMins, wantStats := run(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		mins, stats := run(workers)
+		if stats != wantStats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, stats, wantStats)
+		}
+		for v := range mins {
+			if mins[v] != wantMins[v] {
+				t.Fatalf("workers=%d: node %d min %d, want %d", workers, v, mins[v], wantMins[v])
+			}
+		}
+	}
+}
+
+// TestOnRoundStats checks the per-round observer: rounds arrive in order,
+// per-round sums match the totals, and Active falls to zero.
+func TestOnRoundStats(t *testing.T) {
+	g := graph.Cycle(6)
+	var rounds []engine.RoundStats
+	stats, err := Run(g, func(v int) Machine { return &floodMachine{} },
+		Options{OnRound: func(rs engine.RoundStats) { rounds = append(rounds, rs) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != stats.Rounds {
+		t.Fatalf("observed %d rounds, want %d", len(rounds), stats.Rounds)
+	}
+	steps, msgs := 0, 0
+	for i, rs := range rounds {
+		if rs.Round != i+1 {
+			t.Fatalf("round %d reported as %d", i+1, rs.Round)
+		}
+		steps += rs.Steps
+		msgs += rs.Messages
+	}
+	if steps != stats.Steps {
+		t.Fatalf("per-round steps sum %d, Stats.Steps %d", steps, stats.Steps)
+	}
+	if msgs != stats.MessagesSent {
+		t.Fatalf("per-round messages sum %d, Stats.MessagesSent %d", msgs, stats.MessagesSent)
+	}
+	if last := rounds[len(rounds)-1]; last.Active != 0 {
+		t.Fatalf("final round leaves %d machines active", last.Active)
 	}
 }
 

@@ -24,6 +24,11 @@ import (
 //
 // Local minima among violated events are pairwise non-adjacent, so the
 // resampled scopes are disjoint and the parallel step is well defined.
+//
+// The machines execute on the LOCAL runtime's sharded worker-pool engine
+// (internal/engine); lopts.Workers selects the worker count and the result
+// is bit-for-bit identical for every value, because each machine's state,
+// outbox and RNG stream are owned by its node index.
 
 // mtValueMsg carries variable values (A/C rounds).
 type mtValueMsg map[int]int

@@ -13,6 +13,7 @@ package mt
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/prng"
 )
@@ -49,15 +50,25 @@ func resample(inst *model.Instance, a *model.Assignment, id int, r *prng.Rand) {
 }
 
 // violatedEvents returns the identifiers of all events that occur under the
-// complete assignment a.
+// complete assignment a. Evaluation is read-only per event, so it is
+// sharded over the shared worker pool; flags and errors are written
+// index-addressed, keeping the result (including which error is reported)
+// independent of the worker count.
 func violatedEvents(inst *model.Instance, a *model.Assignment) ([]int, error) {
-	var out []int
-	for id := 0; id < inst.NumEvents(); id++ {
-		bad, err := inst.Violated(id, a)
-		if err != nil {
-			return nil, err
+	m := inst.NumEvents()
+	bad := make([]bool, m)
+	errs := make([]error, m)
+	engine.Shared().ForEachShard(m, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			bad[id], errs[id] = inst.Violated(id, a)
 		}
-		if bad {
+	})
+	var out []int
+	for id := 0; id < m; id++ {
+		if errs[id] != nil {
+			return nil, errs[id]
+		}
+		if bad[id] {
 			out = append(out, id)
 		}
 	}
