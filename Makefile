@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench harness cover fuzz clean
+.PHONY: build test test-race vet bench bench-json harness cover fuzz clean
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,23 @@ test: vet
 	$(GO) test ./...
 
 # Race-detector pass over the sharded execution engine and its consumers
-# (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers).
+# (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers) and
+# the observability layer they report into.
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark evidence: the n = 100k engine and LOCAL-runtime
+# benchmarks at 1/2/4 workers (-cpu sets GOMAXPROCS, the pool follows) plus
+# the obs hot-path micro-benches, parsed into BENCH_pr2.json.
+bench-json:
+	$(GO) test -run=NONE -bench 'BenchmarkEngineRounds|BenchmarkLocalSinkless100k' -benchmem -cpu 1,2,4 . > bench.out
+	$(GO) test -run=NONE -bench 'BenchmarkObs' -benchmem ./internal/obs >> bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_pr2.json < bench.out
+	rm -f bench.out
 
 # Regenerate every experiment table (F1, F2, T1..T11).
 harness:

@@ -1,24 +1,35 @@
 // Command benchharness regenerates every figure and experiment table of the
-// reproduction (F1, F2, T1-T8 in DESIGN.md) and prints them to stdout. It is
-// the one-shot entry point behind EXPERIMENTS.md.
+// reproduction (F1, F2, T1-T11 in DESIGN.md) and prints them to stdout. It
+// is the one-shot entry point behind EXPERIMENTS.md.
 //
 // Independent experiments run concurrently on a sharded worker pool
 // (-workers, default GOMAXPROCS); tables are collected per experiment and
 // emitted in DESIGN.md order, so the output matches a sequential run
 // cell for cell (only T6's wall-clock timing columns vary run to run).
 //
+// Observability: -metrics-addr serves the live metric families of every
+// experiment (each under its own <id>_ prefix) on /metrics (Prometheus
+// text), /debug/vars (JSON) and /debug/pprof (net/http/pprof); -trace-out
+// streams one structured JSONL event per LOCAL round / resampling
+// iteration; -profile writes CPU and heap profiles; -profiles appends the
+// per-experiment wall-clock and engine rollup table. None of these change
+// the table bytes — the golden tests pin that.
+//
 // Usage:
 //
 //	benchharness [-seed N] [-scale F] [-trials N] [-only ID] [-workers N] [-csv]
+//	             [-metrics-addr :9090] [-trace-out trace.jsonl]
+//	             [-profile prefix] [-profiles] [-linger 30s]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,7 +46,46 @@ func run() error {
 	only := flag.String("only", "", "run a single experiment by ID (F1, F2, T1..T11)")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	workers := flag.Int("workers", 0, "concurrent experiments and LOCAL-engine workers (0 = GOMAXPROCS, 1 = sequential)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; empty = off)")
+	traceOut := flag.String("trace-out", "", "write structured JSONL trace events to this file (empty = off)")
+	profile := flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
+	profiles := flag.Bool("profiles", false, "append the per-experiment wall-clock/engine-rollup table")
+	linger := flag.Duration("linger", 0, "keep the metrics listener serving this long after the run (for scraping)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "benchharness: serving metrics on http://%s/metrics (pprof under /debug/pprof)\n", srv.Addr)
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		r, closeRec, err := obs.NewFileRecorder(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		rec = r
+		defer closeRec()
+	}
+	if *profile != "" {
+		stop, err := obs.StartProfiles(*profile)
+		if err != nil {
+			return fmt.Errorf("profiles: %w", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchharness: writing profiles:", err)
+			}
+		}()
+	}
 
 	emit := func(tbl *exp.Table) error {
 		if *csv {
@@ -45,53 +95,28 @@ func run() error {
 		tbl.Render(os.Stdout)
 		return nil
 	}
-	sz := exp.Sizes{Scale: *scale, Trials: *trials, Workers: *workers}
-	if *only == "" {
-		tables, err := exp.AllParallel(*seed, sz, *workers)
-		for _, tbl := range tables {
-			if eerr := emit(tbl); eerr != nil {
-				return eerr
-			}
-		}
-		return err
-	}
+	sz := exp.Sizes{Scale: *scale, Trials: *trials, Workers: *workers, Metrics: reg, Trace: rec}
 
 	var (
-		tbl *exp.Table
-		err error
+		tables []*exp.Table
+		err    error
 	)
-	switch strings.ToUpper(*only) {
-	case "F1":
-		tbl, err = exp.F1Surface(0.5, 20000, *seed)
-	case "F2":
-		tbl, err = exp.F2Witness()
-	case "T1":
-		tbl, err = exp.T1Rank2(*seed, sz)
-	case "T2":
-		tbl, err = exp.T2DistributedRank2(*seed, sz)
-	case "T3":
-		tbl, err = exp.T3Rank3(*seed, sz)
-	case "T4":
-		tbl, err = exp.T4DistributedRank3(*seed, sz)
-	case "T5":
-		tbl, err = exp.T5Threshold(*seed, sz)
-	case "T6":
-		tbl, err = exp.T6MoserTardos(*seed, sz)
-	case "T7":
-		tbl, err = exp.T7Applications(*seed, sz)
-	case "T8":
-		tbl, err = exp.T8Ablations(*seed, sz)
-	case "T9":
-		tbl, err = exp.T9Conjecture(*seed, sz)
-	case "T10":
-		tbl, err = exp.T10Spectrum(*seed, sz)
-	case "T11":
-		tbl, err = exp.T11LowerBound(*seed, sz)
-	default:
-		return fmt.Errorf("unknown experiment %q", *only)
+	if *only == "" {
+		tables, err = exp.AllParallel(*seed, sz, *workers)
+	} else {
+		var tbl *exp.Table
+		tbl, err = exp.RunByID(*only, *seed, sz)
+		if tbl != nil {
+			tables = append(tables, tbl)
+		}
 	}
-	if tbl != nil {
+	for _, tbl := range tables {
 		if eerr := emit(tbl); eerr != nil {
+			return eerr
+		}
+	}
+	if *profiles {
+		if eerr := emit(exp.ProfileTable(tables)); eerr != nil {
 			return eerr
 		}
 	}

@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document. It exists for `make bench-json`, which
+// pins the PR's benchmark evidence (rounds/sec, allocs/round, ns/op for the
+// n = 100k engine and LOCAL-runtime benchmarks at -cpu 1,2,4) into
+// BENCH_pr2.json, but it parses any benchmark stream: each result line is
+// `BenchmarkName-CPUS  iterations  value unit  value unit ...`, and every
+// value/unit pair (ns/op, B/op, allocs/op and custom b.ReportMetric units
+// such as rounds/sec) becomes a metrics entry.
+//
+// Usage:
+//
+//	go test -run=NONE -bench ... -benchmem -cpu 1,2,4 ./... | benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -CPUS suffix stripped
+	// (e.g. "BenchmarkEngineRounds/pool").
+	Name string `json:"name"`
+	// CPUs is the GOMAXPROCS the run used (the -N suffix; 1 if absent).
+	CPUs int `json:"cpus"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every value/unit pair on the line
+	// (ns/op, B/op, allocs/op, rounds/sec, allocs/round, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// Goos/Goarch/CPU/Pkg echo the benchmark stream's header lines.
+	Goos   string   `json:"goos,omitempty"`
+	Goarch string   `json:"goarch,omitempty"`
+	CPU    string   `json:"cpu,omitempty"`
+	Pkgs   []string `json:"pkgs,omitempty"`
+	// Benchmarks holds one entry per result line, in stream order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "write JSON here (empty = stdout)")
+	flag.Parse()
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	doc := &Doc{}
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkgs = append(doc.Pkgs, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult parses one `BenchmarkName-N  iters  value unit ...` line.
+func parseResult(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line: %q", line)
+	}
+	name, cpus := splitCPUs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	res := Result{Name: name, CPUs: cpus, Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("unpaired value/unit fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad metric value %q in %q: %w", rest[i], line, err)
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, nil
+}
+
+// splitCPUs strips the trailing -N GOMAXPROCS suffix a benchmark name
+// carries when GOMAXPROCS > 1. Sub-benchmark names may themselves contain
+// dashes, so only a trailing all-digit segment counts.
+func splitCPUs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.00GHz
+BenchmarkEngineRounds/pool         	     100	  12345678 ns/op	        42.50 allocs/round	   324.1 rounds/sec	    1024 B/op	      10 allocs/op
+BenchmarkEngineRounds/pool-4       	     400	   3086419 ns/op	        44.25 allocs/round	  1296.4 rounds/sec	    1100 B/op	      11 allocs/op
+BenchmarkLocalSinkless100k-2       	      12	  98765432 ns/op	     91011 allocs/round	    81.0 rounds/sec	 5000000 B/op	   90000 allocs/op
+pkg: repro/internal/obs
+BenchmarkObsDisabled-4             	1000000000	         3.600 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sampleStream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "Example CPU @ 2.00GHz" {
+		t.Errorf("header not parsed: %+v", doc)
+	}
+	if len(doc.Pkgs) != 2 || doc.Pkgs[1] != "repro/internal/obs" {
+		t.Errorf("pkgs = %v", doc.Pkgs)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkEngineRounds/pool" || b0.CPUs != 1 || b0.Iterations != 100 {
+		t.Errorf("first result mis-parsed: %+v", b0)
+	}
+	if b0.Metrics["rounds/sec"] != 324.1 || b0.Metrics["allocs/round"] != 42.5 {
+		t.Errorf("custom metrics mis-parsed: %v", b0.Metrics)
+	}
+
+	b1 := doc.Benchmarks[1]
+	if b1.Name != "BenchmarkEngineRounds/pool" || b1.CPUs != 4 {
+		t.Errorf("-cpu suffix not split: %+v", b1)
+	}
+	if b1.Metrics["ns/op"] != 3086419 {
+		t.Errorf("ns/op = %v", b1.Metrics["ns/op"])
+	}
+
+	b3 := doc.Benchmarks[3]
+	if b3.Name != "BenchmarkObsDisabled" || b3.CPUs != 4 || b3.Metrics["allocs/op"] != 0 {
+		t.Errorf("obs result mis-parsed: %+v", b3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX",                  // short line
+		"BenchmarkX 10 5 ns/op extra", // unpaired value/unit
+		"BenchmarkX ten 5 ns/op",      // bad iteration count
+		"BenchmarkX 10 fast ns/op",    // bad metric value
+	} {
+		if _, err := parse(bufio.NewScanner(strings.NewReader(bad))); err == nil {
+			t.Errorf("parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSplitCPUs(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		cpus int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX/sub-case", "BenchmarkX/sub-case", 1},
+		{"BenchmarkX/sub-case-2", "BenchmarkX/sub-case", 2},
+	}
+	for _, c := range cases {
+		name, cpus := splitCPUs(c.in)
+		if name != c.name || cpus != c.cpus {
+			t.Errorf("splitCPUs(%q) = (%q, %d), want (%q, %d)", c.in, name, cpus, c.name, c.cpus)
+		}
+	}
+}

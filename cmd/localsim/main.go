@@ -4,9 +4,18 @@
 // distributed LLL fixers, as n grows with the degree held fixed — making
 // the "poly(d) + log* n" shape visible.
 //
+// The fixer tables report the full LOCAL execution record (rounds, machine
+// steps, messages). If a run fails mid-round, localsim prints the partial
+// stats up to the failing round to stderr and exits non-zero.
+//
+// Observability: -metrics-addr serves /metrics, /debug/vars and
+// /debug/pprof live during the sweep; -trace-out streams one JSONL event
+// per LOCAL round; -profile writes CPU and heap profiles.
+//
 // Usage:
 //
 //	localsim [-ns "16,64,256,1024"] [-seed N] [-r3]
+//	         [-metrics-addr :9090] [-trace-out trace.jsonl] [-profile prefix]
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/exp"
 	"repro/internal/local"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,12 +43,47 @@ func run() error {
 	nsFlag := flag.String("ns", "16,64,256,1024", "comma-separated node counts")
 	seed := flag.Uint64("seed", 1, "ID seed")
 	withR3 := flag.Bool("r3", false, "also run the (slower) rank-3 distributed fixer sweep")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; empty = off)")
+	traceOut := flag.String("trace-out", "", "write structured JSONL trace events to this file (empty = off)")
+	profile := flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 	flag.Parse()
 
 	ns, err := parseInts(*nsFlag)
 	if err != nil {
 		return err
 	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "localsim: serving metrics on http://%s/metrics (pprof under /debug/pprof)\n", srv.Addr)
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		r, closeRec, err := obs.NewFileRecorder(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		rec = r
+		defer closeRec()
+	}
+	if *profile != "" {
+		stop, err := obs.StartProfiles(*profile)
+		if err != nil {
+			return fmt.Errorf("profiles: %w", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "localsim: writing profiles:", err)
+			}
+		}()
+	}
+	lopts := local.Options{IDSeed: *seed, Metrics: reg, Trace: rec}
 
 	colTbl := &exp.Table{
 		ID:     "S1",
@@ -61,15 +106,15 @@ func run() error {
 			return err
 		}
 		g := lll.NewCycle(n)
-		vc, err := coloring.DistributedVertexColoring(g, local.Options{IDSeed: *seed}, 3)
+		vc, err := coloring.DistributedVertexColoring(g, lopts, 3)
 		if err != nil {
 			return err
 		}
-		ec, err := coloring.DistributedEdgeColoring(g, local.Options{IDSeed: *seed})
+		ec, err := coloring.DistributedEdgeColoring(g, lopts)
 		if err != nil {
 			return err
 		}
-		d2, err := coloring.DistributedDistance2Coloring(g, local.Options{IDSeed: *seed})
+		d2, err := coloring.DistributedDistance2Coloring(g, lopts)
 		if err != nil {
 			return err
 		}
@@ -81,19 +126,21 @@ func run() error {
 	lllTbl := &exp.Table{
 		ID:     "S2",
 		Title:  "Distributed LLL fixer rounds on relaxed sinkless orientation (cycles)",
-		Note:   "Corollary 1.2: total = colouring + fixing; flat in n up to the log* term.",
-		Header: []string{"n", "classes", "colour rounds", "fix rounds", "total", "violations"},
+		Note:   "Corollary 1.2: total = colouring + fixing; flat in n up to the log* term. steps/messages are the LOCAL runtime's full execution record of the fixing phase.",
+		Header: []string{"n", "classes", "colour rounds", "fix rounds", "total", "steps", "messages", "violations"},
 	}
 	for _, n := range ns {
 		s, err := lll.NewSinkless(lll.NewCycle(n), 0.2)
 		if err != nil {
 			return err
 		}
-		res, err := lll.SolveDistributed(s.Instance, lll.Options{}, lll.LocalOptions{IDSeed: *seed})
+		res, err := lll.SolveDistributed(s.Instance, lll.Options{Metrics: reg}, lopts)
 		if err != nil {
-			return err
+			lllTbl.Render(os.Stdout)
+			return partialFailure("S2", n, res, err)
 		}
-		lllTbl.AddRow(n, res.Classes, res.ColoringRounds, res.FixingRounds, res.TotalRounds, res.ViolatedEvents)
+		lllTbl.AddRow(n, res.Classes, res.ColoringRounds, res.FixingRounds, res.TotalRounds,
+			res.LocalStats.Steps, res.LocalStats.MessagesSent, res.ViolatedEvents)
 	}
 	lllTbl.Render(os.Stdout)
 
@@ -102,7 +149,7 @@ func run() error {
 			ID:     "S3",
 			Title:  "Distributed rank-3 fixer rounds (hyper-sinkless, hypergraph degree 2)",
 			Note:   "Corollary 1.4: dominated by the distance-2 colouring's poly(d) term.",
-			Header: []string{"n", "classes", "colour rounds", "fix rounds", "total", "violations"},
+			Header: []string{"n", "classes", "colour rounds", "fix rounds", "total", "steps", "messages", "violations"},
 		}
 		for _, n := range ns {
 			for n%3 != 0 {
@@ -116,15 +163,29 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			res, err := lll.SolveDistributed(s.Instance, lll.Options{}, lll.LocalOptions{IDSeed: *seed})
+			res, err := lll.SolveDistributed(s.Instance, lll.Options{Metrics: reg}, lopts)
 			if err != nil {
-				return err
+				r3Tbl.Render(os.Stdout)
+				return partialFailure("S3", n, res, err)
 			}
-			r3Tbl.AddRow(n, res.Classes, res.ColoringRounds, res.FixingRounds, res.TotalRounds, res.ViolatedEvents)
+			r3Tbl.AddRow(n, res.Classes, res.ColoringRounds, res.FixingRounds, res.TotalRounds,
+				res.LocalStats.Steps, res.LocalStats.MessagesSent, res.ViolatedEvents)
 		}
 		r3Tbl.Render(os.Stdout)
 	}
 	return nil
+}
+
+// partialFailure reports a mid-sweep fixer failure: the partial LOCAL stats
+// (well defined up to the failing round) go to stderr and the returned
+// error makes main exit non-zero.
+func partialFailure(sweep string, n int, res *lll.DistResult, err error) error {
+	if res != nil {
+		st := res.LocalStats
+		fmt.Fprintf(os.Stderr, "localsim: %s n=%d failed after %d fixing rounds (%d machine steps, %d messages sent)\n",
+			sweep, n, st.Rounds, st.Steps, st.MessagesSent)
+	}
+	return err
 }
 
 func mustTree(n int, seed uint64) *lll.Graph {

@@ -82,6 +82,9 @@ type lllMachine struct {
 	me   int // my event identifier (= my dependency-graph node)
 	opts Options
 	mode distMode
+	// obs is shared by all machines of one run (atomic collectors); nil
+	// when Options.Metrics is unset.
+	obs *fixObs
 
 	numClasses int
 	myClass    int         // modeNodeClasses: my distance-2 colour
@@ -213,6 +216,7 @@ func (m *lllMachine) fixPrivateVars() {
 			continue
 		}
 		val := chooseRank1(m.inst, m.view, vid, m.me, m.opts)
+		m.obs.step(m.inst.Var(vid).Dist.Size(), 1, false)
 		if err := m.learn(vid, val); err != nil {
 			m.err = err
 			return
@@ -273,6 +277,7 @@ func (m *lllMachine) actNodeClass(round int) {
 		case 1:
 			// Already handled in round 1; fix defensively if still open.
 			val := chooseRank1(m.inst, m.view, vid, m.me, m.opts)
+			m.obs.step(m.inst.Var(vid).Dist.Size(), 1, false)
 			if err := m.learn(vid, val); err != nil {
 				m.err = err
 				return
@@ -295,13 +300,15 @@ func (m *lllMachine) fixRank2Local(vid, u, v, round int) {
 	edge := mkPair(u, v)
 	s := m.phiValue(edge, u)
 	t := m.phiValue(edge, v)
-	val, newU, newV, _ := chooseRank2(m.inst, m.view, vid, u, v, s, t, m.opts)
+	val, newU, newV, fallback := chooseRank2(m.inst, m.view, vid, u, v, s, t, m.opts)
+	m.obs.step(m.inst.Var(vid).Dist.Size(), 2, fallback)
 	if err := m.learn(vid, val); err != nil {
 		m.err = err
 		return
 	}
 	m.setPhi(edge, u, newU, round)
 	m.setPhi(edge, v, newV, round)
+	m.obs.phiEdge(newU + newV)
 	m.fixes++
 }
 
@@ -312,11 +319,12 @@ func (m *lllMachine) fixRank3Local(vid, u, v, w, round int) {
 	a := m.phiValue(e, u) * m.phiValue(e1, u)
 	b := m.phiValue(e, v) * m.phiValue(e2, v)
 	c := m.phiValue(e1, w) * m.phiValue(e2, w)
-	val, wit, _, err := chooseRank3(m.inst, m.view, vid, u, v, w, a, b, c, m.opts)
+	val, wit, fallback, err := chooseRank3(m.inst, m.view, vid, u, v, w, a, b, c, m.opts)
 	if err != nil {
 		m.err = err
 		return
 	}
+	m.obs.step(m.inst.Var(vid).Dist.Size(), 3, fallback)
 	if err := m.learn(vid, val); err != nil {
 		m.err = err
 		return
@@ -327,6 +335,9 @@ func (m *lllMachine) fixRank3Local(vid, u, v, w, round int) {
 	m.setPhi(e2, v, wit.B3, round)
 	m.setPhi(e1, w, wit.C2, round)
 	m.setPhi(e2, w, wit.C3, round)
+	m.obs.phiEdge(wit.A1 + wit.B1)
+	m.obs.phiEdge(wit.A2 + wit.C2)
+	m.obs.phiEdge(wit.B3 + wit.C3)
 	m.fixes++
 }
 
@@ -348,6 +359,9 @@ type DistResult struct {
 	// ViolatedEvents counts bad events under the final assignment (0 under
 	// the criterion p < 2^-d).
 	ViolatedEvents int
+	// LocalStats is the LOCAL runtime's execution record of the fixing
+	// phase. On a failed run it holds the partial stats up to the failure.
+	LocalStats local.Stats
 }
 
 // FixDistributed2 is Corollary 1.2: a deterministic distributed algorithm
@@ -365,6 +379,7 @@ func FixDistributed2(inst *model.Instance, opts Options, lopts local.Options) (*
 		return nil, fmt.Errorf("core: edge colouring: %w", err)
 	}
 	machines := make([]*lllMachine, g.N())
+	fo := newFixObs(opts.Metrics)
 	stats, err := local.Run(g, func(v int) local.Machine {
 		edgeClass := make(map[int]int, g.Degree(v))
 		g.ForEachNeighbor(v, func(u, edgeID int) {
@@ -377,11 +392,12 @@ func FixDistributed2(inst *model.Instance, opts Options, lopts local.Options) (*
 			mode:       modeEdgeClasses,
 			numClasses: ec.Palette,
 			edgeClass:  edgeClass,
+			obs:        fo,
 		}
 		return machines[v]
 	}, lopts)
 	if err != nil {
-		return nil, err
+		return partialDistResult(ec.Rounds*ec.SimFactor, stats, ec.Palette), err
 	}
 	return collectDistResult(inst, machines, ec.Rounds*ec.SimFactor, stats, ec.Palette)
 }
@@ -401,6 +417,7 @@ func FixDistributed3(inst *model.Instance, opts Options, lopts local.Options) (*
 		return nil, fmt.Errorf("core: distance-2 colouring: %w", err)
 	}
 	machines := make([]*lllMachine, g.N())
+	fo := newFixObs(opts.Metrics)
 	stats, err := local.Run(g, func(v int) local.Machine {
 		machines[v] = &lllMachine{
 			inst:       inst,
@@ -409,13 +426,28 @@ func FixDistributed3(inst *model.Instance, opts Options, lopts local.Options) (*
 			mode:       modeNodeClasses,
 			numClasses: d2.Palette,
 			myClass:    d2.Colors[v],
+			obs:        fo,
 		}
 		return machines[v]
 	}, lopts)
 	if err != nil {
-		return nil, err
+		return partialDistResult(d2.Rounds*d2.SimFactor, stats, d2.Palette), err
 	}
 	return collectDistResult(inst, machines, d2.Rounds*d2.SimFactor, stats, d2.Palette)
+}
+
+// partialDistResult packages the round/message accounting of a failed
+// fixing phase: the LOCAL runtime's Stats are well defined up to the
+// failing round, and localsim prints them alongside the error.
+func partialDistResult(coloringRounds int, stats local.Stats, classes int) *DistResult {
+	return &DistResult{
+		ColoringRounds: coloringRounds,
+		FixingRounds:   stats.Rounds,
+		TotalRounds:    coloringRounds + stats.Rounds,
+		Classes:        classes,
+		Messages:       stats.MessagesSent,
+		LocalStats:     stats,
+	}
 }
 
 // collectDistResult merges the machines' local views into one global
@@ -456,5 +488,6 @@ func collectDistResult(inst *model.Instance, machines []*lllMachine, coloringRou
 		Classes:        classes,
 		Messages:       stats.MessagesSent,
 		ViolatedEvents: violated,
+		LocalStats:     stats,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/srep"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	// Trace, when non-nil, records every fixing decision (variable, value,
 	// Inc factors, φ products before/after) for inspection and CSV export.
 	Trace *Trace
+	// Metrics, when non-nil, receives the core_* metric families: fix/step
+	// counters, value-search iteration and Inc-evaluation counts, and the
+	// φ edge-sum / slack / event-bound gauges. Shared by the sequential
+	// fixer and the distributed machines; nil disables at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -142,7 +148,7 @@ func FixSequential(inst *model.Instance, order []int, opts Options) (*Result, er
 		base[v] = inst.CondProb(v, empty)
 	}
 
-	f := &fixer{inst: inst, g: g, ps: ps, a: a, opts: opts}
+	f := &fixer{inst: inst, g: g, ps: ps, a: a, opts: opts, obs: newFixObs(opts.Metrics)}
 	if g.M() > 0 {
 		f.stats.PeakEdgeSum = 2 // all φ start at 1
 	}
@@ -191,15 +197,19 @@ func (f *fixer) updatePeaks(vid int, base []float64) {
 		if bound > f.stats.PeakEventBound {
 			f.stats.PeakEventBound = bound
 		}
-		if q := base[u] * bound; q > f.stats.PeakCertBound {
+		q := base[u] * bound
+		if q > f.stats.PeakCertBound {
 			f.stats.PeakCertBound = q
 		}
+		f.obs.eventBound(bound, q)
 		for _, v := range events[i+1:] {
 			if id, ok := f.g.EdgeBetween(u, v); ok {
 				e := f.g.Edge(id)
-				if s := f.ps.Value(id, e.U) + f.ps.Value(id, e.V); s > f.stats.PeakEdgeSum {
+				s := f.ps.Value(id, e.U) + f.ps.Value(id, e.V)
+				if s > f.stats.PeakEdgeSum {
 					f.stats.PeakEdgeSum = s
 				}
+				f.obs.phiEdge(s)
 			}
 		}
 	}
@@ -227,6 +237,7 @@ type fixer struct {
 	a     *model.Assignment
 	opts  Options
 	stats Stats
+	obs   *fixObs // nil when Options.Metrics is unset
 }
 
 // fixOne fixes one variable, preserving property P*. It dispatches on the
@@ -259,6 +270,7 @@ func (f *fixer) fixOne(vid int) error {
 // rank-3 variable padded with two virtual events that nothing depends on.)
 func (f *fixer) fixRank1(vid, u int) {
 	val := chooseRank1(f.inst, f.a, vid, u, f.opts)
+	f.obs.step(f.inst.Var(vid).Dist.Size(), 1, false)
 	events := []int{u}
 	before := f.captureBefore(vid, events)
 	incs := f.captureIncs(vid, val, events)
@@ -283,6 +295,7 @@ func (f *fixer) fixRank2(vid, u, v int) error {
 	if fallback {
 		f.stats.Fallbacks++
 	}
+	f.obs.step(f.inst.Var(vid).Dist.Size(), 2, fallback)
 	events := []int{u, v}
 	before := f.captureBefore(vid, events)
 	incs := f.captureIncs(vid, val, events)
@@ -320,6 +333,7 @@ func (f *fixer) fixRank3(vid, u, v, w int) error {
 	if fallback {
 		f.stats.Fallbacks++
 	}
+	f.obs.step(f.inst.Var(vid).Dist.Size(), 3, fallback)
 	events := []int{u, v, w}
 	before := f.captureBefore(vid, events)
 	incs := f.captureIncs(vid, val, events)

@@ -1,0 +1,74 @@
+package core
+
+import "repro/internal/obs"
+
+// fixObs is the resolved observability state of one fixing run (sequential
+// or distributed). All collectors are atomic, so the distributed machines
+// share one fixObs across worker goroutines; a nil *fixObs (Options.Metrics
+// unset) makes every method a free no-op.
+type fixObs struct {
+	runs, varsFixed, fallbacks *obs.Counter
+	// valueIters counts candidate values scanned by the chooseRank*
+	// kernels (the P* value search); incEvals counts the Inc-oracle
+	// evaluations those scans performed (values × rank).
+	valueIters, incEvals *obs.Counter
+	// edgeSumPeak / edgeSlackMin track the φ edge sums written by fixing
+	// steps: the largest sum (P* caps it at 2) and the smallest remaining
+	// slack 2 − sum. eventBoundPeak / certBoundPeak track the per-event φ
+	// product and the certified failure bound Pr[E_v]·∏φ (sequential only;
+	// the distributed machines have no global event view).
+	edgeSumPeak, edgeSlackMin     *obs.Gauge
+	eventBoundPeak, certBoundPeak *obs.Gauge
+}
+
+func newFixObs(reg *obs.Registry) *fixObs {
+	if reg == nil {
+		return nil
+	}
+	fo := &fixObs{
+		runs:           reg.Counter("core_fix_runs_total"),
+		varsFixed:      reg.Counter("core_vars_fixed_total"),
+		fallbacks:      reg.Counter("core_fallbacks_total"),
+		valueIters:     reg.Counter("core_value_search_iters_total"),
+		incEvals:       reg.Counter("core_inc_evals_total"),
+		edgeSumPeak:    reg.Gauge("core_phi_edge_sum_peak"),
+		edgeSlackMin:   reg.Gauge("core_phi_edge_slack_min"),
+		eventBoundPeak: reg.Gauge("core_phi_event_bound_peak"),
+		certBoundPeak:  reg.Gauge("core_cert_bound_peak"),
+	}
+	fo.runs.Inc()
+	return fo
+}
+
+// step records one fixed variable: valuesScanned candidates were searched,
+// each evaluated against rank events; fallback reports the float-noise
+// least-violating path.
+func (fo *fixObs) step(valuesScanned, rank int, fallback bool) {
+	if fo == nil {
+		return
+	}
+	fo.varsFixed.Inc()
+	fo.valueIters.Add(int64(valuesScanned))
+	fo.incEvals.Add(int64(valuesScanned * rank))
+	if fallback {
+		fo.fallbacks.Inc()
+	}
+}
+
+// phiEdge records a φ edge sum written by a fixing step.
+func (fo *fixObs) phiEdge(sum float64) {
+	if fo == nil {
+		return
+	}
+	fo.edgeSumPeak.SetMax(sum)
+	fo.edgeSlackMin.SetMin(2 - sum)
+}
+
+// eventBound records an event's φ product and certified bound after a step.
+func (fo *fixObs) eventBound(bound, cert float64) {
+	if fo == nil {
+		return
+	}
+	fo.eventBoundPeak.SetMax(bound)
+	fo.certBoundPeak.SetMax(cert)
+}

@@ -53,19 +53,30 @@ type job struct {
 	shard  int64
 	fn     func(lo, hi int)
 	wg     sync.WaitGroup
+	// track enables steal accounting (RunStats requested); stolen counts
+	// shards executed by helper workers rather than the submitter.
+	track  bool
+	stolen atomic.Int64
 }
 
-func (j *job) run() {
+// run drains shards off the cursor. helper marks runs on pool workers (as
+// opposed to the submitting goroutine) for steal accounting.
+func (j *job) run(helper bool) {
+	shards := 0
 	for {
 		lo := j.cursor.Add(j.shard) - j.shard
 		if lo >= j.n {
-			return
+			break
 		}
 		hi := lo + j.shard
 		if hi > j.n {
 			hi = j.n
 		}
 		j.fn(int(lo), int(hi))
+		shards++
+	}
+	if helper && j.track && shards > 0 {
+		j.stolen.Add(int64(shards))
 	}
 }
 
@@ -90,7 +101,7 @@ func New(workers int) *Pool {
 
 func (p *Pool) worker() {
 	for j := range p.jobs {
-		j.run()
+		j.run(true)
 		j.wg.Done()
 	}
 }
@@ -114,23 +125,50 @@ func (p *Pool) Close() {
 	}
 }
 
+// RunStats reports how one ForEachShard call executed on the pool: the
+// number of shards the range was split into and how many of them helper
+// workers picked up (stole) off the atomic cursor rather than the
+// submitting goroutine. The observability layer aggregates these into the
+// engine_shards_total / engine_shards_stolen_total counters; a zero Stolen
+// on a multi-worker pool means the submitter out-raced all helpers (tiny
+// ranges) or the call degraded to inline execution.
+type RunStats struct {
+	// Shards is the number of disjoint contiguous shards executed.
+	Shards int
+	// Stolen is the number of shards executed by helper workers.
+	Stolen int
+}
+
 // ForEachShard covers [0, n) with disjoint contiguous shards, invoking fn
 // once per shard from the pool's workers (and the calling goroutine). It
 // returns after every index was processed. fn must be safe for concurrent
 // invocation on disjoint shards.
 func (p *Pool) ForEachShard(n int, fn func(lo, hi int)) {
+	p.ForEachShardStats(n, fn, nil)
+}
+
+// ForEachShardStats is ForEachShard with optional execution accounting:
+// when rs is non-nil it is filled with the call's sharding stats. A nil rs
+// is the zero-overhead fast path (no steal tracking); ForEachShard uses it.
+func (p *Pool) ForEachShardStats(n int, fn func(lo, hi int), rs *RunStats) {
 	if n <= 0 {
+		if rs != nil {
+			*rs = RunStats{}
+		}
 		return
 	}
 	if p == nil || p.workers == 1 || p.closed.Load() || n == 1 {
 		fn(0, n)
+		if rs != nil {
+			*rs = RunStats{Shards: 1}
+		}
 		return
 	}
 	shard := (n + p.workers*targetShardsPerWorker - 1) / (p.workers * targetShardsPerWorker)
 	if shard < 1 {
 		shard = 1
 	}
-	j := &job{n: int64(n), shard: int64(shard), fn: fn}
+	j := &job{n: int64(n), shard: int64(shard), fn: fn, track: rs != nil}
 	// Enlist idle helpers without blocking: a send on the unbuffered channel
 	// succeeds only if a worker is parked in its receive. Busy workers (we
 	// may be running inside one) are skipped, which is what makes nested
@@ -143,8 +181,12 @@ func (p *Pool) ForEachShard(n int, fn func(lo, hi int)) {
 			j.wg.Done()
 		}
 	}
-	j.run() // the caller always participates
+	j.run(false) // the caller always participates
 	j.wg.Wait()
+	if rs != nil {
+		rs.Shards = int((int64(n) + j.shard - 1) / j.shard)
+		rs.Stolen = int(j.stolen.Load())
+	}
 }
 
 // ForEach invokes fn once for every index in [0, n), sharded across the
@@ -158,7 +200,12 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 }
 
 // RoundStats describes one synchronous round executed on the pool, as
-// reported by the LOCAL runtime's Options.OnRound observer.
+// reported by the round-based consumers' Options.OnRound observers (the
+// LOCAL runtime, and the Moser-Tardos parallel resampler which maps its
+// iteration counters onto the same shape). Every field is deterministic —
+// identical for every worker count — so per-round streams can be compared
+// across worker counts; timings and sharding stats, which do vary, flow
+// through the obs metrics/trace channels instead.
 type RoundStats struct {
 	// Round is the 1-based round number.
 	Round int
@@ -169,6 +216,8 @@ type RoundStats struct {
 	Messages int
 	// Active is the number of machines still running after the round.
 	Active int
+	// Halted is the number of machines that halted in this round.
+	Halted int
 }
 
 var (

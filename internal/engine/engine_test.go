@@ -140,6 +140,90 @@ func TestNilPoolRunsInline(t *testing.T) {
 	p.Close()
 }
 
+// TestForEachShardStatsInlinePaths checks the accounting on every inline
+// execution path: nil pool, 1-worker pool, closed pool, n == 1 (all one
+// shard, nothing stolen) and n <= 0 (zeroed stats).
+func TestForEachShardStatsInlinePaths(t *testing.T) {
+	closed := New(4)
+	closed.Close()
+	pools := map[string]*Pool{"nil": nil, "one-worker": New(1), "closed": closed}
+	for name, p := range pools {
+		var rs RunStats
+		rs.Stolen = 99 // must be overwritten
+		calls := 0
+		p.ForEachShardStats(100, func(lo, hi int) { calls++ }, &rs)
+		if calls != 1 || rs.Shards != 1 || rs.Stolen != 0 {
+			t.Errorf("%s pool: calls=%d stats=%+v, want one untouched shard", name, calls, rs)
+		}
+		rs = RunStats{Shards: 7, Stolen: 7}
+		p.ForEachShardStats(0, func(lo, hi int) { t.Errorf("%s pool: fn called for n=0", name) }, &rs)
+		if rs != (RunStats{}) {
+			t.Errorf("%s pool: n=0 stats not zeroed: %+v", name, rs)
+		}
+	}
+	p := New(4)
+	defer p.Close()
+	var rs RunStats
+	p.ForEachShardStats(1, func(lo, hi int) {}, &rs)
+	if rs.Shards != 1 || rs.Stolen != 0 {
+		t.Errorf("n=1 on 4 workers: %+v, want inline single shard", rs)
+	}
+}
+
+// TestForEachShardStatsPooled checks the sharded path: the reported shard
+// count matches the actual fn invocations, stolen never exceeds the total,
+// and the range is still fully covered with stats tracking on.
+func TestForEachShardStatsPooled(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 10_000
+	for trial := 0; trial < 20; trial++ {
+		covered := make([]int32, n)
+		var calls atomic.Int64
+		var rs RunStats
+		p.ForEachShardStats(n, func(lo, hi int) {
+			calls.Add(1)
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		}, &rs)
+		if int(calls.Load()) != rs.Shards {
+			t.Fatalf("trial %d: fn ran %d times but Shards=%d", trial, calls.Load(), rs.Shards)
+		}
+		if rs.Shards < p.Workers() {
+			t.Fatalf("trial %d: only %d shards for a %d-worker pool on n=%d", trial, rs.Shards, p.Workers(), n)
+		}
+		if rs.Stolen < 0 || rs.Stolen > rs.Shards {
+			t.Fatalf("trial %d: Stolen=%d out of range [0, %d]", trial, rs.Stolen, rs.Shards)
+		}
+		for i, v := range covered {
+			if v != 1 {
+				t.Fatalf("trial %d: index %d covered %d times", trial, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachShardStatsNilIsUntracked checks that the nil-rs fast path of
+// ForEachShard still covers the range (the track flag must not change
+// execution).
+func TestForEachShardStatsNilIsUntracked(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 5000
+	covered := make([]int32, n)
+	p.ForEachShardStats(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	}, nil)
+	for i, v := range covered {
+		if v != 1 {
+			t.Fatalf("index %d covered %d times", i, v)
+		}
+	}
+}
+
 // TestWorkersDefault checks New(0) picks GOMAXPROCS.
 func TestWorkersDefault(t *testing.T) {
 	p := New(0)

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -11,8 +12,14 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/model"
 	"repro/internal/mt"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
+
+// mtObserver builds the resampler observer the baseline experiments share.
+func (s Sizes) mtObserver() mt.Observer {
+	return mt.Observer{Metrics: s.Metrics, Trace: s.Trace}
+}
 
 // T6MoserTardos compares the deterministic fixers against the randomized
 // Moser-Tardos baselines: resampling cost of MT grows as the margin
@@ -38,7 +45,7 @@ func T6MoserTardos(seed uint64, sz Sizes) (*Table, error) {
 			var resamples, rounds int
 			mtStart := time.Now()
 			for i := 0; i < trials; i++ {
-				sres, err := mt.Sequential(s.Instance, r.Split(), 0)
+				sres, err := mt.SequentialObs(s.Instance, r.Split(), 0, sz.mtObserver())
 				if err != nil {
 					return nil, err
 				}
@@ -46,7 +53,7 @@ func T6MoserTardos(seed uint64, sz Sizes) (*Table, error) {
 					return nil, fmt.Errorf("exp: T6: MT-seq failed at n=%d margin=%v", n, margin)
 				}
 				resamples += sres.Resamplings
-				pres, err := mt.Parallel(s.Instance, r.Split(), 0)
+				pres, err := mt.ParallelObs(s.Instance, r.Split(), 0, sz.mtObserver())
 				if err != nil {
 					return nil, err
 				}
@@ -61,7 +68,7 @@ func T6MoserTardos(seed uint64, sz Sizes) (*Table, error) {
 				return nil, err
 			}
 			detStart := time.Now()
-			det, err := core.FixSequential(s.Instance, nil, core.Options{})
+			det, err := core.FixSequential(s.Instance, nil, sz.copts(0))
 			if err != nil {
 				return nil, err
 			}
@@ -153,11 +160,11 @@ type appResult struct {
 // the domain property.
 func runApp(t *Table, name string, inst *model.Instance, seed uint64, sz Sizes, domainOK func(*appResult) bool) error {
 	_, margin := inst.ExponentialCriterion()
-	seq, err := core.FixSequential(inst, nil, core.Options{})
+	seq, err := core.FixSequential(inst, nil, sz.copts(0))
 	if err != nil {
 		return fmt.Errorf("exp: T7 %s: %w", name, err)
 	}
-	dist, err := core.FixDistributed3(inst, core.Options{}, sz.lopts(seed))
+	dist, err := core.FixDistributed3(inst, sz.copts(0), sz.lopts(seed))
 	if err != nil {
 		return fmt.Errorf("exp: T7 %s: %w", name, err)
 	}
@@ -229,7 +236,7 @@ func T8Ablations(seed uint64, sz Sizes) (*Table, error) {
 		}
 		for _, strat := range strategies {
 			for _, ord := range orders {
-				res, err := core.FixSequential(in.inst, ord.order, core.Options{Strategy: strat.s})
+				res, err := core.FixSequential(in.inst, ord.order, sz.copts(strat.s))
 				if err != nil {
 					return nil, err
 				}
@@ -241,7 +248,7 @@ func T8Ablations(seed uint64, sz Sizes) (*Table, error) {
 			}
 			// The strongest order: an ADAPTIVE adversary that inspects the
 			// bookkeeping before naming each next variable.
-			res, err := core.FixSequentialAdaptive(in.inst, core.GreedyAdversary, core.Options{Strategy: strat.s})
+			res, err := core.FixSequentialAdaptive(in.inst, core.GreedyAdversary, sz.copts(strat.s))
 			if err != nil {
 				return nil, err
 			}
@@ -263,24 +270,84 @@ func reverseOrder(n int) []int {
 	return order
 }
 
-// allRunners returns the experiments in DESIGN.md order. Each runner is
-// self-contained (own PRNG seeded from the shared seed), so runners may
-// execute concurrently.
-func allRunners(seed uint64, sz Sizes) []func() (*Table, error) {
-	return []func() (*Table, error){
-		func() (*Table, error) { return F1Surface(0.5, 20000, seed) },
-		F2Witness,
-		func() (*Table, error) { return T1Rank2(seed, sz) },
-		func() (*Table, error) { return T2DistributedRank2(seed, sz) },
-		func() (*Table, error) { return T3Rank3(seed, sz) },
-		func() (*Table, error) { return T4DistributedRank3(seed, sz) },
-		func() (*Table, error) { return T5Threshold(seed, sz) },
-		func() (*Table, error) { return T6MoserTardos(seed, sz) },
-		func() (*Table, error) { return T7Applications(seed, sz) },
-		func() (*Table, error) { return T8Ablations(seed, sz) },
-		func() (*Table, error) { return T9Conjecture(seed, sz) },
-		func() (*Table, error) { return T10Spectrum(seed, sz) },
-		func() (*Table, error) { return T11LowerBound(seed, sz) },
+// Runner is one experiment of the harness: a stable DESIGN.md identifier
+// plus its entry point. Each runner is self-contained (own PRNG seeded from
+// the shared seed), so runners may execute concurrently.
+type Runner struct {
+	// ID is the DESIGN.md experiment identifier ("F1", "T2", ...).
+	ID string
+	// Run produces the experiment's table.
+	Run func(seed uint64, sz Sizes) (*Table, error)
+}
+
+// Runners returns the experiments in DESIGN.md order. The CLIs drive
+// experiments exclusively through this registry (and RunByID), so adding an
+// experiment here is the single registration step.
+func Runners() []Runner {
+	return []Runner{
+		{"F1", func(seed uint64, _ Sizes) (*Table, error) { return F1Surface(0.5, 20000, seed) }},
+		{"F2", func(uint64, Sizes) (*Table, error) { return F2Witness() }},
+		{"T1", T1Rank2},
+		{"T2", T2DistributedRank2},
+		{"T3", T3Rank3},
+		{"T4", T4DistributedRank3},
+		{"T5", T5Threshold},
+		{"T6", T6MoserTardos},
+		{"T7", T7Applications},
+		{"T8", T8Ablations},
+		{"T9", T9Conjecture},
+		{"T10", T10Spectrum},
+		{"T11", T11LowerBound},
+	}
+}
+
+// RunByID runs a single experiment selected by its (case-insensitive)
+// DESIGN.md identifier, with profiling as in AllParallel.
+func RunByID(id string, seed uint64, sz Sizes) (*Table, error) {
+	for _, r := range Runners() {
+		if strings.EqualFold(r.ID, id) {
+			return runProfiled(r, seed, sz)
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// runProfiled executes one runner with its own metric namespace and attaches
+// the execution profile to the table. When sz.Metrics is set the experiment
+// writes into a "<id>_" prefix view of it (so concurrent experiments never
+// collide on a family); otherwise a private registry feeds the profile
+// rollup alone. The profile lives outside the rendered cells, so table
+// bytes are identical with and without observability.
+func runProfiled(r Runner, seed uint64, sz Sizes) (*Table, error) {
+	reg := sz.Metrics.WithPrefix(strings.ToLower(r.ID) + "_")
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	szr := sz
+	szr.Metrics = reg
+	before := engineRollup(reg)
+	start := time.Now()
+	tbl, err := r.Run(seed, szr)
+	if tbl != nil {
+		p := engineRollup(reg)
+		p.sub(before)
+		p.WallClock = time.Since(start)
+		tbl.Profile = &p
+	}
+	return tbl, err
+}
+
+// engineRollup reads the registry's engine-level counters into a Profile
+// (WallClock left zero). Reading counters that were never written returns
+// zeros, so the rollup is safe for purely sequential experiments too.
+func engineRollup(reg *obs.Registry) Profile {
+	return Profile{
+		LocalRuns:    reg.Counter("local_runs_total").Value(),
+		Rounds:       reg.Counter("local_rounds_total").Value(),
+		Steps:        reg.Counter("local_steps_total").Value(),
+		Messages:     reg.Counter("local_messages_total").Value(),
+		Shards:       reg.Counter("engine_shards_total").Value(),
+		ShardsStolen: reg.Counter("engine_shards_stolen_total").Value(),
 	}
 }
 
@@ -296,13 +363,13 @@ func All(seed uint64, sz Sizes) ([]*Table, error) {
 // wall-clock differs. As in All, tables stop at the first (by DESIGN.md
 // order) experiment that failed, including that experiment's partial table.
 func AllParallel(seed uint64, sz Sizes, workers int) ([]*Table, error) {
-	runners := allRunners(seed, sz)
+	runners := Runners()
 	tables := make([]*Table, len(runners))
 	errs := make([]error, len(runners))
 	pool := engine.New(workers)
 	defer pool.Close()
 	pool.ForEach(len(runners), func(i int) {
-		tables[i], errs[i] = runners[i]()
+		tables[i], errs[i] = runProfiled(runners[i], seed, sz)
 	})
 	var out []*Table
 	for i := range runners {

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -12,7 +14,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/graph"
-	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -37,24 +39,29 @@ var goldenSizes = Sizes{Scale: 0.5, Trials: 2}
 
 type goldenCase struct {
 	name string
-	run  func(workers int) (*Table, error)
+	// run renders the case's table; obs.Workers, obs.Metrics and obs.Trace
+	// are merged into the case's own workload sizes.
+	run func(obs Sizes) (*Table, error)
 }
 
 func goldenCases() []goldenCase {
+	merge := func(base, obs Sizes) Sizes {
+		base.Workers = obs.Workers
+		base.Metrics = obs.Metrics
+		base.Trace = obs.Trace
+		return base
+	}
 	return []goldenCase{
-		{"T2", func(workers int) (*Table, error) {
-			sz := goldenSizes
-			sz.Workers = workers
-			return T2DistributedRank2(1, sz)
+		{"T2", func(obs Sizes) (*Table, error) {
+			return T2DistributedRank2(1, merge(goldenSizes, obs))
 		}},
-		{"T4", func(workers int) (*Table, error) {
+		{"T4", func(obs Sizes) (*Table, error) {
 			sz := goldenSizes
 			sz.Trials = 1
-			sz.Workers = workers
-			return T4DistributedRank3(1, sz)
+			return T4DistributedRank3(1, merge(sz, obs))
 		}},
-		{"coloring", func(workers int) (*Table, error) {
-			return coloringTable(1, workers)
+		{"coloring", func(obs Sizes) (*Table, error) {
+			return coloringTable(1, obs)
 		}},
 	}
 }
@@ -62,7 +69,7 @@ func goldenCases() []goldenCase {
 // coloringTable exercises the LOCAL coloring machines directly (vertex,
 // edge and distance-2 colouring) and pins palette, rounds, messages and a
 // digest of the full colour vector per workload.
-func coloringTable(seed uint64, workers int) (*Table, error) {
+func coloringTable(seed uint64, sz Sizes) (*Table, error) {
 	t := &Table{
 		ID:     "COL",
 		Title:  "LOCAL coloring machines - determinism pin",
@@ -82,7 +89,7 @@ func coloringTable(seed uint64, workers int) (*Table, error) {
 		{"torus-5x5", graph.Torus(5, 5)},
 		{"4-regular-24", g4},
 	}
-	lopts := local.Options{IDSeed: seed, Workers: workers}
+	lopts := sz.lopts(seed)
 	for _, gr := range graphs {
 		algos := []struct {
 			name string
@@ -138,7 +145,7 @@ func TestGoldenTables(t *testing.T) {
 	for _, gc := range goldenCases() {
 		gc := gc
 		t.Run(gc.name, func(t *testing.T) {
-			tbl, err := gc.run(1)
+			tbl, err := gc.run(Sizes{Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -164,7 +171,7 @@ func TestGoldenTables(t *testing.T) {
 			// Determinism sweep: every worker count must reproduce the
 			// Workers=1 bytes exactly.
 			for _, workers := range workerSweep {
-				tbl, err := gc.run(workers)
+				tbl, err := gc.run(Sizes{Workers: workers})
 				if err != nil {
 					t.Fatalf("Workers=%d: %v", workers, err)
 				}
@@ -173,5 +180,142 @@ func TestGoldenTables(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenTablesWithObservability is the tentpole invariant of the obs
+// layer: with a live metrics registry AND a JSONL trace recorder attached,
+// every golden case still reproduces its checked-in bytes exactly, at
+// Workers ∈ {1, 2, GOMAXPROCS}.
+func TestGoldenTablesWithObservability(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", gc.name+".golden.csv")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run TestGoldenTables with -update first): %v", err)
+			}
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				reg := obs.NewRegistry()
+				var traced bytes.Buffer
+				rec := obs.NewRecorder(&traced)
+				tbl, err := gc.run(Sizes{Workers: workers, Metrics: reg, Trace: rec})
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				if err := rec.Flush(); err != nil {
+					t.Fatalf("Workers=%d: trace flush: %v", workers, err)
+				}
+				if got := renderCSV(t, tbl); !bytes.Equal(got, want) {
+					t.Errorf("Workers=%d with observability deviates from %s:\ngot:\n%s\nwant:\n%s", workers, path, got, want)
+				}
+				// The instrumentation must actually have observed the run.
+				if reg.Counter("local_rounds_total").Value() == 0 {
+					t.Errorf("Workers=%d: local_rounds_total stayed 0 — metrics not plumbed", workers)
+				}
+				if traced.Len() == 0 {
+					t.Errorf("Workers=%d: trace output empty — recorder not plumbed", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceJSONLSchema runs a small T2 workload with tracing enabled and
+// validates the JSONL stream: every line parses, carries the mandatory
+// fields, uses an established kind, has strictly increasing seq numbers,
+// and within each tagged run the round events are dense and strictly
+// ordered between one run_start and one run_end.
+func TestTraceJSONLSchema(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	sz := goldenSizes
+	sz.Metrics = obs.NewRegistry()
+	sz.Trace = rec
+	if _, err := T2DistributedRank2(1, sz); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]bool{"run_start": true, "round": true, "run_end": true, "mt_iteration": true, "span": true}
+	type runState struct {
+		started, ended bool
+		lastRound      int
+	}
+	runs := map[int64]*runState{}
+	lastSeq := int64(-1)
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		lines++
+		// Schema: only known keys, mandatory keys present.
+		var raw map[string]any
+		if err := json.Unmarshal(line, &raw); err != nil {
+			t.Fatalf("line %d: invalid JSON: %v\n%s", lines, err, line)
+		}
+		for _, key := range []string{"kind", "seq", "t_ns"} {
+			if _, ok := raw[key]; !ok {
+				t.Fatalf("line %d: missing mandatory field %q: %s", lines, key, line)
+			}
+		}
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d: does not match the Event schema: %v", lines, err)
+		}
+		if !kinds[e.Kind] {
+			t.Fatalf("line %d: unknown event kind %q", lines, e.Kind)
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("line %d: seq %d not strictly increasing (previous %d)", lines, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+
+		if e.Kind == "span" || e.Kind == "mt_iteration" {
+			continue
+		}
+		rs := runs[e.Run]
+		if rs == nil {
+			rs = &runState{}
+			runs[e.Run] = rs
+		}
+		switch e.Kind {
+		case "run_start":
+			if rs.started {
+				t.Fatalf("run %d: duplicate run_start", e.Run)
+			}
+			rs.started = true
+		case "round":
+			if !rs.started || rs.ended {
+				t.Fatalf("run %d: round %d outside run_start/run_end bracket", e.Run, e.Round)
+			}
+			if e.Round != rs.lastRound+1 {
+				t.Fatalf("run %d: round %d after round %d — not dense/ordered", e.Run, e.Round, rs.lastRound)
+			}
+			rs.lastRound = e.Round
+		case "run_end":
+			if !rs.started || rs.ended {
+				t.Fatalf("run %d: unmatched run_end", e.Run)
+			}
+			rs.ended = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("trace produced no events")
+	}
+	for id, rs := range runs {
+		if !rs.ended {
+			t.Errorf("run %d: missing run_end", id)
+		}
+		if rs.lastRound == 0 {
+			t.Errorf("run %d: no round events", id)
+		}
 	}
 }

@@ -78,7 +78,7 @@ func T10Spectrum(seed uint64, sz Sizes) (*Table, error) {
 			return nil, fmt.Errorf("exp: T10 c=%v: realized p=%v, want %v", c, got, p)
 		}
 
-		det, err := core.FixSequential(inst.inst, nil, core.Options{})
+		det, err := core.FixSequential(inst.inst, nil, sz.copts(0))
 		if err != nil {
 			return nil, err
 		}

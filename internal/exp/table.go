@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Table is a rendered experiment result.
@@ -22,6 +23,57 @@ type Table struct {
 	Header []string
 	// Rows are the data cells, already formatted.
 	Rows [][]string
+	// Profile is the execution profile RunByID / AllParallel attach to the
+	// table. It is deliberately NOT part of Render or CSV output — profiles
+	// vary run to run, table cells must not — so the golden regression
+	// bytes are identical with and without observability.
+	Profile *Profile
+}
+
+// Profile is the execution rollup of one experiment run: its wall-clock and
+// the engine-level counters its LOCAL runs produced (zero for purely
+// sequential experiments).
+type Profile struct {
+	// WallClock is the experiment's elapsed time.
+	WallClock time.Duration
+	// LocalRuns / Rounds / Steps / Messages aggregate the local_* counter
+	// families over every LOCAL run of the experiment.
+	LocalRuns, Rounds, Steps, Messages int64
+	// Shards / ShardsStolen aggregate the execution engine's sharding
+	// counters (shards executed / picked up by helper workers).
+	Shards, ShardsStolen int64
+}
+
+// sub subtracts o's counter fields (not WallClock), turning two cumulative
+// registry readings into a per-run delta.
+func (p *Profile) sub(o Profile) {
+	p.LocalRuns -= o.LocalRuns
+	p.Rounds -= o.Rounds
+	p.Steps -= o.Steps
+	p.Messages -= o.Messages
+	p.Shards -= o.Shards
+	p.ShardsStolen -= o.ShardsStolen
+}
+
+// ProfileTable renders the profiles of a table set as one summary table
+// (experiments without a profile are skipped). benchharness prints it
+// behind -profiles.
+func ProfileTable(tables []*Table) *Table {
+	t := &Table{
+		ID:     "PROF",
+		Title:  "Execution profiles (wall-clock and engine rollups per experiment)",
+		Note:   "Rollups aggregate the local_* and engine_* metric families over every LOCAL run of the experiment; sequential-only experiments show zeros. Values vary run to run and are not part of any golden output.",
+		Header: []string{"experiment", "wall clock", "local runs", "rounds", "steps", "messages", "shards", "stolen"},
+	}
+	for _, tbl := range tables {
+		if tbl == nil || tbl.Profile == nil {
+			continue
+		}
+		p := tbl.Profile
+		t.AddRow(tbl.ID, p.WallClock.Round(time.Microsecond).String(),
+			p.LocalRuns, p.Rounds, p.Steps, p.Messages, p.Shards, p.ShardsStolen)
+	}
+	return t
 }
 
 // AddRow appends a formatted row built from arbitrary values.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/local"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -26,11 +27,26 @@ type Sizes struct {
 	// GOMAXPROCS pool). Tables are byte-identical for every value — the
 	// golden-table tests assert this.
 	Workers int
+	// Metrics, when non-nil, receives every metric family the experiment's
+	// runtimes produce (local_*, engine_*, core_*, mt_*). RunByID and
+	// AllParallel give each experiment its own <id>_ prefix view of the
+	// registry. Observability never changes table bytes — the golden tests
+	// re-render with it enabled.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives the structured JSONL events of every
+	// run the experiment performs.
+	Trace *obs.Recorder
 }
 
 // lopts builds the LOCAL-runtime options the distributed experiments share.
 func (s Sizes) lopts(seed uint64) local.Options {
-	return local.Options{IDSeed: seed, Workers: s.Workers}
+	return local.Options{IDSeed: seed, Workers: s.Workers, Metrics: s.Metrics, Trace: s.Trace}
+}
+
+// copts builds the fixer options the experiments share, carrying the
+// metrics registry into the sequential fixer and the distributed machines.
+func (s Sizes) copts(strategy core.Strategy) core.Options {
+	return core.Options{Strategy: strategy, Metrics: s.Metrics}
 }
 
 func (s Sizes) scale(n int) int {
@@ -110,7 +126,7 @@ func T1Rank2(seed uint64, sz Sizes) (*Table, error) {
 			if i > 0 {
 				order = r.Perm(s.Instance.NumVars())
 			}
-			res, err := core.FixSequential(s.Instance, order, core.Options{})
+			res, err := core.FixSequential(s.Instance, order, sz.copts(0))
 			if err != nil {
 				return nil, fmt.Errorf("exp: T1 %s: %w", w.family, err)
 			}
@@ -151,7 +167,7 @@ func T2DistributedRank2(seed uint64, sz Sizes) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.FixDistributed2(s.Instance, core.Options{}, sz.lopts(seed))
+		res, err := core.FixDistributed2(s.Instance, sz.copts(0), sz.lopts(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +193,7 @@ func T2DistributedRank2(seed uint64, sz Sizes) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.FixDistributed2(s.Instance, core.Options{}, sz.lopts(seed))
+		res, err := core.FixDistributed2(s.Instance, sz.copts(0), sz.lopts(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +237,7 @@ func T3Rank3(seed uint64, sz Sizes) (*Table, error) {
 			if i > 0 {
 				order = r.Perm(s.Instance.NumVars())
 			}
-			res, err := core.FixSequential(s.Instance, order, core.Options{})
+			res, err := core.FixSequential(s.Instance, order, sz.copts(0))
 			if err != nil {
 				return nil, err
 			}
@@ -263,7 +279,7 @@ func T4DistributedRank3(seed uint64, sz Sizes) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.FixDistributed3(s.Instance, core.Options{}, sz.lopts(seed))
+		res, err := core.FixDistributed3(s.Instance, sz.copts(0), sz.lopts(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -328,11 +344,11 @@ func T5Threshold(seed uint64, sz Sizes) (*Table, error) {
 			return nil, err
 		}
 		_, margin := s.Instance.ExponentialCriterion()
-		greedy, err := core.FixSequential(s.Instance, nil, core.Options{Strategy: core.StrategyMinScore})
+		greedy, err := core.FixSequential(s.Instance, nil, sz.copts(core.StrategyMinScore))
 		if err != nil {
 			return nil, err
 		}
-		adv, err := core.FixSequential(s.Instance, nil, core.Options{Strategy: core.StrategyAdversarial})
+		adv, err := core.FixSequential(s.Instance, nil, sz.copts(core.StrategyAdversarial))
 		if err != nil {
 			return nil, err
 		}

@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -116,8 +118,20 @@ type Options struct {
 	Workers int
 	// OnRound, if non-nil, observes per-round execution stats after each
 	// round's delivery phase. It is called from the coordinating goroutine,
-	// in round order.
+	// in round order. The stream is deterministic: identical for every
+	// Workers value.
 	OnRound func(engine.RoundStats)
+	// Metrics, if non-nil, receives the runtime's metric families: local_*
+	// counters and histograms (rounds, steps, messages, per-round
+	// message/halt histograms, per-phase compute/deliver timings) and the
+	// engine_* sharding counters (shards executed / stolen). Collection is
+	// race-clean and never changes results; when nil the runtime skips all
+	// timing calls (the disabled path costs nothing).
+	Metrics *obs.Registry
+	// Trace, if non-nil, receives one structured JSONL event per round
+	// (kind "round") bracketed by "run_start" / "run_end" markers, all
+	// tagged with a per-run id. Like Metrics it never changes results.
+	Trace *obs.Recorder
 }
 
 // IDSpace returns the size of the identifier space used for the random ID
@@ -185,30 +199,42 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 	pool, release := runPool(opts)
 	defer release()
 
-	// markHalted retires machines that returned done this round. It runs
-	// on both the success and the error path, so Stats and the running set
-	// stay consistent even when a round fails mid-way.
-	markHalted := func() {
+	// Observability: resolved once per run; nil when disabled, in which
+	// case the round loop takes no timestamps and tracks no shard stats.
+	ro := newRunObs(opts, n, pool.Workers())
+	ro.runStart()
+
+	// markHalted retires machines that returned done this round and
+	// reports how many it retired. It runs on both the success and the
+	// error path, so Stats and the running set stay consistent even when a
+	// round fails mid-way.
+	markHalted := func() int {
+		halted := 0
 		for v := 0; v < n; v++ {
 			if running[v] && doneFlags[v] {
 				running[v] = false
 				numRunning--
+				halted++
 			}
 		}
+		return halted
 	}
 
 	var stats Stats
 	for round := 1; numRunning > 0; round++ {
 		if round > opts.MaxRounds {
-			return stats, fmt.Errorf("%w: %d rounds, %d machines still running", ErrRoundLimit, opts.MaxRounds, numRunning)
+			err := fmt.Errorf("%w: %d rounds, %d machines still running", ErrRoundLimit, opts.MaxRounds, numRunning)
+			ro.runEnd(stats, err)
+			return stats, err
 		}
 		stats.Rounds = round
+		ro.roundBegin()
 
 		// Compute phase: workers pull contiguous node shards and step every
 		// running machine. Machines own disjoint state; outbox and
 		// doneFlags are written at the machine's own index only.
 		var steps atomic.Int64
-		pool.ForEachShard(n, func(lo, hi int) {
+		pool.ForEachShardStats(n, func(lo, hi int) {
 			stepped := 0
 			for v := lo; v < hi; v++ {
 				if !running[v] {
@@ -221,8 +247,9 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 				stepped++
 			}
 			steps.Add(int64(stepped))
-		})
+		}, ro.computeStats())
 		stats.Steps += int(steps.Load())
+		ro.computeDone()
 
 		// Validation: a machine that returns a message slice of the wrong
 		// length poisons the round. Scan serially so the reported node is
@@ -232,7 +259,9 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 		for v := 0; v < n; v++ {
 			if outbox[v] != nil && len(outbox[v]) != g.Degree(v) {
 				markHalted()
-				return stats, fmt.Errorf("local: node %d sent %d messages, degree is %d", v, len(outbox[v]), g.Degree(v))
+				err := fmt.Errorf("local: node %d sent %d messages, degree is %d", v, len(outbox[v]), g.Degree(v))
+				ro.runEnd(stats, err)
+				return stats, err
 			}
 		}
 
@@ -242,7 +271,7 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 		// shard, so delivery is race-free; the message count is accumulated
 		// per shard and folded in atomically (order-independent sum).
 		var delivered atomic.Int64
-		pool.ForEachShard(n, func(lo, hi int) {
+		pool.ForEachShardStats(n, func(lo, hi int) {
 			count := 0
 			for v := lo; v < hi; v++ {
 				in := inbox[v]
@@ -262,21 +291,156 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 				}
 			}
 			delivered.Add(int64(count))
-		})
+		}, ro.deliverStats())
 		roundMsgs := int(delivered.Load())
 		stats.MessagesSent += roundMsgs
 
-		markHalted()
+		halted := markHalted()
+		rs := engine.RoundStats{
+			Round:    round,
+			Steps:    int(steps.Load()),
+			Messages: roundMsgs,
+			Active:   numRunning,
+			Halted:   halted,
+		}
+		ro.roundEnd(rs)
 		if opts.OnRound != nil {
-			opts.OnRound(engine.RoundStats{
-				Round:    round,
-				Steps:    int(steps.Load()),
-				Messages: roundMsgs,
-				Active:   numRunning,
-			})
+			opts.OnRound(rs)
 		}
 	}
+	ro.runEnd(stats, nil)
 	return stats, nil
+}
+
+// runObs is the per-run observability state: the resolved metric
+// collectors, the trace recorder, and the scratch timing/sharding state of
+// the round in flight. A nil *runObs (observability disabled) makes every
+// hook a no-op and keeps the round loop free of time and atomic-stat calls.
+type runObs struct {
+	rec   *obs.Recorder
+	runID int64
+
+	runs, rounds, steps, messages *obs.Counter
+	shards, stolen                *obs.Counter
+	roundMsgs, roundHalts         *obs.Histogram
+	computeSec, deliverSec        *obs.Histogram
+
+	// Scratch state of the round in flight.
+	phaseStart       time.Time
+	computeNS        int64
+	computeRS, delRS engine.RunStats
+}
+
+// newRunObs resolves the run's collectors; it returns nil when both
+// observability channels are off.
+func newRunObs(opts Options, n, workers int) *runObs {
+	if opts.Metrics == nil && opts.Trace == nil {
+		return nil
+	}
+	ro := &runObs{rec: opts.Trace}
+	if m := opts.Metrics; m != nil {
+		ro.runs = m.Counter("local_runs_total")
+		ro.rounds = m.Counter("local_rounds_total")
+		ro.steps = m.Counter("local_steps_total")
+		ro.messages = m.Counter("local_messages_total")
+		ro.shards = m.Counter("engine_shards_total")
+		ro.stolen = m.Counter("engine_shards_stolen_total")
+		ro.roundMsgs = m.Histogram("local_round_messages", obs.CountBuckets)
+		ro.roundHalts = m.Histogram("local_round_halted", obs.CountBuckets)
+		ro.computeSec = m.Histogram("local_compute_seconds", obs.DurationBuckets)
+		ro.deliverSec = m.Histogram("local_deliver_seconds", obs.DurationBuckets)
+	}
+	if ro.rec != nil {
+		ro.runID = ro.rec.NextRun()
+	}
+	ro.runs.Inc()
+	if ro.rec != nil {
+		ro.rec.Emit(obs.Event{Kind: "run_start", Run: ro.runID, Nodes: n, Workers: workers})
+	}
+	return ro
+}
+
+func (ro *runObs) runStart() {} // run_start is emitted by newRunObs
+
+// roundBegin stamps the compute phase's start.
+func (ro *runObs) roundBegin() {
+	if ro == nil {
+		return
+	}
+	ro.phaseStart = time.Now()
+}
+
+// computeStats returns the RunStats slot for the compute phase (nil when
+// disabled, selecting the engine's zero-overhead path).
+func (ro *runObs) computeStats() *engine.RunStats {
+	if ro == nil {
+		return nil
+	}
+	return &ro.computeRS
+}
+
+// computeDone closes the compute phase's timing and opens the delivery
+// phase's.
+func (ro *runObs) computeDone() {
+	if ro == nil {
+		return
+	}
+	now := time.Now()
+	ro.computeNS = now.Sub(ro.phaseStart).Nanoseconds()
+	ro.phaseStart = now
+}
+
+// deliverStats returns the RunStats slot for the delivery phase.
+func (ro *runObs) deliverStats() *engine.RunStats {
+	if ro == nil {
+		return nil
+	}
+	return &ro.delRS
+}
+
+// roundEnd folds the finished round into the metric families and emits its
+// trace event.
+func (ro *runObs) roundEnd(rs engine.RoundStats) {
+	if ro == nil {
+		return
+	}
+	deliverNS := time.Since(ro.phaseStart).Nanoseconds()
+	ro.rounds.Inc()
+	ro.steps.Add(int64(rs.Steps))
+	ro.messages.Add(int64(rs.Messages))
+	ro.shards.Add(int64(ro.computeRS.Shards + ro.delRS.Shards))
+	ro.stolen.Add(int64(ro.computeRS.Stolen + ro.delRS.Stolen))
+	ro.roundMsgs.Observe(float64(rs.Messages))
+	ro.roundHalts.Observe(float64(rs.Halted))
+	ro.computeSec.Observe(float64(ro.computeNS) / 1e9)
+	ro.deliverSec.Observe(float64(deliverNS) / 1e9)
+	if ro.rec != nil {
+		ro.rec.Emit(obs.Event{
+			Kind:      "round",
+			Run:       ro.runID,
+			Round:     rs.Round,
+			Steps:     rs.Steps,
+			Messages:  rs.Messages,
+			Active:    rs.Active,
+			Halted:    rs.Halted,
+			Shards:    ro.computeRS.Shards + ro.delRS.Shards,
+			Stolen:    ro.computeRS.Stolen + ro.delRS.Stolen,
+			ComputeNS: ro.computeNS,
+			DeliverNS: deliverNS,
+		})
+	}
+}
+
+// runEnd emits the run_end trace marker (with the failure, if any).
+func (ro *runObs) runEnd(stats Stats, err error) {
+	if ro == nil || ro.rec == nil {
+		return
+	}
+	e := obs.Event{Kind: "run_end", Run: ro.runID, Rounds: stats.Rounds, Steps: stats.Steps, Messages: stats.MessagesSent}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	ro.rec.Emit(e)
 }
 
 // runPool selects the execution pool for one run: the process-wide shared

@@ -191,6 +191,9 @@ type DistResult struct {
 	// Resamplings counts event resamplings across all nodes.
 	Resamplings int
 	Messages    int
+	// LocalStats is the underlying LOCAL runtime's execution record. On a
+	// failed run it holds the partial stats up to the failure.
+	LocalStats local.Stats
 }
 
 // Distributed runs the parallel Moser-Tardos resampler as a LOCAL algorithm
@@ -214,7 +217,9 @@ func Distributed(inst *model.Instance, seed uint64, maxIters int, lopts local.Op
 		return machines[v]
 	}, lopts)
 	if err != nil {
-		return nil, err
+		// Partial result: the runtime's Stats are well defined up to the
+		// failing round, so surface them (localsim prints them on failure).
+		return &DistResult{Rounds: stats.Rounds, Messages: stats.MessagesSent, LocalStats: stats}, err
 	}
 	a := model.NewAssignment(inst)
 	resamples := 0
@@ -235,7 +240,7 @@ func Distributed(inst *model.Instance, seed uint64, maxIters int, lopts local.Op
 			a.Fix(vid, inst.Var(vid).Dist.Sample(prng.New(seed)))
 		}
 	}
-	violated, err := violatedEvents(inst, a)
+	violated, err := violatedEvents(inst, a, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -246,5 +251,6 @@ func Distributed(inst *model.Instance, seed uint64, maxIters int, lopts local.Op
 		Iterations:  maxIters,
 		Resamplings: resamples,
 		Messages:    stats.MessagesSent,
+		LocalStats:  stats,
 	}, nil
 }

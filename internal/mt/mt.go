@@ -53,8 +53,8 @@ func resample(inst *model.Instance, a *model.Assignment, id int, r *prng.Rand) {
 // complete assignment a. Evaluation is read-only per event, so it is
 // sharded over the shared worker pool; flags and errors are written
 // index-addressed, keeping the result (including which error is reported)
-// independent of the worker count.
-func violatedEvents(inst *model.Instance, a *model.Assignment) ([]int, error) {
+// independent of the worker count. mo (may be nil) records the scan cost.
+func violatedEvents(inst *model.Instance, a *model.Assignment, mo *mtObs) ([]int, error) {
 	m := inst.NumEvents()
 	bad := make([]bool, m)
 	errs := make([]error, m)
@@ -72,6 +72,7 @@ func violatedEvents(inst *model.Instance, a *model.Assignment) ([]int, error) {
 			out = append(out, id)
 		}
 	}
+	mo.scan(m, len(out))
 	return out, nil
 }
 
@@ -81,7 +82,7 @@ func violatedEvents(inst *model.Instance, a *model.Assignment) ([]int, error) {
 // probability, which is what the sharp-threshold experiment visualizes.
 func OneShot(inst *model.Instance, r *prng.Rand) (*model.Assignment, int, error) {
 	a := sampleAll(inst, r)
-	violated, err := violatedEvents(inst, a)
+	violated, err := violatedEvents(inst, a, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -93,13 +94,21 @@ func OneShot(inst *model.Instance, r *prng.Rand) (*model.Assignment, int, error)
 // It stops after maxResamplings (0 means 10^6) without error; inspect
 // Result.Satisfied.
 func Sequential(inst *model.Instance, r *prng.Rand, maxResamplings int) (*Result, error) {
+	return SequentialObs(inst, r, maxResamplings, Observer{})
+}
+
+// SequentialObs is Sequential with observability: o.Metrics receives the
+// mt_* families and o.Trace one "mt_iteration" event per resampling
+// (o.OnRound is ignored; the sequential resampler has no rounds).
+func SequentialObs(inst *model.Instance, r *prng.Rand, maxResamplings int, o Observer) (*Result, error) {
 	if maxResamplings == 0 {
 		maxResamplings = 1_000_000
 	}
+	mo := newMTObs(o)
 	a := sampleAll(inst, r)
 	res := &Result{Assignment: a}
 	for res.Resamplings < maxResamplings {
-		violated, err := violatedEvents(inst, a)
+		violated, err := violatedEvents(inst, a, mo)
 		if err != nil {
 			return nil, err
 		}
@@ -109,8 +118,9 @@ func Sequential(inst *model.Instance, r *prng.Rand, maxResamplings int) (*Result
 		}
 		resample(inst, a, violated[0], r)
 		res.Resamplings++
+		mo.iteration(res.Resamplings, len(violated), 1)
 	}
-	violated, err := violatedEvents(inst, a)
+	violated, err := violatedEvents(inst, a, mo)
 	if err != nil {
 		return nil, err
 	}
@@ -126,14 +136,23 @@ func Sequential(inst *model.Instance, r *prng.Rand, maxResamplings int) (*Result
 // Result.Satisfied. Under ep(d+1) < 1 the expected number of rounds is
 // O(log n) with O(log n)-factor overheads in the classic analysis.
 func Parallel(inst *model.Instance, r *prng.Rand, maxRounds int) (*Result, error) {
+	return ParallelObs(inst, r, maxRounds, Observer{})
+}
+
+// ParallelObs is Parallel with observability: o.Metrics receives the mt_*
+// families, o.Trace one "mt_iteration" event per round, and o.OnRound is
+// invoked after every round with the deterministic engine.RoundStats
+// mapping described on Observer.
+func ParallelObs(inst *model.Instance, r *prng.Rand, maxRounds int, o Observer) (*Result, error) {
 	if maxRounds == 0 {
 		maxRounds = 100_000
 	}
+	mo := newMTObs(o)
 	g := inst.DependencyGraph()
 	a := sampleAll(inst, r)
 	res := &Result{Assignment: a}
 	for res.Rounds < maxRounds {
-		violated, err := violatedEvents(inst, a)
+		violated, err := violatedEvents(inst, a, mo)
 		if err != nil {
 			return nil, err
 		}
@@ -151,21 +170,27 @@ func Parallel(inst *model.Instance, r *prng.Rand, maxRounds int) (*Result, error
 		// resampled scopes are disjoint... not necessarily disjoint
 		// (non-adjacent events share no variable by definition), hence
 		// order within the round is irrelevant.
+		selected := 0
 		for _, id := range violated {
-			selected := true
+			minimum := true
 			for _, u := range g.Neighbors(id) {
 				if isViolated[u] && u < id {
-					selected = false
+					minimum = false
 					break
 				}
 			}
-			if selected {
+			if minimum {
 				resample(inst, a, id, r)
 				res.Resamplings++
+				selected++
 			}
 		}
+		mo.iteration(res.Rounds, len(violated), selected)
+		if o.OnRound != nil {
+			o.OnRound(engine.RoundStats{Round: res.Rounds, Steps: selected, Active: len(violated)})
+		}
 	}
-	violated, err := violatedEvents(inst, a)
+	violated, err := violatedEvents(inst, a, mo)
 	if err != nil {
 		return nil, err
 	}

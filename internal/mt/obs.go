@@ -1,0 +1,84 @@
+package mt
+
+import (
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Observer configures observability for the resamplers. The zero value
+// disables everything and is what the plain Sequential / Parallel entry
+// points use; callers that want instrumented runs go through
+// SequentialObs / ParallelObs. The distributed resampler is instrumented
+// through the local.Options it already receives.
+type Observer struct {
+	// Metrics receives the mt_* metric families: run/resampling/round
+	// counters, violated-event scan cost (mt_scans_total /
+	// mt_scan_events_total) and the mt_violated_per_scan histogram. Nil
+	// disables metrics at zero cost.
+	Metrics *obs.Registry
+	// Trace receives one "mt_iteration" event per resampling iteration
+	// (sequential) or parallel round, tagged with a fresh run id.
+	Trace *obs.Recorder
+	// OnRound observes each parallel resampling round (Parallel only),
+	// mapped onto the engine's round shape: Round is the 1-based round,
+	// Steps the events resampled this round, Active the violated events
+	// found by the scan that opened the round. All fields are
+	// deterministic — identical for every engine worker count.
+	OnRound func(engine.RoundStats)
+}
+
+// mtObs is the per-run resolved observer state; nil means disabled and
+// every method is a no-op.
+type mtObs struct {
+	rec   *obs.Recorder
+	runID int64
+
+	runs, resamplings, rounds *obs.Counter
+	scans, scanEvents         *obs.Counter
+	violatedPerScan           *obs.Histogram
+}
+
+func newMTObs(o Observer) *mtObs {
+	if o.Metrics == nil && o.Trace == nil {
+		return nil
+	}
+	mo := &mtObs{rec: o.Trace}
+	if m := o.Metrics; m != nil {
+		mo.runs = m.Counter("mt_runs_total")
+		mo.resamplings = m.Counter("mt_resamplings_total")
+		mo.rounds = m.Counter("mt_rounds_total")
+		mo.scans = m.Counter("mt_scans_total")
+		mo.scanEvents = m.Counter("mt_scan_events_total")
+		mo.violatedPerScan = m.Histogram("mt_violated_per_scan", obs.CountBuckets)
+	}
+	if mo.rec != nil {
+		mo.runID = mo.rec.NextRun()
+	}
+	mo.runs.Inc()
+	return mo
+}
+
+// scan records one violatedEvents sweep: events evaluated and how many
+// came back violated.
+func (mo *mtObs) scan(events, violated int) {
+	if mo == nil {
+		return
+	}
+	mo.scans.Inc()
+	mo.scanEvents.Add(int64(events))
+	mo.violatedPerScan.Observe(float64(violated))
+}
+
+// iteration records one resampling iteration (a sequential resampling or a
+// parallel round): iter is the 1-based iteration, violated the scan's
+// violated count, resampled the events redrawn.
+func (mo *mtObs) iteration(iter, violated, resampled int) {
+	if mo == nil {
+		return
+	}
+	mo.rounds.Inc()
+	mo.resamplings.Add(int64(resampled))
+	if mo.rec != nil {
+		mo.rec.Emit(obs.Event{Kind: "mt_iteration", Run: mo.runID, Round: iter, Active: violated, Steps: resampled})
+	}
+}

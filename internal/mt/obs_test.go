@@ -1,0 +1,174 @@
+package mt
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/obs"
+	"repro/internal/prng"
+)
+
+// TestDistributedOnRoundWorkerIndependence pins the OnRound contract for
+// resampling runs on the LOCAL runtime: the per-round engine.RoundStats
+// stream is deterministic, so the distributed resampler must produce the
+// byte-identical stream at Workers = 1 and Workers = GOMAXPROCS.
+func TestDistributedOnRoundWorkerIndependence(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(16), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []engine.RoundStats {
+		var stream []engine.RoundStats
+		res, err := Distributed(s.Instance, 1, 20, local.Options{
+			IDSeed:  2,
+			Workers: workers,
+			OnRound: func(rs engine.RoundStats) { stream = append(stream, rs) },
+		})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if len(stream) != res.Rounds {
+			t.Fatalf("Workers=%d: %d OnRound calls for %d rounds", workers, len(stream), res.Rounds)
+		}
+		return stream
+	}
+	want := run(1)
+	if len(want) == 0 {
+		t.Fatal("no rounds observed")
+	}
+	for i, rs := range want {
+		if rs.Round != i+1 {
+			t.Fatalf("stream not in round order: entry %d has Round=%d", i, rs.Round)
+		}
+	}
+	got := run(runtime.GOMAXPROCS(0))
+	if len(got) != len(want) {
+		t.Fatalf("stream lengths differ: Workers=1 saw %d rounds, GOMAXPROCS saw %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round %d stats differ between worker counts:\nWorkers=1:        %+v\nWorkers=GOMAXPROCS: %+v",
+				i+1, want[i], got[i])
+		}
+	}
+}
+
+// TestParallelObsOnRoundStream checks the parallel resampler's OnRound
+// mapping: the stream is consistent with the Result (rounds dense, resampled
+// counts summing to Resamplings, Active > 0 every round) and reproducible
+// for a fixed seed.
+func TestParallelObsOnRoundStream(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(20), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]engine.RoundStats, *Result) {
+		var stream []engine.RoundStats
+		res, err := ParallelObs(s.Instance, prng.New(11), 0, Observer{
+			OnRound: func(rs engine.RoundStats) { stream = append(stream, rs) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stream, res
+	}
+	stream, res := run()
+	if len(stream) != res.Rounds {
+		t.Fatalf("%d OnRound calls for %d rounds", len(stream), res.Rounds)
+	}
+	total := 0
+	for i, rs := range stream {
+		if rs.Round != i+1 {
+			t.Fatalf("entry %d has Round=%d, want %d", i, rs.Round, i+1)
+		}
+		if rs.Active == 0 || rs.Steps == 0 {
+			t.Fatalf("round %d: zero Active/Steps in a round that ran: %+v", rs.Round, rs)
+		}
+		total += rs.Steps
+	}
+	if total != res.Resamplings {
+		t.Fatalf("OnRound Steps sum to %d, Result.Resamplings = %d", total, res.Resamplings)
+	}
+	again, _ := run()
+	if len(again) != len(stream) {
+		t.Fatalf("repeat run stream length %d != %d", len(again), len(stream))
+	}
+	for i := range stream {
+		if again[i] != stream[i] {
+			t.Fatalf("repeat run diverges at round %d: %+v vs %+v", i+1, again[i], stream[i])
+		}
+	}
+}
+
+// TestObserverMetricsAndTrace checks that SequentialObs / ParallelObs
+// actually feed the mt_* metric families and the trace stream, and that the
+// counters agree with the Result.
+func TestObserverMetricsAndTrace(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(16), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var traced bytes.Buffer
+	rec := obs.NewRecorder(&traced)
+	res, err := SequentialObs(s.Instance, prng.New(5), 0, Observer{Metrics: reg, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mt_runs_total").Value(); got != 1 {
+		t.Errorf("mt_runs_total = %d, want 1", got)
+	}
+	if got := reg.Counter("mt_resamplings_total").Value(); got != int64(res.Resamplings) {
+		t.Errorf("mt_resamplings_total = %d, Result.Resamplings = %d", got, res.Resamplings)
+	}
+	if got := reg.Counter("mt_scans_total").Value(); got == 0 {
+		t.Error("mt_scans_total stayed 0")
+	}
+	if res.Resamplings > 0 && traced.Len() == 0 {
+		t.Error("trace output empty despite resamplings")
+	}
+
+	reg2 := obs.NewRegistry()
+	pres, err := ParallelObs(s.Instance, prng.New(6), 0, Observer{Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("mt_rounds_total").Value(); got != int64(pres.Rounds) {
+		t.Errorf("mt_rounds_total = %d, Result.Rounds = %d", got, pres.Rounds)
+	}
+	if got := reg2.Counter("mt_resamplings_total").Value(); got != int64(pres.Resamplings) {
+		t.Errorf("mt_resamplings_total = %d, Result.Resamplings = %d", got, pres.Resamplings)
+	}
+}
+
+// TestDistributedPartialStatsOnFailure checks the failure contract localsim
+// relies on: when the LOCAL run dies mid-round, the DistResult still carries
+// the partial execution record.
+func TestDistributedPartialStatsOnFailure(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(12), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-round limit cannot fit even one 3-round resampling iteration.
+	res, err := Distributed(s.Instance, 1, 5, local.Options{IDSeed: 2, MaxRounds: 2})
+	if err == nil {
+		t.Fatal("expected a round-limit error")
+	}
+	if res == nil {
+		t.Fatal("failed run returned nil DistResult — partial stats lost")
+	}
+	if res.LocalStats.Rounds == 0 || res.LocalStats.Steps == 0 {
+		t.Fatalf("partial LocalStats empty: %+v", res.LocalStats)
+	}
+	if res.Rounds != res.LocalStats.Rounds {
+		t.Fatalf("Rounds=%d disagrees with LocalStats.Rounds=%d", res.Rounds, res.LocalStats.Rounds)
+	}
+}

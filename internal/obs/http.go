@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry and the process:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   JSON snapshot (expvar-style)
+//	/debug/pprof  net/http/pprof index (profile, heap, goroutine, ...)
+//
+// reg may be nil; the endpoints then serve empty metric sets but pprof
+// still works, so a metrics listener is useful even for pure profiling.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics listener started by Serve.
+type Server struct {
+	// Addr is the bound address (host:port), useful when Serve was given
+	// ":0".
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve binds addr and serves Handler(reg) on it in a background
+// goroutine. Close the returned Server to stop it. addr follows
+// net.Listen("tcp", addr) conventions; ":0" picks a free port.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the listener. No-op on a nil receiver.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,220 @@
+// Package obs is the observability layer of the reproduction: a
+// dependency-free, race-clean metrics and tracing subsystem shared by the
+// sharded execution engine, the LOCAL runtime, the sequential and
+// distributed fixers, the Moser-Tardos baselines and the experiment
+// harness.
+//
+// The design has one hard requirement inherited from the golden-table
+// determinism contract: observability must never change results, and the
+// DISABLED path must cost nothing. Every collector is therefore nil-safe —
+// methods on a nil *Counter, *Gauge, *Histogram, *Registry or *Recorder are
+// no-ops that allocate zero bytes (asserted by TestDisabledPathZeroAllocs
+// and BenchmarkObsDisabled) — so instrumented code simply holds possibly-nil
+// pointers and calls through unconditionally, or guards whole blocks with a
+// single nil check when the block would otherwise compute inputs (e.g.
+// time.Now calls around a phase).
+//
+// Collectors are updated with atomics only; any number of goroutines may
+// write a collector concurrently with any number of readers (exposition,
+// snapshots), which the -race CI pass locks in.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a valid disabled counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 value. The zero value reads 0; a
+// nil *Gauge is a valid disabled gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta to the gauge. No-op on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger than the current value.
+// No-op on a nil receiver.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// SetMin lowers the gauge to v if v is smaller than the current value.
+// A zero (never-written) gauge is treated as unset and adopts v, so min
+// tracking does not need a +Inf sentinel. No-op on a nil receiver.
+func (g *Gauge) SetMin(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if old != 0 && math.Float64frombits(old) <= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus-style
+// exposition. Buckets are defined by their upper bounds (ascending); an
+// implicit +Inf bucket catches the rest. A nil *Histogram is a valid
+// disabled histogram.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram with the given ascending upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the configured upper bounds (nil on a nil receiver).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns a snapshot of the per-bucket counts, one entry per
+// bound plus the final +Inf bucket (nil on a nil receiver). Counts are NOT
+// cumulative; exposition cumulates them.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at start
+// with the given factor — the standard shape for duration and size
+// histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets are the default bounds for phase-timing histograms, in
+// seconds: 1µs … ~4s, doubling.
+var DurationBuckets = ExpBuckets(1e-6, 2, 23)
+
+// CountBuckets are the default bounds for per-round count histograms
+// (messages, steps, halts): 1 … ~2M, quadrupling.
+var CountBuckets = ExpBuckets(1, 4, 11)

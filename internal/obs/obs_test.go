@@ -1,0 +1,436 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("lookup did not return the same counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	g.SetMax(1) // no-op
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after SetMax = %v, want 7", got)
+	}
+	m := r.Gauge("min")
+	m.SetMin(3) // unset gauge adopts the first value
+	m.SetMin(5) // no-op
+	m.SetMin(2)
+	if got := m.Value(); got != 2 {
+		t.Fatalf("gauge after SetMin = %v, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 1053.5 {
+		t.Fatalf("sum = %v, want 1053.5", got)
+	}
+	want := []int64{2, 1, 1, 1} // (<=1)=2, (<=10)=1, (<=100)=1, +Inf=1
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("got %v, want %v", b, want)
+		}
+	}
+	if ExpBuckets(0, 2, 3) != nil || ExpBuckets(1, 1, 3) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Fatal("invalid bucket specs must return nil")
+	}
+}
+
+func TestRegistryPrefixViews(t *testing.T) {
+	r := NewRegistry()
+	v := r.WithPrefix("t2_")
+	v.Counter("rounds_total").Add(3)
+	if got := r.Counter("t2_rounds_total").Value(); got != 3 {
+		t.Fatalf("parent sees %d through prefixed name, want 3", got)
+	}
+	vv := v.WithPrefix("inner_")
+	vv.Counter("x").Inc()
+	if got := r.Counter("t2_inner_x").Value(); got != 1 {
+		t.Fatalf("nested prefix = %d, want 1", got)
+	}
+	// Exposition covers the whole core from any view.
+	var buf bytes.Buffer
+	if err := v.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t2_rounds_total 3") {
+		t.Fatalf("exposition missing prefixed counter:\n%s", buf.String())
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Gauge("b").Set(1.25)
+	h := r.Histogram("c", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_total counter
+a_total 2
+# TYPE b gauge
+b 1.25
+# TYPE c histogram
+c_bucket{le="1"} 1
+c_bucket{le="2"} 2
+c_bucket{le="+Inf"} 3
+c_sum 11
+c_count 3
+`
+	if buf.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Add(7)
+	r.Gauge("g").Set(3.5)
+	r.Histogram("h", []float64{10}).Observe(4)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if s.Counters["n"] != 7 || s.Gauges["g"] != 3.5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	h := s.Histograms["h"]
+	if h.Count != 1 || h.Sum != 4 || len(h.Buckets) != 1 || h.Buckets[0] != 1 {
+		t.Fatalf("hist snapshot = %+v", h)
+	}
+}
+
+func TestNilRegistryAndCollectors(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil collectors")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	g.SetMin(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil collectors must read zero")
+	}
+	if r.WithPrefix("p_") != nil {
+		t.Fatal("nil registry WithPrefix must stay nil")
+	}
+	if err := r.WriteText(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var rec *Recorder
+	rec.Emit(Event{Kind: "x"})
+	rec.Span(0, "p").End()
+	if rec.NextRun() != 0 {
+		t.Fatal("nil recorder NextRun must return 0")
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisabledPathZeroAllocs is the satellite requirement in executable
+// form: the disabled path of every collector and of spans allocates zero
+// bytes per operation.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var (
+		reg *Registry
+		c   *Counter
+		g   *Gauge
+		h   *Histogram
+		rec *Recorder
+	)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(1)
+		g.SetMax(2)
+		g.SetMin(0.5)
+		h.Observe(4)
+		rec.Span(0, "compute").End()
+	}); n != 0 {
+		t.Fatalf("disabled collectors allocate %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = reg.Counter("x")
+		_ = reg.Gauge("y")
+		_ = reg.Histogram("z", nil)
+	}); n != 0 {
+		t.Fatalf("nil registry lookups allocate %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkObsDisabled benchmarks the disabled path; run with -benchmem to
+// see 0 B/op, 0 allocs/op. This is the overhead an uninstrumented run pays.
+func BenchmarkObsDisabled(b *testing.B) {
+	var (
+		c   *Counter
+		g   *Gauge
+		h   *Histogram
+		rec *Recorder
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		g.SetMax(float64(i))
+		h.Observe(float64(i))
+		rec.Span(0, "round").End()
+	}
+}
+
+// BenchmarkObsEnabled is the counterpart: the live cost of one counter add
+// plus one histogram observation, for sizing instrumentation density.
+func BenchmarkObsEnabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	h := r.Histogram("h", CountBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func TestConcurrentUpdatesAreRaceClean(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("peak")
+			h := r.Histogram("obs", CountBuckets)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.SetMax(float64(w*1000 + i))
+				h.Observe(float64(i))
+			}
+		}(w)
+	}
+	// Concurrent reader: exposition while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.WriteText(io.Discard)
+			_ = r.TakeSnapshot()
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("peak").Value(); got != 7999 {
+		t.Fatalf("gauge = %v, want 7999", got)
+	}
+	if got := r.Histogram("obs", nil).Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestRecorderJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	run := rec.NextRun()
+	rec.Emit(Event{Kind: "run_start", Run: run, Nodes: 4, Workers: 2})
+	rec.Emit(Event{Kind: "round", Run: run, Round: 1, Steps: 4, Messages: 8, Active: 2})
+	sp := rec.Span(run, "deliver")
+	sp.End()
+	rec.Emit(Event{Kind: "run_end", Run: run, Rounds: 1})
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	kinds := []string{"run_start", "round", "span", "run_end"}
+	for i, e := range events {
+		if e.Kind != kinds[i] {
+			t.Fatalf("event %d kind = %q, want %q", i, e.Kind, kinds[i])
+		}
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, i)
+		}
+		if e.Run != run {
+			t.Fatalf("event %d run = %d, want %d", i, e.Run, run)
+		}
+	}
+	if events[2].Phase != "deliver" || events[2].DurNS < 0 {
+		t.Fatalf("span event = %+v", events[2])
+	}
+}
+
+func TestFileRecorder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	rec, closeFn, err := NewFileRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Emit(Event{Kind: "round", Round: 1})
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal(bytes.TrimSpace(data), &e); err != nil {
+		t.Fatalf("file content %q: %v", data, err)
+	}
+	if e.Kind != "round" || e.Round != 1 {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Add(42)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "hits_total 42") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+
+	body, _ = get("/debug/vars")
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if s.Counters["hits_total"] != 42 {
+		t.Fatalf("/debug/vars counters = %v", s.Counters)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ body:\n%s", body)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run")
+	stop, err := StartProfiles(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to write.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		fi, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", suffix, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", suffix)
+		}
+	}
+}

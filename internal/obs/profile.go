@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile at <prefix>.cpu.pprof and returns a
+// stop function that ends it and additionally writes a heap profile to
+// <prefix>.heap.pprof (after a GC, so the numbers reflect live objects).
+// The CLIs wire this behind their -profile flag.
+func StartProfiles(prefix string) (stop func() error, err error) {
+	cpuPath := prefix + ".cpu.pprof"
+	heapPath := prefix + ".heap.pprof"
+	cpuF, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		err := cpuF.Close()
+		heapF, herr := os.Create(heapPath)
+		if herr != nil {
+			if err == nil {
+				err = herr
+			}
+			return err
+		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(heapF); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := heapF.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

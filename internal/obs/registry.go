@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of counters, gauges and histograms with
+// Prometheus-style text exposition and a JSON snapshot. Collectors are
+// created on first lookup and live for the registry's lifetime; lookups are
+// cheap but not free (one RLock + map read), so hot paths should resolve
+// their collectors once up front and hold the typed pointers.
+//
+// A nil *Registry is the disabled registry: every lookup returns a nil
+// collector (whose methods are no-ops), so instrumented code never branches
+// on whether observability is on.
+//
+// WithPrefix returns a view that namespaces all lookups — the experiment
+// harness uses it to give each experiment its own metric family (e.g.
+// "t2_local_rounds_total") inside one served registry. Views share the
+// parent's collectors and exposition; WriteText and Snapshot always cover
+// the whole shared core regardless of which view they are called on.
+type Registry struct {
+	prefix string
+	core   *registryCore
+}
+
+type registryCore struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{core: &registryCore{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}}
+}
+
+// WithPrefix returns a view of the registry that prepends prefix to every
+// collector name it creates or looks up. Returns nil on a nil receiver.
+func (r *Registry) WithPrefix(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{prefix: r.prefix + prefix, core: r.core}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+// Returns nil (a valid disabled counter) on a nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	name = r.prefix + name
+	c := r.core
+	c.mu.RLock()
+	m := c.counters[name]
+	c.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m = c.counters[name]; m == nil {
+		m = &Counter{}
+		c.counters[name] = m
+	}
+	return m
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+// Returns nil on a nil receiver.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	name = r.prefix + name
+	c := r.core
+	c.mu.RLock()
+	m := c.gauges[name]
+	c.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m = c.gauges[name]; m == nil {
+		m = &Gauge{}
+		c.gauges[name] = m
+	}
+	return m
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given upper bounds if needed. An existing histogram keeps its original
+// bounds (the bounds argument is ignored then). Returns nil on a nil
+// receiver.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	name = r.prefix + name
+	c := r.core
+	c.mu.RLock()
+	m := c.hists[name]
+	c.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m = c.hists[name]; m == nil {
+		m = newHistogram(bounds)
+		c.hists[name] = m
+	}
+	return m
+}
+
+// Snapshot is a point-in-time JSON-friendly copy of every collector.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// HistSnapshot is the snapshot of one histogram. Buckets are cumulative,
+// one per bound; the total count covers the implicit +Inf bucket.
+type HistSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// TakeSnapshot copies every collector of the registry's shared core. An
+// empty snapshot is returned on a nil receiver.
+func (r *Registry) TakeSnapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	c := r.core
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for name, m := range c.counters {
+		s.Counters[name] = m.Value()
+	}
+	for name, m := range c.gauges {
+		s.Gauges[name] = m.Value()
+	}
+	for name, m := range c.hists {
+		counts := m.BucketCounts()
+		cum := make([]int64, len(m.bounds))
+		run := int64(0)
+		for i := range m.bounds {
+			run += counts[i]
+			cum[i] = run
+		}
+		s.Histograms[name] = HistSnapshot{
+			Count:   m.Count(),
+			Sum:     m.Sum(),
+			Bounds:  m.Bounds(),
+			Buckets: cum,
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TakeSnapshot())
+}
+
+// WriteText writes every collector in the Prometheus text exposition
+// format, sorted by name so output is stable. No-op on a nil receiver.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.TakeSnapshot()
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %v\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%v\"} %d\n", name, bound, h.Buckets[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %v\n", name, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
