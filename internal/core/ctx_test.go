@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+)
+
+// pollCountCtx is a context whose Err flips to Canceled after a fixed
+// number of polls — a deterministic stand-in for a cancel racing the fixer.
+type pollCountCtx struct {
+	context.Context
+	polls, cancelAfter int
+}
+
+func (c *pollCountCtx) Err() error {
+	c.polls++
+	if c.polls > c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestFixSequentialCtxCancelPartial: cancellation between fixing steps
+// returns the partial Result with exactly the variables fixed so far.
+func TestFixSequentialCtxCancelPartial(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(2048), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &pollCountCtx{Context: context.Background(), cancelAfter: 2}
+	res, err := FixSequentialCtx(ctx, s.Instance, nil, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled fixer returned nil partial Result")
+	}
+	// The context passes 2 polls (before steps 0 and 256) and fails the
+	// third (before step 512): exactly 512 variables are fixed.
+	if res.Stats.VarsFixed != 2*ctxCheckStride {
+		t.Errorf("VarsFixed = %d, want %d", res.Stats.VarsFixed, 2*ctxCheckStride)
+	}
+	fixed := 0
+	for vid := 0; vid < s.Instance.NumVars(); vid++ {
+		if res.Assignment.Fixed(vid) {
+			fixed++
+		}
+	}
+	if fixed != res.Stats.VarsFixed {
+		t.Errorf("assignment has %d fixed variables, Stats claims %d", fixed, res.Stats.VarsFixed)
+	}
+}
+
+// TestFixSequentialCtxUncancelled: a background context changes nothing —
+// the run completes and solves the instance.
+func TestFixSequentialCtxUncancelled(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(256), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FixSequentialCtx(context.Background(), s.Instance, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalViolatedEvents != 0 {
+		t.Fatalf("violated events: %d", res.Stats.FinalViolatedEvents)
+	}
+}

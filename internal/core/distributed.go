@@ -360,7 +360,11 @@ type DistResult struct {
 	// the criterion p < 2^-d).
 	ViolatedEvents int
 	// LocalStats is the LOCAL runtime's execution record of the fixing
-	// phase. On a failed run it holds the partial stats up to the failure.
+	// phase. On a failed or cancelled run it holds the partial stats up to
+	// the failure (see local.Options.Ctx: cancellation during the fixing
+	// phase yields a partial DistResult with no Assignment; cancellation
+	// during the colouring phase yields a nil result, like any other
+	// colouring failure).
 	LocalStats local.Stats
 }
 

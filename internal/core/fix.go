@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -122,6 +123,23 @@ type Result struct {
 // actual count (always 0 under the criterion; possibly positive at or above
 // the threshold, which experiment T5 exploits).
 func FixSequential(inst *model.Instance, order []int, opts Options) (*Result, error) {
+	return FixSequentialCtx(context.Background(), inst, order, opts)
+}
+
+// ctxCheckStride is how many fixing steps FixSequentialCtx lets pass
+// between context polls: frequent enough that cancellation is prompt even
+// on million-variable instances, sparse enough that ctx.Err's mutex never
+// shows up in the fixing hot path.
+const ctxCheckStride = 256
+
+// FixSequentialCtx is FixSequential with cancellation: the context is
+// polled every ctxCheckStride fixing steps and, when it is done, the fixer
+// stops and returns the PARTIAL Result — the assignment with the variables
+// fixed so far (Stats.VarsFixed many), the peak φ bookkeeping up to that
+// point, final-state fields (MaxEdgeSum, FinalViolatedEvents,
+// MaxFinalProbQuotient) left zero — together with an error wrapping
+// ctx.Err(). No individual fix is ever torn.
+func FixSequentialCtx(ctx context.Context, inst *model.Instance, order []int, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if r := inst.Rank(); r > 3 {
 		return nil, fmt.Errorf("%w: rank %d", ErrRankTooHigh, r)
@@ -160,7 +178,14 @@ func FixSequential(inst *model.Instance, order []int, opts Options) (*Result, er
 			f.stats.PeakCertBound = b
 		}
 	}
-	for _, vid := range order {
+	for i, vid := range order {
+		if i%ctxCheckStride == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				f.stats.VarsFixed = i
+				return &Result{Assignment: a, PStar: ps, Stats: f.stats},
+					fmt.Errorf("core: sequential fixer cancelled after %d of %d variables: %w", i, len(order), cerr)
+			}
+		}
 		if err := f.fixOne(vid); err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package exp
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +50,7 @@ func goldenCases() []goldenCase {
 		base.Workers = obs.Workers
 		base.Metrics = obs.Metrics
 		base.Trace = obs.Trace
+		base.Ctx = obs.Ctx
 		return base
 	}
 	return []goldenCase{
@@ -216,6 +218,35 @@ func TestGoldenTablesWithObservability(t *testing.T) {
 				}
 				if traced.Len() == 0 {
 					t.Errorf("Workers=%d: trace output empty — recorder not plumbed", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenTablesWithContext is the cancellation counterpart of the
+// observability invariant: with a LIVE context attached to every LOCAL run
+// (Sizes.Ctx, threaded through the fixers and colouring machines into
+// local.Options.Ctx), each golden case still reproduces its checked-in
+// bytes exactly — the per-round context poll must never perturb results.
+func TestGoldenTablesWithContext(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", gc.name+".golden.csv")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run TestGoldenTables with -update first): %v", err)
+			}
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				ctx, cancel := context.WithCancel(context.Background())
+				tbl, err := gc.run(Sizes{Workers: workers, Ctx: ctx})
+				cancel()
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				if got := renderCSV(t, tbl); !bytes.Equal(got, want) {
+					t.Errorf("Workers=%d with ctx attached deviates from %s:\ngot:\n%s\nwant:\n%s", workers, path, got, want)
 				}
 			}
 		})

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,11 +37,15 @@ type Sizes struct {
 	// Trace, when non-nil, receives the structured JSONL events of every
 	// run the experiment performs.
 	Trace *obs.Recorder
+	// Ctx, when non-nil, makes every LOCAL run of the experiment
+	// cancellable (threaded into local.Options.Ctx). A live context never
+	// changes table bytes — the golden tests re-render with one attached.
+	Ctx context.Context
 }
 
 // lopts builds the LOCAL-runtime options the distributed experiments share.
 func (s Sizes) lopts(seed uint64) local.Options {
-	return local.Options{IDSeed: seed, Workers: s.Workers, Metrics: s.Metrics, Trace: s.Trace}
+	return local.Options{Ctx: s.Ctx, IDSeed: seed, Workers: s.Workers, Metrics: s.Metrics, Trace: s.Trace}
 }
 
 // copts builds the fixer options the experiments share, carrying the

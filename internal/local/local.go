@@ -27,6 +27,7 @@
 package local
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -81,7 +82,11 @@ type Machine interface {
 // failing round, Steps includes its compute phase, MessagesSent excludes
 // the failing round entirely (no partial deliveries), and machines that
 // halted in the failing round are retired before the error is reported.
-// On ErrRoundLimit, Stats reflects the MaxRounds completed rounds.
+// On ErrRoundLimit, Stats reflects the MaxRounds completed rounds. On
+// cancellation (Options.Ctx) Stats reflects exactly the rounds completed
+// before the context was observed done: the runtime checks the context
+// between rounds, so a cancel arriving mid-round lets that round finish
+// and is acted on before the next one starts.
 type Stats struct {
 	// Rounds is the number of synchronous rounds until the last machine
 	// halted.
@@ -98,6 +103,18 @@ var ErrRoundLimit = errors.New("local: round limit exceeded")
 
 // Options configures a run.
 type Options struct {
+	// Ctx, if non-nil, makes the run cancellable: the runtime checks the
+	// context once per round (before the compute phase) and, when it is
+	// done, stops and returns the partial Stats of the completed rounds
+	// together with an error wrapping ctx.Err() (test with errors.Is
+	// against context.Canceled / context.DeadlineExceeded). Rounds are
+	// never torn mid-phase, so the partial Stats obey the same contract as
+	// a mid-round failure and cancellation is observed within one round.
+	// Every layer that threads Options through to Run — the colouring
+	// machines, the distributed fixers, the distributed Moser-Tardos
+	// resampler, the experiment harness — inherits cancellation from this
+	// field. Nil means the run is not cancellable.
+	Ctx context.Context
 	// MaxRounds aborts the run with ErrRoundLimit if some machine is still
 	// running after this many rounds. 0 means the default of 10^6.
 	MaxRounds int
@@ -222,6 +239,13 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 
 	var stats Stats
 	for round := 1; numRunning > 0; round++ {
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				err := fmt.Errorf("local: run cancelled after %d rounds, %d machines still running: %w", stats.Rounds, numRunning, cerr)
+				ro.runEnd(stats, err)
+				return stats, err
+			}
+		}
 		if round > opts.MaxRounds {
 			err := fmt.Errorf("%w: %d rounds, %d machines still running", ErrRoundLimit, opts.MaxRounds, numRunning)
 			ro.runEnd(stats, err)

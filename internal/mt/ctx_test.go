@@ -1,0 +1,147 @@
+package mt
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prng"
+)
+
+// hardInstance builds a threshold sinkless instance (p·2^d = 1) on a large
+// cycle: Moser-Tardos needs many rounds there, giving the cancellation
+// tests something that reliably outlives the cancel.
+func hardInstance(t *testing.T, n int) *apps.Sinkless {
+	t.Helper()
+	s, err := apps.NewSinkless(graph.Cycle(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestParallelCtxCancelMidRound cancels the parallel resampler from its
+// OnRound observer and demands it returns within one round with the
+// partial Result.
+func TestParallelCtxCancelMidRound(t *testing.T) {
+	const cancelAt = 3
+	s := hardInstance(t, 4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := ParallelCtx(ctx, s.Instance, prng.New(7), 0, Observer{
+		OnRound: func(rs engine.RoundStats) {
+			if rs.Round == cancelAt {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil partial Result")
+	}
+	if res.Rounds != cancelAt {
+		t.Errorf("Rounds = %d, want exactly %d (cancellation must be observed within one round)", res.Rounds, cancelAt)
+	}
+	if res.Satisfied {
+		t.Error("partial result claims Satisfied")
+	}
+	if res.Resamplings == 0 {
+		t.Error("partial result lost its resampling count")
+	}
+	if res.Assignment == nil || !res.Assignment.Complete() {
+		t.Error("partial result must carry the current complete assignment")
+	}
+}
+
+// TestSequentialCtxCancel: the sequential resampler observes cancellation
+// between iterations and returns its partial counts.
+func TestSequentialCtxCancel(t *testing.T) {
+	s := hardInstance(t, 2048)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SequentialCtx(ctx, s.Instance, prng.New(7), 0, Observer{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Resamplings != 0 || res.Satisfied {
+		t.Fatalf("pre-cancelled run: res = %+v, want zero-resampling unsatisfied partial", res)
+	}
+}
+
+// TestDistributedCtxCancel: the LOCAL-model resampler inherits cancellation
+// from local.Options.Ctx and surfaces the partial DistResult.
+func TestDistributedCtxCancel(t *testing.T) {
+	s := hardInstance(t, 512)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Distributed(s.Instance, 11, 500, local.Options{
+		Ctx: ctx,
+		OnRound: func(rs engine.RoundStats) {
+			if rs.Round == 9 { // mid-iteration: 3 LOCAL rounds per MT iteration
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil partial DistResult")
+	}
+	if res.Rounds != 9 {
+		t.Errorf("Rounds = %d, want 9 (the round during which cancel fired)", res.Rounds)
+	}
+	if res.LocalStats.Rounds != res.Rounds {
+		t.Errorf("LocalStats.Rounds = %d, want %d", res.LocalStats.Rounds, res.Rounds)
+	}
+	if res.Assignment != nil {
+		t.Error("cancelled distributed run must not fabricate an assignment")
+	}
+}
+
+// TestParallelCtxCancelLeaksNoGoroutines: a cancelled ParallelObs run on a
+// large instance leaves no goroutines behind (the violated-event scans ride
+// the shared persistent pool, which is warmed before the baseline).
+func TestParallelCtxCancelLeaksNoGoroutines(t *testing.T) {
+	s := hardInstance(t, 16_384)
+	if _, err := Parallel(s.Instance, prng.New(3), 1); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := ParallelCtx(ctx, s.Instance, prng.New(uint64(20+i)), 0, Observer{
+			OnRound: func(rs engine.RoundStats) {
+				if rs.Round == 2 {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled runs: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

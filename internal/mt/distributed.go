@@ -206,6 +206,12 @@ type DistResult struct {
 // success without Θ(diameter) rounds, so the classic implementation runs
 // for a precomputed bound. This is exactly why the paper's deterministic
 // O(poly d + log* n) result is interesting.
+//
+// Cancellation: when lopts.Ctx is set and becomes done, the underlying
+// LOCAL run stops between rounds and Distributed returns the partial
+// DistResult (round/message accounting and LocalStats up to the last
+// completed round, no Assignment) together with an error wrapping
+// ctx.Err().
 func Distributed(inst *model.Instance, seed uint64, maxIters int, lopts local.Options) (*DistResult, error) {
 	if maxIters == 0 {
 		maxIters = 200

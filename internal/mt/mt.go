@@ -11,6 +11,7 @@
 package mt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -101,6 +102,16 @@ func Sequential(inst *model.Instance, r *prng.Rand, maxResamplings int) (*Result
 // mt_* families and o.Trace one "mt_iteration" event per resampling
 // (o.OnRound is ignored; the sequential resampler has no rounds).
 func SequentialObs(inst *model.Instance, r *prng.Rand, maxResamplings int, o Observer) (*Result, error) {
+	return SequentialCtx(context.Background(), inst, r, maxResamplings, o)
+}
+
+// SequentialCtx is SequentialObs with cancellation: the context is checked
+// once per resampling iteration and, when it is done, the resampler stops
+// and returns the PARTIAL Result accumulated so far (the current complete
+// assignment, the resampling count, Satisfied false) together with an error
+// wrapping ctx.Err(). No iteration is torn mid-way, so cancellation is
+// observed within one iteration.
+func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxResamplings int, o Observer) (*Result, error) {
 	if maxResamplings == 0 {
 		maxResamplings = 1_000_000
 	}
@@ -108,6 +119,9 @@ func SequentialObs(inst *model.Instance, r *prng.Rand, maxResamplings int, o Obs
 	a := sampleAll(inst, r)
 	res := &Result{Assignment: a}
 	for res.Resamplings < maxResamplings {
+		if cerr := ctx.Err(); cerr != nil {
+			return res, fmt.Errorf("mt: sequential resampler cancelled after %d resamplings: %w", res.Resamplings, cerr)
+		}
 		violated, err := violatedEvents(inst, a, mo)
 		if err != nil {
 			return nil, err
@@ -144,6 +158,17 @@ func Parallel(inst *model.Instance, r *prng.Rand, maxRounds int) (*Result, error
 // invoked after every round with the deterministic engine.RoundStats
 // mapping described on Observer.
 func ParallelObs(inst *model.Instance, r *prng.Rand, maxRounds int, o Observer) (*Result, error) {
+	return ParallelCtx(context.Background(), inst, r, maxRounds, o)
+}
+
+// ParallelCtx is ParallelObs with cancellation: the context is checked once
+// per parallel round and, when it is done, the resampler stops and returns
+// the PARTIAL Result accumulated so far (current assignment, round and
+// resampling counts, Satisfied false) together with an error wrapping
+// ctx.Err(). Rounds are never torn mid-way — a cancel arriving inside a
+// round lets that round's selection and resampling finish — so cancellation
+// is observed within one round.
+func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRounds int, o Observer) (*Result, error) {
 	if maxRounds == 0 {
 		maxRounds = 100_000
 	}
@@ -152,6 +177,9 @@ func ParallelObs(inst *model.Instance, r *prng.Rand, maxRounds int, o Observer) 
 	a := sampleAll(inst, r)
 	res := &Result{Assignment: a}
 	for res.Rounds < maxRounds {
+		if cerr := ctx.Err(); cerr != nil {
+			return res, fmt.Errorf("mt: parallel resampler cancelled after %d rounds: %w", res.Rounds, cerr)
+		}
 		violated, err := violatedEvents(inst, a, mo)
 		if err != nil {
 			return nil, err

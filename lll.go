@@ -1,6 +1,7 @@
 package lll
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -231,6 +232,14 @@ func SolveInOrder(inst *Instance, order []int, opts Options) (*Result, error) {
 	return core.FixSequential(inst, order, opts)
 }
 
+// SolveCtx is Solve with cancellation: when ctx becomes done the fixer
+// stops between fixing steps and returns the partial Result (variables
+// fixed so far) together with an error wrapping ctx.Err(). The distributed
+// solvers are cancelled through LocalOptions.Ctx instead.
+func SolveCtx(ctx context.Context, inst *Instance, opts Options) (*Result, error) {
+	return core.FixSequentialCtx(ctx, inst, nil, opts)
+}
+
 // SolveDistributed runs the distributed deterministic algorithm on the
 // instance's dependency graph: Corollary 1.2 (edge-colour classes) when
 // every variable affects at most two events, Corollary 1.4 (distance-2
@@ -251,6 +260,20 @@ func MoserTardos(inst *Instance, r *Rand, maxResamplings int) (*MTResult, error)
 // MoserTardosParallel runs the parallel (round-based) Moser-Tardos variant.
 func MoserTardosParallel(inst *Instance, r *Rand, maxRounds int) (*MTResult, error) {
 	return mt.Parallel(inst, r, maxRounds)
+}
+
+// MoserTardosCtx is MoserTardos with cancellation: checked between
+// resampling iterations, returning the partial MTResult and an error
+// wrapping ctx.Err() once the context is done.
+func MoserTardosCtx(ctx context.Context, inst *Instance, r *Rand, maxResamplings int) (*MTResult, error) {
+	return mt.SequentialCtx(ctx, inst, r, maxResamplings, mt.Observer{})
+}
+
+// MoserTardosParallelCtx is MoserTardosParallel with cancellation: checked
+// between rounds, returning the partial MTResult and an error wrapping
+// ctx.Err() once the context is done.
+func MoserTardosParallelCtx(ctx context.Context, inst *Instance, r *Rand, maxRounds int) (*MTResult, error) {
+	return mt.ParallelCtx(ctx, inst, r, maxRounds, mt.Observer{})
 }
 
 // MTDistResult is the outcome of a distributed Moser-Tardos run.
