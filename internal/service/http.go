@@ -1,0 +1,147 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// NewHandler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a JobSpec → 202 + job view
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job view (spec, state, result)
+//	GET    /v1/jobs/{id}/events NDJSON event stream, follows to terminal
+//	DELETE /v1/jobs/{id}        cancel (idempotent)
+//	GET    /healthz             200 serving | 503 draining
+//	/metrics, /debug/*          observability (obs.Handler on reg)
+//
+// Error mapping: 400 invalid spec/body, 404 unknown id, 429 queue full
+// (with Retry-After), 503 draining.
+func NewHandler(s *Service, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	oh := obs.Handler(reg)
+	mux.Handle("/metrics", oh)
+	mux.Handle("/debug/", oh)
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var js JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&js); err != nil {
+			http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		job, err := s.Submit(js)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrDraining):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.View())
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		jobs := s.List()
+		views := make([]View, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.View()
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		streamEvents(w, r, job)
+	})
+
+	return mux
+}
+
+// streamEvents serves a job's event stream as NDJSON: every event already
+// recorded, then live events as they are appended, until the job reaches a
+// terminal state (the "end" event is always the last line) or the client
+// disconnects. Each line is flushed immediately so a curl reader sees
+// rounds as they happen.
+func streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	for {
+		events, more, state := job.EventsSince(next)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return // client gone
+			}
+		}
+		next += len(events)
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		// Only stop once the stream is fully drained: state and events
+		// update atomically under the job's lock, so a terminal snapshot
+		// already contains the final "end" event.
+		if len(events) == 0 && state.Terminal() {
+			return
+		}
+		if len(events) > 0 {
+			continue
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,343 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(NewHandler(s, cfg.Metrics))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) (View, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decoding job view: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return v, resp
+}
+
+// TestHTTPSubmitAndStream drives a real distributed-fixer job end to end
+// over HTTP and checks the NDJSON stream schema: parseable lines, dense
+// seq, lifecycle kinds in order, monotone LOCAL rounds, terminal "end"
+// carrying state done; then the job view reports the satisfied result.
+func TestHTTPSubmitAndStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueCap: 4, MaxInFlight: 2})
+
+	v, resp := postJob(t, ts, `{"family":"sinkless","n":256,"degree":3,"margin":0.9,"algorithm":"dist","seed":5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if v.ID == "" || v.State == "" {
+		t.Fatalf("job view missing id/state: %+v", v)
+	}
+
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			t.Fatal("blank line in NDJSON stream")
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("unparseable NDJSON line %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("stream has %d events, want at least queued/start/rounds/end", len(events))
+	}
+	lastRound := 0
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d, want dense numbering", i, e.Seq)
+		}
+		switch e.Kind {
+		case "queued":
+			if i != 0 {
+				t.Errorf(`"queued" at position %d, want 0`, i)
+			}
+		case "start":
+			if i != 1 {
+				t.Errorf(`"start" at position %d, want 1`, i)
+			}
+		case "round":
+			// Rounds are sequential within one LOCAL run and restart at 1
+			// when the next phase (colouring → fixing) begins.
+			if e.Round != lastRound+1 && e.Round != 1 {
+				t.Errorf("round %d after round %d, want +1 or a phase restart", e.Round, lastRound)
+			}
+			lastRound = e.Round
+		case "end":
+			if i != len(events)-1 {
+				t.Errorf(`"end" at position %d, want last (%d)`, i, len(events)-1)
+			}
+			if e.State != StateDone {
+				t.Errorf("end state = %q (err %q), want done", e.State, e.Err)
+			}
+		default:
+			t.Errorf("unknown event kind %q", e.Kind)
+		}
+	}
+	if lastRound == 0 {
+		t.Error("stream contained no round events")
+	}
+
+	got, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Body.Close()
+	var final View
+	if err := json.NewDecoder(got.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result == nil || !final.Result.Satisfied {
+		t.Fatalf("final view = %+v, want done+satisfied", final)
+	}
+	if final.Result.Rounds < lastRound {
+		t.Errorf("result rounds = %d, stream saw a phase with %d", final.Result.Rounds, lastRound)
+	}
+}
+
+// TestHTTPQueueFull429: once the queue is full, POST /v1/jobs answers 429
+// with a Retry-After header.
+func TestHTTPQueueFull429(t *testing.T) {
+	r := newStubRunner()
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{QueueCap: 1, MaxInFlight: 1, Metrics: reg, Runner: r.run})
+
+	if _, resp := postJob(t, ts, `{}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	waitStarted(t, r)
+	if _, resp := postJob(t, ts, `{}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+	_, resp := postJob(t, ts, `{}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if got := reg.Counter("service_admission_rejects_total").Value(); got != 1 {
+		t.Errorf("rejects counter = %d, want 1", got)
+	}
+	r.release <- struct{}{}
+	r.release <- struct{}{}
+}
+
+// TestHTTPCancelRunning: DELETE on a running job cancels it; the stream
+// terminates with an "end" event in state cancelled.
+func TestHTTPCancelRunning(t *testing.T) {
+	r := newStubRunner()
+	s, ts := newTestServer(t, Config{QueueCap: 4, MaxInFlight: 1, Runner: r.run})
+
+	v, _ := postJob(t, ts, `{}`)
+	waitStarted(t, r)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d, want 200", resp.StatusCode)
+	}
+
+	job, err := s.Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateCancelled)
+
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	body, _ := io.ReadAll(stream.Body)
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	var last Event
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Kind != "end" || last.State != StateCancelled {
+		t.Fatalf("last event = %+v, want end/cancelled", last)
+	}
+}
+
+// TestHTTPErrors: 404 on unknown ids, 400 on malformed and on invalid
+// specs, 405 on wrong method.
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueCap: 2, MaxInFlight: 1, Runner: newStubRunner().run})
+
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	for _, body := range []string{`{`, `{"unknown_field":1}`, `{"family":"nope"}`} {
+		_, resp := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/jobs", strings.NewReader(`{}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/jobs = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPMetricsExposed: after serving a job, /metrics exposes the
+// service_* families in Prometheus text format.
+func TestHTTPMetricsExposed(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newStubRunner()
+	s, ts := newTestServer(t, Config{QueueCap: 4, MaxInFlight: 1, Metrics: reg, Runner: r.run})
+
+	v, _ := postJob(t, ts, `{}`)
+	waitStarted(t, r)
+	r.release <- struct{}{}
+	job, _ := s.Get(v.ID)
+	waitState(t, job, StateDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"service_queue_depth",
+		"service_jobs_running",
+		"service_jobs_submitted_total 1",
+		"service_jobs_done_total 1",
+		"service_admission_rejects_total 0",
+		"service_job_run_seconds",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHTTPListAndHealth: the list endpoint returns submission order; the
+// health endpoint flips to 503 during a drain.
+func TestHTTPListAndHealth(t *testing.T) {
+	r := newStubRunner()
+	s, ts := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 1, Runner: r.run})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		v, resp := postJob(t, ts, fmt.Sprintf(`{"seed":%d}`, i+1))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []View
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("list has %d jobs, want 3", len(views))
+	}
+	for i, v := range views {
+		if v.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s (submission order)", i, v.ID, ids[i])
+		}
+	}
+
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", h.StatusCode)
+	}
+
+	go s.Shutdown(context.Background())
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	h2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Body.Close()
+	if h2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", h2.StatusCode)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case r.release <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state. Transitions:
+//
+//	queued → running → done | failed | cancelled
+//	queued → cancelled                       (cancel before dispatch)
+//
+// Terminal states never change again.
+type State string
+
+const (
+	// StateQueued: accepted by admission control, waiting for a scheduler
+	// slot.
+	StateQueued State = "queued"
+	// StateRunning: executing on the engine worker pool.
+	StateRunning State = "running"
+	// StateDone: completed without error (the result may still report an
+	// unsatisfied instance — that is an experiment outcome, not a job
+	// failure).
+	StateDone State = "done"
+	// StateFailed: the runner returned a non-cancellation error (bad
+	// generator parameters, rank too high for the fixer, deadline
+	// exceeded, ...).
+	StateFailed State = "failed"
+	// StateCancelled: cancelled while queued, cancelled while running, or
+	// killed by a forced shutdown.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one record of a job's event stream, served as NDJSON (one JSON
+// object per line) by GET /v1/jobs/{id}/events. Kinds: "queued" (admission),
+// "start" (dispatch), "round" (one synchronous round of the underlying
+// runtime, carrying the deterministic engine.RoundStats fields), "end"
+// (terminal transition, carrying the final state and error if any).
+type Event struct {
+	// Seq is the 0-based position in the job's stream (dense, strictly
+	// increasing).
+	Seq int `json:"seq"`
+	// Kind is the event type: queued | start | round | end.
+	Kind string `json:"kind"`
+	// TimeMS is milliseconds since the job was accepted.
+	TimeMS int64 `json:"t_ms"`
+	// Round / Steps / Messages / Active / Halted mirror engine.RoundStats
+	// for "round" events.
+	Round    int `json:"round,omitempty"`
+	Steps    int `json:"steps,omitempty"`
+	Messages int `json:"messages,omitempty"`
+	Active   int `json:"active,omitempty"`
+	Halted   int `json:"halted,omitempty"`
+	// State is the job's state after an "end" event.
+	State State `json:"state,omitempty"`
+	// Err carries the failure or cancellation cause of an "end" event.
+	Err string `json:"err,omitempty"`
+}
+
+// Summary is the result of a completed (or partially completed) job run.
+// Fields that do not apply to the chosen algorithm stay zero and are
+// omitted from the JSON.
+type Summary struct {
+	// Algorithm / Family echo the spec after defaulting.
+	Algorithm string `json:"algorithm"`
+	Family    string `json:"family"`
+	// NumEvents / NumVars describe the built instance.
+	NumEvents int `json:"num_events"`
+	NumVars   int `json:"num_vars"`
+	// Satisfied reports whether the final assignment avoids all bad
+	// events; ViolatedEvents is the violated count (-1 when unknown, e.g.
+	// a cancelled distributed run that produced no assignment).
+	Satisfied      bool `json:"satisfied"`
+	ViolatedEvents int  `json:"violated_events"`
+	// Rounds is the LOCAL/parallel round count; ColoringRounds,
+	// FixingRounds and Classes detail the distributed fixers.
+	Rounds         int `json:"rounds,omitempty"`
+	ColoringRounds int `json:"coloring_rounds,omitempty"`
+	FixingRounds   int `json:"fixing_rounds,omitempty"`
+	Classes        int `json:"classes,omitempty"`
+	Messages       int `json:"messages,omitempty"`
+	Resamplings    int `json:"resamplings,omitempty"`
+	Iterations     int `json:"iterations,omitempty"`
+	VarsFixed      int `json:"vars_fixed,omitempty"`
+	Steps          int `json:"steps,omitempty"`
+	// Partial marks a summary assembled from a cancelled or failed run:
+	// the counters cover only the work completed before the stop.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// Job is one unit of work tracked by the Service. All fields except ID and
+// Spec are guarded by mu; read them through the accessor methods.
+type Job struct {
+	// ID is the service-assigned job identifier.
+	ID string
+	// Spec is the normalized job specification.
+	Spec JobSpec
+
+	created time.Time
+
+	mu              sync.Mutex
+	state           State
+	started         time.Time
+	finished        time.Time
+	cancelRequested bool
+	cancel          context.CancelFunc // set while running
+	events          []Event
+	more            chan struct{} // closed and replaced on every append
+	summary         *Summary
+	errMsg          string
+}
+
+// newJob creates a queued job and records its "queued" event (safe: the
+// job is not yet visible to any other goroutine).
+func newJob(id string, spec JobSpec, now time.Time) *Job {
+	j := &Job{ID: id, Spec: spec, created: now, state: StateQueued, more: make(chan struct{})}
+	j.events = append(j.events, Event{Seq: 0, Kind: "queued"})
+	return j
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Emit appends one event to the job's stream, stamping Seq and TimeMS, and
+// wakes all waiting subscribers. It is the sink handed to the Runner.
+func (j *Job) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(e)
+}
+
+func (j *Job) emitLocked(e Event) {
+	e.Seq = len(j.events)
+	e.TimeMS = time.Since(j.created).Milliseconds()
+	j.events = append(j.events, e)
+	close(j.more)
+	j.more = make(chan struct{})
+}
+
+// EventsSince returns a copy of the events from position from on, together
+// with the job's current state and a channel that is closed on the next
+// append. The channel is captured atomically with the snapshot, so a
+// subscriber that drains the returned events and then waits on the channel
+// never misses a wake-up.
+func (j *Job) EventsSince(from int) (events []Event, more <-chan struct{}, state State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(j.events) {
+		events = append(events, j.events[from:]...)
+	}
+	return events, j.more, j.state
+}
+
+// begin transitions queued → running and returns the run context. It
+// returns ok=false (and does nothing) when the job is no longer queued —
+// i.e. it was cancelled while waiting — which is how the scheduler skips
+// tombstones in the queue.
+func (j *Job) begin(parent context.Context) (ctx context.Context, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return nil, false
+	}
+	if ms := j.Spec.TimeoutMS; ms > 0 {
+		ctx, j.cancel = context.WithTimeout(parent, time.Duration(ms)*time.Millisecond)
+	} else {
+		ctx, j.cancel = context.WithCancel(parent)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.emitLocked(Event{Kind: "start"})
+	return ctx, true
+}
+
+// finish records the runner's outcome and transitions to the terminal
+// state: cancelled when the run was stopped through its context, failed on
+// any other error (including a per-job deadline), done otherwise. The
+// partial summary of a stopped run is kept and marked Partial.
+func (j *Job) finish(sum *Summary, err error) State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+	default:
+		j.state = StateFailed
+	}
+	if err != nil {
+		j.errMsg = err.Error()
+		if sum != nil {
+			sum.Partial = true
+		}
+	}
+	j.summary = sum
+	j.finished = time.Now()
+	j.emitLocked(Event{Kind: "end", State: j.state, Err: j.errMsg})
+	return j.state
+}
+
+// requestCancel implements DELETE /v1/jobs/{id}: a queued job is finalized
+// immediately (the scheduler will skip it), a running job has its context
+// cancelled (the runner observes it within one round), a terminal job is
+// left untouched. It reports which transition happened.
+func (j *Job) requestCancel() (wasQueued, wasRunning bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.errMsg = "cancelled while queued"
+		j.emitLocked(Event{Kind: "end", State: j.state, Err: j.errMsg})
+		return true, false
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// queueTime returns how long the job waited in the queue; runTime how long
+// it ran (so far, for a running job).
+func (j *Job) queueTime() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case !j.started.IsZero():
+		return j.started.Sub(j.created)
+	case j.state.Terminal(): // cancelled while queued
+		return j.finished.Sub(j.created)
+	default:
+		return time.Since(j.created)
+	}
+}
+
+func (j *Job) runTime() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.started.IsZero():
+		return 0
+	case j.finished.IsZero():
+		return time.Since(j.started)
+	default:
+		return j.finished.Sub(j.started)
+	}
+}
+
+// View is the JSON representation of a job served by the HTTP API.
+type View struct {
+	ID      string  `json:"id"`
+	State   State   `json:"state"`
+	Spec    JobSpec `json:"spec"`
+	Created string  `json:"created"`
+	// QueueMS / RunMS are the queue wait and run duration in milliseconds
+	// (live values for a non-terminal job).
+	QueueMS int64 `json:"queue_ms"`
+	RunMS   int64 `json:"run_ms,omitempty"`
+	// Events is the current length of the event stream.
+	Events int      `json:"events"`
+	Error  string   `json:"error,omitempty"`
+	Result *Summary `json:"result,omitempty"`
+}
+
+// View snapshots the job for the HTTP API.
+func (j *Job) View() View {
+	queueMS := j.queueTime().Milliseconds()
+	runMS := j.runTime().Milliseconds()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:      j.ID,
+		State:   j.state,
+		Spec:    j.Spec,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+		QueueMS: queueMS,
+		RunMS:   runMS,
+		Events:  len(j.events),
+		Error:   j.errMsg,
+	}
+	if j.summary != nil {
+		s := *j.summary
+		v.Result = &s
+	}
+	return v
+}

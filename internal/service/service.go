@@ -1,0 +1,348 @@
+// Package service is the long-running job subsystem of the repository: a
+// bounded FIFO queue with admission control in front of a scheduler that
+// executes LLL jobs — deterministic fixers, Moser-Tardos resamplers,
+// LOCAL-model runs — on the sharded engine worker pool, with per-job
+// cancellation, NDJSON event streams and a retained job store. cmd/llld
+// exposes it over HTTP.
+//
+// Concurrency model: admission (Submit) is a non-blocking send into a
+// bounded channel — a full queue rejects immediately with ErrQueueFull
+// (HTTP 429) instead of building an unbounded backlog. MaxInFlight
+// scheduler goroutines pop the channel and run one job each; the job's
+// inner parallelism rides the engine pool, so MaxInFlight × per-job
+// workers is the compute envelope. Cancellation uses the context plumbed
+// through local.Run and the resamplers: a running job stops within one
+// round and keeps its partial result. Shutdown stops admission, cancels
+// still-queued jobs, and drains the running ones.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Sentinel errors surfaced by Submit / Get / Cancel; the HTTP layer maps
+// them to status codes.
+var (
+	// ErrQueueFull: admission control rejected the job (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining: the service is shutting down (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound: no job with that id (HTTP 404).
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Runner executes one job under ctx, streaming events through emit and
+// returning the (possibly partial) summary. The default is RunSpec; tests
+// inject stubs.
+type Runner func(ctx context.Context, js JobSpec, emit func(Event)) (*Summary, error)
+
+// Config parameterizes a Service. The zero value is usable: every field
+// has a default sized off GOMAXPROCS.
+type Config struct {
+	// QueueCap bounds the number of queued (admitted, not yet running)
+	// jobs; a full queue rejects with ErrQueueFull. Default 64.
+	QueueCap int
+	// MaxInFlight is the number of scheduler goroutines — the global cap
+	// on concurrently running jobs. Default max(1, GOMAXPROCS/2): each
+	// job parallelizes internally on the engine pool, so running one job
+	// per core would oversubscribe it.
+	MaxInFlight int
+	// MaxWorkersPerJob caps the engine workers a single job may claim
+	// (JobSpec.Workers is clamped to it). Default GOMAXPROCS.
+	MaxWorkersPerJob int
+	// Retention is the number of terminal (done/failed/cancelled) jobs
+	// kept in the store; older ones are evicted FIFO. Queued and running
+	// jobs are always retained. Default 256.
+	Retention int
+	// Metrics, when non-nil, receives the service_* metric families and is
+	// passed through to the runtime layers of every job. Trace likewise.
+	Metrics *obs.Registry
+	Trace   *obs.Recorder
+	// Runner overrides job execution (tests); nil means RunSpec.
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0) / 2
+		if c.MaxInFlight < 1 {
+			c.MaxInFlight = 1
+		}
+	}
+	if c.MaxWorkersPerJob <= 0 {
+		c.MaxWorkersPerJob = runtime.GOMAXPROCS(0)
+	}
+	if c.Retention <= 0 {
+		c.Retention = 256
+	}
+	return c
+}
+
+// Service is the job subsystem: admission control, scheduler, job store.
+// Create with New, stop with Shutdown.
+type Service struct {
+	cfg    Config
+	runner Runner
+
+	baseCtx    context.Context // parent of every job's run context
+	baseCancel context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup // scheduler goroutines
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job // submission order, for List and retention
+	nextID   int64
+	draining bool
+
+	m svcMetrics
+}
+
+// svcMetrics are the service_* instruments; obs instruments are nil-safe,
+// so a nil registry disables them at zero cost.
+type svcMetrics struct {
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	submitted  *obs.Counter
+	rejects    *obs.Counter
+	done       *obs.Counter
+	failed     *obs.Counter
+	cancelled  *obs.Counter
+	events     *obs.Counter
+	queueSec   *obs.Histogram
+	runSec     *obs.Histogram
+}
+
+func newSvcMetrics(reg *obs.Registry) svcMetrics {
+	return svcMetrics{
+		queueDepth: reg.Gauge("service_queue_depth"),
+		running:    reg.Gauge("service_jobs_running"),
+		submitted:  reg.Counter("service_jobs_submitted_total"),
+		rejects:    reg.Counter("service_admission_rejects_total"),
+		done:       reg.Counter("service_jobs_done_total"),
+		failed:     reg.Counter("service_jobs_failed_total"),
+		cancelled:  reg.Counter("service_jobs_cancelled_total"),
+		events:     reg.Counter("service_job_events_total"),
+		queueSec:   reg.Histogram("service_job_queue_seconds", obs.DurationBuckets),
+		runSec:     reg.Histogram("service_job_run_seconds", obs.DurationBuckets),
+	}
+}
+
+// New starts a Service: its scheduler goroutines are running and Submit is
+// accepting jobs as soon as it returns.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueCap),
+		m:     newSvcMetrics(cfg.Metrics),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.runner = cfg.Runner
+	if s.runner == nil {
+		s.runner = func(ctx context.Context, js JobSpec, emit func(Event)) (*Summary, error) {
+			return RunSpec(ctx, js, emit, cfg.Metrics, cfg.Trace, cfg.MaxWorkersPerJob)
+		}
+	}
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		s.wg.Add(1)
+		go s.scheduler()
+	}
+	return s
+}
+
+// Submit validates the spec and admits it into the queue, returning the
+// queued Job. It never blocks: a full queue returns ErrQueueFull, a
+// draining service ErrDraining, a bad spec the validation error.
+func (s *Service) Submit(js JobSpec) (*Job, error) {
+	js, err := js.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("j%06d", s.nextID), js, time.Now())
+	s.m.queueDepth.Add(1)
+	select {
+	case s.queue <- job:
+	default:
+		s.m.queueDepth.Add(-1)
+		s.nextID--
+		s.mu.Unlock()
+		s.m.rejects.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job)
+	s.evictLocked()
+	s.mu.Unlock()
+	s.m.submitted.Inc()
+	return job, nil
+}
+
+// Get returns the job with the given id, or ErrNotFound after eviction.
+func (s *Service) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return job, nil
+}
+
+// List returns the retained jobs in submission order.
+func (s *Service) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Cancel requests cancellation of the job: a queued job is finalized
+// immediately, a running job is stopped through its context within one
+// round, a terminal job is unaffected (idempotent).
+func (s *Service) Cancel(id string) (*Job, error) {
+	job, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	wasQueued, _ := job.requestCancel()
+	if wasQueued {
+		// The scheduler will pop the tombstone and skip it; account the
+		// cancellation here since no runner will.
+		s.m.cancelled.Inc()
+		s.m.queueSec.Observe(job.queueTime().Seconds())
+	}
+	return job, nil
+}
+
+// QueueDepth reports the jobs currently waiting in the queue (including
+// cancelled tombstones that still hold their slot until popped).
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Draining reports whether Shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// scheduler is one worker of the in-flight pool: it pops admitted jobs and
+// runs them to a terminal state, until the queue is closed by Shutdown.
+func (s *Service) scheduler() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.m.queueDepth.Add(-1)
+		ctx, ok := job.begin(s.baseCtx)
+		if !ok {
+			continue // cancelled while queued
+		}
+		s.m.queueSec.Observe(job.queueTime().Seconds())
+		s.m.running.Add(1)
+		sum, err := s.runner(ctx, job.Spec, func(e Event) {
+			s.m.events.Inc()
+			job.Emit(e)
+		})
+		state := job.finish(sum, err)
+		s.m.running.Add(-1)
+		s.m.runSec.Observe(job.runTime().Seconds())
+		switch state {
+		case StateDone:
+			s.m.done.Inc()
+		case StateFailed:
+			s.m.failed.Inc()
+		case StateCancelled:
+			s.m.cancelled.Inc()
+		}
+	}
+}
+
+// evictLocked enforces Config.Retention: while more than Retention terminal
+// jobs are stored, the oldest terminal ones are dropped (queued/running
+// jobs are never evicted). Callers hold s.mu.
+func (s *Service) evictLocked() {
+	terminal := 0
+	for _, j := range s.order {
+		if j.State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.Retention {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if terminal > s.cfg.Retention && j.State().Terminal() {
+			delete(s.jobs, j.ID)
+			terminal--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	// Zero the tail so evicted jobs are collectable.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+}
+
+// Shutdown drains the service: admission stops (ErrDraining), queued jobs
+// are cancelled, and running jobs are given until ctx is done to finish.
+// When ctx expires first, the remaining jobs are cancelled through their
+// run contexts (stopping within one round, partial results retained) and
+// Shutdown returns ctx.Err() after they unwind. Idempotent calls beyond
+// the first wait for the same drain.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	var queued []*Job
+	if !already {
+		for _, j := range s.order {
+			if j.State() == StateQueued {
+				queued = append(queued, j)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !already {
+		for _, j := range queued {
+			if wasQueued, _ := j.requestCancel(); wasQueued {
+				s.m.cancelled.Inc()
+			}
+		}
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // hard-cancel the still-running jobs
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,372 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/local"
+	"repro/internal/model"
+	"repro/internal/mt"
+	"repro/internal/obs"
+	"repro/internal/prng"
+	"repro/internal/spec"
+)
+
+// Families accepted by JobSpec.Family. "inline" takes the instance from
+// JobSpec.Instance (the internal/spec JSON format) instead of a generator.
+const (
+	FamilySinkless  = "sinkless"
+	FamilyHyper     = "hyper"
+	FamilyOrient3   = "orient3"
+	FamilyWeakSplit = "weaksplit"
+	FamilyInline    = "inline"
+)
+
+// Algorithms accepted by JobSpec.Algorithm.
+const (
+	// AlgSeq is the paper's sequential deterministic fixer
+	// (Theorems 1.1 / 1.3).
+	AlgSeq = "seq"
+	// AlgDist is the distributed deterministic fixer (Corollaries 1.2 /
+	// 1.4), run on the LOCAL simulator; it emits one "round" event per
+	// LOCAL round.
+	AlgDist = "dist"
+	// AlgMTSeq / AlgMTPar are the sequential and parallel Moser-Tardos
+	// resamplers; the parallel variant emits one "round" event per
+	// resampling round.
+	AlgMTSeq = "mtseq"
+	AlgMTPar = "mtpar"
+	// AlgMTDist is the LOCAL-model Moser-Tardos resampler; it emits one
+	// "round" event per LOCAL round.
+	AlgMTDist = "mtdist"
+	// AlgOneShot draws a single random sample and counts violated events —
+	// a cheap job useful for load testing.
+	AlgOneShot = "oneshot"
+)
+
+// maxN bounds the instance size a single job may request, protecting the
+// daemon's memory against oversized submissions.
+const maxN = 2_000_000
+
+// JobSpec is the wire format of POST /v1/jobs: which instance to build and
+// which algorithm to run on it. Zero fields take the defaults documented
+// per field.
+type JobSpec struct {
+	// Family selects the instance source: sinkless | hyper | orient3 |
+	// weaksplit | inline (default sinkless).
+	Family string `json:"family,omitempty"`
+	// N is the node count of the generated instance (default 64).
+	N int `json:"n,omitempty"`
+	// Degree is the graph degree (sinkless; 2 = cycle, default) or the
+	// hypergraph degree (hyper, orient3; default 3).
+	Degree int `json:"degree,omitempty"`
+	// Margin is the sinkless criterion margin p·2^d (default 0.9;
+	// 1 = exact threshold).
+	Margin float64 `json:"margin,omitempty"`
+	// Slack is the hyper-sinkless relaxation slack (default 0.4).
+	Slack float64 `json:"slack,omitempty"`
+	// Colors is the weak-splitting palette size (default 16).
+	Colors int `json:"colors,omitempty"`
+	// Seed feeds the generators, LOCAL identifiers and resamplers
+	// (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Instance carries an inline instance in the internal/spec JSON format
+	// (family "inline" only).
+	Instance json.RawMessage `json:"instance,omitempty"`
+
+	// Algorithm: seq | dist | mtseq | mtpar | mtdist | oneshot
+	// (default dist).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers is the engine worker count for LOCAL/parallel algorithms;
+	// 0 uses the service's per-job cap on the shared pool. Results are
+	// bit-identical for every worker count.
+	Workers int `json:"workers,omitempty"`
+	// MaxRounds caps LOCAL rounds (dist, mtdist) or parallel resampling
+	// rounds (mtpar); 0 means the library default.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// MaxResamplings caps mtseq resamplings; 0 means the library default.
+	MaxResamplings int `json:"max_resamplings,omitempty"`
+	// MaxIters caps mtdist resampling iterations; 0 means the library
+	// default (200).
+	MaxIters int `json:"max_iters,omitempty"`
+	// TimeoutMS is a per-job wall-clock deadline enforced through the run
+	// context; 0 means no deadline. A job that exceeds it fails with
+	// context.DeadlineExceeded and a Partial result.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// withDefaults validates the spec and fills defaulted fields, returning the
+// normalized copy. It performs only cheap static checks — generator errors
+// (e.g. no simple regular graph for the parameters) surface when the job
+// runs and fail it.
+func (s JobSpec) withDefaults() (JobSpec, error) {
+	if s.Family == "" {
+		s.Family = FamilySinkless
+	}
+	if s.Algorithm == "" {
+		s.Algorithm = AlgDist
+	}
+	if s.N == 0 {
+		s.N = 64
+	}
+	if s.Margin == 0 {
+		s.Margin = 0.9
+	}
+	if s.Slack == 0 {
+		s.Slack = 0.4
+	}
+	if s.Colors == 0 {
+		s.Colors = 16
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	switch s.Family {
+	case FamilySinkless:
+		if s.Degree == 0 {
+			s.Degree = 2
+		}
+	case FamilyHyper, FamilyOrient3:
+		if s.Degree == 0 {
+			s.Degree = 3
+		}
+		if (s.N*s.Degree)%3 != 0 {
+			return s, fmt.Errorf("family %q: n*degree = %d*%d must be divisible by 3", s.Family, s.N, s.Degree)
+		}
+	case FamilyWeakSplit:
+	case FamilyInline:
+		if len(bytes.TrimSpace(s.Instance)) == 0 {
+			return s, fmt.Errorf(`family "inline" requires the "instance" field`)
+		}
+	default:
+		return s, fmt.Errorf("unknown family %q", s.Family)
+	}
+	switch s.Algorithm {
+	case AlgSeq, AlgDist, AlgMTSeq, AlgMTPar, AlgMTDist, AlgOneShot:
+	default:
+		return s, fmt.Errorf("unknown algorithm %q", s.Algorithm)
+	}
+	if s.N < 0 || s.N > maxN {
+		return s, fmt.Errorf("n = %d out of range [1, %d]", s.N, maxN)
+	}
+	if s.Degree < 0 {
+		return s, fmt.Errorf("degree = %d must be non-negative", s.Degree)
+	}
+	if s.Family == FamilySinkless && s.Degree != 2 && s.Degree >= s.N {
+		return s, fmt.Errorf("sinkless: degree = %d needs degree < n = %d", s.Degree, s.N)
+	}
+	if s.Margin < 0 || s.Slack < 0 || s.Colors < 0 {
+		return s, fmt.Errorf("margin, slack and colors must be non-negative")
+	}
+	if s.Workers < 0 || s.MaxRounds < 0 || s.MaxResamplings < 0 || s.MaxIters < 0 || s.TimeoutMS < 0 {
+		return s, fmt.Errorf("workers and the max_*/timeout_ms caps must be non-negative")
+	}
+	return s, nil
+}
+
+// buildInstance materializes the spec's instance (mirrors cmd/lllsolve).
+func buildInstance(s JobSpec) (*model.Instance, error) {
+	r := prng.New(s.Seed)
+	switch s.Family {
+	case FamilySinkless:
+		var g *graph.Graph
+		if s.Degree == 2 {
+			g = graph.Cycle(s.N)
+		} else {
+			var err error
+			g, err = graph.RandomRegular(s.N, s.Degree, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sk, err := apps.NewSinklessWithMargin(g, s.Margin)
+		if err != nil {
+			return nil, err
+		}
+		return sk.Instance, nil
+	case FamilyHyper:
+		h, err := hypergraph.RandomRegularRank3(s.N, s.Degree, r)
+		if err != nil {
+			return nil, err
+		}
+		hs, err := apps.NewHyperSinkless(h, s.Slack)
+		if err != nil {
+			return nil, err
+		}
+		return hs.Instance, nil
+	case FamilyOrient3:
+		h, err := hypergraph.RandomRegularRank3(s.N, s.Degree, r)
+		if err != nil {
+			return nil, err
+		}
+		t, err := apps.NewThreeOrientations(h)
+		if err != nil {
+			return nil, err
+		}
+		return t.Instance, nil
+	case FamilyWeakSplit:
+		adj, err := apps.RandomBiregular(s.N, 3, s.N, 3, r)
+		if err != nil {
+			return nil, err
+		}
+		w, err := apps.NewWeakSplitting(adj, s.N, s.Colors)
+		if err != nil {
+			return nil, err
+		}
+		return w.Instance, nil
+	case FamilyInline:
+		return spec.Load(bytes.NewReader(s.Instance))
+	default:
+		return nil, fmt.Errorf("unknown family %q", s.Family)
+	}
+}
+
+// RunSpec is the Service's default Runner: it builds the spec's instance
+// and executes the chosen algorithm under ctx, emitting one "round" event
+// per LOCAL/parallel round and returning the (possibly partial) Summary.
+// maxWorkers caps the engine workers a single job may claim; metrics and
+// trace flow into the runtime layers exactly as in batch runs.
+func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Registry, trace *obs.Recorder, maxWorkers int) (*Summary, error) {
+	js, err := js.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	inst, err := buildInstance(js)
+	if err != nil {
+		return nil, fmt.Errorf("building instance: %w", err)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+
+	sum := &Summary{
+		Algorithm:      js.Algorithm,
+		Family:         js.Family,
+		NumEvents:      inst.NumEvents(),
+		NumVars:        inst.NumVars(),
+		ViolatedEvents: -1,
+	}
+	workers := js.Workers
+	if maxWorkers > 0 && (workers == 0 || workers > maxWorkers) {
+		workers = maxWorkers
+	}
+	onRound := func(rs engine.RoundStats) {
+		emit(Event{
+			Kind:     "round",
+			Round:    rs.Round,
+			Steps:    rs.Steps,
+			Messages: rs.Messages,
+			Active:   rs.Active,
+			Halted:   rs.Halted,
+		})
+	}
+	lopts := local.Options{
+		Ctx:       ctx,
+		MaxRounds: js.MaxRounds,
+		IDSeed:    js.Seed,
+		Workers:   workers,
+		OnRound:   onRound,
+		Metrics:   metrics,
+		Trace:     trace,
+	}
+	mtObs := mt.Observer{Metrics: metrics, Trace: trace, OnRound: onRound}
+
+	count := func(a *model.Assignment) error {
+		if a == nil || !a.Complete() {
+			return nil // cancelled before completion: count stays -1
+		}
+		v, err := inst.CountViolated(a)
+		if err != nil {
+			return err
+		}
+		sum.ViolatedEvents = v
+		sum.Satisfied = v == 0
+		return nil
+	}
+
+	switch js.Algorithm {
+	case AlgSeq:
+		res, rerr := core.FixSequentialCtx(ctx, inst, nil, core.Options{Metrics: metrics})
+		if res != nil {
+			sum.VarsFixed = res.Stats.VarsFixed
+			if rerr == nil {
+				sum.ViolatedEvents = res.Stats.FinalViolatedEvents
+				sum.Satisfied = sum.ViolatedEvents == 0
+			}
+		}
+		return sum, rerr
+	case AlgDist:
+		var res *core.DistResult
+		var rerr error
+		if inst.Rank() <= 2 {
+			res, rerr = core.FixDistributed2(inst, core.Options{Metrics: metrics}, lopts)
+		} else {
+			res, rerr = core.FixDistributed3(inst, core.Options{Metrics: metrics}, lopts)
+		}
+		if res != nil {
+			sum.Rounds = res.TotalRounds
+			sum.ColoringRounds = res.ColoringRounds
+			sum.FixingRounds = res.FixingRounds
+			sum.Classes = res.Classes
+			sum.Messages = res.Messages
+			sum.Steps = res.LocalStats.Steps
+			if rerr == nil {
+				sum.ViolatedEvents = res.ViolatedEvents
+				sum.Satisfied = sum.ViolatedEvents == 0
+			}
+		}
+		return sum, rerr
+	case AlgMTSeq:
+		res, rerr := mt.SequentialCtx(ctx, inst, prng.New(js.Seed), js.MaxResamplings, mt.Observer{Metrics: metrics, Trace: trace})
+		if res != nil {
+			sum.Resamplings = res.Resamplings
+			sum.Satisfied = res.Satisfied
+			if cerr := count(res.Assignment); cerr != nil {
+				return sum, cerr
+			}
+		}
+		return sum, rerr
+	case AlgMTPar:
+		res, rerr := mt.ParallelCtx(ctx, inst, prng.New(js.Seed), js.MaxRounds, mtObs)
+		if res != nil {
+			sum.Rounds = res.Rounds
+			sum.Resamplings = res.Resamplings
+			sum.Satisfied = res.Satisfied
+			if cerr := count(res.Assignment); cerr != nil {
+				return sum, cerr
+			}
+		}
+		return sum, rerr
+	case AlgMTDist:
+		res, rerr := mt.Distributed(inst, js.Seed, js.MaxIters, lopts)
+		if res != nil {
+			sum.Rounds = res.Rounds
+			sum.Iterations = res.Iterations
+			sum.Resamplings = res.Resamplings
+			sum.Messages = res.Messages
+			sum.Steps = res.LocalStats.Steps
+			sum.Satisfied = res.Satisfied
+			if cerr := count(res.Assignment); cerr != nil {
+				return sum, cerr
+			}
+		}
+		return sum, rerr
+	case AlgOneShot:
+		_, violated, rerr := mt.OneShot(inst, prng.New(js.Seed))
+		if rerr != nil {
+			return sum, rerr
+		}
+		sum.ViolatedEvents = violated
+		sum.Satisfied = violated == 0
+		return sum, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", js.Algorithm)
+	}
+}
