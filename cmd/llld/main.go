@@ -1,0 +1,112 @@
+// Command llld is the LLL solver daemon: it serves the internal/service
+// job subsystem over HTTP — bounded-queue admission, concurrent execution
+// on the engine worker pool, per-round NDJSON event streams, cancellation —
+// together with the observability endpoints (/metrics Prometheus text,
+// /debug/vars JSON, /debug/pprof).
+//
+// Usage:
+//
+//	llld -addr :8080 -queue 64 -inflight 4
+//
+// Submit, watch and cancel jobs:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"family":"sinkless","n":4096,"degree":3,"algorithm":"dist"}'
+//	curl -s localhost:8080/v1/jobs/j000001/events      # NDJSON, one line per round
+//	curl -s -X DELETE localhost:8080/v1/jobs/j000001   # cancel
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops (healthz turns
+// 503, new submits get 503), queued jobs are cancelled, running jobs get
+// -drain-timeout to finish before their contexts are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "llld:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	queueCap := flag.Int("queue", 64, "admission queue capacity (full queue answers 429)")
+	inflight := flag.Int("inflight", 0, "max concurrently running jobs (0: GOMAXPROCS/2)")
+	jobWorkers := flag.Int("job-workers", 0, "engine worker cap per job (0: GOMAXPROCS)")
+	retention := flag.Int("retention", 256, "finished jobs kept in the store")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+	traceFile := flag.String("trace", "", "append JSONL runtime trace events to this file")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	cfg := service.Config{
+		QueueCap:         *queueCap,
+		MaxInFlight:      *inflight,
+		MaxWorkersPerJob: *jobWorkers,
+		Retention:        *retention,
+		Metrics:          reg,
+	}
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec := obs.NewRecorder(f)
+		defer rec.Flush()
+		cfg.Trace = rec
+	}
+
+	svc := service.New(cfg)
+	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc, reg)}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("llld: serving on %s (queue=%d)", *addr, *queueCap)
+		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("llld: %v received, draining (budget %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("llld: drain budget exceeded, running jobs cancelled: %v", err)
+	} else {
+		log.Printf("llld: all jobs drained")
+	}
+	// Stop the HTTP listener after the drain so job views and event
+	// streams stay reachable while jobs wind down.
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := server.Shutdown(httpCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	log.Printf("llld: bye")
+	return <-errCh
+}

@@ -1,0 +1,227 @@
+// Command lllload is a closed-loop load generator for the llld daemon:
+// each of -c workers repeatedly submits a job and follows its NDJSON event
+// stream to the terminal state before submitting the next one. 429
+// rejections count toward the reject rate and back off briefly. At the end
+// it prints throughput, the end-to-end latency distribution (p50/p95/p99)
+// and the per-outcome counts.
+//
+// Usage:
+//
+//	lllload -addr http://localhost:8080 -c 8 -duration 30s \
+//	        -spec '{"family":"sinkless","n":1024,"degree":3,"algorithm":"dist"}'
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lllload:", err)
+		os.Exit(1)
+	}
+}
+
+// outcome is one completed submit attempt.
+type outcome struct {
+	latency time.Duration // submit → terminal event (successful jobs only)
+	state   string        // terminal state, or "reject" / "error"
+}
+
+type collector struct {
+	mu       sync.Mutex
+	outcomes []outcome
+}
+
+func (c *collector) add(o outcome) {
+	c.mu.Lock()
+	c.outcomes = append(c.outcomes, o)
+	c.mu.Unlock()
+}
+
+func run() error {
+	addr := flag.String("addr", "http://localhost:8080", "llld base URL")
+	concurrency := flag.Int("c", 4, "closed-loop workers (in-flight submissions)")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	specJSON := flag.String("spec", `{"family":"sinkless","n":512,"degree":3,"algorithm":"dist"}`, "job spec submitted by every worker")
+	seedStep := flag.Bool("vary-seed", true, "give every submission a distinct seed")
+	flag.Parse()
+
+	var spec map[string]any
+	if err := json.Unmarshal([]byte(*specJSON), &spec); err != nil {
+		return fmt.Errorf("bad -spec: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	client := &http.Client{}
+	col := &collector{}
+	var seq int64
+	var seqMu sync.Mutex
+	nextSeed := func() int64 {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		seq++
+		return seq
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				col.add(submitAndFollow(ctx, client, *addr, spec, *seedStep, nextSeed))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(col.outcomes, elapsed, *concurrency)
+	return nil
+}
+
+// submitAndFollow runs one closed-loop iteration: POST the spec, then
+// stream events until the terminal "end" line. The reported latency spans
+// submit to terminal.
+func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec map[string]any, varySeed bool, nextSeed func() int64) outcome {
+	if varySeed {
+		s := make(map[string]any, len(spec)+1)
+		for k, v := range spec {
+			s[k] = v
+		}
+		s["seed"] = nextSeed()
+		spec = s
+	}
+	body, _ := json.Marshal(spec)
+
+	begin := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return outcome{state: "error"}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{state: "error"}
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// Closed loop: back off briefly so a saturated queue is retried,
+		// not hammered.
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return outcome{state: "reject"}
+	default:
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return outcome{state: "error"}
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil || view.ID == "" {
+		return outcome{state: "error"}
+	}
+
+	// Follow the event stream to the end. The stream request deliberately
+	// has no deadline: a job admitted before the load window closes is
+	// followed to completion so its latency is measured.
+	sreq, err := http.NewRequest(http.MethodGet, addr+"/v1/jobs/"+view.ID+"/events", nil)
+	if err != nil {
+		return outcome{state: "error"}
+	}
+	sresp, err := client.Do(sreq)
+	if err != nil {
+		return outcome{state: "error"}
+	}
+	defer sresp.Body.Close()
+	state := "error"
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e struct {
+			Kind  string `json:"kind"`
+			State string `json:"state"`
+		}
+		if json.Unmarshal(sc.Bytes(), &e) == nil && e.Kind == "end" {
+			state = e.State
+		}
+	}
+	return outcome{latency: time.Since(begin), state: state}
+}
+
+func report(outcomes []outcome, elapsed time.Duration, concurrency int) {
+	var latencies []time.Duration
+	counts := map[string]int{}
+	for _, o := range outcomes {
+		counts[o.state]++
+		if o.state == "done" {
+			latencies = append(latencies, o.latency)
+		}
+	}
+	total := len(outcomes)
+	rejects := counts["reject"]
+	attempts := total
+	fmt.Printf("duration:    %v  (%d workers, closed loop)\n", elapsed.Round(time.Millisecond), concurrency)
+	fmt.Printf("attempts:    %d  (%.1f/s)\n", attempts, float64(attempts)/elapsed.Seconds())
+	fmt.Printf("completed:   %d  (%.1f/s)\n", len(latencies), float64(len(latencies))/elapsed.Seconds())
+	if attempts > 0 {
+		fmt.Printf("reject rate: %.2f%%  (%d of %d)\n", 100*float64(rejects)/float64(attempts), rejects, attempts)
+	}
+	var states []string
+	for s := range counts {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	var parts []string
+	for _, s := range states {
+		parts = append(parts, fmt.Sprintf("%s=%d", s, counts[s]))
+	}
+	fmt.Printf("outcomes:    %s\n", strings.Join(parts, " "))
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("latency:     p50=%v p95=%v p99=%v max=%v\n",
+		percentile(latencies, 0.50).Round(time.Microsecond),
+		percentile(latencies, 0.95).Round(time.Microsecond),
+		percentile(latencies, 0.99).Round(time.Microsecond),
+		latencies[len(latencies)-1].Round(time.Microsecond))
+}
+
+// percentile returns the nearest-rank percentile of the sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
