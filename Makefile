@@ -14,10 +14,10 @@ test: vet
 	$(GO) test ./...
 
 # Race-detector pass over the sharded execution engine and its consumers
-# (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers) and
-# the observability layer they report into.
+# (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers), the
+# observability layer they report into, and the job service on top.
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/service/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:
