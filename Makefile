@@ -15,9 +15,10 @@ test: vet
 
 # Race-detector pass over the sharded execution engine and its consumers
 # (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers), the
-# observability layer they report into, and the job service on top.
+# observability layer they report into, the fault-injection/recovery layer,
+# and the job service on top.
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/service/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/fault/... ./internal/service/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -50,15 +51,36 @@ func run() error {
 	retention := flag.Int("retention", 256, "finished jobs kept in the store")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
 	traceFile := flag.String("trace", "", "append JSONL runtime trace events to this file")
+	retries := flag.Int("retries", 0, "default retry budget for jobs that do not set max_retries")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base retry backoff (0: 100ms)")
+	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "retry backoff cap (0: 5s)")
+	injectPanic := flag.Float64("inject-panic", 0, "fault injection: per-shard-per-round panic probability [0,1)")
+	injectDrop := flag.Float64("inject-drop", 0, "fault injection: per-message drop probability [0,1)")
+	injectCrash := flag.Float64("inject-crash", 0, "fault injection: per-node-per-round crash-stop probability [0,1)")
+	injectSeed := flag.Uint64("inject-seed", 0, "fault injection seed (0: derive from each job's seed)")
 	flag.Parse()
 
+	plan := fault.Plan{Seed: *injectSeed, PanicRate: *injectPanic, DropRate: *injectDrop, CrashRate: *injectCrash}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if *retries < 0 || *retries > 16 {
+		return fmt.Errorf("-retries %d out of range [0, 16]", *retries)
+	}
 	reg := obs.NewRegistry()
 	cfg := service.Config{
-		QueueCap:         *queueCap,
-		MaxInFlight:      *inflight,
-		MaxWorkersPerJob: *jobWorkers,
-		Retention:        *retention,
-		Metrics:          reg,
+		QueueCap:          *queueCap,
+		MaxInFlight:       *inflight,
+		MaxWorkersPerJob:  *jobWorkers,
+		Retention:         *retention,
+		Metrics:           reg,
+		Fault:             plan,
+		DefaultMaxRetries: *retries,
+		RetryBackoff:      *retryBackoff,
+		RetryBackoffMax:   *retryBackoffMax,
+	}
+	if plan.Enabled() {
+		log.Printf("llld: fault injection live: panic=%g drop=%g crash=%g seed=%d", plan.PanicRate, plan.DropRate, plan.CrashRate, plan.Seed)
 	}
 	if *traceFile != "" {
 		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -72,7 +94,16 @@ func run() error {
 	}
 
 	svc := service.New(cfg)
-	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc, reg)}
+	// Hardened server timeouts: slow or stalled clients must not pin
+	// connections forever. No WriteTimeout — the NDJSON event streams are
+	// legitimately long-lived; per-request write deadlines would sever them.
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc, reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -5,10 +5,30 @@
 // it prints throughput, the end-to-end latency distribution (p50/p95/p99)
 // and the per-outcome counts.
 //
+// Transient transport failures are retried rather than counted as load
+// errors: a 5xx submit response backs off exponentially (capped) and is
+// counted separately as a "submit 5xx"; an event stream that dies before
+// the terminal "end" line is re-attached with ?from=<seq> and counted as a
+// "stream drop". Both counters appear in the final report, so flaky
+// transports are visible without poisoning the outcome statistics.
+//
+// -jobs N bounds the run by completed submissions instead of (or in
+// addition to) -duration: the workers stop once N jobs were admitted and
+// followed to a terminal state.
+//
+// -chaos f marks a fraction f of submissions as chaos jobs: they carry
+// fault-injection rates (-chaos-panic / -chaos-drop / -chaos-crash), a
+// retry budget (-chaos-retries) and periodic checkpointing
+// (-chaos-checkpoint), exercising the daemon's panic isolation and
+// retry/resume machinery under load. The report then includes recovery
+// latency — the extra time from a job's first "retry" event to its
+// terminal state — over all jobs that retried at least once.
+//
 // Usage:
 //
 //	lllload -addr http://localhost:8080 -c 8 -duration 30s \
 //	        -spec '{"family":"sinkless","n":1024,"degree":3,"algorithm":"dist"}'
+//	lllload -addr http://localhost:8080 -c 8 -jobs 50 -duration 2m -chaos 0.5
 package main
 
 import (
@@ -22,8 +42,10 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,11 +60,19 @@ func main() {
 type outcome struct {
 	latency time.Duration // submit → terminal event (successful jobs only)
 	state   string        // terminal state, or "reject" / "error"
+	retries int           // "retry" events observed on the stream
+	// recovery is the extra time from the first "retry" event to the
+	// terminal state (retried jobs only).
+	recovery time.Duration
 }
 
 type collector struct {
 	mu       sync.Mutex
 	outcomes []outcome
+	// http5xx counts 5xx submit responses that were retried; drops counts
+	// event streams that died mid-way and were re-attached.
+	http5xx int
+	drops   int
 }
 
 func (c *collector) add(o outcome) {
@@ -51,17 +81,66 @@ func (c *collector) add(o outcome) {
 	c.mu.Unlock()
 }
 
+func (c *collector) transport(http5xx, drops int) {
+	c.mu.Lock()
+	c.http5xx += http5xx
+	c.drops += drops
+	c.mu.Unlock()
+}
+
+// chaosCfg parameterizes the chaos fraction of the load.
+type chaosCfg struct {
+	fraction   float64
+	panicRate  float64
+	dropRate   float64
+	crashRate  float64
+	retries    int
+	checkpoint int
+}
+
+// pick deterministically marks every submission whose sequence number falls
+// in the chaos fraction (submission k is chaotic iff frac(k·φ) < fraction,
+// a low-discrepancy spread over the sequence).
+func (cc chaosCfg) pick(seq int64) bool {
+	if cc.fraction <= 0 {
+		return false
+	}
+	const phi = 0.6180339887498949
+	_, f := splitFrac(float64(seq) * phi)
+	return f < cc.fraction
+}
+
+func splitFrac(x float64) (int64, float64) {
+	i := int64(x)
+	return i, x - float64(i)
+}
+
 func run() error {
 	addr := flag.String("addr", "http://localhost:8080", "llld base URL")
 	concurrency := flag.Int("c", 4, "closed-loop workers (in-flight submissions)")
-	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	duration := flag.Duration("duration", 10*time.Second, "load duration (hard stop even with -jobs)")
+	jobs := flag.Int("jobs", 0, "stop after this many admitted jobs reach a terminal state (0: duration-bound only)")
 	specJSON := flag.String("spec", `{"family":"sinkless","n":512,"degree":3,"algorithm":"dist"}`, "job spec submitted by every worker")
 	seedStep := flag.Bool("vary-seed", true, "give every submission a distinct seed")
+	chaos := flag.Float64("chaos", 0, "fraction of submissions made chaos jobs (fault injection + retries + checkpoints)")
+	chaosPanic := flag.Float64("chaos-panic", 0.02, "chaos jobs: per-shard-per-round panic probability")
+	chaosDrop := flag.Float64("chaos-drop", 0.02, "chaos jobs: per-message drop probability")
+	chaosCrash := flag.Float64("chaos-crash", 0, "chaos jobs: per-node-per-round crash-stop probability")
+	chaosRetries := flag.Int("chaos-retries", 3, "chaos jobs: max_retries")
+	chaosCheckpoint := flag.Int("chaos-checkpoint", 16, "chaos jobs: checkpoint_every")
 	flag.Parse()
 
 	var spec map[string]any
 	if err := json.Unmarshal([]byte(*specJSON), &spec); err != nil {
 		return fmt.Errorf("bad -spec: %w", err)
+	}
+	cc := chaosCfg{
+		fraction:   *chaos,
+		panicRate:  *chaosPanic,
+		dropRate:   *chaosDrop,
+		crashRate:  *chaosCrash,
+		retries:    *chaosRetries,
+		checkpoint: *chaosCheckpoint,
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
@@ -70,11 +149,39 @@ func run() error {
 	col := &collector{}
 	var seq int64
 	var seqMu sync.Mutex
-	nextSeed := func() int64 {
+	nextSeq := func() int64 {
 		seqMu.Lock()
 		defer seqMu.Unlock()
 		seq++
 		return seq
+	}
+
+	// Budget: when -jobs is set, workers claim a slot before submitting and
+	// hand it back when the submission never became a job (reject, submit
+	// error), so the budget counts admitted jobs followed to terminal.
+	var remaining atomic.Int64
+	remaining.Store(int64(*jobs))
+	claim := func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if *jobs <= 0 {
+			return true
+		}
+		for {
+			n := remaining.Load()
+			if n <= 0 {
+				return false
+			}
+			if remaining.CompareAndSwap(n, n-1) {
+				return true
+			}
+		}
+	}
+	unclaim := func() {
+		if *jobs > 0 {
+			remaining.Add(1)
+		}
 	}
 
 	start := time.Now()
@@ -83,102 +190,194 @@ func run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ctx.Err() == nil {
-				col.add(submitAndFollow(ctx, client, *addr, spec, *seedStep, nextSeed))
+			for claim() {
+				o := submitAndFollow(ctx, client, *addr, spec, *seedStep, nextSeq, cc, col)
+				col.add(o)
+				if o.state == "reject" || o.state == "error" {
+					unclaim()
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(col.outcomes, elapsed, *concurrency)
+	report(col, elapsed, *concurrency)
 	return nil
 }
 
-// submitAndFollow runs one closed-loop iteration: POST the spec, then
-// stream events until the terminal "end" line. The reported latency spans
-// submit to terminal.
-func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec map[string]any, varySeed bool, nextSeed func() int64) outcome {
-	if varySeed {
-		s := make(map[string]any, len(spec)+1)
+// submitAndFollow runs one closed-loop iteration: POST the spec (retrying
+// 5xx with backoff), then stream events until the terminal "end" line,
+// re-attaching on mid-stream disconnects. The reported latency spans submit
+// to terminal.
+func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec map[string]any, varySeed bool, nextSeq func() int64, cc chaosCfg, col *collector) outcome {
+	n := nextSeq()
+	if varySeed || cc.pick(n) {
+		s := make(map[string]any, len(spec)+6)
 		for k, v := range spec {
 			s[k] = v
 		}
-		s["seed"] = nextSeed()
+		if varySeed {
+			s["seed"] = n
+		}
+		if cc.pick(n) {
+			s["max_retries"] = cc.retries
+			s["checkpoint_every"] = cc.checkpoint
+			s["fault_panic_rate"] = cc.panicRate
+			s["fault_drop_rate"] = cc.dropRate
+			s["fault_crash_rate"] = cc.crashRate
+		}
 		spec = s
 	}
 	body, _ := json.Marshal(spec)
 
 	begin := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return outcome{state: "error"}
+	id, state, http5xx := submitJob(ctx, client, addr, body)
+	if http5xx > 0 {
+		col.transport(http5xx, 0)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return outcome{state: "error"}
+	if id == "" {
+		return outcome{state: state}
 	}
-	switch resp.StatusCode {
-	case http.StatusAccepted:
-	case http.StatusTooManyRequests:
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		// Closed loop: back off briefly so a saturated queue is retried,
-		// not hammered.
-		select {
-		case <-time.After(50 * time.Millisecond):
-		case <-ctx.Done():
-		}
-		return outcome{state: "reject"}
-	default:
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		return outcome{state: "error"}
-	}
-	var view struct {
-		ID string `json:"id"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&view)
-	resp.Body.Close()
-	if err != nil || view.ID == "" {
-		return outcome{state: "error"}
-	}
-
-	// Follow the event stream to the end. The stream request deliberately
-	// has no deadline: a job admitted before the load window closes is
-	// followed to completion so its latency is measured.
-	sreq, err := http.NewRequest(http.MethodGet, addr+"/v1/jobs/"+view.ID+"/events", nil)
-	if err != nil {
-		return outcome{state: "error"}
-	}
-	sresp, err := client.Do(sreq)
-	if err != nil {
-		return outcome{state: "error"}
-	}
-	defer sresp.Body.Close()
-	state := "error"
-	sc := bufio.NewScanner(sresp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		var e struct {
-			Kind  string `json:"kind"`
-			State string `json:"state"`
-		}
-		if json.Unmarshal(sc.Bytes(), &e) == nil && e.Kind == "end" {
-			state = e.State
-		}
-	}
-	return outcome{latency: time.Since(begin), state: state}
+	return followJob(client, addr, id, begin, col)
 }
 
-func report(outcomes []outcome, elapsed time.Duration, concurrency int) {
-	var latencies []time.Duration
+// submitJob POSTs the job, treating 5xx responses as transient: they are
+// retried with capped exponential backoff and counted, because a loaded or
+// restarting daemon answering 500s is a recovery scenario, not a load
+// error. 429 (admission control) stays a reject — that is the signal the
+// closed loop measures.
+func submitJob(ctx context.Context, client *http.Client, addr string, body []byte) (id, state string, http5xx int) {
+	backoff := 100 * time.Millisecond
+	const maxAttempts = 5
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", "error", http5xx
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", "error", http5xx
+		}
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var view struct {
+				ID string `json:"id"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if err != nil || view.ID == "" {
+				return "", "error", http5xx
+			}
+			return view.ID, "", http5xx
+		case resp.StatusCode == http.StatusTooManyRequests:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Closed loop: back off briefly so a saturated queue is
+			// retried, not hammered.
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			return "", "reject", http5xx
+		case resp.StatusCode >= 500:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			http5xx++
+			if attempt >= maxAttempts || ctx.Err() != nil {
+				return "", "error", http5xx
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return "", "error", http5xx
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return "", "error", http5xx
+		}
+	}
+}
+
+// followJob streams the job's events to the terminal line. The stream
+// requests deliberately have no deadline: a job admitted before the load
+// window closes is followed to completion so its latency is measured. A
+// stream that dies before "end" (daemon blip, proxy timeout) is re-attached
+// at the next unseen sequence number and counted as a drop.
+func followJob(client *http.Client, addr, id string, begin time.Time, col *collector) outcome {
+	next := 0
+	state := "error"
+	retries := 0
+	var firstRetry time.Time
+	const maxAttaches = 10
+	for attach := 1; attach <= maxAttaches; attach++ {
+		if attach > 1 {
+			col.transport(0, 1)
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err := client.Get(addr + "/v1/jobs/" + id + "/events?from=" + strconv.Itoa(next))
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return outcome{state: "error"}
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var e struct {
+				Seq   int    `json:"seq"`
+				Kind  string `json:"kind"`
+				State string `json:"state"`
+			}
+			if json.Unmarshal(sc.Bytes(), &e) != nil {
+				continue
+			}
+			next = e.Seq + 1
+			switch e.Kind {
+			case "retry":
+				retries++
+				if firstRetry.IsZero() {
+					firstRetry = time.Now()
+				}
+			case "end":
+				state = e.State
+			}
+		}
+		resp.Body.Close()
+		if state != "error" {
+			break // saw the terminal line; the stream is complete
+		}
+	}
+	o := outcome{latency: time.Since(begin), state: state, retries: retries}
+	if retries > 0 && !firstRetry.IsZero() && state != "error" {
+		o.recovery = time.Since(firstRetry)
+	}
+	return o
+}
+
+func report(col *collector, elapsed time.Duration, concurrency int) {
+	outcomes := col.outcomes
+	var latencies, recoveries []time.Duration
 	counts := map[string]int{}
+	retried := 0
 	for _, o := range outcomes {
 		counts[o.state]++
 		if o.state == "done" {
 			latencies = append(latencies, o.latency)
+		}
+		if o.retries > 0 {
+			retried++
+			if o.recovery > 0 {
+				recoveries = append(recoveries, o.recovery)
+			}
 		}
 	}
 	total := len(outcomes)
@@ -200,6 +399,19 @@ func report(outcomes []outcome, elapsed time.Duration, concurrency int) {
 		parts = append(parts, fmt.Sprintf("%s=%d", s, counts[s]))
 	}
 	fmt.Printf("outcomes:    %s\n", strings.Join(parts, " "))
+	if col.http5xx > 0 || col.drops > 0 {
+		fmt.Printf("transport:   submit-5xx=%d stream-drops=%d (both retried)\n", col.http5xx, col.drops)
+	}
+	if retried > 0 {
+		fmt.Printf("retried:     %d jobs saw at least one retry\n", retried)
+		if len(recoveries) > 0 {
+			sort.Slice(recoveries, func(i, j int) bool { return recoveries[i] < recoveries[j] })
+			fmt.Printf("recovery:    p50=%v p95=%v max=%v (first retry → terminal)\n",
+				percentile(recoveries, 0.50).Round(time.Millisecond),
+				percentile(recoveries, 0.95).Round(time.Millisecond),
+				recoveries[len(recoveries)-1].Round(time.Millisecond))
+		}
+	}
 	if len(latencies) == 0 {
 		return
 	}

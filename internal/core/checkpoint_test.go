@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// sameFixResult demands bit-identical outcomes: identical Stats, identical
+// assignment values and an identical final φ table.
+func sameFixResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Errorf("%s: stats %+v differ from baseline %+v", label, got.Stats, want.Stats)
+		return
+	}
+	gv, _ := got.Assignment.Values()
+	wv, _ := want.Assignment.Values()
+	for i := range wv {
+		if gv[i] != wv[i] {
+			t.Errorf("%s: assignment[%d] = %d, want %d", label, i, gv[i], wv[i])
+			return
+		}
+	}
+	gp, wp := got.PStar.Snapshot(), want.PStar.Snapshot()
+	for i := range wp {
+		if gp[i] != wp[i] {
+			t.Errorf("%s: phi[%d] = %v, want %v", label, i, gp[i], wp[i])
+			return
+		}
+	}
+}
+
+// TestFixCheckpointResume pins the fixer's recovery contract: a run with
+// checkpointing active is bit-identical to the plain run, and resuming from
+// a mid-run checkpoint reproduces the uninterrupted run exactly — same
+// assignment, same φ table, same peak statistics (which the certification
+// depends on).
+func TestFixCheckpointResume(t *testing.T) {
+	s, err := apps.NewSinklessWithMargin(graph.Cycle(32), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := mustFix(t, s.Instance, nil, Options{})
+	assertSolved(t, baseline)
+
+	var cps []*fault.Checkpoint
+	withCp := mustFix(t, s.Instance, nil, Options{
+		CheckpointEvery: 5,
+		OnCheckpoint:    func(cp *fault.Checkpoint) { cps = append(cps, cp) },
+	})
+	sameFixResult(t, "checkpointing-on", withCp, baseline)
+	wantCps := s.Instance.NumVars() / 5
+	if len(cps) != wantCps {
+		t.Fatalf("captured %d checkpoints, want %d", len(cps), wantCps)
+	}
+
+	for _, idx := range []int{0, len(cps) / 2, len(cps) - 1} {
+		cp := cps[idx]
+		if cp.Algorithm != CheckpointFix {
+			t.Fatalf("checkpoint tagged %q, want %q", cp.Algorithm, CheckpointFix)
+		}
+		resumed, err := FixSequential(s.Instance, nil, Options{Resume: cp})
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d (round %d): %v", idx, cp.Round, err)
+		}
+		sameFixResult(t, "resumed", resumed, baseline)
+	}
+}
+
+// TestFixCheckpointResumeAdversarialOrder repeats the resume-equality check
+// under a non-identity fixing order, since the checkpoint encodes progress
+// as an order prefix.
+func TestFixCheckpointResumeAdversarialOrder(t *testing.T) {
+	s, err := apps.NewSinklessWithMargin(graph.Cycle(24), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Instance.NumVars()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	baseline := mustFix(t, s.Instance, order, Options{})
+
+	var cps []*fault.Checkpoint
+	mustFix(t, s.Instance, order, Options{
+		CheckpointEvery: 3,
+		OnCheckpoint:    func(cp *fault.Checkpoint) { cps = append(cps, cp) },
+	})
+	if len(cps) < 2 {
+		t.Fatalf("captured only %d checkpoints", len(cps))
+	}
+	resumed, err := FixSequential(s.Instance, order, Options{Resume: cps[len(cps)/2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFixResult(t, "resumed under reversed order", resumed, baseline)
+}
+
+// TestFixResumeValidation checks that corrupt or mismatched checkpoints are
+// rejected loudly: foreign tags, wrong sizes, impossible progress counters
+// and prefixes inconsistent with the fixing order.
+func TestFixResumeValidation(t *testing.T) {
+	s, err := apps.NewSinklessWithMargin(graph.Cycle(16), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []*fault.Checkpoint
+	mustFix(t, s.Instance, nil, Options{
+		CheckpointEvery: 4,
+		OnCheckpoint:    func(c *fault.Checkpoint) { cps = append(cps, c) },
+	})
+	if len(cps) < 2 {
+		t.Fatalf("captured only %d checkpoints", len(cps))
+	}
+	// A mid-run checkpoint: a strict prefix is fixed, the rest is not.
+	cp := cps[0]
+	if cp.Round >= s.Instance.NumVars() {
+		t.Fatalf("first checkpoint already covers all %d variables", cp.Round)
+	}
+
+	corrupt := func(mut func(*fault.Checkpoint)) *fault.Checkpoint {
+		c := cp.Clone()
+		mut(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cp   *fault.Checkpoint
+	}{
+		{"foreign algorithm", corrupt(func(c *fault.Checkpoint) { c.Algorithm = "mt-sequential" })},
+		{"wrong var count", corrupt(func(c *fault.Checkpoint) { c.Values = c.Values[:len(c.Values)-1] })},
+		{"negative round", corrupt(func(c *fault.Checkpoint) { c.Round = -1 })},
+		{"round beyond n", corrupt(func(c *fault.Checkpoint) { c.Round = len(c.Values) + 1 })},
+		{"unfixed inside prefix", corrupt(func(c *fault.Checkpoint) { c.Values[0] = -1 })},
+		{"fixed beyond prefix", corrupt(func(c *fault.Checkpoint) { c.Values[len(c.Values)-1] = 0 })},
+		{"truncated phi", corrupt(func(c *fault.Checkpoint) { c.Phi = c.Phi[:1] })},
+		{"truncated peaks", corrupt(func(c *fault.Checkpoint) { c.Peaks = nil })},
+		{"truncated counts", corrupt(func(c *fault.Checkpoint) { c.Counts = c.Counts[:2] })},
+	}
+	for _, tc := range cases {
+		if _, err := FixSequential(s.Instance, nil, Options{Resume: tc.cp}); err == nil {
+			t.Errorf("%s: resume accepted", tc.name)
+		}
+	}
+	// The untouched checkpoint must still resume cleanly.
+	if _, err := FixSequential(s.Instance, nil, Options{Resume: cp}); err != nil {
+		t.Errorf("pristine checkpoint rejected: %v", err)
+	}
+}

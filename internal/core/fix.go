@@ -5,11 +5,22 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/srep"
 )
+
+// CheckpointFix tags the checkpoints written by the sequential fixer
+// (fault.Checkpoint.Algorithm); a resume is only accepted from a checkpoint
+// with this tag. Unfixed variables are encoded as -1 in Checkpoint.Values,
+// φ is the PStar.Snapshot flattening in Checkpoint.Phi, the running peaks
+// are [PeakEdgeSum, PeakEventBound, PeakCertBound] in Checkpoint.Peaks and
+// the step counters [Rank0, Rank1, Rank2, Rank3, Fallbacks] in
+// Checkpoint.Counts. Round is the number of variables fixed so far — the
+// resume point in the fixing order.
+const CheckpointFix = "core-fix-sequential"
 
 // Strategy selects among the feasible values when a variable is fixed. Every
 // strategy preserves the correctness guarantee — feasibility is what the
@@ -57,6 +68,20 @@ type Options struct {
 	// φ edge-sum / slack / event-bound gauges. Shared by the sequential
 	// fixer and the distributed machines; nil disables at zero cost.
 	Metrics *obs.Registry
+	// CheckpointEvery, together with OnCheckpoint, snapshots the full fixer
+	// state (partial assignment, φ table, peak and rank statistics) every
+	// CheckpointEvery fixes. Capturing is a pure copy — the fixer is
+	// deterministic, so runs with checkpointing enabled are bit-identical to
+	// runs without. 0 or a nil OnCheckpoint disables checkpointing.
+	CheckpointEvery int
+	OnCheckpoint    func(*fault.Checkpoint)
+	// Resume, when non-nil, restores the fixer from a checkpoint taken by an
+	// earlier run over the SAME instance and fixing order instead of starting
+	// from the empty assignment: fixing continues at position Round of the
+	// order and the result is bit-identical to the uninterrupted run. This is
+	// how a retried job avoids redoing work. Metrics and Trace only observe
+	// the fixes performed after the resume point.
+	Resume *fault.Checkpoint
 }
 
 func (o Options) withDefaults() Options {
@@ -178,7 +203,16 @@ func FixSequentialCtx(ctx context.Context, inst *model.Instance, order []int, op
 			f.stats.PeakCertBound = b
 		}
 	}
-	for i, vid := range order {
+	start := 0
+	if cp := opts.Resume; cp != nil {
+		var err error
+		if start, err = f.restore(cp, order); err != nil {
+			return nil, err
+		}
+	}
+	checkpointing := opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil
+	for i := start; i < len(order); i++ {
+		vid := order[i]
 		if i%ctxCheckStride == 0 {
 			if cerr := ctx.Err(); cerr != nil {
 				f.stats.VarsFixed = i
@@ -194,6 +228,9 @@ func FixSequentialCtx(ctx context.Context, inst *model.Instance, order []int, op
 			if err := ps.Audit(inst, a, base, 1e-6); err != nil {
 				return nil, fmt.Errorf("after fixing variable %d: %w", vid, err)
 			}
+		}
+		if checkpointing && (i+1)%opts.CheckpointEvery == 0 {
+			opts.OnCheckpoint(f.capture(i + 1))
 		}
 	}
 
@@ -263,6 +300,64 @@ type fixer struct {
 	opts  Options
 	stats Stats
 	obs   *fixObs // nil when Options.Metrics is unset
+}
+
+// capture snapshots the fixer state after `fixed` variables of the order
+// were fixed. Unfixed variables are encoded as -1 so the checkpoint is
+// self-describing; everything is copied, nothing aliases live state.
+func (f *fixer) capture(fixed int) *fault.Checkpoint {
+	values, mask := f.a.Values()
+	for i, ok := range mask {
+		if !ok {
+			values[i] = -1
+		}
+	}
+	return &fault.Checkpoint{
+		Algorithm: CheckpointFix,
+		Round:     fixed,
+		Values:    values,
+		Phi:       f.ps.Snapshot(),
+		Peaks:     []float64{f.stats.PeakEdgeSum, f.stats.PeakEventBound, f.stats.PeakCertBound},
+		Counts:    []int{f.stats.Rank0, f.stats.Rank1, f.stats.Rank2, f.stats.Rank3, f.stats.Fallbacks},
+	}
+}
+
+// restore rebuilds the fixer state from a checkpoint and returns the order
+// position at which to resume. It cross-checks the checkpoint against the
+// fixing order: the first Round entries of order must carry values, the
+// rest must not — catching resumes against a different order or instance.
+func (f *fixer) restore(cp *fault.Checkpoint, order []int) (int, error) {
+	if cp.Algorithm != CheckpointFix {
+		return 0, fmt.Errorf("core: checkpoint from %q cannot resume %q", cp.Algorithm, CheckpointFix)
+	}
+	if len(cp.Values) != f.inst.NumVars() {
+		return 0, fmt.Errorf("core: checkpoint has %d values, instance has %d variables", len(cp.Values), f.inst.NumVars())
+	}
+	start := cp.Round
+	if start < 0 || start > len(order) {
+		return 0, fmt.Errorf("core: checkpoint round %d outside order of length %d", start, len(order))
+	}
+	for i, vid := range order {
+		val := cp.Values[vid]
+		if i < start {
+			if val < 0 || val >= f.inst.Var(vid).Dist.Size() {
+				return 0, fmt.Errorf("core: checkpoint value %d out of range for fixed variable %d", val, vid)
+			}
+			f.a.Fix(vid, val)
+		} else if val >= 0 {
+			return 0, fmt.Errorf("core: checkpoint fixes variable %d ahead of its order position %d", vid, i)
+		}
+	}
+	if err := f.ps.Restore(cp.Phi); err != nil {
+		return 0, err
+	}
+	if len(cp.Peaks) != 3 || len(cp.Counts) != 5 {
+		return 0, fmt.Errorf("core: checkpoint stats malformed: %d peaks, %d counts", len(cp.Peaks), len(cp.Counts))
+	}
+	f.stats.PeakEdgeSum, f.stats.PeakEventBound, f.stats.PeakCertBound = cp.Peaks[0], cp.Peaks[1], cp.Peaks[2]
+	f.stats.Rank0, f.stats.Rank1, f.stats.Rank2, f.stats.Rank3, f.stats.Fallbacks =
+		cp.Counts[0], cp.Counts[1], cp.Counts[2], cp.Counts[3], cp.Counts[4]
+	return start, nil
 }
 
 // fixOne fixes one variable, preserving property P*. It dispatches on the

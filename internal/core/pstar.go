@@ -102,6 +102,29 @@ func (p *PStar) MaxEventBound() float64 {
 	return m
 }
 
+// Snapshot returns the φ table flattened edge-major as
+// [φ_e0^U, φ_e0^V, φ_e1^U, φ_e1^V, ...] — the format stored in
+// fault.Checkpoint.Phi. The copy is pure: the bookkeeping is unchanged.
+func (p *PStar) Snapshot() []float64 {
+	out := make([]float64, 0, 2*len(p.phi))
+	for _, v := range p.phi {
+		out = append(out, v[0], v[1])
+	}
+	return out
+}
+
+// Restore overwrites the φ table from a Snapshot taken on a graph with the
+// same edge set.
+func (p *PStar) Restore(flat []float64) error {
+	if len(flat) != 2*len(p.phi) {
+		return fmt.Errorf("core: φ snapshot has %d values, graph needs %d", len(flat), 2*len(p.phi))
+	}
+	for i := range p.phi {
+		p.phi[i] = [2]float64{flat[2*i], flat[2*i+1]}
+	}
+	return nil
+}
+
 // Audit verifies property P* against the instance and the current partial
 // assignment: every edge sum is at most 2 (+tol) and every event satisfies
 // Pr[E_v | a] ≤ base[v] · EventBound(v) (+tol), where base[v] is the

@@ -30,6 +30,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // targetShardsPerWorker controls the shard granularity: enough shards per
@@ -57,13 +59,19 @@ type job struct {
 	// shards executed by helper workers rather than the submitter.
 	track  bool
 	stolen atomic.Int64
+	// panicked holds the first panic recovered from any shard of this job
+	// (first writer wins). Helper goroutines must never die from a panic in
+	// fn — that would kill the whole process — so every shard runs under a
+	// recover, and ForEachShardStats re-raises the captured panic on the
+	// submitting goroutine once all workers have quiesced.
+	panicked atomic.Pointer[fault.PanicError]
 }
 
 // run drains shards off the cursor. helper marks runs on pool workers (as
 // opposed to the submitting goroutine) for steal accounting.
 func (j *job) run(helper bool) {
 	shards := 0
-	for {
+	for j.panicked.Load() == nil {
 		lo := j.cursor.Add(j.shard) - j.shard
 		if lo >= j.n {
 			break
@@ -72,12 +80,30 @@ func (j *job) run(helper bool) {
 		if hi > j.n {
 			hi = j.n
 		}
-		j.fn(int(lo), int(hi))
+		if pe := j.runShard(int(lo), int(hi)); pe != nil {
+			// Record the panic and stop claiming shards; racing workers
+			// finish their current shard and observe panicked on the next
+			// cursor pull, so the job fails fast without tearing a shard.
+			j.panicked.CompareAndSwap(nil, pe)
+			break
+		}
 		shards++
 	}
 	if helper && j.track && shards > 0 {
 		j.stolen.Add(int64(shards))
 	}
+}
+
+// runShard executes fn on one shard, converting a panic into a
+// *fault.PanicError that carries the panicking goroutine's stack.
+func (j *job) runShard(lo, hi int) (pe *fault.PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = fault.CapturePanic(r)
+		}
+	}()
+	j.fn(lo, hi)
+	return nil
 }
 
 // New creates a pool with the given number of workers. workers <= 0 selects
@@ -187,6 +213,17 @@ func (p *Pool) ForEachShardStats(n int, fn func(lo, hi int), rs *RunStats) {
 		rs.Shards = int((int64(n) + j.shard - 1) / j.shard)
 		rs.Stolen = int(j.stolen.Load())
 	}
+	// Panic isolation: a panic in fn — on a helper or on the submitter — is
+	// recovered at the shard boundary, every worker quiesces, and the first
+	// captured panic is re-raised HERE, on the submitting goroutine, as a
+	// *fault.PanicError preserving the original stack. Helper goroutines
+	// survive and the pool stays usable; callers that want to survive too
+	// (the job service's scheduler) recover it, callers that don't keep the
+	// ordinary crash semantics. On this path the every-index guarantee is
+	// void: the range was only partially processed.
+	if pe := j.panicked.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // ForEach invokes fn once for every index in [0, n), sharded across the
@@ -218,6 +255,13 @@ type RoundStats struct {
 	Active int
 	// Halted is the number of machines that halted in this round.
 	Halted int
+	// Dropped is the number of messages removed by fault injection this
+	// round; Crashed the number of machines crash-stopped for the round
+	// (local.Options.Fault). Both are zero without an injector, and both
+	// are keyed by (round, node[, port]) hashes, so they stay deterministic
+	// and worker-count independent like every other field.
+	Dropped int
+	Crashed int
 }
 
 var (

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// recoverPanic runs fn and returns the value it panicked with (nil if it
+// returned normally).
+func recoverPanic(fn func()) (v any) {
+	defer func() { v = recover() }()
+	fn()
+	return nil
+}
+
+// TestPanicIsolationMultiWorker checks the pool's panic protocol: a panic
+// inside a shard surfaces on the submitting goroutine as a *fault.PanicError
+// carrying the original value and the panic site's stack, regardless of
+// which worker ran the shard.
+func TestPanicIsolationMultiWorker(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	boom := errors.New("shard exploded")
+	v := recoverPanic(func() {
+		p.ForEach(1000, func(i int) {
+			if i == 517 {
+				panic(boom)
+			}
+		})
+	})
+	pe, ok := v.(*fault.PanicError)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *fault.PanicError", v, v)
+	}
+	if pe.Value != boom {
+		t.Errorf("Value = %v, want the original panic value", pe.Value)
+	}
+	if !errors.Is(pe, boom) {
+		t.Error("PanicError does not unwrap to the original error")
+	}
+	if !strings.Contains(string(pe.Stack), "TestPanicIsolationMultiWorker") {
+		t.Error("stack does not point at the panic site")
+	}
+}
+
+// TestPanicFirstWins checks that when many shards panic concurrently,
+// exactly one *fault.PanicError surfaces and the call still returns
+// (every worker quiesces).
+func TestPanicFirstWins(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	for trial := 0; trial < 20; trial++ {
+		v := recoverPanic(func() {
+			p.ForEachShard(10000, func(lo, hi int) {
+				panic(lo)
+			})
+		})
+		pe, ok := v.(*fault.PanicError)
+		if !ok {
+			t.Fatalf("trial %d: recovered %T, want *fault.PanicError", trial, v)
+		}
+		if _, ok := pe.Value.(int); !ok {
+			t.Fatalf("trial %d: panic value %v is not one of the shard values", trial, pe.Value)
+		}
+	}
+}
+
+// TestPoolUsableAfterPanic checks recovery leaves the pool fully
+// functional: helper workers survive, the next ForEach covers every index
+// exactly once, and no goroutines leak across repeated panic/recover
+// cycles.
+func TestPoolUsableAfterPanic(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 10; cycle++ {
+		v := recoverPanic(func() {
+			p.ForEach(500, func(i int) {
+				if i%100 == 3 {
+					panic("cycle boom")
+				}
+			})
+		})
+		if v == nil {
+			t.Fatalf("cycle %d: panic did not propagate", cycle)
+		}
+		visits := make([]int32, 2000)
+		p.ForEach(len(visits), func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, n := range visits {
+			if n != 1 {
+				t.Fatalf("cycle %d: index %d visited %d times after recovery", cycle, i, n)
+			}
+		}
+	}
+	// Helpers park between jobs; give stragglers a moment before comparing.
+	for i := 0; i < 50 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew %d → %d across panic cycles", before, after)
+	}
+}
+
+// TestPanicInlineFastPath checks the single-worker inline path: the panic
+// propagates on the caller directly (no pool machinery involved), so the
+// raw value arrives unwrapped and recover-based callers still see it.
+func TestPanicInlineFastPath(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	v := recoverPanic(func() {
+		p.ForEach(10, func(i int) { panic("inline") })
+	})
+	if v != "inline" {
+		t.Fatalf("recovered %v, want the raw panic value on the inline path", v)
+	}
+}

@@ -51,6 +51,7 @@ func goldenCases() []goldenCase {
 		base.Metrics = obs.Metrics
 		base.Trace = obs.Trace
 		base.Ctx = obs.Ctx
+		base.Checkpoint = obs.Checkpoint
 		return base
 	}
 	return []goldenCase{
@@ -250,6 +251,54 @@ func TestGoldenTablesWithContext(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenTablesWithCheckpointing is the recovery-layer counterpart of
+// the observability invariant: with checkpointing active on every
+// sequential fixer run (Sizes.Checkpoint → core.Options.CheckpointEvery),
+// each golden case still reproduces its checked-in bytes exactly. Capture
+// is a pure copy, so snapshots must never perturb results.
+func TestGoldenTablesWithCheckpointing(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", gc.name+".golden.csv")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run TestGoldenTables with -update first): %v", err)
+			}
+			for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+				tbl, err := gc.run(Sizes{Workers: workers, Checkpoint: 4})
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				if got := renderCSV(t, tbl); !bytes.Equal(got, want) {
+					t.Errorf("Workers=%d with checkpointing deviates from %s:\ngot:\n%s\nwant:\n%s", workers, path, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSequentialTableCheckpointingByteIdentical drives the invariant
+// through the sequential fixer, which the golden (distributed) cases do
+// not exercise: the T1 table rendered with live checkpointing is byte-
+// identical to the table rendered without.
+func TestSequentialTableCheckpointingByteIdentical(t *testing.T) {
+	sz := Sizes{Scale: 0.5, Trials: 2}
+	plain, err := T1Rank2(1, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	szCp := sz
+	szCp.Checkpoint = 3
+	checkpointed, err := T1Rank2(1, szCp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderCSV(t, checkpointed), renderCSV(t, plain); !bytes.Equal(got, want) {
+		t.Errorf("T1 with checkpointing deviates:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
 	"repro/internal/local"
@@ -41,6 +42,12 @@ type Sizes struct {
 	// cancellable (threaded into local.Options.Ctx). A live context never
 	// changes table bytes — the golden tests re-render with one attached.
 	Ctx context.Context
+	// Checkpoint, when > 0, makes every sequential fixer run snapshot its
+	// state after that many fixed variables (threaded into
+	// core.Options.CheckpointEvery with a discard sink). Checkpoint
+	// capture is a pure copy, so it never changes table bytes — the
+	// golden tests re-render with it active.
+	Checkpoint int
 }
 
 // lopts builds the LOCAL-runtime options the distributed experiments share.
@@ -51,7 +58,12 @@ func (s Sizes) lopts(seed uint64) local.Options {
 // copts builds the fixer options the experiments share, carrying the
 // metrics registry into the sequential fixer and the distributed machines.
 func (s Sizes) copts(strategy core.Strategy) core.Options {
-	return core.Options{Strategy: strategy, Metrics: s.Metrics}
+	o := core.Options{Strategy: strategy, Metrics: s.Metrics}
+	if s.Checkpoint > 0 {
+		o.CheckpointEvery = s.Checkpoint
+		o.OnCheckpoint = func(*fault.Checkpoint) {}
+	}
+	return o
 }
 
 func (s Sizes) scale(n int) int {

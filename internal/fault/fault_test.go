@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// TestInjectorDeterminism checks the stateless-decision contract: equal
+// plans answer every coordinate identically, a different seed answers
+// differently somewhere, and query order never matters (decisions are pure
+// hashes, not generator draws).
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, PanicRate: 0.1, DropRate: 0.1, CrashRate: 0.1}
+	a, b := NewInjector(plan), NewInjector(plan)
+	diff := NewInjector(Plan{Seed: 43, PanicRate: 0.1, DropRate: 0.1, CrashRate: 0.1})
+
+	var agreeAll, diffSomewhere bool
+	agreeAll = true
+	for round := 0; round < 50; round++ {
+		for node := 0; node < 20; node++ {
+			if a.PanicShard(round, node) != b.PanicShard(round, node) ||
+				a.CrashNode(round, node) != b.CrashNode(round, node) {
+				agreeAll = false
+			}
+			if a.CrashNode(round, node) != diff.CrashNode(round, node) {
+				diffSomewhere = true
+			}
+			for port := 0; port < 4; port++ {
+				if a.DropMessage(round, node, port) != b.DropMessage(round, node, port) {
+					agreeAll = false
+				}
+			}
+		}
+	}
+	if !agreeAll {
+		t.Error("equal plans made different decisions")
+	}
+	if !diffSomewhere {
+		t.Error("different seeds never diverged over 1000 coordinates")
+	}
+
+	// Reversed query order reproduces the same decisions.
+	for round := 49; round >= 0; round-- {
+		for node := 19; node >= 0; node-- {
+			if a.CrashNode(round, node) != b.CrashNode(round, node) {
+				t.Fatal("decision changed under reversed query order")
+			}
+		}
+	}
+}
+
+// TestInjectorRates checks decisions land near the configured probability:
+// a 10% rate over 100k coordinates must hit within [8%, 12%], and rate 0
+// must never fire.
+func TestInjectorRates(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, DropRate: 0.1})
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if in.DropMessage(i, i%97, i%5) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.08 || got > 0.12 {
+		t.Errorf("10%% drop rate fired %.4f of the time", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if in.PanicShard(i, i) || in.CrashNode(i, i) {
+			t.Fatal("zero-rate fault class fired")
+		}
+	}
+}
+
+// TestInjectorDerive checks Derive keeps the rates but changes the decision
+// pattern, and that equal salts derive equal injectors.
+func TestInjectorDerive(t *testing.T) {
+	base := NewInjector(Plan{Seed: 42, CrashRate: 0.2})
+	d1, d1b, d2 := base.Derive(1), base.Derive(1), base.Derive(2)
+	var v1, v2 bool
+	for round := 0; round < 100; round++ {
+		for node := 0; node < 10; node++ {
+			if d1.CrashNode(round, node) != d1b.CrashNode(round, node) {
+				t.Fatal("same salt derived different patterns")
+			}
+			if d1.CrashNode(round, node) != base.CrashNode(round, node) {
+				v1 = true
+			}
+			if d1.CrashNode(round, node) != d2.CrashNode(round, node) {
+				v2 = true
+			}
+		}
+	}
+	if !v1 {
+		t.Error("Derive(1) never diverged from the base injector")
+	}
+	if !v2 {
+		t.Error("Derive(1) and Derive(2) never diverged")
+	}
+}
+
+// TestNilInjector checks the disabled paths: a nil injector answers no
+// everywhere, survives Derive, and NewInjector returns nil for a plan
+// without faults.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.PanicShard(1, 2) || in.DropMessage(1, 2, 3) || in.CrashNode(1, 2) {
+		t.Error("nil injector made a yes decision")
+	}
+	if in.Panicking() || in.Dropping() || in.Crashing() {
+		t.Error("nil injector reports a live fault class")
+	}
+	if in.Derive(5) != nil {
+		t.Error("nil.Derive returned non-nil")
+	}
+	if NewInjector(Plan{Seed: 99}) != nil {
+		t.Error("NewInjector returned an injector for a fault-free plan")
+	}
+}
+
+// TestPlanMergeValidate pins the merge semantics (max rates, override seed
+// wins when non-zero) and rate validation bounds.
+func TestPlanMergeValidate(t *testing.T) {
+	base := Plan{Seed: 1, PanicRate: 0.1, DropRate: 0.01}
+	over := Plan{Seed: 2, PanicRate: 0.05, CrashRate: 0.2}
+	m := base.Merge(over)
+	if m.Seed != 2 || m.PanicRate != 0.1 || m.DropRate != 0.01 || m.CrashRate != 0.2 {
+		t.Errorf("merge = %+v", m)
+	}
+	if m2 := base.Merge(Plan{}); m2.Seed != 1 {
+		t.Errorf("zero-seed override clobbered the base seed: %+v", m2)
+	}
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reports Enabled")
+	}
+	for _, bad := range []Plan{{PanicRate: 1}, {DropRate: -0.1}, {CrashRate: 1.5}} {
+		if bad.Validate() == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+	if err := (Plan{PanicRate: 0.999}).Validate(); err != nil {
+		t.Errorf("Validate rejected a legal plan: %v", err)
+	}
+}
+
+// TestCapturePanic checks stack capture, idempotence across re-panics, and
+// that error panic values unwrap to their sentinel via errors.Is.
+func TestCapturePanic(t *testing.T) {
+	pe := CapturePanic("boom")
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "TestCapturePanic") {
+		t.Error("stack does not contain the capturing frame")
+	}
+	if CapturePanic(pe) != pe {
+		t.Error("re-capturing a *PanicError allocated a new one")
+	}
+	if pe.Unwrap() != nil {
+		t.Error("string panic value unwrapped to an error")
+	}
+
+	inj := CapturePanic(ErrInjected)
+	if !errors.Is(inj, ErrInjected) {
+		t.Error("error panic value does not unwrap to ErrInjected")
+	}
+	var as *PanicError
+	if !errors.As(error(inj), &as) {
+		t.Error("errors.As failed to recover the *PanicError")
+	}
+}
+
+// TestCheckpointClone checks the deep copy: mutating the clone's slices
+// must not reach the original.
+func TestCheckpointClone(t *testing.T) {
+	c := &Checkpoint{
+		Algorithm:   "mt-sequential",
+		Round:       3,
+		Resamplings: 7,
+		Values:      []int{1, 2},
+		Phi:         []float64{0.5},
+		Peaks:       []float64{1.5},
+		Counts:      []int{4},
+		RNG:         [4]uint64{1, 2, 3, 4},
+	}
+	d := c.Clone()
+	d.Values[0], d.Phi[0], d.Peaks[0], d.Counts[0] = 9, 9, 9, 9
+	if c.Values[0] != 1 || c.Phi[0] != 0.5 || c.Peaks[0] != 1.5 || c.Counts[0] != 4 {
+		t.Error("Clone shares backing arrays with the original")
+	}
+	if d.Algorithm != c.Algorithm || d.Round != c.Round || d.RNG != c.RNG {
+		t.Error("Clone dropped scalar fields")
+	}
+	var nilC *Checkpoint
+	if nilC.Clone() != nil {
+		t.Error("nil.Clone returned non-nil")
+	}
+}
+
+// TestBackoff pins the exponential growth, the cap, the jitter envelope and
+// the 1ms floor.
+func TestBackoff(t *testing.T) {
+	// No jitter: pure doubling from base, capped at ceil.
+	ms := time.Millisecond
+	for i, want := range []time.Duration{100 * ms, 200 * ms, 400 * ms, 800 * ms, 1000 * ms, 1000 * ms} {
+		if got := Backoff(100*ms, 1000*ms, i+1, nil); got != want {
+			t.Errorf("attempt %d: Backoff = %v, want %v", i+1, got, want)
+		}
+	}
+	// Defaults: base 100ms, ceil 5s.
+	if got := Backoff(0, 0, 1, nil); got != 100*time.Millisecond {
+		t.Errorf("default base = %v", got)
+	}
+	if got := Backoff(0, 0, 20, nil); got != 5*time.Second {
+		t.Errorf("default ceil = %v", got)
+	}
+	// Jitter stays within ±25% and actually varies.
+	r := prng.New(1)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		d := Backoff(time.Second, 10*time.Second, 1, r)
+		if d < 750*time.Millisecond || d >= 1250*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [0.75s, 1.25s)", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("jitter produced only %d distinct delays in 100 draws", len(seen))
+	}
+	// Floor: tiny bases never return sub-millisecond delays.
+	if got := Backoff(1, 1, 1, r); got < time.Millisecond {
+		t.Errorf("delay %v below the 1ms floor", got)
+	}
+}

@@ -1,0 +1,108 @@
+package local
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// runFlood executes the flood machine on a cycle under the given injector
+// and returns the run stats plus the min value each node learned.
+func runFlood(t *testing.T, workers int, inj *fault.Injector) (Stats, []uint64) {
+	t.Helper()
+	g := graph.Cycle(16)
+	machines := make([]*floodMachine, g.N())
+	stats, err := Run(g, func(v int) Machine {
+		machines[v] = &floodMachine{}
+		return machines[v]
+	}, Options{IDSeed: 7, Workers: workers, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins := make([]uint64, len(machines))
+	for v, m := range machines {
+		mins[v] = m.min
+	}
+	return stats, mins
+}
+
+// TestChaosCountersFire checks drop and crash injection actually bite: a
+// lossy run reports nonzero MessagesDropped / CrashSteps while a clean run
+// reports zero for both.
+func TestChaosCountersFire(t *testing.T) {
+	clean, _ := runFlood(t, 1, nil)
+	if clean.MessagesDropped != 0 || clean.CrashSteps != 0 {
+		t.Fatalf("clean run reports damage: %+v", clean)
+	}
+	lossy, _ := runFlood(t, 1, fault.NewInjector(fault.Plan{Seed: 3, DropRate: 0.2, CrashRate: 0.1}))
+	if lossy.MessagesDropped == 0 {
+		t.Error("20% drop rate dropped nothing")
+	}
+	if lossy.CrashSteps == 0 {
+		t.Error("10% crash rate crashed nothing")
+	}
+	if lossy.MessagesSent >= clean.MessagesSent {
+		t.Errorf("dropped+crashed run sent %d messages, clean run %d — drops not excluded",
+			lossy.MessagesSent, clean.MessagesSent)
+	}
+}
+
+// TestChaosWorkerIndependence checks the determinism contract under
+// injection: drop and crash decisions are keyed by (round, node[, port]),
+// so the damage pattern — and therefore every machine's final state — is
+// bit-identical for every worker count.
+func TestChaosWorkerIndependence(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 11, DropRate: 0.15, CrashRate: 0.05})
+	baseStats, baseMins := runFlood(t, 1, inj)
+	for _, workers := range []int{2, 4} {
+		stats, mins := runFlood(t, workers, inj)
+		if stats != baseStats {
+			t.Errorf("workers=%d: stats %+v differ from workers=1 %+v", workers, stats, baseStats)
+		}
+		for v := range mins {
+			if mins[v] != baseMins[v] {
+				t.Errorf("workers=%d: node %d state %d, want %d", workers, v, mins[v], baseMins[v])
+			}
+		}
+	}
+}
+
+// TestChaosTerminatesDespiteDamage checks the termination-or-loud-failure
+// guarantee: flooding under heavy loss still halts (its halting rule is
+// damage-independent) and the runtime reports the full damage tally rather
+// than hanging or silently absorbing it.
+func TestChaosTerminatesDespiteDamage(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 5, DropRate: 0.5, CrashRate: 0.3})
+	stats, _ := runFlood(t, 4, inj)
+	if stats.Rounds == 0 {
+		t.Fatal("run reported zero rounds")
+	}
+	if stats.MessagesDropped == 0 || stats.CrashSteps == 0 {
+		t.Fatalf("heavy chaos left no trace: %+v", stats)
+	}
+}
+
+// TestPanicInjection checks the loud-failure side: a panic-rate injector
+// makes the compute phase panic with a *fault.PanicError that unwraps to
+// ErrInjected, unwound through the engine pool to the Run caller.
+func TestPanicInjection(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 1, PanicRate: 0.9})
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		g := graph.Cycle(64)
+		Run(g, func(v int) Machine { return &floodMachine{} }, Options{IDSeed: 1, Workers: 4, Fault: inj})
+	}()
+	if recovered == nil {
+		t.Fatal("panic injection at rate 0.9 never panicked")
+	}
+	pe, ok := recovered.(*fault.PanicError)
+	if !ok {
+		t.Fatalf("recovered %T, want *fault.PanicError", recovered)
+	}
+	if !errors.Is(pe, fault.ErrInjected) {
+		t.Errorf("injected panic does not unwrap to ErrInjected: %v", pe)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/prng"
@@ -95,6 +96,14 @@ type Stats struct {
 	MessagesSent int
 	// Steps counts Machine.Round invocations over the whole run.
 	Steps int
+	// MessagesDropped counts messages removed by fault injection
+	// (Options.Fault); they are excluded from MessagesSent. Zero without an
+	// injector.
+	MessagesDropped int
+	// CrashSteps counts node-rounds lost to injected crash-stops: a crashed
+	// node is not stepped and sends nothing for that round but stays in the
+	// computation. Zero without an injector.
+	CrashSteps int
 }
 
 // ErrRoundLimit indicates that the round limit was reached before all
@@ -149,6 +158,17 @@ type Options struct {
 	// (kind "round") bracketed by "run_start" / "run_end" markers, all
 	// tagged with a per-run id. Like Metrics it never changes results.
 	Trace *obs.Recorder
+	// Fault, if non-nil, injects seeded faults into the run: messages are
+	// dropped in the delivery phase (DropMessage), nodes crash-stop for
+	// single rounds in the compute phase (CrashNode), and whole compute
+	// shards panic (PanicShard) — the panic unwinds through the engine pool
+	// as a *fault.PanicError and is NOT recovered here, so callers that
+	// must survive it (the job service) recover it themselves. Drop and
+	// crash decisions are keyed per (round, node[, port]), so the faulty
+	// execution is itself deterministic and worker-count independent;
+	// Stats.MessagesDropped / Stats.CrashSteps account the damage. Nil
+	// injects nothing at no cost.
+	Fault *fault.Injector
 }
 
 // IDSpace returns the size of the identifier space used for the random ID
@@ -215,6 +235,7 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 
 	pool, release := runPool(opts)
 	defer release()
+	inj := opts.Fault
 
 	// Observability: resolved once per run; nil when disabled, in which
 	// case the round loop takes no timestamps and tracks no shard stats.
@@ -256,13 +277,33 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 
 		// Compute phase: workers pull contiguous node shards and step every
 		// running machine. Machines own disjoint state; outbox and
-		// doneFlags are written at the machine's own index only.
-		var steps atomic.Int64
+		// doneFlags are written at the machine's own index only. The fault
+		// checks are hoisted behind per-class booleans so the fault-free
+		// path costs one predictable branch per node at most.
+		var steps, crashes atomic.Int64
+		crashing := inj.Crashing()
+		panicking := inj.Panicking()
 		pool.ForEachShardStats(n, func(lo, hi int) {
-			stepped := 0
+			// Panic with the bare error: the engine's shard recover (or the
+			// service scheduler on the inline path) wraps it into a
+			// *fault.PanicError, capturing the stack at THIS panic site.
+			if panicking && inj.PanicShard(round, lo) {
+				panic(fmt.Errorf("%w: compute shard [%d, %d) round %d", fault.ErrInjected, lo, hi, round))
+			}
+			stepped, crashed := 0, 0
 			for v := lo; v < hi; v++ {
 				if !running[v] {
 					outbox[v] = nil
+					continue
+				}
+				if crashing && inj.CrashNode(round, v) {
+					// Crash-stop for this round: no step, no sends; the
+					// machine stays in the computation and resumes next
+					// round having missed a step (its inbox for this round
+					// is overwritten unread).
+					outbox[v] = nil
+					doneFlags[v] = false
+					crashed++
 					continue
 				}
 				send, done := machines[v].Round(round, inbox[v])
@@ -271,8 +312,12 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 				stepped++
 			}
 			steps.Add(int64(stepped))
+			if crashed > 0 {
+				crashes.Add(int64(crashed))
+			}
 		}, ro.computeStats())
 		stats.Steps += int(steps.Load())
+		stats.CrashSteps += int(crashes.Load())
 		ro.computeDone()
 
 		// Validation: a machine that returns a message slice of the wrong
@@ -294,9 +339,12 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 		// which that neighbour sees v. Each inbox is written by exactly one
 		// shard, so delivery is race-free; the message count is accumulated
 		// per shard and folded in atomically (order-independent sum).
-		var delivered atomic.Int64
+		// Injected drops happen here, on the receiver side: the message is
+		// replaced by nil exactly as if the sender had stayed silent.
+		var delivered, dropped atomic.Int64
+		dropping := inj.Dropping()
 		pool.ForEachShardStats(n, func(lo, hi int) {
-			count := 0
+			count, drops := 0, 0
 			for v := lo; v < hi; v++ {
 				in := inbox[v]
 				nbrs := g.Neighbors(v)
@@ -308,6 +356,10 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 						continue
 					}
 					msg := ob[rp[i]]
+					if msg != nil && dropping && inj.DropMessage(round, v, i) {
+						msg = nil
+						drops++
+					}
 					in[i] = msg
 					if msg != nil {
 						count++
@@ -315,9 +367,13 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 				}
 			}
 			delivered.Add(int64(count))
+			if drops > 0 {
+				dropped.Add(int64(drops))
+			}
 		}, ro.deliverStats())
 		roundMsgs := int(delivered.Load())
 		stats.MessagesSent += roundMsgs
+		stats.MessagesDropped += int(dropped.Load())
 
 		halted := markHalted()
 		rs := engine.RoundStats{
@@ -326,6 +382,8 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 			Messages: roundMsgs,
 			Active:   numRunning,
 			Halted:   halted,
+			Dropped:  int(dropped.Load()),
+			Crashed:  int(crashes.Load()),
 		}
 		ro.roundEnd(rs)
 		if opts.OnRound != nil {
@@ -345,6 +403,7 @@ type runObs struct {
 	runID int64
 
 	runs, rounds, steps, messages *obs.Counter
+	dropped, crashed              *obs.Counter
 	shards, stolen                *obs.Counter
 	roundMsgs, roundHalts         *obs.Histogram
 	computeSec, deliverSec        *obs.Histogram
@@ -367,6 +426,8 @@ func newRunObs(opts Options, n, workers int) *runObs {
 		ro.rounds = m.Counter("local_rounds_total")
 		ro.steps = m.Counter("local_steps_total")
 		ro.messages = m.Counter("local_messages_total")
+		ro.dropped = m.Counter("local_messages_dropped_total")
+		ro.crashed = m.Counter("local_crash_steps_total")
 		ro.shards = m.Counter("engine_shards_total")
 		ro.stolen = m.Counter("engine_shards_stolen_total")
 		ro.roundMsgs = m.Histogram("local_round_messages", obs.CountBuckets)
@@ -432,6 +493,8 @@ func (ro *runObs) roundEnd(rs engine.RoundStats) {
 	ro.rounds.Inc()
 	ro.steps.Add(int64(rs.Steps))
 	ro.messages.Add(int64(rs.Messages))
+	ro.dropped.Add(int64(rs.Dropped))
+	ro.crashed.Add(int64(rs.Crashed))
 	ro.shards.Add(int64(ro.computeRS.Shards + ro.delRS.Shards))
 	ro.stolen.Add(int64(ro.computeRS.Stolen + ro.delRS.Stolen))
 	ro.roundMsgs.Observe(float64(rs.Messages))
@@ -447,6 +510,8 @@ func (ro *runObs) roundEnd(rs engine.RoundStats) {
 			Messages:  rs.Messages,
 			Active:    rs.Active,
 			Halted:    rs.Halted,
+			Dropped:   rs.Dropped,
+			Crashed:   rs.Crashed,
 			Shards:    ro.computeRS.Shards + ro.delRS.Shards,
 			Stolen:    ro.computeRS.Stolen + ro.delRS.Stolen,
 			ComputeNS: ro.computeNS,

@@ -1,0 +1,150 @@
+package mt
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// assignmentValues extracts the raw value vector for equality checks.
+func assignmentValues(t *testing.T, a *model.Assignment) []int {
+	t.Helper()
+	values, _ := a.Values()
+	return values
+}
+
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Satisfied != want.Satisfied || got.Resamplings != want.Resamplings || got.Rounds != want.Rounds {
+		t.Errorf("%s: result (sat=%v res=%d rounds=%d) differs from baseline (sat=%v res=%d rounds=%d)",
+			label, got.Satisfied, got.Resamplings, got.Rounds, want.Satisfied, want.Resamplings, want.Rounds)
+		return
+	}
+	gv, wv := assignmentValues(t, got.Assignment), assignmentValues(t, want.Assignment)
+	for i := range wv {
+		if gv[i] != wv[i] {
+			t.Errorf("%s: assignment[%d] = %d, want %d", label, i, gv[i], wv[i])
+			return
+		}
+	}
+}
+
+// TestSequentialCheckpointResume pins the resume contract for the
+// sequential resampler: (1) a run with checkpointing enabled is
+// bit-identical to the plain run, and (2) resuming from a mid-run
+// checkpoint — with a throwaway generator, which Resume must ignore —
+// reproduces the uninterrupted run exactly.
+func TestSequentialCheckpointResume(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Sequential(s.Instance, prng.New(2), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Resamplings < 4 {
+		t.Fatalf("workload too easy for a resume test: %d resamplings", baseline.Resamplings)
+	}
+
+	var cps []*fault.Checkpoint
+	obsRun, err := SequentialObs(s.Instance, prng.New(2), 200000, Observer{
+		CheckpointEvery: 2,
+		OnCheckpoint:    func(cp *fault.Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "checkpointing-on", obsRun, baseline)
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+
+	cp := cps[len(cps)/2]
+	if cp.Algorithm != CheckpointSeq {
+		t.Fatalf("checkpoint tagged %q, want %q", cp.Algorithm, CheckpointSeq)
+	}
+	resumed, err := SequentialObs(s.Instance, prng.New(999), 200000, Observer{Resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "resumed", resumed, baseline)
+}
+
+// TestParallelCheckpointResume is the parallel-rounds counterpart of the
+// sequential resume test.
+func TestParallelCheckpointResume(t *testing.T) {
+	r := prng.New(3)
+	h, err := hypergraph.RandomRegularRank3(30, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewHyperSinkless(h, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Parallel(s.Instance, prng.New(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Rounds < 2 {
+		t.Skipf("workload solved in %d rounds — nothing to resume", baseline.Rounds)
+	}
+
+	var cps []*fault.Checkpoint
+	obsRun, err := ParallelObs(s.Instance, prng.New(4), 0, Observer{
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(cp *fault.Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "checkpointing-on", obsRun, baseline)
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+
+	cp := cps[len(cps)/2]
+	if cp.Algorithm != CheckpointPar {
+		t.Fatalf("checkpoint tagged %q, want %q", cp.Algorithm, CheckpointPar)
+	}
+	resumed, err := ParallelObs(s.Instance, prng.New(999), 0, Observer{Resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "resumed", resumed, baseline)
+}
+
+// TestResumeValidation checks the defensive rejections: foreign algorithm
+// tags, wrong value-vector lengths and out-of-range values must all fail
+// loudly instead of resuming into a corrupt state.
+func TestResumeValidation(t *testing.T) {
+	s, err := apps.NewSinkless(graph.Cycle(8), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Instance.NumVars()
+	good := make([]int, n)
+	cases := []struct {
+		name string
+		cp   *fault.Checkpoint
+	}{
+		{"foreign algorithm", &fault.Checkpoint{Algorithm: "core-fix-sequential", Values: good}},
+		{"short values", &fault.Checkpoint{Algorithm: CheckpointSeq, Values: good[:n-1]}},
+		{"out-of-range value", func() *fault.Checkpoint {
+			bad := make([]int, n)
+			bad[0] = 1 << 20
+			return &fault.Checkpoint{Algorithm: CheckpointSeq, Values: bad}
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := SequentialObs(s.Instance, prng.New(1), 0, Observer{Resume: tc.cp}); err == nil {
+			t.Errorf("%s: resume accepted", tc.name)
+		}
+	}
+}

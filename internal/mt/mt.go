@@ -15,9 +15,45 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/prng"
 )
+
+// CheckpointSeq / CheckpointPar tag the checkpoints written by the
+// sequential and parallel resamplers (fault.Checkpoint.Algorithm); a resume
+// is only accepted from a checkpoint with the matching tag.
+const (
+	CheckpointSeq = "mt-sequential"
+	CheckpointPar = "mt-parallel"
+)
+
+// capture snapshots the resampler state between iterations: a copy of the
+// complete assignment, the progress counters and the generator state.
+// Pure reads only — the RNG stream is not advanced.
+func capture(alg string, round, resamplings int, a *model.Assignment, r *prng.Rand) *fault.Checkpoint {
+	values, _ := a.Values()
+	return &fault.Checkpoint{Algorithm: alg, Round: round, Resamplings: resamplings, Values: values, RNG: r.State()}
+}
+
+// restoreCheckpoint rebuilds the resampler state from a checkpoint taken by
+// the algorithm tagged alg.
+func restoreCheckpoint(inst *model.Instance, cp *fault.Checkpoint, alg string) (*model.Assignment, *prng.Rand, error) {
+	if cp.Algorithm != alg {
+		return nil, nil, fmt.Errorf("mt: checkpoint from %q cannot resume %q", cp.Algorithm, alg)
+	}
+	if len(cp.Values) != inst.NumVars() {
+		return nil, nil, fmt.Errorf("mt: checkpoint has %d values, instance has %d variables", len(cp.Values), inst.NumVars())
+	}
+	a := model.NewAssignment(inst)
+	for vid, val := range cp.Values {
+		if val < 0 || val >= inst.Var(vid).Dist.Size() {
+			return nil, nil, fmt.Errorf("mt: checkpoint value %d out of range for variable %d", val, vid)
+		}
+		a.Fix(vid, val)
+	}
+	return a, prng.FromState(cp.RNG), nil
+}
 
 // Result is the outcome of a resampling run.
 type Result struct {
@@ -116,8 +152,19 @@ func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxR
 		maxResamplings = 1_000_000
 	}
 	mo := newMTObs(o)
-	a := sampleAll(inst, r)
-	res := &Result{Assignment: a}
+	var a *model.Assignment
+	res := &Result{}
+	if cp := o.Resume; cp != nil {
+		var err error
+		a, r, err = restoreCheckpoint(inst, cp, CheckpointSeq)
+		if err != nil {
+			return nil, err
+		}
+		res.Resamplings = cp.Resamplings
+	} else {
+		a = sampleAll(inst, r)
+	}
+	res.Assignment = a
 	for res.Resamplings < maxResamplings {
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("mt: sequential resampler cancelled after %d resamplings: %w", res.Resamplings, cerr)
@@ -133,6 +180,9 @@ func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxR
 		resample(inst, a, violated[0], r)
 		res.Resamplings++
 		mo.iteration(res.Resamplings, len(violated), 1)
+		if o.checkpointing() && res.Resamplings%o.CheckpointEvery == 0 {
+			o.OnCheckpoint(capture(CheckpointSeq, res.Resamplings, res.Resamplings, a, r))
+		}
 	}
 	violated, err := violatedEvents(inst, a, mo)
 	if err != nil {
@@ -174,8 +224,20 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 	}
 	mo := newMTObs(o)
 	g := inst.DependencyGraph()
-	a := sampleAll(inst, r)
-	res := &Result{Assignment: a}
+	var a *model.Assignment
+	res := &Result{}
+	if cp := o.Resume; cp != nil {
+		var err error
+		a, r, err = restoreCheckpoint(inst, cp, CheckpointPar)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = cp.Round
+		res.Resamplings = cp.Resamplings
+	} else {
+		a = sampleAll(inst, r)
+	}
+	res.Assignment = a
 	for res.Rounds < maxRounds {
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("mt: parallel resampler cancelled after %d rounds: %w", res.Rounds, cerr)
@@ -216,6 +278,9 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 		mo.iteration(res.Rounds, len(violated), selected)
 		if o.OnRound != nil {
 			o.OnRound(engine.RoundStats{Round: res.Rounds, Steps: selected, Active: len(violated)})
+		}
+		if o.checkpointing() && res.Rounds%o.CheckpointEvery == 0 {
+			o.OnCheckpoint(capture(CheckpointPar, res.Rounds, res.Resamplings, a, r))
 		}
 	}
 	violated, err := violatedEvents(inst, a, mo)

@@ -2,6 +2,7 @@ package mt
 
 import (
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -25,6 +26,29 @@ type Observer struct {
 	// found by the scan that opened the round. All fields are
 	// deterministic — identical for every engine worker count.
 	OnRound func(engine.RoundStats)
+	// CheckpointEvery, together with OnCheckpoint, snapshots the full
+	// resampler state every CheckpointEvery resamplings (sequential) or
+	// rounds (parallel): the complete assignment, the progress counters
+	// and the generator state. Capturing is a pure copy — it never
+	// advances the RNG stream or changes the result, so runs with
+	// checkpointing enabled are bit-identical to runs without. 0 or a nil
+	// OnCheckpoint disables checkpointing.
+	CheckpointEvery int
+	OnCheckpoint    func(*fault.Checkpoint)
+	// Resume, when non-nil, restores the resampler from a checkpoint taken
+	// by an earlier run of the SAME algorithm instead of drawing the
+	// initial sample: the assignment, counters and RNG state continue
+	// exactly where the checkpoint was captured, so the resumed run is
+	// bit-identical to the uninterrupted one from that point on (the
+	// caller-supplied generator is ignored). This is how a retried job
+	// avoids redoing work: the service hands the runner the last
+	// checkpoint of the failed attempt.
+	Resume *fault.Checkpoint
+}
+
+// checkpointing reports whether the observer wants checkpoints.
+func (o Observer) checkpointing() bool {
+	return o.CheckpointEvery > 0 && o.OnCheckpoint != nil
 }
 
 // mtObs is the per-run resolved observer state; nil means disabled and

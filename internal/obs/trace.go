@@ -40,6 +40,10 @@ type Event struct {
 	Messages int `json:"messages,omitempty"`
 	Active   int `json:"active,omitempty"`
 	Halted   int `json:"halted,omitempty"`
+	// Dropped / Crashed account injected faults (messages dropped, nodes
+	// crash-stopped) in the round; absent on fault-free runs.
+	Dropped int `json:"dropped,omitempty"`
+	Crashed int `json:"crashed,omitempty"`
 	// Shards / Stolen are the engine's sharding stats for the round
 	// (shards executed, shards picked up by helper workers).
 	Shards int `json:"shards,omitempty"`

@@ -65,6 +65,26 @@ func New(seed uint64) *Rand {
 	return &r
 }
 
+// State returns the generator's full internal state. Together with
+// FromState it lets checkpoint/resume machinery (internal/fault) persist a
+// stream mid-run and continue it bit-identically later; reading the state
+// does not advance the stream.
+func (r *Rand) State() [4]uint64 {
+	return r.s
+}
+
+// FromState reconstructs a generator from a State snapshot. The returned
+// generator continues the stream exactly where State was captured.
+func FromState(s [4]uint64) *Rand {
+	r := &Rand{s: s}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		// An all-zero state is invalid for xoshiro256**; treat it as the
+		// (equally arbitrary) default seeding instead of cycling on zeros.
+		return New(0)
+	}
+	return r
+}
+
 // Split derives an independent child generator from the parent stream. The
 // parent advances by one step; children created by successive Split calls are
 // statistically independent of each other and of the parent's future output.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"repro/internal/obs"
 )
@@ -101,7 +102,8 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 // recorded, then live events as they are appended, until the job reaches a
 // terminal state (the "end" event is always the last line) or the client
 // disconnects. Each line is flushed immediately so a curl reader sees
-// rounds as they happen.
+// rounds as they happen. A ?from=N query resumes the stream at sequence N,
+// letting a disconnected client re-attach without replaying what it saw.
 func streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
@@ -110,6 +112,11 @@ func streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
 	enc := json.NewEncoder(w)
 
 	next := 0
+	if f := r.URL.Query().Get("from"); f != "" {
+		if n, err := strconv.Atoi(f); err == nil && n > 0 {
+			next = n
+		}
+	}
 	for {
 		events, more, state := job.EventsSince(next)
 		for _, e := range events {

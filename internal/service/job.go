@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // State is a job's lifecycle state. Transitions:
@@ -41,28 +43,43 @@ func (s State) Terminal() bool {
 
 // Event is one record of a job's event stream, served as NDJSON (one JSON
 // object per line) by GET /v1/jobs/{id}/events. Kinds: "queued" (admission),
-// "start" (dispatch), "round" (one synchronous round of the underlying
-// runtime, carrying the deterministic engine.RoundStats fields), "end"
-// (terminal transition, carrying the final state and error if any).
+// "start" (dispatch of one attempt), "round" (one synchronous round of the
+// underlying runtime, carrying the deterministic engine.RoundStats fields),
+// "retry" (a failed attempt re-admitted with backoff, carrying the failure
+// and the delay), "end" (terminal transition, carrying the final state and
+// error if any — plus the captured stack when the failure was a panic).
 type Event struct {
 	// Seq is the 0-based position in the job's stream (dense, strictly
 	// increasing).
 	Seq int `json:"seq"`
-	// Kind is the event type: queued | start | round | end.
+	// Kind is the event type: queued | start | round | retry | end.
 	Kind string `json:"kind"`
 	// TimeMS is milliseconds since the job was accepted.
 	TimeMS int64 `json:"t_ms"`
+	// Attempt is the 1-based attempt number: on "start" the attempt being
+	// dispatched, on "retry" the attempt that just failed, on "end" the
+	// attempt that produced the terminal state.
+	Attempt int `json:"attempt,omitempty"`
+	// BackoffMS is the delay before the next attempt ("retry" events).
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
 	// Round / Steps / Messages / Active / Halted mirror engine.RoundStats
-	// for "round" events.
+	// for "round" events; Dropped / Crashed carry the round's injected
+	// faults (zero without injection).
 	Round    int `json:"round,omitempty"`
 	Steps    int `json:"steps,omitempty"`
 	Messages int `json:"messages,omitempty"`
 	Active   int `json:"active,omitempty"`
 	Halted   int `json:"halted,omitempty"`
+	Dropped  int `json:"dropped,omitempty"`
+	Crashed  int `json:"crashed,omitempty"`
 	// State is the job's state after an "end" event.
 	State State `json:"state,omitempty"`
-	// Err carries the failure or cancellation cause of an "end" event.
+	// Err carries the failure or cancellation cause of an "end" or "retry"
+	// event.
 	Err string `json:"err,omitempty"`
+	// Stack is the panicking goroutine's stack when the failure of an "end"
+	// event was a recovered panic.
+	Stack string `json:"stack,omitempty"`
 }
 
 // Summary is the result of a completed (or partially completed) job run.
@@ -116,12 +133,19 @@ type Job struct {
 	more            chan struct{} // closed and replaced on every append
 	summary         *Summary
 	errMsg          string
+	// attempt counts the attempts started (1 after the first begin);
+	// maxRetries is the resolved retry budget (spec value or service
+	// default); checkpoint is the latest snapshot saved by any attempt,
+	// handed to the next attempt's runner.
+	attempt    int
+	maxRetries int
+	checkpoint *fault.Checkpoint
 }
 
 // newJob creates a queued job and records its "queued" event (safe: the
 // job is not yet visible to any other goroutine).
-func newJob(id string, spec JobSpec, now time.Time) *Job {
-	j := &Job{ID: id, Spec: spec, created: now, state: StateQueued, more: make(chan struct{})}
+func newJob(id string, spec JobSpec, now time.Time, maxRetries int) *Job {
+	j := &Job{ID: id, Spec: spec, created: now, state: StateQueued, more: make(chan struct{}), maxRetries: maxRetries}
 	j.events = append(j.events, Event{Seq: 0, Kind: "queued"})
 	return j
 }
@@ -166,15 +190,18 @@ func (j *Job) EventsSince(from int) (events []Event, more <-chan struct{}, state
 	return events, j.more, j.state
 }
 
-// begin transitions queued → running and returns the run context. It
-// returns ok=false (and does nothing) when the job is no longer queued —
-// i.e. it was cancelled while waiting — which is how the scheduler skips
-// tombstones in the queue.
-func (j *Job) begin(parent context.Context) (ctx context.Context, ok bool) {
+// begin transitions queued → running for the next attempt and returns the
+// run context plus the attempt number and the checkpoint to resume from
+// (nil on the first attempt or when no checkpoint was saved). It returns
+// ok=false (and does nothing) when the job is no longer queued — i.e. it
+// was cancelled while waiting — which is how the scheduler skips tombstones
+// in the queue. The per-job timeout restarts on every attempt: it bounds
+// one attempt's wall clock, not the job's lifetime.
+func (j *Job) begin(parent context.Context) (ctx context.Context, attempt int, cp *fault.Checkpoint, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
-		return nil, false
+		return nil, 0, nil, false
 	}
 	if ms := j.Spec.TimeoutMS; ms > 0 {
 		ctx, j.cancel = context.WithTimeout(parent, time.Duration(ms)*time.Millisecond)
@@ -183,14 +210,72 @@ func (j *Job) begin(parent context.Context) (ctx context.Context, ok bool) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
-	j.emitLocked(Event{Kind: "start"})
-	return ctx, true
+	j.attempt++
+	j.emitLocked(Event{Kind: "start", Attempt: j.attempt})
+	return ctx, j.attempt, j.checkpoint, true
+}
+
+// setCheckpoint stores the latest snapshot; the next attempt resumes from
+// it. The checkpoint is cloned so the stored state cannot alias buffers the
+// runtime keeps mutating.
+func (j *Job) setCheckpoint(cp *fault.Checkpoint) {
+	if cp == nil {
+		return
+	}
+	cp = cp.Clone()
+	j.mu.Lock()
+	j.checkpoint = cp
+	j.mu.Unlock()
+}
+
+// retryInfo reports the attempts started so far, the retries left in the
+// budget and whether cancellation was requested.
+func (j *Job) retryInfo() (attempt, remaining int, cancelled bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt, j.maxRetries - (j.attempt - 1), j.cancelRequested
+}
+
+// retry transitions running → queued for the next attempt, recording the
+// failed attempt and the backoff as a "retry" event. It returns false when
+// the job is no longer running (cancelled concurrently), in which case the
+// caller finalizes instead.
+func (j *Job) retry(err error, backoff time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.cancelRequested {
+		return false
+	}
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+	j.state = StateQueued
+	j.emitLocked(Event{Kind: "retry", Attempt: j.attempt, BackoffMS: backoff.Milliseconds(), Err: err.Error()})
+	return true
+}
+
+// failQueued finalizes a queued job as failed without running it (retry
+// re-admission hit a full queue). Reports whether the transition happened.
+func (j *Job) failQueued(msg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateFailed
+	j.errMsg = msg
+	j.finished = time.Now()
+	j.emitLocked(Event{Kind: "end", State: j.state, Attempt: j.attempt, Err: j.errMsg})
+	return true
 }
 
 // finish records the runner's outcome and transitions to the terminal
 // state: cancelled when the run was stopped through its context, failed on
-// any other error (including a per-job deadline), done otherwise. The
-// partial summary of a stopped run is kept and marked Partial.
+// any other error (including a per-job deadline or a recovered panic), done
+// otherwise. The partial summary of a stopped run is kept and marked
+// Partial; a panic failure's end event carries the panicking goroutine's
+// stack.
 func (j *Job) finish(sum *Summary, err error) State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -198,6 +283,7 @@ func (j *Job) finish(sum *Summary, err error) State {
 		j.cancel()
 		j.cancel = nil
 	}
+	var stack string
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -205,6 +291,10 @@ func (j *Job) finish(sum *Summary, err error) State {
 		j.state = StateCancelled
 	default:
 		j.state = StateFailed
+		var pe *fault.PanicError
+		if errors.As(err, &pe) {
+			stack = string(pe.Stack)
+		}
 	}
 	if err != nil {
 		j.errMsg = err.Error()
@@ -214,7 +304,7 @@ func (j *Job) finish(sum *Summary, err error) State {
 	}
 	j.summary = sum
 	j.finished = time.Now()
-	j.emitLocked(Event{Kind: "end", State: j.state, Err: j.errMsg})
+	j.emitLocked(Event{Kind: "end", State: j.state, Attempt: j.attempt, Err: j.errMsg, Stack: stack})
 	return j.state
 }
 
@@ -286,6 +376,10 @@ type View struct {
 	Events int      `json:"events"`
 	Error  string   `json:"error,omitempty"`
 	Result *Summary `json:"result,omitempty"`
+	// Attempts is the number of attempts started; CheckpointRound the
+	// progress counter of the latest saved checkpoint (0 when none).
+	Attempts        int `json:"attempts,omitempty"`
+	CheckpointRound int `json:"checkpoint_round,omitempty"`
 }
 
 // View snapshots the job for the HTTP API.
@@ -295,14 +389,18 @@ func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := View{
-		ID:      j.ID,
-		State:   j.state,
-		Spec:    j.Spec,
-		Created: j.created.UTC().Format(time.RFC3339Nano),
-		QueueMS: queueMS,
-		RunMS:   runMS,
-		Events:  len(j.events),
-		Error:   j.errMsg,
+		ID:       j.ID,
+		State:    j.state,
+		Spec:     j.Spec,
+		Created:  j.created.UTC().Format(time.RFC3339Nano),
+		QueueMS:  queueMS,
+		RunMS:    runMS,
+		Events:   len(j.events),
+		Error:    j.errMsg,
+		Attempts: j.attempt,
+	}
+	if j.checkpoint != nil {
+		v.CheckpointRound = j.checkpoint.Round
 	}
 	if j.summary != nil {
 		s := *j.summary

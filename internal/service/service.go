@@ -24,7 +24,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/prng"
 )
 
 // Sentinel errors surfaced by Submit / Get / Cancel; the HTTP layer maps
@@ -38,10 +40,25 @@ var (
 	ErrNotFound = errors.New("service: no such job")
 )
 
-// Runner executes one job under ctx, streaming events through emit and
-// returning the (possibly partial) summary. The default is RunSpec; tests
-// inject stubs.
-type Runner func(ctx context.Context, js JobSpec, emit func(Event)) (*Summary, error)
+// Runner executes one job attempt under ctx, streaming events through emit
+// and returning the (possibly partial) summary. The default is RunSpec;
+// tests inject stubs. A Runner may panic: the scheduler recovers the panic
+// into a failed (or retried) job and the daemon survives.
+type Runner func(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error)
+
+// Attempt is the retry context of one Runner invocation.
+type Attempt struct {
+	// Number is the 1-based attempt number; retries increment it.
+	Number int
+	// Checkpoint is the latest snapshot saved by an earlier attempt, nil on
+	// a fresh start. A runner that understands it resumes instead of redoing
+	// the work.
+	Checkpoint *fault.Checkpoint
+	// SaveCheckpoint stores a snapshot in the job record for the next
+	// attempt. Never nil for scheduler-issued attempts; safe to call
+	// concurrently with readers of the job.
+	SaveCheckpoint func(*fault.Checkpoint)
+}
 
 // Config parameterizes a Service. The zero value is usable: every field
 // has a default sized off GOMAXPROCS.
@@ -67,6 +84,17 @@ type Config struct {
 	Trace   *obs.Recorder
 	// Runner overrides job execution (tests); nil means RunSpec.
 	Runner Runner
+	// Fault is a daemon-wide fault-injection plan merged into every job's
+	// own plan (rates take the maximum). The zero Plan injects nothing.
+	Fault fault.Plan
+	// DefaultMaxRetries is the retry budget for jobs that leave
+	// JobSpec.MaxRetries zero. Default 0: failures are terminal unless the
+	// job or the daemon opts in.
+	DefaultMaxRetries int
+	// RetryBackoff / RetryBackoffMax shape the exponential, jittered delay
+	// between attempts (see fault.Backoff); zero selects 100ms / 5s.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +133,11 @@ type Service struct {
 	order    []*Job // submission order, for List and retention
 	nextID   int64
 	draining bool
+	// retryTimers holds the pending re-admission timers of jobs waiting out
+	// their backoff; Shutdown stops them so a drain never races a requeue.
+	retryTimers map[string]*time.Timer
+	// backoffRand jitters the retry delays (guarded by mu).
+	backoffRand *prng.Rand
 
 	m svcMetrics
 }
@@ -112,30 +145,38 @@ type Service struct {
 // svcMetrics are the service_* instruments; obs instruments are nil-safe,
 // so a nil registry disables them at zero cost.
 type svcMetrics struct {
-	queueDepth *obs.Gauge
-	running    *obs.Gauge
-	submitted  *obs.Counter
-	rejects    *obs.Counter
-	done       *obs.Counter
-	failed     *obs.Counter
-	cancelled  *obs.Counter
-	events     *obs.Counter
-	queueSec   *obs.Histogram
-	runSec     *obs.Histogram
+	queueDepth  *obs.Gauge
+	running     *obs.Gauge
+	submitted   *obs.Counter
+	rejects     *obs.Counter
+	done        *obs.Counter
+	failed      *obs.Counter
+	cancelled   *obs.Counter
+	events      *obs.Counter
+	retries     *obs.Counter
+	gaveup      *obs.Counter
+	panics      *obs.Counter
+	checkpoints *obs.Counter
+	queueSec    *obs.Histogram
+	runSec      *obs.Histogram
 }
 
 func newSvcMetrics(reg *obs.Registry) svcMetrics {
 	return svcMetrics{
-		queueDepth: reg.Gauge("service_queue_depth"),
-		running:    reg.Gauge("service_jobs_running"),
-		submitted:  reg.Counter("service_jobs_submitted_total"),
-		rejects:    reg.Counter("service_admission_rejects_total"),
-		done:       reg.Counter("service_jobs_done_total"),
-		failed:     reg.Counter("service_jobs_failed_total"),
-		cancelled:  reg.Counter("service_jobs_cancelled_total"),
-		events:     reg.Counter("service_job_events_total"),
-		queueSec:   reg.Histogram("service_job_queue_seconds", obs.DurationBuckets),
-		runSec:     reg.Histogram("service_job_run_seconds", obs.DurationBuckets),
+		queueDepth:  reg.Gauge("service_queue_depth"),
+		running:     reg.Gauge("service_jobs_running"),
+		submitted:   reg.Counter("service_jobs_submitted_total"),
+		rejects:     reg.Counter("service_admission_rejects_total"),
+		done:        reg.Counter("service_jobs_done_total"),
+		failed:      reg.Counter("service_jobs_failed_total"),
+		cancelled:   reg.Counter("service_jobs_cancelled_total"),
+		events:      reg.Counter("service_job_events_total"),
+		retries:     reg.Counter("service_retries_total"),
+		gaveup:      reg.Counter("service_gaveup_total"),
+		panics:      reg.Counter("service_panics_total"),
+		checkpoints: reg.Counter("service_checkpoints_total"),
+		queueSec:    reg.Histogram("service_job_queue_seconds", obs.DurationBuckets),
+		runSec:      reg.Histogram("service_job_run_seconds", obs.DurationBuckets),
 	}
 }
 
@@ -144,16 +185,23 @@ func newSvcMetrics(reg *obs.Registry) svcMetrics {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueCap),
-		m:     newSvcMetrics(cfg.Metrics),
+		cfg:         cfg,
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, cfg.QueueCap),
+		retryTimers: make(map[string]*time.Timer),
+		backoffRand: prng.New(cfg.Fault.Seed ^ 0xb0ff),
+		m:           newSvcMetrics(cfg.Metrics),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runner = cfg.Runner
 	if s.runner == nil {
-		s.runner = func(ctx context.Context, js JobSpec, emit func(Event)) (*Summary, error) {
-			return RunSpec(ctx, js, emit, cfg.Metrics, cfg.Trace, cfg.MaxWorkersPerJob)
+		s.runner = func(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
+			return RunSpec(ctx, js, att, emit, RunOptions{
+				Metrics:    cfg.Metrics,
+				Trace:      cfg.Trace,
+				MaxWorkers: cfg.MaxWorkersPerJob,
+				Fault:      cfg.Fault,
+			})
 		}
 	}
 	for i := 0; i < cfg.MaxInFlight; i++ {
@@ -177,7 +225,11 @@ func (s *Service) Submit(js JobSpec) (*Job, error) {
 		return nil, ErrDraining
 	}
 	s.nextID++
-	job := newJob(fmt.Sprintf("j%06d", s.nextID), js, time.Now())
+	maxRetries := js.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = s.cfg.DefaultMaxRetries
+	}
+	job := newJob(fmt.Sprintf("j%06d", s.nextID), js, time.Now(), maxRetries)
 	s.m.queueDepth.Add(1)
 	select {
 	case s.queue <- job:
@@ -246,24 +298,36 @@ func (s *Service) Draining() bool {
 }
 
 // scheduler is one worker of the in-flight pool: it pops admitted jobs and
-// runs them to a terminal state, until the queue is closed by Shutdown.
+// runs them — through retries, if the job has a budget — to a terminal
+// state, until the queue is closed by Shutdown.
 func (s *Service) scheduler() {
 	defer s.wg.Done()
 	for job := range s.queue {
 		s.m.queueDepth.Add(-1)
-		ctx, ok := job.begin(s.baseCtx)
+		ctx, attempt, cp, ok := job.begin(s.baseCtx)
 		if !ok {
 			continue // cancelled while queued
 		}
+		att := Attempt{
+			Number:     attempt,
+			Checkpoint: cp,
+			SaveCheckpoint: func(c *fault.Checkpoint) {
+				if c == nil {
+					return
+				}
+				s.m.checkpoints.Inc()
+				job.setCheckpoint(c)
+			},
+		}
 		s.m.queueSec.Observe(job.queueTime().Seconds())
 		s.m.running.Add(1)
-		sum, err := s.runner(ctx, job.Spec, func(e Event) {
-			s.m.events.Inc()
-			job.Emit(e)
-		})
-		state := job.finish(sum, err)
+		sum, err := s.runJob(ctx, job, att)
 		s.m.running.Add(-1)
 		s.m.runSec.Observe(job.runTime().Seconds())
+		if s.maybeRetry(job, err) {
+			continue // re-admitted; a later pop runs the next attempt
+		}
+		state := job.finish(sum, err)
 		switch state {
 		case StateDone:
 			s.m.done.Inc()
@@ -271,6 +335,86 @@ func (s *Service) scheduler() {
 			s.m.failed.Inc()
 		case StateCancelled:
 			s.m.cancelled.Inc()
+		}
+	}
+}
+
+// runJob invokes the runner with panic isolation: a panic anywhere in the
+// attempt — an injected shard panic re-raised by the engine pool, or an
+// organic bug — is recovered into a *fault.PanicError carrying the original
+// stack, so the scheduler goroutine (and with it the daemon) survives and
+// the failure flows through the ordinary retry/finalize path.
+func (s *Service) runJob(ctx context.Context, job *Job, att Attempt) (sum *Summary, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Inc()
+			err = fault.CapturePanic(r)
+		}
+	}()
+	return s.runner(ctx, job.Spec, att, func(e Event) {
+		s.m.events.Inc()
+		job.Emit(e)
+	})
+}
+
+// maybeRetry decides whether the attempt's failure is retried and, if so,
+// schedules the re-admission after a jittered exponential backoff. Not
+// retryable: success, cancellation (the user or a drain asked for the stop;
+// context.DeadlineExceeded IS retried — with checkpointing on, the next
+// attempt resumes the timed-out run's progress), an exhausted budget, a
+// draining service.
+func (s *Service) maybeRetry(job *Job, err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	attempt, remaining, cancelled := job.retryInfo()
+	if cancelled {
+		return false
+	}
+	if remaining <= 0 {
+		if job.maxRetries > 0 {
+			s.m.gaveup.Inc()
+		}
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	delay := fault.Backoff(s.cfg.RetryBackoff, s.cfg.RetryBackoffMax, attempt, s.backoffRand)
+	if !job.retry(err, delay) {
+		return false
+	}
+	s.m.retries.Inc()
+	s.retryTimers[job.ID] = time.AfterFunc(delay, func() { s.requeue(job) })
+	return true
+}
+
+// requeue re-admits a retry-waiting job once its backoff elapses. A drain
+// that started in the meantime cancels the job instead (mirroring the
+// queued-job sweep in Shutdown); a full queue fails it — the retry budget
+// does not entitle a job to a queue slot others are rejected for.
+func (s *Service) requeue(job *Job) {
+	s.mu.Lock()
+	delete(s.retryTimers, job.ID)
+	if s.draining {
+		s.mu.Unlock()
+		if wasQueued, _ := job.requestCancel(); wasQueued {
+			s.m.cancelled.Inc()
+		}
+		return
+	}
+	s.m.queueDepth.Add(1)
+	select {
+	case s.queue <- job:
+		s.mu.Unlock()
+	default:
+		s.m.queueDepth.Add(-1)
+		s.mu.Unlock()
+		s.m.gaveup.Inc()
+		if job.failQueued("service: retry re-admission rejected: queue full") {
+			s.m.failed.Inc()
 		}
 	}
 }
@@ -316,6 +460,14 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.draining = true
 	var queued []*Job
 	if !already {
+		// Stop the pending retry timers: draining is set, so a timer that
+		// already fired and is waiting on s.mu will see it and cancel its
+		// job instead of enqueueing. Retry-waiting jobs are StateQueued and
+		// are finalized by the sweep below like any other queued job.
+		for id, t := range s.retryTimers {
+			t.Stop()
+			delete(s.retryTimers, id)
+		}
 		for _, j := range s.order {
 			if j.State() == StateQueued {
 				queued = append(queued, j)

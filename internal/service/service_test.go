@@ -24,7 +24,7 @@ func newStubRunner() *stubRunner {
 	return &stubRunner{started: make(chan string, 64), release: make(chan struct{}, 64)}
 }
 
-func (r *stubRunner) run(ctx context.Context, js JobSpec, emit func(Event)) (*Summary, error) {
+func (r *stubRunner) run(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
 	r.runs.Add(1)
 	r.started <- js.Family
 	emit(Event{Kind: "round", Round: 1})
@@ -331,7 +331,7 @@ func TestRunSpecEndToEnd(t *testing.T) {
 			}
 			sum, err := RunSpec(context.Background(),
 				JobSpec{Family: FamilySinkless, N: 48, Margin: 0.9, Algorithm: alg, Seed: 7},
-				emit, nil, nil, 0)
+				Attempt{Number: 1}, emit, RunOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -365,7 +365,7 @@ func TestRunSpecCancelDist(t *testing.T) {
 	}
 	sum, err := RunSpec(ctx,
 		JobSpec{Family: FamilySinkless, N: 4096, Margin: 0.9, Algorithm: AlgDist, Seed: 3},
-		emit, nil, nil, 0)
+		Attempt{Number: 1}, emit, RunOptions{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

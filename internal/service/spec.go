@@ -9,6 +9,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
 	"repro/internal/local"
@@ -96,10 +97,39 @@ type JobSpec struct {
 	// MaxIters caps mtdist resampling iterations; 0 means the library
 	// default (200).
 	MaxIters int `json:"max_iters,omitempty"`
-	// TimeoutMS is a per-job wall-clock deadline enforced through the run
-	// context; 0 means no deadline. A job that exceeds it fails with
-	// context.DeadlineExceeded and a Partial result.
+	// TimeoutMS is a per-attempt wall-clock deadline enforced through the
+	// run context; 0 means no deadline. An attempt that exceeds it fails
+	// with context.DeadlineExceeded and a Partial result — and is retried
+	// when the job has retry budget, resuming from the last checkpoint.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// MaxRetries is the number of times a failed attempt is re-admitted
+	// (with exponential backoff) before the job goes terminal, capped at 16;
+	// 0 uses the service default. Cancellation is never retried.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// CheckpointEvery snapshots the run state every that many resamplings
+	// (mtseq), rounds (mtpar) or fixes (seq) into the job record, so a
+	// retried attempt resumes instead of restarting; 0 disables
+	// checkpointing. Checkpoint capture never changes the result.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// FaultPanicRate / FaultDropRate / FaultCrashRate inject faults into
+	// this job's run (see fault.Plan); they merge with the daemon-wide plan
+	// by taking the maximum rate. FaultSeed keys the injection decisions;
+	// 0 falls back to the daemon seed, then to Seed.
+	FaultPanicRate float64 `json:"fault_panic_rate,omitempty"`
+	FaultDropRate  float64 `json:"fault_drop_rate,omitempty"`
+	FaultCrashRate float64 `json:"fault_crash_rate,omitempty"`
+	FaultSeed      uint64  `json:"fault_seed,omitempty"`
+}
+
+// faultPlan assembles the spec's own injection plan.
+func (s JobSpec) faultPlan() fault.Plan {
+	return fault.Plan{
+		Seed:      s.FaultSeed,
+		PanicRate: s.FaultPanicRate,
+		DropRate:  s.FaultDropRate,
+		CrashRate: s.FaultCrashRate,
+	}
 }
 
 // withDefaults validates the spec and fills defaulted fields, returning the
@@ -168,6 +198,15 @@ func (s JobSpec) withDefaults() (JobSpec, error) {
 	if s.Workers < 0 || s.MaxRounds < 0 || s.MaxResamplings < 0 || s.MaxIters < 0 || s.TimeoutMS < 0 {
 		return s, fmt.Errorf("workers and the max_*/timeout_ms caps must be non-negative")
 	}
+	if s.MaxRetries < 0 || s.MaxRetries > 16 {
+		return s, fmt.Errorf("max_retries = %d out of range [0, 16]", s.MaxRetries)
+	}
+	if s.CheckpointEvery < 0 {
+		return s, fmt.Errorf("checkpoint_every = %d must be non-negative", s.CheckpointEvery)
+	}
+	if err := s.faultPlan().Validate(); err != nil {
+		return s, err
+	}
 	return s, nil
 }
 
@@ -228,12 +267,30 @@ func buildInstance(s JobSpec) (*model.Instance, error) {
 	}
 }
 
+// RunOptions carries the service-level configuration into RunSpec: the
+// observability sinks, the per-job worker cap, and the daemon-wide
+// fault-injection plan (merged with the job's own).
+type RunOptions struct {
+	Metrics    *obs.Registry
+	Trace      *obs.Recorder
+	MaxWorkers int
+	Fault      fault.Plan
+}
+
 // RunSpec is the Service's default Runner: it builds the spec's instance
 // and executes the chosen algorithm under ctx, emitting one "round" event
 // per LOCAL/parallel round and returning the (possibly partial) Summary.
-// maxWorkers caps the engine workers a single job may claim; metrics and
-// trace flow into the runtime layers exactly as in batch runs.
-func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Registry, trace *obs.Recorder, maxWorkers int) (*Summary, error) {
+//
+// The attempt wires the recovery machinery: when the spec requests
+// checkpointing, the runtime's periodic snapshots flow into
+// att.SaveCheckpoint and att.Checkpoint (from a previous attempt) resumes
+// the run — seq, mtseq and mtpar support this; the LOCAL-model algorithms
+// (dist, mtdist) hold their state per simulated node and always restart.
+// Fault injection resolves as opts.Fault merged with the job's plan, seeded
+// (in priority order) by the job's fault_seed, the daemon seed, or the
+// job's own seed — then mixed with the attempt number, so every retry draws
+// an independent fault pattern.
+func RunSpec(ctx context.Context, js JobSpec, att Attempt, emit func(Event), opts RunOptions) (*Summary, error) {
 	js, err := js.withDefaults()
 	if err != nil {
 		return nil, err
@@ -246,6 +303,7 @@ func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Reg
 		return nil, cerr
 	}
 
+	metrics, trace := opts.Metrics, opts.Trace
 	sum := &Summary{
 		Algorithm:      js.Algorithm,
 		Family:         js.Family,
@@ -254,9 +312,14 @@ func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Reg
 		ViolatedEvents: -1,
 	}
 	workers := js.Workers
-	if maxWorkers > 0 && (workers == 0 || workers > maxWorkers) {
-		workers = maxWorkers
+	if opts.MaxWorkers > 0 && (workers == 0 || workers > opts.MaxWorkers) {
+		workers = opts.MaxWorkers
 	}
+	plan := opts.Fault.Merge(js.faultPlan())
+	if plan.Seed == 0 {
+		plan.Seed = js.Seed
+	}
+	inj := fault.NewInjector(plan).Derive(uint64(att.Number))
 	onRound := func(rs engine.RoundStats) {
 		emit(Event{
 			Kind:     "round",
@@ -265,6 +328,8 @@ func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Reg
 			Messages: rs.Messages,
 			Active:   rs.Active,
 			Halted:   rs.Halted,
+			Dropped:  rs.Dropped,
+			Crashed:  rs.Crashed,
 		})
 	}
 	lopts := local.Options{
@@ -275,8 +340,12 @@ func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Reg
 		OnRound:   onRound,
 		Metrics:   metrics,
 		Trace:     trace,
+		Fault:     inj,
 	}
-	mtObs := mt.Observer{Metrics: metrics, Trace: trace, OnRound: onRound}
+	mtObs := mt.Observer{
+		Metrics: metrics, Trace: trace, OnRound: onRound,
+		CheckpointEvery: js.CheckpointEvery, OnCheckpoint: att.SaveCheckpoint, Resume: att.Checkpoint,
+	}
 
 	count := func(a *model.Assignment) error {
 		if a == nil || !a.Complete() {
@@ -293,7 +362,12 @@ func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Reg
 
 	switch js.Algorithm {
 	case AlgSeq:
-		res, rerr := core.FixSequentialCtx(ctx, inst, nil, core.Options{Metrics: metrics})
+		res, rerr := core.FixSequentialCtx(ctx, inst, nil, core.Options{
+			Metrics:         metrics,
+			CheckpointEvery: js.CheckpointEvery,
+			OnCheckpoint:    att.SaveCheckpoint,
+			Resume:          att.Checkpoint,
+		})
 		if res != nil {
 			sum.VarsFixed = res.Stats.VarsFixed
 			if rerr == nil {
@@ -324,7 +398,10 @@ func RunSpec(ctx context.Context, js JobSpec, emit func(Event), metrics *obs.Reg
 		}
 		return sum, rerr
 	case AlgMTSeq:
-		res, rerr := mt.SequentialCtx(ctx, inst, prng.New(js.Seed), js.MaxResamplings, mt.Observer{Metrics: metrics, Trace: trace})
+		res, rerr := mt.SequentialCtx(ctx, inst, prng.New(js.Seed), js.MaxResamplings, mt.Observer{
+			Metrics: metrics, Trace: trace,
+			CheckpointEvery: js.CheckpointEvery, OnCheckpoint: att.SaveCheckpoint, Resume: att.Checkpoint,
+		})
 		if res != nil {
 			sum.Resamplings = res.Resamplings
 			sum.Satisfied = res.Satisfied
