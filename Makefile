@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-json harness cover fuzz clean
+.PHONY: build test test-race vet bench bench-json harness cover fuzz fuzz-short clean
 
 build:
 	$(GO) build ./...
@@ -16,21 +16,25 @@ test: vet
 # Race-detector pass over the sharded execution engine and its consumers
 # (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers), the
 # observability layer they report into, the fault-injection/recovery layer,
-# and the job service on top.
+# the packed batch runners, and the job service on top.
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/fault/... ./internal/service/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/fault/... ./internal/batch/... ./internal/service/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark evidence: the n = 100k engine and LOCAL-runtime
-# benchmarks at 1/2/4 workers (-cpu sets GOMAXPROCS, the pool follows) plus
-# the obs hot-path micro-benches, parsed into BENCH_pr2.json.
+# benchmarks at 1/2/4 workers (-cpu sets GOMAXPROCS, the pool follows), the
+# obs hot-path micro-benches, and the serving-path benchmarks — repeated
+# identical jobs cold vs warm cache, the 64-instance batch against one
+# solo instance, and the packed runners — parsed into BENCH_pr5.json.
 bench-json:
 	$(GO) test -run=NONE -bench 'BenchmarkEngineRounds|BenchmarkLocalSinkless100k' -benchmem -cpu 1,2,4 . > bench.out
 	$(GO) test -run=NONE -bench 'BenchmarkObs' -benchmem ./internal/obs >> bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_pr2.json < bench.out
+	$(GO) test -run=NONE -bench 'BenchmarkServiceRepeatedJobs|BenchmarkServiceBatch64' -benchtime 30x ./internal/service >> bench.out
+	$(GO) test -run=NONE -bench 'BenchmarkPackedBatch' -benchtime 10x ./internal/batch >> bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_pr5.json < bench.out
 	rm -f bench.out
 
 # Regenerate every experiment table (F1, F2, T1..T11).
@@ -45,6 +49,14 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecompose -fuzztime=10s ./internal/srep/
 	$(GO) test -run=NONE -fuzz=FuzzSurfaceConvexity -fuzztime=10s ./internal/srep/
 	$(GO) test -run=NONE -fuzz=FuzzFeasibleSoundness -fuzztime=10s ./internal/conjecture/
+
+# The two core-invariant fuzz targets at the 30s acceptance budget:
+# property P* under every strategy and family, and representable-triple
+# membership against the closed-form surface. Nightly CI runs the same
+# targets for 5 minutes each.
+fuzz-short:
+	$(GO) test -run=NONE -fuzz='^FuzzPStarInvariant$$' -fuzztime=30s ./internal/core/
+	$(GO) test -run=NONE -fuzz='^FuzzRepresentableTriple$$' -fuzztime=30s ./internal/srep/
 
 clean:
 	$(GO) clean -testcache

@@ -14,6 +14,11 @@
 //	curl -s localhost:8080/v1/jobs/j000001/events      # NDJSON, one line per round
 //	curl -s -X DELETE localhost:8080/v1/jobs/j000001   # cancel
 //
+// Batch many instances into one job (packed engine runs + result cache):
+//
+//	curl -s -X POST localhost:8080/v1/jobs/batch \
+//	  -d '{"template":{"family":"sinkless","n":256,"algorithm":"mtpar"},"count":50,"vary_seed":true,"cache":true}'
+//
 // SIGINT/SIGTERM starts a graceful drain: admission stops (healthz turns
 // 503, new submits get 503), queued jobs are cancelled, running jobs get
 // -drain-timeout to finish before their contexts are cancelled.
@@ -49,6 +54,7 @@ func run() error {
 	inflight := flag.Int("inflight", 0, "max concurrently running jobs (0: GOMAXPROCS/2)")
 	jobWorkers := flag.Int("job-workers", 0, "engine worker cap per job (0: GOMAXPROCS)")
 	retention := flag.Int("retention", 256, "finished jobs kept in the store")
+	cacheSize := flag.Int("cache-size", 256, "canonical result-cache entries (negative: disable caching)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
 	traceFile := flag.String("trace", "", "append JSONL runtime trace events to this file")
 	retries := flag.Int("retries", 0, "default retry budget for jobs that do not set max_retries")
@@ -73,6 +79,7 @@ func run() error {
 		MaxInFlight:       *inflight,
 		MaxWorkersPerJob:  *jobWorkers,
 		Retention:         *retention,
+		CacheSize:         *cacheSize,
 		Metrics:           reg,
 		Fault:             plan,
 		DefaultMaxRetries: *retries,

@@ -16,6 +16,14 @@
 // addition to) -duration: the workers stop once N jobs were admitted and
 // followed to a terminal state.
 //
+// -batch N switches every submission to POST /v1/jobs/batch: the -spec
+// becomes the template of an N-instance batch job (packed into shared
+// engine runs daemon-side). -cache opts submissions into the daemon's
+// canonical result cache; combined with -vary-seed=false every submission
+// is identical and all but the first are served from the cache — the
+// cache/single-flight exercise. -batch cannot be combined with -chaos
+// (batch jobs carry no fault-injection fields).
+//
 // -chaos f marks a fraction f of submissions as chaos jobs: they carry
 // fault-injection rates (-chaos-panic / -chaos-drop / -chaos-crash), a
 // retry budget (-chaos-retries) and periodic checkpointing
@@ -29,6 +37,8 @@
 //	lllload -addr http://localhost:8080 -c 8 -duration 30s \
 //	        -spec '{"family":"sinkless","n":1024,"degree":3,"algorithm":"dist"}'
 //	lllload -addr http://localhost:8080 -c 8 -jobs 50 -duration 2m -chaos 0.5
+//	lllload -addr http://localhost:8080 -c 4 -jobs 50 -batch 16 -cache \
+//	        -spec '{"family":"sinkless","n":256,"algorithm":"mtpar"}'
 package main
 
 import (
@@ -122,6 +132,8 @@ func run() error {
 	jobs := flag.Int("jobs", 0, "stop after this many admitted jobs reach a terminal state (0: duration-bound only)")
 	specJSON := flag.String("spec", `{"family":"sinkless","n":512,"degree":3,"algorithm":"dist"}`, "job spec submitted by every worker")
 	seedStep := flag.Bool("vary-seed", true, "give every submission a distinct seed")
+	batchSize := flag.Int("batch", 0, "submit batch jobs of this many instances via /v1/jobs/batch (0: solo jobs)")
+	useCache := flag.Bool("cache", false, "opt submissions into the daemon's canonical result cache")
 	chaos := flag.Float64("chaos", 0, "fraction of submissions made chaos jobs (fault injection + retries + checkpoints)")
 	chaosPanic := flag.Float64("chaos-panic", 0.02, "chaos jobs: per-shard-per-round panic probability")
 	chaosDrop := flag.Float64("chaos-drop", 0.02, "chaos jobs: per-message drop probability")
@@ -134,6 +146,12 @@ func run() error {
 	if err := json.Unmarshal([]byte(*specJSON), &spec); err != nil {
 		return fmt.Errorf("bad -spec: %w", err)
 	}
+	if *batchSize < 0 {
+		return fmt.Errorf("-batch %d must be >= 0", *batchSize)
+	}
+	if *batchSize > 0 && *chaos > 0 {
+		return fmt.Errorf("-batch cannot be combined with -chaos (batch jobs carry no fault-injection fields)")
+	}
 	cc := chaosCfg{
 		fraction:   *chaos,
 		panicRate:  *chaosPanic,
@@ -142,6 +160,8 @@ func run() error {
 		retries:    *chaosRetries,
 		checkpoint: *chaosCheckpoint,
 	}
+
+	sc := submitCfg{varySeed: *seedStep, batch: *batchSize, cache: *useCache}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -191,7 +211,7 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for claim() {
-				o := submitAndFollow(ctx, client, *addr, spec, *seedStep, nextSeq, cc, col)
+				o := submitAndFollow(ctx, client, *addr, spec, sc, nextSeq, cc, col)
 				col.add(o)
 				if o.state == "reject" || o.state == "error" {
 					unclaim()
@@ -206,33 +226,66 @@ func run() error {
 	return nil
 }
 
+// submitCfg selects the submission shape of the load: solo jobs or batch
+// jobs, seed policy, cache opt-in.
+type submitCfg struct {
+	varySeed bool
+	batch    int // 0: solo jobs; > 0: batch jobs of this many instances
+	cache    bool
+}
+
 // submitAndFollow runs one closed-loop iteration: POST the spec (retrying
 // 5xx with backoff), then stream events until the terminal "end" line,
 // re-attaching on mid-stream disconnects. The reported latency spans submit
-// to terminal.
-func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec map[string]any, varySeed bool, nextSeq func() int64, cc chaosCfg, col *collector) outcome {
+// to terminal. In batch mode the spec becomes the template of an
+// sc.batch-instance batch request.
+func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec map[string]any, sc submitCfg, nextSeq func() int64, cc chaosCfg, col *collector) outcome {
 	n := nextSeq()
-	if varySeed || cc.pick(n) {
-		s := make(map[string]any, len(spec)+6)
+	path := "/v1/jobs"
+	var body []byte
+	if sc.batch > 0 {
+		path = "/v1/jobs/batch"
+		tmpl := make(map[string]any, len(spec)+1)
 		for k, v := range spec {
-			s[k] = v
+			tmpl[k] = v
 		}
-		if varySeed {
-			s["seed"] = n
+		if sc.varySeed {
+			// Seed base spaced per submission so the vary_seed stamping
+			// keeps all instances of all submissions distinct.
+			tmpl["seed"] = (n-1)*int64(sc.batch) + 1
 		}
-		if cc.pick(n) {
-			s["max_retries"] = cc.retries
-			s["checkpoint_every"] = cc.checkpoint
-			s["fault_panic_rate"] = cc.panicRate
-			s["fault_drop_rate"] = cc.dropRate
-			s["fault_crash_rate"] = cc.crashRate
+		body, _ = json.Marshal(map[string]any{
+			"template":  tmpl,
+			"count":     sc.batch,
+			"vary_seed": sc.varySeed,
+			"cache":     sc.cache,
+		})
+	} else {
+		if sc.varySeed || sc.cache || cc.pick(n) {
+			s := make(map[string]any, len(spec)+7)
+			for k, v := range spec {
+				s[k] = v
+			}
+			if sc.varySeed {
+				s["seed"] = n
+			}
+			if sc.cache {
+				s["cache"] = true
+			}
+			if cc.pick(n) {
+				s["max_retries"] = cc.retries
+				s["checkpoint_every"] = cc.checkpoint
+				s["fault_panic_rate"] = cc.panicRate
+				s["fault_drop_rate"] = cc.dropRate
+				s["fault_crash_rate"] = cc.crashRate
+			}
+			spec = s
 		}
-		spec = s
+		body, _ = json.Marshal(spec)
 	}
-	body, _ := json.Marshal(spec)
 
 	begin := time.Now()
-	id, state, http5xx := submitJob(ctx, client, addr, body)
+	id, state, http5xx := submitJob(ctx, client, addr, path, body)
 	if http5xx > 0 {
 		col.transport(http5xx, 0)
 	}
@@ -247,11 +300,11 @@ func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec
 // restarting daemon answering 500s is a recovery scenario, not a load
 // error. 429 (admission control) stays a reject — that is the signal the
 // closed loop measures.
-func submitJob(ctx context.Context, client *http.Client, addr string, body []byte) (id, state string, http5xx int) {
+func submitJob(ctx context.Context, client *http.Client, addr, path string, body []byte) (id, state string, http5xx int) {
 	backoff := 100 * time.Millisecond
 	const maxAttempts = 5
 	for attempt := 1; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+path, bytes.NewReader(body))
 		if err != nil {
 			return "", "error", http5xx
 		}

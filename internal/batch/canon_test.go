@@ -1,0 +1,156 @@
+package batch_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/batch"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// permuteInstance rebuilds a conjunction-built instance under a random
+// isomorphism: variables are relabeled, events are reordered, and every
+// event's scope (with its parallel bad sets) is permuted. The result is a
+// different in-memory construction of the same abstract instance.
+func permuteInstance(t *testing.T, inst *model.Instance, r *prng.Rand) *model.Instance {
+	t.Helper()
+	n := inst.NumVars()
+	varPerm := r.Perm(n) // varPerm[old] = new identifier
+	oldOf := make([]int, n)
+	for old, nw := range varPerm {
+		oldOf[nw] = old
+	}
+
+	b := model.NewBuilder()
+	for nw := 0; nw < n; nw++ {
+		v := inst.Var(oldOf[nw])
+		if got := b.AddVariable(v.Dist, v.Name); got != nw {
+			t.Fatalf("builder assigned id %d, want %d", got, nw)
+		}
+	}
+
+	for _, old := range r.Perm(inst.NumEvents()) {
+		e := inst.Event(old)
+		spec, ok := e.Spec.(model.ConjunctionSpec)
+		if !ok {
+			t.Fatalf("event %d is not conjunction-built (%T)", old, e.Spec)
+		}
+		k := len(e.Scope)
+		scopePerm := r.Perm(k)
+		scope := make([]int, k)
+		badSets := make([][]int, k)
+		dists := make([]*dist.Distribution, k)
+		for i, j := range scopePerm {
+			scope[i] = varPerm[e.Scope[j]]
+			badSets[i] = spec.BadSets[j]
+			dists[i] = inst.Var(e.Scope[j]).Dist
+		}
+		model.AddConjunctionEvent(b, scope, badSets, dists, e.Name)
+	}
+	out, err := b.Build()
+	if err != nil {
+		t.Fatalf("rebuilding permuted instance: %v", err)
+	}
+	return out
+}
+
+// TestHashIsomorphismInvariant locks in the canonical property: any
+// relabeling of variables, reordering of events and permutation of scopes
+// hashes identically. This is what lets the service cache collapse
+// differently-constructed but equal instances onto one entry.
+func TestHashIsomorphismInvariant(t *testing.T) {
+	builds := map[string]*model.Instance{}
+	s, err := apps.NewSinklessWithMargin(graph.Cycle(16), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds["sinkless-cycle"] = s.Instance
+
+	h, err := hypergraph.RandomRegularRank3(18, 2, prng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := apps.NewHyperSinkless(h, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds["hyper-sinkless"] = hs.Instance
+
+	for name, inst := range builds {
+		want := batch.Hash(inst)
+		if again := batch.Hash(inst); again != want {
+			t.Fatalf("%s: Hash not deterministic: %x vs %x", name, want, again)
+		}
+		r := prng.New(99)
+		for trial := 0; trial < 5; trial++ {
+			perm := permuteInstance(t, inst, r)
+			if got := batch.Hash(perm); got != want {
+				t.Fatalf("%s trial %d: permuted build hashes %x, original %x", name, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestHashDistinguishes checks that genuinely different instances —
+// different sizes, different margins (distribution probabilities),
+// different families — get pairwise distinct fingerprints.
+func TestHashDistinguishes(t *testing.T) {
+	var hashes []uint64
+	var labels []string
+	add := func(label string, inst *model.Instance, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		hashes = append(hashes, batch.Hash(inst))
+		labels = append(labels, label)
+	}
+
+	for _, n := range []int{12, 13, 24} {
+		s, err := apps.NewSinklessWithMargin(graph.Cycle(n), 0.9)
+		add("cycle margin 0.9", s.Instance, err)
+	}
+	s, err := apps.NewSinklessWithMargin(graph.Cycle(12), 0.8)
+	add("cycle-12 margin 0.8", s.Instance, err)
+	s2, err := apps.NewSinklessWithMargin(graph.Torus(3, 4), 0.9)
+	add("torus-3x4 margin 0.9", s2.Instance, err)
+
+	h, err := hypergraph.RandomRegularRank3(12, 2, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := apps.NewHyperSinkless(h, 0.5)
+	add("hyper-12", hs.Instance, err)
+
+	for i := range hashes {
+		for j := i + 1; j < len(hashes); j++ {
+			if hashes[i] == hashes[j] {
+				t.Fatalf("hash collision between %q and %q: %x", labels[i], labels[j], hashes[i])
+			}
+		}
+	}
+}
+
+// TestHashOpaqueEvents covers hand-written events (nil Spec): the hash
+// falls back to the unconditional probability, so predicates with different
+// probabilities must differ while rebuilt identical ones must agree.
+func TestHashOpaqueEvents(t *testing.T) {
+	build := func(threshold int) *model.Instance {
+		b := model.NewBuilder()
+		v0 := b.AddVariable(dist.Uniform(4), "a")
+		v1 := b.AddVariable(dist.Uniform(4), "b")
+		b.AddEvent([]int{v0, v1}, func(vals []int) bool { return vals[0]+vals[1] < threshold }, nil, "sum")
+		return b.MustBuild()
+	}
+	h1, h1b, h2 := batch.Hash(build(2)), batch.Hash(build(2)), batch.Hash(build(5))
+	if h1 != h1b {
+		t.Fatalf("identical opaque instances hash differently: %x vs %x", h1, h1b)
+	}
+	if h1 == h2 {
+		t.Fatalf("opaque instances with different probabilities collide: %x", h1)
+	}
+}

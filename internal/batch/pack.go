@@ -1,0 +1,47 @@
+package batch
+
+import "repro/internal/model"
+
+// Packed is a set of disjoint LLL instances laid out in one global event
+// index space: instance k owns the contiguous range
+// [EventOffsets()[k], EventOffsets()[k+1]). The packed runners shard scans
+// over the TOTAL range, so instances far smaller than a shard share
+// dispatches instead of paying one each. Packed is immutable after Pack.
+type Packed struct {
+	insts    []*model.Instance
+	eventOff []int // len(insts)+1, cumulative event offsets
+	varOff   []int // len(insts)+1, cumulative variable offsets
+}
+
+// Pack lays the given instances out in one global index space. The
+// instances stay disjoint — no events or variables are merged, each keeps
+// its own local identifiers — Pack only computes the offset remapping the
+// packed runners use to address the union.
+func Pack(insts []*model.Instance) *Packed {
+	p := &Packed{
+		insts:    append([]*model.Instance(nil), insts...),
+		eventOff: make([]int, len(insts)+1),
+		varOff:   make([]int, len(insts)+1),
+	}
+	for k, inst := range p.insts {
+		p.eventOff[k+1] = p.eventOff[k] + inst.NumEvents()
+		p.varOff[k+1] = p.varOff[k] + inst.NumVars()
+	}
+	return p
+}
+
+// Len returns the number of packed instances.
+func (p *Packed) Len() int { return len(p.insts) }
+
+// Instance returns packed instance k.
+func (p *Packed) Instance(k int) *model.Instance { return p.insts[k] }
+
+// EventOffsets returns the cumulative event layout (length Len()+1, starts
+// at 0). The slice is shared; callers must not modify it.
+func (p *Packed) EventOffsets() []int { return p.eventOff }
+
+// TotalEvents returns the number of events across all packed instances.
+func (p *Packed) TotalEvents() int { return p.eventOff[len(p.eventOff)-1] }
+
+// TotalVars returns the number of variables across all packed instances.
+func (p *Packed) TotalVars() int { return p.varOff[len(p.varOff)-1] }

@@ -1,0 +1,429 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/prng"
+)
+
+// Default per-instance budgets, mirroring internal/mt.
+const (
+	defaultMaxRounds      = 100_000
+	defaultMaxResamplings = 1_000_000
+)
+
+// Options parameterizes the packed runners. The zero value runs on the
+// shared engine pool with the library-default budgets.
+type Options struct {
+	// Ctx cancels the run; checked once per packed round. Nil means
+	// context.Background(). On cancellation the runners return the partial
+	// per-instance results together with an error wrapping ctx.Err().
+	Ctx context.Context
+	// Pool executes the packed scans; nil selects engine.Shared(). Results
+	// are bit-identical for every worker count (the scans are read-only
+	// and index-addressed).
+	Pool *engine.Pool
+	// MaxRounds caps each instance's parallel resampling rounds
+	// (RunParallelMT); 0 means 100000, matching mt.Parallel.
+	MaxRounds int
+	// MaxResamplings caps each instance's sequential resamplings
+	// (RunSequentialMT); 0 means 1000000, matching mt.Sequential.
+	MaxResamplings int
+	// OnRound, when non-nil, observes every packed round with aggregate
+	// deterministic stats: Steps is the total resamplings of the round,
+	// Active the total violated events seen by the round's scan, Halted the
+	// instances that finished this round. Worker-count independent.
+	OnRound func(engine.RoundStats)
+	// Metrics, when non-nil, receives the batch_* metric families. All obs
+	// instruments are nil-safe, so a nil registry disables them at zero
+	// cost.
+	Metrics *obs.Registry
+	// Core configures the deterministic fixer for RunFixSequential.
+	// Checkpoint and Trace fields must be left unset (instances run
+	// concurrently and would interleave on them).
+	Core core.Options
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+func (o Options) pool() *engine.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return engine.Shared()
+}
+
+// Result is the unpacked outcome of one instance of a packed run. For the
+// randomized runners it is bit-identical (assignment included) to the solo
+// run of the same algorithm with the same seed.
+type Result struct {
+	// Satisfied reports whether the final assignment avoids all bad events.
+	Satisfied bool
+	// ViolatedEvents is the number of violated events under the final
+	// assignment (the count the terminating scan observed).
+	ViolatedEvents int
+	// Rounds counts the instance's own parallel rounds (RunParallelMT).
+	Rounds int
+	// Resamplings counts the instance's event resamplings.
+	Resamplings int
+	// VarsFixed counts fixed variables (RunFixSequential).
+	VarsFixed int
+	// Assignment is the final assignment (nil for RunFixSequential
+	// failures before any assignment existed).
+	Assignment *model.Assignment
+	// Err is the instance's own failure, if any; other instances of the
+	// batch are unaffected.
+	Err error
+}
+
+// batchObs are the batch_* instruments.
+type batchObs struct {
+	runs      *obs.Counter
+	instances *obs.Counter
+	rounds    *obs.Counter
+	active    *obs.Gauge
+	size      *obs.Histogram
+}
+
+func newBatchObs(reg *obs.Registry) batchObs {
+	return batchObs{
+		runs:      reg.Counter("batch_runs_total"),
+		instances: reg.Counter("batch_instances_total"),
+		rounds:    reg.Counter("batch_rounds_total"),
+		active:    reg.Gauge("batch_instances_active"),
+		size:      reg.Histogram("batch_size", obs.CountBuckets),
+	}
+}
+
+// sampleAll draws every variable of inst in identifier order, exactly like
+// the solo resamplers, so a packed instance consumes its private RNG stream
+// in the solo sequence.
+func sampleAll(inst *model.Instance, r *prng.Rand) *model.Assignment {
+	a := model.NewAssignment(inst)
+	for vid := 0; vid < inst.NumVars(); vid++ {
+		a.Fix(vid, inst.Var(vid).Dist.Sample(r))
+	}
+	return a
+}
+
+// resample redraws the scope of event id in scope order (solo order).
+func resample(inst *model.Instance, a *model.Assignment, id int, r *prng.Rand) {
+	for _, vid := range inst.Event(id).Scope {
+		a.Unfix(vid)
+		a.Fix(vid, inst.Var(vid).Dist.Sample(r))
+	}
+}
+
+// packedState is the shared round-loop state of the randomized packed
+// runners.
+type packedState struct {
+	p       *Packed
+	pool    *engine.Pool
+	results []Result
+	rngs    []*prng.Rand
+	asn     []*model.Assignment
+	active  []bool
+	nActive int
+	// bad / errs are the index-addressed scan outputs over the global
+	// event space; scanning writes them, unpacking reads them.
+	bad  []bool
+	errs []error
+	obs  batchObs
+}
+
+func newPackedState(p *Packed, seeds []uint64, o Options) (*packedState, error) {
+	if len(seeds) != p.Len() {
+		return nil, fmt.Errorf("batch: %d seeds for %d instances", len(seeds), p.Len())
+	}
+	st := &packedState{
+		p:       p,
+		pool:    o.pool(),
+		results: make([]Result, p.Len()),
+		rngs:    make([]*prng.Rand, p.Len()),
+		asn:     make([]*model.Assignment, p.Len()),
+		active:  make([]bool, p.Len()),
+		nActive: p.Len(),
+		bad:     make([]bool, p.TotalEvents()),
+		errs:    make([]error, p.TotalEvents()),
+		obs:     newBatchObs(o.Metrics),
+	}
+	for k := 0; k < p.Len(); k++ {
+		st.rngs[k] = prng.New(seeds[k])
+		st.asn[k] = sampleAll(p.Instance(k), st.rngs[k])
+		st.results[k].Assignment = st.asn[k]
+		st.active[k] = true
+	}
+	st.obs.runs.Inc()
+	st.obs.instances.Add(int64(p.Len()))
+	st.obs.size.Observe(float64(p.Len()))
+	st.obs.active.Set(float64(st.nActive))
+	return st, nil
+}
+
+// scan evaluates every event of every still-active instance under that
+// instance's current assignment, in ONE sharded pass over the packed index
+// space. Writes are index-addressed, so the scan is deterministic for
+// every worker count.
+func (st *packedState) scan() {
+	off := st.p.EventOffsets()
+	st.pool.ForEachSegments(off, func(k, lo, hi int) {
+		if !st.active[k] {
+			return
+		}
+		inst, a, base := st.p.Instance(k), st.asn[k], off[k]
+		for g := lo; g < hi; g++ {
+			st.bad[g], st.errs[g] = inst.Violated(g-base, a)
+		}
+	})
+}
+
+// violated collects instance k's violated local event ids (ascending, the
+// solo order) from the last scan, or the first scan error.
+func (st *packedState) violated(k int, buf []int) ([]int, error) {
+	off := st.p.EventOffsets()
+	buf = buf[:0]
+	for g := off[k]; g < off[k+1]; g++ {
+		if st.errs[g] != nil {
+			return nil, st.errs[g]
+		}
+		if st.bad[g] {
+			buf = append(buf, g-off[k])
+		}
+	}
+	return buf, nil
+}
+
+// finish deactivates instance k.
+func (st *packedState) finish(k int) {
+	st.active[k] = false
+	st.nActive--
+	st.obs.active.Set(float64(st.nActive))
+}
+
+// cancelAll finalizes every still-active instance with the partial state it
+// reached, mirroring the solo runners' cancellation contract (assignment
+// kept, Satisfied false).
+func (st *packedState) cancelAll() {
+	for k := range st.active {
+		if st.active[k] {
+			st.finish(k)
+		}
+	}
+}
+
+// RunParallelMT runs the parallel Moser-Tardos resampler on every packed
+// instance, with one sharded violated-event scan per global round covering
+// all still-active instances. Instance k draws from prng.New(seeds[k]) in
+// the solo order, so its Result — assignment, rounds, resamplings — is
+// bit-identical to mt.Parallel(inst, prng.New(seeds[k]), opts.MaxRounds).
+// Instances terminate individually: once satisfied (or out of round
+// budget) they leave the scan; the run ends when none are active.
+func RunParallelMT(p *Packed, seeds []uint64, o Options) ([]Result, error) {
+	st, err := newPackedState(p, seeds, o)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := o.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = defaultMaxRounds
+	}
+	ctx := o.ctx()
+	var buf []int
+	for globalRound := 1; st.nActive > 0; globalRound++ {
+		if cerr := ctx.Err(); cerr != nil {
+			st.cancelAll()
+			return st.results, fmt.Errorf("batch: parallel resampler cancelled: %w", cerr)
+		}
+		st.scan()
+		st.obs.rounds.Inc()
+		steps, violatedTotal, halted := 0, 0, 0
+		for k := 0; k < p.Len(); k++ {
+			if !st.active[k] {
+				continue
+			}
+			res := &st.results[k]
+			var verr error
+			buf, verr = st.violated(k, buf)
+			if verr != nil {
+				res.Err = verr
+				st.finish(k)
+				halted++
+				continue
+			}
+			violatedTotal += len(buf)
+			switch {
+			case len(buf) == 0:
+				res.Satisfied = true
+				st.finish(k)
+				halted++
+			case res.Rounds == maxRounds:
+				res.ViolatedEvents = len(buf)
+				st.finish(k)
+				halted++
+			default:
+				res.Rounds++
+				inst, g := p.Instance(k), p.Instance(k).DependencyGraph()
+				isViolated := make(map[int]bool, len(buf))
+				for _, id := range buf {
+					isViolated[id] = true
+				}
+				for _, id := range buf {
+					minimum := true
+					for _, u := range g.Neighbors(id) {
+						if isViolated[u] && u < id {
+							minimum = false
+							break
+						}
+					}
+					if minimum {
+						resample(inst, st.asn[k], id, st.rngs[k])
+						res.Resamplings++
+						steps++
+					}
+				}
+			}
+		}
+		if o.OnRound != nil {
+			o.OnRound(engine.RoundStats{Round: globalRound, Steps: steps, Active: violatedTotal, Halted: halted})
+		}
+	}
+	return st.results, nil
+}
+
+// RunSequentialMT runs the sequential Moser-Tardos resampler on every
+// packed instance in lockstep: each global iteration scans all active
+// instances in one sharded pass, then every active instance resamples its
+// lowest-indexed violated event on its private RNG. Per instance the scan
+// results, draws and termination are exactly the solo sequence, so
+// Result k is bit-identical to
+// mt.Sequential(inst, prng.New(seeds[k]), opts.MaxResamplings).
+func RunSequentialMT(p *Packed, seeds []uint64, o Options) ([]Result, error) {
+	st, err := newPackedState(p, seeds, o)
+	if err != nil {
+		return nil, err
+	}
+	maxResamplings := o.MaxResamplings
+	if maxResamplings == 0 {
+		maxResamplings = defaultMaxResamplings
+	}
+	ctx := o.ctx()
+	var buf []int
+	for globalRound := 1; st.nActive > 0; globalRound++ {
+		if cerr := ctx.Err(); cerr != nil {
+			st.cancelAll()
+			return st.results, fmt.Errorf("batch: sequential resampler cancelled: %w", cerr)
+		}
+		st.scan()
+		st.obs.rounds.Inc()
+		steps, violatedTotal, halted := 0, 0, 0
+		for k := 0; k < p.Len(); k++ {
+			if !st.active[k] {
+				continue
+			}
+			res := &st.results[k]
+			var verr error
+			buf, verr = st.violated(k, buf)
+			if verr != nil {
+				res.Err = verr
+				st.finish(k)
+				halted++
+				continue
+			}
+			violatedTotal += len(buf)
+			switch {
+			case len(buf) == 0:
+				res.Satisfied = true
+				st.finish(k)
+				halted++
+			case res.Resamplings == maxResamplings:
+				res.ViolatedEvents = len(buf)
+				st.finish(k)
+				halted++
+			default:
+				resample(p.Instance(k), st.asn[k], buf[0], st.rngs[k])
+				res.Resamplings++
+				steps++
+			}
+		}
+		if o.OnRound != nil {
+			o.OnRound(engine.RoundStats{Round: globalRound, Steps: steps, Active: violatedTotal, Halted: halted})
+		}
+	}
+	return st.results, nil
+}
+
+// RunOneShot draws one sample per instance and counts violated events with
+// a single packed scan. Result k is bit-identical to
+// mt.OneShot(inst, prng.New(seeds[k])).
+func RunOneShot(p *Packed, seeds []uint64, o Options) ([]Result, error) {
+	st, err := newPackedState(p, seeds, o)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := o.ctx().Err(); cerr != nil {
+		st.cancelAll()
+		return st.results, cerr
+	}
+	st.scan()
+	st.obs.rounds.Inc()
+	for k := 0; k < p.Len(); k++ {
+		res := &st.results[k]
+		violated, verr := st.violated(k, nil)
+		if verr != nil {
+			res.Err = verr
+		} else {
+			res.ViolatedEvents = len(violated)
+			res.Satisfied = len(violated) == 0
+		}
+		st.finish(k)
+	}
+	if o.OnRound != nil {
+		o.OnRound(engine.RoundStats{Round: 1, Active: 0, Halted: p.Len()})
+	}
+	return st.results, nil
+}
+
+// RunFixSequential runs the paper's deterministic sequential fixer on every
+// packed instance, parallelized ACROSS instances on the pool (the fixer
+// itself is inherently sequential). Each instance's result is the solo
+// core.FixSequential output — the fixer is deterministic and the instances
+// share no state. opts.Core must not carry Trace or checkpoint hooks.
+func RunFixSequential(p *Packed, o Options) ([]Result, error) {
+	if o.Core.Trace != nil || o.Core.OnCheckpoint != nil || o.Core.Resume != nil {
+		return nil, fmt.Errorf("batch: core trace/checkpoint options are not supported in packed runs")
+	}
+	bo := newBatchObs(o.Metrics)
+	bo.runs.Inc()
+	bo.instances.Add(int64(p.Len()))
+	bo.size.Observe(float64(p.Len()))
+	results := make([]Result, p.Len())
+	ctx := o.ctx()
+	copts := o.Core
+	o.pool().ForEach(p.Len(), func(k int) {
+		res, err := core.FixSequentialCtx(ctx, p.Instance(k), nil, copts)
+		r := &results[k]
+		r.Err = err
+		if res != nil {
+			r.Assignment = res.Assignment
+			r.VarsFixed = res.Stats.VarsFixed
+			if err == nil {
+				r.ViolatedEvents = res.Stats.FinalViolatedEvents
+				r.Satisfied = r.ViolatedEvents == 0
+			}
+		}
+	})
+	if cerr := ctx.Err(); cerr != nil {
+		return results, fmt.Errorf("batch: fixer batch cancelled: %w", cerr)
+	}
+	return results, nil
+}

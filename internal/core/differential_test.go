@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// smallInstances builds every differential target with at most 12 variables:
+// rank-2 sinkless instances (cycles and a random 3-regular graph) and rank-3
+// hyper-sinkless / random-conjunction instances. Small enough that the full
+// product space (≤ 4^12 tuples here, far less in practice) is enumerable.
+func smallInstances(t *testing.T) map[string]*model.Instance {
+	t.Helper()
+	out := map[string]*model.Instance{}
+
+	for _, n := range []int{6, 9, 12} {
+		s, err := apps.NewSinklessWithMargin(graph.Cycle(n), 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["cycle-"+strconv.Itoa(n)] = s.Instance
+	}
+	g, err := graph.RandomRegular(8, 3, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewSinklessWithMargin(g, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["regular-8"] = s.Instance
+
+	for _, n := range []int{6, 9, 12} {
+		h, err := hypergraph.RandomRegularRank3(n, 2, prng.New(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := apps.NewHyperSinkless(h, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["hyper-"+strconv.Itoa(n)] = hs.Instance
+	}
+	h, err := hypergraph.RandomRegularRank3(6, 2, prng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := apps.NewRandomConjunction(h, 3, 0.5, prng.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["conjunction-6"] = rc.Instance
+	return out
+}
+
+// enumeration is the exhaustive ground truth for a small instance: the
+// number of satisfying value tuples, their total probability mass, and the
+// exact unconditioned probability of every event under the product measure.
+type enumeration struct {
+	total      int
+	satisfying int
+	satMass    float64
+	eventProb  []float64
+}
+
+// enumerate walks the full product space of the instance with an odometer
+// and evaluates every event on every tuple. It is deliberately independent
+// of the fixing machinery: only the raw bad-event predicates and the raw
+// distribution probabilities are consulted.
+func enumerate(t *testing.T, inst *model.Instance) enumeration {
+	t.Helper()
+	n := inst.NumVars()
+	if n > 12 {
+		t.Fatalf("instance has %d > 12 variables; not enumerable", n)
+	}
+	sizes := make([]int, n)
+	space := 1
+	for i := range sizes {
+		sizes[i] = inst.Var(i).Dist.Size()
+		space *= sizes[i]
+	}
+	if space > 1<<22 {
+		t.Fatalf("product space %d too large to enumerate", space)
+	}
+
+	e := enumeration{eventProb: make([]float64, inst.NumEvents())}
+	vals := make([]int, n)
+	for {
+		a := model.NewAssignment(inst)
+		mass := 1.0
+		for i, v := range vals {
+			a.Fix(i, v)
+			mass *= inst.Var(i).Dist.Prob(v)
+		}
+		bad := false
+		for id := 0; id < inst.NumEvents(); id++ {
+			violated, err := inst.Violated(id, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if violated {
+				bad = true
+				e.eventProb[id] += mass
+			}
+		}
+		e.total++
+		if !bad {
+			e.satisfying++
+			e.satMass += mass
+		}
+
+		i := 0
+		for ; i < n; i++ {
+			vals[i]++
+			if vals[i] < sizes[i] {
+				break
+			}
+			vals[i] = 0
+		}
+		if i == n {
+			return e
+		}
+	}
+}
+
+// TestDifferentialFixerVsEnumeration cross-checks the derandomized
+// sequential fixer against brute-force enumeration on every ≤ 12-variable
+// instance: enumeration proves satisfying assignments exist (the LLL
+// existence statement), the fixer must find one deterministically under all
+// three value-selection strategies, and the found tuple must be one the
+// enumeration confirms.
+func TestDifferentialFixerVsEnumeration(t *testing.T) {
+	for name, inst := range smallInstances(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			e := enumerate(t, inst)
+			if e.satisfying == 0 {
+				t.Fatalf("enumeration found no satisfying assignment among %d tuples — instance above threshold?", e.total)
+			}
+			for _, strat := range []Strategy{StrategyMinScore, StrategyFirst, StrategyAdversarial} {
+				res, err := FixSequential(inst, nil, Options{Strategy: strat, Audit: true})
+				if err != nil {
+					t.Fatalf("strategy %v: fixer failed although %d/%d tuples satisfy: %v",
+						strat, e.satisfying, e.total, err)
+				}
+				if !res.Assignment.Complete() {
+					t.Fatalf("strategy %v: incomplete assignment", strat)
+				}
+				violated, err := inst.CountViolated(res.Assignment)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if violated != 0 {
+					t.Fatalf("strategy %v: fixer output violates %d events; enumeration disagrees", strat, violated)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialCondProbVsEnumeration compares the closed-form
+// unconditioned event probabilities used by the fixer's criterion against
+// the exact probabilities computed by enumeration. A drift here would
+// silently invalidate every threshold test, so the tolerance is tight.
+func TestDifferentialCondProbVsEnumeration(t *testing.T) {
+	for name, inst := range smallInstances(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			e := enumerate(t, inst)
+			empty := model.NewAssignment(inst)
+			for id := 0; id < inst.NumEvents(); id++ {
+				got := inst.CondProb(id, empty)
+				if math.Abs(got-e.eventProb[id]) > 1e-9 {
+					t.Errorf("event %d: CondProb %v, enumeration %v", id, got, e.eventProb[id])
+				}
+			}
+		})
+	}
+}

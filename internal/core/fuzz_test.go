@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// FuzzPStarInvariant is the property P* (Definition 3.1) under fuzz: for
+// arbitrary below-threshold instances of several families, the sequential
+// fixer must maintain φ_e^u, φ_e^v ∈ [0, 2] and φ_e^u + φ_e^v ≤ 2 after
+// EVERY fix step (Options.Audit re-verifies the full invariant — including
+// the conditional-probability bound Pr[E_v | a] ≤ Pr[E_v]·∏φ — after each
+// of the n fixes), and the completed run must certify success with
+// PeakEdgeSum ≤ 2 and a final bound below 1.
+//
+// Inputs: family selects the instance builder, size and seed shape it,
+// marginPct ∈ (0, 100) scales the criterion margin, strategy sweeps the
+// value-selection strategies (including the adversarial one — the invariant
+// must hold for every feasible choice).
+func FuzzPStarInvariant(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(12), uint64(90), uint64(0))
+	f.Add(uint64(2), uint64(1), uint64(16), uint64(75), uint64(1))
+	f.Add(uint64(3), uint64(2), uint64(18), uint64(60), uint64(2))
+	f.Add(uint64(7), uint64(3), uint64(15), uint64(95), uint64(0))
+	f.Add(uint64(11), uint64(0), uint64(5), uint64(10), uint64(2))
+	f.Fuzz(func(t *testing.T, seed, family, size, marginPct, strategy uint64) {
+		n := 4 + int(size%29) // 4..32: small enough for the quadratic audit
+		margin := 0.05 + 0.9*float64(marginPct%100)/100
+		r := prng.New(seed)
+
+		var inst *model.Instance
+		switch family % 4 {
+		case 0: // rank-2 variables on a cycle
+			s, err := apps.NewSinklessWithMargin(graph.Cycle(n), margin)
+			if err != nil {
+				return
+			}
+			inst = s.Instance
+		case 1: // rank-2 variables on a random 3-regular graph
+			g, err := graph.RandomRegular(n-n%2, 3, r)
+			if err != nil {
+				return
+			}
+			s, err := apps.NewSinklessWithMargin(g, margin)
+			if err != nil {
+				return
+			}
+			inst = s.Instance
+		case 2: // rank-3 variables on a random rank-3 hypergraph
+			m := n - n%3
+			h, err := hypergraph.RandomRegularRank3(m, 2, r)
+			if err != nil {
+				return
+			}
+			s, err := apps.NewHyperSinkless(h, 1-margin)
+			if err != nil {
+				return
+			}
+			inst = s.Instance
+		case 3: // calibrated random conjunctions on a rank-3 hypergraph
+			m := n - n%3
+			h, err := hypergraph.RandomRegularRank3(m, 2, r)
+			if err != nil {
+				return
+			}
+			s, err := apps.NewRandomConjunction(h, 3, margin, r)
+			if err != nil {
+				return
+			}
+			inst = s.Instance
+		}
+		ok, _ := inst.LocalExponentialCriterion()
+		if !ok {
+			return // above-threshold builds are not covered by the theorems
+		}
+
+		opts := Options{Strategy: Strategy(1 + strategy%3), Audit: true}
+		res, err := FixSequential(inst, nil, opts)
+		if err != nil {
+			t.Fatalf("P* violated (family %d, n %d, margin %.3f, strategy %d): %v",
+				family%4, n, margin, opts.Strategy, err)
+		}
+		if res.Stats.PeakEdgeSum > 2+1e-9 {
+			t.Fatalf("peak edge sum %v > 2", res.Stats.PeakEdgeSum)
+		}
+		if res.Stats.MaxFinalProbQuotient >= 1+1e-9 {
+			t.Fatalf("final certified bound %v >= 1 below the threshold", res.Stats.MaxFinalProbQuotient)
+		}
+		if res.Stats.FinalViolatedEvents != 0 {
+			t.Fatalf("%d violated events below the threshold", res.Stats.FinalViolatedEvents)
+		}
+
+		// Re-audit the terminal state independently of the in-loop audits.
+		empty := model.NewAssignment(inst)
+		base := make([]float64, inst.NumEvents())
+		for v := range base {
+			base[v] = inst.CondProb(v, empty)
+		}
+		if err := res.PStar.Audit(inst, res.Assignment, base, 1e-6); err != nil {
+			t.Fatalf("terminal P* audit: %v", err)
+		}
+		for id := 0; id < inst.DependencyGraph().M(); id++ {
+			e := inst.DependencyGraph().Edge(id)
+			u, v := res.PStar.Value(id, e.U), res.PStar.Value(id, e.V)
+			if u < -1e-9 || u > 2+1e-9 || v < -1e-9 || v > 2+1e-9 || math.IsNaN(u) || math.IsNaN(v) {
+				t.Fatalf("edge %d has φ values (%v, %v) outside [0,2]", id, u, v)
+			}
+			if u+v > 2+1e-9 {
+				t.Fatalf("edge %d has φ sum %v > 2", id, u+v)
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package engine
+
+import "sort"
+
+// ForEachSegments covers the concatenation of contiguous segments with the
+// pool's shards. offsets is the cumulative segment layout: it must start at
+// 0, be non-decreasing, and segment k spans the global index range
+// [offsets[k], offsets[k+1]). The pool shards the TOTAL range
+// [0, offsets[len(offsets)-1]) exactly like ForEachShard — so many small
+// segments (e.g. the events of many small packed LLL instances) share
+// shards instead of paying one dispatch each — and fn is invoked once per
+// (segment, sub-range) intersection with the segment index and the GLOBAL
+// bounds of the intersection. Subtract offsets[seg] to recover
+// segment-local indices.
+//
+// The determinism contract of ForEachShard carries over verbatim: every
+// global index is covered exactly once, shard boundaries never tear an
+// index, and callers must write results index-addressed. Empty segments
+// are skipped.
+func (p *Pool) ForEachSegments(offsets []int, fn func(seg, lo, hi int)) {
+	if len(offsets) == 0 {
+		return
+	}
+	if offsets[0] != 0 {
+		panic("engine: ForEachSegments offsets must start at 0")
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			panic("engine: ForEachSegments offsets must be non-decreasing")
+		}
+	}
+	total := offsets[len(offsets)-1]
+	p.ForEachShard(total, func(lo, hi int) {
+		// First segment whose range can contain lo: the last k with
+		// offsets[k] <= lo.
+		seg := sort.SearchInts(offsets, lo+1) - 1
+		for lo < hi {
+			end := offsets[seg+1]
+			h := hi
+			if end < h {
+				h = end
+			}
+			if h > lo {
+				fn(seg, lo, h)
+				lo = h
+			}
+			if lo >= hi {
+				break
+			}
+			seg++
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// collectSegments runs ForEachSegments and records, per global index, which
+// segment it was reported under (and that it was covered exactly once).
+func collectSegments(t *testing.T, p *Pool, offsets []int) []int {
+	t.Helper()
+	total := offsets[len(offsets)-1]
+	got := make([]int, total)
+	for i := range got {
+		got[i] = -1
+	}
+	var mu sync.Mutex
+	p.ForEachSegments(offsets, func(seg, lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty sub-range: seg=%d [%d,%d)", seg, lo, hi)
+		}
+		if lo < offsets[seg] || hi > offsets[seg+1] {
+			t.Errorf("sub-range [%d,%d) escapes segment %d = [%d,%d)", lo, hi, seg, offsets[seg], offsets[seg+1])
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			if got[i] != -1 {
+				t.Errorf("index %d covered twice (segments %d and %d)", i, got[i], seg)
+			}
+			got[i] = seg
+		}
+		mu.Unlock()
+	})
+	return got
+}
+
+func TestForEachSegmentsCoverage(t *testing.T) {
+	layouts := [][]int{
+		{0},
+		{0, 0},
+		{0, 7},
+		{0, 3, 3, 3, 10},       // empty segments in the middle
+		{0, 1, 2, 3, 4, 5},     // many tiny segments
+		{0, 1000, 1001, 2500},  // mixed sizes
+		{0, 0, 0, 64, 64, 128}, // empty prefix and duplicates
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		for _, offsets := range layouts {
+			got := collectSegments(t, p, offsets)
+			for i, seg := range got {
+				if seg == -1 {
+					t.Fatalf("workers=%d offsets=%v: index %d not covered", workers, offsets, i)
+				}
+				if i < offsets[seg] || i >= offsets[seg+1] {
+					t.Fatalf("workers=%d offsets=%v: index %d attributed to segment %d", workers, offsets, i, seg)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestForEachSegmentsNilPool(t *testing.T) {
+	var p *Pool
+	got := collectSegments(t, p, []int{0, 5, 9})
+	for i, seg := range got {
+		want := 0
+		if i >= 5 {
+			want = 1
+		}
+		if seg != want {
+			t.Fatalf("index %d: segment %d, want %d", i, seg, want)
+		}
+	}
+}
+
+func TestForEachSegmentsBadOffsets(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	for _, offsets := range [][]int{{1, 2}, {0, 5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("offsets %v: expected panic", offsets)
+				}
+			}()
+			p.ForEachSegments(offsets, func(_, _, _ int) {})
+		}()
+	}
+}

@@ -1,0 +1,145 @@
+package mt
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// diffInstances builds the seeded below-threshold instances the differential
+// tests run both algorithms against: rank-2 sinkless on cycles and a random
+// 3-regular graph, rank-3 hyper-sinkless, and a calibrated random
+// conjunction family.
+func diffInstances(t *testing.T) map[string]*model.Instance {
+	t.Helper()
+	out := map[string]*model.Instance{}
+
+	for _, n := range []int{8, 15, 40} {
+		s, err := apps.NewSinklessWithMargin(graph.Cycle(n), 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[gname("cycle", n)] = s.Instance
+	}
+	g, err := graph.RandomRegular(20, 3, prng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := apps.NewSinklessWithMargin(g, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["regular-20"] = s.Instance
+
+	h, err := hypergraph.RandomRegularRank3(18, 2, prng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := apps.NewHyperSinkless(h, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["hyper-18"] = hs.Instance
+
+	rc, err := apps.NewRandomConjunction(h, 3, 0.5, prng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["conjunction-18"] = rc.Instance
+	return out
+}
+
+func gname(prefix string, n int) string {
+	return prefix + "-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// TestDifferentialSequentialVsParallel runs the sequential and the parallel
+// Moser–Tardos resampler as two independent implementations against the same
+// seeded instances and cross-checks their verdicts: below the threshold both
+// must terminate with a satisfying assignment, and each assignment must pass
+// the model's independent violation check. The two algorithms resample in
+// different orders so their assignments legitimately differ; their verdicts
+// may not.
+func TestDifferentialSequentialVsParallel(t *testing.T) {
+	for name, inst := range diffInstances(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				seq, err := Sequential(inst, prng.New(seed), 200000)
+				if err != nil {
+					t.Fatalf("seed %d: sequential: %v", seed, err)
+				}
+				par, err := Parallel(inst, prng.New(seed), 5000)
+				if err != nil {
+					t.Fatalf("seed %d: parallel: %v", seed, err)
+				}
+				if !seq.Satisfied || !par.Satisfied {
+					t.Fatalf("seed %d: verdicts diverge or fail: sequential=%v parallel=%v",
+						seed, seq.Satisfied, par.Satisfied)
+				}
+				for alg, res := range map[string]*Result{"sequential": seq, "parallel": par} {
+					n, err := inst.CountViolated(res.Assignment)
+					if err != nil {
+						t.Fatalf("seed %d: %s recount: %v", seed, alg, err)
+					}
+					if n != 0 {
+						t.Fatalf("seed %d: %s claims satisfied but %d events are violated", seed, alg, n)
+					}
+					if !res.Assignment.Complete() {
+						t.Fatalf("seed %d: %s returned an incomplete assignment", seed, alg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDeterminism pins the replay contract both implementations
+// share: the same instance and seed must reproduce the identical assignment
+// and identical work counters on every run.
+func TestDifferentialDeterminism(t *testing.T) {
+	for name, inst := range diffInstances(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			s1, err := Sequential(inst, prng.New(9), 200000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Sequential(inst, prng.New(9), 200000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRun(t, "sequential", s1, s2)
+
+			p1, err := Parallel(inst, prng.New(9), 5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := Parallel(inst, prng.New(9), 5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRun(t, "parallel", p1, p2)
+		})
+	}
+}
+
+func assertSameRun(t *testing.T, alg string, a, b *Result) {
+	t.Helper()
+	if a.Resamplings != b.Resamplings || a.Rounds != b.Rounds || a.Satisfied != b.Satisfied {
+		t.Fatalf("%s replay diverged: (%d, %d, %v) vs (%d, %d, %v)",
+			alg, a.Resamplings, a.Rounds, a.Satisfied, b.Resamplings, b.Rounds, b.Satisfied)
+	}
+	av, af := a.Assignment.Values()
+	bv, bf := b.Assignment.Values()
+	for i := range av {
+		if av[i] != bv[i] || af[i] != bf[i] {
+			t.Fatalf("%s replay diverged at variable %d: (%d, %v) vs (%d, %v)",
+				alg, i, av[i], af[i], bv[i], bf[i])
+		}
+	}
+}

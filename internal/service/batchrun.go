@@ -1,0 +1,292 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/batch"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+// batchAlgorithms that pack into shared engine runs. The LOCAL-model
+// algorithms (dist, mtdist) hold their state per simulated node with
+// identifiers drawn over the whole node range, so packing would change
+// their results; batch jobs run them per instance instead.
+func packable(alg string) bool {
+	switch alg {
+	case AlgMTPar, AlgMTSeq, AlgOneShot, AlgSeq:
+		return true
+	}
+	return false
+}
+
+// groupKey buckets batch instances that can share one packed engine run:
+// same algorithm, same termination budgets.
+type groupKey struct {
+	alg                                string
+	maxRounds, maxResamplings, maxIter int
+}
+
+// batchItem is one batch instance flowing through runBatch.
+type batchItem struct {
+	idx  int // 0-based batch position
+	spec JobSpec
+	inst *model.Instance
+	key  uint64 // cache key; valid iff cacheable
+	pkey groupKey
+}
+
+// runBatch executes a batch job: every cache-eligible instance is first
+// looked up in the canonical result cache; the misses are deduplicated
+// in-batch by cache key, grouped by algorithm and budget, and each group
+// runs as ONE packed engine run (internal/batch) whose per-instance
+// results are bit-identical to solo jobs with the same spec — so entries
+// written by a batch populate the cache for later solo jobs and vice
+// versa. The LOCAL-model algorithms fall back to per-instance solo runs
+// inside the batch job. Aggregate "round" events stream per packed round
+// and one "instance_end" event per instance, multiplexed by
+// Event.Instance (1-based).
+func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
+	subs := js.Batch
+	sum := &Summary{
+		Algorithm: "batch",
+		Family:    "batch",
+		Instances: make([]InstanceSummary, len(subs)),
+	}
+	for i := range sum.Instances {
+		sum.Instances[i] = InstanceSummary{Index: i + 1, Algorithm: subs[i].Algorithm, Seed: subs[i].Seed}
+	}
+
+	// Resolve the engine pool for the packed runs: the job-level Workers
+	// field (clamped by the service cap), defaulting to the shared pool.
+	// Worker count never changes results (engine determinism contract).
+	workers := js.Workers
+	if s.cfg.MaxWorkersPerJob > 0 && (workers == 0 || workers > s.cfg.MaxWorkersPerJob) {
+		workers = s.cfg.MaxWorkersPerJob
+	}
+	pool := engine.Shared()
+	if workers > 0 && workers != runtime.GOMAXPROCS(0) {
+		pool = engine.New(workers)
+		defer pool.Close()
+	}
+
+	finishInstance := func(it *batchItem, isum *Summary, err error) {
+		is := &sum.Instances[it.idx]
+		if err != nil {
+			is.Err = err.Error()
+			emit(Event{Kind: "instance_end", Instance: it.idx + 1, Err: is.Err})
+			return
+		}
+		is.Satisfied = isum.Satisfied
+		is.ViolatedEvents = isum.ViolatedEvents
+		is.Rounds = isum.Rounds
+		is.Resamplings = isum.Resamplings
+		is.VarsFixed = isum.VarsFixed
+		is.CacheHit = isum.CacheHit
+		emit(Event{Kind: "instance_end", Instance: it.idx + 1, CacheHit: isum.CacheHit})
+	}
+
+	// Phase 1: serve cache hits, dedupe identical misses, build the
+	// instances that actually have to run. Cache-eligible specs resolve
+	// their key through the spec-identity memo first, so duplicates —
+	// within this batch or across earlier jobs — never pay a second
+	// instance build or canonical hash.
+	var leaders []*batchItem
+	followers := make(map[uint64][]*batchItem) // cache key → same-key items behind a leader
+	leaderByKey := make(map[uint64]*batchItem)
+	for i := range subs {
+		if cerr := ctx.Err(); cerr != nil {
+			return sum, cerr
+		}
+		sub := subs[i]
+		it := &batchItem{idx: i, spec: sub}
+		it.pkey = groupKey{alg: sub.Algorithm, maxRounds: sub.MaxRounds, maxResamplings: sub.MaxResamplings, maxIter: sub.MaxIters}
+		if s.cacheable(sub) {
+			key, inst, err := s.jobKeyInst(sub)
+			if err != nil {
+				finishInstance(it, nil, fmt.Errorf("building instance: %w", err))
+				continue
+			}
+			it.key, it.inst = key, inst
+			if cached, ok := s.cache.get(it.key); ok {
+				sum.NumEvents += cached.NumEvents
+				sum.NumVars += cached.NumVars
+				cached.CacheHit = true
+				finishInstance(it, cached, nil)
+				continue
+			}
+			if leader, ok := leaderByKey[it.key]; ok {
+				// Identical instance earlier in this batch: solve once,
+				// fan the result out below.
+				sum.NumEvents += leader.inst.NumEvents()
+				sum.NumVars += leader.inst.NumVars()
+				followers[leader.key] = append(followers[leader.key], it)
+				continue
+			}
+			leaderByKey[it.key] = it
+		}
+		if it.inst == nil {
+			// Memo hit (key known, nothing built) but cache miss and no
+			// in-batch leader yet: this item runs, so it needs its instance.
+			inst, err := buildInstance(sub)
+			if err != nil {
+				if s.cacheable(sub) {
+					delete(leaderByKey, it.key)
+				}
+				finishInstance(it, nil, fmt.Errorf("building instance: %w", err))
+				continue
+			}
+			it.inst = inst
+		}
+		sum.NumEvents += it.inst.NumEvents()
+		sum.NumVars += it.inst.NumVars()
+		leaders = append(leaders, it)
+	}
+
+	// Phase 2: group the misses and run each group as one packed engine
+	// run (or per-instance for the LOCAL algorithms). Groups run
+	// sequentially so their round streams do not interleave.
+	groups := make(map[groupKey][]*batchItem)
+	var order []groupKey
+	for _, it := range leaders {
+		if _, ok := groups[it.pkey]; !ok {
+			order = append(order, it.pkey)
+		}
+		groups[it.pkey] = append(groups[it.pkey], it)
+	}
+
+	complete := func(it *batchItem, isum *Summary, err error) {
+		if err == nil && isum != nil && !isum.Partial && s.cacheable(it.spec) {
+			s.cache.put(it.key, isum)
+		}
+		finishInstance(it, isum, err)
+		for _, f := range followers[it.key] {
+			if err != nil {
+				finishInstance(f, nil, err)
+				continue
+			}
+			dup := cloneSummary(isum)
+			dup.CacheHit = true
+			finishInstance(f, dup, nil)
+		}
+	}
+
+	var runErr error
+	onRound := func(rs engine.RoundStats) {
+		emit(Event{
+			Kind: "round", Round: rs.Round, Steps: rs.Steps,
+			Messages: rs.Messages, Active: rs.Active, Halted: rs.Halted,
+			Dropped: rs.Dropped, Crashed: rs.Crashed,
+		})
+	}
+	for _, gk := range order {
+		items := groups[gk]
+		if runErr != nil {
+			break
+		}
+		if !packable(gk.alg) {
+			for _, it := range items {
+				isum, err := s.runSolo(ctx, it, emit)
+				complete(it, isum, err)
+				if err != nil && ctx.Err() != nil {
+					runErr = err
+					break
+				}
+			}
+			continue
+		}
+		insts := make([]*model.Instance, len(items))
+		seeds := make([]uint64, len(items))
+		for i, it := range items {
+			insts[i] = it.inst
+			seeds[i] = it.spec.Seed
+		}
+		packed := batch.Pack(insts)
+		opts := batch.Options{
+			Ctx:            ctx,
+			Pool:           pool,
+			MaxRounds:      gk.maxRounds,
+			MaxResamplings: gk.maxResamplings,
+			OnRound:        onRound,
+			Metrics:        s.cfg.Metrics,
+		}
+		var results []batch.Result
+		var err error
+		switch gk.alg {
+		case AlgMTPar:
+			results, err = batch.RunParallelMT(packed, seeds, opts)
+		case AlgMTSeq:
+			results, err = batch.RunSequentialMT(packed, seeds, opts)
+		case AlgOneShot:
+			results, err = batch.RunOneShot(packed, seeds, opts)
+		case AlgSeq:
+			results, err = batch.RunFixSequential(packed, opts)
+		}
+		if err != nil {
+			runErr = err
+		}
+		for i, it := range items {
+			if results == nil {
+				complete(it, nil, err)
+				continue
+			}
+			isum := packedSummary(it, results[i])
+			if err != nil {
+				isum.Partial = true
+			}
+			complete(it, isum, results[i].Err)
+		}
+	}
+
+	// Aggregate. ViolatedEvents stays -1 (unknown) only if no instance
+	// reported one.
+	sum.Satisfied = len(subs) > 0
+	for i := range sum.Instances {
+		is := &sum.Instances[i]
+		if is.Err != "" || !is.Satisfied {
+			sum.Satisfied = false
+		}
+		sum.ViolatedEvents += is.ViolatedEvents
+		sum.Resamplings += is.Resamplings
+		sum.VarsFixed += is.VarsFixed
+		if is.Rounds > sum.Rounds {
+			sum.Rounds = is.Rounds
+		}
+		if is.CacheHit {
+			sum.CacheHit = true // at least one instance was served cached
+		}
+	}
+	return sum, runErr
+}
+
+// runSolo executes one non-packable batch instance through the ordinary
+// single-job path, tagging its round events with the instance id.
+func (s *Service) runSolo(ctx context.Context, it *batchItem, emit func(Event)) (*Summary, error) {
+	taggedEmit := func(e Event) {
+		e.Instance = it.idx + 1
+		emit(e)
+	}
+	att := Attempt{Number: 1, SaveCheckpoint: func(*fault.Checkpoint) {}}
+	return RunSpec(ctx, it.spec, att, taggedEmit, s.runOpts)
+}
+
+// packedSummary converts one packed batch.Result into the Summary the solo
+// path would have produced for the same spec, field for field — that
+// equivalence is what lets batch-written cache entries serve solo jobs.
+func packedSummary(it *batchItem, r batch.Result) *Summary {
+	isum := &Summary{
+		Algorithm:      it.spec.Algorithm,
+		Family:         it.spec.Family,
+		NumEvents:      it.inst.NumEvents(),
+		NumVars:        it.inst.NumVars(),
+		Satisfied:      r.Satisfied,
+		ViolatedEvents: r.ViolatedEvents,
+		Rounds:         r.Rounds,
+		Resamplings:    r.Resamplings,
+		VarsFixed:      r.VarsFixed,
+	}
+	return isum
+}

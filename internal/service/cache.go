@@ -1,0 +1,289 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"sync"
+
+	"repro/internal/batch"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/prng"
+)
+
+// cacheKey derives the result-cache key of a normalized spec over its built
+// instance. It folds together everything that can influence the Summary:
+// the canonical instance hash (which already covers the graph, the event
+// family and the probability parameters), the algorithm, the seed driving
+// the resamplers and LOCAL identifiers, and the termination budgets.
+// Deliberately EXCLUDED: Workers (the engine determinism contract makes
+// results identical for every worker count, so jobs differing only in
+// workers share an entry), retry/timeout/checkpoint plumbing (they change
+// how a result is produced, not what it is — failed or partial results are
+// never cached), and the batch/cache fields themselves.
+func cacheKey(js JobSpec, h uint64) uint64 {
+	k := prng.Mix64(h ^ 0xcac4e)
+	for _, b := range []byte(js.Algorithm) {
+		k = prng.Mix64(k ^ uint64(b))
+	}
+	k = prng.Mix64(k ^ js.Seed)
+	k = prng.Mix64(k ^ uint64(js.MaxRounds))
+	k = prng.Mix64(k ^ uint64(js.MaxResamplings))
+	k = prng.Mix64(k ^ uint64(js.MaxIters))
+	return k
+}
+
+// cacheable reports whether a job's result may be served from / stored
+// into the cache: the spec must opt in, and the merged fault-injection
+// plan must be inert (injected faults make runs attempt-dependent).
+func (s *Service) cacheable(js JobSpec) bool {
+	if !js.Cache || s.cache == nil {
+		return false
+	}
+	plan := s.cfg.Fault.Merge(js.faultPlan())
+	return plan.PanicRate == 0 && plan.DropRate == 0 && plan.CrashRate == 0
+}
+
+// specIdent is the memoization identity of a normalized spec: its JSON
+// encoding. Two specs with the same identity build the same instance and
+// therefore share the same cache key, so the key computation (instance
+// build + canonical hash) only ever runs once per distinct spec.
+func specIdent(js JobSpec) string {
+	b, err := json.Marshal(js)
+	if err != nil {
+		return "" // unmemoizable; the caller computes the key directly
+	}
+	return string(b)
+}
+
+// keyMemo is the bounded spec-identity → cache-key memo. The mapping is a
+// pure function of the spec, so entries never invalidate; when the memo
+// fills up it is simply reset.
+type keyMemo struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]uint64
+}
+
+func newKeyMemo(capacity int) *keyMemo {
+	return &keyMemo{cap: capacity, m: make(map[string]uint64, capacity)}
+}
+
+func (k *keyMemo) get(id string) (uint64, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	key, ok := k.m[id]
+	return key, ok
+}
+
+func (k *keyMemo) put(id string, key uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.m) >= k.cap {
+		k.m = make(map[string]uint64, k.cap)
+	}
+	k.m[id] = key
+}
+
+// jobKeyInst resolves the spec's cache key. On a memo hit the key comes
+// straight from the spec-identity memo and no instance is built (inst is
+// nil) — this is what makes a warm cache hit orders of magnitude cheaper
+// than a solve. On a miss the instance is built and canonically hashed;
+// the built instance is returned so callers that need it anyway (the batch
+// packer) do not build twice.
+func (s *Service) jobKeyInst(js JobSpec) (key uint64, inst *model.Instance, err error) {
+	id := specIdent(js)
+	if id != "" {
+		if key, ok := s.keys.get(id); ok {
+			return key, nil, nil
+		}
+	}
+	inst, err = buildInstance(js)
+	if err != nil {
+		return 0, nil, err
+	}
+	key = cacheKey(js, batch.Hash(inst))
+	if id != "" {
+		s.keys.put(id, key)
+	}
+	return key, inst, nil
+}
+
+// resultCache is an LRU map from cache keys to completed job Summaries.
+// Entries are deep-copied on both put and get, so cached results are
+// immutable and every hit returns bit-identical bytes.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[uint64]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	stores    *obs.Counter
+	entries   *obs.Gauge
+}
+
+type cacheEntry struct {
+	key uint64
+	sum Summary
+}
+
+func newResultCache(capacity int, reg *obs.Registry) *resultCache {
+	return &resultCache{
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[uint64]*list.Element, capacity),
+		hits:      reg.Counter("cache_hits_total"),
+		misses:    reg.Counter("cache_misses_total"),
+		evictions: reg.Counter("cache_evictions_total"),
+		stores:    reg.Counter("cache_stores_total"),
+		entries:   reg.Gauge("cache_entries"),
+	}
+}
+
+// get returns a copy of the cached summary for key, if present, and marks
+// the entry most recently used.
+func (c *resultCache) get(key uint64) (*Summary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	sum := cloneSummary(&el.Value.(*cacheEntry).sum)
+	return sum, true
+}
+
+// put stores a copy of sum under key, evicting the least recently used
+// entry beyond capacity.
+func (c *resultCache) put(key uint64, sum *Summary) {
+	if sum == nil {
+		return
+	}
+	cp := cloneSummary(sum)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).sum = *cp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sum: *cp})
+	c.stores.Inc()
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(float64(c.ll.Len()))
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cloneSummary deep-copies a Summary (Instances included).
+func cloneSummary(s *Summary) *Summary {
+	cp := *s
+	if s.Instances != nil {
+		cp.Instances = append([]InstanceSummary(nil), s.Instances...)
+	}
+	return &cp
+}
+
+// flightGroup collapses concurrent identical jobs: the first job to reach
+// the scheduler with a given cache key becomes the leader and solves; jobs
+// with the same key that start while the leader is in flight wait for it
+// and re-read the cache instead of re-solving. Followers only ever wait on
+// a job that is already running in another scheduler slot, so the wait
+// graph has depth one and cannot deadlock; a follower whose leader fails
+// (or whose own context is cancelled) falls back to solving itself.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[uint64]chan struct{}
+	waits   *obs.Counter
+}
+
+func newFlightGroup(reg *obs.Registry) *flightGroup {
+	return &flightGroup{
+		flights: make(map[uint64]chan struct{}),
+		waits:   reg.Counter("cache_singleflight_waits_total"),
+	}
+}
+
+// begin either registers the caller as the leader for key (leader=true) or
+// returns the in-flight leader's done channel to wait on.
+func (f *flightGroup) begin(key uint64) (done chan struct{}, leader bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.flights[key]; ok {
+		return ch, false
+	}
+	ch := make(chan struct{})
+	f.flights[key] = ch
+	return ch, true
+}
+
+// complete releases the leadership for key and wakes all waiting followers.
+func (f *flightGroup) complete(key uint64) {
+	f.mu.Lock()
+	ch := f.flights[key]
+	delete(f.flights, key)
+	f.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// wait blocks until the leader completes or ctx is done.
+func (f *flightGroup) wait(ctx context.Context, done <-chan struct{}) error {
+	f.waits.Inc()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runCached wraps one attempt of a cache-enabled single job: serve from the
+// cache when possible, otherwise solve as the single-flight leader (or wait
+// for one) and populate the cache with the completed result.
+func (s *Service) runCached(ctx context.Context, js JobSpec, att Attempt, emit func(Event), run Runner) (*Summary, error) {
+	key, _, err := s.jobKeyInst(js)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if sum, ok := s.cache.get(key); ok {
+			sum.CacheHit = true
+			emit(Event{Kind: "cache_hit", Attempt: att.Number})
+			return sum, nil
+		}
+		done, leader := s.flights.begin(key)
+		if leader {
+			break
+		}
+		if err := s.flights.wait(ctx, done); err != nil {
+			return nil, err
+		}
+		// Leader finished: next get either hits (leader succeeded) or we
+		// retry leadership ourselves.
+	}
+	defer s.flights.complete(key)
+	sum, err := run(ctx, js, att, emit)
+	if err == nil && sum != nil && !sum.Partial {
+		s.cache.put(key, sum)
+	}
+	return sum, err
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -12,6 +13,7 @@ import (
 // NewHandler returns the service's HTTP API:
 //
 //	POST   /v1/jobs             submit a JobSpec → 202 + job view
+//	POST   /v1/jobs/batch       submit a BatchRequest → 202 + job view
 //	GET    /v1/jobs             list retained jobs
 //	GET    /v1/jobs/{id}        job view (spec, state, result)
 //	GET    /v1/jobs/{id}/events NDJSON event stream, follows to terminal
@@ -41,6 +43,35 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&js); err != nil {
 			http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		job, err := s.Submit(js)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrDraining):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.View())
+	})
+
+	mux.HandleFunc("POST /v1/jobs/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		js, err := req.JobSpec()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		job, err := s.Submit(js)
@@ -96,6 +127,75 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 	})
 
 	return mux
+}
+
+// BatchRequest is the wire format of POST /v1/jobs/batch: either an
+// explicit list of per-instance specs, or a template stamped out Count
+// times. The resulting batch runs as ONE job whose NDJSON event stream is
+// multiplexed by the 1-based Event.Instance id and whose result carries
+// one InstanceSummary per instance.
+type BatchRequest struct {
+	// Template is the spec every instance starts from (ignored when Specs
+	// is set).
+	Template JobSpec `json:"template"`
+	// Count is the number of instances stamped from Template.
+	Count int `json:"count,omitempty"`
+	// Seeds overrides the per-instance seeds (length must equal Count when
+	// both are set; len(Seeds) instances are stamped when Count is 0).
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// VarySeed gives instance i the seed Template.Seed + i. Without it
+	// (and without Seeds) every instance is identical — the cache
+	// exercise.
+	VarySeed bool `json:"vary_seed,omitempty"`
+	// Specs lists the instances explicitly instead of a template.
+	Specs []JobSpec `json:"specs,omitempty"`
+	// Cache / BatchGroup / Workers / TimeoutMS / MaxRetries set the
+	// corresponding fields of the batch job.
+	Cache      bool   `json:"cache,omitempty"`
+	BatchGroup string `json:"batch_group,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"`
+	MaxRetries int    `json:"max_retries,omitempty"`
+}
+
+// JobSpec converts the request into the batch JobSpec submitted to the
+// service.
+func (req BatchRequest) JobSpec() (JobSpec, error) {
+	subs := req.Specs
+	if len(subs) == 0 {
+		count := req.Count
+		if count == 0 {
+			count = len(req.Seeds)
+		}
+		if count <= 0 {
+			return JobSpec{}, fmt.Errorf("batch request needs specs, count or seeds")
+		}
+		if len(req.Seeds) > 0 && len(req.Seeds) != count {
+			return JobSpec{}, fmt.Errorf("batch request has %d seeds for count %d", len(req.Seeds), count)
+		}
+		subs = make([]JobSpec, count)
+		for i := range subs {
+			subs[i] = req.Template
+			switch {
+			case len(req.Seeds) > 0:
+				subs[i].Seed = req.Seeds[i]
+			case req.VarySeed:
+				seed := req.Template.Seed
+				if seed == 0 {
+					seed = 1
+				}
+				subs[i].Seed = seed + uint64(i)
+			}
+		}
+	}
+	return JobSpec{
+		Batch:      subs,
+		Cache:      req.Cache,
+		BatchGroup: req.BatchGroup,
+		Workers:    req.Workers,
+		TimeoutMS:  req.TimeoutMS,
+		MaxRetries: req.MaxRetries,
+	}, nil
 }
 
 // streamEvents serves a job's event stream as NDJSON: every event already

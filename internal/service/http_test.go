@@ -341,3 +341,111 @@ func TestHTTPListAndHealth(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPBatchEndpoint: POST /v1/jobs/batch stamps a template into one
+// batch job whose NDJSON stream is multiplexed per instance and whose
+// result carries per-instance summaries; a repeated submit with cache on is
+// served from the cache.
+func TestHTTPBatchEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 2, Metrics: reg, CacheSize: 16})
+
+	body := `{"template":{"family":"sinkless","n":16,"algorithm":"mtpar","seed":5},"count":4,"vary_seed":true,"cache":true}`
+	resp, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v View
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch submit = %d, want 202", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Follow the event stream to the terminal state and check the
+	// per-instance multiplexing.
+	es, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	ends := map[int]bool{}
+	sc := bufio.NewScanner(es.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if e.Kind == "instance_end" {
+			ends[e.Instance] = true
+		}
+	}
+	if len(ends) != 4 {
+		t.Fatalf("stream reported %d instance_end events, want 4", len(ends))
+	}
+
+	jr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	var done View
+	if err := json.NewDecoder(jr.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Result == nil || len(done.Result.Instances) != 4 {
+		t.Fatalf("batch result = %+v, want 4 instance summaries", done.Result)
+	}
+	for _, is := range done.Result.Instances {
+		if is.Err != "" || !is.Satisfied {
+			t.Errorf("instance %d: %+v", is.Index, is)
+		}
+	}
+
+	// Same batch again: every instance hits the cache.
+	resp2, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 View
+	if err := json.NewDecoder(resp2.Body).Decode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	es2, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, es2.Body) // drain to terminal
+	es2.Body.Close()
+	jr2, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.Body.Close()
+	var warm View
+	if err := json.NewDecoder(jr2.Body).Decode(&warm); err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range warm.Result.Instances {
+		if !is.CacheHit {
+			t.Errorf("repeat batch instance %d was not a cache hit", is.Index)
+		}
+	}
+	if got := reg.Counter("cache_hits_total").Value(); got < 4 {
+		t.Errorf("cache_hits_total = %d, want >= 4", got)
+	}
+
+	// Malformed requests map to 400.
+	bad, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json", strings.NewReader(`{"count":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch request = %d, want 400", bad.StatusCode)
+	}
+}

@@ -72,6 +72,13 @@ type Event struct {
 	Halted   int `json:"halted,omitempty"`
 	Dropped  int `json:"dropped,omitempty"`
 	Crashed  int `json:"crashed,omitempty"`
+	// Instance is the 1-based batch instance id of an "instance_end"
+	// event; the NDJSON stream of a batch job is multiplexed over it
+	// (0 = a job-level event).
+	Instance int `json:"instance,omitempty"`
+	// CacheHit marks a "cache_hit" or "instance_end" event served from the
+	// canonical result cache instead of a fresh solve.
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// State is the job's state after an "end" event.
 	State State `json:"state,omitempty"`
 	// Err carries the failure or cancellation cause of an "end" or "retry"
@@ -111,6 +118,33 @@ type Summary struct {
 	// Partial marks a summary assembled from a cancelled or failed run:
 	// the counters cover only the work completed before the stop.
 	Partial bool `json:"partial,omitempty"`
+	// CacheHit marks a summary served from the canonical result cache; the
+	// payload is bit-identical to the cold solve that populated the entry.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Instances carries the per-instance results of a batch job, in batch
+	// order; the aggregate fields above sum (or, for Rounds, max) over
+	// them.
+	Instances []InstanceSummary `json:"instances,omitempty"`
+}
+
+// InstanceSummary is the result of one instance of a batch job.
+type InstanceSummary struct {
+	// Index is the 1-based position in the batch (matches Event.Instance).
+	Index int `json:"index"`
+	// Algorithm / Seed echo the instance's normalized sub-spec.
+	Algorithm string `json:"algorithm,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// Satisfied / ViolatedEvents / Rounds / Resamplings / VarsFixed mirror
+	// the corresponding Summary fields for this instance alone.
+	Satisfied      bool `json:"satisfied"`
+	ViolatedEvents int  `json:"violated_events"`
+	Rounds         int  `json:"rounds,omitempty"`
+	Resamplings    int  `json:"resamplings,omitempty"`
+	VarsFixed      int  `json:"vars_fixed,omitempty"`
+	// CacheHit marks an instance served from the canonical result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Err is the instance's own failure; other instances are unaffected.
+	Err string `json:"err,omitempty"`
 }
 
 // Job is one unit of work tracked by the Service. All fields except ID and

@@ -78,6 +78,10 @@ type Config struct {
 	// kept in the store; older ones are evicted FIFO. Queued and running
 	// jobs are always retained. Default 256.
 	Retention int
+	// CacheSize is the capacity (entries) of the canonical result cache
+	// serving jobs with spec field "cache": true. Default 256; negative
+	// disables caching entirely.
+	CacheSize int
 	// Metrics, when non-nil, receives the service_* metric families and is
 	// passed through to the runtime layers of every job. Trace likewise.
 	Metrics *obs.Registry
@@ -113,6 +117,9 @@ func (c Config) withDefaults() Config {
 	if c.Retention <= 0 {
 		c.Retention = 256
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
 	return c
 }
 
@@ -138,6 +145,16 @@ type Service struct {
 	retryTimers map[string]*time.Timer
 	// backoffRand jitters the retry delays (guarded by mu).
 	backoffRand *prng.Rand
+
+	// cache is the canonical result cache (nil when Config.CacheSize < 0);
+	// flights collapses concurrent identical cache-enabled jobs; keys
+	// memoizes the spec → cache-key computation so repeated specs skip
+	// the instance build + canonical hash. runOpts is the RunOptions
+	// handed to RunSpec for default and batch runs.
+	cache   *resultCache
+	flights *flightGroup
+	keys    *keyMemo
+	runOpts RunOptions
 
 	m svcMetrics
 }
@@ -193,16 +210,34 @@ func New(cfg Config) *Service {
 		m:           newSvcMetrics(cfg.Metrics),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.runner = cfg.Runner
-	if s.runner == nil {
-		s.runner = func(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
-			return RunSpec(ctx, js, att, emit, RunOptions{
-				Metrics:    cfg.Metrics,
-				Trace:      cfg.Trace,
-				MaxWorkers: cfg.MaxWorkersPerJob,
-				Fault:      cfg.Fault,
-			})
+	s.runOpts = RunOptions{
+		Metrics:    cfg.Metrics,
+		Trace:      cfg.Trace,
+		MaxWorkers: cfg.MaxWorkersPerJob,
+		Fault:      cfg.Fault,
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize, cfg.Metrics)
+		s.flights = newFlightGroup(cfg.Metrics)
+		s.keys = newKeyMemo(4 * cfg.CacheSize)
+	}
+	base := cfg.Runner
+	if base == nil {
+		base = func(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
+			return RunSpec(ctx, js, att, emit, s.runOpts)
 		}
+	}
+	// The dispatch wrapper routes batch jobs to the packed batch runner
+	// and cache-enabled jobs through the result cache + single-flight
+	// layer; everything else hits the configured runner directly.
+	s.runner = func(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
+		if len(js.Batch) > 0 {
+			return s.runBatch(ctx, js, att, emit)
+		}
+		if s.cacheable(js) {
+			return s.runCached(ctx, js, att, emit, base)
+		}
+		return base(ctx, js, att, emit)
 	}
 	for i := 0; i < cfg.MaxInFlight; i++ {
 		s.wg.Add(1)

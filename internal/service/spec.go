@@ -120,7 +120,32 @@ type JobSpec struct {
 	FaultDropRate  float64 `json:"fault_drop_rate,omitempty"`
 	FaultCrashRate float64 `json:"fault_crash_rate,omitempty"`
 	FaultSeed      uint64  `json:"fault_seed,omitempty"`
+
+	// Cache opts this job into the service's canonical result cache: a
+	// completed Summary is stored under the instance's canonical hash
+	// (combined with algorithm, seed and budgets) and an identical later
+	// job is served the bit-identical cached result instead of re-solving.
+	// Concurrent identical cache-enabled jobs are collapsed single-flight.
+	// Jobs with fault injection are never cached.
+	Cache bool `json:"cache,omitempty"`
+	// BatchGroup is an opaque client label carried on the job (and echoed
+	// in views and trace events) to correlate related batch submissions;
+	// it has no behavioral effect.
+	BatchGroup string `json:"batch_group,omitempty"`
+	// Batch turns the job into a multi-instance batch: every entry is a
+	// full JobSpec (nested batches are rejected) and the job runs them all,
+	// packing instances that share an algorithm into single engine runs
+	// (see internal/batch). The top-level instance/algorithm fields are
+	// ignored; Workers, TimeoutMS, retry and fault fields still apply to
+	// the batch job as a whole, and Cache applies per instance. Results
+	// arrive in Summary.Instances, and the event stream is multiplexed by
+	// the 1-based Event.Instance id.
+	Batch []JobSpec `json:"batch,omitempty"`
 }
+
+// maxBatch bounds the instances of one batch job; combined with maxN per
+// instance this caps a batch job's memory.
+const maxBatch = 1024
 
 // faultPlan assembles the spec's own injection plan.
 func (s JobSpec) faultPlan() fault.Plan {
@@ -137,6 +162,29 @@ func (s JobSpec) faultPlan() fault.Plan {
 // (e.g. no simple regular graph for the parameters) surface when the job
 // runs and fail it.
 func (s JobSpec) withDefaults() (JobSpec, error) {
+	if len(s.Batch) > maxBatch {
+		return s, fmt.Errorf("batch of %d instances exceeds the cap of %d", len(s.Batch), maxBatch)
+	}
+	if len(s.Batch) > 0 {
+		total := 0
+		subs := make([]JobSpec, len(s.Batch))
+		for i, sub := range s.Batch {
+			if len(sub.Batch) > 0 {
+				return s, fmt.Errorf("batch instance %d: nested batches are not allowed", i)
+			}
+			sub.Cache = sub.Cache || s.Cache
+			norm, err := sub.withDefaults()
+			if err != nil {
+				return s, fmt.Errorf("batch instance %d: %w", i, err)
+			}
+			total += norm.N
+			subs[i] = norm
+		}
+		if total > maxN {
+			return s, fmt.Errorf("batch requests %d total nodes, cap is %d", total, maxN)
+		}
+		s.Batch = subs
+	}
 	if s.Family == "" {
 		s.Family = FamilySinkless
 	}

@@ -58,3 +58,49 @@ func FuzzSurfaceConvexity(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRepresentableTriple pins Lemma 3.5 against Definition 3.3 on
+// arbitrary (a, b): the closed-form surface F(a, b) must agree with the
+// brute-force membership maximum MaxCNumeric (which scans the witness split
+// parameter of the definition directly), and IsRepresentable must accept
+// triples just below the surface and reject triples above it.
+func FuzzRepresentableTriple(f *testing.F) {
+	f.Add(0.25, 1.5)
+	f.Add(0.0, 0.0)
+	f.Add(2.0, 2.0)
+	f.Add(3.99, 0.01)
+	f.Add(0.5, 3.5)
+	f.Add(1.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		if math.IsNaN(a) || math.IsNaN(b) || a < 0 || b < 0 || a+b > 4 {
+			return
+		}
+		closed := F(a, b)
+		if math.IsNaN(closed) || closed < -1e-12 {
+			t.Fatalf("F(%v, %v) = %v outside [0, 4]", a, b, closed)
+		}
+		oracle := MaxCNumeric(a, b, 20000)
+		if math.Abs(closed-oracle) > 5e-3 {
+			t.Fatalf("closed form F(%v, %v) = %v but Definition 3.3 maximum = %v", a, b, closed, oracle)
+		}
+		// Membership boundary: strictly below the surface is in S_rep,
+		// strictly above is out.
+		if below := closed - 1e-6; below >= 0 && !IsRepresentable(a, b, below, DefaultTol) {
+			t.Fatalf("(%v, %v, %v) just below the surface rejected", a, b, below)
+		}
+		if above := closed + 1e-3; IsRepresentable(a, b, above, DefaultTol) {
+			t.Fatalf("(%v, %v, %v) above the surface accepted", a, b, above)
+		}
+		// Every accepted triple must decompose into a Definition 3.3
+		// witness that realizes it.
+		if closed > 1e-6 {
+			w, err := Decompose(a, b, closed-1e-6)
+			if err != nil {
+				t.Fatalf("representable (%v, %v, %v) failed to decompose: %v", a, b, closed-1e-6, err)
+			}
+			if !w.Valid(1e-9) || !w.Realizes(a, b, closed-1e-6, 1e-6) {
+				t.Fatalf("witness %+v does not realize (%v, %v, %v)", w, a, b, closed-1e-6)
+			}
+		}
+	})
+}

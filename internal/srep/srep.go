@@ -157,15 +157,24 @@ func Decompose(a, b, c float64) (Witness, error) {
 // optimalSplit returns the value x ∈ [a/2, 2−b/2] maximizing
 // (2 − a/x)(2 − b/(2−x)), i.e. the x1 root from the Lemma 3.5 proof.
 // Requires a, b ∈ (0, 4) with a + b ≤ 4.
+//
+// The textbook form (a(4−b) − √disc) / (2(a−b)) cancels catastrophically as
+// b → a; multiplying by the conjugate cancels the (a−b) factor exactly:
+//
+//	x1 = 2a(4−b) / (a(4−b) + √(ab(4−a)(4−b)))
+//
+// which is stable on the whole domain and equals 1 at a = b.
 func optimalSplit(a, b float64) float64 {
-	if a == b {
-		return 1
-	}
 	disc := a * b * (4 - a) * (4 - b)
 	if disc < 0 {
 		disc = 0
 	}
-	return (a*(4-b) - math.Sqrt(disc)) / (2 * (a - b))
+	num := a * (4 - b)
+	den := num + math.Sqrt(disc)
+	if den == 0 {
+		return 1
+	}
+	return 2 * num / den
 }
 
 // splitProduct returns (x, y) with x, y ∈ [0, 2] and x·y = p, for p ∈ [0, 4].
