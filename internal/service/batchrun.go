@@ -159,7 +159,8 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 	}
 
 	complete := func(it *batchItem, isum *Summary, err error) {
-		if err == nil && isum != nil && !isum.Partial && s.cacheable(it.spec) {
+		stored := err == nil && isum != nil && !isum.Partial && s.cacheable(it.spec)
+		if stored {
 			s.cache.put(it.key, isum)
 		}
 		finishInstance(it, isum, err)
@@ -168,8 +169,11 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 				finishInstance(f, nil, err)
 				continue
 			}
+			// A follower is a cache hit only if the leader's result actually
+			// went into the cache; a partial result (cancelled mid-run) fans
+			// out as a plain copy.
 			dup := cloneSummary(isum)
-			dup.CacheHit = true
+			dup.CacheHit = stored
 			finishInstance(f, dup, nil)
 		}
 	}
@@ -189,7 +193,7 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 		}
 		if !packable(gk.alg) {
 			for _, it := range items {
-				isum, err := s.runSolo(ctx, it, emit)
+				isum, err := s.runSolo(ctx, it, att, emit)
 				complete(it, isum, err)
 				if err != nil && ctx.Err() != nil {
 					runErr = err
@@ -263,14 +267,17 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 }
 
 // runSolo executes one non-packable batch instance through the ordinary
-// single-job path, tagging its round events with the instance id.
-func (s *Service) runSolo(ctx context.Context, it *batchItem, emit func(Event)) (*Summary, error) {
+// single-job path, tagging its round events with the instance id. The batch
+// job's real attempt number is carried through so fault injection derives a
+// fresh pattern on every batch retry, like solo jobs; per-instance
+// checkpoints are dropped (the batch job record holds no sub-job state).
+func (s *Service) runSolo(ctx context.Context, it *batchItem, att Attempt, emit func(Event)) (*Summary, error) {
 	taggedEmit := func(e Event) {
 		e.Instance = it.idx + 1
 		emit(e)
 	}
-	att := Attempt{Number: 1, SaveCheckpoint: func(*fault.Checkpoint) {}}
-	return RunSpec(ctx, it.spec, att, taggedEmit, s.runOpts)
+	subAtt := Attempt{Number: att.Number, SaveCheckpoint: func(*fault.Checkpoint) {}}
+	return RunSpec(ctx, it.spec, subAtt, taggedEmit, s.runOpts)
 }
 
 // packedSummary converts one packed batch.Result into the Summary the solo

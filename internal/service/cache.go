@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"math"
 	"sync"
 
 	"repro/internal/batch"
@@ -14,19 +15,38 @@ import (
 
 // cacheKey derives the result-cache key of a normalized spec over its built
 // instance. It folds together everything that can influence the Summary:
-// the canonical instance hash (which already covers the graph, the event
-// family and the probability parameters), the algorithm, the seed driving
-// the resamplers and LOCAL identifiers, and the termination budgets.
-// Deliberately EXCLUDED: Workers (the engine determinism contract makes
-// results identical for every worker count, so jobs differing only in
+// the instance-determining spec fields (family, size, generation parameters
+// and — for family "inline" — the raw instance bytes), the canonical
+// instance hash on top of them, the algorithm, the seed driving the
+// generators, resamplers and LOCAL identifiers, and the termination budgets.
+// The WL hash alone is NOT sufficient as an instance identity: it is
+// complete only up to WL distinguishability, and mtseq/seq results depend
+// on event index order, which relabeling changes — so WL-indistinguishable
+// but distinct instances (e.g. two relabeled inline submissions) must not
+// share an entry. Folding the generation parameters makes the key exact
+// (the builders are deterministic functions of them) while the WL hash
+// still collapses provably-identical builds that differ only in spec
+// encoding. Deliberately EXCLUDED: Workers (the engine determinism contract
+// makes results identical for every worker count, so jobs differing only in
 // workers share an entry), retry/timeout/checkpoint plumbing (they change
 // how a result is produced, not what it is — failed or partial results are
 // never cached), and the batch/cache fields themselves.
 func cacheKey(js JobSpec, h uint64) uint64 {
 	k := prng.Mix64(h ^ 0xcac4e)
-	for _, b := range []byte(js.Algorithm) {
-		k = prng.Mix64(k ^ uint64(b))
+	mixBytes := func(b []byte) {
+		k = prng.Mix64(k ^ uint64(len(b)))
+		for _, c := range b {
+			k = prng.Mix64(k ^ uint64(c))
+		}
 	}
+	mixBytes([]byte(js.Family))
+	k = prng.Mix64(k ^ uint64(js.N))
+	k = prng.Mix64(k ^ uint64(js.Degree))
+	k = prng.Mix64(k ^ math.Float64bits(js.Margin))
+	k = prng.Mix64(k ^ math.Float64bits(js.Slack))
+	k = prng.Mix64(k ^ uint64(js.Colors))
+	mixBytes(js.Instance)
+	mixBytes([]byte(js.Algorithm))
 	k = prng.Mix64(k ^ js.Seed)
 	k = prng.Mix64(k ^ uint64(js.MaxRounds))
 	k = prng.Mix64(k ^ uint64(js.MaxResamplings))

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/obs"
 )
 
@@ -280,5 +281,61 @@ func TestBatchPathGoroutineLeak(t *testing.T) {
 			t.Fatalf("goroutines grew from %d to %d after a batch job", before, runtime.NumGoroutine())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCacheInlineRelabeledDistinct: two relabeled isomorphic inline
+// instances are WL-indistinguishable, so the canonical hash alone cannot
+// tell them apart — but mtseq/seq results depend on event index order, so
+// serving one instance's Summary for the other would be wrong. The cache
+// key folds the raw inline bytes (and the generation parameters) on top of
+// the WL hash, keeping the two apart while identical resubmissions still
+// collapse.
+func TestCacheInlineRelabeledDistinct(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := realService(t, reg, 8)
+
+	instA := []byte(`{"version":1,"variables":[{"probs":[0.5,0.5]},{"probs":[0.5,0.5]},{"probs":[0.5,0.5]}],"events":[{"kind":"allEqual","scope":[0,1]},{"kind":"allEqual","scope":[1,2]}]}`)
+	instB := []byte(`{"version":1,"variables":[{"probs":[0.5,0.5]},{"probs":[0.5,0.5]},{"probs":[0.5,0.5]}],"events":[{"kind":"allEqual","scope":[2,1]},{"kind":"allEqual","scope":[1,0]}]}`)
+	mk := func(raw []byte) JobSpec {
+		return JobSpec{Family: FamilyInline, Instance: raw, Algorithm: AlgMTSeq, Cache: true}
+	}
+
+	// Sanity-check the scenario: the two instances really are
+	// WL-indistinguishable, so only the spec fields keep their keys apart.
+	na, err := mk(instA).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := mk(instB).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := buildInstance(na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := buildInstance(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Hash(ia) != batch.Hash(ib) {
+		t.Fatal("test instances are WL-distinguishable; use a relabeled isomorphic pair")
+	}
+	if cacheKey(na, batch.Hash(ia)) == cacheKey(nb, batch.Hash(ib)) {
+		t.Fatal("distinct inline instances share a cache key")
+	}
+
+	if cold := runJob(t, s, mk(instA)); cold.CacheHit {
+		t.Fatal("first inline job marked as a cache hit")
+	}
+	if second := runJob(t, s, mk(instB)); second.CacheHit {
+		t.Fatal("distinct inline instance served from its relabeled sibling's cache entry")
+	}
+	if warm := runJob(t, s, mk(instA)); !warm.CacheHit {
+		t.Error("identical inline resubmission missed the cache")
+	}
+	if got := reg.Counter("cache_stores_total").Value(); got != 2 {
+		t.Errorf("cache_stores_total = %d, want 2 (one per distinct instance)", got)
 	}
 }
