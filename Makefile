@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-json harness cover fuzz fuzz-short clean
+.PHONY: build test test-race vet bench bench-json bench-gate harness cover fuzz fuzz-short clean
 
 build:
 	$(GO) build ./...
@@ -18,24 +18,34 @@ test: vet
 # observability layer they report into, the fault-injection/recovery layer,
 # the packed batch runners, and the job service on top.
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/fault/... ./internal/batch/... ./internal/service/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/fault/... ./internal/batch/... ./internal/service/... ./internal/kernel/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable benchmark evidence: the n = 100k engine and LOCAL-runtime
-# benchmarks at 1/2/4 workers (-cpu sets GOMAXPROCS, the pool follows), the
-# obs hot-path micro-benches, and the serving-path benchmarks — repeated
-# identical jobs cold vs warm cache, the 64-instance batch against one
-# solo instance, and the packed runners — parsed into BENCH_pr5.json.
+# Machine-readable benchmark evidence: the n = 100k engine, LOCAL-runtime
+# and violated-scan benchmarks at 1/2/4 workers (-cpu sets GOMAXPROCS, the
+# pool follows), the obs hot-path micro-benches, and the serving-path
+# benchmarks — repeated identical jobs cold vs warm cache, the 64-instance
+# batch against one solo instance, and the packed runners — parsed into
+# BENCH_pr6.json. The workload sizes and required benchmark names live in
+# internal/benchset; -require fails the parse if any pinned benchmark went
+# missing. `make bench-gate` diffs the result against the committed
+# trajectory.
 bench-json:
-	$(GO) test -run=NONE -bench 'BenchmarkEngineRounds|BenchmarkLocalSinkless100k' -benchmem -cpu 1,2,4 . > bench.out
+	$(GO) test -run=NONE -bench 'BenchmarkEngineRounds|BenchmarkLocalSinkless100k|BenchmarkViolatedScan100k' -benchmem -cpu 1,2,4 . > bench.out
 	$(GO) test -run=NONE -bench 'BenchmarkObs' -benchmem ./internal/obs >> bench.out
 	$(GO) test -run=NONE -bench 'BenchmarkServiceRepeatedJobs|BenchmarkServiceBatch64' -benchtime 30x ./internal/service >> bench.out
 	$(GO) test -run=NONE -bench 'BenchmarkPackedBatch' -benchtime 10x ./internal/batch >> bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_pr5.json < bench.out
+	$(GO) run ./cmd/benchjson -require -out BENCH_pr6.json < bench.out
 	rm -f bench.out
+
+# The CI benchmark-regression gate: regenerated evidence must stay inside
+# the tolerance bands of the committed trajectory (and the kernel scan must
+# beat the generic scan by the pinned intra-run ratio).
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_pr5.json -current BENCH_pr6.json
 
 # Regenerate every experiment table (F1, F2, T1..T11).
 harness:
@@ -50,13 +60,15 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzSurfaceConvexity -fuzztime=10s ./internal/srep/
 	$(GO) test -run=NONE -fuzz=FuzzFeasibleSoundness -fuzztime=10s ./internal/conjecture/
 
-# The two core-invariant fuzz targets at the 30s acceptance budget:
-# property P* under every strategy and family, and representable-triple
-# membership against the closed-form surface. Nightly CI runs the same
-# targets for 5 minutes each.
+# The core-invariant fuzz targets at the 30s acceptance budget: property
+# P* under every strategy and family, representable-triple membership
+# against the closed-form surface, and the bit-packed assignment's
+# pack/unpack/flip round-trip against model.Assignment. Nightly CI runs
+# the same targets for 5 minutes each.
 fuzz-short:
 	$(GO) test -run=NONE -fuzz='^FuzzPStarInvariant$$' -fuzztime=30s ./internal/core/
 	$(GO) test -run=NONE -fuzz='^FuzzRepresentableTriple$$' -fuzztime=30s ./internal/srep/
+	$(GO) test -run=NONE -fuzz='^FuzzAssignmentPackRoundTrip$$' -fuzztime=30s ./internal/kernel/
 
 clean:
 	$(GO) clean -testcache

@@ -12,9 +12,13 @@ import (
 	"testing"
 
 	lll "repro"
+	"repro/internal/benchset"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/kernel"
 	"repro/internal/local"
+	"repro/internal/model"
+	"repro/internal/prng"
 )
 
 // benchSizes keeps per-iteration work small enough for stable timings.
@@ -140,7 +144,7 @@ func reportRoundMetrics(b *testing.B, totalRounds int, m0, m1 *runtime.MemStats)
 }
 
 func BenchmarkEngineRounds(b *testing.B) {
-	const n = 100_000
+	const n = benchset.LargeN
 	b.Run("pool", func(b *testing.B) {
 		pool := engine.New(runtime.GOMAXPROCS(0))
 		defer pool.Close()
@@ -218,11 +222,11 @@ func (m *floodProbe) Round(round int, recv []local.Message) ([]local.Message, bo
 // dependency graph of an n = 100k sinkless-orientation instance (a cycle at
 // the paper's threshold witness), with a fixed round budget per iteration.
 func BenchmarkLocalSinkless100k(b *testing.B) {
-	s, err := lll.NewSinkless(lll.NewCycle(100_000), 0.2)
+	inst, err := benchset.Sinkless100k()
 	if err != nil {
 		b.Fatal(err)
 	}
-	g := s.Instance.DependencyGraph()
+	g := inst.DependencyGraph()
 	const budget = 8
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -240,6 +244,72 @@ func BenchmarkLocalSinkless100k(b *testing.B) {
 	b.StopTimer()
 	runtime.ReadMemStats(&m1)
 	reportRoundMetrics(b, totalRounds, &m0, &m1)
+}
+
+// BenchmarkViolatedScan100k measures one full violated-event scan — the
+// per-round product term of every resampler — on the shared n = 100k
+// instance, under both paths: "generic" is the per-event
+// Instance.Violated walk the resamplers used before the kernels (one
+// closure dispatch and scope gather per event), "kernel" is the compiled
+// CSR/bitset scan (word-parallel over the engine pool). One iteration =
+// one scan = one round, so rounds/sec and allocs/round compare directly;
+// cmd/benchgate pins kernel >= 2x generic rounds/sec or <= 0.5x
+// allocs/round on this pair.
+func BenchmarkViolatedScan100k(b *testing.B) {
+	inst, err := benchset.Sinkless100k()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One fixed complete assignment, shared by both paths.
+	a := model.NewAssignment(inst)
+	r := prng.New(1)
+	for v := 0; v < inst.NumVars(); v++ {
+		a.Fix(v, inst.Var(v).Dist.Sample(r))
+	}
+
+	b.Run("generic", func(b *testing.B) {
+		violated := make([]int, 0, inst.NumEvents())
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			violated = violated[:0]
+			for e := 0; e < inst.NumEvents(); e++ {
+				bad, err := inst.Violated(e, a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bad {
+					violated = append(violated, e)
+				}
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		reportRoundMetrics(b, b.N, &m0, &m1)
+	})
+	b.Run("kernel", func(b *testing.B) {
+		c := kernel.For(inst)
+		if c == nil {
+			b.Fatal("instance did not compile to a kernel")
+		}
+		ka := c.NewAssignment()
+		ka.PackFrom(a)
+		scr := c.NewScratch()
+		pool := engine.New(runtime.GOMAXPROCS(0))
+		defer pool.Close()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Violated(ka, pool, scr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		reportRoundMetrics(b, b.N, &m0, &m1)
+	})
 }
 
 // Micro-benchmarks of the public solver entry points, for users sizing

@@ -1,15 +1,21 @@
-// Command benchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON document. It exists for `make bench-json`, which
-// pins the PR's benchmark evidence (rounds/sec, allocs/round, ns/op for the
-// n = 100k engine and LOCAL-runtime benchmarks at -cpu 1,2,4) into
-// BENCH_pr2.json, but it parses any benchmark stream: each result line is
-// `BenchmarkName-CPUS  iterations  value unit  value unit ...`, and every
-// value/unit pair (ns/op, B/op, allocs/op and custom b.ReportMetric units
-// such as rounds/sec) becomes a metrics entry.
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable BENCH_*.json document cmd/benchgate diffs against the
+// committed trajectory. It exists for `make bench-json`, which pins the
+// PR's benchmark evidence (rounds/sec, allocs/round, ns/op for the
+// n = 100k benchmarks at -cpu 1,2,4), but it parses any benchmark stream:
+// each result line is `BenchmarkName-CPUS  iterations  value unit ...`,
+// and every value/unit pair (ns/op, B/op, allocs/op and custom
+// b.ReportMetric units such as rounds/sec) becomes a metrics entry.
+//
+// The document schema and the pinned workload names live in
+// internal/benchset, shared with the benchmarks themselves and with the
+// gate; -require fails the run when any benchset.Required() name is
+// missing from the stream, so a renamed or skipped benchmark breaks
+// `make bench-json` instead of silently thinning the trajectory.
 //
 // Usage:
 //
-//	go test -run=NONE -bench ... -benchmem -cpu 1,2,4 ./... | benchjson -out BENCH.json
+//	go test -run=NONE -bench ... -benchmem -cpu 1,2,4 ./... | benchjson -require -out BENCH.json
 package main
 
 import (
@@ -20,32 +26,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchset"
 )
-
-// Result is one parsed benchmark line.
-type Result struct {
-	// Name is the benchmark name with the -CPUS suffix stripped
-	// (e.g. "BenchmarkEngineRounds/pool").
-	Name string `json:"name"`
-	// CPUs is the GOMAXPROCS the run used (the -N suffix; 1 if absent).
-	CPUs int `json:"cpus"`
-	// Iterations is the measured b.N.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit -> value for every value/unit pair on the line
-	// (ns/op, B/op, allocs/op, rounds/sec, allocs/round, ...).
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Doc is the emitted JSON document.
-type Doc struct {
-	// Goos/Goarch/CPU/Pkg echo the benchmark stream's header lines.
-	Goos   string   `json:"goos,omitempty"`
-	Goarch string   `json:"goarch,omitempty"`
-	CPU    string   `json:"cpu,omitempty"`
-	Pkgs   []string `json:"pkgs,omitempty"`
-	// Benchmarks holds one entry per result line, in stream order.
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -56,6 +39,7 @@ func main() {
 
 func run() error {
 	out := flag.String("out", "", "write JSON here (empty = stdout)")
+	require := flag.Bool("require", false, "fail unless every benchset.Required() benchmark is present")
 	flag.Parse()
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -64,6 +48,13 @@ func run() error {
 	}
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	if *require {
+		for _, name := range benchset.Required() {
+			if len(doc.Find(name)) == 0 {
+				return fmt.Errorf("required benchmark %s missing from the stream", name)
+			}
+		}
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -77,8 +68,8 @@ func run() error {
 	return os.WriteFile(*out, data, 0o644)
 }
 
-func parse(sc *bufio.Scanner) (*Doc, error) {
-	doc := &Doc{}
+func parse(sc *bufio.Scanner) (*benchset.Doc, error) {
+	doc := &benchset.Doc{}
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -103,25 +94,25 @@ func parse(sc *bufio.Scanner) (*Doc, error) {
 }
 
 // parseResult parses one `BenchmarkName-N  iters  value unit ...` line.
-func parseResult(line string) (Result, error) {
+func parseResult(line string) (benchset.Result, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 2 {
-		return Result{}, fmt.Errorf("short benchmark line: %q", line)
+		return benchset.Result{}, fmt.Errorf("short benchmark line: %q", line)
 	}
 	name, cpus := splitCPUs(fields[0])
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Result{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		return benchset.Result{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
 	}
-	res := Result{Name: name, CPUs: cpus, Iterations: iters, Metrics: map[string]float64{}}
+	res := benchset.Result{Name: name, CPUs: cpus, Iterations: iters, Metrics: map[string]float64{}}
 	rest := fields[2:]
 	if len(rest)%2 != 0 {
-		return Result{}, fmt.Errorf("unpaired value/unit fields in %q", line)
+		return benchset.Result{}, fmt.Errorf("unpaired value/unit fields in %q", line)
 	}
 	for i := 0; i < len(rest); i += 2 {
 		v, err := strconv.ParseFloat(rest[i], 64)
 		if err != nil {
-			return Result{}, fmt.Errorf("bad metric value %q in %q: %w", rest[i], line, err)
+			return benchset.Result{}, fmt.Errorf("bad metric value %q in %q: %w", rest[i], line, err)
 		}
 		res.Metrics[rest[i+1]] = v
 	}

@@ -3,9 +3,11 @@ package batch
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/prng"
@@ -116,11 +118,17 @@ func sampleAll(inst *model.Instance, r *prng.Rand) *model.Assignment {
 	return a
 }
 
-// resample redraws the scope of event id in scope order (solo order).
-func resample(inst *model.Instance, a *model.Assignment, id int, r *prng.Rand) {
+// resample redraws the scope of instance k's event id in scope order (solo
+// order), keeping the packed kernel mirror (if any) in step.
+func (st *packedState) resample(k, id int) {
+	inst, a, r := st.p.Instance(k), st.asn[k], st.rngs[k]
 	for _, vid := range inst.Event(id).Scope {
 		a.Unfix(vid)
-		a.Fix(vid, inst.Var(vid).Dist.Sample(r))
+		v := inst.Var(vid).Dist.Sample(r)
+		a.Fix(vid, v)
+		if st.kas != nil {
+			st.kas[k].Set(vid, v)
+		}
 	}
 }
 
@@ -135,10 +143,21 @@ type packedState struct {
 	active  []bool
 	nActive int
 	// bad / errs are the index-addressed scan outputs over the global
-	// event space; scanning writes them, unpacking reads them.
+	// event space; scanning writes them, unpacking reads them. They back
+	// the generic scan only; the kernel scan uses the packed bitset below.
 	bad  []bool
 	errs []error
 	obs  batchObs
+	// Kernel state, used when EVERY packed instance compiles (nil slices
+	// otherwise, and the batch runs the generic path): per-instance
+	// compiled kernels and packed assignment mirrors, plus the violated
+	// bitset over the packed WORD space — instance k owns words
+	// [wordOff[k], wordOff[k+1]), one bit per local event. Scans shard over
+	// word segments, so each worker writes whole words of one instance.
+	kerns   []*kernel.Compiled
+	kas     []*kernel.Assignment
+	wordOff []int
+	kbits   []uint64
 }
 
 func newPackedState(p *Packed, seeds []uint64, o Options) (*packedState, error) {
@@ -163,6 +182,26 @@ func newPackedState(p *Packed, seeds []uint64, o Options) (*packedState, error) 
 		st.results[k].Assignment = st.asn[k]
 		st.active[k] = true
 	}
+	if kerns := make([]*kernel.Compiled, p.Len()); p.Len() > 0 {
+		ok := true
+		for k := range kerns {
+			if kerns[k] = kernel.For(p.Instance(k)); kerns[k] == nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			st.kerns = kerns
+			st.wordOff = make([]int, p.Len()+1)
+			st.kas = make([]*kernel.Assignment, p.Len())
+			for k, c := range kerns {
+				st.wordOff[k+1] = st.wordOff[k] + c.EventWords()
+				st.kas[k] = c.NewAssignment()
+				st.kas[k].PackFrom(st.asn[k])
+			}
+			st.kbits = make([]uint64, st.wordOff[p.Len()])
+		}
+	}
 	st.obs.runs.Inc()
 	st.obs.instances.Add(int64(p.Len()))
 	st.obs.size.Observe(float64(p.Len()))
@@ -175,6 +214,20 @@ func newPackedState(p *Packed, seeds []uint64, o Options) (*packedState, error) 
 // space. Writes are index-addressed, so the scan is deterministic for
 // every worker count.
 func (st *packedState) scan() {
+	if st.kerns != nil {
+		st.pool.ForEachSegments(st.wordOff, func(k, lo, hi int) {
+			if !st.active[k] {
+				return
+			}
+			c, base := st.kerns[k], st.wordOff[k]
+			var vals []int
+			if c.HasGeneric() {
+				vals = make([]int, c.MaxScope())
+			}
+			c.ScanWords(st.kas[k], lo-base, hi-base, st.kbits[base:st.wordOff[k+1]], vals)
+		})
+		return
+	}
 	off := st.p.EventOffsets()
 	st.pool.ForEachSegments(off, func(k, lo, hi int) {
 		if !st.active[k] {
@@ -190,8 +243,20 @@ func (st *packedState) scan() {
 // violated collects instance k's violated local event ids (ascending, the
 // solo order) from the last scan, or the first scan error.
 func (st *packedState) violated(k int, buf []int) ([]int, error) {
-	off := st.p.EventOffsets()
 	buf = buf[:0]
+	if st.kerns != nil {
+		base := st.wordOff[k]
+		for wi := base; wi < st.wordOff[k+1]; wi++ {
+			w := st.kbits[wi]
+			eb := (wi - base) << 6
+			for w != 0 {
+				buf = append(buf, eb+bits.TrailingZeros64(w))
+				w &= w - 1
+			}
+		}
+		return buf, nil
+	}
+	off := st.p.EventOffsets()
 	for g := off[k]; g < off[k+1]; g++ {
 		if st.errs[g] != nil {
 			return nil, st.errs[g]
@@ -272,7 +337,18 @@ func RunParallelMT(p *Packed, seeds []uint64, o Options) ([]Result, error) {
 				halted++
 			default:
 				res.Rounds++
-				inst, g := p.Instance(k), p.Instance(k).DependencyGraph()
+				if st.kerns != nil {
+					c, vb := st.kerns[k], st.kbits[st.wordOff[k]:st.wordOff[k+1]]
+					for _, id := range buf {
+						if !c.HasLowerViolatedNeighbor(vb, id) {
+							st.resample(k, id)
+							res.Resamplings++
+							steps++
+						}
+					}
+					break
+				}
+				g := p.Instance(k).DependencyGraph()
 				isViolated := make(map[int]bool, len(buf))
 				for _, id := range buf {
 					isViolated[id] = true
@@ -286,7 +362,7 @@ func RunParallelMT(p *Packed, seeds []uint64, o Options) ([]Result, error) {
 						}
 					}
 					if minimum {
-						resample(inst, st.asn[k], id, st.rngs[k])
+						st.resample(k, id)
 						res.Resamplings++
 						steps++
 					}
@@ -350,7 +426,7 @@ func RunSequentialMT(p *Packed, seeds []uint64, o Options) ([]Result, error) {
 				st.finish(k)
 				halted++
 			default:
-				resample(p.Instance(k), st.asn[k], buf[0], st.rngs[k])
+				st.resample(k, buf[0])
 				res.Resamplings++
 				steps++
 			}

@@ -1,0 +1,84 @@
+// Package benchset is the single source of truth for the repository's
+// pinned benchmark evidence: the shared workload definitions (so the
+// benchmarks in bench_test.go and the tooling in cmd/benchjson and
+// cmd/benchgate all measure the same instances instead of re-deriving
+// sizes independently), the JSON schema of the BENCH_*.json documents, and
+// the regression rules the CI gate enforces against the committed
+// trajectory.
+package benchset
+
+import (
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// LargeN is the shared large-workload size: every n = 100k benchmark —
+// engine rounds, LOCAL runtime, violated-event scan — runs at exactly this
+// n, and the gate's rules refer to these workloads by name.
+const LargeN = 100_000
+
+// SinklessSlack is the slack of the shared n = 100k sinkless-orientation
+// instance (a cycle at the paper's threshold witness).
+const SinklessSlack = 0.2
+
+// Sinkless100k builds the shared n = 100k benchmark instance: sinkless
+// orientation on a cycle of LargeN nodes with SinklessSlack. Both
+// BenchmarkLocalSinkless100k (its dependency graph) and
+// BenchmarkViolatedScan100k (its event scan) measure this one instance.
+func Sinkless100k() (*model.Instance, error) {
+	s, err := apps.NewSinkless(graph.Cycle(LargeN), SinklessSlack)
+	if err != nil {
+		return nil, err
+	}
+	return s.Instance, nil
+}
+
+// Required lists the benchmark names (benchjson Name field, CPU suffix
+// stripped) that `make bench-json` must produce for the gate to have its
+// evidence. cmd/benchjson -require fails when any is missing from the
+// stream, so a renamed or silently-skipped benchmark breaks the build
+// instead of eroding the trajectory.
+func Required() []string {
+	return []string{
+		"BenchmarkEngineRounds/pool",
+		"BenchmarkLocalSinkless100k",
+		"BenchmarkViolatedScan100k/generic",
+		"BenchmarkViolatedScan100k/kernel",
+	}
+}
+
+// Result is one parsed benchmark line of a BENCH_*.json document.
+type Result struct {
+	// Name is the benchmark name with the -CPUS suffix stripped
+	// (e.g. "BenchmarkEngineRounds/pool").
+	Name string `json:"name"`
+	// CPUs is the GOMAXPROCS the run used (the -N suffix; 1 if absent).
+	CPUs int `json:"cpus"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every value/unit pair on the line
+	// (ns/op, B/op, allocs/op, rounds/sec, allocs/round, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is a BENCH_*.json document: the benchmark stream's header lines plus
+// one Result per line, in stream order.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Pkgs       []string `json:"pkgs,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Find returns the results with the given name, in document order.
+func (d *Doc) Find(name string) []Result {
+	var out []Result
+	for _, r := range d.Benchmarks {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}

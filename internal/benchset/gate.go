@@ -1,0 +1,162 @@
+package benchset
+
+import "fmt"
+
+// The regression gate. Two kinds of rules guard the bench trajectory:
+//
+//   - BaselineRule compares the current document against the committed
+//     baseline (the previous PR's BENCH_*.json) with a tolerance band.
+//     Throughput bands are generous — CI machines differ and rounds/sec
+//     moves with the hardware — while allocs/round bands are tight,
+//     because allocation counts are deterministic properties of the code.
+//
+//   - RatioRule compares two benchmarks inside the SAME document, which is
+//     machine-independent: the kernel scan must beat the generic scan by
+//     the pinned factor on the very machine that ran both.
+//
+// A benchmark present in the baseline but missing from the current run is
+// a failure (evidence must not silently disappear); one missing from the
+// baseline is skipped, so a freshly added benchmark passes its first gate
+// run and joins the trajectory when the new document is committed.
+
+// BaselineRule bounds how far one metric of one benchmark may regress
+// from the committed baseline.
+type BaselineRule struct {
+	// Name is the benchmark name; every (name, cpus) entry shared by both
+	// documents is checked.
+	Name   string
+	Metric string
+	// HigherIsBetter: current >= baseline * (1 - Tolerance).
+	// Lower-is-better: current <= baseline * (1 + Tolerance) + Slack,
+	// where Slack is absolute headroom for near-zero baselines.
+	HigherIsBetter bool
+	Tolerance      float64
+	Slack          float64
+}
+
+// RatioRule demands that benchmark Name beats benchmark Against within one
+// document: it passes when at least one clause holds — rounds/sec at least
+// MinSpeedup times higher, or allocs/round at most MaxAllocRatio times as
+// large. Entries are matched per CPU count.
+type RatioRule struct {
+	Name          string
+	Against       string
+	MinSpeedup    float64
+	MaxAllocRatio float64
+}
+
+// DefaultBaselineRules is the committed trajectory guard: throughput may
+// wobble with the CI machine (60% band) but must not collapse; allocation
+// rates are near-deterministic and get a 25% band plus 2 allocs of
+// absolute slack.
+func DefaultBaselineRules() []BaselineRule {
+	rules := []BaselineRule{}
+	for _, name := range []string{
+		"BenchmarkEngineRounds/pool",
+		"BenchmarkLocalSinkless100k",
+		"BenchmarkViolatedScan100k/generic",
+		"BenchmarkViolatedScan100k/kernel",
+	} {
+		rules = append(rules,
+			BaselineRule{Name: name, Metric: "rounds/sec", HigherIsBetter: true, Tolerance: 0.6},
+			BaselineRule{Name: name, Metric: "allocs/round", Tolerance: 0.25, Slack: 2},
+		)
+	}
+	return rules
+}
+
+// DefaultRatioRules pins the kernel claim of this PR: on the shared
+// n = 100k instance, the CSR/bitset scan must be at least 2x the generic
+// scan's rounds/sec or at most 0.5x its allocs/round — on the same
+// machine, in the same run.
+func DefaultRatioRules() []RatioRule {
+	return []RatioRule{{
+		Name:          "BenchmarkViolatedScan100k/kernel",
+		Against:       "BenchmarkViolatedScan100k/generic",
+		MinSpeedup:    2.0,
+		MaxAllocRatio: 0.5,
+	}}
+}
+
+// findCPU returns the result with the given name and CPU count.
+func (d *Doc) findCPU(name string, cpus int) (Result, bool) {
+	for _, r := range d.Benchmarks {
+		if r.Name == name && r.CPUs == cpus {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Compare checks current against baseline under the given rules and
+// returns one human-readable problem per violation (empty = gate passes).
+func Compare(baseline, current *Doc, brs []BaselineRule, rrs []RatioRule) []string {
+	var problems []string
+	for _, rule := range brs {
+		base := baseline.Find(rule.Name)
+		if len(base) == 0 {
+			continue // new benchmark: joins the trajectory next commit
+		}
+		if len(current.Find(rule.Name)) == 0 {
+			problems = append(problems,
+				fmt.Sprintf("%s: present in baseline but missing from current run", rule.Name))
+			continue
+		}
+		for _, b := range base {
+			bv, ok := b.Metrics[rule.Metric]
+			if !ok {
+				continue
+			}
+			cur, ok := current.findCPU(rule.Name, b.CPUs)
+			if !ok {
+				problems = append(problems,
+					fmt.Sprintf("%s (cpus=%d): missing from current run", rule.Name, b.CPUs))
+				continue
+			}
+			cv, ok := cur.Metrics[rule.Metric]
+			if !ok {
+				problems = append(problems,
+					fmt.Sprintf("%s (cpus=%d): metric %s missing from current run", rule.Name, b.CPUs, rule.Metric))
+				continue
+			}
+			if rule.HigherIsBetter {
+				if floor := bv * (1 - rule.Tolerance); cv < floor {
+					problems = append(problems, fmt.Sprintf(
+						"%s (cpus=%d): %s regressed to %.4g, below %.4g (baseline %.4g - %.0f%%)",
+						rule.Name, b.CPUs, rule.Metric, cv, floor, bv, rule.Tolerance*100))
+				}
+			} else {
+				if ceil := bv*(1+rule.Tolerance) + rule.Slack; cv > ceil {
+					problems = append(problems, fmt.Sprintf(
+						"%s (cpus=%d): %s regressed to %.4g, above %.4g (baseline %.4g + %.0f%% + %.4g)",
+						rule.Name, b.CPUs, rule.Metric, cv, ceil, bv, rule.Tolerance*100, rule.Slack))
+				}
+			}
+		}
+	}
+	for _, rule := range rrs {
+		subjects := current.Find(rule.Name)
+		if len(subjects) == 0 {
+			problems = append(problems, fmt.Sprintf("%s: missing from current run", rule.Name))
+			continue
+		}
+		for _, subj := range subjects {
+			ref, ok := current.findCPU(rule.Against, subj.CPUs)
+			if !ok {
+				problems = append(problems,
+					fmt.Sprintf("%s (cpus=%d): comparison benchmark %s missing", rule.Name, subj.CPUs, rule.Against))
+				continue
+			}
+			speedupOK := subj.Metrics["rounds/sec"] >= rule.MinSpeedup*ref.Metrics["rounds/sec"]
+			allocsOK := subj.Metrics["allocs/round"] <= rule.MaxAllocRatio*ref.Metrics["allocs/round"]
+			if !speedupOK && !allocsOK {
+				problems = append(problems, fmt.Sprintf(
+					"%s (cpus=%d): neither %.1fx rounds/sec over %s (%.4g vs %.4g) nor <=%.2fx allocs/round (%.4g vs %.4g)",
+					rule.Name, subj.CPUs, rule.MinSpeedup, rule.Against,
+					subj.Metrics["rounds/sec"], ref.Metrics["rounds/sec"],
+					rule.MaxAllocRatio, subj.Metrics["allocs/round"], ref.Metrics["allocs/round"]))
+			}
+		}
+	}
+	return problems
+}

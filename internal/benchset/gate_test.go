@@ -1,0 +1,135 @@
+package benchset
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(entries ...Result) *Doc { return &Doc{Benchmarks: entries} }
+
+func entry(name string, cpus int, roundsPerSec, allocsPerRound float64) Result {
+	return Result{
+		Name: name, CPUs: cpus, Iterations: 100,
+		Metrics: map[string]float64{"rounds/sec": roundsPerSec, "allocs/round": allocsPerRound},
+	}
+}
+
+func TestCompareBaselinePasses(t *testing.T) {
+	base := doc(entry("BenchmarkEngineRounds/pool", 1, 10000, 1))
+	// Faster and leaner than baseline: clean pass.
+	cur := doc(entry("BenchmarkEngineRounds/pool", 1, 12000, 1))
+	if problems := Compare(base, cur, DefaultBaselineRules(), nil); len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	// Wobble within the bands: still a pass.
+	cur = doc(entry("BenchmarkEngineRounds/pool", 1, 4100, 3))
+	if problems := Compare(base, cur, DefaultBaselineRules(), nil); len(problems) != 0 {
+		t.Fatalf("in-band wobble flagged: %v", problems)
+	}
+}
+
+func TestCompareBaselineCatchesRegressions(t *testing.T) {
+	base := doc(entry("BenchmarkEngineRounds/pool", 1, 10000, 1))
+	cases := []struct {
+		name string
+		cur  *Doc
+		want string
+	}{
+		{"throughput collapse", doc(entry("BenchmarkEngineRounds/pool", 1, 3000, 1)), "rounds/sec"},
+		{"alloc growth", doc(entry("BenchmarkEngineRounds/pool", 1, 10000, 10)), "allocs/round"},
+		{"vanished benchmark", doc(entry("BenchmarkOther", 1, 1, 1)), "missing"},
+	}
+	for _, tc := range cases {
+		problems := Compare(base, tc.cur, DefaultBaselineRules(), nil)
+		if len(problems) == 0 {
+			t.Errorf("%s: not flagged", tc.name)
+			continue
+		}
+		if !strings.Contains(problems[0], tc.want) {
+			t.Errorf("%s: problem %q does not mention %q", tc.name, problems[0], tc.want)
+		}
+	}
+}
+
+func TestCompareMatchesPerCPU(t *testing.T) {
+	base := doc(
+		entry("BenchmarkEngineRounds/pool", 1, 10000, 1),
+		entry("BenchmarkEngineRounds/pool", 4, 30000, 1),
+	)
+	// cpus=1 fine, cpus=4 collapsed: exactly one problem, naming cpus=4.
+	cur := doc(
+		entry("BenchmarkEngineRounds/pool", 1, 10000, 1),
+		entry("BenchmarkEngineRounds/pool", 4, 5000, 1),
+	)
+	problems := Compare(base, cur, DefaultBaselineRules(), nil)
+	if len(problems) != 1 || !strings.Contains(problems[0], "cpus=4") {
+		t.Fatalf("want one cpus=4 problem, got %v", problems)
+	}
+}
+
+func TestCompareNewBenchmarkSkipped(t *testing.T) {
+	// A benchmark absent from the baseline must not fail its first run.
+	base := doc(entry("BenchmarkEngineRounds/pool", 1, 10000, 1))
+	cur := doc(
+		entry("BenchmarkEngineRounds/pool", 1, 10000, 1),
+		entry("BenchmarkViolatedScan100k/generic", 1, 50, 400000),
+		entry("BenchmarkViolatedScan100k/kernel", 1, 500, 10),
+	)
+	if problems := Compare(base, cur, DefaultBaselineRules(), nil); len(problems) != 0 {
+		t.Fatalf("new benchmarks flagged: %v", problems)
+	}
+}
+
+func TestCompareRatioRules(t *testing.T) {
+	rr := DefaultRatioRules()
+	// Kernel 10x faster: pass on the speedup clause.
+	cur := doc(
+		entry("BenchmarkViolatedScan100k/generic", 1, 50, 400000),
+		entry("BenchmarkViolatedScan100k/kernel", 1, 500, 10),
+	)
+	if problems := Compare(doc(), cur, nil, rr); len(problems) != 0 {
+		t.Fatalf("clear win flagged: %v", problems)
+	}
+	// Same speed but 100x fewer allocs: pass on the allocs clause.
+	cur = doc(
+		entry("BenchmarkViolatedScan100k/generic", 1, 100, 1000),
+		entry("BenchmarkViolatedScan100k/kernel", 1, 100, 10),
+	)
+	if problems := Compare(doc(), cur, nil, rr); len(problems) != 0 {
+		t.Fatalf("alloc win flagged: %v", problems)
+	}
+	// Neither clause: fail.
+	cur = doc(
+		entry("BenchmarkViolatedScan100k/generic", 1, 100, 100),
+		entry("BenchmarkViolatedScan100k/kernel", 1, 150, 90),
+	)
+	problems := Compare(doc(), cur, nil, rr)
+	if len(problems) != 1 || !strings.Contains(problems[0], "neither") {
+		t.Fatalf("want one ratio problem, got %v", problems)
+	}
+	// Missing subject: fail loudly.
+	if problems := Compare(doc(), doc(), nil, rr); len(problems) == 0 {
+		t.Fatal("missing ratio subject not flagged")
+	}
+}
+
+func TestRequiredWorkloadsExist(t *testing.T) {
+	// The shared instance builds at the pinned size and the required list
+	// covers both sides of the ratio rules.
+	inst, err := Sinkless100k()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumEvents() != LargeN {
+		t.Fatalf("Sinkless100k has %d events, want %d", inst.NumEvents(), LargeN)
+	}
+	req := map[string]bool{}
+	for _, name := range Required() {
+		req[name] = true
+	}
+	for _, rule := range DefaultRatioRules() {
+		if !req[rule.Name] || !req[rule.Against] {
+			t.Errorf("ratio rule %s vs %s not covered by Required()", rule.Name, rule.Against)
+		}
+	}
+}

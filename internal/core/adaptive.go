@@ -48,13 +48,14 @@ func FixSequentialAdaptive(inst *model.Instance, adversary Adversary, opts Optio
 	g := inst.DependencyGraph()
 	ps := NewPStar(g)
 	a := model.NewAssignment(inst)
+	orc := newOracle(inst)
 	base := make([]float64, inst.NumEvents())
 	empty := model.NewAssignment(inst)
 	for v := 0; v < inst.NumEvents(); v++ {
-		base[v] = inst.CondProb(v, empty)
+		base[v] = orc.CondProb(v, empty)
 	}
 
-	f := &fixer{inst: inst, g: g, ps: ps, a: a, opts: opts}
+	f := &fixer{inst: inst, orc: orc, g: g, ps: ps, a: a, opts: opts}
 	if g.M() > 0 {
 		f.stats.PeakEdgeSum = 2
 	}
@@ -104,7 +105,7 @@ func FixSequentialAdaptive(inst *model.Instance, adversary Adversary, opts Optio
 	f.stats.VarsFixed = inst.NumVars()
 	f.stats.MaxEdgeSum = ps.MaxEdgeSum()
 	f.stats.MaxEventBound = ps.MaxEventBound()
-	violated, err := inst.CountViolated(a)
+	violated, err := f.orc.CountViolated(a)
 	if err != nil {
 		return nil, err
 	}

@@ -9,8 +9,8 @@ import (
 )
 
 // The choose* functions are the pure decision kernels of the paper's
-// processes: given the conditional-probability oracle (instance + partial
-// assignment) and the current bookkeeping values, they pick a value for one
+// processes: given the conditional-probability oracle (instance + optional
+// compiled kernel + partial assignment) and the current bookkeeping values, they pick a value for one
 // variable and return the updated bookkeeping. Both the sequential fixer
 // (FixSequential) and the distributed machines (Corollaries 1.2 and 1.4)
 // call them, which guarantees the two implementations make identical
@@ -18,12 +18,12 @@ import (
 
 // chooseRank1 picks a value for a variable affecting only event u. A value
 // with Inc(u, y) ≤ 1 exists because E_y[Inc(u, y)] = 1.
-func chooseRank1(inst *model.Instance, a *model.Assignment, vid, u int, opts Options) int {
-	d := inst.Var(vid).Dist
+func chooseRank1(orc oracle, a *model.Assignment, vid, u int, opts Options) int {
+	d := orc.inst.Var(vid).Dist
 	bestVal, bestInc := 0, math.Inf(1)
 	worstVal, worstInc := 0, math.Inf(-1)
 	for y := 0; y < d.Size(); y++ {
-		inc := inst.Inc(u, a, vid, y)
+		inc := orc.Inc(u, a, vid, y)
 		if inc < bestInc {
 			bestVal, bestInc = y, inc
 		}
@@ -42,8 +42,8 @@ func chooseRank1(inst *model.Instance, a *model.Assignment, vid, u int, opts Opt
 // edge e = {u, v}. It returns the chosen value, the new edge values
 // (ψ_e^u, ψ_e^v) with ψ_e^u + ψ_e^v ≤ s + t, and whether the float-noise
 // fallback was taken. This is the weighted Theorem 1.1 step.
-func chooseRank2(inst *model.Instance, a *model.Assignment, vid, u, v int, s, t float64, opts Options) (val int, newU, newV float64, fallback bool) {
-	d := inst.Var(vid).Dist
+func chooseRank2(orc oracle, a *model.Assignment, vid, u, v int, s, t float64, opts Options) (val int, newU, newV float64, fallback bool) {
+	d := orc.inst.Var(vid).Dist
 	budget := s + t
 	type cand struct {
 		val        int
@@ -55,8 +55,8 @@ func chooseRank2(inst *model.Instance, a *model.Assignment, vid, u, v int, s, t 
 	for y := 0; y < d.Size(); y++ {
 		c := cand{
 			val:  y,
-			incU: inst.Inc(u, a, vid, y),
-			incV: inst.Inc(v, a, vid, y),
+			incU: orc.Inc(u, a, vid, y),
+			incV: orc.Inc(v, a, vid, y),
 		}
 		c.score = s*c.incU + t*c.incV
 		if c.score < bestAny.score {
@@ -107,8 +107,8 @@ func chooseRank2(inst *model.Instance, a *model.Assignment, vid, u, v int, s, t 
 // chosen value together with the witness decomposition of the new triple
 // (which supplies the six new edge values), and whether the float-noise
 // fallback was taken. This is the Lemma 3.2 step.
-func chooseRank3(inst *model.Instance, a *model.Assignment, vid, u, v, w int, ta, tb, tc float64, opts Options) (val int, wit srep.Witness, fallback bool, err error) {
-	d := inst.Var(vid).Dist
+func chooseRank3(orc oracle, a *model.Assignment, vid, u, v, w int, ta, tb, tc float64, opts Options) (val int, wit srep.Witness, fallback bool, err error) {
+	d := orc.inst.Var(vid).Dist
 	type cand struct {
 		val        int
 		ta, tb, tc float64
@@ -120,9 +120,9 @@ func chooseRank3(inst *model.Instance, a *model.Assignment, vid, u, v, w int, ta
 	for y := 0; y < d.Size(); y++ {
 		c3 := cand{
 			val: y,
-			ta:  inst.Inc(u, a, vid, y) * ta,
-			tb:  inst.Inc(v, a, vid, y) * tb,
-			tc:  inst.Inc(w, a, vid, y) * tc,
+			ta:  orc.Inc(u, a, vid, y) * ta,
+			tb:  orc.Inc(v, a, vid, y) * tb,
+			tc:  orc.Inc(w, a, vid, y) * tc,
 		}
 		c3.score = c3.ta + c3.tb + c3.tc
 		if srep.IsRepresentable(c3.ta, c3.tb, c3.tc, opts.Tol) {

@@ -79,7 +79,8 @@ const (
 // lllMachine is the per-event LOCAL machine of the distributed fixers.
 type lllMachine struct {
 	inst *model.Instance
-	me   int // my event identifier (= my dependency-graph node)
+	orc  oracle // shared read-only by all machines of one run
+	me   int    // my event identifier (= my dependency-graph node)
 	opts Options
 	mode distMode
 	// obs is shared by all machines of one run (atomic collectors); nil
@@ -215,7 +216,7 @@ func (m *lllMachine) fixPrivateVars() {
 		if _, fixed := m.known[vid]; fixed {
 			continue
 		}
-		val := chooseRank1(m.inst, m.view, vid, m.me, m.opts)
+		val := chooseRank1(m.orc, m.view, vid, m.me, m.opts)
 		m.obs.step(m.inst.Var(vid).Dist.Size(), 1, false)
 		if err := m.learn(vid, val); err != nil {
 			m.err = err
@@ -276,7 +277,7 @@ func (m *lllMachine) actNodeClass(round int) {
 		switch len(events) {
 		case 1:
 			// Already handled in round 1; fix defensively if still open.
-			val := chooseRank1(m.inst, m.view, vid, m.me, m.opts)
+			val := chooseRank1(m.orc, m.view, vid, m.me, m.opts)
 			m.obs.step(m.inst.Var(vid).Dist.Size(), 1, false)
 			if err := m.learn(vid, val); err != nil {
 				m.err = err
@@ -300,7 +301,7 @@ func (m *lllMachine) fixRank2Local(vid, u, v, round int) {
 	edge := mkPair(u, v)
 	s := m.phiValue(edge, u)
 	t := m.phiValue(edge, v)
-	val, newU, newV, fallback := chooseRank2(m.inst, m.view, vid, u, v, s, t, m.opts)
+	val, newU, newV, fallback := chooseRank2(m.orc, m.view, vid, u, v, s, t, m.opts)
 	m.obs.step(m.inst.Var(vid).Dist.Size(), 2, fallback)
 	if err := m.learn(vid, val); err != nil {
 		m.err = err
@@ -319,7 +320,7 @@ func (m *lllMachine) fixRank3Local(vid, u, v, w, round int) {
 	a := m.phiValue(e, u) * m.phiValue(e1, u)
 	b := m.phiValue(e, v) * m.phiValue(e2, v)
 	c := m.phiValue(e1, w) * m.phiValue(e2, w)
-	val, wit, fallback, err := chooseRank3(m.inst, m.view, vid, u, v, w, a, b, c, m.opts)
+	val, wit, fallback, err := chooseRank3(m.orc, m.view, vid, u, v, w, a, b, c, m.opts)
 	if err != nil {
 		m.err = err
 		return
@@ -384,6 +385,7 @@ func FixDistributed2(inst *model.Instance, opts Options, lopts local.Options) (*
 	}
 	machines := make([]*lllMachine, g.N())
 	fo := newFixObs(opts.Metrics)
+	orc := newOracle(inst) // compiled once, shared read-only by every machine
 	stats, err := local.Run(g, func(v int) local.Machine {
 		edgeClass := make(map[int]int, g.Degree(v))
 		g.ForEachNeighbor(v, func(u, edgeID int) {
@@ -391,6 +393,7 @@ func FixDistributed2(inst *model.Instance, opts Options, lopts local.Options) (*
 		})
 		machines[v] = &lllMachine{
 			inst:       inst,
+			orc:        orc,
 			me:         v,
 			opts:       opts,
 			mode:       modeEdgeClasses,
@@ -422,9 +425,11 @@ func FixDistributed3(inst *model.Instance, opts Options, lopts local.Options) (*
 	}
 	machines := make([]*lllMachine, g.N())
 	fo := newFixObs(opts.Metrics)
+	orc := newOracle(inst) // compiled once, shared read-only by every machine
 	stats, err := local.Run(g, func(v int) local.Machine {
 		machines[v] = &lllMachine{
 			inst:       inst,
+			orc:        orc,
 			me:         v,
 			opts:       opts,
 			mode:       modeNodeClasses,
@@ -480,7 +485,7 @@ func collectDistResult(inst *model.Instance, machines []*lllMachine, coloringRou
 			a.Fix(vid, 0) // affects nothing
 		}
 	}
-	violated, err := inst.CountViolated(a)
+	violated, err := newOracle(inst).CountViolated(a)
 	if err != nil {
 		return nil, err
 	}

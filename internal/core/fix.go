@@ -182,16 +182,17 @@ func FixSequentialCtx(ctx context.Context, inst *model.Instance, order []int, op
 	g := inst.DependencyGraph()
 	ps := NewPStar(g)
 	a := model.NewAssignment(inst)
+	orc := newOracle(inst)
 
 	// Per-event unconditional probabilities: the bases of the P* invariant
 	// and of the certified-bound peak tracking.
 	base := make([]float64, inst.NumEvents())
 	empty := model.NewAssignment(inst)
 	for v := 0; v < inst.NumEvents(); v++ {
-		base[v] = inst.CondProb(v, empty)
+		base[v] = orc.CondProb(v, empty)
 	}
 
-	f := &fixer{inst: inst, g: g, ps: ps, a: a, opts: opts, obs: newFixObs(opts.Metrics)}
+	f := &fixer{inst: inst, orc: orc, g: g, ps: ps, a: a, opts: opts, obs: newFixObs(opts.Metrics)}
 	if g.M() > 0 {
 		f.stats.PeakEdgeSum = 2 // all φ start at 1
 	}
@@ -237,7 +238,7 @@ func FixSequentialCtx(ctx context.Context, inst *model.Instance, order []int, op
 	f.stats.VarsFixed = inst.NumVars()
 	f.stats.MaxEdgeSum = ps.MaxEdgeSum()
 	f.stats.MaxEventBound = ps.MaxEventBound()
-	violated, err := inst.CountViolated(a)
+	violated, err := f.orc.CountViolated(a)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +295,7 @@ func checkPermutation(order []int, n int) error {
 // fixer carries the mutable state of one sequential run.
 type fixer struct {
 	inst  *model.Instance
+	orc   oracle
 	g     *graph.Graph
 	ps    *PStar
 	a     *model.Assignment
@@ -389,7 +391,7 @@ func (f *fixer) fixOne(vid int) error {
 // every φ untouched and keeps P* intact. (In the paper's framing this is a
 // rank-3 variable padded with two virtual events that nothing depends on.)
 func (f *fixer) fixRank1(vid, u int) {
-	val := chooseRank1(f.inst, f.a, vid, u, f.opts)
+	val := chooseRank1(f.orc, f.a, vid, u, f.opts)
 	f.obs.step(f.inst.Var(vid).Dist.Size(), 1, false)
 	events := []int{u}
 	before := f.captureBefore(vid, events)
@@ -411,7 +413,7 @@ func (f *fixer) fixRank2(vid, u, v int) error {
 	}
 	s := f.ps.Value(edgeID, u)
 	t := f.ps.Value(edgeID, v)
-	val, newU, newV, fallback := chooseRank2(f.inst, f.a, vid, u, v, s, t, f.opts)
+	val, newU, newV, fallback := chooseRank2(f.orc, f.a, vid, u, v, s, t, f.opts)
 	if fallback {
 		f.stats.Fallbacks++
 	}
@@ -446,7 +448,7 @@ func (f *fixer) fixRank3(vid, u, v, w int) error {
 	b := f.ps.Value(e, v) * f.ps.Value(e2, v)
 	c := f.ps.Value(e1, w) * f.ps.Value(e2, w)
 
-	val, wit, fallback, err := chooseRank3(f.inst, f.a, vid, u, v, w, a, b, c, f.opts)
+	val, wit, fallback, err := chooseRank3(f.orc, f.a, vid, u, v, w, a, b, c, f.opts)
 	if err != nil {
 		return err
 	}

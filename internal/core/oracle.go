@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/model"
+)
+
+// oracle is the conditional-probability backend the fixers drive their
+// decisions through. With a compiled kernel it answers Inc / CondProb /
+// CountViolated from the flat closed-form tables (allocation-free and
+// bitwise identical to the generic engine); without one — kernels disabled
+// or the instance not compilable — it delegates to the instance itself.
+// Both the sequential fixer and the distributed machines query the same
+// oracle type, preserving the guarantee that the two implementations make
+// identical choices from identical local views.
+type oracle struct {
+	inst *model.Instance
+	k    *kernel.Compiled // nil: generic path
+}
+
+// newOracle returns the oracle for inst, kernel-backed when available.
+func newOracle(inst *model.Instance) oracle {
+	return oracle{inst: inst, k: kernel.For(inst)}
+}
+
+// Inc is model.Instance.Inc: the probability increase factor of event id
+// when variable varID is fixed to value (0 when the base probability is 0).
+func (o oracle) Inc(id int, a *model.Assignment, varID, value int) float64 {
+	if o.k != nil {
+		return o.k.Inc(id, a, varID, value)
+	}
+	return o.inst.Inc(id, a, varID, value)
+}
+
+// CondProb is model.Instance.CondProb.
+func (o oracle) CondProb(id int, a *model.Assignment) float64 {
+	if o.k != nil {
+		return o.k.CondProb(id, a)
+	}
+	return o.inst.CondProb(id, a)
+}
+
+// CountViolated is model.Instance.CountViolated.
+func (o oracle) CountViolated(a *model.Assignment) (int, error) {
+	if o.k != nil {
+		return o.k.CountViolatedModel(a)
+	}
+	return o.inst.CountViolated(a)
+}

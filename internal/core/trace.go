@@ -128,7 +128,7 @@ func (f *fixer) captureIncs(vid, value int, events []int) []float64 {
 	}
 	incs := make([]float64, len(events))
 	for i, e := range events {
-		incs[i] = f.inst.Inc(e, f.a, vid, value)
+		incs[i] = f.orc.Inc(e, f.a, vid, value)
 	}
 	return incs
 }

@@ -13,8 +13,12 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/prng"
 )
@@ -258,8 +262,14 @@ func TestGoldenTablesWithContext(t *testing.T) {
 // the observability invariant: with checkpointing active on every
 // sequential fixer run (Sizes.Checkpoint → core.Options.CheckpointEvery),
 // each golden case still reproduces its checked-in bytes exactly. Capture
-// is a pure copy, so snapshots must never perturb results.
+// is a pure copy, so snapshots must never perturb results. The sweep runs
+// twice — once on the compiled CSR/bitset kernel path (the default) and
+// once with kernels disabled — because the checked-in bytes pin BOTH paths:
+// the kernels' strict-equivalence contract says no golden may move when
+// they are switched off.
 func TestGoldenTablesWithCheckpointing(t *testing.T) {
+	prev := kernel.SetEnabled(true)
+	defer kernel.SetEnabled(prev)
 	for _, gc := range goldenCases() {
 		gc := gc
 		t.Run(gc.name, func(t *testing.T) {
@@ -268,17 +278,81 @@ func TestGoldenTablesWithCheckpointing(t *testing.T) {
 			if err != nil {
 				t.Fatalf("missing golden (run TestGoldenTables with -update first): %v", err)
 			}
-			for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-				tbl, err := gc.run(Sizes{Workers: workers, Checkpoint: 4})
-				if err != nil {
-					t.Fatalf("Workers=%d: %v", workers, err)
-				}
-				if got := renderCSV(t, tbl); !bytes.Equal(got, want) {
-					t.Errorf("Workers=%d with checkpointing deviates from %s:\ngot:\n%s\nwant:\n%s", workers, path, got, want)
+			for _, kernels := range []bool{true, false} {
+				kernel.SetEnabled(kernels)
+				for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+					tbl, err := gc.run(Sizes{Workers: workers, Checkpoint: 4})
+					if err != nil {
+						t.Fatalf("kernels=%v Workers=%d: %v", kernels, workers, err)
+					}
+					if got := renderCSV(t, tbl); !bytes.Equal(got, want) {
+						t.Errorf("kernels=%v Workers=%d with checkpointing deviates from %s:\ngot:\n%s\nwant:\n%s",
+							kernels, workers, path, got, want)
+					}
 				}
 			}
+			kernel.SetEnabled(true)
 		})
 	}
+	t.Run("cross-path-resume", testGoldenCheckpointCrossPathResume)
+}
+
+// testGoldenCheckpointCrossPathResume proves the checkpoint-interchange
+// half of the kernel equivalence contract at the fixer level: a checkpoint
+// captured on the generic path resumes bit-identically on the CSR kernel
+// path and vice versa. The workload is the T1 substrate (sinkless cycle,
+// sequential fixer), where a checkpoint carries the full φ state.
+func testGoldenCheckpointCrossPathResume(t *testing.T) {
+	prev := kernel.SetEnabled(true)
+	defer kernel.SetEnabled(prev)
+	s, err := apps.NewSinklessWithMargin(graph.Cycle(64), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := s.Instance
+
+	sameFix := func(label string, got, want *core.Result) {
+		t.Helper()
+		if got.Stats != want.Stats {
+			t.Fatalf("%s: stats %+v differ from baseline %+v", label, got.Stats, want.Stats)
+		}
+		gv, _ := got.Assignment.Values()
+		wv, _ := want.Assignment.Values()
+		for i := range wv {
+			if gv[i] != wv[i] {
+				t.Fatalf("%s: assignment[%d] = %d, want %d", label, i, gv[i], wv[i])
+			}
+		}
+	}
+	capture := func(kernels bool) (*core.Result, []*fault.Checkpoint) {
+		kernel.SetEnabled(kernels)
+		var cps []*fault.Checkpoint
+		res, err := core.FixSequential(inst, nil, core.Options{
+			CheckpointEvery: 5,
+			OnCheckpoint:    func(cp *fault.Checkpoint) { cps = append(cps, cp) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cps
+	}
+	resume := func(kernels bool, cp *fault.Checkpoint) *core.Result {
+		kernel.SetEnabled(kernels)
+		res, err := core.FixSequential(inst, nil, core.Options{Resume: cp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	baseline, genCps := capture(false)
+	kernelRun, kerCps := capture(true)
+	sameFix("kernel uninterrupted", kernelRun, baseline)
+	if len(genCps) == 0 || len(kerCps) == 0 {
+		t.Fatal("fixer finished before the first checkpoint — enlarge the workload")
+	}
+	sameFix("generic->kernel resume", resume(true, genCps[len(genCps)/2]), baseline)
+	sameFix("kernel->generic resume", resume(false, kerCps[len(kerCps)/2]), baseline)
 }
 
 // TestSequentialTableCheckpointingByteIdentical drives the invariant

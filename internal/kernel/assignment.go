@@ -1,0 +1,172 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// Assignment is the bit-packed counterpart of model.Assignment: variable
+// values live valBits apart inside 64-bit words (valBits is a power of two,
+// so a value never straddles a word), and the fixed mask is a plain bitset.
+// The semantics mirror model.Assignment exactly — Fix panics on re-fixing,
+// Value panics on unfixed reads — so the two representations can be
+// round-tripped and differentially tested against each other. One addition,
+// Set, overwrites a fixed variable in place; it is the resampling write the
+// Moser-Tardos hot loop needs.
+type Assignment struct {
+	c        *Compiled
+	words    []uint64 // packed values
+	fixed    []uint64 // fixed bitset, one bit per variable
+	numFixed int
+}
+
+// NewAssignment returns an empty (nothing fixed) packed assignment.
+func (c *Compiled) NewAssignment() *Assignment {
+	return &Assignment{
+		c:     c,
+		words: make([]uint64, c.valWords),
+		fixed: make([]uint64, (c.numVars+63)/64),
+	}
+}
+
+// Reset unfixes every variable.
+func (a *Assignment) Reset() {
+	for i := range a.words {
+		a.words[i] = 0
+	}
+	for i := range a.fixed {
+		a.fixed[i] = 0
+	}
+	a.numFixed = 0
+}
+
+// value reads the packed value of variable id without a fixed check; the
+// scan paths use it after verifying Complete once.
+func (a *Assignment) value(id int) int {
+	w := a.words[uint(id)>>a.c.vpwShift]
+	return int(w >> ((uint(id) & a.c.vpwMask) << a.c.valShift) & a.c.valMask)
+}
+
+// setValue writes the packed value of variable id.
+func (a *Assignment) setValue(id, value int) {
+	wi := uint(id) >> a.c.vpwShift
+	sh := (uint(id) & a.c.vpwMask) << a.c.valShift
+	a.words[wi] = a.words[wi]&^(a.c.valMask<<sh) | uint64(value)<<sh
+}
+
+// Fixed reports whether variable id has been fixed.
+func (a *Assignment) Fixed(id int) bool {
+	return a.fixed[uint(id)>>6]>>(uint(id)&63)&1 == 1
+}
+
+// Value returns the value fixed for variable id, panicking if it is not
+// fixed (reading an unfixed variable is always a bug, as in model).
+func (a *Assignment) Value(id int) int {
+	if !a.Fixed(id) {
+		panic(fmt.Sprintf("kernel: Value of unfixed variable %d", id))
+	}
+	return a.value(id)
+}
+
+// checkValue panics when value does not fit the packed width. The packed
+// representation is stricter than model.Assignment here: an oversized value
+// would be silently truncated, so it is rejected loudly instead.
+func (a *Assignment) checkValue(id, value int) {
+	if value < 0 || uint64(value) > a.c.valMask {
+		panic(fmt.Sprintf("kernel: value %d of variable %d outside the %d-bit packed range", value, id, a.c.valBits))
+	}
+}
+
+// Fix fixes variable id to the given value index, panicking if it is
+// already fixed (mirroring model.Assignment.Fix).
+func (a *Assignment) Fix(id, value int) {
+	if a.Fixed(id) {
+		panic(fmt.Sprintf("kernel: variable %d fixed twice", id))
+	}
+	a.checkValue(id, value)
+	a.fixed[uint(id)>>6] |= 1 << (uint(id) & 63)
+	a.setValue(id, value)
+	a.numFixed++
+}
+
+// Unfix reverts a Fix, panicking if the variable is not fixed.
+func (a *Assignment) Unfix(id int) {
+	if !a.Fixed(id) {
+		panic(fmt.Sprintf("kernel: Unfix of unfixed variable %d", id))
+	}
+	a.fixed[uint(id)>>6] &^= 1 << (uint(id) & 63)
+	a.setValue(id, 0)
+	a.numFixed--
+}
+
+// Set fixes variable id to value, overwriting the previous value if the
+// variable is already fixed. It is the in-place resampling write.
+func (a *Assignment) Set(id, value int) {
+	a.checkValue(id, value)
+	wi := uint(id) >> 6
+	bit := uint64(1) << (uint(id) & 63)
+	if a.fixed[wi]&bit == 0 {
+		a.fixed[wi] |= bit
+		a.numFixed++
+	}
+	a.setValue(id, value)
+}
+
+// NumFixed returns the number of fixed variables.
+func (a *Assignment) NumFixed() int { return a.numFixed }
+
+// Complete reports whether every variable is fixed.
+func (a *Assignment) Complete() bool { return a.numFixed == a.c.numVars }
+
+// Values returns a copy of the value vector and the fixed mask, in the same
+// shape as model.Assignment.Values (unfixed entries read 0).
+func (a *Assignment) Values() (values []int, fixed []bool) {
+	values = make([]int, a.c.numVars)
+	fixed = make([]bool, a.c.numVars)
+	for id := 0; id < a.c.numVars; id++ {
+		if a.Fixed(id) {
+			fixed[id] = true
+			values[id] = a.value(id)
+		}
+	}
+	return values, fixed
+}
+
+// PackFrom overwrites a with the contents of the model assignment ma.
+func (a *Assignment) PackFrom(ma *model.Assignment) {
+	a.Reset()
+	for id := 0; id < a.c.numVars; id++ {
+		if ma.Fixed(id) {
+			a.Fix(id, ma.Value(id))
+		}
+	}
+}
+
+// UnpackTo returns a fresh model.Assignment with the same fixed variables
+// and values as a.
+func (a *Assignment) UnpackTo() *model.Assignment {
+	ma := model.NewAssignment(a.c.inst)
+	for id := 0; id < a.c.numVars; id++ {
+		if a.Fixed(id) {
+			ma.Fix(id, a.value(id))
+		}
+	}
+	return ma
+}
+
+// SampleVar draws a value for variable v from its distribution using r,
+// consuming exactly the same PRNG stream and returning exactly the same
+// value as dist.Distribution.Sample: one Float64 draw, then a linear scan
+// of the (verbatim-copied) cumulative sums.
+func (c *Compiled) SampleVar(v int, r *prng.Rand) int {
+	u := r.Float64()
+	off, size := c.distFor(int32(v))
+	for i := int32(0); i < size; i++ {
+		if u < c.cum[off+i] {
+			return int(i)
+		}
+	}
+	return int(size) - 1
+}

@@ -1,0 +1,119 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+)
+
+// FuzzAssignmentPackRoundTrip drives a fuzzer-chosen Fix/Unfix/Set program
+// against the bit-packed Assignment and a plain model.Assignment in
+// lockstep, over a fuzzer-chosen variable layout (count and per-variable
+// value-space sizes, which select the packed width). After every operation
+// the fixed mask, fixed count and fixed values must agree, and at the end
+// the state must survive PackFrom/UnpackTo round trips in both directions.
+//
+// Byte program: data[0] picks the variable count (1..16), the next numVars
+// bytes pick each variable's value-space size (1..64 — spanning the 1, 2, 4
+// and 8-bit packed widths), and the rest is consumed in (op, var, value)
+// triples.
+func FuzzAssignmentPackRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x02, 0x01, 0x3f, 0x02, 0x00, 0x30, 0x00, 0x01, 0x05})
+	f.Add([]byte{0x07, 0x01, 0x02, 0x03, 0x04, 0x1f, 0x20, 0x3e,
+		0x00, 0x03, 0x02, 0x01, 0x03, 0x00, 0x02, 0x06, 0x11, 0x02, 0x06, 0x12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		numVars := int(data[0]%16) + 1
+		data = data[1:]
+		if len(data) < numVars {
+			return
+		}
+		b := model.NewBuilder()
+		sizes := make([]int, numVars)
+		ds := make([]*dist.Distribution, numVars)
+		for v := 0; v < numVars; v++ {
+			sizes[v] = int(data[v]%64) + 1
+			ds[v] = dist.Uniform(sizes[v])
+			b.AddVariable(ds[v], "")
+		}
+		data = data[numVars:]
+		// One event so the instance builds; its shape is irrelevant here.
+		model.AddConjunctionEvent(b, []int{0}, [][]int{{0}}, ds[:1], "anchor")
+		inst, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ka := c.NewAssignment()
+		ma := model.NewAssignment(inst)
+		check := func(step int) {
+			if ka.NumFixed() != ma.NumFixed() || ka.Complete() != ma.Complete() {
+				t.Fatalf("step %d: counters diverge: packed %d/%v model %d/%v",
+					step, ka.NumFixed(), ka.Complete(), ma.NumFixed(), ma.Complete())
+			}
+			for v := 0; v < numVars; v++ {
+				if ka.Fixed(v) != ma.Fixed(v) {
+					t.Fatalf("step %d: Fixed(%d) diverges", step, v)
+				}
+				if ka.Fixed(v) && ka.Value(v) != ma.Value(v) {
+					t.Fatalf("step %d: Value(%d): packed %d model %d",
+						step, v, ka.Value(v), ma.Value(v))
+				}
+			}
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			v := int(data[i+1]) % numVars
+			val := int(data[i+2]) % sizes[v]
+			switch data[i] % 3 {
+			case 0:
+				if !ma.Fixed(v) {
+					ma.Fix(v, val)
+					ka.Fix(v, val)
+				}
+			case 1:
+				if ma.Fixed(v) {
+					ma.Unfix(v)
+					ka.Unfix(v)
+				}
+			default: // Set = fix-or-overwrite
+				if ma.Fixed(v) {
+					ma.Unfix(v)
+				}
+				ma.Fix(v, val)
+				ka.Set(v, val)
+			}
+			check(i)
+		}
+
+		// Round trips: packed -> model -> packed and model -> packed.
+		back := ka.UnpackTo()
+		ka2 := c.NewAssignment()
+		ka2.PackFrom(back)
+		for v := 0; v < numVars; v++ {
+			if ka2.Fixed(v) != ka.Fixed(v) {
+				t.Fatalf("round trip: Fixed(%d) diverges", v)
+			}
+			if ka.Fixed(v) && ka2.Value(v) != ka.Value(v) {
+				t.Fatalf("round trip: Value(%d) diverges", v)
+			}
+		}
+		ka3 := c.NewAssignment()
+		ka3.PackFrom(ma)
+		for v := 0; v < numVars; v++ {
+			if ka3.Fixed(v) != ma.Fixed(v) {
+				t.Fatalf("PackFrom: Fixed(%d) diverges", v)
+			}
+			if ma.Fixed(v) && ka3.Value(v) != ma.Value(v) {
+				t.Fatalf("PackFrom: Value(%d) diverges", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package mt
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/prng"
+)
+
+// The kernel differential layer for the resamplers: the generic path (the
+// original per-event violatedEvents walk over model.Assignment) is the
+// oracle, and every run through the compiled CSR/bitset kernels must
+// reproduce it bit for bit — same resampling counts, same rounds, same
+// final assignment — because both paths consume the identical PRNG stream.
+// kernel.SetEnabled is the process-wide switch that forces the generic
+// path; each instance is rebuilt per mode so the For cache never leaks a
+// compiled kernel into a disabled run.
+
+// withKernel runs fn twice, first with kernels enabled, then disabled, and
+// returns the two results for comparison. The previous enabled state is
+// restored afterwards.
+func withKernel(t *testing.T, fn func(t *testing.T) *Result) (on, off *Result) {
+	t.Helper()
+	prev := kernel.SetEnabled(true)
+	defer kernel.SetEnabled(prev)
+	on = fn(t)
+	kernel.SetEnabled(false)
+	off = fn(t)
+	return on, off
+}
+
+// TestSequentialKernelMatchesGeneric pins the sequential resampler:
+// kernel-on and kernel-off runs from the same seed are bit-identical on
+// every differential instance family.
+func TestSequentialKernelMatchesGeneric(t *testing.T) {
+	for name, inst := range diffInstances(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			on, off := withKernel(t, func(t *testing.T) *Result {
+				res, err := Sequential(inst, prng.New(11), 500000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			})
+			assertSameRun(t, "sequential kernel-vs-generic", on, off)
+		})
+	}
+}
+
+// TestParallelKernelMatchesGeneric pins the parallel-rounds resampler,
+// whose kernel path also swaps in the bitset local-minimum selection
+// (HasLowerViolatedNeighbor) for the generic neighbor-map walk.
+func TestParallelKernelMatchesGeneric(t *testing.T) {
+	for name, inst := range diffInstances(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			on, off := withKernel(t, func(t *testing.T) *Result {
+				res, err := Parallel(inst, prng.New(13), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			})
+			assertSameRun(t, "parallel kernel-vs-generic", on, off)
+		})
+	}
+}
+
+// TestOneShotKernelMatchesGeneric pins the single-sample scan and the
+// failure-rate estimator built on it.
+func TestOneShotKernelMatchesGeneric(t *testing.T) {
+	for name, inst := range diffInstances(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			type shot struct {
+				violated []int
+				fail     float64
+				mean     float64
+			}
+			run := func(t *testing.T) shot {
+				a, n, err := OneShot(inst, prng.New(17))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !a.Complete() {
+					t.Fatal("OneShot returned a partial assignment")
+				}
+				var violated []int
+				for e := 0; e < inst.NumEvents(); e++ {
+					bad, err := inst.Violated(e, a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bad {
+						violated = append(violated, e)
+					}
+				}
+				if n != len(violated) {
+					t.Fatalf("OneShot count %d but %d events violated", n, len(violated))
+				}
+				fail, mean, err := EstimateFailureRate(inst, prng.New(19), 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return shot{violated, fail, mean}
+			}
+			var on, off shot
+			prev := kernel.SetEnabled(true)
+			defer kernel.SetEnabled(prev)
+			on = run(t)
+			kernel.SetEnabled(false)
+			off = run(t)
+			if !sort.IntsAreSorted(on.violated) {
+				t.Error("kernel violated list not ascending")
+			}
+			if len(on.violated) != len(off.violated) {
+				t.Fatalf("violated counts diverge: %d vs %d", len(on.violated), len(off.violated))
+			}
+			for i := range on.violated {
+				if on.violated[i] != off.violated[i] {
+					t.Fatalf("violated[%d]: %d vs %d", i, on.violated[i], off.violated[i])
+				}
+			}
+			if on.fail != off.fail || on.mean != off.mean {
+				t.Fatalf("EstimateFailureRate diverges: (%v,%v) vs (%v,%v)",
+					on.fail, on.mean, off.fail, off.mean)
+			}
+		})
+	}
+}
+
+// TestKernelCrossPathCheckpointResume is the checkpoint-interchange
+// invariant: a checkpoint captured on the generic path must resume
+// bit-identically on the kernel path, and vice versa, for both resamplers.
+// This holds because the checkpoint payload is the plain value vector plus
+// the PRNG state — the packed kernel assignment is a mirror, rebuilt from
+// the restored model.Assignment at resume time.
+func TestKernelCrossPathCheckpointResume(t *testing.T) {
+	insts := diffInstances(t)
+	prev := kernel.SetEnabled(true)
+	defer kernel.SetEnabled(prev)
+
+	type runner struct {
+		name string
+		run  func(o Observer) (*Result, error)
+	}
+	for name, inst := range insts {
+		inst := inst
+		runners := []runner{
+			{"sequential", func(o Observer) (*Result, error) {
+				return SequentialObs(inst, prng.New(23), 500000, o)
+			}},
+			{"parallel", func(o Observer) (*Result, error) {
+				return ParallelObs(inst, prng.New(23), 0, o)
+			}},
+		}
+		for _, rn := range runners {
+			rn := rn
+			t.Run(name+"/"+rn.name, func(t *testing.T) {
+				capture := func(enabled bool) (*Result, []*fault.Checkpoint) {
+					kernel.SetEnabled(enabled)
+					var cps []*fault.Checkpoint
+					res, err := rn.run(Observer{
+						CheckpointEvery: 2,
+						OnCheckpoint:    func(cp *fault.Checkpoint) { cps = append(cps, cp) },
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, cps
+				}
+				resume := func(enabled bool, cp *fault.Checkpoint) *Result {
+					kernel.SetEnabled(enabled)
+					res, err := rn.run(Observer{Resume: cp})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+
+				baseline, genCps := capture(false)
+				_, kerCps := capture(true)
+				if len(genCps) == 0 || len(kerCps) == 0 {
+					t.Skip("run finished before the first checkpoint — nothing to resume")
+				}
+				if len(genCps) != len(kerCps) {
+					t.Fatalf("checkpoint counts diverge: generic %d, kernel %d", len(genCps), len(kerCps))
+				}
+
+				// Generic-path checkpoint resumed on the kernel path...
+				got := resume(true, genCps[len(genCps)/2])
+				assertSameRun(t, rn.name+" generic->kernel resume", got, baseline)
+				// ...and a kernel-path checkpoint resumed on the generic path.
+				got = resume(false, kerCps[len(kerCps)/2])
+				assertSameRun(t, rn.name+" kernel->generic resume", got, baseline)
+			})
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/prng"
 )
@@ -68,6 +69,36 @@ type Result struct {
 	Rounds int
 }
 
+// kern bundles the per-run kernel state of a resampler: the compiled CSR
+// kernel, a bit-packed mirror of the working assignment and the scan
+// scratch. The model.Assignment stays the source of truth (checkpoints,
+// results and restores read it unchanged); the mirror only feeds the
+// word-parallel violated-event scan. nil means kernels are disabled or the
+// instance is not compilable, and the generic path runs instead.
+type kern struct {
+	k   *kernel.Compiled
+	ka  *kernel.Assignment
+	scr *kernel.Scratch
+}
+
+// newKern returns the kernel state for inst, or nil for the generic path.
+func newKern(inst *model.Instance) *kern {
+	k := kernel.For(inst)
+	if k == nil {
+		return nil
+	}
+	return &kern{k: k, ka: k.NewAssignment(), scr: k.NewScratch()}
+}
+
+// sync overwrites the packed mirror with the model assignment; called after
+// the initial sample and after a checkpoint restore, which is what makes
+// checkpoints freely interchangeable between the generic and kernel paths.
+func (kn *kern) sync(a *model.Assignment) {
+	if kn != nil {
+		kn.ka.PackFrom(a)
+	}
+}
+
 // sampleAll draws every variable of inst independently from its
 // distribution.
 func sampleAll(inst *model.Instance, r *prng.Rand) *model.Assignment {
@@ -78,19 +109,45 @@ func sampleAll(inst *model.Instance, r *prng.Rand) *model.Assignment {
 	return a
 }
 
-// resample redraws the scope variables of event id.
-func resample(inst *model.Instance, a *model.Assignment, id int, r *prng.Rand) {
+// resample redraws the scope variables of event id, keeping the packed
+// mirror (if any) in step.
+func resample(inst *model.Instance, a *model.Assignment, id int, r *prng.Rand, kn *kern) {
 	for _, vid := range inst.Event(id).Scope {
 		a.Unfix(vid)
-		a.Fix(vid, inst.Var(vid).Dist.Sample(r))
+		v := inst.Var(vid).Dist.Sample(r)
+		a.Fix(vid, v)
+		if kn != nil {
+			kn.ka.Set(vid, v)
+		}
 	}
 }
 
-// violatedEvents returns the identifiers of all events that occur under the
-// complete assignment a. Evaluation is read-only per event, so it is
-// sharded over the shared worker pool; flags and errors are written
-// index-addressed, keeping the result (including which error is reported)
-// independent of the worker count. mo (may be nil) records the scan cost.
+// scanViolated returns the identifiers of all events violated under the
+// complete assignment, dispatching to the kernel's word-parallel bitset
+// scan when available and to the generic per-event walk otherwise. Both
+// paths shard over the shared pool and return the same ascending list for
+// every worker count. The kernel-path slice is reused across scans; callers
+// must not retain it past the iteration, which none do.
+func scanViolated(inst *model.Instance, a *model.Assignment, kn *kern, mo *mtObs) ([]int, error) {
+	if kn == nil {
+		return violatedEvents(inst, a, mo)
+	}
+	out, err := kn.k.Violated(kn.ka, engine.Shared(), kn.scr)
+	if err != nil {
+		return nil, err
+	}
+	mo.scan(inst.NumEvents(), len(out))
+	return out, nil
+}
+
+// violatedEvents is the generic violated-event scan: it walks every event
+// through model.Instance.Violated under the complete assignment a.
+// Evaluation is read-only per event, so it is sharded over the shared
+// worker pool; flags and errors are written index-addressed, keeping the
+// result (including which error is reported) independent of the worker
+// count. mo (may be nil) records the scan cost. The resamplers use it when
+// kernels are disabled, and the differential tests keep it as the oracle
+// the kernel scan must agree with.
 func violatedEvents(inst *model.Instance, a *model.Assignment, mo *mtObs) ([]int, error) {
 	m := inst.NumEvents()
 	bad := make([]bool, m)
@@ -118,8 +175,15 @@ func violatedEvents(inst *model.Instance, a *model.Assignment, mo *mtObs) ([]int
 // assignment" baseline: under p = 2^-d each event still fails with its full
 // probability, which is what the sharp-threshold experiment visualizes.
 func OneShot(inst *model.Instance, r *prng.Rand) (*model.Assignment, int, error) {
+	return oneShot(inst, r, newKern(inst))
+}
+
+// oneShot is OneShot with caller-provided kernel state, so repeated trials
+// (EstimateFailureRate) reuse one packed mirror and scratch.
+func oneShot(inst *model.Instance, r *prng.Rand, kn *kern) (*model.Assignment, int, error) {
 	a := sampleAll(inst, r)
-	violated, err := violatedEvents(inst, a, nil)
+	kn.sync(a)
+	violated, err := scanViolated(inst, a, kn, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -165,11 +229,13 @@ func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxR
 		a = sampleAll(inst, r)
 	}
 	res.Assignment = a
+	kn := newKern(inst)
+	kn.sync(a)
 	for res.Resamplings < maxResamplings {
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("mt: sequential resampler cancelled after %d resamplings: %w", res.Resamplings, cerr)
 		}
-		violated, err := violatedEvents(inst, a, mo)
+		violated, err := scanViolated(inst, a, kn, mo)
 		if err != nil {
 			return nil, err
 		}
@@ -177,14 +243,14 @@ func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxR
 			res.Satisfied = true
 			return res, nil
 		}
-		resample(inst, a, violated[0], r)
+		resample(inst, a, violated[0], r, kn)
 		res.Resamplings++
 		mo.iteration(res.Resamplings, len(violated), 1)
 		if o.checkpointing() && res.Resamplings%o.CheckpointEvery == 0 {
 			o.OnCheckpoint(capture(CheckpointSeq, res.Resamplings, res.Resamplings, a, r))
 		}
 	}
-	violated, err := violatedEvents(inst, a, mo)
+	violated, err := scanViolated(inst, a, kn, mo)
 	if err != nil {
 		return nil, err
 	}
@@ -238,11 +304,13 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 		a = sampleAll(inst, r)
 	}
 	res.Assignment = a
+	kn := newKern(inst)
+	kn.sync(a)
 	for res.Rounds < maxRounds {
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("mt: parallel resampler cancelled after %d rounds: %w", res.Rounds, cerr)
 		}
-		violated, err := violatedEvents(inst, a, mo)
+		violated, err := scanViolated(inst, a, kn, mo)
 		if err != nil {
 			return nil, err
 		}
@@ -251,28 +319,41 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 			return res, nil
 		}
 		res.Rounds++
-		isViolated := make(map[int]bool, len(violated))
-		for _, id := range violated {
-			isViolated[id] = true
-		}
 		// Priority selection: violated events that are local minima among
 		// violated neighbors resample. The set is independent, so the
 		// resampled scopes are disjoint... not necessarily disjoint
 		// (non-adjacent events share no variable by definition), hence
-		// order within the round is irrelevant.
+		// order within the round is irrelevant. The kernel path reads the
+		// scan's violated bitset directly through the adjacency CSR; the
+		// generic path materializes the same set as a map.
 		selected := 0
-		for _, id := range violated {
-			minimum := true
-			for _, u := range g.Neighbors(id) {
-				if isViolated[u] && u < id {
-					minimum = false
-					break
+		if kn != nil {
+			vbits := kn.scr.Bits()
+			for _, id := range violated {
+				if !kn.k.HasLowerViolatedNeighbor(vbits, id) {
+					resample(inst, a, id, r, kn)
+					res.Resamplings++
+					selected++
 				}
 			}
-			if minimum {
-				resample(inst, a, id, r)
-				res.Resamplings++
-				selected++
+		} else {
+			isViolated := make(map[int]bool, len(violated))
+			for _, id := range violated {
+				isViolated[id] = true
+			}
+			for _, id := range violated {
+				minimum := true
+				for _, u := range g.Neighbors(id) {
+					if isViolated[u] && u < id {
+						minimum = false
+						break
+					}
+				}
+				if minimum {
+					resample(inst, a, id, r, kn)
+					res.Resamplings++
+					selected++
+				}
 			}
 		}
 		mo.iteration(res.Rounds, len(violated), selected)
@@ -283,7 +364,7 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 			o.OnCheckpoint(capture(CheckpointPar, res.Rounds, res.Resamplings, a, r))
 		}
 	}
-	violated, err := violatedEvents(inst, a, mo)
+	violated, err := scanViolated(inst, a, kn, mo)
 	if err != nil {
 		return nil, err
 	}
@@ -298,8 +379,9 @@ func EstimateFailureRate(inst *model.Instance, r *prng.Rand, trials int) (failRa
 		return 0, 0, fmt.Errorf("mt: trials must be positive, got %d", trials)
 	}
 	failures, total := 0, 0
+	kn := newKern(inst)
 	for i := 0; i < trials; i++ {
-		_, violated, err := OneShot(inst, r)
+		_, violated, err := oneShot(inst, r, kn)
 		if err != nil {
 			return 0, 0, err
 		}
