@@ -15,10 +15,11 @@ test: vet
 
 # Race-detector pass over the sharded execution engine and its consumers
 # (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers), the
-# observability layer they report into, the fault-injection/recovery layer,
-# the packed batch runners, and the job service on top.
+# observability layer they report into (including the SLO burn-rate engine),
+# the fault-injection/recovery layer, the packed batch runners, and the job
+# service on top.
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/fault/... ./internal/batch/... ./internal/service/... ./internal/kernel/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/slo/... ./internal/fault/... ./internal/batch/... ./internal/service/... ./internal/kernel/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:

@@ -6,7 +6,9 @@
 // the baseline (generous on rounds/sec, which moves with the CI machine;
 // tight on allocs/round, which is a deterministic property of the code),
 // and machine-independent intra-run ratios (the n = 100k kernel scan must
-// beat the generic scan by the pinned factor on the same machine).
+// beat the generic scan by the pinned factor on the same machine). A third
+// set of absolute ceilings needs no baseline at all: the disabled
+// observability path must stay at exactly zero allocs/op on any machine.
 //
 // Usage:
 //
@@ -45,7 +47,7 @@ func run() error {
 		return err
 	}
 	problems := benchset.Compare(baseline, current,
-		benchset.DefaultBaselineRules(), benchset.DefaultRatioRules())
+		benchset.DefaultBaselineRules(), benchset.DefaultRatioRules(), benchset.DefaultAbsoluteRules())
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", p)

@@ -2,7 +2,9 @@
 // job subsystem over HTTP — bounded-queue admission, concurrent execution
 // on the engine worker pool, per-round NDJSON event streams, cancellation —
 // together with the observability endpoints (/metrics Prometheus text,
-// /debug/vars JSON, /debug/pprof).
+// /debug/vars JSON, /debug/pprof) and the SLO burn-rate status (/slo, JSON
+// or ?format=prom with trace-exemplars; fast burn sheds deadline'd jobs
+// whose predicted p99 cannot meet their deadline).
 //
 // Usage:
 //
@@ -39,6 +41,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/slo"
 )
 
 func main() {
@@ -64,6 +67,13 @@ func run() error {
 	injectDrop := flag.Float64("inject-drop", 0, "fault injection: per-message drop probability [0,1)")
 	injectCrash := flag.Float64("inject-crash", 0, "fault injection: per-node-per-round crash-stop probability [0,1)")
 	injectSeed := flag.Uint64("inject-seed", 0, "fault injection seed (0: derive from each job's seed)")
+	sloOn := flag.Bool("slo", true, "evaluate SLO burn rates and serve /slo (fast burn sheds deadline'd jobs)")
+	sloRunThreshold := flag.Duration("slo-run-threshold", 2*time.Second, "run-latency SLO threshold")
+	sloQueueThreshold := flag.Duration("slo-queue-threshold", 500*time.Millisecond, "queue-wait SLO threshold")
+	sloTarget := flag.Float64("slo-target", 0.99, "SLO target fraction of good events, in (0,1)")
+	sloShort := flag.Duration("slo-window-short", 10*time.Second, "short burn-rate window")
+	sloLong := flag.Duration("slo-window-long", time.Minute, "long burn-rate window")
+	sloBurn := flag.Float64("slo-burn-factor", 2, "burn-rate factor that trips fast burn in both windows")
 	flag.Parse()
 
 	plan := fault.Plan{Seed: *injectSeed, PanicRate: *injectPanic, DropRate: *injectDrop, CrashRate: *injectCrash}
@@ -85,6 +95,20 @@ func run() error {
 		DefaultMaxRetries: *retries,
 		RetryBackoff:      *retryBackoff,
 		RetryBackoffMax:   *retryBackoffMax,
+	}
+	if *sloOn {
+		cfg.SLO = slo.NewEngine(slo.Config{
+			Objectives: []slo.Objective{
+				{Name: service.SLORunLatency, Kind: slo.Latency, Target: *sloTarget, Threshold: sloRunThreshold.Seconds()},
+				{Name: service.SLOQueueWait, Kind: slo.Latency, Target: *sloTarget, Threshold: sloQueueThreshold.Seconds()},
+				{Name: service.SLOErrorRate, Kind: slo.Ratio, Target: *sloTarget},
+			},
+			ShortWindow: *sloShort,
+			LongWindow:  *sloLong,
+			BurnFactor:  *sloBurn,
+		})
+		log.Printf("llld: SLO engine live: run<%v queue<%v target=%g windows=%v/%v burn=%g",
+			*sloRunThreshold, *sloQueueThreshold, *sloTarget, *sloShort, *sloLong, *sloBurn)
 	}
 	if plan.Enabled() {
 		log.Printf("llld: fault injection live: panic=%g drop=%g crash=%g seed=%d", plan.PanicRate, plan.DropRate, plan.CrashRate, plan.Seed)

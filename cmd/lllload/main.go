@@ -2,8 +2,10 @@
 // each of -c workers repeatedly submits a job and follows its NDJSON event
 // stream to the terminal state before submitting the next one. 429
 // rejections count toward the reject rate and back off briefly. At the end
-// it prints throughput, the end-to-end latency distribution (p50/p95/p99)
-// and the per-outcome counts.
+// it prints throughput, the end-to-end latency distribution (p50/p95/p99),
+// the per-outcome counts, and the per-job trace IDs of the slowest decile —
+// the handles to look those jobs up in the daemon's JSONL trace log or
+// among the /slo exemplars.
 //
 // Transient transport failures are retried rather than counted as load
 // errors: a 5xx submit response backs off exponentially (capped) and is
@@ -74,6 +76,11 @@ type outcome struct {
 	// recovery is the extra time from the first "retry" event to the
 	// terminal state (retried jobs only).
 	recovery time.Duration
+	// id and trace identify the job daemon-side: trace is the trace ID from
+	// the terminal event, the key to the job's spans in the daemon's JSONL
+	// trace log and to the /slo exemplars.
+	id    string
+	trace string
 }
 
 type collector struct {
@@ -366,6 +373,7 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 	next := 0
 	state := "error"
 	retries := 0
+	trace := ""
 	var firstRetry time.Time
 	const maxAttaches = 10
 	for attach := 1; attach <= maxAttaches; attach++ {
@@ -389,6 +397,7 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 				Seq   int    `json:"seq"`
 				Kind  string `json:"kind"`
 				State string `json:"state"`
+				Trace string `json:"trace"`
 			}
 			if json.Unmarshal(sc.Bytes(), &e) != nil {
 				continue
@@ -402,6 +411,7 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 				}
 			case "end":
 				state = e.State
+				trace = e.Trace
 			}
 		}
 		resp.Body.Close()
@@ -409,7 +419,7 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 			break // saw the terminal line; the stream is complete
 		}
 	}
-	o := outcome{latency: time.Since(begin), state: state, retries: retries}
+	o := outcome{latency: time.Since(begin), state: state, retries: retries, id: id, trace: trace}
 	if retries > 0 && !firstRetry.IsZero() && state != "error" {
 		o.recovery = time.Since(firstRetry)
 	}
@@ -419,12 +429,14 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 func report(col *collector, elapsed time.Duration, concurrency int) {
 	outcomes := col.outcomes
 	var latencies, recoveries []time.Duration
+	var done []outcome
 	counts := map[string]int{}
 	retried := 0
 	for _, o := range outcomes {
 		counts[o.state]++
 		if o.state == "done" {
 			latencies = append(latencies, o.latency)
+			done = append(done, o)
 		}
 		if o.retries > 0 {
 			retried++
@@ -474,6 +486,30 @@ func report(col *collector, elapsed time.Duration, concurrency int) {
 		percentile(latencies, 0.95).Round(time.Microsecond),
 		percentile(latencies, 0.99).Round(time.Microsecond),
 		latencies[len(latencies)-1].Round(time.Microsecond))
+	reportSlowest(done)
+}
+
+// reportSlowest prints the trace IDs of the slowest decile of completed
+// jobs (capped at 10 lines), slowest first — the starting points for a
+// latency investigation in the daemon's JSONL trace log or against the
+// /slo exemplars.
+func reportSlowest(done []outcome) {
+	if len(done) == 0 {
+		return
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].latency > done[j].latency })
+	n := (len(done) + 9) / 10 // ceil(10%): at least one
+	if n > 10 {
+		n = 10
+	}
+	fmt.Printf("slowest %d of %d (trace IDs for the daemon trace log / exemplars):\n", n, len(done))
+	for _, o := range done[:n] {
+		trace := o.trace
+		if trace == "" {
+			trace = "-"
+		}
+		fmt.Printf("  %-10s trace=%-16s latency=%v retries=%d\n", o.id, trace, o.latency.Round(time.Microsecond), o.retries)
+	}
 }
 
 // percentile returns the nearest-rank percentile of the sorted slice.

@@ -1,0 +1,270 @@
+// Command llltop is a live terminal dashboard for the llld daemon: it
+// polls /metrics (Prometheus text) and /slo (burn-rate JSON) and renders
+// one compact frame per interval — admission and outcome counters, queue
+// and run latency quantiles, per-objective SLO burn rates with the fast-burn
+// flag, and the freshest trace-ID exemplars linking slow requests back to
+// the daemon's JSONL trace log.
+//
+// Usage:
+//
+//	llltop -addr http://localhost:8080 -interval 2s
+//	llltop -addr http://localhost:8080 -once        # one frame, no ANSI, exit
+//
+// -once renders a single frame without clearing the screen and exits with
+// status 1 if either endpoint is unreachable, which makes it usable from
+// scripts and smoke tests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/slo"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "llld base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "render one frame without ANSI control codes and exit")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	if *once {
+		if err := frame(os.Stdout, client, *addr, false); err != nil {
+			fmt.Fprintln(os.Stderr, "llltop:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := frame(os.Stdout, client, *addr, true); err != nil {
+			fmt.Fprintln(os.Stdout, "llltop:", err, "(retrying)")
+		}
+		select {
+		case <-tick.C:
+		case <-sigCh:
+			return
+		}
+	}
+}
+
+// frame fetches both endpoints and renders one dashboard frame. In live
+// mode the frame starts with an ANSI clear so it repaints in place.
+func frame(w io.Writer, client *http.Client, addr string, ansi bool) error {
+	metrics, hists, merr := fetchMetrics(client, addr)
+	status, serr := fetchSLO(client, addr)
+	if merr != nil && serr != nil {
+		return fmt.Errorf("%v; %v", merr, serr)
+	}
+	if ansi {
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(w, "llltop — %s   %s\n\n", addr, time.Now().Format(time.RFC3339))
+	if merr != nil {
+		fmt.Fprintf(w, "/metrics unavailable: %v\n", merr)
+	} else {
+		renderMetrics(w, metrics, hists)
+	}
+	if serr != nil {
+		fmt.Fprintf(w, "\n/slo unavailable: %v\n", serr)
+	} else {
+		renderSLO(w, status)
+	}
+	return nil
+}
+
+func renderMetrics(w io.Writer, m map[string]float64, hists map[string][]promBucket) {
+	fmt.Fprintf(w, "admission  queue=%.0f  running=%.0f  submitted=%.0f  rejects=%.0f  shed=%.0f\n",
+		m["service_queue_depth"], m["service_jobs_running"], m["service_jobs_submitted_total"],
+		m["service_admission_rejects_total"], m["service_admission_shed_total"])
+	fmt.Fprintf(w, "outcomes   done=%.0f  failed=%.0f  cancelled=%.0f  retries=%.0f  gaveup=%.0f  panics=%.0f\n",
+		m["service_jobs_done_total"], m["service_jobs_failed_total"], m["service_jobs_cancelled_total"],
+		m["service_retries_total"], m["service_gaveup_total"], m["service_panics_total"])
+	fmt.Fprintf(w, "latency    queue p50=%s p99=%s | run p50=%s p99=%s\n",
+		fmtSec(histQuantile(hists["service_job_queue_seconds"], 0.50)),
+		fmtSec(histQuantile(hists["service_job_queue_seconds"], 0.99)),
+		fmtSec(histQuantile(hists["service_job_run_seconds"], 0.50)),
+		fmtSec(histQuantile(hists["service_job_run_seconds"], 0.99)))
+}
+
+func renderSLO(w io.Writer, st *slo.Status) {
+	burning := "ok"
+	if st.FastBurn {
+		burning = "FAST BURN — shedding deadline'd jobs"
+	}
+	fmt.Fprintf(w, "\nSLO        %s   (burn factor %g, windows %gs/%gs)\n",
+		burning, st.BurnFactor, st.ShortWindowS, st.LongWindowS)
+	for _, o := range st.Objectives {
+		line := fmt.Sprintf("  %-12s burn short=%.2f long=%.2f  good=%d bad=%d",
+			o.Name, o.BurnShort, o.BurnLong, o.Good, o.Bad)
+		if o.Kind == slo.Latency.String() {
+			line += fmt.Sprintf("  p50=%s p99=%s", fmtSec(float64(o.P50)), fmtSec(float64(o.P99)))
+		}
+		if o.FastBurn {
+			line += "  [burning]"
+		}
+		fmt.Fprintln(w, line)
+		for _, ex := range freshestExemplars(o.Exemplars, 3) {
+			fmt.Fprintf(w, "    exemplar trace=%s le=%s value=%s\n",
+				ex.Trace, fmtSec(float64(ex.Bound)), fmtSec(ex.Value))
+		}
+	}
+}
+
+// freshestExemplars returns the n most recent exemplars, newest first.
+func freshestExemplars(exs []slo.Exemplar, n int) []slo.Exemplar {
+	out := append([]slo.Exemplar(nil), exs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].UnixNS > out[j].UnixNS })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func fmtSec(s float64) string {
+	switch {
+	case math.IsInf(s, 1):
+		return "+Inf"
+	case s <= 0:
+		return "0"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// promBucket is one cumulative histogram bucket parsed from /metrics.
+type promBucket struct {
+	le  float64
+	cum float64
+}
+
+// fetchMetrics scrapes and parses the Prometheus text endpoint: plain
+// series land in the flat map keyed by metric name, `_bucket` series are
+// collected per histogram (sorted by bound) for quantile estimates.
+func fetchMetrics(client *http.Client, addr string) (map[string]float64, map[string][]promBucket, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics, hists := parseProm(string(body))
+	return metrics, hists, nil
+}
+
+// parseProm understands the subset of the text format the obs registry
+// emits: `name value` and `name_bucket{le="bound"} value` lines.
+func parseProm(text string) (map[string]float64, map[string][]promBucket) {
+	metrics := make(map[string]float64)
+	hists := make(map[string][]promBucket)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		name, valStr := fields[0], fields[1]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base, labels := name[:i], name[i:]
+			if strings.HasSuffix(base, "_bucket") {
+				hist := strings.TrimSuffix(base, "_bucket")
+				if le, ok := parseLE(labels); ok {
+					hists[hist] = append(hists[hist], promBucket{le: le, cum: val})
+				}
+			}
+			continue
+		}
+		metrics[name] = val
+	}
+	for _, bs := range hists {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	}
+	return metrics, hists
+}
+
+func parseLE(labels string) (float64, bool) {
+	const key = `le="`
+	i := strings.Index(labels, key)
+	if i < 0 {
+		return 0, false
+	}
+	rest := labels[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	if rest[:j] == "+Inf" {
+		return math.Inf(1), true
+	}
+	le, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return 0, false
+	}
+	return le, true
+}
+
+// histQuantile estimates quantile q as the upper bound of the first
+// cumulative bucket covering it — the same coarse estimate the SLO engine
+// reports, so the two panels agree.
+func histQuantile(buckets []promBucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	for _, b := range buckets {
+		if b.cum >= rank {
+			return b.le
+		}
+	}
+	return buckets[len(buckets)-1].le
+}
+
+// fetchSLO decodes the /slo JSON status (slo.Seconds handles the "+Inf"
+// quantile encoding).
+func fetchSLO(client *http.Client, addr string) (*slo.Status, error) {
+	resp, err := client.Get(addr + "/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/slo: %s", resp.Status)
+	}
+	var st slo.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("/slo: %w", err)
+	}
+	return &st, nil
+}

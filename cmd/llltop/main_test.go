@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseProm(t *testing.T) {
+	text := `# TYPE service_queue_depth gauge
+service_queue_depth 3
+# TYPE service_jobs_done_total counter
+service_jobs_done_total 120
+# TYPE service_job_run_seconds histogram
+service_job_run_seconds_bucket{le="0.001"} 10
+service_job_run_seconds_bucket{le="0.01"} 90
+service_job_run_seconds_bucket{le="+Inf"} 100
+service_job_run_seconds_sum 0.42
+service_job_run_seconds_count 100
+garbage line without value
+only_name
+bad_value x
+`
+	metrics, hists := parseProm(text)
+	if metrics["service_queue_depth"] != 3 || metrics["service_jobs_done_total"] != 120 {
+		t.Fatalf("metrics = %v", metrics)
+	}
+	if metrics["service_job_run_seconds_sum"] != 0.42 {
+		t.Fatalf("sum series not parsed: %v", metrics)
+	}
+	bs := hists["service_job_run_seconds"]
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	if bs[0].le != 0.001 || bs[0].cum != 10 || !math.IsInf(bs[2].le, 1) || bs[2].cum != 100 {
+		t.Fatalf("buckets = %v", bs)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	bs := []promBucket{{le: 0.001, cum: 10}, {le: 0.01, cum: 90}, {le: math.Inf(1), cum: 100}}
+	if q := histQuantile(bs, 0.05); q != 0.001 {
+		t.Fatalf("p5 = %v, want 0.001", q)
+	}
+	if q := histQuantile(bs, 0.5); q != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", q)
+	}
+	if q := histQuantile(bs, 0.99); !math.IsInf(q, 1) {
+		t.Fatalf("p99 = %v, want +Inf", q)
+	}
+	if q := histQuantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty hist quantile = %v, want 0", q)
+	}
+	if q := histQuantile([]promBucket{{le: 1, cum: 0}}, 0.5); q != 0 {
+		t.Fatalf("zero-count hist quantile = %v, want 0", q)
+	}
+}
+
+func TestFmtSec(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{math.Inf(1), "+Inf"},
+		{0.5, "500ms"},
+		{0.000001, "1µs"},
+	} {
+		if got := fmtSec(tc.in); got != tc.want {
+			t.Errorf("fmtSec(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestFrameAgainstFakeDaemon renders one -once frame against a stub daemon
+// and checks the panels reflect both endpoints.
+func TestFrameAgainstFakeDaemon(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `service_queue_depth 2
+service_jobs_running 1
+service_jobs_submitted_total 40
+service_admission_rejects_total 3
+service_admission_shed_total 1
+service_jobs_done_total 36
+service_job_run_seconds_bucket{le="0.01"} 30
+service_job_run_seconds_bucket{le="+Inf"} 36
+service_job_run_seconds_sum 0.5
+service_job_run_seconds_count 36
+`)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{
+  "fast_burn": true,
+  "burn_factor": 2,
+  "short_window_s": 10,
+  "long_window_s": 60,
+  "objectives": [
+    {"name": "run_latency", "kind": "latency", "target": 0.99, "threshold_s": 2,
+     "good": 30, "bad": 6, "burn_short": 16.6, "burn_long": 4.2, "fast_burn": true,
+     "p50_s": 0.01, "p99_s": "+Inf",
+     "exemplars": [{"bound": 0.01, "value": 0.007, "trace_id": "deadbeef01234567", "t_unix_ns": 5}]}
+  ]
+}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var sb strings.Builder
+	if err := frame(&sb, srv.Client(), srv.URL, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"queue=2", "running=1", "shed=1",
+		"FAST BURN",
+		"run_latency", "burn short=16.60 long=4.20",
+		"p99=+Inf",
+		"trace=deadbeef01234567",
+		"[burning]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("-once frame must not emit ANSI codes:\n%s", out)
+	}
+}
+
+// TestFrameBothEndpointsDown: frame fails (non-nil error) only when both
+// endpoints are unreachable.
+func TestFrameBothEndpointsDown(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	var sb strings.Builder
+	if err := frame(&sb, srv.Client(), srv.URL, false); err == nil {
+		t.Fatalf("frame with both endpoints down should error; output:\n%s", sb.String())
+	}
+
+	// /metrics up, /slo down: degraded frame, no error.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "service_queue_depth 0\n")
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	})
+	srv2 := httptest.NewServer(mux)
+	defer srv2.Close()
+	sb.Reset()
+	if err := frame(&sb, srv2.Client(), srv2.URL, false); err != nil {
+		t.Fatalf("degraded frame: %v", err)
+	}
+	if !strings.Contains(sb.String(), "/slo unavailable") {
+		t.Errorf("degraded frame should note the missing endpoint:\n%s", sb.String())
+	}
+}

@@ -43,6 +43,7 @@ func Required() []string {
 	return []string{
 		"BenchmarkEngineRounds/pool",
 		"BenchmarkLocalSinkless100k",
+		"BenchmarkObsDisabled",
 		"BenchmarkViolatedScan100k/generic",
 		"BenchmarkViolatedScan100k/kernel",
 	}

@@ -14,6 +14,13 @@ import "fmt"
 //     machine-independent: the kernel scan must beat the generic scan by
 //     the pinned factor on the very machine that ran both.
 //
+//   - AbsoluteRule pins a metric of one benchmark to a hard ceiling,
+//     baseline-free and machine-independent. Its one current use is the
+//     zero-allocation guarantee of the disabled observability path: a
+//     single allocation on BenchmarkObsDisabled means nil-guarded
+//     instrumentation leaked onto the hot path, and no tolerance band is
+//     appropriate.
+//
 // A benchmark present in the baseline but missing from the current run is
 // a failure (evidence must not silently disappear); one missing from the
 // baseline is skipped, so a freshly added benchmark passes its first gate
@@ -43,6 +50,17 @@ type RatioRule struct {
 	Against       string
 	MinSpeedup    float64
 	MaxAllocRatio float64
+}
+
+// AbsoluteRule caps one metric of one benchmark at a hard, baseline-free
+// ceiling in the current document. Every (name, cpus) entry is checked; a
+// missing benchmark or metric is a failure — an absolute guarantee that
+// silently stops being measured is not a guarantee.
+type AbsoluteRule struct {
+	Name   string
+	Metric string
+	// Max is the inclusive ceiling (0 demands exactly zero).
+	Max float64
 }
 
 // DefaultBaselineRules is the committed trajectory guard: throughput may
@@ -78,6 +96,18 @@ func DefaultRatioRules() []RatioRule {
 	}}
 }
 
+// DefaultAbsoluteRules pins the guarantees that hold with zero tolerance on
+// any machine: the disabled observability path — nil registry, nil
+// recorder, nil SLO engine — allocates nothing per operation, even with
+// span tracing and the flight recorder compiled in.
+func DefaultAbsoluteRules() []AbsoluteRule {
+	return []AbsoluteRule{{
+		Name:   "BenchmarkObsDisabled",
+		Metric: "allocs/op",
+		Max:    0,
+	}}
+}
+
 // findCPU returns the result with the given name and CPU count.
 func (d *Doc) findCPU(name string, cpus int) (Result, bool) {
 	for _, r := range d.Benchmarks {
@@ -90,7 +120,7 @@ func (d *Doc) findCPU(name string, cpus int) (Result, bool) {
 
 // Compare checks current against baseline under the given rules and
 // returns one human-readable problem per violation (empty = gate passes).
-func Compare(baseline, current *Doc, brs []BaselineRule, rrs []RatioRule) []string {
+func Compare(baseline, current *Doc, brs []BaselineRule, rrs []RatioRule, ars []AbsoluteRule) []string {
 	var problems []string
 	for _, rule := range brs {
 		base := baseline.Find(rule.Name)
@@ -155,6 +185,27 @@ func Compare(baseline, current *Doc, brs []BaselineRule, rrs []RatioRule) []stri
 					rule.Name, subj.CPUs, rule.MinSpeedup, rule.Against,
 					subj.Metrics["rounds/sec"], ref.Metrics["rounds/sec"],
 					rule.MaxAllocRatio, subj.Metrics["allocs/round"], ref.Metrics["allocs/round"]))
+			}
+		}
+	}
+	for _, rule := range ars {
+		subjects := current.Find(rule.Name)
+		if len(subjects) == 0 {
+			problems = append(problems,
+				fmt.Sprintf("%s: missing from current run (absolute %s ceiling unverified)", rule.Name, rule.Metric))
+			continue
+		}
+		for _, subj := range subjects {
+			v, ok := subj.Metrics[rule.Metric]
+			if !ok {
+				problems = append(problems,
+					fmt.Sprintf("%s (cpus=%d): metric %s missing (absolute ceiling unverified)", rule.Name, subj.CPUs, rule.Metric))
+				continue
+			}
+			if v > rule.Max {
+				problems = append(problems, fmt.Sprintf(
+					"%s (cpus=%d): %s = %.4g exceeds the absolute ceiling %.4g",
+					rule.Name, subj.CPUs, rule.Metric, v, rule.Max))
 			}
 		}
 	}

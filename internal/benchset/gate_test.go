@@ -18,12 +18,12 @@ func TestCompareBaselinePasses(t *testing.T) {
 	base := doc(entry("BenchmarkEngineRounds/pool", 1, 10000, 1))
 	// Faster and leaner than baseline: clean pass.
 	cur := doc(entry("BenchmarkEngineRounds/pool", 1, 12000, 1))
-	if problems := Compare(base, cur, DefaultBaselineRules(), nil); len(problems) != 0 {
+	if problems := Compare(base, cur, DefaultBaselineRules(), nil, nil); len(problems) != 0 {
 		t.Fatalf("unexpected problems: %v", problems)
 	}
 	// Wobble within the bands: still a pass.
 	cur = doc(entry("BenchmarkEngineRounds/pool", 1, 4100, 3))
-	if problems := Compare(base, cur, DefaultBaselineRules(), nil); len(problems) != 0 {
+	if problems := Compare(base, cur, DefaultBaselineRules(), nil, nil); len(problems) != 0 {
 		t.Fatalf("in-band wobble flagged: %v", problems)
 	}
 }
@@ -40,7 +40,7 @@ func TestCompareBaselineCatchesRegressions(t *testing.T) {
 		{"vanished benchmark", doc(entry("BenchmarkOther", 1, 1, 1)), "missing"},
 	}
 	for _, tc := range cases {
-		problems := Compare(base, tc.cur, DefaultBaselineRules(), nil)
+		problems := Compare(base, tc.cur, DefaultBaselineRules(), nil, nil)
 		if len(problems) == 0 {
 			t.Errorf("%s: not flagged", tc.name)
 			continue
@@ -61,7 +61,7 @@ func TestCompareMatchesPerCPU(t *testing.T) {
 		entry("BenchmarkEngineRounds/pool", 1, 10000, 1),
 		entry("BenchmarkEngineRounds/pool", 4, 5000, 1),
 	)
-	problems := Compare(base, cur, DefaultBaselineRules(), nil)
+	problems := Compare(base, cur, DefaultBaselineRules(), nil, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "cpus=4") {
 		t.Fatalf("want one cpus=4 problem, got %v", problems)
 	}
@@ -75,7 +75,7 @@ func TestCompareNewBenchmarkSkipped(t *testing.T) {
 		entry("BenchmarkViolatedScan100k/generic", 1, 50, 400000),
 		entry("BenchmarkViolatedScan100k/kernel", 1, 500, 10),
 	)
-	if problems := Compare(base, cur, DefaultBaselineRules(), nil); len(problems) != 0 {
+	if problems := Compare(base, cur, DefaultBaselineRules(), nil, nil); len(problems) != 0 {
 		t.Fatalf("new benchmarks flagged: %v", problems)
 	}
 }
@@ -87,7 +87,7 @@ func TestCompareRatioRules(t *testing.T) {
 		entry("BenchmarkViolatedScan100k/generic", 1, 50, 400000),
 		entry("BenchmarkViolatedScan100k/kernel", 1, 500, 10),
 	)
-	if problems := Compare(doc(), cur, nil, rr); len(problems) != 0 {
+	if problems := Compare(doc(), cur, nil, rr, nil); len(problems) != 0 {
 		t.Fatalf("clear win flagged: %v", problems)
 	}
 	// Same speed but 100x fewer allocs: pass on the allocs clause.
@@ -95,7 +95,7 @@ func TestCompareRatioRules(t *testing.T) {
 		entry("BenchmarkViolatedScan100k/generic", 1, 100, 1000),
 		entry("BenchmarkViolatedScan100k/kernel", 1, 100, 10),
 	)
-	if problems := Compare(doc(), cur, nil, rr); len(problems) != 0 {
+	if problems := Compare(doc(), cur, nil, rr, nil); len(problems) != 0 {
 		t.Fatalf("alloc win flagged: %v", problems)
 	}
 	// Neither clause: fail.
@@ -103,13 +103,40 @@ func TestCompareRatioRules(t *testing.T) {
 		entry("BenchmarkViolatedScan100k/generic", 1, 100, 100),
 		entry("BenchmarkViolatedScan100k/kernel", 1, 150, 90),
 	)
-	problems := Compare(doc(), cur, nil, rr)
+	problems := Compare(doc(), cur, nil, rr, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "neither") {
 		t.Fatalf("want one ratio problem, got %v", problems)
 	}
 	// Missing subject: fail loudly.
-	if problems := Compare(doc(), doc(), nil, rr); len(problems) == 0 {
+	if problems := Compare(doc(), doc(), nil, rr, nil); len(problems) == 0 {
 		t.Fatal("missing ratio subject not flagged")
+	}
+}
+
+func TestCompareAbsoluteRules(t *testing.T) {
+	ar := DefaultAbsoluteRules()
+	zeroAlloc := Result{
+		Name: "BenchmarkObsDisabled", CPUs: 8, Iterations: 1000,
+		Metrics: map[string]float64{"allocs/op": 0, "ns/op": 5},
+	}
+	if problems := Compare(doc(), doc(zeroAlloc), nil, nil, ar); len(problems) != 0 {
+		t.Fatalf("zero-alloc run flagged: %v", problems)
+	}
+	// One allocation is a hard failure — no band, no baseline.
+	leaked := zeroAlloc
+	leaked.Metrics = map[string]float64{"allocs/op": 1, "ns/op": 5}
+	problems := Compare(doc(), doc(leaked), nil, nil, ar)
+	if len(problems) != 1 || !strings.Contains(problems[0], "absolute ceiling") {
+		t.Fatalf("leaked alloc not flagged: %v", problems)
+	}
+	// A vanished benchmark or metric must fail, not silently pass.
+	if problems := Compare(doc(), doc(entry("BenchmarkOther", 1, 1, 1)), nil, nil, ar); len(problems) == 0 {
+		t.Fatal("missing absolute-rule benchmark not flagged")
+	}
+	noMetric := zeroAlloc
+	noMetric.Metrics = map[string]float64{"ns/op": 5}
+	if problems := Compare(doc(), doc(noMetric), nil, nil, ar); len(problems) == 0 {
+		t.Fatal("missing absolute-rule metric not flagged")
 	}
 }
 
@@ -130,6 +157,11 @@ func TestRequiredWorkloadsExist(t *testing.T) {
 	for _, rule := range DefaultRatioRules() {
 		if !req[rule.Name] || !req[rule.Against] {
 			t.Errorf("ratio rule %s vs %s not covered by Required()", rule.Name, rule.Against)
+		}
+	}
+	for _, rule := range DefaultAbsoluteRules() {
+		if !req[rule.Name] {
+			t.Errorf("absolute rule %s not covered by Required()", rule.Name)
 		}
 	}
 }

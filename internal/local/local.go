@@ -401,6 +401,11 @@ func Run(g *graph.Graph, newMachine func(node int) Machine, opts Options) (Stats
 type runObs struct {
 	rec   *obs.Recorder
 	runID int64
+	// trace / parent / job tag every emitted event with the request trace
+	// the run executes under (zero when Options.Ctx carries no trace), so a
+	// trace ID recovered from an NDJSON end event or an SLO exemplar finds
+	// the run's full round history in the JSONL stream.
+	trace, parent, job string
 
 	runs, rounds, steps, messages *obs.Counter
 	dropped, crashed              *obs.Counter
@@ -421,6 +426,9 @@ func newRunObs(opts Options, n, workers int) *runObs {
 		return nil
 	}
 	ro := &runObs{rec: opts.Trace}
+	if tc := obs.TraceFrom(opts.Ctx); tc.Valid() {
+		ro.trace, ro.parent, ro.job = tc.Trace, tc.Span, tc.Job
+	}
 	if m := opts.Metrics; m != nil {
 		ro.runs = m.Counter("local_runs_total")
 		ro.rounds = m.Counter("local_rounds_total")
@@ -440,7 +448,10 @@ func newRunObs(opts Options, n, workers int) *runObs {
 	}
 	ro.runs.Inc()
 	if ro.rec != nil {
-		ro.rec.Emit(obs.Event{Kind: "run_start", Run: ro.runID, Nodes: n, Workers: workers})
+		ro.rec.Emit(obs.Event{
+			Kind: "run_start", Run: ro.runID, Nodes: n, Workers: workers,
+			Trace: ro.trace, Parent: ro.parent, Job: ro.job,
+		})
 	}
 	return ro
 }
@@ -516,6 +527,9 @@ func (ro *runObs) roundEnd(rs engine.RoundStats) {
 			Stolen:    ro.computeRS.Stolen + ro.delRS.Stolen,
 			ComputeNS: ro.computeNS,
 			DeliverNS: deliverNS,
+			Trace:     ro.trace,
+			Parent:    ro.parent,
+			Job:       ro.job,
 		})
 	}
 }
@@ -525,7 +539,11 @@ func (ro *runObs) runEnd(stats Stats, err error) {
 	if ro == nil || ro.rec == nil {
 		return
 	}
-	e := obs.Event{Kind: "run_end", Run: ro.runID, Rounds: stats.Rounds, Steps: stats.Steps, Messages: stats.MessagesSent}
+	e := obs.Event{
+		Kind: "run_end", Run: ro.runID, Rounds: stats.Rounds,
+		Steps: stats.Steps, Messages: stats.MessagesSent,
+		Trace: ro.trace, Parent: ro.parent, Job: ro.job,
+	}
 	if err != nil {
 		e.Err = err.Error()
 	}

@@ -215,7 +215,7 @@ func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxR
 	if maxResamplings == 0 {
 		maxResamplings = 1_000_000
 	}
-	mo := newMTObs(o)
+	mo := newMTObs(ctx, o)
 	var a *model.Assignment
 	res := &Result{}
 	if cp := o.Resume; cp != nil {
@@ -235,7 +235,9 @@ func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxR
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("mt: sequential resampler cancelled after %d resamplings: %w", res.Resamplings, cerr)
 		}
+		t0 := mo.phaseStart()
 		violated, err := scanViolated(inst, a, kn, mo)
+		mo.scanDone(t0)
 		if err != nil {
 			return nil, err
 		}
@@ -243,7 +245,9 @@ func SequentialCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxR
 			res.Satisfied = true
 			return res, nil
 		}
+		t0 = mo.phaseStart()
 		resample(inst, a, violated[0], r, kn)
+		mo.resampleDone(t0)
 		res.Resamplings++
 		mo.iteration(res.Resamplings, len(violated), 1)
 		if o.checkpointing() && res.Resamplings%o.CheckpointEvery == 0 {
@@ -288,7 +292,7 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 	if maxRounds == 0 {
 		maxRounds = 100_000
 	}
-	mo := newMTObs(o)
+	mo := newMTObs(ctx, o)
 	g := inst.DependencyGraph()
 	var a *model.Assignment
 	res := &Result{}
@@ -310,7 +314,9 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("mt: parallel resampler cancelled after %d rounds: %w", res.Rounds, cerr)
 		}
+		t0 := mo.phaseStart()
 		violated, err := scanViolated(inst, a, kn, mo)
+		mo.scanDone(t0)
 		if err != nil {
 			return nil, err
 		}
@@ -319,6 +325,7 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 			return res, nil
 		}
 		res.Rounds++
+		t0 = mo.phaseStart()
 		// Priority selection: violated events that are local minima among
 		// violated neighbors resample. The set is independent, so the
 		// resampled scopes are disjoint... not necessarily disjoint
@@ -356,6 +363,7 @@ func ParallelCtx(ctx context.Context, inst *model.Instance, r *prng.Rand, maxRou
 				}
 			}
 		}
+		mo.resampleDone(t0)
 		mo.iteration(res.Rounds, len(violated), selected)
 		if o.OnRound != nil {
 			o.OnRound(engine.RoundStats{Round: res.Rounds, Steps: selected, Active: len(violated)})

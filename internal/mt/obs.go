@@ -1,6 +1,9 @@
 package mt
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -56,17 +59,30 @@ func (o Observer) checkpointing() bool {
 type mtObs struct {
 	rec   *obs.Recorder
 	runID int64
+	// trace / parent / job tag every emitted event with the request trace
+	// the resampler runs under (from the context handed to SequentialCtx /
+	// ParallelCtx); zero when untraced.
+	trace, parent, job string
 
 	runs, resamplings, rounds *obs.Counter
 	scans, scanEvents         *obs.Counter
 	violatedPerScan           *obs.Histogram
+	scanSec, resampleSec      *obs.Histogram
+
+	// Scratch timing of the iteration in flight: the violated-event scan
+	// and the resampling work are timed separately so per-iteration trace
+	// events attribute latency between the two (scan_ns / resample_ns).
+	scanNS, resampleNS int64
 }
 
-func newMTObs(o Observer) *mtObs {
+func newMTObs(ctx context.Context, o Observer) *mtObs {
 	if o.Metrics == nil && o.Trace == nil {
 		return nil
 	}
 	mo := &mtObs{rec: o.Trace}
+	if tc := obs.TraceFrom(ctx); tc.Valid() {
+		mo.trace, mo.parent, mo.job = tc.Trace, tc.Span, tc.Job
+	}
 	if m := o.Metrics; m != nil {
 		mo.runs = m.Counter("mt_runs_total")
 		mo.resamplings = m.Counter("mt_resamplings_total")
@@ -74,12 +90,41 @@ func newMTObs(o Observer) *mtObs {
 		mo.scans = m.Counter("mt_scans_total")
 		mo.scanEvents = m.Counter("mt_scan_events_total")
 		mo.violatedPerScan = m.Histogram("mt_violated_per_scan", obs.CountBuckets)
+		mo.scanSec = m.Histogram("mt_scan_seconds", obs.DurationBuckets)
+		mo.resampleSec = m.Histogram("mt_resample_seconds", obs.DurationBuckets)
 	}
 	if mo.rec != nil {
 		mo.runID = mo.rec.NextRun()
 	}
 	mo.runs.Inc()
 	return mo
+}
+
+// phaseStart opens a timed phase (scan or resample). The zero time on a
+// nil receiver keeps the disabled path free of clock calls.
+func (mo *mtObs) phaseStart() time.Time {
+	if mo == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// scanDone closes the scan phase opened by phaseStart.
+func (mo *mtObs) scanDone(t0 time.Time) {
+	if mo == nil {
+		return
+	}
+	mo.scanNS = time.Since(t0).Nanoseconds()
+	mo.scanSec.Observe(float64(mo.scanNS) / 1e9)
+}
+
+// resampleDone closes the resample phase opened by phaseStart.
+func (mo *mtObs) resampleDone(t0 time.Time) {
+	if mo == nil {
+		return
+	}
+	mo.resampleNS = time.Since(t0).Nanoseconds()
+	mo.resampleSec.Observe(float64(mo.resampleNS) / 1e9)
 }
 
 // scan records one violatedEvents sweep: events evaluated and how many
@@ -103,6 +148,12 @@ func (mo *mtObs) iteration(iter, violated, resampled int) {
 	mo.rounds.Inc()
 	mo.resamplings.Add(int64(resampled))
 	if mo.rec != nil {
-		mo.rec.Emit(obs.Event{Kind: "mt_iteration", Run: mo.runID, Round: iter, Active: violated, Steps: resampled})
+		mo.rec.Emit(obs.Event{
+			Kind: "mt_iteration", Run: mo.runID, Round: iter,
+			Active: violated, Steps: resampled,
+			ScanNS: mo.scanNS, ResampleNS: mo.resampleNS,
+			Trace: mo.trace, Parent: mo.parent, Job: mo.job,
+		})
 	}
+	mo.scanNS, mo.resampleNS = 0, 0
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// FlightEntry is one record of a job's flight recorder: a compact,
+// JSON-friendly note of something that happened to the job — a round, a
+// fault injection, a retry/backoff decision, a checkpoint capture, a
+// panic. Zero fields are omitted from the dump.
+type FlightEntry struct {
+	// TNS is nanoseconds since the flight recorder was created.
+	TNS int64 `json:"t_ns"`
+	// Kind names the entry: round | retry | checkpoint | panic | shed |
+	// cache_hit | instance_end | ... — producers use their event kinds.
+	Kind string `json:"kind"`
+	// Attempt is the 1-based attempt the entry belongs to.
+	Attempt int `json:"attempt,omitempty"`
+	// Round is the 1-based round of a round entry.
+	Round int `json:"round,omitempty"`
+	// Steps / Active mirror the round's execution stats.
+	Steps  int `json:"steps,omitempty"`
+	Active int `json:"active,omitempty"`
+	// Dropped / Crashed carry the round's injected faults.
+	Dropped int `json:"dropped,omitempty"`
+	Crashed int `json:"crashed,omitempty"`
+	// Instance is the 1-based batch instance of a multiplexed entry.
+	Instance int `json:"instance,omitempty"`
+	// Detail carries free-form context (the retry error, the backoff, the
+	// checkpoint progress counter).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Flight is a per-job flight recorder: a bounded ring buffer holding the
+// last K entries recorded for one job, dumped in full into the job's
+// NDJSON end event when the job fails, panics or exceeds its deadline — so
+// a post-mortem has the job's final moments without a debugger or a trace
+// file. Memory is bounded by construction (K entries, allocated up front);
+// recording overwrites the oldest entry and never allocates. A nil *Flight
+// is the disabled recorder: Record is a no-op and Dump returns nil, both
+// allocation-free, mirroring the rest of the obs collectors.
+type Flight struct {
+	mu    sync.Mutex
+	start time.Time
+	buf   []FlightEntry
+	next  int   // ring cursor: index of the next write
+	total int64 // entries ever recorded
+}
+
+// NewFlight returns a flight recorder keeping the last k entries (k < 1 is
+// floored to 1).
+func NewFlight(k int) *Flight {
+	if k < 1 {
+		k = 1
+	}
+	return &Flight{start: time.Now(), buf: make([]FlightEntry, 0, k)}
+}
+
+// Record appends one entry, stamping TNS and evicting the oldest entry
+// once the ring is full. Safe for concurrent use; no-op on a nil receiver.
+func (f *Flight) Record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	e.TNS = time.Since(f.start).Nanoseconds()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, e)
+	} else {
+		f.buf[f.next] = e
+		f.next = (f.next + 1) % cap(f.buf)
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Dump returns the recorded entries in chronological order (a copy; the
+// ring keeps recording). Nil on a nil receiver or an empty recorder.
+func (f *Flight) Dump() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.buf) == 0 {
+		return nil
+	}
+	out := make([]FlightEntry, 0, len(f.buf))
+	if len(f.buf) == cap(f.buf) {
+		out = append(out, f.buf[f.next:]...)
+		out = append(out, f.buf[:f.next]...)
+	} else {
+		out = append(out, f.buf...)
+	}
+	return out
+}
+
+// Total returns the number of entries ever recorded (0 on a nil receiver);
+// Total - len(Dump()) entries have been overwritten.
+func (f *Flight) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Cap returns the ring capacity (0 on a nil receiver).
+func (f *Flight) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return cap(f.buf)
+}

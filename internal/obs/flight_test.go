@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRingKeepsLastK: recording past the capacity evicts the oldest
+// entries; Dump returns exactly the last K in chronological order and Total
+// counts everything ever recorded.
+func TestFlightRingKeepsLastK(t *testing.T) {
+	f := NewFlight(8)
+	for i := 0; i < 100; i++ {
+		f.Record(FlightEntry{Kind: "round", Round: i})
+	}
+	got := f.Dump()
+	if len(got) != 8 {
+		t.Fatalf("dump length = %d, want 8", len(got))
+	}
+	for i, e := range got {
+		if e.Kind != "round" || e.Round != 92+i {
+			t.Fatalf("dump[%d] = %+v, want round %d", i, e, 92+i)
+		}
+		if i > 0 && e.TNS < got[i-1].TNS {
+			t.Fatalf("dump not chronological: t_ns[%d]=%d < t_ns[%d]=%d", i, e.TNS, i-1, got[i-1].TNS)
+		}
+	}
+	if f.Total() != 100 {
+		t.Fatalf("total = %d, want 100", f.Total())
+	}
+	if f.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", f.Cap())
+	}
+}
+
+// TestFlightPartialRing: fewer entries than capacity dump as-is, in order.
+func TestFlightPartialRing(t *testing.T) {
+	f := NewFlight(8)
+	if f.Dump() != nil {
+		t.Fatal("empty recorder should dump nil")
+	}
+	f.Record(FlightEntry{Kind: "start"})
+	f.Record(FlightEntry{Kind: "round", Round: 1})
+	got := f.Dump()
+	if len(got) != 2 || got[0].Kind != "start" || got[1].Round != 1 {
+		t.Fatalf("dump = %+v", got)
+	}
+	// Dump is a copy: recording after the dump must not mutate it.
+	f.Record(FlightEntry{Kind: "round", Round: 2})
+	if len(got) != 2 {
+		t.Fatalf("dump aliases the ring: %+v", got)
+	}
+}
+
+// TestFlightNilAndFloor: the nil recorder is a total no-op and silly
+// capacities are floored to one entry.
+func TestFlightNilAndFloor(t *testing.T) {
+	var f *Flight
+	f.Record(FlightEntry{Kind: "round"}) // must not panic
+	if f.Dump() != nil || f.Total() != 0 || f.Cap() != 0 {
+		t.Fatalf("nil flight: dump=%v total=%d cap=%d", f.Dump(), f.Total(), f.Cap())
+	}
+	g := NewFlight(0)
+	if g.Cap() != 1 {
+		t.Fatalf("floored cap = %d, want 1", g.Cap())
+	}
+	g.Record(FlightEntry{Kind: "a"})
+	g.Record(FlightEntry{Kind: "b"})
+	if d := g.Dump(); len(d) != 1 || d[0].Kind != "b" {
+		t.Fatalf("cap-1 dump = %+v, want just b", d)
+	}
+}
+
+// TestFlightConcurrentRaceClean: concurrent Record and Dump under -race,
+// with the invariant that a dump never exceeds the capacity and total
+// accounts for every record.
+func TestFlightConcurrentRaceClean(t *testing.T) {
+	f := NewFlight(16)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(FlightEntry{Kind: "round", Round: i, Attempt: w})
+				if i%64 == 0 {
+					if d := f.Dump(); len(d) > 16 {
+						panic(fmt.Sprintf("dump overflow: %d", len(d)))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", f.Total(), workers*per)
+	}
+	if d := f.Dump(); len(d) != 16 {
+		t.Fatalf("final dump = %d entries, want 16", len(d))
+	}
+}
+
+// TestFlightChurnBoundedMemoryNoGoroutines: creating and dropping many
+// flight recorders and traced spans — the per-job churn of a long-lived
+// daemon — leaves no goroutines behind and does not accumulate memory
+// beyond the live set. This pins the "no background workers, bounded
+// by construction" design of both recorders.
+func TestFlightChurnBoundedMemoryNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	runtime.GC()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	rec := NewRecorder(discardWriter{})
+	for i := 0; i < 5000; i++ {
+		f := NewFlight(64)
+		for j := 0; j < 128; j++ {
+			f.Record(FlightEntry{Kind: "round", Round: j, Detail: "churn"})
+		}
+		ctx := WithTrace(context.Background(), TraceContext{Trace: NewTraceID(), Job: "j"})
+		sp, sctx := rec.StartSpan(ctx, "attempt")
+		inner, _ := rec.StartSpan(sctx, "run")
+		inner.End()
+		sp.End()
+		_ = f.Dump()
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	if ms1.HeapAlloc > ms0.HeapAlloc && ms1.HeapAlloc-ms0.HeapAlloc > 16<<20 {
+		t.Fatalf("heap grew by %d bytes across churn, want < 16MiB", ms1.HeapAlloc-ms0.HeapAlloc)
+	}
+	// Allow scheduler jitter: the count must settle back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d → %d across recorder churn", before, after)
+	}
+}
+
+// discardWriter is io.Discard without the SGR fast paths, so the recorder's
+// writes actually run their encoding.
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// syncBuffer is a mutex-guarded bytes.Buffer, safe as a Recorder sink.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf...)
+}
+
+// decodeEvents parses a JSONL byte stream into events.
+func decodeEvents(t *testing.T, data []byte) []Event {
+	t.Helper()
+	var events []Event
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// TestTraceIDsUniqueAndWellFormed: IDs are 16 lowercase hex digits and do
+// not collide over a large draw, including concurrent minting.
+func TestTraceIDsUniqueAndWellFormed(t *testing.T) {
+	const n = 10000
+	seen := make(map[string]bool, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, n/4)
+			for i := 0; i < n/4; i++ {
+				local = append(local, NewTraceID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if len(id) != 16 {
+					t.Errorf("id %q: not 16 chars", id)
+					return
+				}
+				for _, c := range id {
+					if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+						t.Errorf("id %q: bad digit %q", id, c)
+						return
+					}
+				}
+				if seen[id] {
+					t.Errorf("duplicate id %q", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStartSpanBuildsParentChain: StartSpan inherits the ambient trace,
+// threads a fresh span ID through the returned context, and emits span
+// events whose parent is the enclosing span.
+func TestStartSpanBuildsParentChain(t *testing.T) {
+	var buf syncBuffer
+	rec := NewRecorder(&buf)
+	root := TraceContext{Trace: NewTraceID(), Job: "j000042"}
+	ctx := WithTrace(context.Background(), root)
+
+	outer, octx := rec.StartSpan(ctx, "attempt")
+	inner, _ := rec.StartSpan(octx, "run")
+	inner.End()
+	outer.End()
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := decodeEvents(t, buf.Bytes())
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (inner, outer)", len(events))
+	}
+	in, out := events[0], events[1]
+	if in.Phase != "run" || out.Phase != "attempt" {
+		t.Fatalf("phases = %q, %q", in.Phase, out.Phase)
+	}
+	for _, e := range events {
+		if e.Kind != "span" {
+			t.Fatalf("kind = %q, want span", e.Kind)
+		}
+		if e.Trace != root.Trace || e.Job != root.Job {
+			t.Fatalf("event %+v lost the ambient trace %q/%q", e, root.Trace, root.Job)
+		}
+		if e.Span == "" {
+			t.Fatalf("event %+v has no span id", e)
+		}
+	}
+	if in.Parent != out.Span {
+		t.Fatalf("inner parent = %q, want outer span %q", in.Parent, out.Span)
+	}
+	if out.Parent != "" {
+		t.Fatalf("outer parent = %q, want root (empty)", out.Parent)
+	}
+}
+
+// TestStartSpanDegradesGracefully: a nil recorder returns the disabled span
+// and the unchanged context; an untraced context yields span events without
+// trace fields.
+func TestStartSpanDegradesGracefully(t *testing.T) {
+	var rec *Recorder
+	ctx := context.Background()
+	sp, out := rec.StartSpan(ctx, "attempt")
+	if out != ctx {
+		t.Fatal("nil recorder must return the context unchanged")
+	}
+	sp.End() // no-op, must not panic
+
+	var buf syncBuffer
+	live := NewRecorder(&buf)
+	sp2, out2 := live.StartSpan(ctx, "attempt")
+	if TraceFrom(out2).Valid() {
+		t.Fatal("untraced context must stay untraced")
+	}
+	sp2.End()
+	if err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeEvents(t, buf.Bytes())
+	if len(events) != 1 || events[0].Trace != "" || events[0].Span != "" {
+		t.Fatalf("untraced span event = %+v", events)
+	}
+}
+
+// TestTraceContextHelpers covers the context plumbing edge cases.
+func TestTraceContextHelpers(t *testing.T) {
+	if TraceFrom(nil).Valid() {
+		t.Fatal("nil context must be untraced")
+	}
+	if TraceFrom(context.Background()).Valid() {
+		t.Fatal("fresh context must be untraced")
+	}
+	zero := TraceContext{}
+	if WithTrace(context.Background(), zero) != context.Background() {
+		t.Fatal("zero TraceContext must not wrap the context")
+	}
+	if child := zero.Child(); child != zero {
+		t.Fatal("child of the zero TraceContext must stay zero")
+	}
+	tc := TraceContext{Trace: "abc", Span: "s1", Job: "j1"}
+	child := tc.Child()
+	if child.Trace != tc.Trace || child.Job != tc.Job || child.Span == tc.Span || child.Span == "" {
+		t.Fatalf("child = %+v of %+v", child, tc)
+	}
+}

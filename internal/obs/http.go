@@ -7,6 +7,14 @@ import (
 	"time"
 )
 
+// Endpoint is an extra route mounted on the observability handler, used by
+// daemons to co-host subsystem endpoints (e.g. the SLO engine's /slo) on
+// the same listener as /metrics.
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns an http.Handler exposing the registry and the process:
 //
 //	/metrics      Prometheus text exposition
@@ -15,7 +23,8 @@ import (
 //
 // reg may be nil; the endpoints then serve empty metric sets but pprof
 // still works, so a metrics listener is useful even for pure profiling.
-func Handler(reg *Registry) http.Handler {
+// Additional endpoints are mounted verbatim (nil handlers are skipped).
+func Handler(reg *Registry, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -30,6 +39,11 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Handler != nil && e.Pattern != "" {
+			mux.Handle(e.Pattern, e.Handler)
+		}
+	}
 	return mux
 }
 
@@ -42,15 +56,15 @@ type Server struct {
 	srv  *http.Server
 }
 
-// Serve binds addr and serves Handler(reg) on it in a background
+// Serve binds addr and serves Handler(reg, extra...) on it in a background
 // goroutine. Close the returned Server to stop it. addr follows
 // net.Listen("tcp", addr) conventions; ":0" picks a free port.
-func Serve(addr string, reg *Registry) (*Server, error) {
+func Serve(addr string, reg *Registry, extra ...Endpoint) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(reg, extra...), ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
 	go func() { _ = srv.Serve(ln) }()
 	return s, nil

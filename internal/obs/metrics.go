@@ -138,9 +138,22 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample. No-op on a nil receiver.
+//
+// The sum is added before the bucket so that a concurrent snapshot (which
+// reads buckets first, then the sum — see Registry.TakeSnapshot) never
+// shows a count whose observations are missing from the sum; exposition
+// invariants under concurrent observation are pinned by the scrape-parse
+// round-trip test.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
 	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
@@ -148,13 +161,6 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.buckets[i].Add(1)
 	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, next) {
-			return
-		}
-	}
 }
 
 // Count returns the number of observations (0 on a nil receiver).

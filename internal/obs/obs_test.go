@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -153,7 +154,8 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot = %+v", s)
 	}
 	h := s.Histograms["h"]
-	if h.Count != 1 || h.Sum != 4 || len(h.Buckets) != 1 || h.Buckets[0] != 1 {
+	// Buckets are cumulative with a trailing +Inf entry equal to Count.
+	if h.Count != 1 || h.Sum != 4 || len(h.Buckets) != 2 || h.Buckets[0] != 1 || h.Buckets[1] != 1 {
 		t.Fatalf("hist snapshot = %+v", h)
 	}
 }
@@ -206,7 +208,9 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 		g   *Gauge
 		h   *Histogram
 		rec *Recorder
+		f   *Flight
 	)
+	ctx := context.Background()
 	if n := testing.AllocsPerRun(100, func() {
 		c.Add(3)
 		c.Inc()
@@ -215,6 +219,14 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 		g.SetMin(0.5)
 		h.Observe(4)
 		rec.Span(0, "compute").End()
+		sp, sctx := rec.StartSpan(ctx, "attempt")
+		if sctx != ctx {
+			panic("nil recorder must not derive a context")
+		}
+		sp.End()
+		f.Record(FlightEntry{Kind: "round", Round: 1})
+		_ = f.Dump()
+		_ = TraceFrom(ctx)
 	}); n != 0 {
 		t.Fatalf("disabled collectors allocate %v allocs/op, want 0", n)
 	}
@@ -228,20 +240,27 @@ func TestDisabledPathZeroAllocs(t *testing.T) {
 }
 
 // BenchmarkObsDisabled benchmarks the disabled path; run with -benchmem to
-// see 0 B/op, 0 allocs/op. This is the overhead an uninstrumented run pays.
+// see 0 B/op, 0 allocs/op. This is the overhead an uninstrumented run pays,
+// with the span-tracing and flight-recorder surfaces of this PR included.
+// CI pins allocs/op to exactly zero via benchgate's absolute rule.
 func BenchmarkObsDisabled(b *testing.B) {
 	var (
 		c   *Counter
 		g   *Gauge
 		h   *Histogram
 		rec *Recorder
+		f   *Flight
 	)
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Add(1)
 		g.SetMax(float64(i))
 		h.Observe(float64(i))
 		rec.Span(0, "round").End()
+		sp, _ := rec.StartSpan(ctx, "attempt")
+		sp.End()
+		f.Record(FlightEntry{Kind: "round", Round: i})
 	}
 }
 

@@ -133,7 +133,10 @@ type Snapshot struct {
 }
 
 // HistSnapshot is the snapshot of one histogram. Buckets are cumulative,
-// one per bound; the total count covers the implicit +Inf bucket.
+// one per bound plus a final +Inf entry; Count always equals the last
+// (cumulative +Inf) bucket, so the Prometheus invariants — monotone
+// buckets, `+Inf` == `_count` — hold even when the snapshot races with
+// concurrent Observe calls.
 type HistSnapshot struct {
 	Count   int64     `json:"count"`
 	Sum     float64   `json:"sum"`
@@ -162,15 +165,19 @@ func (r *Registry) TakeSnapshot() Snapshot {
 		s.Gauges[name] = m.Value()
 	}
 	for name, m := range c.hists {
+		// Count is derived from the summed bucket counts rather than read
+		// from the separate count atomic: the two cannot be read atomically
+		// together, and an independently read count could undercut the last
+		// cumulative bucket mid-Observe, breaking `+Inf` == `_count`.
 		counts := m.BucketCounts()
-		cum := make([]int64, len(m.bounds))
+		cum := make([]int64, len(counts))
 		run := int64(0)
-		for i := range m.bounds {
-			run += counts[i]
+		for i, c := range counts {
+			run += c
 			cum[i] = run
 		}
 		s.Histograms[name] = HistSnapshot{
-			Count:   m.Count(),
+			Count:   run,
 			Sum:     m.Sum(),
 			Bounds:  m.Bounds(),
 			Buckets: cum,
@@ -206,7 +213,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		for i, bound := range h.Bounds {
 			fmt.Fprintf(&b, "%s_bucket{le=\"%v\"} %d\n", name, bound, h.Buckets[i])
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Buckets[len(h.Buckets)-1])
 		fmt.Fprintf(&b, "%s_sum %v\n", name, h.Sum)
 		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
 	}

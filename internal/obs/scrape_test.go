@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parseScrape pulls one histogram out of a /metrics text scrape: the
+// cumulative bucket counts in order of bound, the trailing +Inf bucket, the
+// _count and the _sum lines. It fails the test on malformed lines — that is
+// half the point of the round trip.
+type scrapedHist struct {
+	bounds  []string
+	buckets []int64 // cumulative, same order as bounds (+Inf last)
+	count   int64
+	sum     float64
+}
+
+func parseScrape(t *testing.T, text, name string) scrapedHist {
+	t.Helper()
+	var h scrapedHist
+	sawCount, sawSum := false, false
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		series, valStr := fields[0], fields[1]
+		switch {
+		case strings.HasPrefix(series, name+"_bucket{le=\""):
+			bound := strings.TrimSuffix(strings.TrimPrefix(series, name+"_bucket{le=\""), "\"}")
+			n, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			h.bounds = append(h.bounds, bound)
+			h.buckets = append(h.buckets, n)
+		case series == name+"_count":
+			n, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+			h.count, sawCount = n, true
+		case series == name+"_sum":
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("sum line %q: %v", line, err)
+			}
+			h.sum, sawSum = v, true
+		}
+	}
+	if len(h.buckets) == 0 || !sawCount || !sawSum {
+		t.Fatalf("scrape missing histogram %q:\n%s", name, text)
+	}
+	return h
+}
+
+// checkHistInvariants asserts the Prometheus histogram contract on one
+// scrape: cumulative buckets are monotone, the +Inf bucket equals _count,
+// and — because every observation here has value obsValue — _sum covers at
+// least obsValue per counted observation (Observe adds the sum first).
+func checkHistInvariants(t *testing.T, h scrapedHist, obsValue float64) {
+	t.Helper()
+	for i := 1; i < len(h.buckets); i++ {
+		if h.buckets[i] < h.buckets[i-1] {
+			t.Fatalf("buckets not monotone at %d: %v", i, h.buckets)
+		}
+	}
+	last := len(h.buckets) - 1
+	if h.bounds[last] != "+Inf" {
+		t.Fatalf("last bucket bound = %q, want +Inf (bounds %v)", h.bounds[last], h.bounds)
+	}
+	if h.buckets[last] != h.count {
+		t.Fatalf("+Inf bucket %d != _count %d", h.buckets[last], h.count)
+	}
+	if want := obsValue * float64(h.count); h.sum < want-1e-6 {
+		t.Fatalf("_sum %v < %v (= %v × count %d): sum lags counted observations", h.sum, want, obsValue, h.count)
+	}
+}
+
+// TestScrapeParseRoundTripUnderConcurrency is the end-to-end consistency
+// test for the text exposition: while writers hammer a histogram, a scraper
+// repeatedly renders /metrics, parses it back, and asserts the histogram
+// invariants on every intermediate scrape — not just the quiesced final
+// one. Before the snapshot fix, a scrape racing Observe could render a
+// +Inf bucket behind _count and an undershooting _sum.
+func TestScrapeParseRoundTripUnderConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("lat_seconds", []float64{0.1, 1})
+	const obsValue = 0.5
+	const writers, perWriter = 8, 2000
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				hist.Observe(obsValue)
+			}
+		}()
+	}
+
+	// Scrape continuously while the writers run.
+	scrapes := 0
+	for !stop.Load() {
+		var sb strings.Builder
+		reg.WriteText(&sb)
+		h := parseScrape(t, sb.String(), "lat_seconds")
+		checkHistInvariants(t, h, obsValue)
+		scrapes++
+		if scrapes == 1 {
+			// Close the loop once the writers are done: one more scrape below.
+			go func() { wg.Wait(); stop.Store(true) }()
+		}
+	}
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	h := parseScrape(t, sb.String(), "lat_seconds")
+	checkHistInvariants(t, h, obsValue)
+	if want := int64(writers * perWriter); h.count != want {
+		t.Fatalf("final count = %d, want %d", h.count, want)
+	}
+	if h.buckets[0] != 0 || h.buckets[1] != int64(writers*perWriter) {
+		t.Fatalf("final buckets = %v (bounds %v)", h.buckets, h.bounds)
+	}
+
+	// The JSON snapshot must agree with the text exposition.
+	snap := reg.TakeSnapshot()
+	hs, ok := snap.Histograms["lat_seconds"]
+	if !ok {
+		t.Fatalf("snapshot lacks histogram: %+v", snap.Histograms)
+	}
+	if hs.Count != h.count || hs.Buckets[len(hs.Buckets)-1] != h.count {
+		t.Fatalf("snapshot count %d / +Inf %d disagree with scrape %d", hs.Count, hs.Buckets[len(hs.Buckets)-1], h.count)
+	}
+}
+
+// TestHandlerExtraEndpoints: obs.Handler mounts caller-supplied endpoints
+// (the /slo hook), skips empty or nil entries, and keeps the stock
+// endpoints working.
+func TestHandlerExtraEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Add(7)
+	extra := Endpoint{Pattern: "/slo", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"fast_burn":false}`)
+	})}
+	h := Handler(reg,
+		extra,
+		Endpoint{Pattern: "", Handler: extra.Handler}, // skipped: no pattern
+		Endpoint{Pattern: "/nil", Handler: nil},       // skipped: no handler
+	)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/slo"); code != http.StatusOK || !strings.Contains(body, "fast_burn") {
+		t.Fatalf("/slo: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "hits_total 7") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d %q", code, body)
+	} else {
+		var s Snapshot
+		if err := json.Unmarshal([]byte(body), &s); err != nil {
+			t.Fatalf("/debug/vars not JSON: %v", err)
+		}
+	}
+	if code, _ := get("/nil"); code != http.StatusNotFound {
+		t.Fatalf("/nil should be unmounted, got %d", code)
+	}
+}
+
+// TestServeExtraEndpoints: the Serve convenience path forwards extras too.
+func TestServeExtraEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, Endpoint{Pattern: "/slo", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "ok")
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/slo", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("/slo via Serve: %d %q", resp.StatusCode, body)
+	}
+}

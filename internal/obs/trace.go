@@ -53,10 +53,29 @@ type Event struct {
 	ComputeNS int64 `json:"compute_ns,omitempty"`
 	DeliverNS int64 `json:"deliver_ns,omitempty"`
 	DurNS     int64 `json:"dur_ns,omitempty"`
+	// ScanNS / ResampleNS split a resampling iteration's duration between
+	// the violated-event scan and the resampling work (mt_iteration).
+	ScanNS     int64 `json:"scan_ns,omitempty"`
+	ResampleNS int64 `json:"resample_ns,omitempty"`
 	// Rounds is the final round count (run_end).
 	Rounds int `json:"rounds,omitempty"`
 	// Err carries the failure of an aborted run (run_end).
 	Err string `json:"err,omitempty"`
+	// Trace / Span / Parent causally link the event into an end-to-end
+	// request trace (see TraceContext): Trace tags every event of one job,
+	// Span identifies a "span" event, Parent its enclosing span. Runtime
+	// events (round, mt_iteration, run_*) executed on behalf of a traced
+	// job carry Trace (and Parent = the span they ran under) so a trace ID
+	// from an exemplar or an NDJSON end event recovers the full causal
+	// chain from the JSONL stream.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	// Job is the service job ID the event belongs to, when known.
+	Job string `json:"job,omitempty"`
+	// Attempt is the 1-based service attempt the event belongs to
+	// (attempt spans).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // Recorder appends Events to an io.Writer as JSON Lines. It is safe for
@@ -142,14 +161,20 @@ func (r *Recorder) Flush() error {
 	return r.err
 }
 
-// Span is a lightweight timed phase: obtain one with Recorder.Span, do the
-// work, call End. Spans are values (no allocation); the zero Span (from a
-// nil recorder) is a valid disabled span.
+// Span is a lightweight timed phase: obtain one with Recorder.Span (or
+// Recorder.StartSpan for traced spans), do the work, call End. Spans are
+// values (no allocation); the zero Span (from a nil recorder) is a valid
+// disabled span.
 type Span struct {
-	rec   *Recorder
-	run   int64
-	phase string
-	start time.Time
+	rec     *Recorder
+	run     int64
+	phase   string
+	start   time.Time
+	trace   string
+	span    string
+	parent  string
+	job     string
+	attempt int
 }
 
 // Span starts a timed phase with the given run tag and phase name. On a nil
@@ -161,11 +186,31 @@ func (r *Recorder) Span(run int64, phase string) Span {
 	return Span{rec: r, run: run, phase: phase, start: time.Now()}
 }
 
-// End emits the span's "span" event with its duration. No-op on the zero
-// Span.
-func (s Span) End() {
+// WithAttempt tags the span with a 1-based attempt number, carried on its
+// event. Valid on the zero Span.
+func (s Span) WithAttempt(n int) Span {
+	s.attempt = n
+	return s
+}
+
+// Dur returns the span's elapsed time so far (0 on the zero Span).
+func (s Span) Dur() time.Duration {
 	if s.rec == nil {
-		return
+		return 0
 	}
-	s.rec.Emit(Event{Kind: "span", Run: s.run, Phase: s.phase, DurNS: time.Since(s.start).Nanoseconds()})
+	return time.Since(s.start)
+}
+
+// End emits the span's "span" event with its duration and returns the
+// duration. No-op (returning 0) on the zero Span.
+func (s Span) End() time.Duration {
+	if s.rec == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.rec.Emit(Event{
+		Kind: "span", Run: s.run, Phase: s.phase, DurNS: d.Nanoseconds(),
+		Trace: s.trace, Span: s.span, Parent: s.parent, Job: s.job, Attempt: s.attempt,
+	})
+	return d
 }

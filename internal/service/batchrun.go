@@ -93,7 +93,9 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 	// instances that actually have to run. Cache-eligible specs resolve
 	// their key through the spec-identity memo first, so duplicates —
 	// within this batch or across earlier jobs — never pay a second
-	// instance build or canonical hash.
+	// instance build or canonical hash. The phase is timed as a
+	// "batch_prepare" span under the job's trace.
+	psp, _ := s.cfg.Trace.StartSpan(ctx, "batch_prepare")
 	var leaders []*batchItem
 	followers := make(map[uint64][]*batchItem) // cache key → same-key items behind a leader
 	leaderByKey := make(map[uint64]*batchItem)
@@ -145,6 +147,7 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 		sum.NumVars += it.inst.NumVars()
 		leaders = append(leaders, it)
 	}
+	psp.End()
 
 	// Phase 2: group the misses and run each group as one packed engine
 	// run (or per-instance for the LOCAL algorithms). Groups run
@@ -191,15 +194,19 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 		if runErr != nil {
 			break
 		}
+		// Each packing group gets its own sibling span; gctx parents the
+		// group's packed (or solo) runs to it.
+		gsp, gctx := s.cfg.Trace.StartSpan(ctx, "batch_group:"+gk.alg)
 		if !packable(gk.alg) {
 			for _, it := range items {
-				isum, err := s.runSolo(ctx, it, att, emit)
+				isum, err := s.runSolo(gctx, it, att, emit)
 				complete(it, isum, err)
 				if err != nil && ctx.Err() != nil {
 					runErr = err
 					break
 				}
 			}
+			gsp.End()
 			continue
 		}
 		insts := make([]*model.Instance, len(items))
@@ -210,7 +217,7 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 		}
 		packed := batch.Pack(insts)
 		opts := batch.Options{
-			Ctx:            ctx,
+			Ctx:            gctx,
 			Pool:           pool,
 			MaxRounds:      gk.maxRounds,
 			MaxResamplings: gk.maxResamplings,
@@ -243,6 +250,7 @@ func (s *Service) runBatch(ctx context.Context, js JobSpec, att Attempt, emit fu
 			}
 			complete(it, isum, results[i].Err)
 		}
+		gsp.End()
 	}
 
 	// Aggregate. ViolatedEvents stays -1 (unknown) only if no instance

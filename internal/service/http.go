@@ -19,15 +19,17 @@ import (
 //	GET    /v1/jobs/{id}/events NDJSON event stream, follows to terminal
 //	DELETE /v1/jobs/{id}        cancel (idempotent)
 //	GET    /healthz             200 serving | 503 draining
+//	GET    /slo                 SLO burn-rate status (when Config.SLO is set)
 //	/metrics, /debug/*          observability (obs.Handler on reg)
 //
 // Error mapping: 400 invalid spec/body, 404 unknown id, 429 queue full
-// (with Retry-After), 503 draining.
+// (with Retry-After), 503 draining or shed under SLO fast burn.
 func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
-	oh := obs.Handler(reg)
+	oh := obs.Handler(reg, obs.Endpoint{Pattern: "/slo", Handler: s.cfg.SLO.Handler()})
 	mux.Handle("/metrics", oh)
 	mux.Handle("/debug/", oh)
+	mux.Handle("/slo", oh)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {
@@ -51,7 +53,7 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 			return
-		case errors.Is(err, ErrDraining):
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrShed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		case err != nil:
@@ -80,7 +82,7 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 			return
-		case errors.Is(err, ErrDraining):
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrShed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		case err != nil:

@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // State is a job's lifecycle state. Transitions:
@@ -87,6 +89,21 @@ type Event struct {
 	// Stack is the panicking goroutine's stack when the failure of an "end"
 	// event was a recovered panic.
 	Stack string `json:"stack,omitempty"`
+	// Trace is the job's trace ID, stamped on "queued" and "end" events; its
+	// spans (queue_wait, attempt, build_instance, run, rounds) are on the
+	// daemon's JSONL trace stream under the same ID.
+	Trace string `json:"trace,omitempty"`
+	// QueueMS / RunMS summarize the job's latency split on "end" events:
+	// admission-to-dispatch wait and last-attempt run time.
+	QueueMS int64 `json:"queue_ms,omitempty"`
+	RunMS   int64 `json:"run_ms,omitempty"`
+	// Flight is the flight-recorder dump — the job's last recorded moments
+	// (rounds, faults, retries, checkpoints) — included in the "end" event
+	// of a failed or cancelled job so post-mortems need no debugger.
+	// FlightTotal counts all entries ever recorded; when it exceeds
+	// len(Flight) the older ones were overwritten by the bounded ring.
+	Flight      []obs.FlightEntry `json:"flight,omitempty"`
+	FlightTotal int64             `json:"flight_total,omitempty"`
 }
 
 // Summary is the result of a completed (or partially completed) job run.
@@ -152,10 +169,18 @@ type InstanceSummary struct {
 type Job struct {
 	// ID is the service-assigned job identifier.
 	ID string
+	// TraceID is the request trace minted at admission; every span and
+	// runtime event executed for this job carries it on the JSONL trace
+	// stream, and the NDJSON "queued"/"end" events echo it.
+	TraceID string
 	// Spec is the normalized job specification.
 	Spec JobSpec
 
 	created time.Time
+	// flight is the job's bounded flight recorder (see obs.Flight): event
+	// appends and checkpoint saves mirror into it, and finish dumps it into
+	// the end event of a failed or cancelled job.
+	flight *obs.Flight
 
 	mu              sync.Mutex
 	state           State
@@ -176,11 +201,20 @@ type Job struct {
 	checkpoint *fault.Checkpoint
 }
 
+// flightRing is the per-job flight-recorder depth: the last flightRing
+// events (rounds, faults, retries, checkpoints) survive into a failed
+// job's end-event dump. Memory per job is bounded by construction.
+const flightRing = 64
+
 // newJob creates a queued job and records its "queued" event (safe: the
 // job is not yet visible to any other goroutine).
 func newJob(id string, spec JobSpec, now time.Time, maxRetries int) *Job {
-	j := &Job{ID: id, Spec: spec, created: now, state: StateQueued, more: make(chan struct{}), maxRetries: maxRetries}
-	j.events = append(j.events, Event{Seq: 0, Kind: "queued"})
+	j := &Job{
+		ID: id, TraceID: obs.NewTraceID(), Spec: spec, created: now,
+		state: StateQueued, more: make(chan struct{}), maxRetries: maxRetries,
+		flight: obs.NewFlight(flightRing),
+	}
+	j.events = append(j.events, Event{Seq: 0, Kind: "queued", Trace: j.TraceID})
 	return j
 }
 
@@ -205,6 +239,19 @@ func (j *Job) emitLocked(e Event) {
 	j.events = append(j.events, e)
 	close(j.more)
 	j.more = make(chan struct{})
+	// Mirror the event into the flight recorder — except the "end" event,
+	// which is where the dump itself rides.
+	if e.Kind != "end" {
+		detail := e.Err
+		if e.Kind == "retry" {
+			detail = fmt.Sprintf("%s (backoff %dms)", e.Err, e.BackoffMS)
+		}
+		j.flight.Record(obs.FlightEntry{
+			Kind: e.Kind, Attempt: e.Attempt, Round: e.Round, Steps: e.Steps,
+			Active: e.Active, Dropped: e.Dropped, Crashed: e.Crashed,
+			Instance: e.Instance, Detail: detail,
+		})
+	}
 }
 
 // EventsSince returns a copy of the events from position from on, together
@@ -242,6 +289,9 @@ func (j *Job) begin(parent context.Context) (ctx context.Context, attempt int, c
 	} else {
 		ctx, j.cancel = context.WithCancel(parent)
 	}
+	// Every layer below — the runner, the batch packer, local.Run, the
+	// resamplers — reads the trace from this context and tags its events.
+	ctx = obs.WithTrace(ctx, obs.TraceContext{Trace: j.TraceID, Job: j.ID})
 	j.state = StateRunning
 	j.started = time.Now()
 	j.attempt++
@@ -260,6 +310,10 @@ func (j *Job) setCheckpoint(cp *fault.Checkpoint) {
 	j.mu.Lock()
 	j.checkpoint = cp
 	j.mu.Unlock()
+	j.flight.Record(obs.FlightEntry{
+		Kind: "checkpoint", Round: cp.Round,
+		Detail: fmt.Sprintf("resamplings=%d", cp.Resamplings),
+	})
 }
 
 // retryInfo reports the attempts started so far, the retries left in the
@@ -300,8 +354,28 @@ func (j *Job) failQueued(msg string) bool {
 	j.state = StateFailed
 	j.errMsg = msg
 	j.finished = time.Now()
-	j.emitLocked(Event{Kind: "end", State: j.state, Attempt: j.attempt, Err: j.errMsg})
+	j.emitLocked(j.endEventLocked(Event{Kind: "end", State: j.state, Attempt: j.attempt, Err: j.errMsg}))
 	return true
+}
+
+// endEventLocked decorates an "end" event with the trace ID, the latency
+// split and — for failed/cancelled jobs — the flight-recorder dump.
+// Callers hold j.mu.
+func (j *Job) endEventLocked(e Event) Event {
+	e.Trace = j.TraceID
+	if !j.started.IsZero() {
+		e.QueueMS = j.started.Sub(j.created).Milliseconds()
+		if !j.finished.IsZero() {
+			e.RunMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	} else if !j.finished.IsZero() {
+		e.QueueMS = j.finished.Sub(j.created).Milliseconds()
+	}
+	if j.state != StateDone {
+		e.Flight = j.flight.Dump()
+		e.FlightTotal = j.flight.Total()
+	}
+	return e
 }
 
 // finish records the runner's outcome and transitions to the terminal
@@ -338,7 +412,7 @@ func (j *Job) finish(sum *Summary, err error) State {
 	}
 	j.summary = sum
 	j.finished = time.Now()
-	j.emitLocked(Event{Kind: "end", State: j.state, Attempt: j.attempt, Err: j.errMsg, Stack: stack})
+	j.emitLocked(j.endEventLocked(Event{Kind: "end", State: j.state, Attempt: j.attempt, Err: j.errMsg, Stack: stack}))
 	return j.state
 }
 
@@ -355,7 +429,7 @@ func (j *Job) requestCancel() (wasQueued, wasRunning bool) {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.errMsg = "cancelled while queued"
-		j.emitLocked(Event{Kind: "end", State: j.state, Err: j.errMsg})
+		j.emitLocked(j.endEventLocked(Event{Kind: "end", State: j.state, Err: j.errMsg}))
 		return true, false
 	case StateRunning:
 		j.cancelRequested = true
@@ -398,8 +472,11 @@ func (j *Job) runTime() time.Duration {
 
 // View is the JSON representation of a job served by the HTTP API.
 type View struct {
-	ID      string  `json:"id"`
-	State   State   `json:"state"`
+	ID string `json:"id"`
+	// TraceID is the job's request trace; grep it in the daemon's JSONL
+	// trace file (llld -trace) to reconstruct the job's full span tree.
+	TraceID string `json:"trace_id"`
+	State   State  `json:"state"`
 	Spec    JobSpec `json:"spec"`
 	Created string  `json:"created"`
 	// QueueMS / RunMS are the queue wait and run duration in milliseconds
@@ -424,6 +501,7 @@ func (j *Job) View() View {
 	defer j.mu.Unlock()
 	v := View{
 		ID:       j.ID,
+		TraceID:  j.TraceID,
 		State:    j.state,
 		Spec:     j.Spec,
 		Created:  j.created.UTC().Format(time.RFC3339Nano),

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/prng"
+	"repro/internal/slo"
 )
 
 // Sentinel errors surfaced by Submit / Get / Cancel; the HTTP layer maps
@@ -38,6 +39,22 @@ var (
 	ErrDraining = errors.New("service: draining, not accepting jobs")
 	// ErrNotFound: no job with that id (HTTP 404).
 	ErrNotFound = errors.New("service: no such job")
+	// ErrShed: admission shed the job because the SLO engine is fast-burning
+	// and the predicted p99 run latency exceeds the job's deadline — running
+	// it would burn CPU on a job that cannot meet its deadline while the
+	// error budget is already draining (HTTP 503).
+	ErrShed = errors.New("service: admission shed: predicted p99 latency exceeds deadline under SLO fast burn")
+)
+
+// Objective names the Service feeds when Config.SLO is set; declare
+// objectives under these names to activate the corresponding signal.
+const (
+	// SLORunLatency observes each attempt's run duration (seconds).
+	SLORunLatency = "run_latency"
+	// SLOQueueWait observes each job's admission-to-dispatch wait (seconds).
+	SLOQueueWait = "queue_wait"
+	// SLOErrorRate observes each job's terminal outcome (failed = bad).
+	SLOErrorRate = "error_rate"
 )
 
 // Runner executes one job attempt under ctx, streaming events through emit
@@ -86,6 +103,12 @@ type Config struct {
 	// passed through to the runtime layers of every job. Trace likewise.
 	Metrics *obs.Registry
 	Trace   *obs.Recorder
+	// SLO, when non-nil, receives the service's objective signals (run
+	// latency, queue wait, error rate — see the SLO* name constants) and
+	// closes the first control loop: while any objective fast-burns,
+	// admission sheds deadline-carrying jobs whose deadline is below the
+	// predicted p99 run latency (ErrShed). Nil disables both at zero cost.
+	SLO *slo.Engine
 	// Runner overrides job execution (tests); nil means RunSpec.
 	Runner Runner
 	// Fault is a daemon-wide fault-injection plan merged into every job's
@@ -174,6 +197,8 @@ type svcMetrics struct {
 	gaveup      *obs.Counter
 	panics      *obs.Counter
 	checkpoints *obs.Counter
+	shed        *obs.Counter
+	fastBurn    *obs.Gauge
 	queueSec    *obs.Histogram
 	runSec      *obs.Histogram
 }
@@ -192,6 +217,8 @@ func newSvcMetrics(reg *obs.Registry) svcMetrics {
 		gaveup:      reg.Counter("service_gaveup_total"),
 		panics:      reg.Counter("service_panics_total"),
 		checkpoints: reg.Counter("service_checkpoints_total"),
+		shed:        reg.Counter("service_admission_shed_total"),
+		fastBurn:    reg.Gauge("service_slo_fast_burn"),
 		queueSec:    reg.Histogram("service_job_queue_seconds", obs.DurationBuckets),
 		runSec:      reg.Histogram("service_job_run_seconds", obs.DurationBuckets),
 	}
@@ -254,6 +281,9 @@ func (s *Service) Submit(js JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.shedCheck(js); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -281,6 +311,36 @@ func (s *Service) Submit(js JobSpec) (*Job, error) {
 	s.mu.Unlock()
 	s.m.submitted.Inc()
 	return job, nil
+}
+
+// shedCheck is the SLO control loop's admission hook: while any objective
+// fast-burns, a job carrying a deadline that the predicted p99 run latency
+// cannot meet is shed with ErrShed — better to reject in O(1) at admission
+// than to burn an engine slot on a job destined for DeadlineExceeded while
+// the error budget is already draining. Jobs without a deadline are never
+// shed (nothing promises them a latency), and without an SLO engine the
+// check is free.
+func (s *Service) shedCheck(js JobSpec) error {
+	eng := s.cfg.SLO
+	if eng == nil {
+		return nil
+	}
+	fast := eng.FastBurn()
+	if fast {
+		s.m.fastBurn.Set(1)
+	} else {
+		s.m.fastBurn.Set(0)
+	}
+	if !fast || js.TimeoutMS <= 0 {
+		return nil
+	}
+	p99, ok := eng.Quantile(SLORunLatency, 0.99)
+	if !ok || p99 <= float64(js.TimeoutMS)/1000 {
+		return nil
+	}
+	s.m.shed.Inc()
+	s.m.rejects.Inc()
+	return ErrShed
 }
 
 // Get returns the job with the given id, or ErrNotFound after eviction.
@@ -354,15 +414,27 @@ func (s *Service) scheduler() {
 				job.setCheckpoint(c)
 			},
 		}
-		s.m.queueSec.Observe(job.queueTime().Seconds())
+		queueWait := job.queueTime()
+		s.m.queueSec.Observe(queueWait.Seconds())
+		s.cfg.SLO.Observe(SLOQueueWait, queueWait.Seconds(), job.TraceID)
+		s.emitPhase("queue_wait", queueWait, job, attempt)
 		s.m.running.Add(1)
+		// The attempt span wraps the whole runner invocation; ctx carries it
+		// so the runner's build_instance/run spans and the runtime's round
+		// events parent to it.
+		sp, ctx := s.cfg.Trace.StartSpan(ctx, "attempt")
+		sp = sp.WithAttempt(attempt)
 		sum, err := s.runJob(ctx, job, att)
+		sp.End()
 		s.m.running.Add(-1)
-		s.m.runSec.Observe(job.runTime().Seconds())
+		runTime := job.runTime()
+		s.m.runSec.Observe(runTime.Seconds())
+		s.cfg.SLO.Observe(SLORunLatency, runTime.Seconds(), job.TraceID)
 		if s.maybeRetry(job, err) {
 			continue // re-admitted; a later pop runs the next attempt
 		}
 		state := job.finish(sum, err)
+		s.cfg.SLO.ObserveOutcome(SLOErrorRate, state != StateFailed, job.TraceID)
 		switch state {
 		case StateDone:
 			s.m.done.Inc()
@@ -372,6 +444,19 @@ func (s *Service) scheduler() {
 			s.m.cancelled.Inc()
 		}
 	}
+}
+
+// emitPhase emits one already-measured phase as a "span" trace event under
+// the job's trace (the queue wait is only known at dispatch, so it cannot
+// be an open Span).
+func (s *Service) emitPhase(phase string, d time.Duration, job *Job, attempt int) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace.Emit(obs.Event{
+		Kind: "span", Phase: phase, DurNS: d.Nanoseconds(),
+		Trace: job.TraceID, Span: obs.NewSpanID(), Job: job.ID, Attempt: attempt,
+	})
 }
 
 // runJob invokes the runner with panic isolation: a panic anywhere in the

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/slo"
+)
+
+// TestHTTPSLOEndpoint: the service handler mounts /slo when an engine is
+// configured — JSON by default, Prometheus text with trace-ID exemplars on
+// ?format=prom — and the trace IDs in the exemplars are the jobs' own.
+func TestHTTPSLOEndpoint(t *testing.T) {
+	eng := slo.NewEngine(slo.Config{
+		Objectives: []slo.Objective{
+			{Name: SLORunLatency, Kind: slo.Latency, Target: 0.99, Threshold: 10},
+			{Name: SLOErrorRate, Kind: slo.Ratio, Target: 0.99},
+		},
+	})
+	r := newStubRunner()
+	_, ts := newTestServer(t, Config{QueueCap: 4, MaxInFlight: 1, SLO: eng, Runner: r.run})
+
+	v, resp := postJob(t, ts, `{}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitStarted(t, r)
+	r.release <- struct{}{}
+	waitViewState(t, ts, v.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /slo: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/slo content type = %q", ct)
+	}
+	var st slo.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/slo JSON: %v\n%s", err, body)
+	}
+	var run *slo.ObjectiveStatus
+	for i := range st.Objectives {
+		if st.Objectives[i].Name == SLORunLatency {
+			run = &st.Objectives[i]
+		}
+	}
+	if run == nil || run.Good == 0 {
+		t.Fatalf("/slo has no run_latency observations: %s", body)
+	}
+	found := false
+	for _, ex := range run.Exemplars {
+		if ex.Trace == v.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no exemplar carries the job's trace %q: %s", v.TraceID, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/slo?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/slo?format=prom content type = %q", ct)
+	}
+	if !strings.Contains(string(prom), `trace_id="`+v.TraceID+`"`) {
+		t.Fatalf("prom exposition lacks the job's trace exemplar:\n%s", prom)
+	}
+	if !strings.Contains(string(prom), "slo_run_latency_seconds_bucket") {
+		t.Fatalf("prom exposition lacks the latency histogram:\n%s", prom)
+	}
+}
+
+// TestHTTPSLOWithoutEngine: without an engine the endpoint still answers
+// with an empty status instead of 404 — dashboards can poll unconditionally.
+func TestHTTPSLOWithoutEngine(t *testing.T) {
+	r := newStubRunner()
+	_, ts := newTestServer(t, Config{QueueCap: 2, MaxInFlight: 1, Runner: r.run})
+	resp, err := http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /slo without engine: %d", resp.StatusCode)
+	}
+	var st slo.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("/slo JSON: %v", err)
+	}
+	if len(st.Objectives) != 0 || st.FastBurn {
+		t.Fatalf("empty engine status = %+v", st)
+	}
+}
+
+// TestHTTPShed503: under SLO fast burn, a deadline'd submit is shed with
+// 503 on both the solo and the batch endpoint.
+func TestHTTPShed503(t *testing.T) {
+	eng := sloEngineTripped(t)
+	r := newStubRunner()
+	_, ts := newTestServer(t, Config{QueueCap: 8, MaxInFlight: 1, SLO: eng, Runner: r.run})
+
+	_, resp := postJob(t, ts, `{"timeout_ms":50}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline'd submit under fast burn: %d, want 503", resp.StatusCode)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json",
+		strings.NewReader(`{"template":{},"count":2,"timeout_ms":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline'd batch submit under fast burn: %d, want 503", resp.StatusCode)
+	}
+
+	// Deadline-less jobs still flow.
+	v, resp := postJob(t, ts, `{}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("deadline-less submit under fast burn: %d, want 202", resp.StatusCode)
+	}
+	waitStarted(t, r)
+	r.release <- struct{}{}
+	waitViewState(t, ts, v.ID, StateDone)
+}
+
+// waitViewState polls the job view over HTTP until it reaches the wanted
+// state, covering the trace_id field of the view JSON on the way.
+func waitViewState(t *testing.T, ts *httptest.Server, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v View
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.TraceID == "" {
+			t.Fatalf("view %s has no trace_id", id)
+		}
+		if v.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, v.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -343,13 +343,19 @@ func RunSpec(ctx context.Context, js JobSpec, att Attempt, emit func(Event), opt
 	if err != nil {
 		return nil, err
 	}
+	bsp, _ := opts.Trace.StartSpan(ctx, "build_instance")
 	inst, err := buildInstance(js)
+	bsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("building instance: %w", err)
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
+	// The run span wraps the algorithm execution; ctx carries it down so
+	// the runtime's round / mt_iteration events parent to it.
+	rsp, ctx := opts.Trace.StartSpan(ctx, "run")
+	defer rsp.End()
 
 	metrics, trace := opts.Metrics, opts.Trace
 	sum := &Summary{

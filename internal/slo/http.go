@@ -1,0 +1,105 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the /slo endpoint: the evaluated Status as indented JSON
+// by default, or Prometheus text exposition (with OpenMetrics-style
+// exemplars on the latency buckets) when the request asks for it via
+// ?format=prom or an Accept header preferring text/plain. A nil engine
+// serves an empty Status, so the endpoint is mountable unconditionally.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := e.Status()
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			writeProm(w, st)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}
+
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// writeProm renders the status in the Prometheus text format. Exemplars use
+// the OpenMetrics syntax (`... # {trace_id="..."} value timestamp`), which
+// Prometheus scrapes when exemplar storage is on and plain-text consumers
+// can strip at the '#'.
+func writeProm(w http.ResponseWriter, st Status) {
+	var b strings.Builder
+	b.WriteString("# TYPE slo_fast_burn gauge\n")
+	fmt.Fprintf(&b, "slo_fast_burn %d\n", b2i(st.FastBurn))
+	for _, o := range st.Objectives {
+		fmt.Fprintf(&b, "# TYPE slo_burn_rate gauge\n")
+		fmt.Fprintf(&b, "slo_burn_rate{objective=%q,window=\"short\"} %v\n", o.Name, o.BurnShort)
+		fmt.Fprintf(&b, "slo_burn_rate{objective=%q,window=\"long\"} %v\n", o.Name, o.BurnLong)
+		fmt.Fprintf(&b, "# TYPE slo_objective_fast_burn gauge\n")
+		fmt.Fprintf(&b, "slo_objective_fast_burn{objective=%q} %d\n", o.Name, b2i(o.FastBurn))
+		fmt.Fprintf(&b, "# TYPE slo_events_total counter\n")
+		fmt.Fprintf(&b, "slo_events_total{objective=%q,outcome=\"good\"} %d\n", o.Name, o.Good)
+		fmt.Fprintf(&b, "slo_events_total{objective=%q,outcome=\"bad\"} %d\n", o.Name, o.Bad)
+		if o.Kind != Latency.String() {
+			continue
+		}
+		// Sliding-window histogram with per-bucket exemplars.
+		name := "slo_" + o.Name + "_seconds"
+		exByBound := make(map[float64]Exemplar, len(o.Exemplars))
+		for _, ex := range o.Exemplars {
+			exByBound[float64(ex.Bound)] = ex
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		for i, bound := range o.Bounds {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%v\"} %d", name, bound, o.Buckets[i])
+			writeExemplar(&b, exByBound[bound])
+		}
+		var infCount int64
+		if n := len(o.Buckets); n > 0 {
+			infCount = o.Buckets[n-1]
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d", name, infCount)
+		writeExemplar(&b, exByBound[math.Inf(1)])
+		fmt.Fprintf(&b, "%s_count %d\n", name, infCount)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s{quantile=\"0.5\"} %v\n", name+"_quantile", name+"_quantile", promFloat(float64(o.P50)))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %v\n", name+"_quantile", promFloat(float64(o.P99)))
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeExemplar terminates a bucket line, appending the exemplar when one
+// exists.
+func writeExemplar(b *strings.Builder, ex Exemplar) {
+	if ex.Trace == "" {
+		b.WriteByte('\n')
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=%q} %v\n", ex.Trace, ex.Value)
+}
+
+func promFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%v", f)
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

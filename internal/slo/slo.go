@@ -1,0 +1,504 @@
+// Package slo is the service-level-objective engine of the serving stack:
+// declared objectives (p99 run latency, error rate, queue wait) evaluated
+// as multi-window burn rates over sliding histograms, in the style of the
+// Google SRE workbook's multiwindow multi-burn-rate alerts.
+//
+// An Objective declares a target good-event fraction (e.g. 0.99 of runs
+// finish within 250ms). The engine keeps a ring of time slots covering the
+// long evaluation window; every observation lands in the current slot as a
+// good or bad event, and for latency objectives also in a per-slot bucket
+// histogram, so burn rates and quantiles are computed over a true sliding
+// window — old traffic ages out instead of diluting the rate forever.
+//
+// The burn rate over a window is badFraction(window) / (1 - target): burn 1
+// means the error budget is being spent exactly at the sustainable rate,
+// burn N means N× too fast. "Fast burn" trips when BOTH the short and the
+// long window exceed the configured factor — the long window proves the
+// problem is real, the short window proves it is still happening — and is
+// the signal the admission controller sheds on (see internal/service).
+//
+// Latency observations carry an optional trace ID, retained per bucket as
+// an exemplar (OpenMetrics-style in the Prometheus exposition), so a bucket
+// exceedance on /slo links directly to a JSONL trace that explains it.
+//
+// Like the obs collectors, a nil *Engine is the disabled engine: every
+// method is a no-op or returns a zero value, so wiring is unconditional.
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Seconds is a float64 duration-in-seconds that marshals +Inf as the JSON
+// string "+Inf" (encoding/json rejects infinities), matching the
+// Prometheus le label convention.
+type Seconds float64
+
+// MarshalJSON implements json.Marshaler.
+func (s Seconds) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(s), 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	return json.Marshal(float64(s))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Seconds) UnmarshalJSON(b []byte) error {
+	if string(b) == `"+Inf"` {
+		*s = Seconds(math.Inf(1))
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*s = Seconds(f)
+	return nil
+}
+
+// Kind classifies how an objective's observations are judged.
+type Kind int
+
+const (
+	// Latency objectives observe durations in seconds; an event is good
+	// iff the value is <= the objective's Threshold.
+	Latency Kind = iota
+	// Ratio objectives observe explicit good/bad outcomes (e.g. error
+	// rate: a failed job is a bad event).
+	Ratio
+)
+
+func (k Kind) String() string {
+	if k == Ratio {
+		return "ratio"
+	}
+	return "latency"
+}
+
+// Objective declares one SLO.
+type Objective struct {
+	// Name identifies the objective ("run_latency", "error_rate",
+	// "queue_wait"); Observe and ObserveOutcome address it by name.
+	Name string
+	// Kind selects how observations are judged.
+	Kind Kind
+	// Target is the good-event fraction the objective promises, in (0, 1)
+	// — e.g. 0.99 means 1% error budget.
+	Target float64
+	// Threshold is the latency bound in seconds (Latency kind only): an
+	// observation is good iff value <= Threshold.
+	Threshold float64
+	// Bounds are the histogram bucket upper bounds for Latency objectives;
+	// obs.DurationBuckets when nil.
+	Bounds []float64
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Objectives are the declared SLOs. Duplicate names keep the first.
+	Objectives []Objective
+	// ShortWindow and LongWindow are the two burn-rate evaluation windows.
+	// Defaults: 10s and 60s — sized for a load-test daemon, not a quarter's
+	// error budget; both must be >= 1s and Short <= Long.
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// BurnFactor is the burn rate both windows must exceed to trip fast
+	// burn. Default 2 (budget burning at twice the sustainable rate).
+	BurnFactor float64
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	// Bound is the upper bound of the bucket the observation fell in
+	// (+Inf is math.Inf(1), marshalled as the string "+Inf").
+	Bound Seconds `json:"bound"`
+	// Value is the observed value in seconds.
+	Value float64 `json:"value"`
+	// Trace is the trace ID of the request that produced the observation.
+	Trace string `json:"trace_id"`
+	// UnixNS is the wall-clock time of the observation.
+	UnixNS int64 `json:"t_unix_ns"`
+}
+
+// slot is one time slice of an objective's sliding window.
+type slot struct {
+	good, bad int64
+	buckets   []int64 // len(bounds)+1; Latency objectives only
+}
+
+// objective is the runtime state of one declared Objective.
+type objective struct {
+	def       Objective
+	bounds    []float64
+	slots     []slot
+	head      int       // index of the slot now() falls in
+	headStart time.Time // start of the head slot
+	exemplars []Exemplar // len(bounds)+1; zero Trace = none yet
+}
+
+// Engine evaluates a set of objectives. All methods are safe for
+// concurrent use; a nil *Engine is the disabled engine.
+type Engine struct {
+	mu        sync.Mutex
+	byName    map[string]*objective
+	order     []*objective
+	slotDur   time.Duration
+	shortN    int // slots covered by the short window
+	longN     int // slots covered by the long window (== len(slots))
+	factor    float64
+	short     time.Duration
+	long      time.Duration
+	now       func() time.Time
+}
+
+// NewEngine builds an engine from cfg. Returns nil (the disabled engine)
+// when cfg declares no objectives.
+func NewEngine(cfg Config) *Engine {
+	if len(cfg.Objectives) == 0 {
+		return nil
+	}
+	if cfg.ShortWindow < time.Second {
+		cfg.ShortWindow = 10 * time.Second
+	}
+	if cfg.LongWindow < cfg.ShortWindow {
+		cfg.LongWindow = 60 * time.Second
+	}
+	if cfg.LongWindow < cfg.ShortWindow {
+		cfg.LongWindow = cfg.ShortWindow
+	}
+	if cfg.BurnFactor <= 0 {
+		cfg.BurnFactor = 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	// Slot resolution: the short window spans >= 10 slots so its burn rate
+	// is not quantized to death, floored at 100ms per slot.
+	slotDur := cfg.ShortWindow / 10
+	if slotDur < 100*time.Millisecond {
+		slotDur = 100 * time.Millisecond
+	}
+	longN := int((cfg.LongWindow + slotDur - 1) / slotDur)
+	shortN := int((cfg.ShortWindow + slotDur - 1) / slotDur)
+	if shortN < 1 {
+		shortN = 1
+	}
+	if longN < shortN {
+		longN = shortN
+	}
+	e := &Engine{
+		byName:  make(map[string]*objective, len(cfg.Objectives)),
+		slotDur: slotDur,
+		shortN:  shortN,
+		longN:   longN,
+		factor:  cfg.BurnFactor,
+		short:   cfg.ShortWindow,
+		long:    cfg.LongWindow,
+		now:     cfg.Now,
+	}
+	start := e.now()
+	for _, def := range cfg.Objectives {
+		if def.Name == "" || e.byName[def.Name] != nil {
+			continue
+		}
+		if def.Target <= 0 || def.Target >= 1 {
+			// A target outside (0,1) has no error budget to burn; clamp to
+			// a conservative default rather than dividing by zero.
+			def.Target = 0.99
+		}
+		o := &objective{def: def, headStart: start}
+		if def.Kind == Latency {
+			o.bounds = def.Bounds
+			if o.bounds == nil {
+				o.bounds = obs.DurationBuckets
+			}
+			o.exemplars = make([]Exemplar, len(o.bounds)+1)
+		}
+		o.slots = make([]slot, longN)
+		if def.Kind == Latency {
+			for i := range o.slots {
+				o.slots[i].buckets = make([]int64, len(o.bounds)+1)
+			}
+		}
+		e.byName[def.Name] = o
+		e.order = append(e.order, o)
+	}
+	if len(e.order) == 0 {
+		return nil
+	}
+	return e
+}
+
+// advance rotates o's ring so the head slot contains now. Caller holds e.mu.
+func (e *Engine) advance(o *objective, now time.Time) {
+	elapsed := now.Sub(o.headStart)
+	if elapsed < e.slotDur {
+		return
+	}
+	steps := int(elapsed / e.slotDur)
+	if steps >= len(o.slots) {
+		// The whole window aged out; clear everything.
+		for i := range o.slots {
+			o.slots[i].good, o.slots[i].bad = 0, 0
+			for j := range o.slots[i].buckets {
+				o.slots[i].buckets[j] = 0
+			}
+		}
+		o.head = 0
+		o.headStart = now.Truncate(e.slotDur)
+		if o.headStart.After(now) {
+			o.headStart = o.headStart.Add(-e.slotDur)
+		}
+		return
+	}
+	for s := 0; s < steps; s++ {
+		o.head = (o.head + 1) % len(o.slots)
+		o.slots[o.head].good, o.slots[o.head].bad = 0, 0
+		for j := range o.slots[o.head].buckets {
+			o.slots[o.head].buckets[j] = 0
+		}
+		o.headStart = o.headStart.Add(e.slotDur)
+	}
+}
+
+// Observe records one latency observation (seconds) against the named
+// objective, with an optional trace ID retained as the bucket's exemplar.
+// No-op on a nil engine, an unknown name, or a Ratio objective.
+func (e *Engine) Observe(name string, v float64, trace string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o := e.byName[name]
+	if o == nil || o.def.Kind != Latency {
+		return
+	}
+	now := e.now()
+	e.advance(o, now)
+	s := &o.slots[o.head]
+	i := 0
+	for i < len(o.bounds) && v > o.bounds[i] {
+		i++
+	}
+	s.buckets[i]++
+	if v <= o.def.Threshold {
+		s.good++
+	} else {
+		s.bad++
+	}
+	if trace != "" {
+		bound := math.Inf(1)
+		if i < len(o.bounds) {
+			bound = o.bounds[i]
+		}
+		o.exemplars[i] = Exemplar{Bound: Seconds(bound), Value: v, Trace: trace, UnixNS: now.UnixNano()}
+	}
+}
+
+// ObserveOutcome records one good/bad event against the named objective.
+// Works for both kinds (a Latency objective counts it without a histogram
+// sample); no-op on a nil engine or an unknown name.
+func (e *Engine) ObserveOutcome(name string, good bool, trace string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o := e.byName[name]
+	if o == nil {
+		return
+	}
+	now := e.now()
+	e.advance(o, now)
+	s := &o.slots[o.head]
+	if good {
+		s.good++
+	} else {
+		s.bad++
+		if trace != "" && o.exemplars != nil {
+			last := len(o.exemplars) - 1
+			o.exemplars[last] = Exemplar{Bound: Seconds(math.Inf(1)), Trace: trace, UnixNS: now.UnixNano()}
+		}
+	}
+}
+
+// window sums the last n slots of o. Caller holds e.mu (after advance).
+func (o *objective) window(n int) (good, bad int64, buckets []int64) {
+	if n > len(o.slots) {
+		n = len(o.slots)
+	}
+	if o.bounds != nil {
+		buckets = make([]int64, len(o.bounds)+1)
+	}
+	idx := o.head
+	for s := 0; s < n; s++ {
+		good += o.slots[idx].good
+		bad += o.slots[idx].bad
+		for j, c := range o.slots[idx].buckets {
+			buckets[j] += c
+		}
+		idx--
+		if idx < 0 {
+			idx = len(o.slots) - 1
+		}
+	}
+	return good, bad, buckets
+}
+
+// burn computes badFraction/(1-target) over the given counts; 0 when the
+// window is empty.
+func burn(good, bad int64, target float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// quantile returns the q-quantile estimate (upper bucket bound) from
+// cumulative-summable bucket counts; +Inf when the quantile falls in the
+// overflow bucket, 0 when empty.
+func quantile(bounds []float64, buckets []int64, q float64) float64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var run int64
+	for i, c := range buckets {
+		run += c
+		if run >= rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// ObjectiveStatus is the evaluated state of one objective.
+type ObjectiveStatus struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"`
+	Target     float64 `json:"target"`
+	Threshold  float64 `json:"threshold_s,omitempty"`
+	Good       int64   `json:"good"`
+	Bad        int64   `json:"bad"`
+	BurnShort  float64 `json:"burn_short"`
+	BurnLong   float64 `json:"burn_long"`
+	FastBurn   bool    `json:"fast_burn"`
+	P50        Seconds `json:"p50_s,omitempty"`
+	P99        Seconds `json:"p99_s,omitempty"`
+	Bounds     []float64  `json:"bounds,omitempty"`
+	Buckets    []int64    `json:"buckets,omitempty"` // cumulative, +Inf last
+	Exemplars  []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Status is the engine's full evaluated state, the /slo JSON document.
+type Status struct {
+	FastBurn     bool              `json:"fast_burn"`
+	BurnFactor   float64           `json:"burn_factor"`
+	ShortWindowS float64           `json:"short_window_s"`
+	LongWindowS  float64           `json:"long_window_s"`
+	Objectives   []ObjectiveStatus `json:"objectives"`
+}
+
+// Status evaluates every objective. Zero value on a nil engine.
+func (e *Engine) Status() Status {
+	if e == nil {
+		return Status{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	st := Status{
+		BurnFactor:   e.factor,
+		ShortWindowS: e.short.Seconds(),
+		LongWindowS:  e.long.Seconds(),
+	}
+	for _, o := range e.order {
+		e.advance(o, now)
+		goodL, badL, buckets := o.window(e.longN)
+		goodS, badS, _ := o.window(e.shortN)
+		os := ObjectiveStatus{
+			Name:      o.def.Name,
+			Kind:      o.def.Kind.String(),
+			Target:    o.def.Target,
+			Threshold: o.def.Threshold,
+			Good:      goodL,
+			Bad:       badL,
+			BurnShort: burn(goodS, badS, o.def.Target),
+			BurnLong:  burn(goodL, badL, o.def.Target),
+		}
+		os.FastBurn = os.BurnShort >= e.factor && os.BurnLong >= e.factor
+		if o.def.Kind == Latency {
+			os.P50 = Seconds(quantile(o.bounds, buckets, 0.50))
+			os.P99 = Seconds(quantile(o.bounds, buckets, 0.99))
+			os.Bounds = o.bounds
+			cum := make([]int64, len(buckets))
+			var run int64
+			for i, c := range buckets {
+				run += c
+				cum[i] = run
+			}
+			os.Buckets = cum
+			for _, ex := range o.exemplars {
+				if ex.Trace != "" {
+					os.Exemplars = append(os.Exemplars, ex)
+				}
+			}
+			sort.Slice(os.Exemplars, func(i, j int) bool {
+				return os.Exemplars[i].Bound < os.Exemplars[j].Bound
+			})
+		}
+		st.Objectives = append(st.Objectives, os)
+		st.FastBurn = st.FastBurn || os.FastBurn
+	}
+	return st
+}
+
+// FastBurn reports whether any objective is currently fast-burning.
+// False on a nil engine.
+func (e *Engine) FastBurn() bool {
+	if e == nil {
+		return false
+	}
+	return e.Status().FastBurn
+}
+
+// Quantile returns the q-quantile estimate (seconds) of the named Latency
+// objective over the long window, and whether the window holds any
+// samples. (0, false) on a nil engine, unknown name or Ratio objective.
+func (e *Engine) Quantile(name string, q float64) (float64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o := e.byName[name]
+	if o == nil || o.def.Kind != Latency {
+		return 0, false
+	}
+	e.advance(o, e.now())
+	good, bad, buckets := o.window(e.longN)
+	if good+bad == 0 {
+		return 0, false
+	}
+	return quantile(o.bounds, buckets, q), true
+}

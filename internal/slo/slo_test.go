@@ -1,0 +1,316 @@
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a manually advanced test clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testEngine(t *testing.T, ck *clock) *Engine {
+	t.Helper()
+	e := NewEngine(Config{
+		Objectives: []Objective{
+			{Name: "run_latency", Kind: Latency, Target: 0.9, Threshold: 0.1, Bounds: []float64{0.01, 0.1, 1}},
+			{Name: "error_rate", Kind: Ratio, Target: 0.95},
+		},
+		ShortWindow: 10 * time.Second,
+		LongWindow:  60 * time.Second,
+		BurnFactor:  2,
+		Now:         ck.Now,
+	})
+	if e == nil {
+		t.Fatal("NewEngine returned nil for a valid config")
+	}
+	return e
+}
+
+func TestNilEngineIsDisabled(t *testing.T) {
+	var e *Engine
+	e.Observe("x", 1, "t")
+	e.ObserveOutcome("x", false, "t")
+	if e.FastBurn() {
+		t.Fatal("nil engine must not fast-burn")
+	}
+	if q, ok := e.Quantile("x", 0.99); ok || q != 0 {
+		t.Fatalf("nil engine quantile = %v, %v", q, ok)
+	}
+	st := e.Status()
+	if st.FastBurn || len(st.Objectives) != 0 {
+		t.Fatalf("nil engine status = %+v", st)
+	}
+	// The handler still serves valid JSON.
+	rr := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/slo", nil))
+	var got Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("nil engine /slo not JSON: %v", err)
+	}
+	// The disabled hot-path methods are allocation-free, like the rest of
+	// the obs family: an unconfigured daemon pays nothing per job.
+	if n := testing.AllocsPerRun(100, func() {
+		e.Observe("run_latency", 0.5, "")
+		e.ObserveOutcome("error_rate", true, "")
+		_ = e.FastBurn()
+		_, _ = e.Quantile("run_latency", 0.99)
+	}); n != 0 {
+		t.Fatalf("nil engine allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestNewEngineEmptyConfigIsNil(t *testing.T) {
+	if e := NewEngine(Config{}); e != nil {
+		t.Fatal("engine with no objectives must be nil")
+	}
+	if e := NewEngine(Config{Objectives: []Objective{{Name: ""}}}); e != nil {
+		t.Fatal("engine with only unnamed objectives must be nil")
+	}
+}
+
+func TestBurnRatesAndFastBurn(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+
+	// All good: no burn.
+	for i := 0; i < 100; i++ {
+		e.Observe("run_latency", 0.05, "")
+	}
+	st := e.Status()
+	if st.FastBurn || st.Objectives[0].BurnLong != 0 {
+		t.Fatalf("all-good status = %+v", st.Objectives[0])
+	}
+
+	// 50% bad with a 10% budget: burn = 0.5/0.1 = 5 > factor 2 on both
+	// windows (same traffic throughout).
+	for i := 0; i < 100; i++ {
+		e.Observe("run_latency", 5.0, "")
+	}
+	st = e.Status()
+	o := st.Objectives[0]
+	if !o.FastBurn || !st.FastBurn {
+		t.Fatalf("expected fast burn, got %+v", o)
+	}
+	if o.BurnLong < 4.9 || o.BurnLong > 5.1 {
+		t.Fatalf("burn_long = %v, want ~5", o.BurnLong)
+	}
+	if !e.FastBurn() {
+		t.Fatal("FastBurn() must mirror Status().FastBurn")
+	}
+
+	// Aging: after the long window passes with no traffic, burn resets.
+	ck.Advance(90 * time.Second)
+	st = e.Status()
+	if st.FastBurn || st.Objectives[0].Good != 0 || st.Objectives[0].Bad != 0 {
+		t.Fatalf("window did not age out: %+v", st.Objectives[0])
+	}
+}
+
+func TestFastBurnNeedsBothWindows(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+
+	// A burst of bad events, then 15s of good traffic: the long window
+	// still remembers the burst (burn high) but the short window has
+	// recovered — fast burn must NOT be active.
+	for i := 0; i < 100; i++ {
+		e.Observe("run_latency", 5.0, "")
+	}
+	ck.Advance(15 * time.Second)
+	for i := 0; i < 100; i++ {
+		e.Observe("run_latency", 0.05, "")
+	}
+	st := e.Status()
+	o := st.Objectives[0]
+	if o.BurnLong < 2 {
+		t.Fatalf("long window forgot the burst: %+v", o)
+	}
+	if o.BurnShort >= 2 || o.FastBurn {
+		t.Fatalf("short window should have recovered: %+v", o)
+	}
+}
+
+func TestRatioObjective(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+	for i := 0; i < 80; i++ {
+		e.ObserveOutcome("error_rate", true, "")
+	}
+	for i := 0; i < 20; i++ {
+		e.ObserveOutcome("error_rate", false, "")
+	}
+	st := e.Status()
+	o := st.Objectives[1]
+	if o.Name != "error_rate" || o.Kind != "ratio" {
+		t.Fatalf("objective = %+v", o)
+	}
+	// 20% bad with a 5% budget: burn 4 — over the factor, trips.
+	if o.BurnLong < 3.9 || o.BurnLong > 4.1 || !o.FastBurn {
+		t.Fatalf("ratio burn = %+v", o)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+	// 98 fast, 2 slow: p50 in the 0.01 bucket, p99 in the 1 bucket.
+	for i := 0; i < 98; i++ {
+		e.Observe("run_latency", 0.005, "")
+	}
+	e.Observe("run_latency", 0.5, "")
+	e.Observe("run_latency", 0.5, "")
+	if q, ok := e.Quantile("run_latency", 0.5); !ok || q != 0.01 {
+		t.Fatalf("p50 = %v, %v; want 0.01", q, ok)
+	}
+	if q, ok := e.Quantile("run_latency", 0.99); !ok || q != 1 {
+		t.Fatalf("p99 = %v, %v; want 1", q, ok)
+	}
+	// Overflow bucket: quantile reports +Inf.
+	e2 := testEngine(t, ck)
+	e2.Observe("run_latency", 99, "")
+	if q, ok := e2.Quantile("run_latency", 0.99); !ok || !math.IsInf(q, 1) {
+		t.Fatalf("overflow p99 = %v, %v; want +Inf", q, ok)
+	}
+	// Unknown / ratio objectives have no quantiles.
+	if _, ok := e.Quantile("nope", 0.99); ok {
+		t.Fatal("unknown objective must report no quantile")
+	}
+	if _, ok := e.Quantile("error_rate", 0.99); ok {
+		t.Fatal("ratio objective must report no quantile")
+	}
+}
+
+func TestExemplarsLinkTraces(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+	e.Observe("run_latency", 0.005, "trace-fast")
+	e.Observe("run_latency", 0.5, "trace-slow")
+	e.Observe("run_latency", 50, "trace-overflow")
+	st := e.Status()
+	o := st.Objectives[0]
+	got := map[string]string{}
+	for _, ex := range o.Exemplars {
+		got[ex.Trace] = ""
+	}
+	for _, want := range []string{"trace-fast", "trace-slow", "trace-overflow"} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("missing exemplar %q in %+v", want, o.Exemplars)
+		}
+	}
+	// The overflow exemplar's bound marshals as the string "+Inf" and
+	// round-trips.
+	data, err := json.Marshal(o.Exemplars)
+	if err != nil {
+		t.Fatalf("exemplars not marshallable: %v", err)
+	}
+	var back []Exemplar
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("exemplars round-trip: %v", err)
+	}
+	var sawInf bool
+	for _, ex := range back {
+		if math.IsInf(float64(ex.Bound), 1) {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		t.Fatalf("no +Inf bound survived the round-trip: %s", data)
+	}
+}
+
+func TestHandlerJSONAndProm(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+	e.Observe("run_latency", 0.5, "abcdef0123456789")
+	e.ObserveOutcome("error_rate", false, "")
+
+	// JSON by default.
+	rr := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/slo", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/slo not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(st.Objectives) != 2 || st.Objectives[0].Name != "run_latency" {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Prometheus text on request, with the exemplar attached to a bucket.
+	rr = httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/slo?format=prom", nil))
+	body := rr.Body.String()
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prom content type = %q", ct)
+	}
+	for _, want := range []string{
+		"slo_fast_burn",
+		`slo_burn_rate{objective="run_latency",window="short"}`,
+		`slo_events_total{objective="error_rate",outcome="bad"} 1`,
+		"slo_run_latency_seconds_bucket{le=\"1\"} ",
+		`# {trace_id="abcdef0123456789"} 0.5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// Accept: text/plain also selects prom.
+	req := httptest.NewRequest("GET", "/slo", nil)
+	req.Header.Set("Accept", "text/plain")
+	rr = httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, req)
+	if !strings.Contains(rr.Body.String(), "slo_fast_burn") {
+		t.Fatalf("Accept: text/plain did not select prom:\n%s", rr.Body.String())
+	}
+}
+
+func TestConcurrentObserveIsRaceClean(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Observe("run_latency", float64(i%3)*0.08, "t")
+				e.ObserveOutcome("error_rate", i%5 != 0, "")
+				if i%50 == 0 {
+					ck.Advance(time.Millisecond)
+					_ = e.Status()
+					_, _ = e.Quantile("run_latency", 0.99)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := e.Status()
+	if st.Objectives[0].Good+st.Objectives[0].Bad != 4000 {
+		t.Fatalf("lost observations: %+v", st.Objectives[0])
+	}
+}
