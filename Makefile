@@ -16,10 +16,10 @@ test: vet
 # Race-detector pass over the sharded execution engine and its consumers
 # (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers), the
 # observability layer they report into (including the SLO burn-rate engine),
-# the fault-injection/recovery layer, the packed batch runners, and the job
-# service on top.
+# the fault-injection/recovery layer, the packed batch runners, the job
+# service on top, and the cluster tier (ring, membership, router).
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/slo/... ./internal/fault/... ./internal/batch/... ./internal/service/... ./internal/kernel/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/slo/... ./internal/fault/... ./internal/batch/... ./internal/service/... ./internal/kernel/... ./internal/cluster/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:
@@ -29,8 +29,10 @@ bench:
 # and violated-scan benchmarks at 1/2/4 workers (-cpu sets GOMAXPROCS, the
 # pool follows), the obs hot-path micro-benches, and the serving-path
 # benchmarks — repeated identical jobs cold vs warm cache, the 64-instance
-# batch against one solo instance, and the packed runners — parsed into
-# BENCH_pr6.json. The workload sizes and required benchmark names live in
+# batch against one solo instance, and the packed runners — plus the
+# cluster-tier latencies: the router's placement decision and the warm
+# cache-hit path served locally vs through the peer fill — parsed into
+# BENCH_pr8.json. The workload sizes and required benchmark names live in
 # internal/benchset; -require fails the parse if any pinned benchmark went
 # missing. `make bench-gate` diffs the result against the committed
 # trajectory.
@@ -38,15 +40,17 @@ bench-json:
 	$(GO) test -run=NONE -bench 'BenchmarkEngineRounds|BenchmarkLocalSinkless100k|BenchmarkViolatedScan100k' -benchmem -cpu 1,2,4 . > bench.out
 	$(GO) test -run=NONE -bench 'BenchmarkObs' -benchmem ./internal/obs >> bench.out
 	$(GO) test -run=NONE -bench 'BenchmarkServiceRepeatedJobs|BenchmarkServiceBatch64' -benchtime 30x ./internal/service >> bench.out
+	$(GO) test -run=NONE -bench 'BenchmarkCacheHitPath' -benchmem -benchtime 50x ./internal/service >> bench.out
 	$(GO) test -run=NONE -bench 'BenchmarkPackedBatch' -benchtime 10x ./internal/batch >> bench.out
-	$(GO) run ./cmd/benchjson -require -out BENCH_pr6.json < bench.out
+	$(GO) test -run=NONE -bench 'BenchmarkRouterPlacement' -benchmem ./internal/cluster/router >> bench.out
+	$(GO) run ./cmd/benchjson -require -out BENCH_pr8.json < bench.out
 	rm -f bench.out
 
 # The CI benchmark-regression gate: regenerated evidence must stay inside
 # the tolerance bands of the committed trajectory (and the kernel scan must
 # beat the generic scan by the pinned intra-run ratio).
 bench-gate:
-	$(GO) run ./cmd/benchgate -baseline BENCH_pr5.json -current BENCH_pr6.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_pr6.json -current BENCH_pr8.json
 
 # Regenerate every experiment table (F1, F2, T1..T11).
 harness:

@@ -24,6 +24,12 @@
 // SIGINT/SIGTERM starts a graceful drain: admission stops (healthz turns
 // 503, new submits get 503), queued jobs are cancelled, running jobs get
 // -drain-timeout to finish before their contexts are cancelled.
+//
+// Run as a cluster member (usually behind cmd/lllrouter) by naming itself
+// and its peers; nodes then fill cache misses from the key's home node and
+// serve their own cache to peers over /v1/peer/cache/:
+//
+//	llld -addr :8081 -cluster-self a -cluster-nodes a=http://127.0.0.1:8081,b=http://127.0.0.1:8082
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +81,9 @@ func run() error {
 	sloShort := flag.Duration("slo-window-short", 10*time.Second, "short burn-rate window")
 	sloLong := flag.Duration("slo-window-long", time.Minute, "long burn-rate window")
 	sloBurn := flag.Float64("slo-burn-factor", 2, "burn-rate factor that trips fast burn in both windows")
+	clusterSelf := flag.String("cluster-self", "", "this node's name in -cluster-nodes (empty: standalone)")
+	clusterNodes := flag.String("cluster-nodes", "", "cluster membership as name=url,name=url (requires -cluster-self)")
+	clusterFillWait := flag.Int("cluster-fill-wait-ms", 0, "peer-fill wait for an in-flight solve on the home node (0: default)")
 	flag.Parse()
 
 	plan := fault.Plan{Seed: *injectSeed, PanicRate: *injectPanic, DropRate: *injectDrop, CrashRate: *injectCrash}
@@ -95,6 +105,27 @@ func run() error {
 		DefaultMaxRetries: *retries,
 		RetryBackoff:      *retryBackoff,
 		RetryBackoffMax:   *retryBackoffMax,
+	}
+	if (*clusterSelf == "") != (*clusterNodes == "") {
+		return fmt.Errorf("-cluster-self and -cluster-nodes must be set together")
+	}
+	if *clusterNodes != "" {
+		nodes, err := parseNodes(*clusterNodes)
+		if err != nil {
+			return err
+		}
+		if _, ok := nodes[*clusterSelf]; !ok {
+			return fmt.Errorf("-cluster-self %q not present in -cluster-nodes", *clusterSelf)
+		}
+		if *cacheSize < 0 {
+			return fmt.Errorf("cluster membership requires the result cache (-cache-size >= 0)")
+		}
+		cfg.Cluster = &service.ClusterConfig{
+			Self:       *clusterSelf,
+			Nodes:      nodes,
+			FillWaitMS: *clusterFillWait,
+		}
+		log.Printf("llld: cluster member %q of %d nodes, peer cache fill live", *clusterSelf, len(nodes))
 	}
 	if *sloOn {
 		cfg.SLO = slo.NewEngine(slo.Config{
@@ -171,4 +202,27 @@ func run() error {
 	}
 	log.Printf("llld: bye")
 	return <-errCh
+}
+
+// parseNodes parses "a=http://host:1,b=http://host:2" into a membership map.
+func parseNodes(s string) (map[string]string, error) {
+	nodes := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad node entry %q, want name=url", part)
+		}
+		if _, dup := nodes[name]; dup {
+			return nil, fmt.Errorf("duplicate node name %q", name)
+		}
+		nodes[name] = strings.TrimSuffix(url, "/")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no nodes in %q", s)
+	}
+	return nodes, nil
 }

@@ -14,6 +14,21 @@
 // "stream drop". Both counters appear in the final report, so flaky
 // transports are visible without poisoning the outcome statistics.
 //
+// Back-pressure is classified, not lumped: a 429 is queue overflow
+// ("reject"), a 503 whose body names admission shedding is the SLO control
+// loop refusing a deadline it cannot meet ("shed"), and any other 503
+// (draining, restart) stays a retried transient. Both reject and shed
+// honor the response's Retry-After header before the worker's next
+// attempt, so the closed loop backs off exactly as hard as the daemon
+// asked it to.
+//
+// Against cmd/lllrouter the same flags work unchanged; -cluster
+// additionally fetches GET /cluster after the run and appends the
+// cluster report: per-node job balance (max/mean spread) and the
+// router's migration and lost-job totals. Jobs moved between nodes
+// mid-run are visible per job as "migrated" events and counted in the
+// outcome summary.
+//
 // -jobs N bounds the run by completed submissions instead of (or in
 // addition to) -duration: the workers stop once N jobs were admitted and
 // followed to a terminal state.
@@ -71,8 +86,11 @@ func main() {
 // outcome is one completed submit attempt.
 type outcome struct {
 	latency time.Duration // submit → terminal event (successful jobs only)
-	state   string        // terminal state, or "reject" / "error"
+	state   string        // terminal state, or "reject" / "shed" / "error"
 	retries int           // "retry" events observed on the stream
+	// migrated counts "migrated" events: how many times the routing tier
+	// moved this job to another node mid-run.
+	migrated int
 	// recovery is the extra time from the first "retry" event to the
 	// terminal state (retried jobs only).
 	recovery time.Duration
@@ -147,6 +165,7 @@ func run() error {
 	chaosCrash := flag.Float64("chaos-crash", 0, "chaos jobs: per-node-per-round crash-stop probability")
 	chaosRetries := flag.Int("chaos-retries", 3, "chaos jobs: max_retries")
 	chaosCheckpoint := flag.Int("chaos-checkpoint", 16, "chaos jobs: checkpoint_every")
+	clusterReport := flag.Bool("cluster", false, "-addr is an lllrouter: append the GET /cluster balance report")
 	flag.Parse()
 
 	var spec map[string]any
@@ -220,7 +239,7 @@ func run() error {
 			for claim() {
 				o := submitAndFollow(ctx, client, *addr, spec, sc, nextSeq, cc, col)
 				col.add(o)
-				if o.state == "reject" || o.state == "error" {
+				if o.state == "reject" || o.state == "shed" || o.state == "error" {
 					unclaim()
 				}
 			}
@@ -230,6 +249,9 @@ func run() error {
 	elapsed := time.Since(start)
 
 	report(col, elapsed, *concurrency)
+	if *clusterReport {
+		return reportCluster(client, *addr)
+	}
 	return nil
 }
 
@@ -305,8 +327,11 @@ func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec
 // submitJob POSTs the job, treating 5xx responses as transient: they are
 // retried with capped exponential backoff and counted, because a loaded or
 // restarting daemon answering 500s is a recovery scenario, not a load
-// error. 429 (admission control) stays a reject — that is the signal the
-// closed loop measures.
+// error. Two back-pressure answers are terminal for the attempt and honor
+// the daemon's Retry-After before returning the worker to its loop: 429
+// (queue overflow, a "reject") and the 503 whose body names admission
+// shedding (the SLO control loop refusing a deadline it cannot meet, a
+// "shed"). Any other 503 — draining, restarting — stays a retried 5xx.
 func submitJob(ctx context.Context, client *http.Client, addr, path string, body []byte) (id, state string, http5xx int) {
 	backoff := 100 * time.Millisecond
 	const maxAttempts = 5
@@ -334,33 +359,85 @@ func submitJob(ctx context.Context, client *http.Client, addr, path string, body
 		case resp.StatusCode == http.StatusTooManyRequests:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			// Closed loop: back off briefly so a saturated queue is
-			// retried, not hammered.
-			select {
-			case <-time.After(50 * time.Millisecond):
-			case <-ctx.Done():
-			}
+			// Closed loop: back off as long as the daemon asked (50ms
+			// when it didn't say) so a saturated queue is retried, not
+			// hammered.
+			sleepCtx(ctx, retryAfter(resp, 50*time.Millisecond))
 			return "", "reject", http5xx
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if bytes.Contains(msg, []byte("shed")) {
+				// SLO shed: deliberate admission control, same contract
+				// as a 429 — honor Retry-After, report separately.
+				sleepCtx(ctx, retryAfter(resp, 50*time.Millisecond))
+				return "", "shed", http5xx
+			}
+			if done := transient5xx(ctx, resp, &http5xx, &backoff, attempt, maxAttempts); done {
+				return "", "error", http5xx
+			}
 		case resp.StatusCode >= 500:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			http5xx++
-			if attempt >= maxAttempts || ctx.Err() != nil {
+			if done := transient5xx(ctx, resp, &http5xx, &backoff, attempt, maxAttempts); done {
 				return "", "error", http5xx
-			}
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return "", "error", http5xx
-			}
-			if backoff *= 2; backoff > 2*time.Second {
-				backoff = 2 * time.Second
 			}
 		default:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			return "", "error", http5xx
 		}
+	}
+}
+
+// transient5xx counts one retryable 5xx and sleeps the backoff — the
+// response's Retry-After when present, the exponential schedule otherwise.
+// It reports true when the attempt budget or the load window is exhausted.
+func transient5xx(ctx context.Context, resp *http.Response, http5xx *int, backoff *time.Duration, attempt, maxAttempts int) bool {
+	*http5xx++
+	if attempt >= maxAttempts || ctx.Err() != nil {
+		return true
+	}
+	wait := retryAfter(resp, *backoff)
+	if !sleepCtx(ctx, wait) {
+		return true
+	}
+	if *backoff *= 2; *backoff > 2*time.Second {
+		*backoff = 2 * time.Second
+	}
+	return false
+}
+
+// retryAfter parses the response's Retry-After header (delay-seconds form),
+// falling back to def when absent or unparseable. The wait is clamped to
+// 5s: a load generator must not be parked indefinitely by one header.
+func retryAfter(resp *http.Response, def time.Duration) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return def
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return def
+	}
+	d := time.Duration(secs) * time.Second
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// sleepCtx sleeps d or until the load window closes; false on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 
@@ -373,6 +450,7 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 	next := 0
 	state := "error"
 	retries := 0
+	migrated := 0
 	trace := ""
 	var firstRetry time.Time
 	const maxAttaches = 10
@@ -409,6 +487,13 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 				if firstRetry.IsZero() {
 					firstRetry = time.Now()
 				}
+			case "migrated":
+				// The routing tier moved the job to another node with its
+				// checkpoint: recovery machinery, measured like a retry.
+				migrated++
+				if firstRetry.IsZero() {
+					firstRetry = time.Now()
+				}
 			case "end":
 				state = e.State
 				trace = e.Trace
@@ -419,8 +504,8 @@ func followJob(client *http.Client, addr, id string, begin time.Time, col *colle
 			break // saw the terminal line; the stream is complete
 		}
 	}
-	o := outcome{latency: time.Since(begin), state: state, retries: retries, id: id, trace: trace}
-	if retries > 0 && !firstRetry.IsZero() && state != "error" {
+	o := outcome{latency: time.Since(begin), state: state, retries: retries, migrated: migrated, id: id, trace: trace}
+	if (retries > 0 || migrated > 0) && !firstRetry.IsZero() && state != "error" {
 		o.recovery = time.Since(firstRetry)
 	}
 	return o
@@ -431,14 +516,18 @@ func report(col *collector, elapsed time.Duration, concurrency int) {
 	var latencies, recoveries []time.Duration
 	var done []outcome
 	counts := map[string]int{}
-	retried := 0
+	retried, migratedJobs, migrations := 0, 0, 0
 	for _, o := range outcomes {
 		counts[o.state]++
 		if o.state == "done" {
 			latencies = append(latencies, o.latency)
 			done = append(done, o)
 		}
-		if o.retries > 0 {
+		if o.migrated > 0 {
+			migratedJobs++
+			migrations += o.migrated
+		}
+		if o.retries > 0 || o.migrated > 0 {
 			retried++
 			if o.recovery > 0 {
 				recoveries = append(recoveries, o.recovery)
@@ -447,12 +536,21 @@ func report(col *collector, elapsed time.Duration, concurrency int) {
 	}
 	total := len(outcomes)
 	rejects := counts["reject"]
+	sheds := counts["shed"]
 	attempts := total
 	fmt.Printf("duration:    %v  (%d workers, closed loop)\n", elapsed.Round(time.Millisecond), concurrency)
 	fmt.Printf("attempts:    %d  (%.1f/s)\n", attempts, float64(attempts)/elapsed.Seconds())
 	fmt.Printf("completed:   %d  (%.1f/s)\n", len(latencies), float64(len(latencies))/elapsed.Seconds())
 	if attempts > 0 {
-		fmt.Printf("reject rate: %.2f%%  (%d of %d)\n", 100*float64(rejects)/float64(attempts), rejects, attempts)
+		// Overflow (429, full queue) and SLO shed (503, deliberate refusal)
+		// are different control loops; report them apart.
+		fmt.Printf("reject rate: %.2f%%  (%d of %d: queue overflow)\n", 100*float64(rejects)/float64(attempts), rejects, attempts)
+		if sheds > 0 {
+			fmt.Printf("shed rate:   %.2f%%  (%d of %d: SLO admission shed)\n", 100*float64(sheds)/float64(attempts), sheds, attempts)
+		}
+	}
+	if migratedJobs > 0 {
+		fmt.Printf("migrated:    %d jobs moved between nodes (%d moves)\n", migratedJobs, migrations)
 	}
 	var states []string
 	for s := range counts {
@@ -468,10 +566,10 @@ func report(col *collector, elapsed time.Duration, concurrency int) {
 		fmt.Printf("transport:   submit-5xx=%d stream-drops=%d (both retried)\n", col.http5xx, col.drops)
 	}
 	if retried > 0 {
-		fmt.Printf("retried:     %d jobs saw at least one retry\n", retried)
+		fmt.Printf("retried:     %d jobs saw at least one retry or migration\n", retried)
 		if len(recoveries) > 0 {
 			sort.Slice(recoveries, func(i, j int) bool { return recoveries[i] < recoveries[j] })
-			fmt.Printf("recovery:    p50=%v p95=%v max=%v (first retry → terminal)\n",
+			fmt.Printf("recovery:    p50=%v p95=%v max=%v (first retry/migration → terminal)\n",
 				percentile(recoveries, 0.50).Round(time.Millisecond),
 				percentile(recoveries, 0.95).Round(time.Millisecond),
 				recoveries[len(recoveries)-1].Round(time.Millisecond))
@@ -510,6 +608,56 @@ func reportSlowest(done []outcome) {
 		}
 		fmt.Printf("  %-10s trace=%-16s latency=%v retries=%d\n", o.id, trace, o.latency.Round(time.Microsecond), o.retries)
 	}
+}
+
+// reportCluster fetches the router's GET /cluster and prints the balance
+// report: per-node tracked jobs against the mean (the acceptance bar is a
+// max/mean spread within the router's bounded-load factor), node health,
+// and the migration / lost-job totals.
+func reportCluster(client *http.Client, addr string) error {
+	resp, err := client.Get(addr + "/cluster")
+	if err != nil {
+		return fmt.Errorf("cluster report: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster report: GET /cluster answered %d (is -addr an lllrouter?)", resp.StatusCode)
+	}
+	var cs struct {
+		Nodes []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"nodes"`
+		Jobs       int64          `json:"jobs"`
+		Migrations int64          `json:"migrations"`
+		Lost       int64          `json:"lost"`
+		PerNode    map[string]int `json:"per_node"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		return fmt.Errorf("cluster report: %w", err)
+	}
+
+	total, max := 0, 0
+	for _, n := range cs.PerNode {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := 0.0
+	if len(cs.Nodes) > 0 {
+		mean = float64(total) / float64(len(cs.Nodes))
+	}
+	fmt.Printf("cluster:     %d nodes, %d jobs routed, %d migrations, %d lost\n",
+		len(cs.Nodes), cs.Jobs, cs.Migrations, cs.Lost)
+	sort.Slice(cs.Nodes, func(i, j int) bool { return cs.Nodes[i].Name < cs.Nodes[j].Name })
+	for _, n := range cs.Nodes {
+		fmt.Printf("  node %-8s %-8s jobs=%d\n", n.Name, n.State, cs.PerNode[n.Name])
+	}
+	if mean > 0 {
+		fmt.Printf("balance:     max/mean = %.2f (max %d over mean %.1f)\n", float64(max)/mean, max, mean)
+	}
+	return nil
 }
 
 // percentile returns the nearest-rank percentile of the sorted slice.

@@ -1,0 +1,146 @@
+// Command lllrouter is the cluster routing tier in front of N llld nodes.
+// It serves the same job API as a single node — POST /v1/jobs, batch
+// submit, views, NDJSON event streams, cancel — and routes each job to a
+// node by consistent hashing on the spec's placement key, so isomorphic
+// resubmissions land where their cached result lives. Placement spills to
+// the next preferred node when the home node is saturated (429/503) or
+// unreachable, bounded-load keeps the spread within a factor of the mean,
+// and a per-job follower relays the node's event stream with router-scoped
+// sequence numbers.
+//
+// When a node dies or drains mid-job, the router re-places the job on a
+// surviving node carrying the latest checkpoint it saw on the stream; the
+// job resumes from that checkpoint under the same trace ID and finishes
+// bit-identically to an uninterrupted run. The move is visible as a
+// synthetic "migrated" event.
+//
+// Cluster-wide views:
+//
+//	GET /cluster          membership, health, per-node load, migration totals
+//	GET /cluster/metrics  every node's /metrics, node="..." labels injected
+//	GET /cluster/slo      every node's /slo keyed by node name
+//
+// Usage:
+//
+//	lllrouter -addr :8080 -nodes a=http://127.0.0.1:8081,b=http://127.0.0.1:8082,c=http://127.0.0.1:8083
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster/router"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lllrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	nodesFlag := flag.String("nodes", "", "cluster membership as name=url,name=url (required)")
+	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per node (0: default; must match the nodes)")
+	loadFactor := flag.Float64("load-factor", 0, "bounded-load factor over mean outstanding jobs (0: default 2)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "node health/load poll period")
+	maxMigrations := flag.Int("max-migrations", 3, "per-job migration budget before the job is failed")
+	retention := flag.Int("retention", 1024, "finished routed jobs kept")
+	flag.Parse()
+
+	if *nodesFlag == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+	nodes, err := parseNodes(*nodesFlag)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	r, err := router.New(router.Config{
+		Nodes:             nodes,
+		VNodes:            *vnodes,
+		BoundedLoadFactor: *loadFactor,
+		ProbeInterval:     *probeInterval,
+		MaxMigrations:     *maxMigrations,
+		Retention:         *retention,
+		Metrics:           reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           router.NewHandler(r, reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("lllrouter: routing for %d nodes on %s", len(nodes), *addr)
+		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("lllrouter: %v received, shutting down", sig)
+	}
+
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := server.Shutdown(httpCtx); err != nil {
+		log.Printf("lllrouter: http shutdown: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Shutdown(ctx); err != nil {
+		log.Printf("lllrouter: followers still draining: %v", err)
+	}
+	log.Printf("lllrouter: bye")
+	return <-errCh
+}
+
+// parseNodes parses "a=http://host:1,b=http://host:2" into a membership map.
+func parseNodes(s string) (map[string]string, error) {
+	nodes := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad node entry %q, want name=url", part)
+		}
+		if _, dup := nodes[name]; dup {
+			return nil, fmt.Errorf("duplicate node name %q", name)
+		}
+		nodes[name] = strings.TrimSuffix(url, "/")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no nodes in %q", s)
+	}
+	return nodes, nil
+}

@@ -41,9 +41,12 @@ func Sinkless100k() (*model.Instance, error) {
 // instead of eroding the trajectory.
 func Required() []string {
 	return []string{
+		"BenchmarkCacheHitPath/local",
+		"BenchmarkCacheHitPath/peer",
 		"BenchmarkEngineRounds/pool",
 		"BenchmarkLocalSinkless100k",
 		"BenchmarkObsDisabled",
+		"BenchmarkRouterPlacement",
 		"BenchmarkViolatedScan100k/generic",
 		"BenchmarkViolatedScan100k/kernel",
 	}

@@ -80,6 +80,20 @@ func DefaultBaselineRules() []BaselineRule {
 			BaselineRule{Name: name, Metric: "allocs/round", Tolerance: 0.25, Slack: 2},
 		)
 	}
+	// Cluster serving-path latencies (PR 8). The hit paths ride real HTTP
+	// servers and the scheduler, so wall time gets the same generous
+	// machine band as throughput; the placement decision is pure compute
+	// and additionally pins its allocation count tightly.
+	for _, name := range []string{
+		"BenchmarkCacheHitPath/local",
+		"BenchmarkCacheHitPath/peer",
+		"BenchmarkRouterPlacement",
+	} {
+		rules = append(rules,
+			BaselineRule{Name: name, Metric: "ns/op", Tolerance: 1.5, Slack: 50_000})
+	}
+	rules = append(rules,
+		BaselineRule{Name: "BenchmarkRouterPlacement", Metric: "allocs/op", Tolerance: 0.25, Slack: 2})
 	return rules
 }
 

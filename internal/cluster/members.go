@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeState is a member's health as seen by the prober.
+type NodeState string
+
+const (
+	// StateUp: /healthz answered 200.
+	StateUp NodeState = "up"
+	// StateDraining: /healthz answered 503 — the node is shutting down
+	// gracefully; in-flight jobs finish but new ones are refused.
+	StateDraining NodeState = "draining"
+	// StateDown: the probe could not reach the node at all.
+	StateDown NodeState = "down"
+	// StateUnknown: never probed yet. Placement treats unknown as up so a
+	// router is usable before its first poll completes.
+	StateUnknown NodeState = "unknown"
+)
+
+// Usable reports whether a placement decision may send new work to a node
+// in this state.
+func (s NodeState) Usable() bool { return s == StateUp || s == StateUnknown }
+
+// NodeStatus is one member's health and load snapshot.
+type NodeStatus struct {
+	// Name / URL identify the member.
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// State is the last probe's verdict.
+	State NodeState `json:"state"`
+	// Queue / Running are the node's service_queue_depth and
+	// service_jobs_running gauges from its /debug/vars snapshot (0 when the
+	// node is unreachable or does not export them).
+	Queue   float64 `json:"queue"`
+	Running float64 `json:"running"`
+	// Outstanding is the caller-side in-flight count (jobs routed to the
+	// node and not yet terminal) — the bounded-load signal that needs no
+	// probe round-trip.
+	Outstanding int64 `json:"outstanding"`
+	// Err is the last probe error, cleared on success.
+	Err string `json:"err,omitempty"`
+	// LastProbe is when the state was last refreshed.
+	LastProbe time.Time `json:"last_probe"`
+}
+
+// Members tracks the health and load of a fixed set of nodes. Probing is
+// explicit (Poll) or background (Start/Stop); the outstanding counters are
+// updated by the caller as it routes and completes jobs. Safe for
+// concurrent use.
+type Members struct {
+	client *http.Client
+
+	mu     sync.Mutex
+	status map[string]*NodeStatus
+	names  []string
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewMembers builds the membership table for nodes (name → base URL).
+// client may be nil (a 2s-timeout default is used).
+func NewMembers(nodes map[string]string, client *http.Client) *Members {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	m := &Members{client: client, status: make(map[string]*NodeStatus, len(nodes))}
+	for name, url := range nodes {
+		m.status[name] = &NodeStatus{Name: name, URL: url, State: StateUnknown}
+		m.names = append(m.names, name)
+	}
+	sort.Strings(m.names)
+	return m
+}
+
+// URL returns the base URL of a member ("" for unknown names).
+func (m *Members) URL(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.status[name]; ok {
+		return st.URL
+	}
+	return ""
+}
+
+// State returns a member's current state (StateDown for unknown names).
+func (m *Members) State(name string) NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.status[name]; ok {
+		return st.State
+	}
+	return StateDown
+}
+
+// AddOutstanding adjusts the caller-side in-flight counter of a member.
+func (m *Members) AddOutstanding(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.status[name]; ok {
+		st.Outstanding += delta
+		if st.Outstanding < 0 {
+			st.Outstanding = 0
+		}
+	}
+}
+
+// Outstanding returns a member's in-flight counter.
+func (m *Members) Outstanding(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.status[name]; ok {
+		return st.Outstanding
+	}
+	return 0
+}
+
+// MeanOutstanding returns the mean in-flight count over the usable
+// members (all members when none is usable), the bounded-load baseline.
+func (m *Members) MeanOutstanding() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum, n float64
+	for _, st := range m.status {
+		if st.State.Usable() {
+			sum += float64(st.Outstanding)
+			n++
+		}
+	}
+	if n == 0 {
+		for _, st := range m.status {
+			sum += float64(st.Outstanding)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Snapshot returns a copy of every member's status, sorted by name.
+func (m *Members) Snapshot() []NodeStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeStatus, 0, len(m.names))
+	for _, name := range m.names {
+		out = append(out, *m.status[name])
+	}
+	return out
+}
+
+// MarkDown forces a member to StateDown immediately — the router calls it
+// when a request to the node fails, so placement reacts faster than the
+// next poll tick. The next successful probe restores it.
+func (m *Members) MarkDown(name string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.status[name]; ok {
+		st.State = StateDown
+		if err != nil {
+			st.Err = err.Error()
+		}
+		st.LastProbe = time.Now()
+	}
+}
+
+// Poll probes every member once, in parallel: /healthz decides the state
+// (200 up, 503 draining, unreachable down) and /debug/vars refreshes the
+// queue/running gauges of reachable nodes.
+func (m *Members) Poll(ctx context.Context) {
+	m.mu.Lock()
+	names := append([]string(nil), m.names...)
+	m.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			m.probe(ctx, name)
+		}(name)
+	}
+	wg.Wait()
+}
+
+func (m *Members) probe(ctx context.Context, name string) {
+	url := m.URL(name)
+	state, err := m.probeHealth(ctx, url)
+	var queue, running float64
+	if state != StateDown {
+		queue, running = m.probeLoad(ctx, url)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.status[name]
+	if !ok {
+		return
+	}
+	st.State = state
+	st.Queue = queue
+	st.Running = running
+	st.LastProbe = time.Now()
+	if err != nil {
+		st.Err = err.Error()
+	} else {
+		st.Err = ""
+	}
+}
+
+func (m *Members) probeHealth(ctx context.Context, url string) (NodeState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return StateDown, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return StateDown, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return StateUp, nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return StateDraining, nil
+	default:
+		return StateDown, nil
+	}
+}
+
+// probeLoad reads the service_queue_depth / service_jobs_running gauges
+// from the node's /debug/vars JSON snapshot; missing endpoint or fields
+// simply yield zeros.
+func (m *Members) probeLoad(ctx context.Context, url string) (queue, running float64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/debug/vars", nil)
+	if err != nil {
+		return 0, 0
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap) != nil {
+		return 0, 0
+	}
+	return snap.Gauges["service_queue_depth"], snap.Gauges["service_jobs_running"]
+}
+
+// Start launches a background poller at the given interval (default 500ms
+// when interval <= 0). Stop stops it; Start after Stop is not supported.
+func (m *Members) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.stop = make(chan struct{})
+	stop := m.stop
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			m.Poll(ctx)
+			cancel()
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop halts the background poller and waits for it to exit.
+func (m *Members) Stop() {
+	m.mu.Lock()
+	stop := m.stop
+	m.stop = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	m.wg.Wait()
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// The node-to-node peer protocol rides the existing llld HTTP surface:
+//
+//	GET /v1/peer/cache/{key}?claim=1&wait_ms=N   peer cache fill + claim
+//	PUT /v1/peer/cache/{key}                     write-through store
+//	GET /v1/jobs/{id}/checkpoint                 checkpoint export
+//
+// Keys are the canonical result-cache keys, encoded as 16-digit
+// lowercase hex so they round-trip through URLs without sign issues.
+// The payload types below are shared by the service (server side) and
+// any peer/router (client side); the summary and checkpoint payloads
+// stay raw JSON here so this package needs no service types.
+
+// PeerCacheResponse is the body of GET /v1/peer/cache/{key}.
+type PeerCacheResponse struct {
+	// Found reports a cache hit; Summary then carries the stored result,
+	// bit-identical to what the owning node would serve locally.
+	Found bool `json:"found"`
+	// Leader reports that the caller was granted the cluster-wide
+	// single-flight claim for the key: it should solve and write the result
+	// back with PUT (which releases the claim). False with Found false
+	// means another claimer is in flight and the wait timed out — the
+	// caller may retry or solve locally (duplicate work, never incorrect).
+	Leader bool `json:"leader,omitempty"`
+	// Summary is the stored result when Found.
+	Summary json.RawMessage `json:"summary,omitempty"`
+}
+
+// FormatKey / ParseKey are the canonical key encoding of the peer URLs.
+func FormatKey(key uint64) string {
+	return strconv.FormatUint(key, 16)
+}
+
+// ParseKey parses a peer-URL key; ok is false on malformed input.
+func ParseKey(s string) (uint64, bool) {
+	key, err := strconv.ParseUint(s, 16, 64)
+	return key, err == nil
+}

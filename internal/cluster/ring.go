@@ -1,0 +1,128 @@
+// Package cluster is the multi-node layer of the llld serving stack: a
+// consistent-hash ring with virtual nodes for cache-affine job placement,
+// and a membership table that tracks the health and load of the nodes a
+// router (or a peer node) talks to. It deliberately depends on nothing but
+// the standard library and the repository's PRNG mixer, so both the
+// service (peer cache fill) and the router (placement) can build on it
+// without import cycles.
+//
+// Placement keys are uint64 hashes — the service's spec-identity fold or
+// the canonical result-cache key — so two processes that agree on the key
+// agree on the owner without any coordination: the ring is a pure function
+// of the member names and the vnode count.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// DefaultVNodes is the virtual-node count per member when New is given
+// vnodes <= 0: enough that a 3-node ring balances within a few percent,
+// small enough that ring construction stays trivially cheap.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of named nodes.
+// Construction sorts the vnode points once; lookups are a binary search.
+// Safe for concurrent use.
+type Ring struct {
+	names  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into names
+}
+
+// NewRing builds the ring for the given node names with vnodes virtual
+// nodes each (DefaultVNodes when vnodes <= 0). Names are deduplicated;
+// order does not matter — the ring is a pure function of the name set and
+// vnodes, so every process building it from the same membership agrees on
+// every owner.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(names))
+	var uniq []string
+	for _, n := range names {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	r := &Ring{names: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for i, name := range uniq {
+		h := hashString(name)
+		for v := 0; v < vnodes; v++ {
+			h = prng.Mix64(h ^ uint64(v+1))
+			r.points = append(r.points, ringPoint{hash: h, node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// hashString folds a name into the ring's hash space with the same Mix64
+// chain the service's cache keys use, so the point distribution is uniform
+// for arbitrary (short, structured) node names.
+func hashString(s string) uint64 {
+	h := prng.Mix64(uint64(len(s)) ^ 0x51a6)
+	for _, c := range []byte(s) {
+		h = prng.Mix64(h ^ uint64(c))
+	}
+	return h
+}
+
+// Nodes returns the member names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.names) }
+
+// Owner returns the name of the node owning key: the first vnode point at
+// or clockwise after the key's position. Empty string on an empty ring.
+func (r *Ring) Owner(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.names[r.points[i].node]
+}
+
+// Prefer returns up to k distinct node names in the key's preference
+// order: the owner first, then the distinct successors walking the ring
+// clockwise. This is the fallback order a router uses when the home node
+// is saturated or down — every process computes the same order.
+func (r *Ring) Prefer(key uint64, k int) []string {
+	if len(r.points) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(r.names) {
+		k = len(r.names)
+	}
+	out := make([]string, 0, k)
+	seen := make(map[int]bool, k)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for n := 0; n < len(r.points) && len(out) < k; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, r.names[p.node])
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/prng"
+)
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	// Two processes that build the ring from the same membership must agree
+	// on every owner — construction order must not matter.
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2", "n1"}, 64)
+	for i := 0; i < 1000; i++ {
+		key := prng.Mix64(uint64(i) ^ 0xbeef)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %x: owners diverge: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+		if !reflect.DeepEqual(a.Prefer(key, 3), b.Prefer(key, 3)) {
+			t.Fatalf("key %x: preference orders diverge", key)
+		}
+	}
+}
+
+func TestRingPreferDistinctAndOwnerFirst(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 32)
+	for i := 0; i < 200; i++ {
+		key := prng.Mix64(uint64(i))
+		pref := r.Prefer(key, 3)
+		if len(pref) != 3 {
+			t.Fatalf("key %x: want 3 distinct nodes, got %v", key, pref)
+		}
+		if pref[0] != r.Owner(key) {
+			t.Fatalf("key %x: Prefer[0] = %q, Owner = %q", key, pref[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range pref {
+			if seen[n] {
+				t.Fatalf("key %x: duplicate node %q in %v", key, n, pref)
+			}
+			seen[n] = true
+		}
+	}
+	// Asking for more nodes than exist caps at the member count.
+	if got := r.Prefer(42, 10); len(got) != 3 {
+		t.Fatalf("Prefer(_, 10) on 3 nodes: got %v", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With vnodes, uniformly random keys should land within a reasonable
+	// factor of the mean on every node.
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(nodes, DefaultVNodes)
+	counts := map[string]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(prng.Mix64(uint64(i)^0x77))]++
+	}
+	mean := float64(n) / float64(len(nodes))
+	for _, node := range nodes {
+		c := float64(counts[node])
+		if c < mean/2 || c > 2*mean {
+			t.Fatalf("node %s owns %v keys, mean %v: balance outside [mean/2, 2·mean]", node, c, mean)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	// Removing one node must only move the keys it owned: every key owned
+	// by a surviving node keeps its owner.
+	before := NewRing([]string{"n1", "n2", "n3"}, DefaultVNodes)
+	after := NewRing([]string{"n1", "n2"}, DefaultVNodes)
+	moved := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		key := prng.Mix64(uint64(i) ^ 0xabc)
+		was, is := before.Owner(key), after.Owner(key)
+		if was != "n3" && was != is {
+			t.Fatalf("key %x moved from surviving node %q to %q", key, was, is)
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key moved after removing a node — n3 owned nothing?")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if got := empty.Owner(1); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := empty.Prefer(1, 3); got != nil {
+		t.Fatalf("empty ring prefer = %v", got)
+	}
+	one := NewRing([]string{"solo"}, 8)
+	if got := one.Owner(99); got != "solo" {
+		t.Fatalf("single ring owner = %q", got)
+	}
+}
+
+func TestMembersProbeStates(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Write([]byte("ok\n"))
+		case "/debug/vars":
+			w.Write([]byte(`{"gauges":{"service_queue_depth":3,"service_jobs_running":2}}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer up.Close()
+	var draining atomic.Bool
+	drain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer drain.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // immediately: probes must fail
+
+	m := NewMembers(map[string]string{
+		"up":    up.URL,
+		"drain": drain.URL,
+		"dead":  dead.URL,
+	}, nil)
+	if st := m.State("up"); st != StateUnknown {
+		t.Fatalf("pre-poll state = %v, want unknown", st)
+	}
+	if !m.State("up").Usable() {
+		t.Fatal("unknown state must be usable (router pre-first-poll)")
+	}
+	draining.Store(true)
+	m.Poll(t.Context())
+
+	if st := m.State("up"); st != StateUp {
+		t.Fatalf("up node state = %v", st)
+	}
+	if st := m.State("drain"); st != StateDraining {
+		t.Fatalf("draining node state = %v", st)
+	}
+	if st := m.State("dead"); st != StateDown {
+		t.Fatalf("dead node state = %v", st)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	for _, st := range snap {
+		if st.Name == "up" && (st.Queue != 3 || st.Running != 2) {
+			t.Fatalf("up node load = %+v, want queue 3 running 2", st)
+		}
+	}
+	// Draining resolves back to up once the node stops refusing.
+	draining.Store(false)
+	m.Poll(t.Context())
+	if st := m.State("drain"); st != StateUp {
+		t.Fatalf("recovered node state = %v", st)
+	}
+}
+
+func TestMembersOutstandingAndMarkDown(t *testing.T) {
+	m := NewMembers(map[string]string{"a": "http://x", "b": "http://y"}, nil)
+	m.AddOutstanding("a", 4)
+	m.AddOutstanding("b", 2)
+	if got := m.Outstanding("a"); got != 4 {
+		t.Fatalf("outstanding(a) = %d", got)
+	}
+	if mean := m.MeanOutstanding(); mean != 3 {
+		t.Fatalf("mean outstanding = %v, want 3", mean)
+	}
+	m.AddOutstanding("a", -10) // clamps at zero
+	if got := m.Outstanding("a"); got != 0 {
+		t.Fatalf("clamped outstanding(a) = %d", got)
+	}
+	m.MarkDown("b", nil)
+	if st := m.State("b"); st != StateDown {
+		t.Fatalf("marked-down state = %v", st)
+	}
+	// Mean over usable members only: "a" (unknown → usable) counts, the
+	// downed "b" does not.
+	m.AddOutstanding("a", 6)
+	if mean := m.MeanOutstanding(); mean != 6 {
+		t.Fatalf("mean over usable members = %v, want 6", mean)
+	}
+}
+
+func TestMembersBackgroundPoller(t *testing.T) {
+	var probes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			probes.Add(1)
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer srv.Close()
+	m := NewMembers(map[string]string{"n": srv.URL}, nil)
+	m.Start(10 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for probes.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Stop()
+	if probes.Load() < 2 {
+		t.Fatalf("background poller probed %d times", probes.Load())
+	}
+	if st := m.State("n"); st != StateUp {
+		t.Fatalf("polled state = %v", st)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, key := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		s := FormatKey(key)
+		got, ok := ParseKey(s)
+		if !ok || got != key {
+			t.Fatalf("key %x round-trips to %x (ok=%v)", key, got, ok)
+		}
+	}
+	if _, ok := ParseKey("zz"); ok {
+		t.Fatal("malformed key parsed")
+	}
+}

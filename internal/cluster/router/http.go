@@ -1,0 +1,282 @@
+package router
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// NewHandler returns the router's HTTP API. The job surface mirrors a
+// single llld node — submit, view, NDJSON events, cancel — so clients
+// (lllload, curl recipes) work unchanged against the cluster, with three
+// additions:
+//
+//	GET /cluster          node membership, health, load, and routing stats
+//	GET /cluster/metrics  all nodes' /metrics federated, node="..." labels injected
+//	GET /cluster/slo      all nodes' /slo responses keyed by node
+//
+// Job IDs are router-scoped (r000001); the routed node is reported in the
+// view's "node" field and stamped on every relayed event. Event streams
+// keep dense sequence numbers across migrations.
+func NewHandler(r *Router, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/debug/", obs.Handler(reg))
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		for _, st := range r.members.Snapshot() {
+			if st.State.Usable() {
+				w.Write([]byte("ok\n"))
+				return
+			}
+		}
+		http.Error(w, "no usable nodes", http.StatusServiceUnavailable)
+	})
+
+	submit := func(w http.ResponseWriter, js service.JobSpec) {
+		job, err := r.Submit(js)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if serr, ok := err.(*submitError); ok {
+				status = serr.status
+			}
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.view())
+	}
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, req *http.Request) {
+		var js service.JobSpec
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&js); err != nil {
+			http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		submit(w, js)
+	})
+
+	mux.HandleFunc("POST /v1/jobs/batch", func(w http.ResponseWriter, req *http.Request) {
+		var breq service.BatchRequest
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&breq); err != nil {
+			http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		js, err := breq.JobSpec()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		submit(w, js)
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		r.mu.Lock()
+		jobs := append([]*routedJob(nil), r.order...)
+		r.mu.Unlock()
+		views := make([]service.View, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.view()
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		job, ok := r.jobs[req.PathValue("id")]
+		r.mu.Unlock()
+		if !ok {
+			http.Error(w, service.ErrNotFound.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.view())
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		job, err := r.Cancel(req.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.view())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		job, ok := r.jobs[req.PathValue("id")]
+		r.mu.Unlock()
+		if !ok {
+			http.Error(w, service.ErrNotFound.Error(), http.StatusNotFound)
+			return
+		}
+		streamRoutedEvents(w, req, job)
+	})
+
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, r.ClusterStatus())
+	})
+	mux.HandleFunc("GET /cluster/metrics", r.federatedMetrics)
+	mux.HandleFunc("GET /cluster/slo", r.federatedSLO)
+
+	return mux
+}
+
+// ClusterStatus is the GET /cluster payload.
+type ClusterStatus struct {
+	Nodes []cluster.NodeStatus `json:"nodes"`
+	// Jobs / Migrations / Lost are the router's lifetime totals.
+	Jobs       int64 `json:"jobs"`
+	Migrations int64 `json:"migrations"`
+	Lost       int64 `json:"lost"`
+	// PerNode counts the jobs the router currently tracks per node
+	// (terminal jobs included until evicted) — the balance report's input.
+	PerNode map[string]int `json:"per_node"`
+}
+
+// ClusterStatus assembles the GET /cluster payload.
+func (r *Router) ClusterStatus() ClusterStatus {
+	perNode := make(map[string]int)
+	r.mu.Lock()
+	for _, j := range r.order {
+		j.mu.Lock()
+		perNode[j.node]++
+		j.mu.Unlock()
+	}
+	r.mu.Unlock()
+	return ClusterStatus{
+		Nodes:      r.members.Snapshot(),
+		Jobs:       r.m.jobs.Value(),
+		Migrations: r.m.migrations.Value(),
+		Lost:       r.m.lost.Value(),
+		PerNode:    perNode,
+	}
+}
+
+// federatedMetrics concatenates every node's /metrics exposition with a
+// node="<name>" label injected into each sample, so one scrape of the
+// router covers the whole cluster with per-node series.
+func (r *Router) federatedMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, st := range r.members.Snapshot() {
+		resp, err := r.client.Get(st.URL + "/metrics")
+		if err != nil {
+			fmt.Fprintf(w, "# node %s unreachable: %s\n", st.Name, strings.ReplaceAll(err.Error(), "\n", " "))
+			continue
+		}
+		fmt.Fprintf(w, "# node %s\n", st.Name)
+		injectNodeLabel(w, resp.Body, st.Name)
+		resp.Body.Close()
+	}
+}
+
+// injectNodeLabel rewrites one prometheus text exposition, adding
+// node="<name>" to every sample line: `m 1` → `m{node="a"} 1`,
+// `m{le="5"} 1` → `m{node="a",le="5"} 1`. Comment lines pass through.
+func injectNodeLabel(w io.Writer, body io.Reader, node string) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 4<<20)
+	label := `node="` + node + `"`
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			fmt.Fprintln(w, line)
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			fmt.Fprintln(w, line)
+			continue
+		}
+		name, rest := line[:sp], line[sp:]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			fmt.Fprintf(w, "%s{%s,%s%s\n", name[:i], label, name[i+1:], rest)
+		} else {
+			fmt.Fprintf(w, "%s{%s}%s\n", name, label, rest)
+		}
+	}
+}
+
+// federatedSLO returns every node's /slo response keyed by node name (raw
+// JSON passthrough; unreachable nodes report an error string).
+func (r *Router) federatedSLO(w http.ResponseWriter, req *http.Request) {
+	out := make(map[string]json.RawMessage)
+	for _, st := range r.members.Snapshot() {
+		resp, err := r.client.Get(st.URL + "/slo")
+		if err != nil {
+			blob, _ := json.Marshal(map[string]string{"error": err.Error()})
+			out[st.Name] = blob
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK || !json.Valid(body) {
+			blob, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("status %d", resp.StatusCode)})
+			out[st.Name] = blob
+			continue
+		}
+		out[st.Name] = body
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// streamRoutedEvents serves the router's relayed buffer as NDJSON with the
+// same follow-to-terminal and ?from=N semantics as a node's own stream.
+func streamRoutedEvents(w http.ResponseWriter, req *http.Request, job *routedJob) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	if f := req.URL.Query().Get("from"); f != "" {
+		if n, err := strconv.Atoi(f); err == nil && n > 0 {
+			next = n
+		}
+	}
+	for {
+		events, more, state := job.eventsSince(next)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		next += len(events)
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if len(events) == 0 && state.Terminal() {
+			return
+		}
+		if len(events) > 0 {
+			continue
+		}
+		select {
+		case <-more:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

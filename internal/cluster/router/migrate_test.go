@@ -1,0 +1,236 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/mt"
+	"repro/internal/prng"
+	"repro/internal/service"
+)
+
+// slowCheckpointRunner simulates a deterministic long solve: `total` steps
+// of `step` each, checkpointing after every step. A resumed attempt picks
+// up exactly at the checkpoint's counter with the checkpoint's rolling
+// state, so the final AssignmentHash is a pure function of (seed, total) —
+// bit-identical whether the run was interrupted anywhere or not, exactly
+// like the real resamplers under the golden resume contract.
+func slowCheckpointRunner(total int, step time.Duration) service.Runner {
+	return func(ctx context.Context, js service.JobSpec, att service.Attempt, emit func(service.Event)) (*service.Summary, error) {
+		i, h := 0, js.Seed
+		if cp := att.Checkpoint; cp != nil {
+			i, h = cp.Resamplings, cp.RNG[0]
+		}
+		for i < total {
+			select {
+			case <-time.After(step):
+			case <-ctx.Done():
+				return &service.Summary{Partial: true, Resamplings: i}, ctx.Err()
+			}
+			i++
+			h = prng.Mix64(h ^ uint64(i))
+			att.SaveCheckpoint(&fault.Checkpoint{
+				Algorithm: mt.CheckpointSeq, Round: i, Resamplings: i, RNG: [4]uint64{h},
+			})
+			emit(service.Event{Kind: "round", Round: i})
+		}
+		return &service.Summary{Satisfied: true, Resamplings: total, AssignmentHash: h}, nil
+	}
+}
+
+// expectedHash is what slowCheckpointRunner reports for an uninterrupted
+// (or correctly resumed) run.
+func expectedHash(seed uint64, total int) uint64 {
+	h := seed
+	for i := 1; i <= total; i++ {
+		h = prng.Mix64(h ^ uint64(i))
+	}
+	return h
+}
+
+const migrateSpecFmt = `{"family":"sinkless","n":24,"algorithm":"mtseq","seed":%d,"checkpoint_every":1}`
+
+// checkMigratedRun asserts the full migration contract on a finished
+// router job: terminal done, final hash bit-identical to the uninterrupted
+// run, one continuous trace, a synthetic "migrated" event carrying the
+// checkpoint, node stamps switching at it, and strictly increasing rounds
+// (no step re-executed after the resume point).
+func checkMigratedRun(t *testing.T, ts *httptest.Server, id string, seed uint64, total int, fromNode string) {
+	t.Helper()
+	events := collectEvents(t, ts, id)
+	view := routerView(t, ts, id)
+
+	if view.State != service.StateDone {
+		t.Fatalf("migrated job ended %q (%s), want done", view.State, view.Error)
+	}
+	if view.Migrated < 1 {
+		t.Fatalf("view.Migrated = %d, want >= 1", view.Migrated)
+	}
+	if view.Result == nil || view.Result.AssignmentHash != expectedHash(seed, total) {
+		t.Fatalf("migrated result = %+v, want assignment hash %#x (bit-identical to solo run)",
+			view.Result, expectedHash(seed, total))
+	}
+	if view.Result.Resamplings != total {
+		t.Errorf("resumed run reports %d total steps, want %d", view.Result.Resamplings, total)
+	}
+
+	migratedAt := -1
+	lastRound := 0
+	traces := map[string]bool{}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d: stream lost continuity across migration", i, e.Seq)
+		}
+		if e.Trace != "" {
+			traces[e.Trace] = true
+		}
+		switch e.Kind {
+		case "migrated":
+			migratedAt = i
+			if !e.Resumed || e.Checkpoint == nil {
+				t.Errorf("migrated event did not move a checkpoint: %+v", e)
+			}
+			if e.Node == fromNode {
+				t.Errorf("job migrated back onto the dead node %q", fromNode)
+			}
+		case "round":
+			if e.Round <= lastRound {
+				t.Errorf("round %d relayed after round %d: step re-executed or stream reordered",
+					e.Round, lastRound)
+			}
+			lastRound = e.Round
+			if migratedAt >= 0 && e.Node == fromNode {
+				t.Errorf("round %d still stamped with the dead node after migration", e.Round)
+			}
+		case "checkpoint":
+			t.Errorf("internal checkpoint event leaked into the client stream: %+v", e)
+		}
+	}
+	if migratedAt < 0 {
+		t.Fatal("no migrated event in the stream")
+	}
+	if len(traces) != 1 {
+		t.Fatalf("trace IDs across migration: %v, want exactly one", traces)
+	}
+	if view.TraceID == "" || !traces[view.TraceID] {
+		t.Fatalf("view trace %q not the stream's trace %v", view.TraceID, traces)
+	}
+}
+
+// TestRouterMigratesOnNodeCrash: SIGKILL semantics — the node holding a
+// running job disappears mid-run (server closed, sockets severed). The
+// router must move the job's latest checkpoint to a surviving node, where
+// it resumes bit-identically under the same trace.
+func TestRouterMigratesOnNodeCrash(t *testing.T) {
+	const total, seed = 40, uint64(909)
+	nodes, urls := startNodes(t, 3, func(cfg *service.Config) {
+		cfg.Runner = slowCheckpointRunner(total, 20*time.Millisecond)
+	})
+	_, ts, reg := startRouter(t, urls)
+
+	v, status := postRouterJob(t, ts, fmt.Sprintf(migrateSpecFmt, seed))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+
+	// Let it make some progress, then kill its node abruptly.
+	waitForProgress(t, ts, v.ID, 5)
+	victim := nodes[v.Node]
+	victim.ts.CloseClientConnections()
+	victim.ts.Close()
+
+	checkMigratedRun(t, ts, v.ID, seed, total, v.Node)
+	if got := reg.Counter("router_migrations_total").Value(); got < 1 {
+		t.Errorf("router_migrations_total = %d, want >= 1", got)
+	}
+	if got := reg.Counter("router_jobs_lost_total").Value(); got != 0 {
+		t.Errorf("router_jobs_lost_total = %d, want 0", got)
+	}
+}
+
+// TestRouterMigratesOnDrain: SIGTERM semantics — the node holding a
+// running job drains; the forced shutdown cancels the job mid-run. The
+// router must treat that cancellation as a migration, not surface it.
+func TestRouterMigratesOnDrain(t *testing.T) {
+	const total, seed = 40, uint64(707)
+	nodes, urls := startNodes(t, 3, func(cfg *service.Config) {
+		cfg.Runner = slowCheckpointRunner(total, 20*time.Millisecond)
+	})
+	_, ts, _ := startRouter(t, urls)
+
+	v, status := postRouterJob(t, ts, fmt.Sprintf(migrateSpecFmt, seed))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	waitForProgress(t, ts, v.ID, 5)
+
+	// Drain the node with an already-tight deadline: running jobs are
+	// hard-cancelled (keeping their checkpoints), like llld under SIGTERM
+	// with a short grace period.
+	victim := nodes[v.Node]
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	victim.svc.Shutdown(ctx)
+	cancel()
+
+	checkMigratedRun(t, ts, v.ID, seed, total, v.Node)
+}
+
+// TestRouterCancelIsNotMigrated: a cancel that comes through the router is
+// the client's own ask — the job must end cancelled, not resurrect on
+// another node.
+func TestRouterCancelIsNotMigrated(t *testing.T) {
+	const total = 200
+	_, urls := startNodes(t, 2, func(cfg *service.Config) {
+		cfg.Runner = slowCheckpointRunner(total, 20*time.Millisecond)
+	})
+	_, ts, reg := startRouter(t, urls)
+
+	v, status := postRouterJob(t, ts, fmt.Sprintf(migrateSpecFmt, 5))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	waitForProgress(t, ts, v.ID, 2)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	events := collectEvents(t, ts, v.ID)
+	last := events[len(events)-1]
+	if last.Kind != "end" || last.State != service.StateCancelled {
+		t.Fatalf("terminal event = %+v, want end/cancelled", last)
+	}
+	for _, e := range events {
+		if e.Kind == "migrated" {
+			t.Fatal("router migrated a job the client cancelled")
+		}
+	}
+	if got := reg.Counter("router_migrations_total").Value(); got != 0 {
+		t.Errorf("router_migrations_total = %d, want 0", got)
+	}
+}
+
+// waitForProgress blocks until the router has relayed at least n "round"
+// events for the job — the job is genuinely mid-run on its node.
+func waitForProgress(t *testing.T, ts *httptest.Server, id string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		v := routerView(t, ts, id)
+		if v.Events >= n+2 { // queued + start + n rounds
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s made no progress (%d events)", id, v.Events)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,628 @@
+// Package router is the cluster routing tier of llld: a single front door
+// over N llld nodes that places every job on its cache key's home node
+// (consistent hashing, so isomorphic resubmissions always land where the
+// warm entry lives), spills to the next preferred node when the home node
+// is saturated or shedding, relays each job's event stream with continuous
+// sequence numbers, and — when a node drains or dies mid-job — migrates
+// the job's latest checkpoint to a surviving node, where it resumes
+// bit-identically under the same trace ID. cmd/lllrouter serves it.
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Nodes is the cluster membership, node name → base URL. Required.
+	Nodes map[string]string
+	// VNodes is the consistent-hash virtual-node count; must match the
+	// nodes' own ClusterConfig (cluster.DefaultVNodes when 0).
+	VNodes int
+	// BoundedLoadFactor caps proactive placement imbalance: a candidate
+	// whose router-tracked outstanding jobs exceed factor × (mean + 1) is
+	// skipped in favor of the next preferred node — unless every candidate
+	// is over, in which case the least loaded one is used (the cluster
+	// never rejects what a node would accept). Default 2.
+	BoundedLoadFactor float64
+	// ProbeInterval is the health/load poll period (default 500ms).
+	ProbeInterval time.Duration
+	// MaxMigrations bounds how many times one job may be moved before the
+	// router fails it (default 3).
+	MaxMigrations int
+	// Retention bounds the terminal routed jobs kept (default 1024).
+	Retention int
+	// Metrics receives the router_* families (nil disables).
+	Metrics *obs.Registry
+	// Client overrides the node-facing HTTP client; nil uses a default
+	// with no overall timeout (event streams are long-lived).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.BoundedLoadFactor <= 0 {
+		c.BoundedLoadFactor = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 3
+	}
+	if c.Retention <= 0 {
+		c.Retention = 1024
+	}
+	return c
+}
+
+// Router is the routing tier. Create with New, stop with Shutdown.
+type Router struct {
+	cfg     Config
+	ring    *cluster.Ring
+	members *cluster.Members
+	client  *http.Client
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*routedJob
+	order  []*routedJob
+	nextID int64
+
+	m routerMetrics
+}
+
+type routerMetrics struct {
+	jobs       *obs.Counter
+	spills     *obs.Counter
+	migrations *obs.Counter
+	lost       *obs.Counter
+	relayed    *obs.Counter
+	rejected   *obs.Counter
+}
+
+// routedJob is the router's record of one job: where it currently lives,
+// the relayed event buffer (continuous Seq across migrations), and the
+// latest checkpoint it would move with.
+type routedJob struct {
+	id      string
+	spec    service.JobSpec // as submitted (router adjustments applied)
+	key     uint64          // placement key
+	created time.Time
+
+	mu        sync.Mutex
+	trace     string
+	node      string // current node
+	nodeJobID string // id on that node
+	nodeSeen  int    // events consumed from the current node's stream
+	events    []service.Event
+	more      chan struct{} // closed+replaced on every append
+	state     service.State
+	errMsg    string
+	result    *service.Summary
+	ckpt      *fault.Checkpoint
+	migrated  int
+	cancelled bool // cancel came through the router
+}
+
+// New builds and starts a Router: membership probing begins immediately.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("router: no nodes configured")
+	}
+	names := make([]string, 0, len(cfg.Nodes))
+	for name := range cfg.Nodes {
+		names = append(names, name)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	r := &Router{
+		cfg:     cfg,
+		ring:    cluster.NewRing(names, cfg.VNodes),
+		members: cluster.NewMembers(cfg.Nodes, &http.Client{Timeout: 2 * time.Second}),
+		client:  client,
+		jobs:    make(map[string]*routedJob),
+		m: routerMetrics{
+			jobs:       cfg.Metrics.Counter("router_jobs_total"),
+			spills:     cfg.Metrics.Counter("router_spills_total"),
+			migrations: cfg.Metrics.Counter("router_migrations_total"),
+			lost:       cfg.Metrics.Counter("router_jobs_lost_total"),
+			relayed:    cfg.Metrics.Counter("router_events_relayed_total"),
+			rejected:   cfg.Metrics.Counter("router_rejects_total"),
+		},
+	}
+	r.baseCtx, r.baseCancel = context.WithCancel(context.Background())
+	r.members.Start(cfg.ProbeInterval)
+	return r, nil
+}
+
+// Shutdown stops the router: probing ends, follower goroutines unwind.
+// Jobs already on nodes keep running there — the router is stateless
+// about execution; a restarted router simply no longer tracks them.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.baseCancel()
+	r.members.Stop()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// submitError maps a routing failure onto an HTTP status.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// Submit places a job: preferred nodes in ring order, bounded-load and
+// health filtered, spilling on saturation. Returns the routed job.
+func (r *Router) Submit(js service.JobSpec) (*routedJob, error) {
+	key, err := service.PlacementKeyFor(js)
+	if err != nil {
+		r.m.rejected.Inc()
+		return nil, &submitError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	// Checkpoints must stream to the router for crash migration to have
+	// anything to move; jobs without checkpointing migrate from scratch
+	// (determinism still makes the rerun bit-identical).
+	if js.CheckpointEvery > 0 {
+		js.ExportCheckpoints = true
+	}
+	job := &routedJob{spec: js, key: key, created: time.Now(), more: make(chan struct{})}
+
+	node, view, serr := r.place(job, "")
+	if serr != nil {
+		r.m.rejected.Inc()
+		return nil, serr
+	}
+	r.mu.Lock()
+	r.nextID++
+	job.id = fmt.Sprintf("r%06d", r.nextID)
+	r.jobs[job.id] = job
+	r.order = append(r.order, job)
+	r.evictLocked()
+	r.mu.Unlock()
+	r.m.jobs.Inc()
+
+	job.mu.Lock()
+	job.node = node
+	job.nodeJobID = view.ID
+	job.trace = view.TraceID
+	job.state = view.State
+	job.mu.Unlock()
+
+	r.wg.Add(1)
+	go r.follow(job)
+	return job, nil
+}
+
+// place POSTs the job's spec to the best available node, in preference
+// order: ring order filtered by health, bounded load applied proactively,
+// 429/503/transport failures spilling to the next candidate reactively.
+// skip excludes a node (the one the job just died on).
+func (r *Router) place(job *routedJob, skip string) (string, *service.View, *submitError) {
+	prefer := r.ring.Prefer(job.key, r.ring.Len())
+	candidates := prefer[:0:0]
+	for _, name := range prefer {
+		if name == skip || !r.members.State(name).Usable() {
+			continue
+		}
+		candidates = append(candidates, name)
+	}
+	if len(candidates) == 0 {
+		// Health says nobody is usable; trust the wire over the poller and
+		// try everyone anyway (minus the known-dead skip).
+		for _, name := range prefer {
+			if name != skip {
+				candidates = append(candidates, name)
+			}
+		}
+	}
+	// Bounded load: demote overloaded candidates behind the rest without
+	// dropping them — order stays preference-stable within each class.
+	mean := r.members.MeanOutstanding()
+	limit := int64(r.cfg.BoundedLoadFactor * (mean + 1))
+	sort.SliceStable(candidates, func(i, j int) bool {
+		oi := r.members.Outstanding(candidates[i]) > limit
+		oj := r.members.Outstanding(candidates[j]) > limit
+		return !oi && oj
+	})
+
+	body, err := json.Marshal(job.spec)
+	if err != nil {
+		return "", nil, &submitError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	var lastMsg string
+	lastStatus := http.StatusServiceUnavailable
+	for i, name := range candidates {
+		if i > 0 {
+			r.m.spills.Inc()
+		}
+		resp, err := r.client.Post(r.members.URL(name)+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.members.MarkDown(name, err)
+			lastMsg = err.Error()
+			continue
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var view service.View
+			if err := json.Unmarshal(payload, &view); err != nil {
+				lastMsg = "bad node response: " + err.Error()
+				continue
+			}
+			r.members.AddOutstanding(name, 1)
+			return name, &view, nil
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
+			lastStatus, lastMsg = resp.StatusCode, string(bytes.TrimSpace(payload))
+			continue // saturated or shedding: spill
+		default:
+			// A 400 is the spec's fault on every node — fail fast.
+			return "", nil, &submitError{status: resp.StatusCode, msg: string(bytes.TrimSpace(payload))}
+		}
+	}
+	if lastMsg == "" {
+		lastMsg = "router: no node accepted the job"
+	}
+	return "", nil, &submitError{status: lastStatus, msg: lastMsg}
+}
+
+// append adds one relayed event to the job's buffer with a continuous
+// router-scope Seq and wakes stream readers.
+func (j *routedJob) append(e service.Event) {
+	j.mu.Lock()
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+	close(j.more)
+	j.more = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// eventsSince snapshots the buffer from seq on, with the wake channel and
+// current state (mirrors service.Job.EventsSince for the stream handler).
+func (j *routedJob) eventsSince(seq int) ([]service.Event, <-chan struct{}, service.State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []service.Event
+	if seq < len(j.events) {
+		out = append(out, j.events[seq:]...)
+	}
+	return out, j.more, j.state
+}
+
+// view synthesizes the router-scope job view from the local mirror.
+func (j *routedJob) view() service.View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return service.View{
+		ID:       j.id,
+		TraceID:  j.trace,
+		State:    j.state,
+		Spec:     j.spec,
+		Created:  j.created.UTC().Format(time.RFC3339Nano),
+		Events:   len(j.events),
+		Error:    j.errMsg,
+		Result:   j.result,
+		Node:     j.node,
+		Migrated: j.migrated,
+	}
+}
+
+// finalize records a terminal state reached outside a node's own "end"
+// event (migration budget exhausted, no surviving node).
+func (r *Router) finalize(job *routedJob, state service.State, msg string) {
+	job.mu.Lock()
+	job.state = state
+	job.errMsg = msg
+	trace := job.trace
+	job.mu.Unlock()
+	job.append(service.Event{Kind: "end", State: state, Err: msg, Trace: trace})
+}
+
+// evictLocked enforces Config.Retention over terminal routed jobs.
+func (r *Router) evictLocked() {
+	terminal := 0
+	for _, j := range r.order {
+		if j.terminal() {
+			terminal++
+		}
+	}
+	if terminal <= r.cfg.Retention {
+		return
+	}
+	kept := r.order[:0]
+	for _, j := range r.order {
+		if terminal > r.cfg.Retention && j.terminal() {
+			delete(r.jobs, j.id)
+			terminal--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(r.order); i++ {
+		r.order[i] = nil
+	}
+	r.order = kept
+}
+
+func (j *routedJob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// Cancel forwards a cancellation to the job's current node.
+func (r *Router) Cancel(id string) (*routedJob, error) {
+	r.mu.Lock()
+	job, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, service.ErrNotFound
+	}
+	job.mu.Lock()
+	job.cancelled = true
+	node, nodeID := job.node, job.nodeJobID
+	job.mu.Unlock()
+	req, err := http.NewRequestWithContext(r.baseCtx, http.MethodDelete,
+		r.members.URL(node)+"/v1/jobs/"+nodeID, nil)
+	if err == nil {
+		if resp, derr := r.client.Do(req); derr == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	return job, nil
+}
+
+// follow relays the job's event stream from its current node until the job
+// is terminal, migrating it when the node drains or dies. One goroutine
+// per routed job.
+func (r *Router) follow(job *routedJob) {
+	defer r.wg.Done()
+	streamFailures := 0
+	for {
+		terminal, err := r.streamOnce(job)
+		job.mu.Lock()
+		node := job.node
+		job.mu.Unlock()
+		if terminal {
+			r.members.AddOutstanding(node, -1)
+			return
+		}
+		if r.baseCtx.Err() != nil {
+			return
+		}
+		migrate := false
+		if err != nil {
+			// Stream broke without a terminal event: transient hiccup or a
+			// dead node? Ask the node directly — the poller may lag.
+			if r.probeAlive(node) {
+				streamFailures++
+				if streamFailures <= 3 {
+					time.Sleep(100 * time.Millisecond)
+					continue // reattach via ?from=, no events lost
+				}
+			}
+			r.members.MarkDown(node, err)
+			migrate = true
+		} else {
+			// Terminal "cancelled" on a draining/dead node with no cancel
+			// from our side: the drain took the job; move it.
+			migrate = true
+		}
+		if !migrate {
+			return
+		}
+		streamFailures = 0
+		r.members.AddOutstanding(node, -1)
+		if !r.migrate(job, node) {
+			return
+		}
+	}
+}
+
+// streamOnce attaches to the current node's event stream (resuming at the
+// last consumed index) and relays events until the stream ends. Returns
+// terminal=true when the job finished for good: done, failed, or cancelled
+// by an actual cancel request. A false return with err=nil means the job
+// was cancelled out from under us by a drain — the caller migrates it.
+func (r *Router) streamOnce(job *routedJob) (terminal bool, err error) {
+	job.mu.Lock()
+	node, nodeID, from := job.node, job.nodeJobID, job.nodeSeen
+	job.mu.Unlock()
+	url := fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", r.members.URL(node), nodeID, from)
+	req, err := http.NewRequestWithContext(r.baseCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The node is up but no longer knows the job (restarted): treat as
+		// a dead stream so the job migrates with its checkpoint.
+		return false, fmt.Errorf("router: node %s: events status %d", node, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e service.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return false, fmt.Errorf("router: bad event from %s: %w", node, err)
+		}
+		job.mu.Lock()
+		job.nodeSeen++
+		if e.Trace != "" && job.trace == "" {
+			job.trace = e.Trace
+		}
+		if e.Kind == "checkpoint" && e.Checkpoint != nil {
+			// Router plumbing, not client payload: keep the snapshot for
+			// migration and strip the event from the relayed stream.
+			job.ckpt = e.Checkpoint
+			job.mu.Unlock()
+			continue
+		}
+		cancelled := job.cancelled
+		job.mu.Unlock()
+
+		if e.Kind == "end" {
+			if e.State == service.StateCancelled && !cancelled {
+				// Drain or forced shutdown took the job — migrate rather
+				// than surface a cancellation nobody asked for. The "end"
+				// event is swallowed; the migrated stream continues.
+				return false, nil
+			}
+			r.fetchResult(job, node, nodeID)
+			job.mu.Lock()
+			job.state = e.State
+			job.errMsg = e.Err
+			job.mu.Unlock()
+			e.Node = node
+			r.m.relayed.Inc()
+			job.append(e)
+			return true, nil
+		}
+		if e.Kind == "queued" || e.Kind == "start" {
+			job.mu.Lock()
+			job.state = map[string]service.State{
+				"queued": service.StateQueued, "start": service.StateRunning,
+			}[e.Kind]
+			job.mu.Unlock()
+		}
+		e.Node = node
+		r.m.relayed.Inc()
+		job.append(e)
+	}
+	if serr := sc.Err(); serr != nil {
+		return false, serr
+	}
+	return false, fmt.Errorf("router: node %s: event stream ended without a terminal event", node)
+}
+
+// fetchResult pulls the terminal job view from the node so the router can
+// serve the result after the node is gone.
+func (r *Router) fetchResult(job *routedJob, node, nodeID string) {
+	resp, err := r.client.Get(r.members.URL(node) + "/v1/jobs/" + nodeID)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var v service.View
+	if json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&v) != nil {
+		return
+	}
+	job.mu.Lock()
+	job.result = v.Result
+	job.mu.Unlock()
+}
+
+// probeAlive asks the node's /healthz directly (200 or 503-draining both
+// mean the process is alive; only transport failure means dead).
+func (r *Router) probeAlive(node string) bool {
+	client := &http.Client{Timeout: time.Second}
+	resp, err := client.Get(r.members.URL(node) + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return true
+}
+
+// migrate moves the job to a surviving node: resubmit the spec with the
+// latest checkpoint (bit-identical resume) under the original trace ID,
+// emit a synthetic "migrated" event, and let the follower reattach.
+// Reports whether the job is live on a new node.
+func (r *Router) migrate(job *routedJob, deadNode string) bool {
+	job.mu.Lock()
+	job.migrated++
+	migrations := job.migrated
+	js := job.spec
+	js.TraceID = job.trace
+	js.Resume = job.ckpt
+	ckpt := job.ckpt
+	trace := job.trace
+	job.mu.Unlock()
+	if migrations > r.cfg.MaxMigrations {
+		r.m.lost.Inc()
+		r.finalize(job, service.StateFailed,
+			fmt.Sprintf("router: job exceeded %d migrations", r.cfg.MaxMigrations))
+		return false
+	}
+	if len(js.Batch) > 0 {
+		js.Resume = nil // batch jobs hold no resumable sub-state; rerun
+	}
+
+	// The surviving nodes may briefly all report down (poller lag) or be
+	// saturated absorbing the failover; retry placement for a while before
+	// declaring the job lost.
+	reJob := &routedJob{spec: js, key: job.key}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		node, view, serr := r.place(reJob, deadNode)
+		if serr == nil {
+			r.m.migrations.Inc()
+			job.append(service.Event{
+				Kind: "migrated", Node: node, Trace: trace,
+				Checkpoint: ckpt, Resumed: ckpt != nil,
+			})
+			job.mu.Lock()
+			job.node = node
+			job.nodeJobID = view.ID
+			job.nodeSeen = 0
+			job.state = service.StateQueued
+			job.mu.Unlock()
+			return true
+		}
+		if time.Now().After(deadline) || r.baseCtx.Err() != nil {
+			r.m.lost.Inc()
+			r.finalize(job, service.StateFailed, "router: migration failed: "+serr.msg)
+			return false
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-r.baseCtx.Done():
+		}
+	}
+}

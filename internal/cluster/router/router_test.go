@@ -1,0 +1,369 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// testNode is one in-process llld node: a real Service behind an HTTP
+// server the router can reach (and "kill", by closing the server).
+type testNode struct {
+	name string
+	svc  *service.Service
+	ts   *httptest.Server
+	reg  *obs.Registry
+}
+
+// startNodes builds n nodes named n1..nN. mutate adjusts each node's
+// Config (e.g. to install a stub runner) before the service starts; the
+// returned map is the router/cluster membership.
+func startNodes(t *testing.T, n int, mutate func(*service.Config)) (map[string]*testNode, map[string]string) {
+	t.Helper()
+	nodes := make(map[string]*testNode, n)
+	urls := make(map[string]string, n)
+	handlers := make(map[string]*swapHandler, n)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		h := &swapHandler{}
+		ts := httptest.NewServer(h)
+		handlers[name] = h
+		urls[name] = ts.URL
+		nodes[name] = &testNode{name: name, ts: ts, reg: obs.NewRegistry()}
+	}
+	for name, node := range nodes {
+		cfg := service.Config{QueueCap: 128, MaxInFlight: 4, CacheSize: 32, Metrics: node.reg}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		if cfg.Cluster != nil {
+			cfg.Cluster.Self = name
+			cfg.Cluster.Nodes = urls
+		}
+		node.svc = service.New(cfg)
+		handlers[name].set(service.NewHandler(node.svc, node.reg))
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			node.svc.Shutdown(ctx)
+			cancel()
+		}
+	})
+	return nodes, urls
+}
+
+// swapHandler defers handler installation until the service (which needs
+// the server URLs) exists.
+type swapHandler struct{ h http.Handler }
+
+func (s *swapHandler) set(h http.Handler) { s.h = h }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	s.h.ServeHTTP(w, r)
+}
+
+// startRouter builds a Router + its HTTP server over the membership.
+func startRouter(t *testing.T, urls map[string]string) (*Router, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	r, err := New(Config{Nodes: urls, Metrics: reg, ProbeInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(r, reg))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		r.Shutdown(ctx)
+		cancel()
+	})
+	// Let the first health poll land so placement sees live nodes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := 0
+		for _, st := range r.members.Snapshot() {
+			if st.State.Usable() {
+				ok++
+			}
+		}
+		if ok == len(urls) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return r, ts, reg
+}
+
+func postRouterJob(t *testing.T, ts *httptest.Server, spec string) (service.View, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v service.View
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return v, resp.StatusCode
+}
+
+// collectEvents follows a router job's NDJSON stream to its terminal event.
+func collectEvents(t *testing.T, ts *httptest.Server, id string) []service.Event {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []service.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		var e service.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func routerView(t *testing.T, ts *httptest.Server, id string) service.View {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v service.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestRouterRoutesAndRelays: a job submitted to the router runs on exactly
+// one node, its relayed stream has dense sequence numbers and node stamps,
+// and the router view reports the final result.
+func TestRouterRoutesAndRelays(t *testing.T) {
+	_, urls := startNodes(t, 3, nil)
+	_, ts, _ := startRouter(t, urls)
+
+	v, status := postRouterJob(t, ts, `{"family":"sinkless","n":24,"algorithm":"mtpar","seed":3}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	if !strings.HasPrefix(v.ID, "r") {
+		t.Fatalf("router job id %q not router-scoped", v.ID)
+	}
+	if v.Node == "" {
+		t.Fatal("router view has no node")
+	}
+
+	events := collectEvents(t, ts, v.ID)
+	if len(events) == 0 {
+		t.Fatal("no events relayed")
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d (stream not dense)", i, e.Seq)
+		}
+		if e.Node != v.Node {
+			t.Fatalf("event %d stamped node %q, want %q", i, e.Node, v.Node)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Kind != "end" || last.State != service.StateDone {
+		t.Fatalf("terminal event = %+v, want end/done", last)
+	}
+
+	final := routerView(t, ts, v.ID)
+	if final.State != service.StateDone || final.Result == nil || !final.Result.Satisfied {
+		t.Fatalf("final view = %+v", final)
+	}
+	if final.TraceID == "" {
+		t.Fatal("router view lost the trace ID")
+	}
+}
+
+// TestRouterPlacementDeterministicAndCacheLocal: identical specs always
+// land on the same node, and — with clustered nodes — a resubmission is
+// served from that home node's cache without a second solve.
+func TestRouterPlacementDeterministicAndCacheLocal(t *testing.T) {
+	nodes, urls := startNodes(t, 3, func(cfg *service.Config) {
+		cfg.Cluster = &service.ClusterConfig{} // Self/Nodes filled by startNodes
+	})
+	_, ts, _ := startRouter(t, urls)
+
+	spec := `{"family":"sinkless","n":24,"algorithm":"mtpar","seed":11,"cache":true}`
+	cold, status := postRouterJob(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	collectEvents(t, ts, cold.ID)
+	coldView := routerView(t, ts, cold.ID)
+	if coldView.Result.CacheHit {
+		t.Fatal("cold solve reported a cache hit")
+	}
+
+	warm, _ := postRouterJob(t, ts, spec)
+	if warm.Node != cold.Node {
+		t.Fatalf("identical spec placed on %q then %q (placement not deterministic)", cold.Node, warm.Node)
+	}
+	collectEvents(t, ts, warm.ID)
+	warmView := routerView(t, ts, warm.ID)
+	if warmView.Result == nil || !warmView.Result.CacheHit {
+		t.Fatal("resubmission was not served from the home node's cache")
+	}
+	if warmView.Result.AssignmentHash != coldView.Result.AssignmentHash {
+		t.Fatal("cached result hash differs from cold solve")
+	}
+	// Exactly one node ever solved (one hit total); the entry may be stored
+	// twice — once on the solving node, once written through to the cache
+	// key's home node when the two differ — but never more.
+	stores, hits := int64(0), int64(0)
+	for _, node := range nodes {
+		stores += node.reg.Counter("cache_stores_total").Value()
+		hits += node.reg.Counter("cache_hits_total").Value()
+	}
+	if hits != 1 {
+		t.Fatalf("cluster-wide cache hits = %d, want 1", hits)
+	}
+	if stores < 1 || stores > 2 {
+		t.Fatalf("cluster-wide cache stores = %d, want 1 (solver == home) or 2 (write-through)", stores)
+	}
+}
+
+// TestRouterBalance: distinct specs spread across the nodes; no node holds
+// more than twice the per-node mean (the consistent-hash balance bound the
+// CI smoke also asserts).
+func TestRouterBalance(t *testing.T) {
+	_, urls := startNodes(t, 3, nil)
+	r, ts, _ := startRouter(t, urls)
+
+	const jobs = 30
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		v, status := postRouterJob(t, ts,
+			fmt.Sprintf(`{"family":"sinkless","n":24,"algorithm":"mtpar","seed":%d}`, i+1))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d", i, status)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		collectEvents(t, ts, id)
+	}
+	status := r.ClusterStatus()
+	mean := float64(jobs) / float64(len(urls))
+	for node, count := range status.PerNode {
+		if float64(count) > 2*mean {
+			t.Errorf("node %s holds %d of %d jobs (mean %.1f): balance worse than 2x",
+				node, count, jobs, mean)
+		}
+	}
+	if len(status.PerNode) < 2 {
+		t.Errorf("all jobs landed on %d node(s): %v", len(status.PerNode), status.PerNode)
+	}
+}
+
+// TestRouterSpillsOnSaturation: when the home node rejects with 429 (queue
+// full), the router places the job on the next preferred node instead of
+// surfacing the rejection.
+func TestRouterSpillsOnSaturation(t *testing.T) {
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	// Tiny queue + a runner that blocks makes whichever node gets the first
+	// job reject the rest.
+	nodes, urls := startNodes(t, 2, func(cfg *service.Config) {
+		cfg.QueueCap = 1
+		cfg.MaxInFlight = 1
+		cfg.Runner = func(ctx context.Context, js service.JobSpec, att service.Attempt, emit func(service.Event)) (*service.Summary, error) {
+			if !once {
+				once = true
+				close(blocked)
+			}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return &service.Summary{Satisfied: true}, nil
+		}
+	})
+	_ = nodes
+	_, ts, reg := startRouter(t, urls)
+	defer close(release)
+
+	spec := `{"family":"sinkless","n":24,"algorithm":"mtpar","seed":77}`
+	first, status := postRouterJob(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit status = %d", status)
+	}
+	<-blocked
+	// Same spec → same home node. Fill its one queue slot, then the next
+	// submission must spill to the other node.
+	second, status := postRouterJob(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("second submit status = %d", status)
+	}
+	third, status := postRouterJob(t, ts, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("third submit (expected spill) status = %d", status)
+	}
+	if second.Node != first.Node {
+		t.Fatalf("second job should queue on the home node %q, landed on %q", first.Node, second.Node)
+	}
+	if third.Node == first.Node {
+		t.Fatal("third job did not spill off the saturated home node")
+	}
+	if got := reg.Counter("router_spills_total").Value(); got < 1 {
+		t.Errorf("router_spills_total = %d, want >= 1", got)
+	}
+}
+
+// TestInjectNodeLabel: the /cluster/metrics federation rewrites sample
+// lines with a node label, preserving existing labels and comments.
+func TestInjectNodeLabel(t *testing.T) {
+	in := strings.Join([]string{
+		`# TYPE service_jobs_done_total counter`,
+		`service_jobs_done_total 7`,
+		`service_job_run_seconds_bucket{le="0.1"} 3`,
+		``,
+	}, "\n")
+	var out bytes.Buffer
+	injectNodeLabel(&out, strings.NewReader(in), "n2")
+	want := strings.Join([]string{
+		`# TYPE service_jobs_done_total counter`,
+		`service_jobs_done_total{node="n2"} 7`,
+		`service_job_run_seconds_bucket{node="n2",le="0.1"} 3`,
+		``,
+	}, "\n")
+	if out.String() != want {
+		t.Fatalf("label injection:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}

@@ -228,30 +228,36 @@ func CapturePanic(v any) *PanicError {
 // bit-identical to runs without (the golden-table and equality tests pin
 // this), and a resumed run continues bit-identically to the uninterrupted
 // one.
+//
+// Checkpoints serialize to JSON for the cross-process migration path (a
+// draining node exports them; another process resumes). The encoding is
+// exact Go-to-Go: ints and the uint64 RNG words round-trip verbatim, and
+// encoding/json emits float64s in shortest-exact form, so a checkpoint
+// shipped over HTTP resumes bit-identically to one kept in memory.
 type Checkpoint struct {
 	// Algorithm tags the runtime that wrote the checkpoint; a runner only
 	// resumes from a checkpoint taken by the same algorithm.
-	Algorithm string
+	Algorithm string `json:"algorithm,omitempty"`
 	// Round is the runtime's progress counter in its native unit: parallel
 	// resampling rounds (mtpar), resamplings (mtseq), variables fixed
 	// (the sequential fixer).
-	Round int
+	Round int `json:"round,omitempty"`
 	// Resamplings is the resampling counter where distinct from Round.
-	Resamplings int
+	Resamplings int `json:"resamplings,omitempty"`
 	// Values is the assignment value vector (complete for the resamplers;
 	// meaningful only at fixed positions for the fixer, whose fixed set is
 	// the order prefix of length Round).
-	Values []int
+	Values []int `json:"values,omitempty"`
 	// Phi is the sequential fixer's flattened φ table (2 values per
 	// dependency edge); nil for the resamplers.
-	Phi []float64
+	Phi []float64 `json:"phi,omitempty"`
 	// Peaks / Counts are the fixer's running statistics, opaque to every
 	// layer but internal/core.
-	Peaks  []float64
-	Counts []int
+	Peaks  []float64 `json:"peaks,omitempty"`
+	Counts []int     `json:"counts,omitempty"`
 	// RNG is the xoshiro256** state of the resampler's generator; zero for
 	// the deterministic fixer.
-	RNG [4]uint64
+	RNG [4]uint64 `json:"rng,omitempty"`
 }
 
 // Clone deep-copies the checkpoint, decoupling the stored snapshot from any

@@ -302,6 +302,7 @@ func packedSummary(it *batchItem, r batch.Result) *Summary {
 		Rounds:         r.Rounds,
 		Resamplings:    r.Resamplings,
 		VarsFixed:      r.VarsFixed,
+		AssignmentHash: assignmentHash(r.Assignment),
 	}
 	return isum
 }

@@ -224,52 +224,77 @@ func cloneSummary(s *Summary) *Summary {
 // flightGroup collapses concurrent identical jobs: the first job to reach
 // the scheduler with a given cache key becomes the leader and solves; jobs
 // with the same key that start while the leader is in flight wait for it
-// and re-read the cache instead of re-solving. Followers only ever wait on
+// and receive the leader's stored summary directly from the flight entry.
+// Handing the result over in the entry (instead of re-reading the cache)
+// makes followers immune to LRU eviction racing the leader's store: an
+// entry evicted between the leader's put and the follower's wake-up can
+// neither lose the result nor force a second solve — the concurrency test
+// TestCacheEvictRacesSingleFlight pins this. Followers only ever wait on
 // a job that is already running in another scheduler slot, so the wait
 // graph has depth one and cannot deadlock; a follower whose leader fails
 // (or whose own context is cancelled) falls back to solving itself.
 type flightGroup struct {
 	mu      sync.Mutex
-	flights map[uint64]chan struct{}
+	flights map[uint64]*flight
 	waits   *obs.Counter
+}
+
+// flight is one in-progress solve. done is closed on completion; sum is
+// the leader's completed summary (nil when the leader failed or produced
+// a partial result), written before done closes.
+type flight struct {
+	done chan struct{}
+	sum  *Summary
+}
+
+// result returns a deep copy of the leader's stored summary (nil when the
+// leader failed). Only valid after done is closed.
+func (f *flight) result() *Summary {
+	if f.sum == nil {
+		return nil
+	}
+	return cloneSummary(f.sum)
 }
 
 func newFlightGroup(reg *obs.Registry) *flightGroup {
 	return &flightGroup{
-		flights: make(map[uint64]chan struct{}),
+		flights: make(map[uint64]*flight),
 		waits:   reg.Counter("cache_singleflight_waits_total"),
 	}
 }
 
 // begin either registers the caller as the leader for key (leader=true) or
-// returns the in-flight leader's done channel to wait on.
-func (f *flightGroup) begin(key uint64) (done chan struct{}, leader bool) {
+// returns the in-flight leader's flight entry to wait on.
+func (f *flightGroup) begin(key uint64) (fl *flight, leader bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if ch, ok := f.flights[key]; ok {
-		return ch, false
+	if fl, ok := f.flights[key]; ok {
+		return fl, false
 	}
-	ch := make(chan struct{})
-	f.flights[key] = ch
-	return ch, true
+	fl = &flight{done: make(chan struct{})}
+	f.flights[key] = fl
+	return fl, true
 }
 
-// complete releases the leadership for key and wakes all waiting followers.
-func (f *flightGroup) complete(key uint64) {
+// complete releases the leadership for key, stores the leader's summary
+// (nil for failed/partial attempts) in the entry and wakes all waiting
+// followers.
+func (f *flightGroup) complete(key uint64, sum *Summary) {
 	f.mu.Lock()
-	ch := f.flights[key]
+	fl := f.flights[key]
 	delete(f.flights, key)
 	f.mu.Unlock()
-	if ch != nil {
-		close(ch)
+	if fl != nil {
+		fl.sum = sum
+		close(fl.done)
 	}
 }
 
 // wait blocks until the leader completes or ctx is done.
-func (f *flightGroup) wait(ctx context.Context, done <-chan struct{}) error {
+func (f *flightGroup) wait(ctx context.Context, fl *flight) error {
 	f.waits.Inc()
 	select {
-	case <-done:
+	case <-fl.done:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -278,32 +303,69 @@ func (f *flightGroup) wait(ctx context.Context, done <-chan struct{}) error {
 
 // runCached wraps one attempt of a cache-enabled single job: serve from the
 // cache when possible, otherwise solve as the single-flight leader (or wait
-// for one) and populate the cache with the completed result.
+// for one) and populate the cache with the completed result. In a cluster,
+// a leader on a non-owner node first asks the key's home node through the
+// peer fill protocol — a warm entry anywhere in the cluster is served
+// without re-solving, and a completed solve is written through to the home
+// node so later jobs find it wherever they land.
 func (s *Service) runCached(ctx context.Context, js JobSpec, att Attempt, emit func(Event), run Runner) (*Summary, error) {
 	key, _, err := s.jobKeyInst(js)
 	if err != nil {
 		return nil, err
 	}
+	var fl *flight
 	for {
 		if sum, ok := s.cache.get(key); ok {
 			sum.CacheHit = true
 			emit(Event{Kind: "cache_hit", Attempt: att.Number})
 			return sum, nil
 		}
-		done, leader := s.flights.begin(key)
+		var leader bool
+		fl, leader = s.flights.begin(key)
 		if leader {
 			break
 		}
-		if err := s.flights.wait(ctx, done); err != nil {
+		if err := s.flights.wait(ctx, fl); err != nil {
 			return nil, err
 		}
-		// Leader finished: next get either hits (leader succeeded) or we
-		// retry leadership ourselves.
+		if sum := fl.result(); sum != nil {
+			sum.CacheHit = true
+			emit(Event{Kind: "cache_hit", Attempt: att.Number})
+			return sum, nil
+		}
+		// Leader failed: loop and retry leadership ourselves.
 	}
-	defer s.flights.complete(key)
+	// Local leader. Hold the cluster claim too (when clustered and this
+	// node owns the key), so peers asking the owner wait instead of
+	// double-solving.
+	heldClaim := false
+	if s.peers != nil {
+		heldClaim = s.peers.claimLocal(key)
+		if sum, ok := s.peers.fill(ctx, key); ok {
+			s.cache.put(key, sum)
+			stored := cloneSummary(sum)
+			s.flights.complete(key, stored)
+			if heldClaim {
+				s.peers.releaseLocal(key)
+			}
+			sum.CacheHit = true
+			emit(Event{Kind: "cache_hit", Attempt: att.Number, Peer: true})
+			return sum, nil
+		}
+	}
 	sum, err := run(ctx, js, att, emit)
-	if err == nil && sum != nil && !sum.Partial {
+	stored := err == nil && sum != nil && !sum.Partial
+	if stored {
 		s.cache.put(key, sum)
+		s.flights.complete(key, sum)
+	} else {
+		s.flights.complete(key, nil)
+	}
+	if heldClaim {
+		s.peers.releaseLocal(key)
+	}
+	if stored && s.peers != nil {
+		s.peers.store(ctx, key, sum)
 	}
 	return sum, err
 }

@@ -17,13 +17,23 @@ import (
 //	GET    /v1/jobs             list retained jobs
 //	GET    /v1/jobs/{id}        job view (spec, state, result)
 //	GET    /v1/jobs/{id}/events NDJSON event stream, follows to terminal
+//	GET    /v1/jobs/{id}/checkpoint  latest saved checkpoint + resume spec
 //	DELETE /v1/jobs/{id}        cancel (idempotent)
 //	GET    /healthz             200 serving | 503 draining
 //	GET    /slo                 SLO burn-rate status (when Config.SLO is set)
 //	/metrics, /debug/*          observability (obs.Handler on reg)
 //
+// Clustered services (Config.Cluster set) additionally serve the
+// node-to-node peer protocol (404 when standalone):
+//
+//	GET    /v1/peer/cache/{key} cache lookup; ?claim=1&wait_ms=N joins the
+//	                            cluster-wide single-flight for the key
+//	PUT    /v1/peer/cache/{key} write-through store, releases the claim
+//
 // Error mapping: 400 invalid spec/body, 404 unknown id, 429 queue full
-// (with Retry-After), 503 draining or shed under SLO fast burn.
+// (with Retry-After), 503 draining or shed under SLO fast burn (also with
+// Retry-After — both are transient, so clients should back off and retry
+// the same way they do on 429).
 func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	oh := obs.Handler(reg, obs.Endpoint{Pattern: "/slo", Handler: s.cfg.SLO.Handler()})
@@ -48,16 +58,7 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 			return
 		}
 		job, err := s.Submit(js)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		case errors.Is(err, ErrDraining), errors.Is(err, ErrShed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if submitError(w, err) {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job.View())
@@ -77,16 +78,7 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 			return
 		}
 		job, err := s.Submit(js)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		case errors.Is(err, ErrDraining), errors.Is(err, ErrShed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if submitError(w, err) {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job.View())
@@ -128,7 +120,34 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 		streamEvents(w, r, job)
 	})
 
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.exportCheckpoint)
+
+	if s.peers != nil {
+		mux.HandleFunc("GET /v1/peer/cache/{key}", s.peerCacheGet)
+		mux.HandleFunc("PUT /v1/peer/cache/{key}", s.peerCachePut)
+	}
+
 	return mux
+}
+
+// submitError maps a Submit error onto the response (writing it and
+// reporting true), or reports false for a nil error. The transient
+// rejections — queue full, draining, SLO shed — carry Retry-After so
+// well-behaved clients back off instead of hammering.
+func submitError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+	return true
 }
 
 // BatchRequest is the wire format of POST /v1/jobs/batch: either an

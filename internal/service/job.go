@@ -89,6 +89,20 @@ type Event struct {
 	// Stack is the panicking goroutine's stack when the failure of an "end"
 	// event was a recovered panic.
 	Stack string `json:"stack,omitempty"`
+	// Node is the cluster node that produced the event, stamped by the
+	// router on federated streams (empty on a node's own stream).
+	Node string `json:"node,omitempty"`
+	// Peer marks a "cache_hit" served through the peer cache-fill protocol
+	// (the entry came from the key's home node, not the local cache).
+	Peer bool `json:"peer,omitempty"`
+	// Resumed marks the "queued" event of a job seeded with a migrated
+	// checkpoint (JobSpec.Resume); Round then echoes the checkpoint's
+	// progress counter.
+	Resumed bool `json:"resumed,omitempty"`
+	// Checkpoint carries the full serialized snapshot on "checkpoint"
+	// events (jobs with export_checkpoints only) and on the router's
+	// synthetic "migrated" events (the snapshot the job moved with).
+	Checkpoint *fault.Checkpoint `json:"checkpoint,omitempty"`
 	// Trace is the job's trace ID, stamped on "queued" and "end" events; its
 	// spans (queue_wait, attempt, build_instance, run, rounds) are on the
 	// daemon's JSONL trace stream under the same ID.
@@ -132,6 +146,12 @@ type Summary struct {
 	Iterations     int `json:"iterations,omitempty"`
 	VarsFixed      int `json:"vars_fixed,omitempty"`
 	Steps          int `json:"steps,omitempty"`
+	// AssignmentHash is a 64-bit fold of the complete final assignment
+	// (0 when the run stopped before completing one). Because runs are
+	// deterministic and checkpoint resume is bit-identical, a migrated
+	// job's hash must equal the uninterrupted solo run's — the cluster
+	// smoke and the cross-process resume test assert exactly this.
+	AssignmentHash uint64 `json:"assignment_hash,omitempty"`
 	// Partial marks a summary assembled from a cancelled or failed run:
 	// the counters cover only the work completed before the stop.
 	Partial bool `json:"partial,omitempty"`
@@ -207,14 +227,27 @@ type Job struct {
 const flightRing = 64
 
 // newJob creates a queued job and records its "queued" event (safe: the
-// job is not yet visible to any other goroutine).
+// job is not yet visible to any other goroutine). A spec-carried trace ID
+// (migration) overrides the minted one, and a spec-carried Resume
+// checkpoint seeds the job record so the first attempt continues where
+// the exporting process stopped.
 func newJob(id string, spec JobSpec, now time.Time, maxRetries int) *Job {
+	trace := spec.TraceID
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
 	j := &Job{
-		ID: id, TraceID: obs.NewTraceID(), Spec: spec, created: now,
+		ID: id, TraceID: trace, Spec: spec, created: now,
 		state: StateQueued, more: make(chan struct{}), maxRetries: maxRetries,
 		flight: obs.NewFlight(flightRing),
 	}
-	j.events = append(j.events, Event{Seq: 0, Kind: "queued", Trace: j.TraceID})
+	queued := Event{Seq: 0, Kind: "queued", Trace: j.TraceID}
+	if spec.Resume != nil {
+		j.checkpoint = spec.Resume.Clone()
+		queued.Resumed = true
+		queued.Round = j.checkpoint.Round
+	}
+	j.events = append(j.events, queued)
 	return j
 }
 
@@ -314,6 +347,16 @@ func (j *Job) setCheckpoint(cp *fault.Checkpoint) {
 		Kind: "checkpoint", Round: cp.Round,
 		Detail: fmt.Sprintf("resamplings=%d", cp.Resamplings),
 	})
+}
+
+// Checkpoint returns a clone of the job's latest saved checkpoint (nil
+// when none was taken). It is the pull side of the migration protocol:
+// GET /v1/jobs/{id}/checkpoint serves it so a router — or an operator —
+// can move an interrupted job to another process.
+func (j *Job) Checkpoint() *fault.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoint.Clone()
 }
 
 // retryInfo reports the attempts started so far, the retries left in the
@@ -491,6 +534,11 @@ type View struct {
 	// progress counter of the latest saved checkpoint (0 when none).
 	Attempts        int `json:"attempts,omitempty"`
 	CheckpointRound int `json:"checkpoint_round,omitempty"`
+	// Node is the cluster node currently holding the job, stamped by the
+	// router (empty on a node's own view). Migrated counts the times the
+	// router moved the job to a surviving node.
+	Node     string `json:"node,omitempty"`
+	Migrated int    `json:"migrated,omitempty"`
 }
 
 // View snapshots the job for the HTTP API.

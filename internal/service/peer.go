@@ -1,0 +1,397 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// ClusterConfig wires a Service into an llld cluster: the node's own name,
+// the full membership (name → base URL), and the peer-protocol knobs. With
+// it set, the service (a) serves the peer endpoints — cache lookup with
+// cluster-wide single-flight claims, write-through stores, checkpoint
+// export — and (b) consults the cache key's home node before solving a
+// local cache miss, so a result computed anywhere in the cluster is solved
+// exactly once.
+type ClusterConfig struct {
+	// Self is this node's name; must appear in Nodes.
+	Self string
+	// Nodes is the full cluster membership, name → base URL
+	// (e.g. "http://127.0.0.1:8081"). Every node must use the same set.
+	Nodes map[string]string
+	// VNodes is the consistent-hash virtual-node count
+	// (cluster.DefaultVNodes when 0). Every node must use the same value.
+	VNodes int
+	// FillWaitMS bounds one peer-fill claim wait (default 250ms): how long
+	// a non-owner blocks on the owner's in-flight solve before giving up
+	// and solving locally.
+	FillWaitMS int
+	// ClaimTTL expires a granted-but-unreleased cluster claim (default 30s)
+	// so a crashed claimer cannot wedge the key cluster-wide.
+	ClaimTTL time.Duration
+	// Client overrides the peer HTTP client (tests); nil uses a 3s-timeout
+	// default.
+	Client *http.Client
+}
+
+func (c *ClusterConfig) validate() error {
+	if c.Self == "" {
+		return fmt.Errorf("cluster: Self is required")
+	}
+	if _, ok := c.Nodes[c.Self]; !ok {
+		return fmt.Errorf("cluster: Self %q not in Nodes", c.Self)
+	}
+	return nil
+}
+
+// peerLayer is the client+claims side of the peer cache protocol.
+type peerLayer struct {
+	self   string
+	ring   *cluster.Ring
+	urls   map[string]string
+	client *http.Client
+	waitMS int
+	ttl    time.Duration
+	claims *peerClaims
+	m      peerMetrics
+}
+
+type peerMetrics struct {
+	fillHits   *obs.Counter // peer fill served a warm summary
+	fillLeads  *obs.Counter // peer fill granted us the cluster claim
+	fillMisses *obs.Counter // peer fill found nothing (we solve locally)
+	fillErrors *obs.Counter // transport failures (fell back to local solve)
+	stores     *obs.Counter // write-through stores pushed to the owner
+	serves     *obs.Counter // server side: peer lookups answered with a hit
+	claims     *obs.Counter // server side: cluster claims granted to peers
+}
+
+func newPeerLayer(cfg *ClusterConfig, reg *obs.Registry) *peerLayer {
+	names := make([]string, 0, len(cfg.Nodes))
+	urls := make(map[string]string, len(cfg.Nodes))
+	for name, url := range cfg.Nodes {
+		names = append(names, name)
+		urls[name] = url
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 3 * time.Second}
+	}
+	waitMS := cfg.FillWaitMS
+	if waitMS <= 0 {
+		waitMS = 250
+	}
+	ttl := cfg.ClaimTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return &peerLayer{
+		self:   cfg.Self,
+		ring:   cluster.NewRing(names, cfg.VNodes),
+		urls:   urls,
+		client: client,
+		waitMS: waitMS,
+		ttl:    ttl,
+		claims: newPeerClaims(),
+		m: peerMetrics{
+			fillHits:   reg.Counter("peer_fill_hits_total"),
+			fillLeads:  reg.Counter("peer_fill_leads_total"),
+			fillMisses: reg.Counter("peer_fill_misses_total"),
+			fillErrors: reg.Counter("peer_fill_errors_total"),
+			stores:     reg.Counter("peer_stores_total"),
+			serves:     reg.Counter("peer_serves_total"),
+			claims:     reg.Counter("peer_claims_granted_total"),
+		},
+	}
+}
+
+// owner returns the name of the node owning a cache key.
+func (p *peerLayer) owner(key uint64) string { return p.ring.Owner(key) }
+
+// claimLocal takes the cluster claim for a key on this node's own claim
+// table when this node owns the key, so peers asking the owner wait for
+// the local solve instead of double-solving. Reports whether a claim was
+// taken (and must be released).
+func (p *peerLayer) claimLocal(key uint64) bool {
+	if p.owner(key) != p.self {
+		return false
+	}
+	granted, _ := p.claims.claim(key, p.ttl)
+	return granted
+}
+
+func (p *peerLayer) releaseLocal(key uint64) { p.claims.release(key) }
+
+// fill asks the key's home node for the cached summary before a local
+// solve. ok=true returns the warm summary (solved elsewhere, bit-identical
+// to a local solve by the cache contract). ok=false means this node should
+// solve: either it owns the key, or it was granted the cluster-wide claim,
+// or the peer protocol could not help (transport trouble, wait timeout) —
+// the cluster must never reduce availability, so every failure degrades to
+// the local solve path.
+func (p *peerLayer) fill(ctx context.Context, key uint64) (*Summary, bool) {
+	home := p.owner(key)
+	if home == p.self {
+		return nil, false
+	}
+	url := fmt.Sprintf("%s/v1/peer/cache/%s?claim=1&wait_ms=%d", p.urls[home], cluster.FormatKey(key), p.waitMS)
+	// Two tries: the first may time out waiting on an in-flight claimer;
+	// the second re-checks after that claimer's store or expiry.
+	for attempt := 0; attempt < 2; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			p.m.fillErrors.Inc()
+			return nil, false
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			p.m.fillErrors.Inc()
+			return nil, false
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			p.m.fillErrors.Inc()
+			return nil, false
+		}
+		var pr cluster.PeerCacheResponse
+		if json.Unmarshal(body, &pr) != nil {
+			p.m.fillErrors.Inc()
+			return nil, false
+		}
+		switch {
+		case pr.Found:
+			var sum Summary
+			if json.Unmarshal(pr.Summary, &sum) != nil {
+				p.m.fillErrors.Inc()
+				return nil, false
+			}
+			p.m.fillHits.Inc()
+			return &sum, true
+		case pr.Leader:
+			p.m.fillLeads.Inc()
+			return nil, false
+		}
+		// Neither found nor leader: another claimer is in flight and our
+		// wait timed out; loop once more, then solve locally.
+	}
+	p.m.fillMisses.Inc()
+	return nil, false
+}
+
+// store writes a completed summary through to the key's home node (no-op
+// when this node is the owner — the local cache.put already happened).
+// The owner's PUT handler stores the entry and releases any cluster claim
+// we held for the key. Failures are counted and ignored: the write-through
+// is an optimization, never a correctness requirement.
+func (p *peerLayer) store(ctx context.Context, key uint64, sum *Summary) {
+	home := p.owner(key)
+	if home == p.self {
+		return
+	}
+	body, err := json.Marshal(sum)
+	if err != nil {
+		return
+	}
+	url := fmt.Sprintf("%s/v1/peer/cache/%s", p.urls[home], cluster.FormatKey(key))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		p.m.fillErrors.Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.m.fillErrors.Inc()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		p.m.stores.Inc()
+	} else {
+		p.m.fillErrors.Inc()
+	}
+}
+
+// peerClaims is the owner-side cluster single-flight table: at most one
+// claimer per key solves at a time, cluster-wide. Claims expire after a
+// TTL so a crashed claimer (a killed node) cannot wedge the key — the
+// next claim after expiry is granted fresh, and the stale claim's waiters
+// time out on their bounded wait_ms and retry.
+type peerClaims struct {
+	mu sync.Mutex
+	m  map[uint64]*peerClaim
+}
+
+type peerClaim struct {
+	done    chan struct{}
+	expires time.Time
+}
+
+func newPeerClaims() *peerClaims {
+	return &peerClaims{m: make(map[uint64]*peerClaim)}
+}
+
+// claim grants the cluster claim for key (granted=true) or returns the
+// in-flight claim's done channel to wait on.
+func (p *peerClaims) claim(key uint64, ttl time.Duration) (granted bool, wait <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.m[key]; ok && time.Now().Before(c.expires) {
+		return false, c.done
+	}
+	p.m[key] = &peerClaim{done: make(chan struct{}), expires: time.Now().Add(ttl)}
+	return true, nil
+}
+
+// release drops the claim for key and wakes its waiters. Idempotent.
+func (p *peerClaims) release(key uint64) {
+	p.mu.Lock()
+	c := p.m[key]
+	delete(p.m, key)
+	p.mu.Unlock()
+	if c != nil {
+		close(c.done)
+	}
+}
+
+// peerCacheGet implements GET /v1/peer/cache/{key}: a cache hit returns
+// the stored summary; on a miss with ?claim=1 the caller either becomes
+// the cluster-wide single-flight leader or waits (bounded by wait_ms) for
+// the in-flight claimer and re-checks.
+func (s *Service) peerCacheGet(w http.ResponseWriter, r *http.Request) {
+	key, ok := cluster.ParseKey(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "bad cache key", http.StatusBadRequest)
+		return
+	}
+	if sum, ok := s.cache.get(key); ok {
+		s.peers.m.serves.Inc()
+		writePeerResponse(w, cluster.PeerCacheResponse{Found: true}, sum)
+		return
+	}
+	if r.URL.Query().Get("claim") == "" {
+		writePeerResponse(w, cluster.PeerCacheResponse{}, nil)
+		return
+	}
+	waitMS := 0
+	fmt.Sscanf(r.URL.Query().Get("wait_ms"), "%d", &waitMS)
+	if waitMS < 0 {
+		waitMS = 0
+	}
+	if waitMS > 5000 {
+		waitMS = 5000 // the wait is bounded so stale claims cannot pin peers
+	}
+	granted, wait := s.peers.claims.claim(key, s.peers.ttl)
+	if granted {
+		s.peers.m.claims.Inc()
+		writePeerResponse(w, cluster.PeerCacheResponse{Leader: true}, nil)
+		return
+	}
+	if waitMS > 0 {
+		t := time.NewTimer(time.Duration(waitMS) * time.Millisecond)
+		defer t.Stop()
+		select {
+		case <-wait:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	if sum, ok := s.cache.get(key); ok {
+		s.peers.m.serves.Inc()
+		writePeerResponse(w, cluster.PeerCacheResponse{Found: true}, sum)
+		return
+	}
+	writePeerResponse(w, cluster.PeerCacheResponse{}, nil)
+}
+
+// peerCachePut implements PUT /v1/peer/cache/{key}: a write-through store
+// from a peer that solved the key as the cluster-flight leader. The store
+// releases any claim held for the key, waking waiting peers.
+func (s *Service) peerCachePut(w http.ResponseWriter, r *http.Request) {
+	key, ok := cluster.ParseKey(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "bad cache key", http.StatusBadRequest)
+		return
+	}
+	var sum Summary
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	if err := dec.Decode(&sum); err != nil {
+		http.Error(w, "bad summary: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !sum.Partial {
+		s.cache.put(key, &sum)
+	}
+	s.peers.claims.release(key)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writePeerResponse(w http.ResponseWriter, pr cluster.PeerCacheResponse, sum *Summary) {
+	if sum != nil {
+		raw, err := json.Marshal(sum)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		pr.Summary = raw
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(pr)
+}
+
+// CheckpointExport is the wire format of GET /v1/jobs/{id}/checkpoint: the
+// job's latest saved snapshot plus everything needed to resume it in
+// another process — the normalized spec and the trace ID. ResumeSpec turns
+// it back into a submittable JobSpec.
+type CheckpointExport struct {
+	// ID / TraceID / State identify the exporting job.
+	ID      string `json:"id"`
+	TraceID string `json:"trace_id"`
+	State   State  `json:"state"`
+	// Found reports whether a checkpoint was ever saved; Checkpoint is nil
+	// otherwise (the job can still be re-run from scratch — determinism
+	// makes even that bit-identical).
+	Found      bool              `json:"found"`
+	Checkpoint *fault.Checkpoint `json:"checkpoint,omitempty"`
+	// Spec is the job's normalized spec.
+	Spec JobSpec `json:"spec"`
+}
+
+// ResumeSpec returns the spec that continues this export in another
+// process: the original spec with the checkpoint and trace carried over.
+func (e CheckpointExport) ResumeSpec() JobSpec {
+	js := e.Spec
+	js.Resume = e.Checkpoint
+	js.TraceID = e.TraceID
+	js.Batch = nil // batch jobs hold no resumable sub-state
+	return js
+}
+
+// exportCheckpoint implements GET /v1/jobs/{id}/checkpoint.
+func (s *Service) exportCheckpoint(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	cp := job.Checkpoint()
+	writeJSON(w, http.StatusOK, CheckpointExport{
+		ID:         job.ID,
+		TraceID:    job.TraceID,
+		State:      job.State(),
+		Found:      cp != nil,
+		Checkpoint: cp,
+		Spec:       job.Spec,
+	})
+}

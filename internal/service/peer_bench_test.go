@@ -1,0 +1,52 @@
+package service
+
+import (
+	"testing"
+)
+
+// BenchmarkCacheHitPath pins the serving-latency ladder the cluster tier
+// is built around: a warm resubmit served from the node's own result
+// cache ("local") versus the same warm entry pulled across the peer-fill
+// HTTP hop from its home node ("peer"). Both paths go through the full
+// job lifecycle — submit, queue, scheduler, event stream — so the delta
+// is exactly the price of a remote hit: one localhost round trip plus a
+// summary decode. The peer path must stay far below a re-solve (that is
+// the point of the fill), and the gate tracks both ns/op trajectories so
+// neither path silently gains a network- or lock-shaped regression.
+func BenchmarkCacheHitPath(b *testing.B) {
+	b.Run("local", func(b *testing.B) {
+		svcs, _ := clusterPair(b)
+		sa := svcs["a"]
+		seed, _ := seedOwnedBy(b, sa, "a")
+		js := cacheSpec(seed)
+		benchRun(b, sa, js) // cold solve warms the owner's cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if sum := benchRun(b, sa, js); !sum.CacheHit {
+				b.Fatal("warm resubmit on the owner missed the cache")
+			}
+		}
+	})
+
+	b.Run("peer", func(b *testing.B) {
+		svcs, _ := clusterPair(b)
+		sa, sb := svcs["a"], svcs["b"]
+		seed, key := seedOwnedBy(b, sa, "a")
+		js := cacheSpec(seed)
+		benchRun(b, sa, js) // warm the entry on its home node
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Evict the fill's local copy so every iteration misses on b
+			// and is served through the peer protocol again. The eviction
+			// puts are map operations, noise next to the HTTP round trip.
+			for k := uint64(0); k < 8; k++ {
+				if evict := ^k; evict != key {
+					sb.cache.put(evict, &Summary{Satisfied: true})
+				}
+			}
+			if sum := benchRun(b, sb, js); !sum.CacheHit {
+				b.Fatal("non-owner resubmit was not served by the peer fill")
+			}
+		}
+	})
+}

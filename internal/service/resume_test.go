@@ -1,0 +1,234 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// resumeSpec is the mtseq workload the cross-process resume test drives:
+// checkpointed every resampling so an interrupt can land anywhere.
+func resumeSpec(seed uint64) JobSpec {
+	return JobSpec{
+		Family: FamilySinkless, N: 24, Algorithm: AlgMTSeq, Seed: seed,
+		CheckpointEvery: 1,
+	}
+}
+
+// findResumeSeed picks a seed whose uninterrupted mtseq run needs enough
+// resamplings that cutting it off after interruptBudget leaves real work
+// for the resumed process, and returns that seed with its baseline summary.
+func findResumeSeed(t *testing.T, s *Service, interruptBudget int) (uint64, *Summary) {
+	t.Helper()
+	for seed := uint64(1); seed < 200; seed++ {
+		sum := runJob(t, s, resumeSpec(seed))
+		if sum.Satisfied && sum.Resamplings >= interruptBudget+3 {
+			return seed, sum
+		}
+	}
+	t.Fatalf("no seed in [1,200) needs more than %d resamplings", interruptBudget)
+	return 0, nil
+}
+
+// childOutput is what the re-exec'd resume process reports back.
+type childOutput struct {
+	TraceID string   `json:"trace_id"`
+	Result  *Summary `json:"result"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// TestCrossProcessCheckpointResume is the migration contract end to end
+// across real process boundaries: a job interrupted mid-run exports its
+// fault.Checkpoint over HTTP, a SECOND PROCESS (this test binary re-exec'd)
+// resumes it through its own service's HTTP API, and the resumed run's
+// final assignment is bit-identical — same AssignmentHash, same total
+// resampling count — to an uninterrupted run of the same spec in the first
+// process. The job's trace ID survives the migration.
+func TestCrossProcessCheckpointResume(t *testing.T) {
+	const interruptBudget = 5
+
+	// Uninterrupted baseline, solved entirely in this process.
+	baselineSvc := New(Config{QueueCap: 64, MaxInFlight: 2})
+	defer baselineSvc.Shutdown(context.Background())
+	seed, baseline := findResumeSeed(t, baselineSvc, interruptBudget)
+	if baseline.AssignmentHash == 0 {
+		t.Fatal("baseline run reported no assignment hash")
+	}
+
+	// Interrupted run: same spec, budget cut to interruptBudget, served
+	// over HTTP like a real node. The budget exhausts, the last checkpoint
+	// sits exactly at the cutoff, and the job finishes unsatisfied.
+	_, ts := newTestServer(t, Config{QueueCap: 64, MaxInFlight: 2})
+	spec := resumeSpec(seed)
+	spec.MaxResamplings = interruptBudget
+	body, _ := json.Marshal(spec)
+	v, resp := postJob(t, ts, string(body))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("interrupted submit status = %d", resp.StatusCode)
+	}
+	waitViewDone(t, ts, v.ID)
+
+	// Export the checkpoint over the wire — this JSON blob is all the
+	// second process gets.
+	cpResp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exportJSON, err := io.ReadAll(cpResp.Body)
+	cpResp.Body.Close()
+	if err != nil || cpResp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint export: status %d, err %v", cpResp.StatusCode, err)
+	}
+	var export CheckpointExport
+	if err := json.Unmarshal(exportJSON, &export); err != nil {
+		t.Fatalf("decoding export: %v", err)
+	}
+	if !export.Found || export.Checkpoint == nil {
+		t.Fatalf("no checkpoint in export: %s", exportJSON)
+	}
+	if export.Checkpoint.Resamplings != interruptBudget {
+		t.Fatalf("checkpoint at %d resamplings, want %d", export.Checkpoint.Resamplings, interruptBudget)
+	}
+
+	// Re-exec this test binary as the resuming process.
+	dir := t.TempDir()
+	exportPath := filepath.Join(dir, "export.json")
+	outPath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(exportPath, exportJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestResumeChildProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"LLL_RESUME_CHILD=1",
+		"LLL_RESUME_EXPORT="+exportPath,
+		"LLL_RESUME_OUT="+outPath,
+	)
+	var childLog bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childLog, &childLog
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("resume child failed: %v\n%s", err, childLog.String())
+	}
+	outJSON, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("child wrote no output: %v\n%s", err, childLog.String())
+	}
+	var out childOutput
+	if err := json.Unmarshal(outJSON, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "" {
+		t.Fatalf("child reported: %s", out.Error)
+	}
+
+	if out.TraceID != export.TraceID {
+		t.Errorf("trace ID not preserved across processes: %q -> %q", export.TraceID, out.TraceID)
+	}
+	if out.Result == nil || !out.Result.Satisfied {
+		t.Fatalf("resumed run not satisfied: %+v", out.Result)
+	}
+	if out.Result.AssignmentHash != baseline.AssignmentHash {
+		t.Errorf("resumed assignment hash %#x != uninterrupted baseline %#x",
+			out.Result.AssignmentHash, baseline.AssignmentHash)
+	}
+	if out.Result.Resamplings != baseline.Resamplings {
+		t.Errorf("resumed total resamplings %d != baseline %d",
+			out.Result.Resamplings, baseline.Resamplings)
+	}
+}
+
+// TestResumeChildProcess is not a standalone test: it is the second process
+// of TestCrossProcessCheckpointResume, re-exec'd with LLL_RESUME_CHILD=1.
+// It reads the CheckpointExport, submits the resume spec to its OWN service
+// over HTTP, and writes the terminal view to LLL_RESUME_OUT.
+func TestResumeChildProcess(t *testing.T) {
+	if os.Getenv("LLL_RESUME_CHILD") != "1" {
+		t.Skip("helper process for TestCrossProcessCheckpointResume")
+	}
+	outPath := os.Getenv("LLL_RESUME_OUT")
+	fail := func(format string, args ...any) {
+		blob, _ := json.Marshal(childOutput{Error: fmt.Sprintf(format, args...)})
+		os.WriteFile(outPath, blob, 0o644)
+		t.Fatalf(format, args...)
+	}
+	exportJSON, err := os.ReadFile(os.Getenv("LLL_RESUME_EXPORT"))
+	if err != nil {
+		fail("reading export: %v", err)
+	}
+	var export CheckpointExport
+	if err := json.Unmarshal(exportJSON, &export); err != nil {
+		fail("decoding export: %v", err)
+	}
+
+	spec := export.ResumeSpec()
+	spec.MaxResamplings = 0 // lift the interrupting budget: run to completion
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fail("encoding resume spec: %v", err)
+	}
+
+	_, ts := newTestServer(t, Config{QueueCap: 16, MaxInFlight: 2, Metrics: obs.NewRegistry()})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail("submitting resume job: %v", err)
+	}
+	var v View
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fail("resume submit status %d: %s", resp.StatusCode, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		resp.Body.Close()
+		fail("decoding job view: %v", err)
+	}
+	resp.Body.Close()
+	final := waitViewDone(t, ts, v.ID)
+
+	blob, err := json.MarshalIndent(childOutput{TraceID: final.TraceID, Result: final.Result}, "", "  ")
+	if err != nil {
+		fail("encoding output: %v", err)
+	}
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		fail("writing output: %v", err)
+	}
+}
+
+// waitViewDone polls the job view over HTTP until the job is terminal,
+// failing unless that terminal state is done.
+func waitViewDone(t *testing.T, ts *httptest.Server, id string) View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v View
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State.Terminal() {
+			if v.State != StateDone {
+				t.Fatalf("job %s ended %q (%s), want done", id, v.State, v.Error)
+			}
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, v.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -122,6 +122,12 @@ type Config struct {
 	// between attempts (see fault.Backoff); zero selects 100ms / 5s.
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// Cluster joins this service to a multi-node llld cluster: the node
+	// serves the peer cache/claim endpoints and, on a local cache miss for
+	// a key another node owns, asks that home node before solving. Nil
+	// (the default) runs standalone. Requires a result cache (CacheSize
+	// not negative).
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +184,9 @@ type Service struct {
 	flights *flightGroup
 	keys    *keyMemo
 	runOpts RunOptions
+
+	// peers is the cluster peer-cache layer (nil when standalone).
+	peers *peerLayer
 
 	m svcMetrics
 }
@@ -247,6 +256,15 @@ func New(cfg Config) *Service {
 		s.cache = newResultCache(cfg.CacheSize, cfg.Metrics)
 		s.flights = newFlightGroup(cfg.Metrics)
 		s.keys = newKeyMemo(4 * cfg.CacheSize)
+	}
+	if cfg.Cluster != nil {
+		if err := cfg.Cluster.validate(); err != nil {
+			panic(err) // misconfiguration, caught at daemon start
+		}
+		if s.cache == nil {
+			panic("service: Cluster requires the result cache (CacheSize >= 0)")
+		}
+		s.peers = newPeerLayer(cfg.Cluster, cfg.Metrics)
 	}
 	base := cfg.Runner
 	if base == nil {
@@ -412,6 +430,13 @@ func (s *Service) scheduler() {
 				}
 				s.m.checkpoints.Inc()
 				job.setCheckpoint(c)
+				if job.Spec.ExportCheckpoints {
+					// Stream the snapshot so a router (or any follower of the
+					// event stream) can resume the job elsewhere if this node
+					// dies before the next export poll.
+					s.m.events.Inc()
+					job.Emit(Event{Kind: "checkpoint", Attempt: attempt, Round: c.Round, Checkpoint: c.Clone()})
+				}
 			},
 		}
 		queueWait := job.queueTime()

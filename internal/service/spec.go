@@ -121,6 +121,28 @@ type JobSpec struct {
 	FaultCrashRate float64 `json:"fault_crash_rate,omitempty"`
 	FaultSeed      uint64  `json:"fault_seed,omitempty"`
 
+	// TraceID, when set, overrides the trace minted at admission, so a job
+	// migrated from another node keeps its original request trace end to
+	// end: the JSONL trace logs of both nodes and every NDJSON event carry
+	// one continuous ID. Must be empty or 1–64 URL-safe characters.
+	TraceID string `json:"trace_id,omitempty"`
+	// Resume seeds the job record with a checkpoint captured elsewhere
+	// (another process, another node): the first attempt resumes from it
+	// exactly as a local retry would, and — per the checkpoint contract —
+	// finishes bit-identically to the uninterrupted run. The checkpoint's
+	// algorithm tag must match the runtime or the run fails on restore.
+	Resume *fault.Checkpoint `json:"resume,omitempty"`
+	// ExportCheckpoints mirrors every saved checkpoint into the job's
+	// NDJSON event stream as "checkpoint" events (carrying the full
+	// serialized snapshot), so a router following the stream can capture
+	// the latest one and migrate the job to a surviving node. Requires
+	// CheckpointEvery > 0 to have any effect.
+	ExportCheckpoints bool `json:"export_checkpoints,omitempty"`
+	// PlacementKey overrides the spec-derived consistent-hash placement key
+	// (see PlacementKeyFor); 0 means derive. Routers use it to pin related
+	// jobs to one node.
+	PlacementKey uint64 `json:"placement_key,omitempty"`
+
 	// Cache opts this job into the service's canonical result cache: a
 	// completed Summary is stored under the instance's canonical hash
 	// (combined with algorithm, seed and budgets) and an identical later
@@ -252,10 +274,83 @@ func (s JobSpec) withDefaults() (JobSpec, error) {
 	if s.CheckpointEvery < 0 {
 		return s, fmt.Errorf("checkpoint_every = %d must be non-negative", s.CheckpointEvery)
 	}
+	if len(s.TraceID) > 64 {
+		return s, fmt.Errorf("trace_id longer than 64 characters")
+	}
+	for _, c := range s.TraceID {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_') {
+			return s, fmt.Errorf("trace_id contains non-URL-safe character %q", c)
+		}
+	}
+	if s.Resume != nil {
+		if want, ok := checkpointTag(s.Algorithm); !ok {
+			return s, fmt.Errorf("algorithm %q does not support checkpoint resume", s.Algorithm)
+		} else if s.Resume.Algorithm != "" && s.Resume.Algorithm != want {
+			return s, fmt.Errorf("resume checkpoint was taken by %q, algorithm %q resumes from %q",
+				s.Resume.Algorithm, s.Algorithm, want)
+		}
+	}
 	if err := s.faultPlan().Validate(); err != nil {
 		return s, err
 	}
 	return s, nil
+}
+
+// checkpointTag maps a spec algorithm to the tag its runtime stamps on
+// checkpoints, for Resume validation; ok is false for algorithms that
+// cannot resume (the LOCAL-model runtimes and oneshot).
+func checkpointTag(alg string) (string, bool) {
+	switch alg {
+	case AlgSeq:
+		return core.CheckpointFix, true
+	case AlgMTSeq:
+		return mt.CheckpointSeq, true
+	case AlgMTPar:
+		return mt.CheckpointPar, true
+	}
+	return "", false
+}
+
+// PlacementKeyFor returns the consistent-hash placement key of a spec: the
+// same spec-field fold the result cache uses, but WITHOUT the canonical
+// instance hash — a router must place jobs in O(spec), never build the
+// instance. Identical specs therefore always share a key (and a home
+// node), while WL-isomorphic-but-differently-encoded submissions may land
+// elsewhere and reach the warm entry through the peer cache-fill protocol
+// instead. A non-zero JobSpec.PlacementKey wins; batch jobs fold their
+// instances' keys so a resubmitted batch is placed with its cache entries.
+func PlacementKeyFor(js JobSpec) (uint64, error) {
+	js, err := js.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if js.PlacementKey != 0 {
+		return js.PlacementKey, nil
+	}
+	if len(js.Batch) > 0 {
+		k := prng.Mix64(uint64(len(js.Batch)) ^ 0xba7c4)
+		for _, sub := range js.Batch {
+			k = prng.Mix64(k ^ cacheKey(sub, 0))
+		}
+		return k, nil
+	}
+	return cacheKey(js, 0), nil
+}
+
+// assignmentHash folds a complete final assignment into one uint64 — the
+// cheap cross-process observable for "bit-identical result": a migrated
+// job resumed on another node must report the same hash as the
+// uninterrupted solo run. 0 for nil or partial assignments.
+func assignmentHash(a *model.Assignment) uint64 {
+	if a == nil || !a.Complete() {
+		return 0
+	}
+	values, _ := a.Values()
+	h := prng.Mix64(uint64(len(values)) ^ 0xa551)
+	for _, v := range values {
+		h = prng.Mix64(h ^ uint64(v))
+	}
+	return h
 }
 
 // buildInstance materializes the spec's instance (mirrors cmd/lllsolve).
@@ -405,6 +500,7 @@ func RunSpec(ctx context.Context, js JobSpec, att Attempt, emit func(Event), opt
 		if a == nil || !a.Complete() {
 			return nil // cancelled before completion: count stays -1
 		}
+		sum.AssignmentHash = assignmentHash(a)
 		v, err := inst.CountViolated(a)
 		if err != nil {
 			return err
@@ -427,6 +523,7 @@ func RunSpec(ctx context.Context, js JobSpec, att Attempt, emit func(Event), opt
 			if rerr == nil {
 				sum.ViolatedEvents = res.Stats.FinalViolatedEvents
 				sum.Satisfied = sum.ViolatedEvents == 0
+				sum.AssignmentHash = assignmentHash(res.Assignment)
 			}
 		}
 		return sum, rerr
@@ -448,6 +545,7 @@ func RunSpec(ctx context.Context, js JobSpec, att Attempt, emit func(Event), opt
 			if rerr == nil {
 				sum.ViolatedEvents = res.ViolatedEvents
 				sum.Satisfied = sum.ViolatedEvents == 0
+				sum.AssignmentHash = assignmentHash(res.Assignment)
 			}
 		}
 		return sum, rerr
@@ -490,12 +588,13 @@ func RunSpec(ctx context.Context, js JobSpec, att Attempt, emit func(Event), opt
 		}
 		return sum, rerr
 	case AlgOneShot:
-		_, violated, rerr := mt.OneShot(inst, prng.New(js.Seed))
+		a, violated, rerr := mt.OneShot(inst, prng.New(js.Seed))
 		if rerr != nil {
 			return sum, rerr
 		}
 		sum.ViolatedEvents = violated
 		sum.Satisfied = violated == 0
+		sum.AssignmentHash = assignmentHash(a)
 		return sum, nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", js.Algorithm)

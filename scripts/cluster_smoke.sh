@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Cluster smoke: three llld nodes behind one lllrouter, driven end to end
+# with real binaries. Asserts the PR-8 acceptance contract:
+#
+#   1. placement balance: 30 distinct jobs spread within 2x of the mean;
+#   2. cache locality: an isomorphic resubmission lands on the same node
+#      and is served from its cache without re-solving;
+#   3. fault tolerance: with 50 chaos jobs in flight and one long
+#      checkpointing job mid-run, SIGKILL the long job's node — zero jobs
+#      lost, the long job migrates with its checkpoint, keeps one trace ID
+#      across the move, and finishes with the same assignment hash as an
+#      uninterrupted run of the same spec.
+#
+# Run from the repository root: scripts/cluster_smoke.sh
+set -euo pipefail
+
+BIN=${BIN:-/tmp/cluster-smoke}
+LOG=${LOG:-/tmp/cluster-smoke/log}
+mkdir -p "$BIN" "$LOG"
+
+go build -o "$BIN/llld" ./cmd/llld
+go build -o "$BIN/lllrouter" ./cmd/lllrouter
+go build -o "$BIN/lllload" ./cmd/lllload
+
+ROUTER=http://127.0.0.1:18090
+NODES="a=http://127.0.0.1:18091,b=http://127.0.0.1:18092,c=http://127.0.0.1:18093"
+
+declare -A PORT=([a]=18091 [b]=18092 [c]=18093)
+declare -A PID
+cleanup() {
+  # Guard every kill: an unset pid must not become `kill 0` (process group).
+  for n in a b c; do
+    [ -n "${PID[$n]:-}" ] && kill "${PID[$n]}" 2>/dev/null || true
+  done
+  [ -n "${ROUTER_PID:-}" ] && kill "$ROUTER_PID" 2>/dev/null || true
+  [ -n "${LOAD_PID:-}" ] && kill "$LOAD_PID" 2>/dev/null || true
+  return 0
+}
+trap cleanup EXIT
+
+for n in a b c; do
+  "$BIN/llld" -addr "127.0.0.1:${PORT[$n]}" -queue 64 -inflight 4 -cache-size 256 \
+    -retries 3 -retry-backoff 20ms -retry-backoff-max 200ms \
+    -cluster-self "$n" -cluster-nodes "$NODES" > "$LOG/llld_$n.log" 2>&1 &
+  PID[$n]=$!
+done
+"$BIN/lllrouter" -addr 127.0.0.1:18090 -nodes "$NODES" -probe-interval 200ms \
+  > "$LOG/lllrouter.log" 2>&1 &
+ROUTER_PID=$!
+# Wait until the router has probed every node up, not just until it is
+# reachable: placement (and therefore the balance and locality phases)
+# must see the full membership, or the home node of a key may be skipped
+# as down and the test measures spill behavior instead.
+for i in $(seq 1 120); do
+  UP=$(curl -sf "$ROUTER/cluster" 2>/dev/null | grep -c '"state": *"up"' || true)
+  [ "$UP" = 3 ] && break
+  sleep 0.5
+done
+UP=$(curl -sf "$ROUTER/cluster" | grep -c '"state": *"up"')
+test "$UP" = 3 || { echo "FAIL: only $UP of 3 nodes came up"; exit 1; }
+
+# Helpers: submit a job through the router, wait for it to end, fetch views.
+submit() { # $1=spec json -> job id
+  curl -sf -X POST "$ROUTER/v1/jobs" -d "$1" | grep -o '"id": *"[^"]*"' | head -1 | cut -d'"' -f4
+}
+follow() { # $1=id -> full NDJSON stream (blocks to terminal)
+  curl -sf "$ROUTER/v1/jobs/$1/events"
+}
+view() { curl -sf "$ROUTER/v1/jobs/$1"; }
+field() { # $1=json $2=string field name
+  echo "$1" | tr ',{' '\n\n' | grep -o "\"$2\": *\"[^\"]*\"" | head -1 | cut -d'"' -f4
+}
+
+echo "== phase 1: placement balance over 30 distinct jobs =="
+"$BIN/lllload" -addr "$ROUTER" -cluster -c 6 -jobs 30 -duration 120s \
+  -spec '{"family":"sinkless","n":256,"degree":3,"margin":0.9,"algorithm":"mtpar"}' \
+  | tee "$LOG/load_balance.out"
+BAL=$(grep -o 'max/mean = [0-9.]*' "$LOG/load_balance.out" | grep -o '[0-9.]*$')
+test -n "$BAL"
+awk -v b="$BAL" 'BEGIN { exit !(b <= 2.0) }' \
+  || { echo "FAIL: per-node balance $BAL exceeds 2x the mean"; exit 1; }
+
+echo "== phase 2: cache locality across the cluster =="
+CSPEC='{"family":"sinkless","n":4096,"algorithm":"mtpar","seed":4242,"cache":true}'
+C1=$(submit "$CSPEC"); follow "$C1" > /dev/null
+V1=$(view "$C1")
+N1=$(field "$V1" node)
+C2=$(submit "$CSPEC"); follow "$C2" > /dev/null
+V2=$(view "$C2")
+N2=$(field "$V2" node)
+test -n "$N1" && test "$N1" = "$N2" \
+  || { echo "FAIL: isomorphic resubmission moved nodes ($N1 -> $N2)"; exit 1; }
+echo "$V2" | grep -q '"cache_hit": *true' \
+  || { echo "FAIL: isomorphic resubmission on $N2 re-solved instead of hitting the cache"; exit 1; }
+echo "resubmission stayed on node $N1 and hit its cache"
+
+echo "== phase 3: uninterrupted baseline of the long checkpointing job =="
+LSPEC='{"family":"sinkless","n":20000,"algorithm":"mtseq","seed":77,"checkpoint_every":200}'
+L0=$(submit "$LSPEC")
+follow "$L0" > "$LOG/long_baseline.ndjson"
+V0=$(view "$L0")
+HASH0=$(echo "$V0" | grep -o '"assignment_hash": *[0-9]*' | grep -o '[0-9]*$')
+VICTIM=$(field "$V0" node)
+test -n "$HASH0" && test -n "$VICTIM"
+echo "baseline done on node $VICTIM, assignment hash $HASH0"
+
+echo "== phase 4: 50 chaos jobs + SIGKILL node $VICTIM mid-run =="
+L1=$(submit "$LSPEC")   # same placement key -> lands on $VICTIM
+# Panic-only injection: panics are recoverable by retry (each attempt draws
+# an independent pattern), so chaos jobs exercise the retry machinery and
+# still complete; message drops would demonstrate designed give-up failures,
+# which is a different smoke (see the chaos step).
+"$BIN/lllload" -addr "$ROUTER" -cluster -c 8 -jobs 50 -duration 180s \
+  -chaos 0.5 -chaos-panic 0.01 -chaos-drop 0 \
+  -spec '{"family":"sinkless","n":256,"degree":3,"margin":0.9,"algorithm":"dist"}' \
+  > "$LOG/load_chaos.out" 2>&1 &
+LOAD_PID=$!
+sleep 4   # long job mid-run, chaos load in flight
+kill -9 "${PID[$VICTIM]}"
+echo "killed llld node $VICTIM (pid ${PID[$VICTIM]})"
+
+wait "$LOAD_PID" \
+  || { echo "FAIL: lllload lost jobs across the node kill"; cat "$LOG/load_chaos.out"; exit 1; }
+cat "$LOG/load_chaos.out"
+
+follow "$L1" > "$LOG/long_migrated.ndjson" || true
+V1=$(view "$L1")
+tail -1 "$LOG/long_migrated.ndjson" | grep -q '"state":"done"' \
+  || { echo "FAIL: migrated long job did not finish done"; tail -3 "$LOG/long_migrated.ndjson"; exit 1; }
+grep -q '"kind":"migrated"' "$LOG/long_migrated.ndjson" \
+  || { echo "FAIL: no migrated event on the long job's stream"; exit 1; }
+grep -q '"kind":"checkpoint"' "$LOG/long_migrated.ndjson" \
+  && { echo "FAIL: internal checkpoint event leaked to the client stream"; exit 1; }
+TRACES=$(grep -o '"trace":"[0-9a-f]*"' "$LOG/long_migrated.ndjson" | sort -u | wc -l)
+test "$TRACES" -eq 1 \
+  || { echo "FAIL: $TRACES distinct trace IDs across the migration, want 1"; exit 1; }
+HASH1=$(echo "$V1" | grep -o '"assignment_hash": *[0-9]*' | grep -o '[0-9]*$')
+test "$HASH1" = "$HASH0" \
+  || { echo "FAIL: migrated run hash $HASH1 != uninterrupted hash $HASH0"; exit 1; }
+echo "long job migrated off $VICTIM, one trace, bit-identical hash $HASH1"
+
+CLUSTER=$(curl -sf "$ROUTER/cluster")
+echo "$CLUSTER" | grep -q '"lost": *0' \
+  || { echo "FAIL: router reports lost jobs"; echo "$CLUSTER"; exit 1; }
+echo "$CLUSTER" | grep -qo '"migrations": *0' \
+  && { echo "FAIL: router reports zero migrations after a node kill"; exit 1; }
+
+# Federation keeps serving for the survivors, with node labels injected.
+curl -sf "$ROUTER/cluster/metrics" > "$LOG/federated.prom"
+for n in a b c; do
+  [ "$n" = "$VICTIM" ] && continue
+  grep -q "node=\"$n\"" "$LOG/federated.prom" \
+    || { echo "FAIL: federated metrics missing node=\"$n\" series"; exit 1; }
+done
+
+echo "cluster smoke: all phases passed (victim $VICTIM, balance $BAL)"
