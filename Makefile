@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-json bench-gate harness cover fuzz fuzz-short clean
+.PHONY: build test test-race vet vet-cluster bench bench-json bench-gate harness cover fuzz fuzz-short clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,15 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# Fast-fail gate over the cluster tier: vet plus a doubled race pass on the
+# membership/ring/detector/router packages. The failure detector and the
+# membership hot-reload are all timing and shared state — -count=2 reruns
+# every test with a warmed scheduler so ordering flakes surface here, not
+# in the full suite.
+vet-cluster:
+	$(GO) vet ./internal/cluster/...
+	$(GO) test -race -count=2 ./internal/cluster/...
 
 # Race-detector pass over the sharded execution engine and its consumers
 # (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers), the

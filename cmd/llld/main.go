@@ -30,6 +30,20 @@
 // serve their own cache to peers over /v1/peer/cache/:
 //
 //	llld -addr :8081 -cluster-self a -cluster-nodes a=http://127.0.0.1:8081,b=http://127.0.0.1:8082
+//
+// Join a running cluster at runtime — no restarts anywhere — by announcing
+// to any member (node or router); the previous owners of the joiner's ring
+// slice stream their matching warm-cache entries over:
+//
+//	llld -addr :8084 -cluster-self d -cluster-url http://127.0.0.1:8084 \
+//	     -cluster-join http://127.0.0.1:8081
+//
+// SIGTERM on a cluster member runs the planned-leave protocol before the
+// drain: cached entries stream to their next owners (reverse warm handoff)
+// and the membership without this node fans out. While alive, the k
+// hottest owned cache entries (-cluster-hot-replicas) are write-through
+// replicated to the ring successor so even a SIGKILL does not cold-start
+// them.
 package main
 
 import (
@@ -81,9 +95,15 @@ func run() error {
 	sloShort := flag.Duration("slo-window-short", 10*time.Second, "short burn-rate window")
 	sloLong := flag.Duration("slo-window-long", time.Minute, "long burn-rate window")
 	sloBurn := flag.Float64("slo-burn-factor", 2, "burn-rate factor that trips fast burn in both windows")
-	clusterSelf := flag.String("cluster-self", "", "this node's name in -cluster-nodes (empty: standalone)")
-	clusterNodes := flag.String("cluster-nodes", "", "cluster membership as name=url,name=url (requires -cluster-self)")
+	clusterSelf := flag.String("cluster-self", "", "this node's name in the cluster (empty: standalone)")
+	clusterNodes := flag.String("cluster-nodes", "", "boot membership as name=url,name=url (requires -cluster-self)")
+	clusterURL := flag.String("cluster-url", "", "this node's advertised base URL (alternative to listing self in -cluster-nodes)")
+	clusterJoin := flag.String("cluster-join", "", "announce a runtime join to this seed member URL (node or router) after serving starts")
 	clusterFillWait := flag.Int("cluster-fill-wait-ms", 0, "peer-fill wait for an in-flight solve on the home node (0: default)")
+	clusterHot := flag.Int("cluster-hot-replicas", 0, "replicate the k hottest owned cache entries to the ring successor (0: default 16, negative: off)")
+	clusterReplEvery := flag.Duration("cluster-replicate-interval", 0, "hot-entry replication cadence (0: default 2s)")
+	clusterHandoffChunk := flag.Int("cluster-handoff-chunk", 0, "warm-handoff entries per chunk (0: default 64)")
+	clusterHandoffRate := flag.Int("cluster-handoff-rate", 0, "warm-handoff rate bound in entries/second (0: default 4096)")
 	flag.Parse()
 
 	plan := fault.Plan{Seed: *injectSeed, PanicRate: *injectPanic, DropRate: *injectDrop, CrashRate: *injectCrash}
@@ -106,26 +126,36 @@ func run() error {
 		RetryBackoff:      *retryBackoff,
 		RetryBackoffMax:   *retryBackoffMax,
 	}
-	if (*clusterSelf == "") != (*clusterNodes == "") {
-		return fmt.Errorf("-cluster-self and -cluster-nodes must be set together")
+	if *clusterSelf == "" && (*clusterNodes != "" || *clusterJoin != "" || *clusterURL != "") {
+		return fmt.Errorf("-cluster-nodes/-cluster-url/-cluster-join require -cluster-self")
 	}
-	if *clusterNodes != "" {
-		nodes, err := parseNodes(*clusterNodes)
-		if err != nil {
-			return err
+	if *clusterSelf != "" {
+		nodes := map[string]string{}
+		if *clusterNodes != "" {
+			var err error
+			if nodes, err = parseNodes(*clusterNodes); err != nil {
+				return err
+			}
+		}
+		if *clusterURL != "" {
+			nodes[*clusterSelf] = strings.TrimSuffix(*clusterURL, "/")
 		}
 		if _, ok := nodes[*clusterSelf]; !ok {
-			return fmt.Errorf("-cluster-self %q not present in -cluster-nodes", *clusterSelf)
+			return fmt.Errorf("-cluster-self %q needs its URL: list it in -cluster-nodes or give -cluster-url", *clusterSelf)
 		}
 		if *cacheSize < 0 {
 			return fmt.Errorf("cluster membership requires the result cache (-cache-size >= 0)")
 		}
 		cfg.Cluster = &service.ClusterConfig{
-			Self:       *clusterSelf,
-			Nodes:      nodes,
-			FillWaitMS: *clusterFillWait,
+			Self:              *clusterSelf,
+			Nodes:             nodes,
+			FillWaitMS:        *clusterFillWait,
+			HotReplicas:       *clusterHot,
+			ReplicateInterval: *clusterReplEvery,
+			HandoffChunk:      *clusterHandoffChunk,
+			HandoffRate:       *clusterHandoffRate,
 		}
-		log.Printf("llld: cluster member %q of %d nodes, peer cache fill live", *clusterSelf, len(nodes))
+		log.Printf("llld: cluster member %q of %d boot nodes, peer cache fill live", *clusterSelf, len(nodes))
 	}
 	if *sloOn {
 		cfg.SLO = slo.NewEngine(slo.Config{
@@ -177,6 +207,22 @@ func run() error {
 		errCh <- nil
 	}()
 
+	if *clusterJoin != "" {
+		// Announce only once our own listener answers: the seed's fan-out
+		// makes previous owners stream warm-cache handoffs at us
+		// immediately, and chunks sent before we listen degrade to misses.
+		go func() {
+			joinCtx, joinCancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer joinCancel()
+			waitSelfReady(joinCtx, cfg.Cluster.Nodes[*clusterSelf])
+			if err := svc.AnnounceJoin(joinCtx, strings.TrimSuffix(*clusterJoin, "/")); err != nil {
+				log.Printf("llld: join announce to %s failed (serving standalone until membership reaches us): %v", *clusterJoin, err)
+				return
+			}
+			log.Printf("llld: joined cluster via %s", *clusterJoin)
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -188,6 +234,13 @@ func run() error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if cfg.Cluster != nil {
+		// Planned leave: reverse warm handoff, then the membership without
+		// this node fans out — peers stop routing here with warm caches.
+		// Runs inside the drain budget and never blocks the shutdown.
+		svc.LeaveCluster(ctx)
+		log.Printf("llld: left cluster (warm handoff pushed, membership fanned out)")
+	}
 	if err := svc.Shutdown(ctx); err != nil {
 		log.Printf("llld: drain budget exceeded, running jobs cancelled: %v", err)
 	} else {
@@ -202,6 +255,27 @@ func run() error {
 	}
 	log.Printf("llld: bye")
 	return <-errCh
+}
+
+// waitSelfReady polls this node's own advertised /healthz until it answers
+// (any status: the listener is up) or the context expires — the gate before
+// announcing a join, so handoff chunks are not fired at a closed port.
+func waitSelfReady(ctx context.Context, selfURL string) {
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, selfURL+"/healthz", nil)
+		if err != nil {
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
 }
 
 // parseNodes parses "a=http://host:1,b=http://host:2" into a membership map.

@@ -624,6 +624,7 @@ func reportCluster(client *http.Client, addr string) error {
 		return fmt.Errorf("cluster report: GET /cluster answered %d (is -addr an lllrouter?)", resp.StatusCode)
 	}
 	var cs struct {
+		Epoch int64 `json:"epoch"`
 		Nodes []struct {
 			Name  string `json:"name"`
 			State string `json:"state"`
@@ -644,18 +645,29 @@ func reportCluster(client *http.Client, addr string) error {
 			max = n
 		}
 	}
-	mean := 0.0
-	if len(cs.Nodes) > 0 {
-		mean = float64(total) / float64(len(cs.Nodes))
+	// The balance denominator is the LIVE membership the router reports
+	// right now — the cluster is elastic, so the node count at boot means
+	// nothing. Down nodes take no traffic; counting them would flatter the
+	// spread.
+	live := 0
+	for _, n := range cs.Nodes {
+		if n.State != "down" {
+			live++
+		}
 	}
-	fmt.Printf("cluster:     %d nodes, %d jobs routed, %d migrations, %d lost\n",
-		len(cs.Nodes), cs.Jobs, cs.Migrations, cs.Lost)
+	mean := 0.0
+	if live > 0 {
+		mean = float64(total) / float64(live)
+	}
+	fmt.Printf("cluster:     %d nodes (%d live), epoch %d, %d jobs routed, %d migrations, %d lost\n",
+		len(cs.Nodes), live, cs.Epoch, cs.Jobs, cs.Migrations, cs.Lost)
 	sort.Slice(cs.Nodes, func(i, j int) bool { return cs.Nodes[i].Name < cs.Nodes[j].Name })
 	for _, n := range cs.Nodes {
 		fmt.Printf("  node %-8s %-8s jobs=%d\n", n.Name, n.State, cs.PerNode[n.Name])
 	}
 	if mean > 0 {
-		fmt.Printf("balance:     max/mean = %.2f (max %d over mean %.1f)\n", float64(max)/mean, max, mean)
+		fmt.Printf("balance:     max/mean = %.2f over %d live nodes (max %d over mean %.1f)\n",
+			float64(max)/mean, live, max, mean)
 	}
 	return nil
 }

@@ -14,11 +14,20 @@
 // bit-identically to an uninterrupted run. The move is visible as a
 // synthetic "migrated" event.
 //
-// Cluster-wide views:
+// Membership is elastic: a threshold failure detector drives nodes
+// up→suspect→down on consecutive probe failures (suspect is deprioritized,
+// down is skipped outright; flapping nodes are damped at suspect), and the
+// member set hot-reloads without a restart — POST /cluster/members applies
+// an admin join/leave and fans the new epoch out to every node, while an
+// anti-entropy loop polls the nodes' own GET /cluster and adopts any newer
+// epoch it finds (so a join announced to a node also reaches the router).
 //
-//	GET /cluster          membership, health, per-node load, migration totals
-//	GET /cluster/metrics  every node's /metrics, node="..." labels injected
-//	GET /cluster/slo      every node's /slo keyed by node name
+// Cluster-wide views and admin:
+//
+//	GET  /cluster          membership, health, per-node load, migration totals
+//	POST /cluster/members  runtime join/leave: {"action":"join","name":"d","url":"http://..."}
+//	GET  /cluster/metrics  every node's /metrics, node="..." labels injected
+//	GET  /cluster/slo      every node's /slo keyed by node name
 //
 // Usage:
 //
@@ -38,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cluster/router"
 	"repro/internal/obs"
 )
@@ -57,6 +67,12 @@ func run() error {
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "node health/load poll period")
 	maxMigrations := flag.Int("max-migrations", 3, "per-job migration budget before the job is failed")
 	retention := flag.Int("retention", 1024, "finished routed jobs kept")
+	suspectAfter := flag.Int("suspect-after", 0, "consecutive probe failures before a node turns suspect (0: default 1)")
+	downAfter := flag.Int("down-after", 0, "consecutive probe failures before a node turns down (0: default 3)")
+	flapWindow := flag.Duration("flap-window", 0, "window over which down→up recoveries count as flapping (0: default 60s)")
+	flapMax := flag.Int("flap-max", 0, "recoveries inside -flap-window before damping holds the node at suspect (0: default 3)")
+	dampHold := flag.Duration("damp-hold", 0, "how long a flapping node is held at suspect after recovering (0: default 5s)")
+	syncInterval := flag.Duration("sync-interval", 0, "anti-entropy membership sync period against the nodes' GET /cluster (0: 4×probe-interval)")
 	flag.Parse()
 
 	if *nodesFlag == "" {
@@ -76,6 +92,14 @@ func run() error {
 		MaxMigrations:     *maxMigrations,
 		Retention:         *retention,
 		Metrics:           reg,
+		SyncInterval:      *syncInterval,
+		Detector: cluster.DetectorConfig{
+			SuspectAfter: *suspectAfter,
+			DownAfter:    *downAfter,
+			FlapWindow:   *flapWindow,
+			FlapMax:      *flapMax,
+			DampHold:     *dampHold,
+		},
 	})
 	if err != nil {
 		return err

@@ -8,18 +8,27 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// NodeState is a member's health as seen by the prober.
+// NodeState is a member's health as seen by the failure detector.
 type NodeState string
 
 const (
-	// StateUp: /healthz answered 200.
+	// StateUp: /healthz answered 200 and the node is not flap-damped.
 	StateUp NodeState = "up"
+	// StateSuspect: the detector has seen probe failures (fewer than
+	// DetectorConfig.DownAfter consecutive ones), or the node recently
+	// flapped and is being held back before full re-admission. Suspect
+	// nodes still accept work — they are deprioritized, not excluded.
+	StateSuspect NodeState = "suspect"
 	// StateDraining: /healthz answered 503 — the node is shutting down
 	// gracefully; in-flight jobs finish but new ones are refused.
 	StateDraining NodeState = "draining"
-	// StateDown: the probe could not reach the node at all.
+	// StateDown: DownAfter consecutive probes failed (or the caller
+	// confirmed the node dead). Down nodes are excluded from placement
+	// and from the bounded-load baseline until a probe succeeds again.
 	StateDown NodeState = "down"
 	// StateUnknown: never probed yet. Placement treats unknown as up so a
 	// router is usable before its first poll completes.
@@ -27,16 +36,68 @@ const (
 )
 
 // Usable reports whether a placement decision may send new work to a node
-// in this state.
-func (s NodeState) Usable() bool { return s == StateUp || s == StateUnknown }
+// in this state. Suspect nodes remain usable: a single missed probe must
+// not shed a node that is still answering requests — only the down
+// transition excludes it.
+func (s NodeState) Usable() bool {
+	return s == StateUp || s == StateUnknown || s == StateSuspect
+}
+
+// DetectorConfig shapes the threshold failure detector that drives the
+// up → suspect → down → up transitions. The zero value selects the
+// defaults noted on each field.
+type DetectorConfig struct {
+	// SuspectAfter is the number of consecutive probe failures that turns
+	// an up node suspect (default 1).
+	SuspectAfter int
+	// DownAfter is the number of consecutive probe failures that turns a
+	// node down (default 3). With a poll interval of I the suspicion
+	// window — the longest a dead node stays routable — is DownAfter × I
+	// plus one probe timeout.
+	DownAfter int
+	// FlapWindow and FlapMax damp flapping: when a node completes its
+	// FlapMax'th down → up recovery inside FlapWindow, it is re-admitted
+	// as suspect (deprioritized) instead of up. Defaults: 60s window,
+	// 3 recoveries.
+	FlapWindow time.Duration
+	FlapMax    int
+	// DampHold is how long a flap-damped node is held at suspect after
+	// its latest recovery before a successful probe promotes it back to
+	// up (default 5s).
+	DampHold time.Duration
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.DownAfter < c.SuspectAfter {
+		c.DownAfter = c.SuspectAfter
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 60 * time.Second
+	}
+	if c.FlapMax <= 0 {
+		c.FlapMax = 3
+	}
+	if c.DampHold <= 0 {
+		c.DampHold = 5 * time.Second
+	}
+	return c
+}
 
 // NodeStatus is one member's health and load snapshot.
 type NodeStatus struct {
 	// Name / URL identify the member.
 	Name string `json:"name"`
 	URL  string `json:"url"`
-	// State is the last probe's verdict.
+	// State is the failure detector's current verdict.
 	State NodeState `json:"state"`
+	// Fails is the consecutive probe-failure count feeding the detector.
+	Fails int `json:"fails,omitempty"`
 	// Queue / Running are the node's service_queue_depth and
 	// service_jobs_running gauges from its /debug/vars snapshot (0 when the
 	// node is unreachable or does not export them).
@@ -52,33 +113,130 @@ type NodeStatus struct {
 	LastProbe time.Time `json:"last_probe"`
 }
 
-// Members tracks the health and load of a fixed set of nodes. Probing is
-// explicit (Poll) or background (Start/Stop); the outstanding counters are
-// updated by the caller as it routes and completes jobs. Safe for
-// concurrent use.
+// member is the detector's per-node record: the exported status plus the
+// flap history that drives damping.
+type member struct {
+	NodeStatus
+	recoveries  []time.Time // down→up transition times inside FlapWindow
+	dampedUntil time.Time   // while in the future, successes yield suspect
+}
+
+// Members tracks the health and load of a dynamic set of nodes: a
+// threshold failure detector over periodic health probes, caller-reported
+// wire failures, and caller-side outstanding-job counters. Membership
+// changes at runtime through SetNodes. Safe for concurrent use.
 type Members struct {
 	client *http.Client
 
 	mu     sync.Mutex
-	status map[string]*NodeStatus
+	cfg    DetectorConfig
+	status map[string]*member
 	names  []string
 	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	// detector metrics (nil-safe when Instrument was never called)
+	mSuspects   *obs.Counter
+	mDowns      *obs.Counter
+	mRecoveries *obs.Counter
+	mDamped     *obs.Counter
+	mFailures   *obs.Counter
+	mMembers    *obs.Gauge
+	mMembersUp  *obs.Gauge
+	mMembersDn  *obs.Gauge
 }
 
 // NewMembers builds the membership table for nodes (name → base URL).
-// client may be nil (a 2s-timeout default is used).
+// client may be nil (a 2s-timeout default is used). The failure detector
+// runs with default thresholds until SetDetector overrides them.
 func NewMembers(nodes map[string]string, client *http.Client) *Members {
 	if client == nil {
 		client = &http.Client{Timeout: 2 * time.Second}
 	}
-	m := &Members{client: client, status: make(map[string]*NodeStatus, len(nodes))}
+	m := &Members{client: client, cfg: DetectorConfig{}.withDefaults(), status: make(map[string]*member, len(nodes))}
 	for name, url := range nodes {
-		m.status[name] = &NodeStatus{Name: name, URL: url, State: StateUnknown}
+		m.status[name] = &member{NodeStatus: NodeStatus{Name: name, URL: url, State: StateUnknown}}
 		m.names = append(m.names, name)
 	}
 	sort.Strings(m.names)
 	return m
+}
+
+// SetDetector replaces the failure-detector thresholds (zero fields take
+// their defaults). Existing per-node state is kept.
+func (m *Members) SetDetector(cfg DetectorConfig) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg = cfg.withDefaults()
+}
+
+// Instrument registers the detector's cluster_* metrics on reg. Safe to
+// skip (all instruments stay nil and every update is a no-op).
+func (m *Members) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mSuspects = reg.Counter("cluster_suspects_total")
+	m.mDowns = reg.Counter("cluster_downs_total")
+	m.mRecoveries = reg.Counter("cluster_recoveries_total")
+	m.mDamped = reg.Counter("cluster_flap_damped_total")
+	m.mFailures = reg.Counter("cluster_probe_failures_total")
+	m.mMembers = reg.Gauge("cluster_members")
+	m.mMembersUp = reg.Gauge("cluster_members_up")
+	m.mMembersDn = reg.Gauge("cluster_members_down")
+	m.refreshGaugesLocked()
+}
+
+// refreshGaugesLocked recomputes the membership gauges after a transition
+// or a membership change. Callers hold m.mu.
+func (m *Members) refreshGaugesLocked() {
+	if m.mMembers == nil {
+		return
+	}
+	up, down := 0, 0
+	for _, st := range m.status {
+		switch st.State {
+		case StateDown:
+			down++
+		case StateUp, StateUnknown, StateSuspect:
+			up++
+		}
+	}
+	m.mMembers.Set(float64(len(m.status)))
+	m.mMembersUp.Set(float64(up))
+	m.mMembersDn.Set(float64(down))
+}
+
+// SetNodes replaces the member set: new names join as StateUnknown,
+// departed names are dropped (their probe history with them), URLs of
+// surviving members are refreshed. Existing health state survives.
+func (m *Members) SetNodes(nodes map[string]string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, url := range nodes {
+		if st, ok := m.status[name]; ok {
+			st.URL = url
+			continue
+		}
+		m.status[name] = &member{NodeStatus: NodeStatus{Name: name, URL: url, State: StateUnknown}}
+	}
+	for name := range m.status {
+		if _, ok := nodes[name]; !ok {
+			delete(m.status, name)
+		}
+	}
+	m.names = m.names[:0]
+	for name := range m.status {
+		m.names = append(m.names, name)
+	}
+	sort.Strings(m.names)
+	m.refreshGaugesLocked()
+}
+
+// Names returns the current member names, sorted.
+func (m *Members) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.names...)
 }
 
 // URL returns the base URL of a member ("" for unknown names).
@@ -124,19 +282,16 @@ func (m *Members) Outstanding(name string) int64 {
 }
 
 // MeanOutstanding returns the mean in-flight count over the usable
-// members (all members when none is usable), the bounded-load baseline.
+// members — the bounded-load baseline. Down and draining nodes are
+// excluded so a dead node's stranded counter cannot distort the balance
+// target; when no member is usable the mean is 0 (there is no meaningful
+// baseline to bound against).
 func (m *Members) MeanOutstanding() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sum, n float64
 	for _, st := range m.status {
 		if st.State.Usable() {
-			sum += float64(st.Outstanding)
-			n++
-		}
-	}
-	if n == 0 {
-		for _, st := range m.status {
 			sum += float64(st.Outstanding)
 			n++
 		}
@@ -153,33 +308,125 @@ func (m *Members) Snapshot() []NodeStatus {
 	defer m.mu.Unlock()
 	out := make([]NodeStatus, 0, len(m.names))
 	for _, name := range m.names {
-		out = append(out, *m.status[name])
+		out = append(out, m.status[name].NodeStatus)
 	}
 	return out
 }
 
-// MarkDown forces a member to StateDown immediately — the router calls it
-// when a request to the node fails, so placement reacts faster than the
-// next poll tick. The next successful probe restores it.
+// ReportFailure feeds one caller-observed wire failure (connection
+// refused, broken stream) into the detector, as if a probe had failed.
+// A single report turns the node suspect; repeated reports (or failed
+// probes) accumulate to down — so the router reacts to hard evidence
+// faster than the poll cadence without a lone timeout shedding a node.
+func (m *Members) ReportFailure(name string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recordFailureLocked(name, err)
+}
+
+// MarkDown forces a member straight to StateDown — for callers holding
+// conclusive evidence (a direct probe just failed after a stream broke).
+// The next successful probe restores it through the normal recovery path.
 func (m *Members) MarkDown(name string, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if st, ok := m.status[name]; ok {
-		st.State = StateDown
-		if err != nil {
-			st.Err = err.Error()
-		}
-		st.LastProbe = time.Now()
+	st, ok := m.status[name]
+	if !ok {
+		return
 	}
+	if st.Fails < m.cfg.DownAfter {
+		st.Fails = m.cfg.DownAfter
+	}
+	if st.State != StateDown {
+		st.State = StateDown
+		m.mDowns.Inc()
+	}
+	if err != nil {
+		st.Err = err.Error()
+	}
+	st.LastProbe = time.Now()
+	m.refreshGaugesLocked()
 }
 
-// Poll probes every member once, in parallel: /healthz decides the state
-// (200 up, 503 draining, unreachable down) and /debug/vars refreshes the
-// queue/running gauges of reachable nodes.
+// recordFailureLocked advances the detector on one failed probe/report.
+func (m *Members) recordFailureLocked(name string, err error) {
+	st, ok := m.status[name]
+	if !ok {
+		return
+	}
+	m.mFailures.Inc()
+	st.Fails++
+	if err != nil {
+		st.Err = err.Error()
+	}
+	st.LastProbe = time.Now()
+	switch {
+	case st.Fails >= m.cfg.DownAfter:
+		if st.State != StateDown {
+			st.State = StateDown
+			m.mDowns.Inc()
+		}
+	case st.Fails >= m.cfg.SuspectAfter:
+		if st.State != StateSuspect && st.State != StateDown {
+			st.State = StateSuspect
+			m.mSuspects.Inc()
+		}
+	}
+	m.refreshGaugesLocked()
+}
+
+// recordSuccessLocked advances the detector on one successful probe
+// (observed is StateUp or StateDraining). A down node recovering inside
+// the flap window too many times is re-admitted as suspect for DampHold
+// instead of up, so a flapping node cannot yo-yo its ring slice.
+func (m *Members) recordSuccessLocked(name string, observed NodeState, queue, running float64) {
+	st, ok := m.status[name]
+	if !ok {
+		return
+	}
+	now := time.Now()
+	wasDown := st.State == StateDown
+	st.Fails = 0
+	st.Err = ""
+	st.Queue = queue
+	st.Running = running
+	st.LastProbe = now
+	if wasDown {
+		m.mRecoveries.Inc()
+		// Prune the flap history to the window, then record this recovery.
+		kept := st.recoveries[:0]
+		for _, t := range st.recoveries {
+			if now.Sub(t) <= m.cfg.FlapWindow {
+				kept = append(kept, t)
+			}
+		}
+		st.recoveries = append(kept, now)
+		if len(st.recoveries) >= m.cfg.FlapMax {
+			st.dampedUntil = now.Add(m.cfg.DampHold)
+			m.mDamped.Inc()
+		}
+	}
+	switch {
+	case observed == StateDraining:
+		st.State = StateDraining
+	case now.Before(st.dampedUntil):
+		if st.State != StateSuspect {
+			st.State = StateSuspect
+			m.mSuspects.Inc()
+		}
+	default:
+		st.State = StateUp
+	}
+	m.refreshGaugesLocked()
+}
+
+// Poll probes every member once, in parallel: /healthz decides the probe
+// verdict (200 up, 503 draining, unreachable a failure) and /debug/vars
+// refreshes the queue/running gauges of reachable nodes. The verdicts
+// feed the threshold detector; a node is only marked down after
+// DetectorConfig.DownAfter consecutive failures.
 func (m *Members) Poll(ctx context.Context) {
-	m.mu.Lock()
-	names := append([]string(nil), m.names...)
-	m.mu.Unlock()
+	names := m.Names()
 	var wg sync.WaitGroup
 	for _, name := range names {
 		wg.Add(1)
@@ -193,6 +440,9 @@ func (m *Members) Poll(ctx context.Context) {
 
 func (m *Members) probe(ctx context.Context, name string) {
 	url := m.URL(name)
+	if url == "" {
+		return // removed while the poll was in flight
+	}
 	state, err := m.probeHealth(ctx, url)
 	var queue, running float64
 	if state != StateDown {
@@ -200,21 +450,15 @@ func (m *Members) probe(ctx context.Context, name string) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st, ok := m.status[name]
-	if !ok {
+	if state == StateDown {
+		m.recordFailureLocked(name, err)
 		return
 	}
-	st.State = state
-	st.Queue = queue
-	st.Running = running
-	st.LastProbe = time.Now()
-	if err != nil {
-		st.Err = err.Error()
-	} else {
-		st.Err = ""
-	}
+	m.recordSuccessLocked(name, state, queue, running)
 }
 
+// probeHealth asks /healthz: 200 is up, 503 is draining, anything else —
+// including transport failure — is a probe failure.
 func (m *Members) probeHealth(ctx context.Context, url string) (NodeState, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
 	if err != nil {

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flakySrv is a health endpoint whose availability tests flip at will.
+func flakySrv(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			// Hijack and slam the connection so the probe sees a transport
+			// error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &healthy
+}
+
+func TestDetectorSuspectThenDownThenRecover(t *testing.T) {
+	srv, healthy := flakySrv(t)
+	m := NewMembers(map[string]string{"n": srv.URL}, nil)
+	m.SetDetector(DetectorConfig{SuspectAfter: 1, DownAfter: 3})
+
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateUp {
+		t.Fatalf("healthy probe → %v, want up", st)
+	}
+
+	healthy.Store(false)
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateSuspect {
+		t.Fatalf("1 failure → %v, want suspect", st)
+	}
+	if !m.State("n").Usable() {
+		t.Fatal("suspect must stay usable — one missed probe must not shed a live node")
+	}
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateSuspect {
+		t.Fatalf("2 failures → %v, want suspect (DownAfter=3)", st)
+	}
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateDown {
+		t.Fatalf("3 failures → %v, want down", st)
+	}
+	if m.State("n").Usable() {
+		t.Fatal("down must not be usable")
+	}
+
+	// Recovery: one good probe re-admits the node with no restart anywhere.
+	healthy.Store(true)
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateUp {
+		t.Fatalf("recovered probe → %v, want up", st)
+	}
+}
+
+func TestDetectorNeverDownWhileAnswering(t *testing.T) {
+	// Acceptance invariant: a node answering every probe is never marked
+	// down (nor suspect), no matter how many polls run.
+	srv, _ := flakySrv(t)
+	m := NewMembers(map[string]string{"n": srv.URL}, nil)
+	for i := 0; i < 20; i++ {
+		m.Poll(t.Context())
+		if st := m.State("n"); st != StateUp {
+			t.Fatalf("poll %d: answering node state = %v", i, st)
+		}
+	}
+}
+
+func TestDetectorReportFailureAccumulates(t *testing.T) {
+	// Caller-observed wire failures feed the same threshold: the router's
+	// connection-refused evidence accelerates detection between polls.
+	m := NewMembers(map[string]string{"n": "http://127.0.0.1:1"}, nil)
+	m.SetDetector(DetectorConfig{SuspectAfter: 1, DownAfter: 3})
+	m.ReportFailure("n", fmt.Errorf("connection refused"))
+	if st := m.State("n"); st != StateSuspect {
+		t.Fatalf("1 report → %v, want suspect", st)
+	}
+	m.ReportFailure("n", fmt.Errorf("connection refused"))
+	m.ReportFailure("n", fmt.Errorf("connection refused"))
+	if st := m.State("n"); st != StateDown {
+		t.Fatalf("3 reports → %v, want down", st)
+	}
+	m.ReportFailure("missing", nil) // unknown member: no-op, no panic
+}
+
+func TestDetectorFlapDamping(t *testing.T) {
+	srv, healthy := flakySrv(t)
+	m := NewMembers(map[string]string{"n": srv.URL}, nil)
+	m.SetDetector(DetectorConfig{
+		SuspectAfter: 1,
+		DownAfter:    1,
+		FlapWindow:   time.Minute,
+		FlapMax:      2,
+		DampHold:     200 * time.Millisecond,
+	})
+
+	// First down→up cycle: clean recovery to up.
+	healthy.Store(false)
+	m.Poll(t.Context())
+	healthy.Store(true)
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateUp {
+		t.Fatalf("first recovery → %v, want up", st)
+	}
+
+	// Second cycle inside the window trips FlapMax: held at suspect.
+	healthy.Store(false)
+	m.Poll(t.Context())
+	healthy.Store(true)
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateSuspect {
+		t.Fatalf("flapping recovery → %v, want suspect (damped)", st)
+	}
+	if !m.State("n").Usable() {
+		t.Fatal("damped node must stay usable, just deprioritized")
+	}
+
+	// After DampHold expires a successful probe promotes it back to up.
+	time.Sleep(250 * time.Millisecond)
+	m.Poll(t.Context())
+	if st := m.State("n"); st != StateUp {
+		t.Fatalf("post-hold probe → %v, want up", st)
+	}
+}
+
+func TestMembersSetNodesDynamic(t *testing.T) {
+	srv, _ := flakySrv(t)
+	m := NewMembers(map[string]string{"a": srv.URL, "b": "http://127.0.0.1:1"}, nil)
+	m.SetDetector(DetectorConfig{DownAfter: 1})
+	m.Poll(t.Context())
+	if st := m.State("a"); st != StateUp {
+		t.Fatalf("a = %v", st)
+	}
+	if st := m.State("b"); st != StateDown {
+		t.Fatalf("b = %v", st)
+	}
+
+	// Join c, drop b: a's probe history must survive, c starts unknown,
+	// b is forgotten entirely.
+	m.SetNodes(map[string]string{"a": srv.URL, "c": srv.URL})
+	if got := m.Names(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("names after SetNodes = %v", got)
+	}
+	if st := m.State("a"); st != StateUp {
+		t.Fatalf("a lost its state across SetNodes: %v", st)
+	}
+	if st := m.State("c"); st != StateUnknown {
+		t.Fatalf("joined c = %v, want unknown", st)
+	}
+	if st := m.State("b"); st != StateDown {
+		t.Fatalf("departed b = %v, want down (unknown names read down)", st)
+	}
+	if url := m.URL("b"); url != "" {
+		t.Fatalf("departed b still has URL %q", url)
+	}
+	m.Poll(t.Context())
+	if st := m.State("c"); st != StateUp {
+		t.Fatalf("c after probe = %v", st)
+	}
+}
+
+func TestMembersConcurrentProbesAndReports(t *testing.T) {
+	// Race hygiene: polls, wire-failure reports, membership swaps and
+	// snapshots all run concurrently. Run under -race this is the
+	// detector's data-race gate; the only functional assertion is that the
+	// answering node is never down at the end.
+	srv, _ := flakySrv(t)
+	m := NewMembers(map[string]string{"a": srv.URL, "b": "http://127.0.0.1:1"}, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				m.Poll(t.Context())
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			m.ReportFailure("b", fmt.Errorf("refused"))
+			m.AddOutstanding("a", 1)
+			m.AddOutstanding("a", -1)
+			m.MeanOutstanding()
+			m.Snapshot()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 20; j++ {
+			m.SetNodes(map[string]string{"a": srv.URL, "b": "http://127.0.0.1:1"})
+			m.Names()
+		}
+	}()
+	wg.Wait()
+	m.Poll(t.Context())
+	if st := m.State("a"); st != StateUp {
+		t.Fatalf("answering node ended %v", st)
+	}
+}
+
+func TestMembersInstrumentGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMembers(map[string]string{"a": "http://127.0.0.1:1", "b": "http://127.0.0.1:1"}, nil)
+	m.SetDetector(DetectorConfig{DownAfter: 1})
+	m.Instrument(reg)
+	snap := reg.TakeSnapshot()
+	if got := snap.Gauges["cluster_members"]; got != 2 {
+		t.Fatalf("cluster_members = %v", got)
+	}
+	m.MarkDown("b", fmt.Errorf("dead"))
+	snap = reg.TakeSnapshot()
+	if got := snap.Gauges["cluster_members_down"]; got != 1 {
+		t.Fatalf("cluster_members_down = %v", got)
+	}
+	if got := snap.Counters["cluster_downs_total"]; got != 1 {
+		t.Fatalf("cluster_downs_total = %v", got)
+	}
+	m.SetNodes(map[string]string{"a": "http://127.0.0.1:1"})
+	snap = reg.TakeSnapshot()
+	if got := snap.Gauges["cluster_members"]; got != 1 {
+		t.Fatalf("cluster_members after leave = %v", got)
+	}
+}
+
+func TestMembershipEpochAndAdoption(t *testing.T) {
+	base := Membership{Epoch: 3, Nodes: map[string]string{"a": "http://a", "b": "http://b"}}
+	joined := base.WithJoin("c", "http://c")
+	if joined.Epoch != 4 || joined.Nodes["c"] != "http://c" {
+		t.Fatalf("WithJoin = %+v", joined)
+	}
+	if _, ok := base.Nodes["c"]; ok {
+		t.Fatal("WithJoin mutated the receiver")
+	}
+	left := joined.WithLeave("a")
+	if left.Epoch != 5 || len(left.Nodes) != 2 {
+		t.Fatalf("WithLeave = %+v", left)
+	}
+	if !joined.Newer(base) || base.Newer(joined) {
+		t.Fatal("higher epoch must win")
+	}
+	if base.Newer(base.Clone()) {
+		t.Fatal("identical membership is not newer")
+	}
+	// Same epoch, different content: exactly one side wins, and both sides
+	// agree on which (the hash tie-break) — so adoption converges.
+	x := Membership{Epoch: 7, Nodes: map[string]string{"a": "http://a"}}
+	y := Membership{Epoch: 7, Nodes: map[string]string{"b": "http://b"}}
+	if x.Newer(y) == y.Newer(x) {
+		t.Fatalf("tie-break must pick exactly one winner: x>y=%v y>x=%v", x.Newer(y), y.Newer(x))
+	}
+	if !joined.Equal(joined.Clone()) {
+		t.Fatal("clone must be Equal")
+	}
+	if got := joined.Ring(8).Owner(42); got == "" {
+		t.Fatal("membership ring owns nothing")
+	}
+}

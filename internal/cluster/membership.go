@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// Membership is the cluster's node set at one point in time, versioned by
+// an epoch. Every process (node or router) holds a current Membership and
+// adopts any strictly newer one it sees — last writer wins by epoch, with
+// a deterministic content hash breaking the (rare) tie of two concurrent
+// changes minting the same epoch. The ring is always a pure function of
+// Nodes, so two processes that agree on the Membership agree on every
+// key's owner without further coordination.
+type Membership struct {
+	// Epoch orders membership versions; every join/leave increments it.
+	Epoch int64 `json:"epoch"`
+	// Nodes is the member set, name → base URL.
+	Nodes map[string]string `json:"nodes"`
+}
+
+// Clone deep-copies the membership.
+func (m Membership) Clone() Membership {
+	nodes := make(map[string]string, len(m.Nodes))
+	for name, url := range m.Nodes {
+		nodes[name] = url
+	}
+	return Membership{Epoch: m.Epoch, Nodes: nodes}
+}
+
+// Names returns the member names, sorted.
+func (m Membership) Names() []string {
+	out := make([]string, 0, len(m.Nodes))
+	for name := range m.Nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hash folds the member set (names and URLs, order-independent via the
+// sorted fold) and epoch into one value — the tie-breaker between two
+// different memberships carrying the same epoch.
+func (m Membership) Hash() uint64 {
+	h := prng.Mix64(uint64(m.Epoch) ^ 0x3e3b)
+	for _, name := range m.Names() {
+		h = prng.Mix64(h ^ hashString(name))
+		h = prng.Mix64(h ^ hashString(m.Nodes[name]))
+	}
+	return h
+}
+
+// Equal reports whether two memberships have the same epoch and node set.
+func (m Membership) Equal(o Membership) bool {
+	if m.Epoch != o.Epoch || len(m.Nodes) != len(o.Nodes) {
+		return false
+	}
+	for name, url := range m.Nodes {
+		if o.Nodes[name] != url {
+			return false
+		}
+	}
+	return true
+}
+
+// Newer reports whether m should replace o: a strictly higher epoch wins;
+// the same epoch with different content falls back to the content hash so
+// every process converges on one of the two (never oscillates).
+func (m Membership) Newer(o Membership) bool {
+	if m.Epoch != o.Epoch {
+		return m.Epoch > o.Epoch
+	}
+	if m.Equal(o) {
+		return false
+	}
+	return m.Hash() > o.Hash()
+}
+
+// WithJoin returns the next membership with a node added (or its URL
+// updated): epoch+1, everything else carried over. The receiver is not
+// modified.
+func (m Membership) WithJoin(name, url string) Membership {
+	next := m.Clone()
+	if next.Nodes == nil {
+		next.Nodes = make(map[string]string, 1)
+	}
+	next.Nodes[name] = url
+	next.Epoch = m.Epoch + 1
+	return next
+}
+
+// WithLeave returns the next membership with a node removed: epoch+1.
+// Removing an absent node still mints a new epoch (the intent "this node
+// must be out" propagates either way).
+func (m Membership) WithLeave(name string) Membership {
+	next := m.Clone()
+	delete(next.Nodes, name)
+	next.Epoch = m.Epoch + 1
+	return next
+}
+
+// Ring builds the consistent-hash ring for this membership.
+func (m Membership) Ring(vnodes int) *Ring {
+	return NewRing(m.Names(), vnodes)
+}

@@ -10,6 +10,9 @@ import (
 //	GET /v1/peer/cache/{key}?claim=1&wait_ms=N   peer cache fill + claim
 //	PUT /v1/peer/cache/{key}                     write-through store
 //	GET /v1/jobs/{id}/checkpoint                 checkpoint export
+//	POST /v1/peer/membership                     membership fan-out (epoch'd)
+//	POST /v1/peer/handoff                        warm-cache handoff chunks
+//	POST /cluster/members                        admin join/leave (node+router)
 //
 // Keys are the canonical result-cache keys, encoded as 16-digit
 // lowercase hex so they round-trip through URLs without sign issues.
@@ -30,6 +33,65 @@ type PeerCacheResponse struct {
 	Leader bool `json:"leader,omitempty"`
 	// Summary is the stored result when Found.
 	Summary json.RawMessage `json:"summary,omitempty"`
+}
+
+// MemberChange is the body of the admin POST /cluster/members endpoint —
+// the operator's (or a joining node's) request to alter the membership.
+type MemberChange struct {
+	// Action is "join" or "leave".
+	Action string `json:"action"`
+	// Name is the member to add/remove; URL is required for "join".
+	Name string `json:"name"`
+	URL  string `json:"url,omitempty"`
+}
+
+// MembershipUpdate is the body of POST /v1/peer/membership: the full
+// epoch'd membership, fanned out by whichever process coordinated a
+// change and adopted by every receiver holding an older epoch. Carrying
+// the full set (not a delta) makes the update idempotent and
+// order-insensitive — two concurrent updates resolve by Membership.Newer.
+type MembershipUpdate struct {
+	// From names the sender (diagnostics only).
+	From       string     `json:"from,omitempty"`
+	Membership Membership `json:"membership"`
+}
+
+// HandoffEntry is one cache entry in a warm-handoff chunk.
+type HandoffEntry struct {
+	// Key is the canonical cache key in FormatKey encoding.
+	Key string `json:"key"`
+	// Hits is the entry's hit count at the sender — the receiver seeds its
+	// own hot-entry accounting from it.
+	Hits int64 `json:"hits,omitempty"`
+	// Summary is the stored result, bit-identical to a local solve.
+	Summary json.RawMessage `json:"summary"`
+}
+
+// HandoffRequest is the body of POST /v1/peer/handoff: one chunk of a
+// warm-cache handoff stream. Chunks are idempotent (entries are keyed
+// puts), so a failed chunk is simply re-sent — that is the whole resume
+// protocol. Seq counts chunks within one transfer for logs/metrics.
+type HandoffRequest struct {
+	// From names the sending node.
+	From string `json:"from"`
+	// Epoch is the membership epoch the sender computed the transfer
+	// under; receivers accept any epoch (entries are valid regardless) but
+	// expose it for diagnostics.
+	Epoch int64 `json:"epoch"`
+	// Seq is the 0-based chunk number within this transfer.
+	Seq int `json:"seq"`
+	// Done marks the final chunk of the transfer.
+	Done bool `json:"done,omitempty"`
+	// Entries are the cache entries in this chunk.
+	Entries []HandoffEntry `json:"entries"`
+}
+
+// HandoffResponse is the body answering a handoff chunk.
+type HandoffResponse struct {
+	// Accepted counts entries stored from this chunk (duplicates count —
+	// storing an already-present key is a harmless overwrite with the same
+	// bits).
+	Accepted int `json:"accepted"`
 }
 
 // FormatKey / ParseKey are the canonical key encoding of the peer URLs.

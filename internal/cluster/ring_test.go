@@ -93,6 +93,75 @@ func TestRingMinimalDisruption(t *testing.T) {
 	}
 }
 
+func TestRingBoundedMovementOnJoin(t *testing.T) {
+	// The elasticity hard invariant: adding one node to an N-node ring
+	// moves at most (K/N)·(1+ε) of K keys, and every moved key moves TO
+	// the joiner (no collateral reshuffling between survivors). The
+	// expected movement is K/(N+1), so ε = 0.25 leaves ≥ 40% headroom over
+	// the vnode-sampling variance at DefaultVNodes.
+	const K = 50_000
+	const eps = 0.25
+	for _, n := range []int{2, 3, 5, 8} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "node-" + string(rune('a'+i))
+		}
+		before := NewRing(names, DefaultVNodes)
+		after := NewRing(append(append([]string(nil), names...), "joiner"), DefaultVNodes)
+		moved := 0
+		for i := 0; i < K; i++ {
+			key := prng.Mix64(uint64(i) ^ 0x5151)
+			was, is := before.Owner(key), after.Owner(key)
+			if was == is {
+				continue
+			}
+			if is != "joiner" {
+				t.Fatalf("N=%d key %x moved %q → %q, not to the joiner", n, key, was, is)
+			}
+			moved++
+		}
+		bound := float64(K) / float64(n) * (1 + eps)
+		if float64(moved) > bound {
+			t.Fatalf("N=%d: join moved %d keys, bound (K/N)(1+ε) = %.0f", n, moved, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("N=%d: joiner took no keys", n)
+		}
+	}
+}
+
+func TestRingBoundedMovementOnLeave(t *testing.T) {
+	// Removing one node moves exactly the departed node's keys — at most
+	// (K/N)·(1+ε) of them — and every moved key came from it.
+	const K = 50_000
+	const eps = 0.25
+	for _, n := range []int{3, 5, 8} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "node-" + string(rune('a'+i))
+		}
+		gone := names[n-1]
+		before := NewRing(names, DefaultVNodes)
+		after := NewRing(names[:n-1], DefaultVNodes)
+		moved := 0
+		for i := 0; i < K; i++ {
+			key := prng.Mix64(uint64(i) ^ 0x7272)
+			was, is := before.Owner(key), after.Owner(key)
+			if was == is {
+				continue
+			}
+			if was != gone {
+				t.Fatalf("N=%d key %x moved from surviving node %q", n, key, was)
+			}
+			moved++
+		}
+		bound := float64(K) / float64(n) * (1 + eps)
+		if float64(moved) > bound {
+			t.Fatalf("N=%d: leave moved %d keys, bound (K/N)(1+ε) = %.0f", n, moved, bound)
+		}
+	}
+}
+
 func TestRingEmptyAndSingle(t *testing.T) {
 	empty := NewRing(nil, 8)
 	if got := empty.Owner(1); got != "" {
@@ -136,6 +205,9 @@ func TestMembersProbeStates(t *testing.T) {
 		"drain": drain.URL,
 		"dead":  dead.URL,
 	}, nil)
+	// One failed probe suffices for down here; the threshold behaviour has
+	// its own tests in members_test.go.
+	m.SetDetector(DetectorConfig{DownAfter: 1})
 	if st := m.State("up"); st != StateUnknown {
 		t.Fatalf("pre-poll state = %v, want unknown", st)
 	}

@@ -1,0 +1,252 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// startRouterCfg is startRouter with the elasticity knobs exposed.
+func startRouterCfg(t *testing.T, cfg Config) (*Router, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 25 * time.Millisecond
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(r, reg))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		r.Shutdown(ctx)
+		cancel()
+	})
+	return r, ts, reg
+}
+
+func waitNodeState(t *testing.T, r *Router, name string, want cluster.NodeState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.members.State(name) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s stuck in %q, want %q", name, r.members.State(name), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterSkipsDownNode is the satellite regression for the detector →
+// placement coupling: once the detector has a node down, placement skips
+// it outright — no connection attempt, no 429-style spill accounting, no
+// submit errors — and every job lands on the surviving node.
+func TestRouterSkipsDownNode(t *testing.T) {
+	nodes, urls := startNodes(t, 2, nil)
+	r, ts, _ := startRouterCfg(t, Config{
+		Nodes:    urls,
+		Detector: cluster.DetectorConfig{DownAfter: 1},
+	})
+
+	// SIGKILL analog: n1's listener vanishes; the next probe marks it down.
+	nodes["n1"].ts.Close()
+	waitNodeState(t, r, "n1", cluster.StateDown)
+
+	for i := 0; i < 20; i++ {
+		v, status := postRouterJob(t, ts,
+			fmt.Sprintf(`{"family":"sinkless","n":24,"algorithm":"mtpar","seed":%d}`, i+1))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d against a half-down cluster answered %d", i, status)
+		}
+		if v.Node != "n2" {
+			t.Fatalf("job %d placed on %q; down node must be skipped outright", i, v.Node)
+		}
+	}
+	for _, id := range listRouterJobIDs(t, ts) {
+		collectEvents(t, ts, id)
+	}
+	if lost := r.m.lost.Value(); lost != 0 {
+		t.Fatalf("router lost %d jobs while skipping a down node", lost)
+	}
+
+	// Down nodes are out of the bounded-load mean: with n1 down the mean
+	// tracks n2 alone, so it must never be dragged toward zero by the corpse.
+	r.members.AddOutstanding("n2", 4)
+	defer r.members.AddOutstanding("n2", -4)
+	if mean := r.members.MeanOutstanding(); mean < 4 {
+		t.Fatalf("MeanOutstanding = %.1f with n1 down and 4 outstanding on n2, want 4 (down node excluded)", mean)
+	}
+}
+
+func listRouterJobIDs(t *testing.T, ts *httptest.Server) []string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []service.View
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(views))
+	for i, v := range views {
+		ids[i] = v.ID
+	}
+	return ids
+}
+
+// postMemberChange drives the admin POST /cluster/members and returns the
+// minted membership.
+func postMemberChange(t *testing.T, base string, change cluster.MemberChange) cluster.Membership {
+	t.Helper()
+	body, _ := json.Marshal(change)
+	resp, err := http.Post(base+"/cluster/members", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /cluster/members answered %d", resp.StatusCode)
+	}
+	var mem cluster.Membership
+	if err := json.NewDecoder(resp.Body).Decode(&mem); err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// TestRouterHotReloadJoinLeave: the router applies an admin join without a
+// restart — epoch advances, the ring includes the joiner, jobs start
+// landing there, and the fan-out brings every node to the same epoch — and
+// then applies the leave, after which no new placement touches the leaver.
+func TestRouterHotReloadJoinLeave(t *testing.T) {
+	nodes, urls := startNodes(t, 2, func(cfg *service.Config) {
+		cfg.Cluster = &service.ClusterConfig{} // Self/Nodes filled by startNodes
+	})
+	_ = nodes
+	r, ts, reg := startRouterCfg(t, Config{Nodes: urls})
+
+	// The joiner: a clustered node that boots knowing only itself.
+	h3 := &swapHandler{}
+	ts3 := httptest.NewServer(h3)
+	reg3 := obs.NewRegistry()
+	svc3 := service.New(service.Config{
+		QueueCap: 128, MaxInFlight: 4, CacheSize: 32, Metrics: reg3,
+		Cluster: &service.ClusterConfig{Self: "n3", Nodes: map[string]string{"n3": ts3.URL}},
+	})
+	h3.set(service.NewHandler(svc3, reg3))
+	t.Cleanup(func() {
+		ts3.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		svc3.Shutdown(ctx)
+		cancel()
+	})
+
+	joined := postMemberChange(t, ts.URL, cluster.MemberChange{Action: "join", Name: "n3", URL: ts3.URL})
+	if joined.Epoch != 1 || len(joined.Nodes) != 3 {
+		t.Fatalf("join minted epoch %d with %d nodes, want 1 with 3", joined.Epoch, len(joined.Nodes))
+	}
+	if got := r.Membership().Epoch; got != 1 {
+		t.Fatalf("router epoch = %d after join, want 1 (hot reload)", got)
+	}
+	if got := reg.Counter("router_membership_reloads_total").Value(); got < 1 {
+		t.Fatalf("router_membership_reloads_total = %d, want >= 1", got)
+	}
+	// The synchronous fan-out already delivered the epoch to every node.
+	for name, base := range joined.Nodes {
+		resp, err := http.Get(base + "/cluster")
+		if err != nil {
+			t.Fatalf("GET /cluster on %s: %v", name, err)
+		}
+		var ns struct {
+			Epoch int64 `json:"epoch"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ns)
+		resp.Body.Close()
+		if err != nil || ns.Epoch != 1 {
+			t.Fatalf("node %s at epoch %d, want 1", name, ns.Epoch)
+		}
+	}
+
+	// With the ring reloaded, placement spreads onto the joiner.
+	placed := map[string]int{}
+	for i := 0; i < 30; i++ {
+		v, status := postRouterJob(t, ts,
+			fmt.Sprintf(`{"family":"sinkless","n":24,"algorithm":"mtpar","seed":%d}`, i+1))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d after join answered %d", i, status)
+		}
+		placed[v.Node]++
+	}
+	if placed["n3"] == 0 {
+		t.Fatalf("no job landed on the joined node: %v", placed)
+	}
+	for _, id := range listRouterJobIDs(t, ts) {
+		collectEvents(t, ts, id)
+	}
+
+	left := postMemberChange(t, ts.URL, cluster.MemberChange{Action: "leave", Name: "n3"})
+	if left.Epoch != 2 || len(left.Nodes) != 2 {
+		t.Fatalf("leave minted epoch %d with %d nodes, want 2 with 2", left.Epoch, len(left.Nodes))
+	}
+	for i := 0; i < 20; i++ {
+		v, status := postRouterJob(t, ts,
+			fmt.Sprintf(`{"family":"sinkless","n":24,"algorithm":"mtpar","seed":%d}`, 100+i))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d after leave answered %d", i, status)
+		}
+		if v.Node == "n3" {
+			t.Fatal("placement still touches the departed node after the leave reload")
+		}
+	}
+}
+
+// TestRouterAntiEntropyAdoptsNodeEpoch: a membership change announced to a
+// NODE (not the router) still reaches the router through its anti-entropy
+// sync against the nodes' GET /cluster — no restart, no admin call.
+func TestRouterAntiEntropyAdoptsNodeEpoch(t *testing.T) {
+	nodes, urls := startNodes(t, 2, func(cfg *service.Config) {
+		cfg.Cluster = &service.ClusterConfig{}
+	})
+	r, _, _ := startRouterCfg(t, Config{Nodes: urls, SyncInterval: 30 * time.Millisecond})
+
+	// A join lands on node n1 directly; the router is not told.
+	h3 := &swapHandler{}
+	ts3 := httptest.NewServer(h3)
+	reg3 := obs.NewRegistry()
+	svc3 := service.New(service.Config{
+		QueueCap: 16, MaxInFlight: 2, CacheSize: 8, Metrics: reg3,
+		Cluster: &service.ClusterConfig{Self: "n3", Nodes: map[string]string{"n3": ts3.URL}},
+	})
+	h3.set(service.NewHandler(svc3, reg3))
+	t.Cleanup(func() {
+		ts3.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		svc3.Shutdown(ctx)
+		cancel()
+	})
+	postMemberChange(t, nodes["n1"].ts.URL, cluster.MemberChange{Action: "join", Name: "n3", URL: ts3.URL})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Membership().Epoch < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never adopted epoch 1 from the nodes (stuck at %d)", r.Membership().Epoch)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := r.Membership().Nodes["n3"]; !ok {
+		t.Fatal("router adopted the epoch but not the joiner")
+	}
+}

@@ -129,6 +129,7 @@ func NewHandler(r *Router, reg *obs.Registry) http.Handler {
 	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, r.ClusterStatus())
 	})
+	mux.HandleFunc("POST /cluster/members", r.membersPost)
 	mux.HandleFunc("GET /cluster/metrics", r.federatedMetrics)
 	mux.HandleFunc("GET /cluster/slo", r.federatedSLO)
 
@@ -137,6 +138,9 @@ func NewHandler(r *Router, reg *obs.Registry) http.Handler {
 
 // ClusterStatus is the GET /cluster payload.
 type ClusterStatus struct {
+	// Epoch is the router's current membership version; it advances on
+	// every adopted join/leave, so watchers can detect a reload.
+	Epoch int64                `json:"epoch"`
 	Nodes []cluster.NodeStatus `json:"nodes"`
 	// Jobs / Migrations / Lost are the router's lifetime totals.
 	Jobs       int64 `json:"jobs"`
@@ -158,12 +162,53 @@ func (r *Router) ClusterStatus() ClusterStatus {
 	}
 	r.mu.Unlock()
 	return ClusterStatus{
+		Epoch:      r.Membership().Epoch,
 		Nodes:      r.members.Snapshot(),
 		Jobs:       r.m.jobs.Value(),
 		Migrations: r.m.migrations.Value(),
 		Lost:       r.m.lost.Value(),
 		PerNode:    perNode,
 	}
+}
+
+// membersPost implements the admin POST /cluster/members on the router:
+// mint the next epoch from the change, adopt it (ring hot-reload), fan it
+// out to every member, and return the new membership. A joining llld can
+// use the router as its seed exactly like any node.
+func (r *Router) membersPost(w http.ResponseWriter, req *http.Request) {
+	var change cluster.MemberChange
+	dec := json.NewDecoder(io.LimitReader(req.Body, 1<<20))
+	if err := dec.Decode(&change); err != nil {
+		http.Error(w, "bad member change: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := r.Membership()
+	var next cluster.Membership
+	switch change.Action {
+	case "join":
+		if change.Name == "" || change.URL == "" {
+			http.Error(w, "join needs name and url", http.StatusBadRequest)
+			return
+		}
+		next = cur.WithJoin(change.Name, change.URL)
+	case "leave":
+		if change.Name == "" {
+			http.Error(w, "leave needs name", http.StatusBadRequest)
+			return
+		}
+		next = cur.WithLeave(change.Name)
+	default:
+		http.Error(w, fmt.Sprintf("unknown action %q", change.Action), http.StatusBadRequest)
+		return
+	}
+	r.AdoptMembership(next)
+	// Fan out synchronously: the handler returns once every reachable
+	// member has the new set, so the caller (a joining node, an operator
+	// script) can rely on handoffs being underway.
+	for _, base := range next.Nodes {
+		r.pushMembership(base, next)
+	}
+	writeJSON(w, http.StatusOK, next)
 }
 
 // federatedMetrics concatenates every node's /metrics exposition with a

@@ -41,6 +41,15 @@ type Config struct {
 	BoundedLoadFactor float64
 	// ProbeInterval is the health/load poll period (default 500ms).
 	ProbeInterval time.Duration
+	// Detector shapes the failure detector over those probes (suspect/down
+	// thresholds, flap damping); zero fields take cluster.DetectorConfig
+	// defaults.
+	Detector cluster.DetectorConfig
+	// SyncInterval is the membership anti-entropy cadence: the router polls
+	// each node's GET /cluster, adopts any newer epoch it sees, and pushes
+	// its own membership to nodes reporting an older one. Default 4×
+	// ProbeInterval.
+	SyncInterval time.Duration
 	// MaxMigrations bounds how many times one job may be moved before the
 	// router fails it (default 3).
 	MaxMigrations int
@@ -60,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 500 * time.Millisecond
 	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 4 * c.ProbeInterval
+	}
 	if c.MaxMigrations <= 0 {
 		c.MaxMigrations = 3
 	}
@@ -70,11 +82,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Router is the routing tier. Create with New, stop with Shutdown.
+// Membership is mutable: the router adopts newer epochs pushed through
+// POST /cluster/members or discovered on node GET /cluster polls, and
+// rebuilds its ring without a restart.
 type Router struct {
 	cfg     Config
-	ring    *cluster.Ring
 	members *cluster.Members
 	client  *http.Client
+
+	memMu sync.Mutex
+	mem   cluster.Membership
+	ring  *cluster.Ring
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -95,6 +113,8 @@ type routerMetrics struct {
 	lost       *obs.Counter
 	relayed    *obs.Counter
 	rejected   *obs.Counter
+	reloads    *obs.Counter // memberships adopted at runtime
+	epoch      *obs.Gauge   // current membership epoch
 }
 
 // routedJob is the router's record of one job: where it currently lives,
@@ -127,17 +147,18 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("router: no nodes configured")
 	}
-	names := make([]string, 0, len(cfg.Nodes))
-	for name := range cfg.Nodes {
-		names = append(names, name)
-	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{}
 	}
+	mem := cluster.Membership{Epoch: 0, Nodes: map[string]string{}}
+	for name, url := range cfg.Nodes {
+		mem.Nodes[name] = url
+	}
 	r := &Router{
 		cfg:     cfg,
-		ring:    cluster.NewRing(names, cfg.VNodes),
+		mem:     mem,
+		ring:    mem.Ring(cfg.VNodes),
 		members: cluster.NewMembers(cfg.Nodes, &http.Client{Timeout: 2 * time.Second}),
 		client:  client,
 		jobs:    make(map[string]*routedJob),
@@ -148,11 +169,136 @@ func New(cfg Config) (*Router, error) {
 			lost:       cfg.Metrics.Counter("router_jobs_lost_total"),
 			relayed:    cfg.Metrics.Counter("router_events_relayed_total"),
 			rejected:   cfg.Metrics.Counter("router_rejects_total"),
+			reloads:    cfg.Metrics.Counter("router_membership_reloads_total"),
+			epoch:      cfg.Metrics.Gauge("router_membership_epoch"),
 		},
 	}
+	r.members.SetDetector(cfg.Detector)
+	r.members.Instrument(cfg.Metrics)
 	r.baseCtx, r.baseCancel = context.WithCancel(context.Background())
 	r.members.Start(cfg.ProbeInterval)
+	r.wg.Add(1)
+	go r.syncMembership()
 	return r, nil
+}
+
+// ringNow returns the current ring (immutable once built).
+func (r *Router) ringNow() *cluster.Ring {
+	r.memMu.Lock()
+	defer r.memMu.Unlock()
+	return r.ring
+}
+
+// Membership returns the router's current membership (a deep copy).
+func (r *Router) Membership() cluster.Membership {
+	r.memMu.Lock()
+	defer r.memMu.Unlock()
+	return r.mem.Clone()
+}
+
+// AdoptMembership installs mem if it is newer than the current set:
+// the ring is rebuilt and the health table follows (joined nodes start
+// unknown — immediately routable — and departed nodes are dropped).
+// Reports whether a swap happened. Safe from any goroutine.
+func (r *Router) AdoptMembership(mem cluster.Membership) bool {
+	r.memMu.Lock()
+	if !mem.Newer(r.mem) {
+		r.memMu.Unlock()
+		return false
+	}
+	r.mem = mem.Clone()
+	r.ring = r.mem.Ring(r.cfg.VNodes)
+	r.memMu.Unlock()
+	r.members.SetNodes(mem.Nodes)
+	r.m.reloads.Inc()
+	r.m.epoch.Set(float64(mem.Epoch))
+	return true
+}
+
+// syncMembership is the anti-entropy loop: poll each member's GET
+// /cluster, adopt any newer epoch found there, and push the router's
+// membership back to members reporting an older epoch — so a node that
+// missed a fan-out (it was down during a join) converges without gossip.
+func (r *Router) syncMembership() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		cur := r.Membership()
+		var stale []string // base URLs holding an older epoch
+		for _, name := range r.members.Names() {
+			url := r.members.URL(name)
+			if url == "" || r.members.State(name) == cluster.StateDown {
+				continue
+			}
+			mem, ok := r.fetchNodeMembership(url)
+			if !ok {
+				continue
+			}
+			if mem.Newer(cur) {
+				if r.AdoptMembership(mem) {
+					cur = r.Membership()
+				}
+			} else if cur.Newer(mem) {
+				stale = append(stale, url)
+			}
+		}
+		for _, url := range stale {
+			r.pushMembership(url, cur)
+		}
+	}
+}
+
+// fetchNodeMembership reads one node's membership view from GET /cluster.
+func (r *Router) fetchNodeMembership(base string) (cluster.Membership, bool) {
+	req, err := http.NewRequestWithContext(r.baseCtx, http.MethodGet, base+"/cluster", nil)
+	if err != nil {
+		return cluster.Membership{}, false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return cluster.Membership{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return cluster.Membership{}, false
+	}
+	var status struct {
+		Epoch int64             `json:"epoch"`
+		Nodes map[string]string `json:"nodes"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&status) != nil {
+		return cluster.Membership{}, false
+	}
+	if len(status.Nodes) == 0 {
+		return cluster.Membership{}, false
+	}
+	return cluster.Membership{Epoch: status.Epoch, Nodes: status.Nodes}, true
+}
+
+// pushMembership best-effort repairs one stale node.
+func (r *Router) pushMembership(base string, mem cluster.Membership) {
+	body, err := json.Marshal(cluster.MembershipUpdate{From: "router", Membership: mem})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(r.baseCtx, http.MethodPost, base+"/v1/peer/membership", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 }
 
 // Shutdown stops the router: probing ends, follower goroutines unwind.
@@ -227,9 +373,16 @@ func (r *Router) Submit(js service.JobSpec) (*routedJob, error) {
 // place POSTs the job's spec to the best available node, in preference
 // order: ring order filtered by health, bounded load applied proactively,
 // 429/503/transport failures spilling to the next candidate reactively.
-// skip excludes a node (the one the job just died on).
+// skip excludes a node (the one the job just died on). Detector-down
+// nodes are skipped outright — never contacted, never counted toward the
+// bounded-load baseline — so a dead node cannot eat a connection timeout
+// per job or distort the balance target; a connection refused on a
+// still-routable node is reported to the detector as failure evidence
+// rather than an instant hard down (one refused connection must not shed
+// a node a probe would vouch for).
 func (r *Router) place(job *routedJob, skip string) (string, *service.View, *submitError) {
-	prefer := r.ring.Prefer(job.key, r.ring.Len())
+	ring := r.ringNow()
+	prefer := ring.Prefer(job.key, ring.Len())
 	candidates := prefer[:0:0]
 	for _, name := range prefer {
 		if name == skip || !r.members.State(name).Usable() {
@@ -238,22 +391,34 @@ func (r *Router) place(job *routedJob, skip string) (string, *service.View, *sub
 		candidates = append(candidates, name)
 	}
 	if len(candidates) == 0 {
-		// Health says nobody is usable; trust the wire over the poller and
-		// try everyone anyway (minus the known-dead skip).
+		// Health says nobody is usable. Draining nodes may still be finishing
+		// their drain window and the poller may lag a recovery, so trust the
+		// wire over the poller for them — but detector-down nodes stay
+		// excluded: down is the one verdict the router must honor outright.
 		for _, name := range prefer {
-			if name != skip {
+			if name != skip && r.members.State(name) != cluster.StateDown {
 				candidates = append(candidates, name)
 			}
 		}
 	}
 	// Bounded load: demote overloaded candidates behind the rest without
 	// dropping them — order stays preference-stable within each class.
+	// Suspect nodes (missed probes, flap-damped) are demoted the same way:
+	// still routable, but only after the clean candidates.
 	mean := r.members.MeanOutstanding()
 	limit := int64(r.cfg.BoundedLoadFactor * (mean + 1))
+	rank := func(name string) int {
+		n := 0
+		if r.members.Outstanding(name) > limit {
+			n += 2
+		}
+		if r.members.State(name) == cluster.StateSuspect {
+			n++
+		}
+		return n
+	}
 	sort.SliceStable(candidates, func(i, j int) bool {
-		oi := r.members.Outstanding(candidates[i]) > limit
-		oj := r.members.Outstanding(candidates[j]) > limit
-		return !oi && oj
+		return rank(candidates[i]) < rank(candidates[j])
 	})
 
 	body, err := json.Marshal(job.spec)
@@ -268,7 +433,7 @@ func (r *Router) place(job *routedJob, skip string) (string, *service.View, *sub
 		}
 		resp, err := r.client.Post(r.members.URL(name)+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			r.members.MarkDown(name, err)
+			r.members.ReportFailure(name, err)
 			lastMsg = err.Error()
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/batch"
@@ -149,6 +150,17 @@ type resultCache struct {
 type cacheEntry struct {
 	key uint64
 	sum Summary
+	// hits counts get() hits on this entry — the hot-entry signal driving
+	// replication to the ring successor. Seeded (not reset) by warm
+	// handoffs so a migrated entry keeps its heat.
+	hits int64
+}
+
+// hotEntry is one cache entry exported for handoff / replication.
+type hotEntry struct {
+	key  uint64
+	hits int64
+	sum  *Summary
 }
 
 func newResultCache(capacity int, reg *obs.Registry) *resultCache {
@@ -176,13 +188,23 @@ func (c *resultCache) get(key uint64) (*Summary, bool) {
 	}
 	c.ll.MoveToFront(el)
 	c.hits.Inc()
-	sum := cloneSummary(&el.Value.(*cacheEntry).sum)
+	entry := el.Value.(*cacheEntry)
+	entry.hits++
+	sum := cloneSummary(&entry.sum)
 	return sum, true
 }
 
 // put stores a copy of sum under key, evicting the least recently used
 // entry beyond capacity.
 func (c *resultCache) put(key uint64, sum *Summary) {
+	c.putHot(key, sum, 0)
+}
+
+// putHot stores a copy of sum under key with a starting hit count —
+// warm handoffs use it so a migrated entry keeps its heat. The hit count
+// only ever grows (a replica landing on a node that already served the
+// entry must not cool it down).
+func (c *resultCache) putHot(key uint64, sum *Summary, hits int64) {
 	if sum == nil {
 		return
 	}
@@ -190,11 +212,15 @@ func (c *resultCache) put(key uint64, sum *Summary) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).sum = *cp
+		entry := el.Value.(*cacheEntry)
+		entry.sum = *cp
+		if hits > entry.hits {
+			entry.hits = hits
+		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sum: *cp})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sum: *cp, hits: hits})
 	c.stores.Inc()
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
@@ -203,6 +229,38 @@ func (c *resultCache) put(key uint64, sum *Summary) {
 		c.evictions.Inc()
 	}
 	c.entries.Set(float64(c.ll.Len()))
+}
+
+// snapshotIf returns copies of every entry whose key passes the filter
+// (nil matches all) — the handoff export. Entries come out in LRU order,
+// most recently used first, so a rate-bounded transfer that is cut short
+// has already moved the entries most likely to be asked for.
+func (c *resultCache) snapshotIf(filter func(key uint64) bool) []hotEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]hotEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		entry := el.Value.(*cacheEntry)
+		if filter != nil && !filter(entry.key) {
+			continue
+		}
+		out = append(out, hotEntry{key: entry.key, hits: entry.hits, sum: cloneSummary(&entry.sum)})
+	}
+	return out
+}
+
+// topHot returns copies of the k hottest entries passing the filter,
+// hit-count descending — the replication candidate set.
+func (c *resultCache) topHot(k int, filter func(key uint64) bool) []hotEntry {
+	if k <= 0 {
+		return nil
+	}
+	all := c.snapshotIf(filter)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].hits > all[j].hits })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
 }
 
 // len reports the number of cached entries.

@@ -1,0 +1,444 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// This file is the cache-elasticity half of the cluster layer: runtime
+// join/leave with warm-cache handoff, and hot-entry replication to the
+// ring successor.
+//
+// Membership changes flow through one primitive, applyMembership: adopt
+// the newer epoch (peerLayer.adopt — idempotent, last-writer-wins) and,
+// when asked, fan the full set out to every member. The adoption hook
+// computes which locally-cached entries changed owner and streams them to
+// their new home over POST /v1/peer/handoff — chunked, rate-bounded, each
+// chunk retried once and then dropped: a lost chunk degrades to a cache
+// miss on the new owner, never to an error anywhere.
+
+// handoffTuning are the resolved transfer knobs (see ClusterConfig).
+type handoffTuning struct {
+	chunk     int           // entries per chunk
+	rate      int           // entries/second ceiling
+	hotK      int           // top-k replication set size; <0 disables
+	replEvery time.Duration // replication cadence
+}
+
+func (c *ClusterConfig) tuning() handoffTuning {
+	t := handoffTuning{chunk: c.HandoffChunk, rate: c.HandoffRate, hotK: c.HotReplicas, replEvery: c.ReplicateInterval}
+	if t.chunk <= 0 {
+		t.chunk = 64
+	}
+	if t.rate <= 0 {
+		t.rate = 4096
+	}
+	if t.hotK == 0 {
+		t.hotK = 16
+	}
+	if t.replEvery <= 0 {
+		t.replEvery = 2 * time.Second
+	}
+	return t
+}
+
+// startCluster wires the elasticity machinery after the peer layer is
+// built: the adoption hook that streams handoffs, and the hot-entry
+// replicator goroutine. Called once from New.
+func (s *Service) startCluster() {
+	s.peers.onChange = func(old, now cluster.Membership) {
+		// Handoffs run off the adopting goroutine (often an HTTP handler):
+		// a transfer can take seconds and must not block the fan-out path.
+		s.clusterWG.Add(1)
+		go func() {
+			defer s.clusterWG.Done()
+			s.handoffChanged(old, now)
+		}()
+	}
+	if s.tuning.hotK > 0 {
+		s.clusterWG.Add(1)
+		go s.replicator()
+	}
+}
+
+// stopCluster halts the replicator and waits for in-flight handoffs.
+func (s *Service) stopCluster() {
+	close(s.clusterStop)
+	s.clusterWG.Wait()
+}
+
+// clusterCtx returns a context cancelled when the cluster layer stops.
+func (s *Service) clusterCtx() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := s.clusterStop
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// applyMembership adopts mem if newer and, when spread is set, fans the
+// full membership out to every other member (best effort). Reports
+// whether the local membership advanced.
+func (s *Service) applyMembership(mem cluster.Membership, spread bool) bool {
+	adopted := s.peers.adopt(mem)
+	if adopted && spread {
+		s.clusterWG.Add(1)
+		go func() {
+			defer s.clusterWG.Done()
+			ctx, cancel := s.clusterCtx()
+			defer cancel()
+			s.fanOutMembership(ctx, mem)
+		}()
+	}
+	return adopted
+}
+
+// fanOutMembership pushes mem to every member except self. Receivers
+// adopt idempotently, so double delivery is harmless; a missed member is
+// repaired by the router's anti-entropy sync.
+func (s *Service) fanOutMembership(ctx context.Context, mem cluster.Membership) {
+	body, err := json.Marshal(cluster.MembershipUpdate{From: s.peers.self, Membership: mem})
+	if err != nil {
+		return
+	}
+	for name, base := range mem.Nodes {
+		if name == s.peers.self || base == "" {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/peer/membership", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := s.peers.client.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// handoffChanged streams every locally-cached entry whose owner changed
+// between two memberships to its new home. Only entries this node owned
+// under old move (other nodes push their own slices), so a join moves
+// exactly the joiner's ring slice — the bounded-movement invariant of the
+// ring carries over to the cache.
+func (s *Service) handoffChanged(old, now cluster.Membership) {
+	oldRing := old.Ring(s.peers.vnodes)
+	newRing := now.Ring(s.peers.vnodes)
+	moved := map[string][]hotEntry{} // new owner → entries
+	for _, e := range s.cache.snapshotIf(nil) {
+		if oldRing.Owner(e.key) != s.peers.self {
+			continue
+		}
+		if dst := newRing.Owner(e.key); dst != s.peers.self {
+			moved[dst] = append(moved[dst], e)
+		}
+	}
+	if len(moved) == 0 {
+		return
+	}
+	ctx, cancel := s.clusterCtx()
+	defer cancel()
+	for dst, entries := range moved {
+		s.pushEntries(ctx, now.Nodes[dst], now.Epoch, entries)
+	}
+}
+
+// pushEntries streams entries to one receiver in rate-bounded chunks.
+// Each chunk is retried once; a chunk that still fails is dropped (the
+// receiver will simply miss on those keys) and the rest of the transfer
+// continues — handoff failures must never become errors.
+func (s *Service) pushEntries(ctx context.Context, baseURL string, epoch int64, entries []hotEntry) {
+	if baseURL == "" {
+		return
+	}
+	t := s.tuning
+	for seq := 0; len(entries) > 0; seq++ {
+		n := t.chunk
+		if n > len(entries) {
+			n = len(entries)
+		}
+		chunk, rest := entries[:n], entries[n:]
+		req := cluster.HandoffRequest{
+			From:    s.peers.self,
+			Epoch:   epoch,
+			Seq:     seq,
+			Done:    len(rest) == 0,
+			Entries: make([]cluster.HandoffEntry, 0, n),
+		}
+		for _, e := range chunk {
+			raw, err := json.Marshal(e.sum)
+			if err != nil {
+				continue
+			}
+			req.Entries = append(req.Entries, cluster.HandoffEntry{Key: cluster.FormatKey(e.key), Hits: e.hits, Summary: raw})
+		}
+		sent := false
+		for attempt := 0; attempt < 2 && !sent; attempt++ {
+			sent = s.postHandoffChunk(ctx, baseURL, req)
+		}
+		if sent {
+			s.peers.m.handoffOut.Add(int64(len(req.Entries)))
+		} else {
+			s.peers.m.handoffFails.Inc()
+		}
+		entries = rest
+		if len(entries) > 0 {
+			// Rate bound: one chunk per chunk/rate seconds.
+			delay := time.Duration(float64(n) / float64(t.rate) * float64(time.Second))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+func (s *Service) postHandoffChunk(ctx context.Context, baseURL string, hr cluster.HandoffRequest) bool {
+	body, err := json.Marshal(hr)
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/peer/handoff", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.peers.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode/100 == 2
+}
+
+// replicator periodically write-through replicates the hottest self-owned
+// cache entries to each key's ring successor, so an unplanned SIGKILL of
+// this node leaves its hot keys warm on the node the router will spill
+// to. Replication reuses the existing PUT /v1/peer/cache write-through —
+// the successor stores the entry like any peer store.
+func (s *Service) replicator() {
+	defer s.clusterWG.Done()
+	t := time.NewTicker(s.tuning.replEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.clusterStop:
+			return
+		case <-t.C:
+		}
+		ring := s.peers.ringNow()
+		hot := s.cache.topHot(s.tuning.hotK, func(key uint64) bool { return ring.Owner(key) == s.peers.self })
+		if len(hot) == 0 {
+			continue
+		}
+		ctx, cancel := s.clusterCtx()
+		for _, e := range hot {
+			pref := ring.Prefer(e.key, 2)
+			if len(pref) < 2 {
+				break // single-node ring: nowhere to replicate
+			}
+			s.peers.storeTo(ctx, pref[1], e.key, e.sum)
+			s.peers.m.replicated.Inc()
+		}
+		cancel()
+	}
+}
+
+// AnnounceJoin introduces this node to a running cluster through any seed
+// member: POST /cluster/members with a join change. The seed mints the
+// next epoch, fans it out, and returns the new membership, which this
+// node adopts immediately (the fan-out may also race it — adoption is
+// idempotent). Retries a few times so a node booting alongside its seed
+// does not lose the race.
+func (s *Service) AnnounceJoin(ctx context.Context, seedURL string) error {
+	if s.peers == nil {
+		return fmt.Errorf("service: not clustered")
+	}
+	selfURL := s.peers.urlOf(s.peers.self)
+	if selfURL == "" {
+		return fmt.Errorf("service: self URL unknown; put %q in Cluster.Nodes", s.peers.self)
+	}
+	change, err := json.Marshal(cluster.MemberChange{Action: "join", Name: s.peers.self, URL: selfURL})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, seedURL+"/cluster/members", bytes.NewReader(change))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := s.peers.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode/100 != 2 {
+			lastErr = fmt.Errorf("seed answered %d", resp.StatusCode)
+			continue
+		}
+		var mem cluster.Membership
+		if err := json.Unmarshal(body, &mem); err != nil {
+			lastErr = err
+			continue
+		}
+		s.applyMembership(mem, false) // the seed already fans out
+		return nil
+	}
+	return fmt.Errorf("service: join announce failed: %w", lastErr)
+}
+
+// LeaveCluster runs the planned-leave protocol: stream every cached entry
+// to the node that owns it once this node is gone (the reverse warm
+// handoff), then fan out the membership without self. Call before
+// Shutdown so peers stop routing here only after their caches are warm.
+// Every failure inside degrades to future cache misses — never an error
+// that would block the drain.
+func (s *Service) LeaveCluster(ctx context.Context) {
+	if s.peers == nil {
+		return
+	}
+	cur := s.peers.membership()
+	next := cur.WithLeave(s.peers.self)
+	if len(next.Nodes) == 0 {
+		return // last node: nobody to hand off to or to notify
+	}
+	ring := next.Ring(s.peers.vnodes)
+	moved := map[string][]hotEntry{}
+	for _, e := range s.cache.snapshotIf(nil) {
+		if dst := ring.Owner(e.key); dst != s.peers.self {
+			moved[dst] = append(moved[dst], e)
+		}
+	}
+	for dst, entries := range moved {
+		s.pushEntries(ctx, next.Nodes[dst], next.Epoch, entries)
+	}
+	s.fanOutMembership(ctx, next)
+}
+
+// --- HTTP handlers (mounted by NewHandler when clustered) ---
+
+// NodeClusterStatus is the body of a node's GET /cluster: its identity
+// and current membership, polled by routers (anti-entropy) and by
+// operators watching a handoff land.
+type NodeClusterStatus struct {
+	Self         string            `json:"self"`
+	Epoch        int64             `json:"epoch"`
+	Nodes        map[string]string `json:"nodes"`
+	CacheEntries int               `json:"cache_entries"`
+}
+
+// clusterGet implements GET /cluster on a node.
+func (s *Service) clusterGet(w http.ResponseWriter, _ *http.Request) {
+	mem := s.peers.membership()
+	writeJSON(w, http.StatusOK, NodeClusterStatus{
+		Self:         s.peers.self,
+		Epoch:        mem.Epoch,
+		Nodes:        mem.Nodes,
+		CacheEntries: s.cache.len(),
+	})
+}
+
+// clusterMembersPost implements the admin POST /cluster/members on a
+// node: mint the next epoch from the change, adopt it, fan it out, and
+// return the new membership.
+func (s *Service) clusterMembersPost(w http.ResponseWriter, r *http.Request) {
+	var change cluster.MemberChange
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(&change); err != nil {
+		http.Error(w, "bad member change: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := s.peers.membership()
+	var next cluster.Membership
+	switch change.Action {
+	case "join":
+		if change.Name == "" || change.URL == "" {
+			http.Error(w, "join needs name and url", http.StatusBadRequest)
+			return
+		}
+		next = cur.WithJoin(change.Name, change.URL)
+	case "leave":
+		if change.Name == "" {
+			http.Error(w, "leave needs name", http.StatusBadRequest)
+			return
+		}
+		next = cur.WithLeave(change.Name)
+	default:
+		http.Error(w, fmt.Sprintf("unknown action %q", change.Action), http.StatusBadRequest)
+		return
+	}
+	s.applyMembership(next, true)
+	writeJSON(w, http.StatusOK, next)
+}
+
+// peerMembershipPost implements POST /v1/peer/membership: adopt a fanned-
+// out membership if newer. Always 204 — an old epoch is not an error,
+// just already-known news.
+func (s *Service) peerMembershipPost(w http.ResponseWriter, r *http.Request) {
+	var up cluster.MembershipUpdate
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(&up); err != nil {
+		http.Error(w, "bad membership update: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.applyMembership(up.Membership, false)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// peerHandoffPost implements POST /v1/peer/handoff: store one chunk of a
+// warm-cache transfer. Entries are keyed puts, so re-delivered chunks are
+// harmless; malformed entries are skipped, never fatal.
+func (s *Service) peerHandoffPost(w http.ResponseWriter, r *http.Request) {
+	var hr cluster.HandoffRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	if err := dec.Decode(&hr); err != nil {
+		http.Error(w, "bad handoff chunk: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	accepted := 0
+	for _, e := range hr.Entries {
+		key, ok := cluster.ParseKey(e.Key)
+		if !ok {
+			continue
+		}
+		var sum Summary
+		if json.Unmarshal(e.Summary, &sum) != nil {
+			continue
+		}
+		if sum.Partial {
+			continue
+		}
+		s.cache.putHot(key, &sum, e.Hits)
+		accepted++
+	}
+	s.peers.m.handoffIn.Add(int64(accepted))
+	writeJSON(w, http.StatusOK, cluster.HandoffResponse{Accepted: accepted})
+}

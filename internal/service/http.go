@@ -29,6 +29,10 @@ import (
 //	GET    /v1/peer/cache/{key} cache lookup; ?claim=1&wait_ms=N joins the
 //	                            cluster-wide single-flight for the key
 //	PUT    /v1/peer/cache/{key} write-through store, releases the claim
+//	POST   /v1/peer/membership  adopt a fanned-out membership (if newer)
+//	POST   /v1/peer/handoff     receive one warm-cache handoff chunk
+//	GET    /cluster             this node's membership view (epoch, nodes)
+//	POST   /cluster/members     admin join/leave: mint epoch, fan out
 //
 // Error mapping: 400 invalid spec/body, 404 unknown id, 429 queue full
 // (with Retry-After), 503 draining or shed under SLO fast burn (also with
@@ -125,6 +129,10 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 	if s.peers != nil {
 		mux.HandleFunc("GET /v1/peer/cache/{key}", s.peerCacheGet)
 		mux.HandleFunc("PUT /v1/peer/cache/{key}", s.peerCachePut)
+		mux.HandleFunc("POST /v1/peer/membership", s.peerMembershipPost)
+		mux.HandleFunc("POST /v1/peer/handoff", s.peerHandoffPost)
+		mux.HandleFunc("GET /cluster", s.clusterGet)
+		mux.HandleFunc("POST /cluster/members", s.clusterMembersPost)
 	}
 
 	return mux

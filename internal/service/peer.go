@@ -38,6 +38,20 @@ type ClusterConfig struct {
 	// ClaimTTL expires a granted-but-unreleased cluster claim (default 30s)
 	// so a crashed claimer cannot wedge the key cluster-wide.
 	ClaimTTL time.Duration
+	// HotReplicas is the top-k hit-count cutoff for hot-entry replication:
+	// every ReplicateInterval the k hottest self-owned cache entries are
+	// write-through replicated to the key's ring successor, so an unplanned
+	// SIGKILL of this node does not cold-start them. Default 16; negative
+	// disables replication.
+	HotReplicas int
+	// ReplicateInterval is the hot-entry replication cadence (default 2s).
+	ReplicateInterval time.Duration
+	// HandoffChunk is the number of entries per warm-handoff chunk
+	// (default 64).
+	HandoffChunk int
+	// HandoffRate bounds a warm-handoff transfer in entries/second
+	// (default 4096) so a join cannot saturate the donor's egress.
+	HandoffRate int
 	// Client overrides the peer HTTP client (tests); nil uses a 3s-timeout
 	// default.
 	Client *http.Client
@@ -53,16 +67,27 @@ func (c *ClusterConfig) validate() error {
 	return nil
 }
 
-// peerLayer is the client+claims side of the peer cache protocol.
+// peerLayer is the client+claims side of the peer cache protocol. The
+// membership (and with it the ring) is mutable: adopt swaps in any newer
+// epoch and fires the onChange hook that streams warm handoffs.
 type peerLayer struct {
 	self   string
-	ring   *cluster.Ring
-	urls   map[string]string
+	vnodes int
 	client *http.Client
 	waitMS int
 	ttl    time.Duration
 	claims *peerClaims
-	m      peerMetrics
+
+	mu   sync.Mutex
+	mem  cluster.Membership
+	ring *cluster.Ring
+
+	// onChange is invoked (on the adopting goroutine) after a newer
+	// membership is swapped in, with the displaced and the current set.
+	// Set once at service construction, before any adopt can run.
+	onChange func(old, now cluster.Membership)
+
+	m peerMetrics
 }
 
 type peerMetrics struct {
@@ -73,15 +98,16 @@ type peerMetrics struct {
 	stores     *obs.Counter // write-through stores pushed to the owner
 	serves     *obs.Counter // server side: peer lookups answered with a hit
 	claims     *obs.Counter // server side: cluster claims granted to peers
+
+	adoptions    *obs.Counter // memberships adopted (epoch advanced)
+	epoch        *obs.Gauge   // current membership epoch
+	handoffOut   *obs.Counter // warm-handoff entries pushed to peers
+	handoffIn    *obs.Counter // warm-handoff entries received and stored
+	handoffFails *obs.Counter // handoff chunks dropped (degraded to misses)
+	replicated   *obs.Counter // hot entries replicated to the successor
 }
 
 func newPeerLayer(cfg *ClusterConfig, reg *obs.Registry) *peerLayer {
-	names := make([]string, 0, len(cfg.Nodes))
-	urls := make(map[string]string, len(cfg.Nodes))
-	for name, url := range cfg.Nodes {
-		names = append(names, name)
-		urls[name] = url
-	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 3 * time.Second}
@@ -94,14 +120,19 @@ func newPeerLayer(cfg *ClusterConfig, reg *obs.Registry) *peerLayer {
 	if ttl <= 0 {
 		ttl = 30 * time.Second
 	}
+	mem := cluster.Membership{Epoch: 0, Nodes: map[string]string{}}
+	for name, url := range cfg.Nodes {
+		mem.Nodes[name] = url
+	}
 	return &peerLayer{
 		self:   cfg.Self,
-		ring:   cluster.NewRing(names, cfg.VNodes),
-		urls:   urls,
+		vnodes: cfg.VNodes,
 		client: client,
 		waitMS: waitMS,
 		ttl:    ttl,
 		claims: newPeerClaims(),
+		mem:    mem,
+		ring:   mem.Ring(cfg.VNodes),
 		m: peerMetrics{
 			fillHits:   reg.Counter("peer_fill_hits_total"),
 			fillLeads:  reg.Counter("peer_fill_leads_total"),
@@ -110,12 +141,64 @@ func newPeerLayer(cfg *ClusterConfig, reg *obs.Registry) *peerLayer {
 			stores:     reg.Counter("peer_stores_total"),
 			serves:     reg.Counter("peer_serves_total"),
 			claims:     reg.Counter("peer_claims_granted_total"),
+
+			adoptions:    reg.Counter("peer_membership_adoptions_total"),
+			epoch:        reg.Gauge("peer_membership_epoch"),
+			handoffOut:   reg.Counter("peer_handoff_entries_sent_total"),
+			handoffIn:    reg.Counter("peer_handoff_entries_received_total"),
+			handoffFails: reg.Counter("peer_handoff_failures_total"),
+			replicated:   reg.Counter("peer_replicated_total"),
 		},
 	}
 }
 
+// membership returns the current membership (a deep copy).
+func (p *peerLayer) membership() cluster.Membership {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mem.Clone()
+}
+
+// ringNow returns the current ring (immutable once built).
+func (p *peerLayer) ringNow() *cluster.Ring {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring
+}
+
+// urlOf resolves a member name to its base URL under the current
+// membership ("" when unknown).
+func (p *peerLayer) urlOf(name string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mem.Nodes[name]
+}
+
+// adopt installs mem if it is newer than the current membership and
+// reports whether a swap happened, firing onChange with the displaced and
+// new sets. Older or equal memberships are ignored (idempotent fan-out).
+func (p *peerLayer) adopt(mem cluster.Membership) bool {
+	p.mu.Lock()
+	if !mem.Newer(p.mem) {
+		p.mu.Unlock()
+		return false
+	}
+	old := p.mem
+	p.mem = mem.Clone()
+	p.ring = p.mem.Ring(p.vnodes)
+	now := p.mem.Clone()
+	hook := p.onChange
+	p.mu.Unlock()
+	p.m.adoptions.Inc()
+	p.m.epoch.Set(float64(mem.Epoch))
+	if hook != nil {
+		hook(old, now)
+	}
+	return true
+}
+
 // owner returns the name of the node owning a cache key.
-func (p *peerLayer) owner(key uint64) string { return p.ring.Owner(key) }
+func (p *peerLayer) owner(key uint64) string { return p.ringNow().Owner(key) }
 
 // claimLocal takes the cluster claim for a key on this node's own claim
 // table when this node owns the key, so peers asking the owner wait for
@@ -143,7 +226,7 @@ func (p *peerLayer) fill(ctx context.Context, key uint64) (*Summary, bool) {
 	if home == p.self {
 		return nil, false
 	}
-	url := fmt.Sprintf("%s/v1/peer/cache/%s?claim=1&wait_ms=%d", p.urls[home], cluster.FormatKey(key), p.waitMS)
+	url := fmt.Sprintf("%s/v1/peer/cache/%s?claim=1&wait_ms=%d", p.urlOf(home), cluster.FormatKey(key), p.waitMS)
 	// Two tries: the first may time out waiting on an in-flight claimer;
 	// the second re-checks after that claimer's store or expiry.
 	for attempt := 0; attempt < 2; attempt++ {
@@ -198,11 +281,22 @@ func (p *peerLayer) store(ctx context.Context, key uint64, sum *Summary) {
 	if home == p.self {
 		return
 	}
+	p.storeTo(ctx, home, key, sum)
+}
+
+// storeTo pushes a summary to a named member's cache via the write-through
+// PUT; used by store (owner write-through) and by the hot-entry
+// replicator (successor write). Failures are counted and ignored.
+func (p *peerLayer) storeTo(ctx context.Context, target string, key uint64, sum *Summary) {
 	body, err := json.Marshal(sum)
 	if err != nil {
 		return
 	}
-	url := fmt.Sprintf("%s/v1/peer/cache/%s", p.urls[home], cluster.FormatKey(key))
+	base := p.urlOf(target)
+	if base == "" {
+		return
+	}
+	url := fmt.Sprintf("%s/v1/peer/cache/%s", base, cluster.FormatKey(key))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(body))
 	if err != nil {
 		p.m.fillErrors.Inc()

@@ -185,8 +185,13 @@ type Service struct {
 	keys    *keyMemo
 	runOpts RunOptions
 
-	// peers is the cluster peer-cache layer (nil when standalone).
-	peers *peerLayer
+	// peers is the cluster peer-cache layer (nil when standalone). tuning,
+	// clusterStop and clusterWG drive the elasticity machinery — warm
+	// handoffs and the hot-entry replicator (see handoff.go).
+	peers       *peerLayer
+	tuning      handoffTuning
+	clusterStop chan struct{}
+	clusterWG   sync.WaitGroup
 
 	m svcMetrics
 }
@@ -265,6 +270,9 @@ func New(cfg Config) *Service {
 			panic("service: Cluster requires the result cache (CacheSize >= 0)")
 		}
 		s.peers = newPeerLayer(cfg.Cluster, cfg.Metrics)
+		s.tuning = cfg.Cluster.tuning()
+		s.clusterStop = make(chan struct{})
+		s.startCluster()
 	}
 	base := cfg.Runner
 	if base == nil {
@@ -621,6 +629,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	if !already {
+		if s.peers != nil {
+			s.stopCluster()
+		}
 		for _, j := range queued {
 			if wasQueued, _ := j.requestCancel(); wasQueued {
 				s.m.cancelled.Inc()
