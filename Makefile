@@ -25,10 +25,11 @@ vet-cluster:
 # Race-detector pass over the sharded execution engine and its consumers
 # (the LOCAL runtime, distributed Moser-Tardos, the distributed fixers), the
 # observability layer they report into (including the SLO burn-rate engine),
-# the fault-injection/recovery layer, the packed batch runners, the job
-# service on top, and the cluster tier (ring, membership, router).
+# the fault-injection/recovery layer, the packed batch runners, the
+# multi-tenant fair scheduler, the job service on top, and the cluster tier
+# (ring, membership, router).
 test-race:
-	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/slo/... ./internal/fault/... ./internal/batch/... ./internal/service/... ./internal/kernel/... ./internal/cluster/...
+	$(GO) test -race ./internal/local/... ./internal/mt/... ./internal/core/... ./internal/engine/... ./internal/obs/... ./internal/slo/... ./internal/fault/... ./internal/batch/... ./internal/tenant/... ./internal/service/... ./internal/kernel/... ./internal/cluster/...
 
 # One benchmark per paper figure/table plus solver micro-benches.
 bench:
@@ -76,13 +77,16 @@ fuzz:
 
 # The core-invariant fuzz targets at the 30s acceptance budget: property
 # P* under every strategy and family, representable-triple membership
-# against the closed-form surface, and the bit-packed assignment's
-# pack/unpack/flip round-trip against model.Assignment. Nightly CI runs
-# the same targets for 5 minutes each.
+# against the closed-form surface, the bit-packed assignment's
+# pack/unpack/flip round-trip against model.Assignment, and the tenant
+# policy parser's invariants (normalization idempotence, default tenant
+# materialization, limit validation). Nightly CI runs the same targets for
+# 5 minutes each.
 fuzz-short:
 	$(GO) test -run=NONE -fuzz='^FuzzPStarInvariant$$' -fuzztime=30s ./internal/core/
 	$(GO) test -run=NONE -fuzz='^FuzzRepresentableTriple$$' -fuzztime=30s ./internal/srep/
 	$(GO) test -run=NONE -fuzz='^FuzzAssignmentPackRoundTrip$$' -fuzztime=30s ./internal/kernel/
+	$(GO) test -run=NONE -fuzz='^FuzzTenantSpec$$' -fuzztime=30s ./internal/tenant/
 
 clean:
 	$(GO) clean -testcache

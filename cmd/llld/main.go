@@ -44,6 +44,22 @@
 // hottest owned cache entries (-cluster-hot-replicas) are write-through
 // replicated to the ring successor so even a SIGKILL does not cold-start
 // them.
+//
+// Multi-tenant serving: -tenants takes a tenancy policy (inline JSON or a
+// @file path) defining named tenants with weights, priority classes,
+// token-bucket rates and in-flight/queued quotas. Submissions label
+// themselves via the spec's "tenant" field or the X-Tenant header; the
+// scheduler then dispatches weighted-fair across tenants, quota and rate
+// rejections answer 429 with a per-tenant Retry-After, and GET /v1/tenants
+// reports the live per-tenant accounting:
+//
+//	llld -tenants '{"tenants":[{"name":"gold","weight":4},{"name":"free","weight":1,"rate":2,"burst":4}]}'
+//	llld -tenants @tenants.json -autotune
+//
+// -autotune turns on the AIMD concurrency controller: the effective
+// in-flight limit is halved on SLO fast burn or a p99 over the thresholds
+// and creeps up by one while a backlog waits, within
+// [-autotune-min, -autotune-max], re-evaluated every -autotune-interval.
 package main
 
 import (
@@ -63,6 +79,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/slo"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -104,6 +121,11 @@ func run() error {
 	clusterReplEvery := flag.Duration("cluster-replicate-interval", 0, "hot-entry replication cadence (0: default 2s)")
 	clusterHandoffChunk := flag.Int("cluster-handoff-chunk", 0, "warm-handoff entries per chunk (0: default 64)")
 	clusterHandoffRate := flag.Int("cluster-handoff-rate", 0, "warm-handoff rate bound in entries/second (0: default 4096)")
+	tenants := flag.String("tenants", "", "tenancy policy: inline JSON or @file (empty: single default tenant, no quotas)")
+	autotune := flag.Bool("autotune", false, "AIMD auto-tuning of the in-flight limit from latency histograms")
+	autotuneMin := flag.Int("autotune-min", 1, "auto-tuner: in-flight limit floor")
+	autotuneMax := flag.Int("autotune-max", 0, "auto-tuner: in-flight limit ceiling (0: 2x -inflight)")
+	autotuneInterval := flag.Duration("autotune-interval", 2*time.Second, "auto-tuner: control-loop evaluation cadence")
 	flag.Parse()
 
 	plan := fault.Plan{Seed: *injectSeed, PanicRate: *injectPanic, DropRate: *injectDrop, CrashRate: *injectCrash}
@@ -170,6 +192,36 @@ func run() error {
 		})
 		log.Printf("llld: SLO engine live: run<%v queue<%v target=%g windows=%v/%v burn=%g",
 			*sloRunThreshold, *sloQueueThreshold, *sloTarget, *sloShort, *sloLong, *sloBurn)
+	}
+	if *tenants != "" {
+		data := []byte(*tenants)
+		if strings.HasPrefix(*tenants, "@") {
+			var err error
+			if data, err = os.ReadFile(strings.TrimPrefix(*tenants, "@")); err != nil {
+				return fmt.Errorf("-tenants: %w", err)
+			}
+		}
+		tc, err := tenant.ParseConfig(data)
+		if err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+		cfg.Tenancy = tc
+		names := make([]string, 0, len(tc.Tenants))
+		for _, sp := range tc.Tenants {
+			names = append(names, fmt.Sprintf("%s(w%d)", sp.Name, sp.Weight))
+		}
+		log.Printf("llld: multi-tenant serving live: %s (unknown tenants %s)",
+			strings.Join(names, " "), map[bool]string{true: "fold into default", false: "rejected"}[tc.AllowUnknown])
+	}
+	if *autotune {
+		cfg.AutoTune = &service.AutoTuneConfig{
+			Min:            *autotuneMin,
+			Max:            *autotuneMax,
+			Interval:       *autotuneInterval,
+			RunThreshold:   *sloRunThreshold,
+			QueueThreshold: *sloQueueThreshold,
+		}
+		log.Printf("llld: AIMD in-flight auto-tuner live: [%d, %d] every %v", *autotuneMin, *autotuneMax, *autotuneInterval)
 	}
 	if plan.Enabled() {
 		log.Printf("llld: fault injection live: panic=%g drop=%g crash=%g seed=%d", plan.PanicRate, plan.DropRate, plan.CrashRate, plan.Seed)

@@ -49,6 +49,18 @@
 // latency — the extra time from a job's first "retry" event to its
 // terminal state — over all jobs that retried at least once.
 //
+// -tenants switches to the multi-tenant scenario mode: a comma-separated
+// list of name=profile:conc entries spawns conc workers per named tenant,
+// each labelling its submissions with the tenant (the spec's "tenant"
+// field) and pacing per its profile — "steady" paces submissions evenly,
+// "bursty" alternates half-second full-rate bursts with idle gaps, and
+// "adversarial" hammers the closed loop as fast as the daemon answers.
+// Back-pressure is classified per tenant from the 429 body: a tenant rate
+// limit ("throttled"), an exhausted tenant quota ("quota"), a full queue
+// ("reject"), plus deadline sheds ("shed"). The report appends a per-tenant
+// table: attempts, completed, achieved share of completions, p50/p99 and
+// the rejection classes — the fairness ledger for a weighted-tenant run.
+//
 // Usage:
 //
 //	lllload -addr http://localhost:8080 -c 8 -duration 30s \
@@ -56,6 +68,8 @@
 //	lllload -addr http://localhost:8080 -c 8 -jobs 50 -duration 2m -chaos 0.5
 //	lllload -addr http://localhost:8080 -c 4 -jobs 50 -batch 16 -cache \
 //	        -spec '{"family":"sinkless","n":256,"algorithm":"mtpar"}'
+//	lllload -addr http://localhost:8080 -duration 30s \
+//	        -tenants 'gold=steady:4,silver=steady:2,abuser=adversarial:6'
 package main
 
 import (
@@ -86,8 +100,13 @@ func main() {
 // outcome is one completed submit attempt.
 type outcome struct {
 	latency time.Duration // submit → terminal event (successful jobs only)
-	state   string        // terminal state, or "reject" / "shed" / "error"
-	retries int           // "retry" events observed on the stream
+	// state is the terminal state, or the back-pressure class: "reject"
+	// (queue overflow), "throttled" (tenant rate limit), "quota" (tenant
+	// quota exhausted), "shed" (deadline shed), or "error".
+	state string
+	// tenant is the tenant the submission was labelled with (scenario mode).
+	tenant  string
+	retries int // "retry" events observed on the stream
 	// migrated counts "migrated" events: how many times the routing tier
 	// moved this job to another node mid-run.
 	migrated int
@@ -166,6 +185,7 @@ func run() error {
 	chaosRetries := flag.Int("chaos-retries", 3, "chaos jobs: max_retries")
 	chaosCheckpoint := flag.Int("chaos-checkpoint", 16, "chaos jobs: checkpoint_every")
 	clusterReport := flag.Bool("cluster", false, "-addr is an lllrouter: append the GET /cluster balance report")
+	tenantsFlag := flag.String("tenants", "", "multi-tenant scenario: name=profile:conc,... with profile steady|bursty|adversarial (overrides -c)")
 	flag.Parse()
 
 	var spec map[string]any
@@ -177,6 +197,10 @@ func run() error {
 	}
 	if *batchSize > 0 && *chaos > 0 {
 		return fmt.Errorf("-batch cannot be combined with -chaos (batch jobs carry no fault-injection fields)")
+	}
+	profiles, err := parseTenantProfiles(*tenantsFlag)
+	if err != nil {
+		return err
 	}
 	cc := chaosCfg{
 		fraction:   *chaos,
@@ -232,35 +256,140 @@ func run() error {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for claim() {
-				o := submitAndFollow(ctx, client, *addr, spec, sc, nextSeq, cc, col)
-				col.add(o)
-				if o.state == "reject" || o.state == "shed" || o.state == "error" {
-					unclaim()
-				}
+	worker := func(tsc submitCfg, pace func(context.Context, time.Time)) {
+		defer wg.Done()
+		for claim() {
+			o := submitAndFollow(ctx, client, *addr, spec, tsc, nextSeq, cc, col)
+			col.add(o)
+			if backPressure(o.state) {
+				unclaim()
 			}
-		}()
+			if pace != nil {
+				pace(ctx, start)
+			}
+		}
+	}
+	workers := *concurrency
+	if len(profiles) == 0 {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go worker(sc, nil)
+		}
+	} else {
+		workers = 0
+		for _, p := range profiles {
+			tsc := sc
+			tsc.tenant = p.name
+			for w := 0; w < p.conc; w++ {
+				wg.Add(1)
+				go worker(tsc, p.pace())
+				workers++
+			}
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(col, elapsed, *concurrency)
+	report(col, elapsed, workers)
+	if len(profiles) > 0 {
+		reportTenants(col, profiles)
+	}
 	if *clusterReport {
 		return reportCluster(client, *addr)
 	}
 	return nil
 }
 
+// backPressure reports whether the state names a submission that never
+// became an admitted job — the worker hands its -jobs budget slot back.
+func backPressure(state string) bool {
+	switch state {
+	case "reject", "throttled", "quota", "shed", "error":
+		return true
+	}
+	return false
+}
+
+// tenantProfile is one entry of the -tenants scenario: conc closed-loop
+// workers submitting under the tenant's name with the profile's pacing.
+type tenantProfile struct {
+	name    string
+	profile string // steady | bursty | adversarial
+	conc    int
+}
+
+// pace returns the per-iteration pacing hook of the profile, or nil for an
+// unpaced loop. Steady workers space submissions evenly; bursty workers
+// alternate half-second full-rate windows with half-second idle gaps (the
+// worst case for a fair scheduler: synchronized backlog spikes);
+// adversarial workers never pause — their only brake is the daemon's own
+// back-pressure.
+func (p tenantProfile) pace() func(context.Context, time.Time) {
+	switch p.profile {
+	case "steady":
+		return func(ctx context.Context, _ time.Time) { sleepCtx(ctx, 50*time.Millisecond) }
+	case "bursty":
+		const period = 500 * time.Millisecond
+		return func(ctx context.Context, start time.Time) {
+			if phase := time.Since(start) % (2 * period); phase >= period {
+				sleepCtx(ctx, 2*period-phase)
+			}
+		}
+	default: // adversarial
+		return nil
+	}
+}
+
+// parseTenantProfiles parses "gold=steady:4,abuser=adversarial:6" into the
+// scenario's tenant profiles; empty input means the mode is off.
+func parseTenantProfiles(s string) ([]tenantProfile, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var profiles []tenantProfile
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q, want name=profile:conc", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate tenant %q in -tenants", name)
+		}
+		seen[name] = true
+		profile, concStr, _ := strings.Cut(rest, ":")
+		switch profile {
+		case "steady", "bursty", "adversarial":
+		default:
+			return nil, fmt.Errorf("bad -tenants profile %q for %q (want steady, bursty or adversarial)", profile, name)
+		}
+		conc := 1
+		if concStr != "" {
+			n, err := strconv.Atoi(concStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -tenants concurrency %q for %q", concStr, name)
+			}
+			conc = n
+		}
+		profiles = append(profiles, tenantProfile{name: name, profile: profile, conc: conc})
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("no tenants in -tenants %q", s)
+	}
+	return profiles, nil
+}
+
 // submitCfg selects the submission shape of the load: solo jobs or batch
-// jobs, seed policy, cache opt-in.
+// jobs, seed policy, cache opt-in, tenant label.
 type submitCfg struct {
 	varySeed bool
 	batch    int // 0: solo jobs; > 0: batch jobs of this many instances
 	cache    bool
+	tenant   string // label submissions with this tenant ("": unlabelled)
 }
 
 // submitAndFollow runs one closed-loop iteration: POST the spec (retrying
@@ -283,15 +412,19 @@ func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec
 			// keeps all instances of all submissions distinct.
 			tmpl["seed"] = (n-1)*int64(sc.batch) + 1
 		}
-		body, _ = json.Marshal(map[string]any{
+		req := map[string]any{
 			"template":  tmpl,
 			"count":     sc.batch,
 			"vary_seed": sc.varySeed,
 			"cache":     sc.cache,
-		})
+		}
+		if sc.tenant != "" {
+			req["tenant"] = sc.tenant
+		}
+		body, _ = json.Marshal(req)
 	} else {
-		if sc.varySeed || sc.cache || cc.pick(n) {
-			s := make(map[string]any, len(spec)+7)
+		if sc.varySeed || sc.cache || sc.tenant != "" || cc.pick(n) {
+			s := make(map[string]any, len(spec)+8)
 			for k, v := range spec {
 				s[k] = v
 			}
@@ -300,6 +433,9 @@ func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec
 			}
 			if sc.cache {
 				s["cache"] = true
+			}
+			if sc.tenant != "" {
+				s["tenant"] = sc.tenant
 			}
 			if cc.pick(n) {
 				s["max_retries"] = cc.retries
@@ -319,9 +455,11 @@ func submitAndFollow(ctx context.Context, client *http.Client, addr string, spec
 		col.transport(http5xx, 0)
 	}
 	if id == "" {
-		return outcome{state: state}
+		return outcome{state: state, tenant: sc.tenant}
 	}
-	return followJob(client, addr, id, begin, col)
+	o := followJob(client, addr, id, begin, col)
+	o.tenant = sc.tenant
+	return o
 }
 
 // submitJob POSTs the job, treating 5xx responses as transient: they are
@@ -357,12 +495,21 @@ func submitJob(ctx context.Context, client *http.Client, addr, path string, body
 			}
 			return view.ID, "", http5xx
 		case resp.StatusCode == http.StatusTooManyRequests:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			// Closed loop: back off as long as the daemon asked (50ms
 			// when it didn't say) so a saturated queue is retried, not
-			// hammered.
+			// hammered. The body distinguishes the three 429 control
+			// loops: the tenant's token bucket, the tenant's quota, and
+			// the shared queue overflowing.
 			sleepCtx(ctx, retryAfter(resp, 50*time.Millisecond))
+			switch {
+			case bytes.Contains(msg, []byte("rate limit")):
+				return "", "throttled", http5xx
+			case bytes.Contains(msg, []byte("quota")):
+				return "", "quota", http5xx
+			}
 			return "", "reject", http5xx
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -542,11 +689,18 @@ func report(col *collector, elapsed time.Duration, concurrency int) {
 	fmt.Printf("attempts:    %d  (%.1f/s)\n", attempts, float64(attempts)/elapsed.Seconds())
 	fmt.Printf("completed:   %d  (%.1f/s)\n", len(latencies), float64(len(latencies))/elapsed.Seconds())
 	if attempts > 0 {
-		// Overflow (429, full queue) and SLO shed (503, deliberate refusal)
-		// are different control loops; report them apart.
+		// Overflow (429, full queue), tenant back-pressure (429, rate limit
+		// or quota) and SLO shed (503, deliberate refusal) are different
+		// control loops; report them apart.
 		fmt.Printf("reject rate: %.2f%%  (%d of %d: queue overflow)\n", 100*float64(rejects)/float64(attempts), rejects, attempts)
+		if n := counts["throttled"]; n > 0 {
+			fmt.Printf("throttled:   %.2f%%  (%d of %d: tenant rate limit)\n", 100*float64(n)/float64(attempts), n, attempts)
+		}
+		if n := counts["quota"]; n > 0 {
+			fmt.Printf("quota:       %.2f%%  (%d of %d: tenant quota exhausted)\n", 100*float64(n)/float64(attempts), n, attempts)
+		}
 		if sheds > 0 {
-			fmt.Printf("shed rate:   %.2f%%  (%d of %d: SLO admission shed)\n", 100*float64(sheds)/float64(attempts), sheds, attempts)
+			fmt.Printf("shed rate:   %.2f%%  (%d of %d: admission shed)\n", 100*float64(sheds)/float64(attempts), sheds, attempts)
 		}
 	}
 	if migratedJobs > 0 {
@@ -585,6 +739,67 @@ func report(col *collector, elapsed time.Duration, concurrency int) {
 		percentile(latencies, 0.99).Round(time.Microsecond),
 		latencies[len(latencies)-1].Round(time.Microsecond))
 	reportSlowest(done)
+}
+
+// reportTenants prints the fairness ledger of a -tenants scenario run: one
+// line per profile with its attempts, completions, achieved share of all
+// completions (the number to hold against the configured weight ratios),
+// the completion latency p50/p99, and the back-pressure classes the tenant
+// hit. Share is computed over completed jobs — what the scheduler actually
+// dispatched — so an adversarial tenant's rejected flood does not count as
+// service received.
+func reportTenants(col *collector, profiles []tenantProfile) {
+	type agg struct {
+		attempts, completed              int
+		throttled, quota, shed, rejected int
+		latencies                        []time.Duration
+	}
+	byTenant := map[string]*agg{}
+	totalDone := 0
+	col.mu.Lock()
+	outcomes := col.outcomes
+	col.mu.Unlock()
+	for _, o := range outcomes {
+		a := byTenant[o.tenant]
+		if a == nil {
+			a = &agg{}
+			byTenant[o.tenant] = a
+		}
+		a.attempts++
+		switch o.state {
+		case "throttled":
+			a.throttled++
+		case "quota":
+			a.quota++
+		case "shed":
+			a.shed++
+		case "reject":
+			a.rejected++
+		case "done":
+			a.completed++
+			totalDone++
+			a.latencies = append(a.latencies, o.latency)
+		}
+	}
+	fmt.Printf("per tenant:  (%d completions total)\n", totalDone)
+	for _, p := range profiles {
+		a := byTenant[p.name]
+		if a == nil {
+			a = &agg{}
+		}
+		share := 0.0
+		if totalDone > 0 {
+			share = 100 * float64(a.completed) / float64(totalDone)
+		}
+		sort.Slice(a.latencies, func(i, j int) bool { return a.latencies[i] < a.latencies[j] })
+		p50, p99 := percentile(a.latencies, 0.50), percentile(a.latencies, 0.99)
+		// One space-separated key=value line per tenant: trivially awk-able,
+		// which is how the CI fairness smoke asserts the share ratios.
+		fmt.Printf("  %-12s %-14s attempts=%d completed=%d share=%.1f%% p50=%v p99=%v throttled=%d quota=%d shed=%d reject=%d\n",
+			p.name, p.profile+":"+strconv.Itoa(p.conc), a.attempts, a.completed, share,
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+			a.throttled, a.quota, a.shed, a.rejected)
+	}
 }
 
 // reportSlowest prints the trace IDs of the slowest decile of completed

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 // NewHandler returns the router's HTTP API. The job surface mirrors a
@@ -57,6 +58,16 @@ func NewHandler(r *Router, reg *obs.Registry) http.Handler {
 		writeJSON(w, http.StatusAccepted, job.view())
 	}
 
+	// relayTenant mirrors the node handler's X-Tenant handling: the header
+	// fills an unlabelled spec, and because the router forwards the SPEC
+	// (not the original headers) to the placed node, folding it in here is
+	// what makes tenancy survive the relay — and any migration retries.
+	relayTenant := func(js *service.JobSpec, req *http.Request) {
+		if js.Tenant == "" {
+			js.Tenant = req.Header.Get("X-Tenant")
+		}
+	}
+
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, req *http.Request) {
 		var js service.JobSpec
 		dec := json.NewDecoder(req.Body)
@@ -65,6 +76,7 @@ func NewHandler(r *Router, reg *obs.Registry) http.Handler {
 			http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
 			return
 		}
+		relayTenant(&js, req)
 		submit(w, js)
 	})
 
@@ -81,6 +93,7 @@ func NewHandler(r *Router, reg *obs.Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		relayTenant(&js, req)
 		submit(w, js)
 	})
 
@@ -149,13 +162,23 @@ type ClusterStatus struct {
 	// PerNode counts the jobs the router currently tracks per node
 	// (terminal jobs included until evicted) — the balance report's input.
 	PerNode map[string]int `json:"per_node"`
+	// PerTenant counts the tracked jobs per tenant label (unlabelled jobs
+	// under "default"), so one GET /cluster shows how tenancy traffic is
+	// balanced across the fleet.
+	PerTenant map[string]int `json:"per_tenant"`
 }
 
 // ClusterStatus assembles the GET /cluster payload.
 func (r *Router) ClusterStatus() ClusterStatus {
 	perNode := make(map[string]int)
+	perTenant := make(map[string]int)
 	r.mu.Lock()
 	for _, j := range r.order {
+		tn := j.spec.Tenant
+		if tn == "" {
+			tn = tenant.DefaultName
+		}
+		perTenant[tn]++
 		j.mu.Lock()
 		perNode[j.node]++
 		j.mu.Unlock()
@@ -168,6 +191,7 @@ func (r *Router) ClusterStatus() ClusterStatus {
 		Migrations: r.m.migrations.Value(),
 		Lost:       r.m.lost.Value(),
 		PerNode:    perNode,
+		PerTenant:  perTenant,
 	}
 }
 

@@ -1,0 +1,142 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/tenant"
+)
+
+// tenantTestPolicy is the multi-tenant policy installed on every node in
+// the relay tests: two named tenants, strict (unknown labels rejected).
+const tenantTestPolicy = `{"tenants":[
+	{"name":"gold","weight":3},
+	{"name":"tight","rate":0.5,"burst":1}]}`
+
+func tenantNodes(t *testing.T, n int) (map[string]*testNode, map[string]string) {
+	t.Helper()
+	tc, err := tenant.ParseConfig([]byte(tenantTestPolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return startNodes(t, n, func(cfg *service.Config) {
+		cfg.Tenancy = tc
+		cfg.Runner = func(ctx context.Context, js service.JobSpec, att service.Attempt, emit func(service.Event)) (*service.Summary, error) {
+			return &service.Summary{Algorithm: js.Algorithm, Satisfied: true}, nil
+		}
+	})
+}
+
+// TestRouterTenantRelay: the X-Tenant header survives the router hop (the
+// router folds it into the forwarded spec), a body-carried tenant wins over
+// the header, and GET /cluster reports the per-tenant balance.
+func TestRouterTenantRelay(t *testing.T) {
+	_, urls := tenantNodes(t, 2)
+	_, ts, _ := startRouter(t, urls)
+
+	post := func(body, header string) (service.View, int) {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if header != "" {
+			req.Header.Set("X-Tenant", header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v service.View
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return v, resp.StatusCode
+	}
+
+	// Header-attributed submission: the routed job's spec must carry the
+	// tenant, proving the node saw (and accounted) it.
+	v, code := post(`{}`, "gold")
+	if code != http.StatusAccepted {
+		t.Fatalf("header-labelled submit = %d, want 202", code)
+	}
+	if v.Spec.Tenant != "gold" {
+		t.Fatalf("routed spec tenant = %q, want gold (header relay lost)", v.Spec.Tenant)
+	}
+
+	// Body wins over header.
+	v, code = post(`{"tenant":"gold"}`, "tight")
+	if code != http.StatusAccepted {
+		t.Fatalf("body-labelled submit = %d, want 202", code)
+	}
+	if v.Spec.Tenant != "gold" {
+		t.Fatalf("body-labelled tenant = %q, want gold", v.Spec.Tenant)
+	}
+
+	// Unlabelled submission lands in the default tenant.
+	if _, code = post(`{}`, ""); code != http.StatusAccepted {
+		t.Fatalf("unlabelled submit = %d, want 202", code)
+	}
+
+	// An unknown tenant is a spec error on every node: fail fast with 400.
+	if _, code = post(`{}`, "who-dis"); code != http.StatusBadRequest {
+		t.Fatalf("unknown tenant via router = %d, want 400", code)
+	}
+
+	// Per-tenant balance on GET /cluster.
+	resp, err := http.Get(ts.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PerTenant["gold"] != 2 || st.PerTenant[tenant.DefaultName] != 1 {
+		t.Fatalf("per_tenant = %v, want gold:2 default:1", st.PerTenant)
+	}
+}
+
+// TestRouterTenantThrottleSpill: a tenant throttled on every node (the
+// per-node token buckets all reject) surfaces as a 429 through the router
+// after the spill sweep — the router does not mask tenant rate limits.
+func TestRouterTenantThrottleSpill(t *testing.T) {
+	_, urls := tenantNodes(t, 2)
+	r, ts, _ := startRouter(t, urls)
+
+	// Burst 1 per node: the first two submissions may each land on a
+	// different node (or spill); from the third on every bucket is empty.
+	throttled := 0
+	for i := 0; i < 5; i++ {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(`{"tenant":"tight"}`))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			throttled++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("throttled relay lost the Retry-After header")
+			}
+		}
+	}
+	if throttled < 3 {
+		t.Fatalf("throttled %d of 5 submissions, want >= 3 (burst 1 × 2 nodes)", throttled)
+	}
+	// The spill counter proves the router tried the other node before
+	// giving up.
+	if got := r.m.spills.Value(); got < 1 {
+		t.Errorf("spills = %d, want >= 1 (throttle should spill before 429)", got)
+	}
+}

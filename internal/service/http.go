@@ -19,6 +19,7 @@ import (
 //	GET    /v1/jobs/{id}/events NDJSON event stream, follows to terminal
 //	GET    /v1/jobs/{id}/checkpoint  latest saved checkpoint + resume spec
 //	DELETE /v1/jobs/{id}        cancel (idempotent)
+//	GET    /v1/tenants          per-tenant live accounting (share, quotas)
 //	GET    /healthz             200 serving | 503 draining
 //	GET    /slo                 SLO burn-rate status (when Config.SLO is set)
 //	/metrics, /debug/*          observability (obs.Handler on reg)
@@ -34,10 +35,14 @@ import (
 //	GET    /cluster             this node's membership view (epoch, nodes)
 //	POST   /cluster/members     admin join/leave: mint epoch, fan out
 //
-// Error mapping: 400 invalid spec/body, 404 unknown id, 429 queue full
-// (with Retry-After), 503 draining or shed under SLO fast burn (also with
-// Retry-After — both are transient, so clients should back off and retry
-// the same way they do on 429).
+// Submissions may carry an X-Tenant header naming the tenant to account
+// the job to (a body-carried "tenant" field wins); see Config.Tenancy.
+//
+// Error mapping: 400 invalid spec/body or unknown tenant, 404 unknown id,
+// 429 queue full / tenant rate limit / tenant quota (with Retry-After),
+// 503 draining or shed (SLO fast burn, or the tenant's live p99 over the
+// job's deadline — also with Retry-After; both are transient, so clients
+// should back off and retry the same way they do on 429).
 func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	oh := obs.Handler(reg, obs.Endpoint{Pattern: "/slo", Handler: s.cfg.SLO.Handler()})
@@ -61,6 +66,7 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 			http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
 			return
 		}
+		applyTenantHeader(&js, r)
 		job, err := s.Submit(js)
 		if submitError(w, err) {
 			return
@@ -81,12 +87,15 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		applyTenantHeader(&js, r)
 		job, err := s.Submit(js)
 		if submitError(w, err) {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job.View())
 	})
+
+	mux.HandleFunc("GET /v1/tenants", s.tenantsHandler)
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
 		jobs := s.List()
@@ -138,10 +147,22 @@ func NewHandler(s *Service, reg *obs.Registry) http.Handler {
 	return mux
 }
 
+// applyTenantHeader fills the spec's tenant from the X-Tenant request
+// header when the body did not name one — the header is how routers and
+// gateways attribute traffic without rewriting the JSON body. A
+// body-carried tenant wins (it survives re-submission of an exported
+// spec).
+func applyTenantHeader(js *JobSpec, r *http.Request) {
+	if js.Tenant == "" {
+		js.Tenant = r.Header.Get("X-Tenant")
+	}
+}
+
 // submitError maps a Submit error onto the response (writing it and
 // reporting true), or reports false for a nil error. The transient
-// rejections — queue full, draining, SLO shed — carry Retry-After so
-// well-behaved clients back off instead of hammering.
+// rejections — queue full, rate limit, quota, draining, shed — carry
+// Retry-After so well-behaved clients back off instead of hammering; the
+// tenant rejections compute it from the tenant's own refill rate.
 func submitError(w http.ResponseWriter, err error) bool {
 	switch {
 	case err == nil:
@@ -149,8 +170,14 @@ func submitError(w http.ResponseWriter, err error) bool {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrRateLimited), errors.Is(err, ErrQuotaExceeded):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(err)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrShed):
 		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrDeadlineShed):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(err)))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -178,13 +205,14 @@ type BatchRequest struct {
 	VarySeed bool `json:"vary_seed,omitempty"`
 	// Specs lists the instances explicitly instead of a template.
 	Specs []JobSpec `json:"specs,omitempty"`
-	// Cache / BatchGroup / Workers / TimeoutMS / MaxRetries set the
-	// corresponding fields of the batch job.
+	// Cache / BatchGroup / Workers / TimeoutMS / MaxRetries / Tenant set
+	// the corresponding fields of the batch job.
 	Cache      bool   `json:"cache,omitempty"`
 	BatchGroup string `json:"batch_group,omitempty"`
 	Workers    int    `json:"workers,omitempty"`
 	TimeoutMS  int64  `json:"timeout_ms,omitempty"`
 	MaxRetries int    `json:"max_retries,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
 }
 
 // JobSpec converts the request into the batch JobSpec submitted to the
@@ -224,6 +252,7 @@ func (req BatchRequest) JobSpec() (JobSpec, error) {
 		Workers:    req.Workers,
 		TimeoutMS:  req.TimeoutMS,
 		MaxRetries: req.MaxRetries,
+		Tenant:     req.Tenant,
 	}, nil
 }
 

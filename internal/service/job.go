@@ -197,6 +197,11 @@ type Job struct {
 	Spec JobSpec
 
 	created time.Time
+	// tenant is the resolved tenant the job is accounted to. Written once
+	// by Submit before the job becomes visible (so no lock), read by the
+	// scheduler, cancel and shutdown paths for limiter release and
+	// per-tenant accounting.
+	tenant string
 	// flight is the job's bounded flight recorder (see obs.Flight): event
 	// appends and checkpoint saves mirror into it, and finish dumps it into
 	// the end event of a failed or cancelled job.
@@ -518,8 +523,8 @@ type View struct {
 	ID string `json:"id"`
 	// TraceID is the job's request trace; grep it in the daemon's JSONL
 	// trace file (llld -trace) to reconstruct the job's full span tree.
-	TraceID string `json:"trace_id"`
-	State   State  `json:"state"`
+	TraceID string  `json:"trace_id"`
+	State   State   `json:"state"`
 	Spec    JobSpec `json:"spec"`
 	Created string  `json:"created"`
 	// QueueMS / RunMS are the queue wait and run duration in milliseconds

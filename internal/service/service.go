@@ -1,19 +1,27 @@
 // Package service is the long-running job subsystem of the repository: a
-// bounded FIFO queue with admission control in front of a scheduler that
-// executes LLL jobs — deterministic fixers, Moser-Tardos resamplers,
-// LOCAL-model runs — on the sharded engine worker pool, with per-job
-// cancellation, NDJSON event streams and a retained job store. cmd/llld
-// exposes it over HTTP.
+// bounded, weighted-fair queue with multi-tenant admission control in
+// front of a scheduler that executes LLL jobs — deterministic fixers,
+// Moser-Tardos resamplers, LOCAL-model runs — on the sharded engine worker
+// pool, with per-job cancellation, NDJSON event streams and a retained job
+// store. cmd/llld exposes it over HTTP.
 //
-// Concurrency model: admission (Submit) is a non-blocking send into a
-// bounded channel — a full queue rejects immediately with ErrQueueFull
-// (HTTP 429) instead of building an unbounded backlog. MaxInFlight
-// scheduler goroutines pop the channel and run one job each; the job's
-// inner parallelism rides the engine pool, so MaxInFlight × per-job
-// workers is the compute envelope. Cancellation uses the context plumbed
-// through local.Run and the resamplers: a running job stops within one
-// round and keeps its partial result. Shutdown stops admission, cancels
-// still-queued jobs, and drains the running ones.
+// Concurrency model: admission (Submit) is non-blocking — a full queue
+// rejects immediately with ErrQueueFull (HTTP 429) instead of building an
+// unbounded backlog. With Config.Tenancy set, admission first resolves the
+// job's tenant and runs its gates (token-bucket rate limit, in-flight
+// quota, deadline-aware shed against the tenant's live p99 — see
+// tenancy.go); the queue then interleaves tenants by stride scheduling
+// over per-tenant sub-queues (weighted fair within a priority class,
+// strict across classes). Without tenancy every job rides a single default
+// tenant and the queue degenerates to FIFO. MaxInFlight scheduler
+// goroutines pop the queue and run one job each; the job's inner
+// parallelism rides the engine pool, so MaxInFlight × per-job workers is
+// the compute envelope. With Config.AutoTune set, an AIMD controller
+// retunes the effective in-flight limit from the latency histograms.
+// Cancellation uses the context plumbed through local.Run and the
+// resamplers: a running job stops within one round and keeps its partial
+// result. Shutdown stops admission, cancels still-queued jobs, and drains
+// the running ones.
 package service
 
 import (
@@ -28,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/slo"
+	"repro/internal/tenant"
 )
 
 // Sentinel errors surfaced by Submit / Get / Cancel; the HTTP layer maps
@@ -128,6 +137,14 @@ type Config struct {
 	// (the default) runs standalone. Requires a result cache (CacheSize
 	// not negative).
 	Cluster *ClusterConfig
+	// Tenancy declares the multi-tenant policy: per-tenant weights,
+	// priority classes, rate limits and quotas (see tenant.ParseConfig).
+	// Nil (the default) serves everything as one default tenant with no
+	// limits — the pre-tenant behavior.
+	Tenancy *tenant.Config
+	// AutoTune enables the AIMD in-flight controller; nil keeps the limit
+	// pinned at MaxInFlight.
+	AutoTune *AutoTuneConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -161,8 +178,15 @@ type Service struct {
 	baseCtx    context.Context // parent of every job's run context
 	baseCancel context.CancelFunc
 
-	queue chan *Job
+	queue *tenant.Queue[*Job]
 	wg    sync.WaitGroup // scheduler goroutines
+
+	// tenancy is the multi-tenant admission state (nil when Config.Tenancy
+	// is nil); tuneStop/tuneWG drive the AIMD in-flight controller (see
+	// tenancy.go).
+	tenancy  *tenancy
+	tuneStop chan struct{}
+	tuneWG   sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -213,28 +237,32 @@ type svcMetrics struct {
 	checkpoints *obs.Counter
 	shed        *obs.Counter
 	fastBurn    *obs.Gauge
-	queueSec    *obs.Histogram
-	runSec      *obs.Histogram
+	// inflightLimit tracks the queue's effective running limit — pinned at
+	// MaxInFlight, or live when the AIMD auto-tuner drives it.
+	inflightLimit *obs.Gauge
+	queueSec      *obs.Histogram
+	runSec        *obs.Histogram
 }
 
 func newSvcMetrics(reg *obs.Registry) svcMetrics {
 	return svcMetrics{
-		queueDepth:  reg.Gauge("service_queue_depth"),
-		running:     reg.Gauge("service_jobs_running"),
-		submitted:   reg.Counter("service_jobs_submitted_total"),
-		rejects:     reg.Counter("service_admission_rejects_total"),
-		done:        reg.Counter("service_jobs_done_total"),
-		failed:      reg.Counter("service_jobs_failed_total"),
-		cancelled:   reg.Counter("service_jobs_cancelled_total"),
-		events:      reg.Counter("service_job_events_total"),
-		retries:     reg.Counter("service_retries_total"),
-		gaveup:      reg.Counter("service_gaveup_total"),
-		panics:      reg.Counter("service_panics_total"),
-		checkpoints: reg.Counter("service_checkpoints_total"),
-		shed:        reg.Counter("service_admission_shed_total"),
-		fastBurn:    reg.Gauge("service_slo_fast_burn"),
-		queueSec:    reg.Histogram("service_job_queue_seconds", obs.DurationBuckets),
-		runSec:      reg.Histogram("service_job_run_seconds", obs.DurationBuckets),
+		queueDepth:    reg.Gauge("service_queue_depth"),
+		running:       reg.Gauge("service_jobs_running"),
+		submitted:     reg.Counter("service_jobs_submitted_total"),
+		rejects:       reg.Counter("service_admission_rejects_total"),
+		done:          reg.Counter("service_jobs_done_total"),
+		failed:        reg.Counter("service_jobs_failed_total"),
+		cancelled:     reg.Counter("service_jobs_cancelled_total"),
+		events:        reg.Counter("service_job_events_total"),
+		retries:       reg.Counter("service_retries_total"),
+		gaveup:        reg.Counter("service_gaveup_total"),
+		panics:        reg.Counter("service_panics_total"),
+		checkpoints:   reg.Counter("service_checkpoints_total"),
+		shed:          reg.Counter("service_admission_shed_total"),
+		fastBurn:      reg.Gauge("service_slo_fast_burn"),
+		inflightLimit: reg.Gauge("service_inflight_limit"),
+		queueSec:      reg.Histogram("service_job_queue_seconds", obs.DurationBuckets),
+		runSec:        reg.Histogram("service_job_run_seconds", obs.DurationBuckets),
 	}
 }
 
@@ -245,10 +273,13 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:         cfg,
 		jobs:        make(map[string]*Job),
-		queue:       make(chan *Job, cfg.QueueCap),
+		queue:       tenant.NewQueue[*Job](cfg.QueueCap, cfg.Tenancy.Specs()),
 		retryTimers: make(map[string]*time.Timer),
 		backoffRand: prng.New(cfg.Fault.Seed ^ 0xb0ff),
 		m:           newSvcMetrics(cfg.Metrics),
+	}
+	if cfg.Tenancy != nil {
+		s.tenancy = newTenancy(cfg.Tenancy, cfg.Metrics)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runOpts = RunOptions{
@@ -292,7 +323,27 @@ func New(cfg Config) *Service {
 		}
 		return base(ctx, js, att, emit)
 	}
-	for i := 0; i < cfg.MaxInFlight; i++ {
+	// Worker pool vs effective limit: without auto-tuning the two coincide
+	// and the running gate is transparent (every worker always gets a
+	// slot). With auto-tuning, Max workers are parked behind the gate and
+	// the AIMD controller moves the limit between Min and Max.
+	workers, limit := cfg.MaxInFlight, cfg.MaxInFlight
+	if cfg.AutoTune != nil {
+		at := cfg.AutoTune.withDefaults(cfg.MaxInFlight)
+		workers = at.Max
+		if limit < at.Min {
+			limit = at.Min
+		}
+		if limit > at.Max {
+			limit = at.Max
+		}
+		s.tuneStop = make(chan struct{})
+		s.tuneWG.Add(1)
+		go s.autotune(at)
+	}
+	s.queue.SetRunningLimit(limit)
+	s.m.inflightLimit.Set(float64(limit))
+	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.scheduler()
 	}
@@ -301,18 +352,33 @@ func New(cfg Config) *Service {
 
 // Submit validates the spec and admits it into the queue, returning the
 // queued Job. It never blocks: a full queue returns ErrQueueFull, a
-// draining service ErrDraining, a bad spec the validation error.
+// draining service ErrDraining, a bad spec the validation error. With
+// tenancy on, the tenant's own gates run first — deadline shed
+// (ErrDeadlineShed), rate limit (ErrRateLimited), in-flight quota
+// (ErrQuotaExceeded) — and a tenant over its queued-jobs cap gets
+// ErrQuotaExceeded even when the global queue has room.
 func (s *Service) Submit(js JobSpec) (*Job, error) {
 	js, err := js.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tn, err := s.resolveTenant(js)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.shedCheck(js); err != nil {
 		return nil, err
 	}
+	// A nil error from admitTenant means the tenant was charged one
+	// in-flight unit: every early return below must release it.
+	if err := s.admitTenant(tn, js); err != nil {
+		return nil, err
+	}
+	tm := s.tenancy.metrics(tn)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.releaseTenant(tn)
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -321,21 +387,32 @@ func (s *Service) Submit(js JobSpec) (*Job, error) {
 		maxRetries = s.cfg.DefaultMaxRetries
 	}
 	job := newJob(fmt.Sprintf("j%06d", s.nextID), js, time.Now(), maxRetries)
+	job.tenant = tn
 	s.m.queueDepth.Add(1)
-	select {
-	case s.queue <- job:
-	default:
+	tm.queued.Add(1)
+	if err := s.queue.Push(tn, job); err != nil {
 		s.m.queueDepth.Add(-1)
+		tm.queued.Add(-1)
 		s.nextID--
 		s.mu.Unlock()
+		s.releaseTenant(tn)
 		s.m.rejects.Inc()
-		return nil, ErrQueueFull
+		switch {
+		case errors.Is(err, tenant.ErrTenantFull):
+			tm.quota.Inc()
+			return nil, retryAfterError{err: ErrQuotaExceeded, after: time.Second}
+		case errors.Is(err, tenant.ErrClosed):
+			return nil, ErrDraining
+		default:
+			return nil, ErrQueueFull
+		}
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job)
 	s.evictLocked()
 	s.mu.Unlock()
 	s.m.submitted.Inc()
+	tm.admitted.Inc()
 	return job, nil
 }
 
@@ -400,16 +477,18 @@ func (s *Service) Cancel(id string) (*Job, error) {
 	wasQueued, _ := job.requestCancel()
 	if wasQueued {
 		// The scheduler will pop the tombstone and skip it; account the
-		// cancellation here since no runner will.
+		// cancellation — and return the tenant's in-flight unit — here,
+		// since no runner will.
 		s.m.cancelled.Inc()
 		s.m.queueSec.Observe(job.queueTime().Seconds())
+		s.releaseTenant(job.tenant)
 	}
 	return job, nil
 }
 
 // QueueDepth reports the jobs currently waiting in the queue (including
 // cancelled tombstones that still hold their slot until popped).
-func (s *Service) QueueDepth() int { return len(s.queue) }
+func (s *Service) QueueDepth() int { return s.queue.Len() }
 
 // Draining reports whether Shutdown has begun.
 func (s *Service) Draining() bool {
@@ -418,16 +497,25 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
-// scheduler is one worker of the in-flight pool: it pops admitted jobs and
-// runs them — through retries, if the job has a budget — to a terminal
-// state, until the queue is closed by Shutdown.
+// scheduler is one worker of the in-flight pool: it pops admitted jobs
+// (in the queue's weighted-fair order) and runs them — through retries, if
+// the job has a budget — to a terminal state, until the queue is closed by
+// Shutdown. Pop also enforces the effective in-flight limit: with the
+// auto-tuner on, a worker beyond the current limit parks inside Pop.
 func (s *Service) scheduler() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, tn, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.m.queueDepth.Add(-1)
+		tm := s.tenancy.metrics(tn)
+		tm.queued.Add(-1)
 		ctx, attempt, cp, ok := job.begin(s.baseCtx)
 		if !ok {
-			continue // cancelled while queued
+			s.queue.Finish(tn)
+			continue // cancelled while queued; Cancel released the tenant
 		}
 		att := Attempt{
 			Number:     attempt,
@@ -449,6 +537,7 @@ func (s *Service) scheduler() {
 		}
 		queueWait := job.queueTime()
 		s.m.queueSec.Observe(queueWait.Seconds())
+		tm.queueSec.Observe(queueWait.Seconds())
 		s.cfg.SLO.Observe(SLOQueueWait, queueWait.Seconds(), job.TraceID)
 		s.emitPhase("queue_wait", queueWait, job, attempt)
 		s.m.running.Add(1)
@@ -463,16 +552,22 @@ func (s *Service) scheduler() {
 		runTime := job.runTime()
 		s.m.runSec.Observe(runTime.Seconds())
 		s.cfg.SLO.Observe(SLORunLatency, runTime.Seconds(), job.TraceID)
+		s.observeTenantRun(tn, runTime, job.TraceID)
 		if s.maybeRetry(job, err) {
+			s.queue.Finish(tn)
 			continue // re-admitted; a later pop runs the next attempt
 		}
 		state := job.finish(sum, err)
+		s.queue.Finish(tn)
+		s.releaseTenant(tn)
 		s.cfg.SLO.ObserveOutcome(SLOErrorRate, state != StateFailed, job.TraceID)
 		switch state {
 		case StateDone:
 			s.m.done.Inc()
+			tm.done.Inc()
 		case StateFailed:
 			s.m.failed.Inc()
+			tm.failed.Inc()
 		case StateCancelled:
 			s.m.cancelled.Inc()
 		}
@@ -555,21 +650,28 @@ func (s *Service) requeue(job *Job) {
 		s.mu.Unlock()
 		if wasQueued, _ := job.requestCancel(); wasQueued {
 			s.m.cancelled.Inc()
+			s.releaseTenant(job.tenant)
 		}
 		return
 	}
+	tm := s.tenancy.metrics(job.tenant)
 	s.m.queueDepth.Add(1)
-	select {
-	case s.queue <- job:
-		s.mu.Unlock()
-	default:
+	tm.queued.Add(1)
+	// A retrying job re-enters its tenant's sub-queue but not the limiter:
+	// its in-flight unit is still held from the original admission.
+	if err := s.queue.Push(job.tenant, job); err != nil {
 		s.m.queueDepth.Add(-1)
+		tm.queued.Add(-1)
 		s.mu.Unlock()
 		s.m.gaveup.Inc()
 		if job.failQueued("service: retry re-admission rejected: queue full") {
 			s.m.failed.Inc()
+			tm.failed.Inc()
+			s.releaseTenant(job.tenant)
 		}
+		return
 	}
+	s.mu.Unlock()
 }
 
 // evictLocked enforces Config.Retention: while more than Retention terminal
@@ -632,12 +734,17 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		if s.peers != nil {
 			s.stopCluster()
 		}
+		if s.tuneStop != nil {
+			close(s.tuneStop)
+			s.tuneWG.Wait()
+		}
 		for _, j := range queued {
 			if wasQueued, _ := j.requestCancel(); wasQueued {
 				s.m.cancelled.Inc()
+				s.releaseTenant(j.tenant)
 			}
 		}
-		close(s.queue)
+		s.queue.Close()
 	}
 
 	done := make(chan struct{})

@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/spec"
+	"repro/internal/tenant"
 )
 
 // Families accepted by JobSpec.Family. "inline" takes the instance from
@@ -81,6 +82,13 @@ type JobSpec struct {
 	// Instance carries an inline instance in the internal/spec JSON format
 	// (family "inline" only).
 	Instance json.RawMessage `json:"instance,omitempty"`
+
+	// Tenant is the tenant this job is accounted to for weighted-fair
+	// scheduling, rate limits and quotas (see internal/tenant). Empty maps
+	// to the "default" tenant; the HTTP layer also fills it from the
+	// X-Tenant request header. 1–32 characters from [a-zA-Z0-9_-]. With
+	// tenancy disabled the label is validated but has no effect.
+	Tenant string `json:"tenant,omitempty"`
 
 	// Algorithm: seq | dist | mtseq | mtpar | mtdist | oneshot
 	// (default dist).
@@ -273,6 +281,11 @@ func (s JobSpec) withDefaults() (JobSpec, error) {
 	}
 	if s.CheckpointEvery < 0 {
 		return s, fmt.Errorf("checkpoint_every = %d must be non-negative", s.CheckpointEvery)
+	}
+	if s.Tenant != "" {
+		if err := tenant.ValidName(s.Tenant); err != nil {
+			return s, err
+		}
 	}
 	if len(s.TraceID) > 64 {
 		return s, fmt.Errorf("trace_id longer than 64 characters")

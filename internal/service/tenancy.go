@@ -1,0 +1,419 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/slo"
+	"repro/internal/tenant"
+)
+
+// Multi-tenant serving errors. All three map to client-visible rejections:
+// 429 for rate/quota (with per-tenant Retry-After), 400 for an unknown
+// tenant label, 503 for the per-tenant deadline shed.
+var (
+	// ErrRateLimited: the tenant's token-bucket rate limit rejected the
+	// submission (HTTP 429 + Retry-After).
+	ErrRateLimited = errors.New("service: tenant rate limit exceeded")
+	// ErrQuotaExceeded: the tenant's in-flight or queued-jobs quota
+	// rejected the submission (HTTP 429 + Retry-After).
+	ErrQuotaExceeded = errors.New("service: tenant quota exhausted")
+	// ErrUnknownTenant: the spec names a tenant the policy does not
+	// declare, and unknown tenants are not allowed (HTTP 400).
+	ErrUnknownTenant = errors.New("service: unknown tenant")
+	// ErrDeadlineShed: admission shed the job because the tenant's live
+	// p99 run latency exceeds the job's deadline — it would burn an engine
+	// slot and still miss (HTTP 503 + Retry-After). Unlike ErrShed this
+	// does not wait for an SLO fast burn: the tenant's own recent latency
+	// is evidence enough.
+	ErrDeadlineShed = errors.New("service: admission shed: tenant live p99 run latency exceeds the job deadline")
+)
+
+// retryAfterError decorates a rejection sentinel with the client backoff
+// the HTTP layer serializes into Retry-After. errors.Is sees through it.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e retryAfterError) Error() string { return e.err.Error() }
+func (e retryAfterError) Unwrap() error { return e.err }
+
+// retryAfterSeconds extracts the suggested backoff of a rejection, in
+// whole seconds (minimum 1), for the Retry-After header.
+func retryAfterSeconds(err error) int {
+	var ra retryAfterError
+	if errors.As(err, &ra) && ra.after > 0 {
+		s := int((ra.after + time.Second - 1) / time.Second)
+		if s >= 1 {
+			return s
+		}
+	}
+	return 1
+}
+
+// tenantShedMinSamples is the minimum long-window sample count before the
+// per-tenant deadline shed trusts the live p99 — a cold tenant is never
+// shed on one slow request.
+const tenantShedMinSamples = 20
+
+// AutoTuneConfig enables the AIMD MaxInFlight controller: the service
+// spawns Max scheduler workers and adjusts the queue's running limit every
+// Interval from the PR 2 latency histograms (interval-delta p99s of
+// service_job_run_seconds / service_job_queue_seconds) and the SLO
+// engine's fast-burn signal. See tenant.AutoTuner for the policy.
+type AutoTuneConfig struct {
+	// Min / Max bound the tuned limit. Defaults: 1 and
+	// max(2×MaxInFlight, MaxInFlight+2).
+	Min, Max int
+	// Interval is the control tick (default 2s).
+	Interval time.Duration
+	// RunThreshold / QueueThreshold are the overload and backlog p99
+	// triggers (defaults 2s and 500ms).
+	RunThreshold   time.Duration
+	QueueThreshold time.Duration
+}
+
+func (c AutoTuneConfig) withDefaults(maxInFlight int) AutoTuneConfig {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 2 * maxInFlight
+		if c.Max < maxInFlight+2 {
+			c.Max = maxInFlight + 2
+		}
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.RunThreshold <= 0 {
+		c.RunThreshold = 2 * time.Second
+	}
+	if c.QueueThreshold <= 0 {
+		c.QueueThreshold = 500 * time.Millisecond
+	}
+	return c
+}
+
+// tenantMetrics are one tenant's tenant_<name>_* instruments on the
+// service registry (nil-safe throughout: with Metrics nil every field is a
+// nil collector). A nil *tenantMetrics (tenancy disabled) is also valid.
+type tenantMetrics struct {
+	queued    *obs.Gauge
+	admitted  *obs.Counter
+	throttled *obs.Counter
+	quota     *obs.Counter
+	shed      *obs.Counter
+	done      *obs.Counter
+	failed    *obs.Counter
+	share     *obs.Gauge
+	queueSec  *obs.Histogram
+	runSec    *obs.Histogram
+}
+
+func newTenantMetrics(reg *obs.Registry, name string) *tenantMetrics {
+	v := reg.WithPrefix("tenant_" + tenant.MetricName(name) + "_")
+	return &tenantMetrics{
+		queued:    v.Gauge("queue_depth"),
+		admitted:  v.Counter("admitted_total"),
+		throttled: v.Counter("throttled_total"),
+		quota:     v.Counter("quota_rejects_total"),
+		shed:      v.Counter("shed_total"),
+		done:      v.Counter("done_total"),
+		failed:    v.Counter("failed_total"),
+		share:     v.Gauge("share"),
+		queueSec:  v.Histogram("job_queue_seconds", obs.DurationBuckets),
+		runSec:    v.Histogram("job_run_seconds", obs.DurationBuckets),
+	}
+}
+
+// tenancy is the service's multi-tenant state: the parsed policy, the
+// admission limiter, the per-tenant live-latency engine backing the
+// deadline shed, and the per-tenant metric views. Nil when Config.Tenancy
+// is nil — the queue then runs a single default tenant and admission skips
+// straight through.
+type tenancy struct {
+	cfg     *tenant.Config
+	specs   []tenant.Spec
+	limiter *tenant.Limiter
+	// lat tracks each tenant's run latency in its own sliding-window
+	// objective (named by tenant), feeding the per-tenant p99 the deadline
+	// shed compares against.
+	lat *slo.Engine
+	tm  map[string]*tenantMetrics
+}
+
+func newTenancy(cfg *tenant.Config, reg *obs.Registry) *tenancy {
+	specs := cfg.Specs()
+	objectives := make([]slo.Objective, len(specs))
+	for i, sp := range specs {
+		objectives[i] = slo.Objective{Name: sp.Name, Kind: slo.Latency, Target: 0.99, Threshold: 2}
+	}
+	t := &tenancy{
+		cfg:     cfg,
+		specs:   specs,
+		limiter: tenant.NewLimiter(specs, nil),
+		lat:     slo.NewEngine(slo.Config{Objectives: objectives}),
+		tm:      make(map[string]*tenantMetrics, len(specs)),
+	}
+	for _, sp := range specs {
+		t.tm[sp.Name] = newTenantMetrics(reg, sp.Name)
+	}
+	return t
+}
+
+// noTenantMetrics is the disabled instrument set: all-nil collectors, so
+// every field access stays valid and every method is a no-op.
+var noTenantMetrics = &tenantMetrics{}
+
+// metrics returns the named tenant's instruments; the disabled set (never
+// nil) when tenancy is off or the name is unknown.
+func (t *tenancy) metrics(name string) *tenantMetrics {
+	if t == nil {
+		return noTenantMetrics
+	}
+	if tm := t.tm[name]; tm != nil {
+		return tm
+	}
+	return noTenantMetrics
+}
+
+// resolveTenant maps the spec's tenant label to the accounted tenant.
+func (s *Service) resolveTenant(js JobSpec) (string, error) {
+	if s.tenancy == nil {
+		return tenant.DefaultName, nil
+	}
+	tn, err := s.tenancy.cfg.Resolve(js.Tenant)
+	if err != nil {
+		s.m.rejects.Inc()
+		return "", fmt.Errorf("%w: %q", ErrUnknownTenant, js.Tenant)
+	}
+	return tn, nil
+}
+
+// admitTenant runs the tenant's admission gates in rejection-cost order:
+// the deadline shed (prediction only, no state), then the limiter (quota
+// before bucket — see tenant.Limiter). A nil error means the tenant was
+// charged one in-flight unit that must be released when the job goes
+// terminal (or admission later fails — see Submit's rollbacks).
+func (s *Service) admitTenant(tn string, js JobSpec) error {
+	if s.tenancy == nil {
+		return nil
+	}
+	tm := s.tenancy.metrics(tn)
+	if js.TimeoutMS > 0 {
+		p99, n, ok := s.tenancy.lat.QuantileN(tn, 0.99)
+		if ok && n >= tenantShedMinSamples && p99 > float64(js.TimeoutMS)/1000 {
+			tm.shed.Inc()
+			s.m.shed.Inc()
+			s.m.rejects.Inc()
+			return retryAfterError{err: ErrDeadlineShed, after: time.Second}
+		}
+	}
+	d := s.tenancy.limiter.Admit(tn)
+	switch {
+	case errors.Is(d.Err, tenant.ErrThrottled):
+		tm.throttled.Inc()
+		s.m.rejects.Inc()
+		return retryAfterError{err: ErrRateLimited, after: d.RetryAfter}
+	case errors.Is(d.Err, tenant.ErrQuota):
+		tm.quota.Inc()
+		s.m.rejects.Inc()
+		return retryAfterError{err: ErrQuotaExceeded, after: d.RetryAfter}
+	case d.Err != nil:
+		s.m.rejects.Inc()
+		return d.Err
+	}
+	return nil
+}
+
+// releaseTenant returns the tenant's in-flight unit. Call exactly once per
+// successful admitTenant, when the job reaches a terminal state (the
+// scheduler's finish, a cancel while queued, the shutdown sweep, or a
+// failed retry re-admission).
+func (s *Service) releaseTenant(tn string) {
+	if s.tenancy == nil {
+		return
+	}
+	s.tenancy.limiter.Release(tn)
+}
+
+// observeTenantRun records a finished attempt's run latency against the
+// tenant's metrics and live-latency objective (feeding the deadline shed),
+// and refreshes the share gauges from the queue's dispatch counters.
+func (s *Service) observeTenantRun(tn string, runTime time.Duration, trace string) {
+	t := s.tenancy
+	if t == nil {
+		return
+	}
+	t.lat.Observe(tn, runTime.Seconds(), trace)
+	t.metrics(tn).runSec.Observe(runTime.Seconds())
+	var total uint64
+	counts := make([]uint64, len(t.specs))
+	for i, sp := range t.specs {
+		counts[i] = s.queue.Popped(sp.Name)
+		total += counts[i]
+	}
+	if total == 0 {
+		return
+	}
+	for i, sp := range t.specs {
+		t.metrics(sp.Name).share.Set(float64(counts[i]) / float64(total))
+	}
+}
+
+// TenantStatus is one tenant's live accounting, served by GET /v1/tenants.
+type TenantStatus struct {
+	Name     string `json:"name"`
+	Weight   int    `json:"weight"`
+	Priority int    `json:"priority"`
+	// Queued / InFlight are live queue depth and admitted-but-not-terminal
+	// counts; Dispatched counts scheduler pops (the share numerator).
+	Queued     int    `json:"queued"`
+	InFlight   int    `json:"in_flight"`
+	Dispatched uint64 `json:"dispatched"`
+	// Share is the tenant's fraction of all dispatches so far.
+	Share float64 `json:"share"`
+	// Admitted / Throttled / QuotaRejects / Shed / Done / Failed mirror the
+	// tenant_* counters (zero when the service runs without a registry).
+	Admitted     int64 `json:"admitted"`
+	Throttled    int64 `json:"throttled"`
+	QuotaRejects int64 `json:"quota_rejects"`
+	Shed         int64 `json:"shed"`
+	Done         int64 `json:"done"`
+	Failed       int64 `json:"failed"`
+	// P99RunS is the tenant's live p99 run latency (seconds) over the
+	// deadline-shed window; 0 until samples arrive.
+	P99RunS float64 `json:"p99_run_s,omitempty"`
+}
+
+// TenantStatuses snapshots every tenant, sorted by name. With tenancy
+// disabled it reports the single default tenant's queue state.
+func (s *Service) TenantStatuses() []TenantStatus {
+	t := s.tenancy
+	if t == nil {
+		return []TenantStatus{{
+			Name:       tenant.DefaultName,
+			Weight:     1,
+			Queued:     s.queue.Len(),
+			Dispatched: s.queue.Popped(tenant.DefaultName),
+			Share:      1,
+		}}
+	}
+	var total uint64
+	out := make([]TenantStatus, len(t.specs))
+	for i, sp := range t.specs {
+		d := s.queue.Popped(sp.Name)
+		total += d
+		tm := t.metrics(sp.Name)
+		out[i] = TenantStatus{
+			Name:         sp.Name,
+			Weight:       sp.Weight,
+			Priority:     sp.Priority,
+			Queued:       s.queue.LenTenant(sp.Name),
+			InFlight:     t.limiter.InFlight(sp.Name),
+			Dispatched:   d,
+			Admitted:     tm.admitted.Value(),
+			Throttled:    tm.throttled.Value(),
+			QuotaRejects: tm.quota.Value(),
+			Shed:         tm.shed.Value(),
+			Done:         tm.done.Value(),
+			Failed:       tm.failed.Value(),
+		}
+		if p99, n, ok := t.lat.QuantileN(sp.Name, 0.99); ok && n > 0 {
+			out[i].P99RunS = p99
+		}
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Share = float64(out[i].Dispatched) / float64(total)
+		}
+	}
+	return out
+}
+
+// tenantsHandler serves GET /v1/tenants.
+func (s *Service) tenantsHandler(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.TenantStatuses())
+}
+
+// autotune is the AIMD control loop: every tick it derives interval p99s
+// from the delta of the latency histograms (a sliding view over exactly
+// the last interval's jobs), reads the SLO fast-burn alarm, and retunes
+// the queue's running limit. Runs until Shutdown closes tuneStop.
+func (s *Service) autotune(cfg AutoTuneConfig) {
+	defer s.tuneWG.Done()
+	tuner := tenant.AutoTuner{
+		Min:            cfg.Min,
+		Max:            cfg.Max,
+		RunThreshold:   cfg.RunThreshold.Seconds(),
+		QueueThreshold: cfg.QueueThreshold.Seconds(),
+	}
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	prevRun := s.m.runSec.BucketCounts()
+	prevQueue := s.m.queueSec.BucketCounts()
+	for {
+		select {
+		case <-s.tuneStop:
+			return
+		case <-ticker.C:
+		}
+		curRun := s.m.runSec.BucketCounts()
+		curQueue := s.m.queueSec.BucketCounts()
+		sig := tenant.Signals{
+			FastBurn: s.cfg.SLO.FastBurn(),
+			RunP99:   deltaP99(s.m.runSec.Bounds(), prevRun, curRun),
+			QueueP99: deltaP99(s.m.queueSec.Bounds(), prevQueue, curQueue),
+		}
+		prevRun, prevQueue = curRun, curQueue
+		limit := tuner.Next(s.queue.RunningLimit(), sig)
+		s.queue.SetRunningLimit(limit)
+		s.m.inflightLimit.Set(float64(limit))
+	}
+}
+
+// deltaP99 estimates the p99 (upper bucket bound) of the observations that
+// landed between two bucket-count snapshots of one histogram. 0 when the
+// interval saw no samples or the histograms are disabled (nil snapshots).
+func deltaP99(bounds []float64, prev, cur []int64) float64 {
+	if len(cur) == 0 || len(prev) != len(cur) {
+		return 0
+	}
+	var total int64
+	delta := make([]int64, len(cur))
+	for i := range cur {
+		d := cur[i] - prev[i]
+		if d < 0 {
+			d = 0
+		}
+		delta[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := total*99/100 + 1
+	if rank > total {
+		rank = total
+	}
+	var run int64
+	for i, d := range delta {
+		run += d
+		if run >= rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			// +Inf bucket: report beyond the last bound.
+			return bounds[len(bounds)-1] * 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,699 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/tenant"
+)
+
+// mustTenants parses a tenant policy through the real parser so tests get
+// the same normalization (defaults, sorting) the daemon gets.
+func mustTenants(t *testing.T, cfg string) *tenant.Config {
+	t.Helper()
+	tc, err := tenant.ParseConfig([]byte(cfg))
+	if err != nil {
+		t.Fatalf("tenant config: %v", err)
+	}
+	return tc
+}
+
+// tenantRunner is a stubRunner variant that reports which TENANT started
+// (the fairness suite dispatches on that, not the family).
+type tenantRunner struct {
+	started chan string
+	release chan struct{}
+}
+
+func newTenantRunner() *tenantRunner {
+	return &tenantRunner{started: make(chan string, 2048), release: make(chan struct{}, 2048)}
+}
+
+func (r *tenantRunner) run(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
+	r.started <- js.Tenant
+	select {
+	case <-r.release:
+		return &Summary{Algorithm: js.Algorithm, Satisfied: true}, nil
+	case <-ctx.Done():
+		return &Summary{Algorithm: js.Algorithm}, fmt.Errorf("stub stopped: %w", ctx.Err())
+	}
+}
+
+// nextStart releases one run slot and reports which tenant the scheduler
+// dispatched into it.
+func (r *tenantRunner) nextStart(t *testing.T) string {
+	t.Helper()
+	r.release <- struct{}{}
+	select {
+	case tn := <-r.started:
+		return tn
+	case <-time.After(5 * time.Second):
+		t.Fatal("no dispatch within 5s")
+		return ""
+	}
+}
+
+// TestTenantWFQSharesService: under saturation (every tenant backlogged),
+// dispatch shares converge to the declared weight ratios within 10%. This
+// is the service-level twin of the queue-level property test in
+// internal/tenant — it pins that Submit/scheduler wiring preserves the
+// stride order.
+func TestTenantWFQSharesService(t *testing.T) {
+	tc := mustTenants(t, `{"tenants":[
+		{"name":"a","weight":1},{"name":"b","weight":2},{"name":"c","weight":4}]}`)
+	r := newTenantRunner()
+	s := New(Config{QueueCap: 1024, MaxInFlight: 1, Tenancy: tc, Runner: r.run})
+	defer s.Shutdown(context.Background())
+
+	// Occupy the single worker so the backlog builds while nothing pops.
+	if _, err := s.Submit(JobSpec{Tenant: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-r.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pilot job never started")
+	}
+	const perTenant = 100
+	for i := 0; i < perTenant; i++ {
+		for _, tn := range []string{"a", "b", "c"} {
+			if _, err := s.Submit(JobSpec{Tenant: tn}); err != nil {
+				t.Fatalf("submit %s[%d]: %v", tn, i, err)
+			}
+		}
+	}
+	r.release <- struct{}{} // let the pilot finish
+
+	// Count the next 70 dispatches: every tenant stays backlogged
+	// (70·4/7 = 40 < 100), so shares must track weights 1:2:4.
+	counts := map[string]int{}
+	const window = 70
+	for i := 0; i < window; i++ {
+		counts[r.nextStart(t)]++
+	}
+	want := map[string]float64{"a": 1.0 / 7, "b": 2.0 / 7, "c": 4.0 / 7}
+	for tn, frac := range want {
+		got := float64(counts[tn]) / window
+		if rel := (got - frac) / frac; rel < -0.10 || rel > 0.10 {
+			t.Errorf("tenant %s share = %.3f (want %.3f ±10%%); counts=%v", tn, got, frac, counts)
+		}
+	}
+
+	close(r.release) // drain the rest
+}
+
+// TestTenantPriorityService: a higher priority class preempts (in queue
+// order) any lower class regardless of weights.
+func TestTenantPriorityService(t *testing.T) {
+	tc := mustTenants(t, `{"tenants":[
+		{"name":"bulk","weight":1000},{"name":"rt","weight":1,"priority":3}]}`)
+	r := newTenantRunner()
+	s := New(Config{QueueCap: 256, MaxInFlight: 1, Tenancy: tc, Runner: r.run})
+	defer s.Shutdown(context.Background())
+
+	if _, err := s.Submit(JobSpec{Tenant: "bulk"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-r.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pilot job never started")
+	}
+	for i := 0; i < 20; i++ {
+		s.Submit(JobSpec{Tenant: "bulk"})
+	}
+	for i := 0; i < 5; i++ {
+		s.Submit(JobSpec{Tenant: "rt"})
+	}
+	r.release <- struct{}{}
+	for i := 0; i < 5; i++ {
+		if tn := r.nextStart(t); tn != "rt" {
+			t.Fatalf("dispatch %d = %q, want rt (strict priority)", i, tn)
+		}
+	}
+	if tn := r.nextStart(t); tn != "bulk" {
+		t.Fatalf("post-priority dispatch = %q, want bulk", tn)
+	}
+	close(r.release)
+}
+
+// TestTenantRateLimitIsolation: an adversarial tenant hammering far past
+// its rate is throttled at admission with per-tenant accounting, while a
+// well-behaved tenant's submissions are entirely unaffected.
+func TestTenantRateLimitIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	tc := mustTenants(t, `{"tenants":[
+		{"name":"good"},{"name":"abuser","rate":5,"burst":2,"max_queued":4}]}`)
+	r := newTenantRunner()
+	s := New(Config{QueueCap: 256, MaxInFlight: 1, Tenancy: tc, Metrics: reg, Runner: r.run})
+	defer s.Shutdown(context.Background())
+
+	// Hold the worker on a good job so admitted jobs stay queued.
+	if _, err := s.Submit(JobSpec{Tenant: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-r.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pilot job never started")
+	}
+
+	admitted, throttled := 0, 0
+	for i := 0; i < 40; i++ {
+		_, err := s.Submit(JobSpec{Tenant: "abuser"})
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrRateLimited):
+			throttled++
+			if ra := retryAfterSeconds(err); ra < 1 {
+				t.Fatalf("rate-limit Retry-After = %d, want >= 1", ra)
+			}
+		case errors.Is(err, ErrQuotaExceeded):
+			// Burst landed in the queue faster than tokens refilled and hit
+			// max_queued; also a correct rejection.
+		default:
+			t.Fatalf("abuser submit %d: unexpected error %v", i, err)
+		}
+	}
+	if admitted > 4 {
+		t.Errorf("abuser got %d jobs admitted, want <= burst+refill (4)", admitted)
+	}
+	if throttled < 30 {
+		t.Errorf("abuser throttled %d times, want >= 30", throttled)
+	}
+
+	// The good tenant is untouched: every submission admits.
+	goodJobs := 10
+	for i := 0; i < goodJobs; i++ {
+		if _, err := s.Submit(JobSpec{Tenant: "good"}); err != nil {
+			t.Fatalf("good submit %d rejected: %v", i, err)
+		}
+	}
+	close(r.release)
+	waitCounter(t, reg, "tenant_good_done_total", int64(goodJobs+1))
+
+	if got := reg.Counter("tenant_good_throttled_total").Value(); got != 0 {
+		t.Errorf("good tenant throttled %d times, want 0", got)
+	}
+	if got := reg.Counter("tenant_abuser_throttled_total").Value(); got != int64(throttled) {
+		t.Errorf("tenant_abuser_throttled_total = %d, want %d", got, throttled)
+	}
+	if got := reg.Counter("tenant_good_admitted_total").Value(); got != int64(goodJobs+1) {
+		t.Errorf("tenant_good_admitted_total = %d, want %d", got, goodJobs+1)
+	}
+}
+
+// waitCounter polls a registry counter until it reaches want.
+func waitCounter(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(name).Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d within 5s", name, reg.Counter(name).Value(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTenantInFlightQuotaService: max_in_flight counts admitted-but-not-
+// terminal jobs; the quota frees exactly when a job goes terminal.
+func TestTenantInFlightQuotaService(t *testing.T) {
+	tc := mustTenants(t, `{"tenants":[{"name":"q","max_in_flight":1}]}`)
+	r := newTenantRunner()
+	s := New(Config{QueueCap: 16, MaxInFlight: 2, Tenancy: tc, Runner: r.run})
+	defer s.Shutdown(context.Background())
+
+	a, err := s.Submit(JobSpec{Tenant: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "q"}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second submit err = %v, want ErrQuotaExceeded", err)
+	}
+	select {
+	case <-r.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+	r.release <- struct{}{}
+	waitState(t, a, StateDone)
+	b, err := s.Submit(JobSpec{Tenant: "q"})
+	if err != nil {
+		t.Fatalf("submit after release: %v", err)
+	}
+	select {
+	case <-r.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job b never started")
+	}
+	r.release <- struct{}{}
+	waitState(t, b, StateDone)
+}
+
+// TestTenantDeadlineShed: once a tenant's live p99 run latency exceeds a
+// job's deadline, the job is shed at admission — it never reaches the
+// queue or the engine (zero runner invocations) — while deadline-free jobs
+// and healthy tenants admit normally.
+func TestTenantDeadlineShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	tc := mustTenants(t, `{"tenants":[{"name":"slow"},{"name":"fast"}]}`)
+	r := newStubRunner()
+	s := New(Config{QueueCap: 16, MaxInFlight: 1, Tenancy: tc, Metrics: reg, Runner: r.run})
+	defer s.Shutdown(context.Background())
+
+	// Feed the slow tenant's live-latency objective directly: 30 samples at
+	// ~1s each (inside the histogram's bounded buckets), well past the
+	// min-sample gate.
+	for i := 0; i < 30; i++ {
+		s.tenancy.lat.Observe("slow", 1.0, "")
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "slow", TimeoutMS: 100}); !errors.Is(err, ErrDeadlineShed) {
+		t.Fatalf("doomed submit err = %v, want ErrDeadlineShed", err)
+	}
+	if got := r.runs.Load(); got != 0 {
+		t.Fatalf("shed job reached the engine: %d runs, want 0", got)
+	}
+	if got := reg.Counter("tenant_slow_shed_total").Value(); got != 1 {
+		t.Errorf("tenant_slow_shed_total = %d, want 1", got)
+	}
+	// A deadline the p99 can meet is admitted.
+	if _, err := s.Submit(JobSpec{Tenant: "slow", TimeoutMS: 60_000}); err != nil {
+		t.Fatalf("achievable-deadline submit: %v", err)
+	}
+	// No deadline: never shed.
+	if _, err := s.Submit(JobSpec{Tenant: "slow"}); err != nil {
+		t.Fatalf("deadline-free submit: %v", err)
+	}
+	// A different tenant with the same deadline is untouched.
+	if _, err := s.Submit(JobSpec{Tenant: "fast", TimeoutMS: 100}); err != nil {
+		t.Fatalf("healthy-tenant submit: %v", err)
+	}
+	// A cold tenant (few samples) is never shed on thin evidence.
+	for i := 0; i < tenantShedMinSamples-1; i++ {
+		s.tenancy.lat.Observe("fast", 5.0, "")
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "fast", TimeoutMS: 100}); err != nil {
+		t.Fatalf("cold-tenant submit: %v", err)
+	}
+	close(r.release)
+}
+
+// TestTenantUnknownRejected: a strict policy rejects undeclared tenant
+// labels with ErrUnknownTenant; allow_unknown folds them into default.
+func TestTenantUnknownRejected(t *testing.T) {
+	r := newStubRunner()
+	strict := New(Config{QueueCap: 4, MaxInFlight: 1, Runner: r.run,
+		Tenancy: mustTenants(t, `{"tenants":[{"name":"a"}]}`)})
+	defer strict.Shutdown(context.Background())
+	if _, err := strict.Submit(JobSpec{Tenant: "nope"}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("strict submit err = %v, want ErrUnknownTenant", err)
+	}
+
+	open := New(Config{QueueCap: 4, MaxInFlight: 1, Runner: r.run,
+		Tenancy: mustTenants(t, `{"tenants":[{"name":"a"}],"allow_unknown":true}`)})
+	defer open.Shutdown(context.Background())
+	job, err := open.Submit(JobSpec{Tenant: "nope"})
+	if err != nil {
+		t.Fatalf("open submit: %v", err)
+	}
+	if job.tenant != tenant.DefaultName {
+		t.Fatalf("open submit accounted to %q, want %q", job.tenant, tenant.DefaultName)
+	}
+	close(r.release)
+}
+
+// TestTenantDifferentialFIFO: with exactly one tenant at weight 1 and no
+// quotas, the tenant path is bit-identical to the pre-tenant FIFO service:
+// same dispatch order, same final assignment hashes, through the REAL
+// runner.
+func TestTenantDifferentialFIFO(t *testing.T) {
+	const jobs = 6
+	runOne := func(tc *tenant.Config, label string) (order []uint64, hashes []uint64) {
+		var mu sync.Mutex
+		cfg := Config{
+			QueueCap: 32, MaxInFlight: 1, MaxWorkersPerJob: 2,
+			CacheSize: -1, Tenancy: tc,
+			Runner: func(ctx context.Context, js JobSpec, att Attempt, emit func(Event)) (*Summary, error) {
+				mu.Lock()
+				order = append(order, js.Seed)
+				mu.Unlock()
+				return RunSpec(ctx, js, att, emit, RunOptions{MaxWorkers: 2})
+			},
+		}
+		s := New(cfg)
+		defer s.Shutdown(context.Background())
+		var list []*Job
+		for i := 0; i < jobs; i++ {
+			js := JobSpec{Family: FamilySinkless, N: 48, Margin: 0.9, Algorithm: AlgSeq, Seed: uint64(i + 1)}
+			if label != "" {
+				js.Tenant = label
+			}
+			j, err := s.Submit(js)
+			if err != nil {
+				t.Fatalf("%s submit %d: %v", label, i, err)
+			}
+			list = append(list, j)
+		}
+		for _, j := range list {
+			waitState(t, j, StateDone)
+			hashes = append(hashes, j.View().Result.AssignmentHash)
+		}
+		return order, hashes
+	}
+
+	fifoOrder, fifoHashes := runOne(nil, "")
+	tenOrder, tenHashes := runOne(mustTenants(t, `{"tenants":[{"name":"only","weight":1}]}`), "only")
+
+	for i := range fifoOrder {
+		if fifoOrder[i] != tenOrder[i] {
+			t.Fatalf("dispatch order diverged at %d: fifo=%v tenant=%v", i, fifoOrder, tenOrder)
+		}
+	}
+	for i := range fifoHashes {
+		if fifoHashes[i] == 0 {
+			t.Fatalf("job %d produced no assignment hash", i)
+		}
+		if fifoHashes[i] != tenHashes[i] {
+			t.Fatalf("assignment hash %d diverged: fifo=%x tenant=%x", i, fifoHashes[i], tenHashes[i])
+		}
+	}
+}
+
+// TestTenantMetricsScrape: the per-tenant metric families round-trip
+// through the Prometheus text exposition with the values the counters
+// hold.
+func TestTenantMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	tc := mustTenants(t, `{"tenants":[{"name":"gold","weight":3},{"name":"sil-ver"}]}`)
+	r := newStubRunner()
+	s := New(Config{QueueCap: 16, MaxInFlight: 1, Tenancy: tc, Metrics: reg, Runner: r.run})
+	defer s.Shutdown(context.Background())
+
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(JobSpec{Tenant: "gold"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "sil-ver"}); err != nil {
+		t.Fatal(err)
+	}
+	close(r.release)
+	waitCounter(t, reg, "tenant_gold_done_total", 3)
+	waitCounter(t, reg, "tenant_sil_ver_done_total", 1)
+
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scraped := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if name, val, ok := strings.Cut(line, " "); ok {
+			scraped[name] = val
+		}
+	}
+	want := map[string]string{
+		"tenant_gold_admitted_total":    "3",
+		"tenant_gold_done_total":        "3",
+		"tenant_sil_ver_admitted_total": "1", // dash folded to underscore
+		"tenant_sil_ver_done_total":     "1",
+		"tenant_gold_throttled_total":   "0",
+	}
+	for name, val := range want {
+		if got, ok := scraped[name]; !ok || got != val {
+			t.Errorf("scrape %s = %q (present=%v), want %q", name, got, ok, val)
+		}
+	}
+	// Share gauges exist and sum to ~1 across tenants.
+	var shareSum float64
+	for _, tn := range []string{"default", "gold", "sil_ver"} {
+		v, ok := scraped["tenant_"+tn+"_share"]
+		if !ok {
+			t.Fatalf("scrape missing tenant_%s_share", tn)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("tenant_%s_share = %q: %v", tn, v, err)
+		}
+		shareSum += f
+	}
+	if shareSum < 0.99 || shareSum > 1.01 {
+		t.Errorf("share gauges sum to %v, want ~1", shareSum)
+	}
+}
+
+// TestTenantStatusEndpoint: GET /v1/tenants serves the live per-tenant
+// accounting, sorted by name.
+func TestTenantStatusEndpoint(t *testing.T) {
+	tc := mustTenants(t, `{"tenants":[{"name":"b","weight":2},{"name":"a","rate":100,"max_in_flight":7}]}`)
+	r := newStubRunner()
+	s := New(Config{QueueCap: 16, MaxInFlight: 1, Tenancy: tc, Metrics: obs.NewRegistry(), Runner: r.run})
+	defer s.Shutdown(context.Background())
+	h := NewHandler(s, nil)
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobSpec{Tenant: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/tenants", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /v1/tenants = %d, want 200", rec.Code)
+	}
+	var sts []TenantStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &sts); err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 3 || sts[0].Name != "a" || sts[1].Name != "b" || sts[2].Name != "default" {
+		t.Fatalf("tenants = %+v, want [a b default]", sts)
+	}
+	if sts[0].Admitted != 2 || sts[0].InFlight != 2 {
+		t.Errorf("tenant a: admitted=%d in_flight=%d, want 2/2", sts[0].Admitted, sts[0].InFlight)
+	}
+	if sts[1].Weight != 2 {
+		t.Errorf("tenant b weight = %d, want 2", sts[1].Weight)
+	}
+	close(r.release)
+}
+
+// TestTenantHTTPRejections: the HTTP layer maps the tenant rejections to
+// 429/400/503 with a Retry-After computed from the tenant's own refill
+// rate, and X-Tenant headers attribute traffic.
+func TestTenantHTTPRejections(t *testing.T) {
+	tc := mustTenants(t, `{"tenants":[{"name":"tight","rate":0.5,"burst":1}]}`)
+	r := newStubRunner()
+	s := New(Config{QueueCap: 16, MaxInFlight: 1, Tenancy: tc, Runner: r.run})
+	defer s.Shutdown(context.Background())
+	h := NewHandler(s, nil)
+
+	post := func(tenantHeader string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader("{}"))
+		if tenantHeader != "" {
+			req.Header.Set("X-Tenant", tenantHeader)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post("tight"); rec.Code != 202 {
+		t.Fatalf("first tight submit = %d (%s), want 202", rec.Code, rec.Body)
+	}
+	rec := post("tight")
+	if rec.Code != 429 {
+		t.Fatalf("second tight submit = %d, want 429", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "rate limit") {
+		t.Errorf("throttle body %q should name the rate limit", rec.Body)
+	}
+	// rate 0.5/s: one token takes 2s to refill; Retry-After must say so.
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 2 {
+		t.Errorf("Retry-After = %q, want >= 2 seconds at rate 0.5", rec.Header().Get("Retry-After"))
+	}
+	if rec := post("who-dis"); rec.Code != 400 {
+		t.Errorf("unknown tenant = %d, want 400", rec.Code)
+	}
+	close(r.release)
+}
+
+// TestAutoTuneService: with AutoTune on, Max workers exist but only the
+// current limit run concurrently; the limit gauge reflects it; and with no
+// overload signals the limit holds steady.
+func TestAutoTuneService(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newTenantRunner()
+	s := New(Config{QueueCap: 32, MaxInFlight: 2, Metrics: reg, Runner: r.run,
+		AutoTune: &AutoTuneConfig{Min: 1, Max: 4, Interval: 20 * time.Millisecond}})
+	defer s.Shutdown(context.Background())
+
+	if got := reg.Gauge("service_inflight_limit").Value(); got != 2 {
+		t.Fatalf("initial inflight limit gauge = %v, want 2", got)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Submit(JobSpec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactly 2 dispatch; a third must not start while the limit holds.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-r.started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("dispatch %d never happened", i)
+		}
+	}
+	select {
+	case tn := <-r.started:
+		t.Fatalf("third job (tenant %q) dispatched past the in-flight limit", tn)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(r.release)
+}
+
+// TestTenantChaosMixedProfiles is the -race chaos tier: three tenant
+// profiles (a heavy gold, a steady silver, a rate-limited abuser) submit
+// real jobs concurrently under fault injection (shard panics + message
+// drops) with retries and random cancels, against the auto-tuner. The
+// service must stay consistent: every job terminal, every tenant's
+// in-flight quota fully released, queue empty.
+func TestTenantChaosMixedProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos tier skipped in -short")
+	}
+	reg := obs.NewRegistry()
+	tc := mustTenants(t, `{"tenants":[
+		{"name":"gold","weight":4,"priority":1},
+		{"name":"silver","weight":2},
+		{"name":"abuser","rate":200,"burst":20,"max_queued":16,"max_in_flight":24}]}`)
+	s := New(Config{
+		QueueCap: 128, MaxInFlight: 3, MaxWorkersPerJob: 2, CacheSize: -1,
+		Tenancy: tc, Metrics: reg,
+		Fault:             fault.Plan{Seed: 42, PanicRate: 0.03, DropRate: 0.02},
+		DefaultMaxRetries: 2,
+		RetryBackoff:      time.Millisecond, RetryBackoffMax: 5 * time.Millisecond,
+		AutoTune: &AutoTuneConfig{Min: 1, Max: 4, Interval: 25 * time.Millisecond},
+	})
+
+	const perTenant = 20
+	var (
+		mu   sync.Mutex
+		jobs []*Job
+	)
+	var wg sync.WaitGroup
+	for ti, tn := range []string{"gold", "silver", "abuser"} {
+		wg.Add(1)
+		go func(ti int, tn string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + ti)))
+			algs := []string{AlgSeq, AlgDist}
+			for i := 0; i < perTenant; i++ {
+				js := JobSpec{
+					Family: FamilySinkless, N: 24, Margin: 0.9,
+					Algorithm: algs[i%len(algs)], Seed: uint64(ti*1000 + i + 1),
+					Tenant: tn,
+				}
+				j, err := s.Submit(js)
+				if err != nil {
+					// Rate/quota rejections are the abuser's expected fate;
+					// anything else under this load is a bug.
+					if !errors.Is(err, ErrRateLimited) && !errors.Is(err, ErrQuotaExceeded) &&
+						!errors.Is(err, ErrQueueFull) {
+						t.Errorf("%s submit %d: %v", tn, i, err)
+					}
+					continue
+				}
+				mu.Lock()
+				jobs = append(jobs, j)
+				mu.Unlock()
+				if rng.Intn(10) == 0 {
+					s.Cancel(j.ID)
+				}
+				if tn != "abuser" {
+					time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				}
+			}
+		}(ti, tn)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for _, j := range jobs {
+		for !j.State().Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s (tenant %s) stuck in %q", j.ID, j.tenant, j.State())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Every admission's in-flight unit must be back.
+	waitInFlightDrained(t, s, []string{"gold", "silver", "abuser", "default"})
+	if got := s.QueueDepth(); got != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", got)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// waitInFlightDrained polls until every tenant's limiter in-flight count
+// returns to zero (terminal-state accounting lags job.State() by a few
+// instructions in the scheduler).
+func waitInFlightDrained(t *testing.T, s *Service, tenants []string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leaked := ""
+		for _, tn := range tenants {
+			if n := s.tenancy.limiter.InFlight(tn); n != 0 {
+				leaked = fmt.Sprintf("tenant %s holds %d in-flight units", tn, n)
+			}
+		}
+		if leaked == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(leaked)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTenancyDisabledUnchanged: without Config.Tenancy the service behaves
+// exactly as before — no tenant gates, single FIFO order, and the status
+// endpoint reports one default tenant.
+func TestTenancyDisabledUnchanged(t *testing.T) {
+	r := newStubRunner()
+	s := New(Config{QueueCap: 8, MaxInFlight: 1, Runner: r.run})
+	defer s.Shutdown(context.Background())
+
+	// A tenant label on the spec is validated but inert.
+	if _, err := s.Submit(JobSpec{Tenant: "anything-goes"}); err != nil {
+		t.Fatalf("labelled submit without tenancy: %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "bad name!"}); err == nil {
+		t.Fatal("invalid tenant name must still fail spec validation")
+	}
+	sts := s.TenantStatuses()
+	if len(sts) != 1 || sts[0].Name != tenant.DefaultName {
+		t.Fatalf("statuses without tenancy = %+v, want the single default", sts)
+	}
+	close(r.release)
+}

@@ -139,24 +139,24 @@ type objective struct {
 	def       Objective
 	bounds    []float64
 	slots     []slot
-	head      int       // index of the slot now() falls in
-	headStart time.Time // start of the head slot
+	head      int        // index of the slot now() falls in
+	headStart time.Time  // start of the head slot
 	exemplars []Exemplar // len(bounds)+1; zero Trace = none yet
 }
 
 // Engine evaluates a set of objectives. All methods are safe for
 // concurrent use; a nil *Engine is the disabled engine.
 type Engine struct {
-	mu        sync.Mutex
-	byName    map[string]*objective
-	order     []*objective
-	slotDur   time.Duration
-	shortN    int // slots covered by the short window
-	longN     int // slots covered by the long window (== len(slots))
-	factor    float64
-	short     time.Duration
-	long      time.Duration
-	now       func() time.Time
+	mu      sync.Mutex
+	byName  map[string]*objective
+	order   []*objective
+	slotDur time.Duration
+	shortN  int // slots covered by the short window
+	longN   int // slots covered by the long window (== len(slots))
+	factor  float64
+	short   time.Duration
+	long    time.Duration
+	now     func() time.Time
 }
 
 // NewEngine builds an engine from cfg. Returns nil (the disabled engine)
@@ -394,20 +394,20 @@ func quantile(bounds []float64, buckets []int64, q float64) float64 {
 
 // ObjectiveStatus is the evaluated state of one objective.
 type ObjectiveStatus struct {
-	Name       string  `json:"name"`
-	Kind       string  `json:"kind"`
-	Target     float64 `json:"target"`
-	Threshold  float64 `json:"threshold_s,omitempty"`
-	Good       int64   `json:"good"`
-	Bad        int64   `json:"bad"`
-	BurnShort  float64 `json:"burn_short"`
-	BurnLong   float64 `json:"burn_long"`
-	FastBurn   bool    `json:"fast_burn"`
-	P50        Seconds `json:"p50_s,omitempty"`
-	P99        Seconds `json:"p99_s,omitempty"`
-	Bounds     []float64  `json:"bounds,omitempty"`
-	Buckets    []int64    `json:"buckets,omitempty"` // cumulative, +Inf last
-	Exemplars  []Exemplar `json:"exemplars,omitempty"`
+	Name      string     `json:"name"`
+	Kind      string     `json:"kind"`
+	Target    float64    `json:"target"`
+	Threshold float64    `json:"threshold_s,omitempty"`
+	Good      int64      `json:"good"`
+	Bad       int64      `json:"bad"`
+	BurnShort float64    `json:"burn_short"`
+	BurnLong  float64    `json:"burn_long"`
+	FastBurn  bool       `json:"fast_burn"`
+	P50       Seconds    `json:"p50_s,omitempty"`
+	P99       Seconds    `json:"p99_s,omitempty"`
+	Bounds    []float64  `json:"bounds,omitempty"`
+	Buckets   []int64    `json:"buckets,omitempty"` // cumulative, +Inf last
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Status is the engine's full evaluated state, the /slo JSON document.
@@ -486,19 +486,29 @@ func (e *Engine) FastBurn() bool {
 // objective over the long window, and whether the window holds any
 // samples. (0, false) on a nil engine, unknown name or Ratio objective.
 func (e *Engine) Quantile(name string, q float64) (float64, bool) {
+	v, n, ok := e.QuantileN(name, q)
+	return v, ok && n > 0
+}
+
+// QuantileN is Quantile plus the sample count backing the estimate, so
+// callers gating decisions on a quantile (the tenant deadline shed) can
+// require a minimum population instead of trusting a one-sample p99.
+// (0, 0, false) on a nil engine, unknown name or Ratio objective; ok is
+// true with n == 0 when the objective exists but its window is empty.
+func (e *Engine) QuantileN(name string, q float64) (v float64, n int64, ok bool) {
 	if e == nil {
-		return 0, false
+		return 0, 0, false
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	o := e.byName[name]
 	if o == nil || o.def.Kind != Latency {
-		return 0, false
+		return 0, 0, false
 	}
 	e.advance(o, e.now())
 	good, bad, buckets := o.window(e.longN)
 	if good+bad == 0 {
-		return 0, false
+		return 0, 0, true
 	}
-	return quantile(o.bounds, buckets, q), true
+	return quantile(o.bounds, buckets, q), good + bad, true
 }

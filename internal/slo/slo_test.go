@@ -314,3 +314,44 @@ func TestConcurrentObserveIsRaceClean(t *testing.T) {
 		t.Fatalf("lost observations: %+v", st.Objectives[0])
 	}
 }
+
+// TestQuantileN: the sample-count variant distinguishes "objective absent"
+// (ok=false) from "window empty" (ok=true, n=0) from "populated" (n>0),
+// and the count tracks the sliding window as old samples age out.
+func TestQuantileN(t *testing.T) {
+	ck := newClock()
+	e := testEngine(t, ck)
+
+	if _, _, ok := e.QuantileN("nope", 0.99); ok {
+		t.Fatal("unknown objective must report ok=false")
+	}
+	if _, _, ok := e.QuantileN("error_rate", 0.99); ok {
+		t.Fatal("ratio objective must report ok=false")
+	}
+	if v, n, ok := e.QuantileN("run_latency", 0.99); !ok || n != 0 || v != 0 {
+		t.Fatalf("empty window: (%v, %d, %v), want (0, 0, true)", v, n, ok)
+	}
+	for i := 0; i < 40; i++ {
+		e.Observe("run_latency", 0.05, "")
+	}
+	v, n, ok := e.QuantileN("run_latency", 0.99)
+	if !ok || n != 40 {
+		t.Fatalf("populated window: n=%d ok=%v, want 40/true", n, ok)
+	}
+	if v != 0.1 {
+		t.Fatalf("p99 = %v, want bucket bound 0.1", v)
+	}
+	// Quantile must agree with QuantileN's view.
+	if v2, ok2 := e.Quantile("run_latency", 0.99); !ok2 || v2 != v {
+		t.Fatalf("Quantile = (%v, %v), want (%v, true)", v2, ok2, v)
+	}
+	// Age the window out: the count returns to zero (ok stays true).
+	ck.Advance(2 * time.Minute)
+	if _, n, ok := e.QuantileN("run_latency", 0.99); !ok || n != 0 {
+		t.Fatalf("aged window: n=%d ok=%v, want 0/true", n, ok)
+	}
+	var nilEng *Engine
+	if _, _, ok := nilEng.QuantileN("run_latency", 0.99); ok {
+		t.Fatal("nil engine must report ok=false")
+	}
+}

@@ -1,0 +1,84 @@
+package tenant
+
+// Signals are the live latency observations one AutoTuner step consumes.
+// The service derives RunP99/QueueP99 from interval deltas of the PR 2
+// latency histograms (service_job_run_seconds / service_job_queue_seconds),
+// so the controller sees a sliding-window view, and FastBurn from the SLO
+// engine's multi-window burn rate.
+type Signals struct {
+	// FastBurn: the SLO engine's fast-burn alarm is tripped.
+	FastBurn bool
+	// RunP99 / QueueP99 are interval p99s in seconds (0 when no samples
+	// landed in the interval — treated as "no signal", never as "fast").
+	RunP99   float64
+	QueueP99 float64
+}
+
+// AutoTuner is the AIMD controller that tunes the scheduler's running
+// limit (MaxInFlight): multiplicative decrease while the system shows
+// overload (SLO fast burn, or run p99 above the threshold — concurrency
+// beyond the engine pool's capacity inflates every job), additive increase
+// while jobs queue up with healthy run latency (spare capacity is being
+// left idle). The asymmetry is deliberate: back off fast, probe slowly.
+//
+// The zero value is not useful; fill Min/Max (and optionally the
+// thresholds) and call Next on each control tick. AutoTuner is pure —
+// state lives in the caller's current limit — so it is trivially testable.
+type AutoTuner struct {
+	// Min / Max bound the limit (Min >= 1).
+	Min, Max int
+	// RunThreshold is the run-latency p99 (seconds) above which the tuner
+	// treats the system as overloaded; 0 disables the latency trigger
+	// (fast burn still decreases).
+	RunThreshold float64
+	// QueueThreshold is the queue-wait p99 (seconds) above which the tuner
+	// grows the limit when run latency is healthy; 0 grows whenever any
+	// queue wait was observed.
+	QueueThreshold float64
+	// Step is the additive increase per tick (default 1).
+	Step int
+	// Decrease is the multiplicative factor applied on overload, in
+	// (0, 1); 0 defaults to 0.5.
+	Decrease float64
+}
+
+// Next returns the limit for the coming interval given the current limit
+// and the last interval's signals.
+func (t AutoTuner) Next(cur int, s Signals) int {
+	min, max := t.Min, t.Max
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if cur < min {
+		cur = min
+	}
+	if cur > max {
+		cur = max
+	}
+	step := t.Step
+	if step <= 0 {
+		step = 1
+	}
+	dec := t.Decrease
+	if dec <= 0 || dec >= 1 {
+		dec = 0.5
+	}
+	overloaded := s.FastBurn || (t.RunThreshold > 0 && s.RunP99 > t.RunThreshold)
+	backlogged := s.QueueP99 > t.QueueThreshold
+	switch {
+	case overloaded:
+		cur = int(float64(cur) * dec)
+	case backlogged && s.QueueP99 > 0:
+		cur += step
+	}
+	if cur < min {
+		cur = min
+	}
+	if cur > max {
+		cur = max
+	}
+	return cur
+}

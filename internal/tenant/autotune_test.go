@@ -1,0 +1,65 @@
+package tenant
+
+import "testing"
+
+// TestAutoTunerAIMD: multiplicative decrease on overload, additive
+// increase on backlog, hold when healthy, always inside [Min, Max].
+func TestAutoTunerAIMD(t *testing.T) {
+	tuner := AutoTuner{Min: 1, Max: 16, RunThreshold: 2.0, QueueThreshold: 0.5}
+
+	if got := tuner.Next(8, Signals{FastBurn: true}); got != 4 {
+		t.Errorf("fast burn: 8 -> %d, want 4 (halve)", got)
+	}
+	if got := tuner.Next(8, Signals{RunP99: 3.0}); got != 4 {
+		t.Errorf("run p99 over threshold: 8 -> %d, want 4", got)
+	}
+	if got := tuner.Next(8, Signals{QueueP99: 1.0, RunP99: 0.1}); got != 9 {
+		t.Errorf("backlog with healthy runs: 8 -> %d, want 9 (additive)", got)
+	}
+	if got := tuner.Next(8, Signals{QueueP99: 0.1, RunP99: 0.1}); got != 8 {
+		t.Errorf("healthy: 8 -> %d, want 8 (hold)", got)
+	}
+	if got := tuner.Next(8, Signals{}); got != 8 {
+		t.Errorf("no samples: 8 -> %d, want 8 (no signal, no move)", got)
+	}
+
+	// Bounds: repeated decrease floors at Min, repeated increase caps at Max.
+	cur := 16
+	for i := 0; i < 10; i++ {
+		cur = tuner.Next(cur, Signals{FastBurn: true})
+	}
+	if cur != 1 {
+		t.Errorf("repeated decrease settled at %d, want Min=1", cur)
+	}
+	for i := 0; i < 30; i++ {
+		cur = tuner.Next(cur, Signals{QueueP99: 10})
+	}
+	if cur != 16 {
+		t.Errorf("repeated increase settled at %d, want Max=16", cur)
+	}
+
+	// Overload wins over backlog: both signals high must shrink.
+	if got := tuner.Next(8, Signals{RunP99: 5, QueueP99: 5}); got != 4 {
+		t.Errorf("overload+backlog: 8 -> %d, want 4 (back off first)", got)
+	}
+}
+
+// TestAutoTunerDefaults: zero Step/Decrease take sane defaults, degenerate
+// bounds are repaired, out-of-range current values are clamped.
+func TestAutoTunerDefaults(t *testing.T) {
+	tuner := AutoTuner{Min: 0, Max: 0}
+	if got := tuner.Next(5, Signals{}); got != 1 {
+		t.Errorf("degenerate bounds: Next(5) = %d, want clamp to 1", got)
+	}
+	tuner = AutoTuner{Min: 2, Max: 8, QueueThreshold: 0}
+	if got := tuner.Next(100, Signals{}); got != 8 {
+		t.Errorf("over-max current clamps to %d, want 8", got)
+	}
+	if got := tuner.Next(0, Signals{}); got != 2 {
+		t.Errorf("under-min current clamps to %d, want 2", got)
+	}
+	// QueueThreshold 0: any observed queue wait grows the limit.
+	if got := tuner.Next(4, Signals{QueueP99: 0.001}); got != 5 {
+		t.Errorf("zero threshold with tiny backlog: 4 -> %d, want 5", got)
+	}
+}

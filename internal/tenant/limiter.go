@@ -1,0 +1,138 @@
+package tenant
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter errors. The service maps both onto HTTP 429 with the decision's
+// Retry-After.
+var (
+	// ErrThrottled: the tenant's token bucket is empty — its sustained
+	// admission rate is exhausted.
+	ErrThrottled = errors.New("tenant: rate limit exceeded")
+	// ErrQuota: the tenant's in-flight quota is exhausted — too many of
+	// its jobs are queued or running.
+	ErrQuota = errors.New("tenant: in-flight quota exhausted")
+)
+
+// Decision is the outcome of one Admit call.
+type Decision struct {
+	// Err is nil for an admitted job, ErrThrottled or ErrQuota otherwise.
+	Err error
+	// RetryAfter is the suggested client backoff for a rejection: for a
+	// throttle, the exact time until the bucket refills one token; for a
+	// quota rejection, a fixed nominal second (the quota frees when a job
+	// finishes, which the limiter cannot predict).
+	RetryAfter time.Duration
+}
+
+// bucket is one tenant's token bucket + in-flight account.
+type bucket struct {
+	spec     Spec
+	tokens   float64 // current tokens, <= spec.Burst
+	last     time.Time
+	inflight int
+	// primed is false until the first Admit initializes the refill clock;
+	// the bucket starts full.
+	primed bool
+}
+
+// Limiter enforces per-tenant token-bucket rates and in-flight quotas at
+// admission. Admit charges the tenant; Release returns the in-flight unit
+// when the job goes terminal. The clock is injectable for exact tests.
+// All methods are safe for concurrent use; a nil *Limiter admits
+// everything (tenancy disabled).
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+// NewLimiter builds a limiter over the tenant set. now overrides the clock
+// (nil means time.Now). Unknown names admit with no accounting.
+func NewLimiter(specs []Spec, now func() time.Time) *Limiter {
+	if now == nil {
+		now = time.Now
+	}
+	l := &Limiter{buckets: make(map[string]*bucket, len(specs)), now: now}
+	for _, sp := range specs {
+		sp = sp.withDefaults()
+		l.buckets[sp.Name] = &bucket{spec: sp, tokens: float64(sp.Burst)}
+	}
+	return l
+}
+
+// Admit charges the named tenant for one admission: the in-flight quota is
+// checked first (it consumes nothing), then one token is drawn from the
+// bucket. A rejection changes no state, so a throttled client cannot
+// degrade the tenant's quota and vice versa. Nil receiver admits.
+func (l *Limiter) Admit(name string) Decision {
+	if l == nil {
+		return Decision{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[name]
+	if b == nil {
+		return Decision{}
+	}
+	if q := b.spec.MaxInFlight; q > 0 && b.inflight >= q {
+		return Decision{Err: ErrQuota, RetryAfter: time.Second}
+	}
+	if b.spec.Rate > 0 {
+		now := l.now()
+		if !b.primed {
+			b.primed = true
+			b.last = now
+		}
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(float64(b.spec.Burst), b.tokens+dt*b.spec.Rate)
+			b.last = now
+		}
+		if b.tokens < 1 {
+			waitSec := math.Ceil((1 - b.tokens) / b.spec.Rate)
+			wait := time.Hour
+			if waitSec < 3600 {
+				wait = time.Duration(waitSec * float64(time.Second))
+			}
+			if wait < time.Second {
+				// HTTP Retry-After has whole-second resolution; round up so
+				// a compliant client never retries into a still-empty bucket.
+				wait = time.Second
+			}
+			return Decision{Err: ErrThrottled, RetryAfter: wait}
+		}
+		b.tokens--
+	}
+	b.inflight++
+	return Decision{}
+}
+
+// Release returns the named tenant's in-flight unit (call exactly once per
+// admitted job, when it reaches a terminal state). Nil receiver no-ops.
+func (l *Limiter) Release(name string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.buckets[name]; b != nil && b.inflight > 0 {
+		b.inflight--
+	}
+}
+
+// InFlight returns the named tenant's admitted-but-not-terminal count.
+func (l *Limiter) InFlight(name string) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.buckets[name]; b != nil {
+		return b.inflight
+	}
+	return 0
+}

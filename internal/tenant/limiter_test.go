@@ -1,0 +1,139 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for exact token-bucket tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func limiterFor(t *testing.T, cfg string, clk *fakeClock) *Limiter {
+	t.Helper()
+	c, err := ParseConfig([]byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLimiter(c.Specs(), clk.now)
+}
+
+// TestTokenBucketExact: burst admits immediately, then the bucket refills
+// at exactly Rate tokens/second — pinned against a fake clock.
+func TestTokenBucketExact(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := limiterFor(t, `{"tenants":[{"name":"a","rate":10,"burst":3}]}`, clk)
+
+	for i := 0; i < 3; i++ {
+		if d := l.Admit("a"); d.Err != nil {
+			t.Fatalf("burst admit %d rejected: %v", i, d.Err)
+		}
+	}
+	d := l.Admit("a")
+	if !errors.Is(d.Err, ErrThrottled) {
+		t.Fatalf("post-burst admit err = %v, want ErrThrottled", d.Err)
+	}
+	if d.RetryAfter < 100*time.Millisecond || d.RetryAfter > time.Second {
+		t.Errorf("RetryAfter = %v, want in [100ms, 1s] (rounded up for HTTP)", d.RetryAfter)
+	}
+
+	clk.advance(100 * time.Millisecond) // exactly one token at 10/s
+	if d := l.Admit("a"); d.Err != nil {
+		t.Fatalf("admit after one-token refill rejected: %v", d.Err)
+	}
+	if d := l.Admit("a"); !errors.Is(d.Err, ErrThrottled) {
+		t.Fatalf("second admit after one-token refill err = %v, want ErrThrottled", d.Err)
+	}
+
+	clk.advance(10 * time.Second) // refill far beyond burst: capped at 3
+	for i := 0; i < 3; i++ {
+		if d := l.Admit("a"); d.Err != nil {
+			t.Fatalf("capped-refill admit %d rejected: %v", i, d.Err)
+		}
+	}
+	if d := l.Admit("a"); !errors.Is(d.Err, ErrThrottled) {
+		t.Fatalf("admit beyond the burst cap err = %v, want ErrThrottled", d.Err)
+	}
+}
+
+// TestInFlightQuota: MaxInFlight bounds admitted-but-not-terminal jobs;
+// Release frees the unit; a quota rejection consumes no token.
+func TestInFlightQuota(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := limiterFor(t, `{"tenants":[{"name":"a","rate":1000,"burst":2,"max_in_flight":2}]}`, clk)
+
+	if d := l.Admit("a"); d.Err != nil {
+		t.Fatal(d.Err)
+	}
+	if d := l.Admit("a"); d.Err != nil {
+		t.Fatal(d.Err)
+	}
+	d := l.Admit("a")
+	if !errors.Is(d.Err, ErrQuota) {
+		t.Fatalf("over-quota admit err = %v, want ErrQuota", d.Err)
+	}
+	if d.RetryAfter <= 0 {
+		t.Errorf("quota rejection RetryAfter = %v, want > 0", d.RetryAfter)
+	}
+	if got := l.InFlight("a"); got != 2 {
+		t.Errorf("InFlight = %d after quota rejection, want 2 (rejection must not leak)", got)
+	}
+	l.Release("a")
+	// The bucket held 2 tokens, both consumed; quota rejections consumed
+	// none, so after a tiny refill the freed slot admits again.
+	clk.advance(10 * time.Millisecond)
+	if d := l.Admit("a"); d.Err != nil {
+		t.Fatalf("admit after Release rejected: %v", d.Err)
+	}
+	l.Release("a")
+	l.Release("a")
+	l.Release("a") // extra release must not underflow
+	if got := l.InFlight("a"); got != 0 {
+		t.Errorf("InFlight = %d after releases, want 0", got)
+	}
+}
+
+// TestLimiterIsolation: one tenant's exhaustion never affects another's
+// bucket or quota.
+func TestLimiterIsolation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := limiterFor(t, `{"tenants":[{"name":"a","rate":1,"burst":1},{"name":"b","rate":1,"burst":1}]}`, clk)
+	if d := l.Admit("a"); d.Err != nil {
+		t.Fatal(d.Err)
+	}
+	if d := l.Admit("a"); !errors.Is(d.Err, ErrThrottled) {
+		t.Fatal("a not throttled")
+	}
+	if d := l.Admit("b"); d.Err != nil {
+		t.Errorf("b throttled by a's exhaustion: %v", d.Err)
+	}
+}
+
+// TestLimiterUnlimitedAndNil: a tenant without rate or quota always
+// admits; a nil limiter admits everything at zero cost.
+func TestLimiterUnlimitedAndNil(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := limiterFor(t, `{"tenants":[{"name":"free"}]}`, clk)
+	for i := 0; i < 1000; i++ {
+		if d := l.Admit("free"); d.Err != nil {
+			t.Fatalf("unlimited tenant rejected at %d: %v", i, d.Err)
+		}
+	}
+	var nilL *Limiter
+	if d := nilL.Admit("anything"); d.Err != nil {
+		t.Fatal("nil limiter rejected")
+	}
+	nilL.Release("anything")
+	if got := nilL.InFlight("x"); got != 0 {
+		t.Fatal("nil limiter tracked in-flight")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		nilL.Admit("x")
+		nilL.Release("x")
+	}); allocs != 0 {
+		t.Errorf("nil limiter allocates %v per admit/release, want 0", allocs)
+	}
+}

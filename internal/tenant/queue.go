@@ -1,0 +1,290 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Queue errors. The service maps ErrFull onto its ErrQueueFull (HTTP 429)
+// and ErrTenantFull onto a per-tenant quota rejection (HTTP 429).
+var (
+	// ErrClosed: the queue was closed (the service is draining).
+	ErrClosed = errors.New("tenant: queue closed")
+	// ErrFull: the global queue capacity is exhausted.
+	ErrFull = errors.New("tenant: queue full")
+	// ErrTenantFull: the tenant's MaxQueued cap is exhausted (the global
+	// queue may still have room — another tenant's work is unaffected).
+	ErrTenantFull = errors.New("tenant: per-tenant queue quota exhausted")
+)
+
+// strideScale is the stride numerator: pass advances by strideScale/weight
+// per dispatch, so a weight-w tenant is dispatched w times as often as a
+// weight-1 tenant. 1<<20 over MaxWeight=1e6 keeps every stride >= 1.
+const strideScale = 1 << 20
+
+// subq is one tenant's FIFO plus its stride-scheduling state.
+type subq[T any] struct {
+	spec    Spec
+	items   []T
+	head    int    // first live index into items
+	pass    uint64 // virtual time of the tenant's next dispatch
+	stride  uint64 // strideScale / weight
+	popped  uint64 // dispatches, for share accounting
+	running int    // dispatched-but-unfinished items (in-flight demand)
+}
+
+func (s *subq[T]) len() int { return len(s.items) - s.head }
+
+// Queue is a weighted-fair multi-tenant queue: per-tenant FIFO sub-queues
+// scheduled by stride within strict priority classes. Pop returns the next
+// item of the highest non-empty priority class, picking the tenant with
+// the smallest pass value (ties broken by name, so scheduling is
+// deterministic); under saturation each tenant's dispatch share converges
+// to its weight fraction, and no backlogged tenant waits more than
+// Σ(weights)/own-weight dispatches between consecutive dispatches.
+//
+// Pop also gates on a dynamic running limit: it blocks while limit items
+// are dispatched-but-unfinished, and Finish releases a slot — the hook the
+// AIMD auto-tuner adjusts at runtime without restarting workers. With
+// limit == worker count the gate is transparent and the queue behaves like
+// the buffered channel it replaced (single tenant ⇒ plain FIFO, pinned by
+// the service's differential test).
+//
+// All methods are safe for concurrent use.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	subs   map[string]*subq[T]
+	names  []string                // sorted tenant names, the deterministic tie-break order
+	vtime  [MaxPriority + 1]uint64 // per-class virtual time (last dispatched pass)
+	cap    int
+	size   int
+	closed bool
+
+	limit   int // running-slot gate; Pop blocks while running >= limit
+	running int
+}
+
+// NewQueue builds a queue with the given global capacity (items across all
+// tenants; <=0 defaults to 64) over the given tenant set. Push for a name
+// outside the set is an error — resolve names through Config.Resolve
+// first.
+func NewQueue[T any](capacity int, specs []Spec) *Queue[T] {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	q := &Queue[T]{
+		subs:  make(map[string]*subq[T], len(specs)),
+		cap:   capacity,
+		limit: 1,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for _, sp := range specs {
+		sp = sp.withDefaults()
+		if sp.Weight < 1 {
+			sp.Weight = 1
+		}
+		if _, dup := q.subs[sp.Name]; dup {
+			continue
+		}
+		q.subs[sp.Name] = &subq[T]{spec: sp, stride: strideScale / uint64(sp.Weight)}
+		q.names = append(q.names, sp.Name)
+	}
+	// specs arrive sorted from Config.Specs; re-sorting here would need
+	// sort and is unnecessary — but guard the invariant cheaply.
+	for i := 1; i < len(q.names); i++ {
+		if q.names[i] < q.names[i-1] {
+			panic(fmt.Sprintf("tenant: NewQueue specs not sorted: %q after %q", q.names[i], q.names[i-1]))
+		}
+	}
+	return q
+}
+
+// SetRunningLimit adjusts the running-slot gate (clamped to >= 1) and
+// wakes blocked Pops when it grew.
+func (q *Queue[T]) SetRunningLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	grew := n > q.limit
+	q.limit = n
+	q.mu.Unlock()
+	if grew {
+		q.cond.Broadcast()
+	}
+}
+
+// RunningLimit returns the current running-slot gate.
+func (q *Queue[T]) RunningLimit() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.limit
+}
+
+// Running returns the dispatched-but-unfinished item count.
+func (q *Queue[T]) Running() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running
+}
+
+// Push enqueues item for the named tenant. It never blocks: a closed
+// queue returns ErrClosed, a full queue ErrFull, an exhausted per-tenant
+// MaxQueued ErrTenantFull, an unknown tenant an error.
+func (q *Queue[T]) Push(name string, item T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	sub, ok := q.subs[name]
+	if !ok {
+		return fmt.Errorf("tenant: push for unconfigured tenant %q", name)
+	}
+	if q.size >= q.cap {
+		return ErrFull
+	}
+	if mq := sub.spec.MaxQueued; mq > 0 && sub.len() >= mq {
+		return ErrTenantFull
+	}
+	if sub.len() == 0 && sub.running == 0 {
+		// (Re-)activation of a fully idle tenant: catch its virtual time up
+		// to its class so an idle period cannot bank credit and starve the
+		// others later. A tenant whose queue is empty but whose items are
+		// still running is NOT idle — its demand is in flight, which is
+		// exactly the steady state of a closed-loop client — so it keeps
+		// its stride-earned position (Finish applies the catch-up at the
+		// moment it becomes truly idle).
+		if vt := q.vtime[sub.spec.Priority]; sub.pass < vt {
+			sub.pass = vt
+		}
+	}
+	sub.items = append(sub.items, item)
+	q.size++
+	// Broadcast, not Signal: all waiters share one cond, and a Signal could
+	// wake a Pop that is blocked on the running gate, which would swallow
+	// the wake-up meant for a runnable one.
+	q.cond.Broadcast()
+	return nil
+}
+
+// Pop blocks until an item is schedulable — some tenant has queued work,
+// the highest non-empty priority class is chosen, and a running slot is
+// free — then dequeues and returns it with its tenant. It returns ok=false
+// once the queue is closed AND drained (mirroring a closed channel: items
+// pushed before Close are still delivered). The caller owns a running slot
+// until it calls Finish.
+func (q *Queue[T]) Pop() (item T, name string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.size > 0 && q.running < q.limit {
+			sub := q.pickLocked()
+			q.vtime[sub.spec.Priority] = sub.pass
+			sub.pass += sub.stride
+			sub.popped++
+			item = sub.items[sub.head]
+			var zero T
+			sub.items[sub.head] = zero // release the reference
+			sub.head++
+			if sub.head == len(sub.items) {
+				sub.items = sub.items[:0]
+				sub.head = 0
+			}
+			q.size--
+			q.running++
+			sub.running++
+			return item, sub.spec.Name, true
+		}
+		if q.closed && q.size == 0 {
+			var zero T
+			return zero, "", false
+		}
+		q.cond.Wait()
+	}
+}
+
+// pickLocked selects the next tenant: smallest pass in the highest
+// non-empty priority class, ties broken by (sorted) name order. Caller
+// holds q.mu and guarantees size > 0.
+func (q *Queue[T]) pickLocked() *subq[T] {
+	var best *subq[T]
+	bestClass := -1
+	for _, name := range q.names {
+		sub := q.subs[name]
+		if sub.len() == 0 {
+			continue
+		}
+		switch {
+		case sub.spec.Priority > bestClass:
+			best, bestClass = sub, sub.spec.Priority
+		case sub.spec.Priority == bestClass && sub.pass < best.pass:
+			best = sub
+		}
+	}
+	return best
+}
+
+// Finish releases the running slot acquired by a Pop for the named tenant.
+// When this was the tenant's last in-flight item and nothing is queued, the
+// tenant is now truly idle, so its virtual time is caught up to the class —
+// the anti-banking rule applied at the moment activity actually ends rather
+// than on the next Push (which would punish closed-loop clients whose
+// demand lives in flight between dispatches).
+func (q *Queue[T]) Finish(name string) {
+	q.mu.Lock()
+	if q.running > 0 {
+		q.running--
+	}
+	if sub, ok := q.subs[name]; ok {
+		if sub.running > 0 {
+			sub.running--
+		}
+		if sub.len() == 0 && sub.running == 0 {
+			if vt := q.vtime[sub.spec.Priority]; sub.pass < vt {
+				sub.pass = vt
+			}
+		}
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Close stops Push (ErrClosed) and lets Pop drain the remaining items
+// before reporting ok=false. Idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Len returns the total queued item count.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// LenTenant returns one tenant's queued item count (0 for unknown names).
+func (q *Queue[T]) LenTenant(name string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if sub, ok := q.subs[name]; ok {
+		return sub.len()
+	}
+	return 0
+}
+
+// Popped returns one tenant's cumulative dispatch count (0 for unknown
+// names) — the numerator of its achieved share.
+func (q *Queue[T]) Popped(name string) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if sub, ok := q.subs[name]; ok {
+		return sub.popped
+	}
+	return 0
+}

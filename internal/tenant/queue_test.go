@@ -1,0 +1,431 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func specsFor(t *testing.T, cfg string) []Spec {
+	t.Helper()
+	c, err := ParseConfig([]byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Specs()
+}
+
+// fill backlogs every tenant with n items so the queue stays saturated
+// through the whole measurement window.
+func fill(t *testing.T, q *Queue[int], names []string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for _, name := range names {
+			if err := q.Push(name, i); err != nil {
+				t.Fatalf("push %s#%d: %v", name, i, err)
+			}
+		}
+	}
+}
+
+// drain pops n items without blocking on the running gate (each pop is
+// finished immediately) and returns the per-tenant dispatch counts.
+func drain(t *testing.T, q *Queue[int], n int) map[string]int {
+	t.Helper()
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		_, name, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed early", i)
+		}
+		counts[name]++
+		q.Finish(name)
+	}
+	return counts
+}
+
+// TestWFQSharesConvergeToWeights: under saturation, each tenant's dispatch
+// share converges to weight/Σweights within ±10% relative error — the
+// headline WFQ invariant from the issue.
+func TestWFQSharesConvergeToWeights(t *testing.T) {
+	weights := map[string]int{"a": 1, "b": 2, "c": 4, "d": 8}
+	cfg := `{"tenants":[{"name":"a","weight":1},{"name":"b","weight":2},{"name":"c","weight":4},{"name":"d","weight":8}]}`
+	q := NewQueue[int](100000, specsFor(t, cfg))
+	q.SetRunningLimit(1)
+
+	names := []string{"a", "b", "c", "d"}
+	const perTenant = 3000
+	fill(t, q, names, perTenant)
+
+	// Pop while every tenant stays backlogged: the heaviest tenant (d,
+	// weight 8) receives 8/15 of dispatches, so pops must stay below
+	// perTenant * 15/8; 5000 pops consume at most ~2667 of d's 3000.
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	const pops = 5000
+	counts := drain(t, q, pops)
+
+	for name, w := range weights {
+		want := float64(w) / float64(total)
+		got := float64(counts[name]) / float64(pops)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("tenant %s: share %.4f, want %.4f (weight %d/%d), relative error %.2f%% > 10%%",
+				name, got, want, w, total, 100*rel)
+		}
+	}
+}
+
+// TestWFQNoStarvation: the lowest-weight tenant's gap between consecutive
+// dispatches is bounded — with weights summing to W and own weight w, a
+// backlogged tenant waits at most ceil(W/w) + len(tenants) dispatches
+// (stride scheduling's bounded-lag property, with slack for ties).
+func TestWFQNoStarvation(t *testing.T) {
+	cfg := `{"tenants":[{"name":"tiny","weight":1},{"name":"big1","weight":100},{"name":"big2","weight":100}]}`
+	q := NewQueue[int](100000, specsFor(t, cfg))
+	q.SetRunningLimit(1)
+	names := []string{"tiny", "big1", "big2"}
+	fill(t, q, names, 500)
+
+	totalWeight := 201
+	bound := totalWeight/1 + len(names) + 1
+	gap, maxGap := 0, 0
+	pops := 450 * totalWeight / 100 // keep the big tenants backlogged
+	if pops > 900 {
+		pops = 900
+	}
+	for i := 0; i < pops; i++ {
+		_, name, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		q.Finish(name)
+		if name == "tiny" {
+			if gap > maxGap {
+				maxGap = gap
+			}
+			gap = 0
+		} else {
+			gap++
+		}
+	}
+	if maxGap > bound {
+		t.Errorf("lowest-weight tenant max inter-dispatch gap = %d pops, bound %d: starvation", maxGap, bound)
+	}
+	if maxGap == 0 {
+		t.Fatal("tiny tenant never dispatched at all")
+	}
+}
+
+// TestWFQClosedLoopShares: closed-loop clients — each keeps a fixed number
+// of items outstanding and resubmits the moment one finishes — still
+// receive weight-proportional shares. Their sub-queues are momentarily
+// empty whenever all outstanding items are running, which must NOT count
+// as idleness: only a tenant with neither queued nor running work forfeits
+// its stride position. (Regression: the original re-activation rule reset
+// the pass on every such gap, collapsing 3:1 weights to round-robin.)
+func TestWFQClosedLoopShares(t *testing.T) {
+	cfg := `{"tenants":[{"name":"gold","weight":3},{"name":"silver","weight":1}]}`
+	q := NewQueue[int](1024, specsFor(t, cfg))
+	q.SetRunningLimit(4)
+
+	// 4 closed-loop workers per tenant: one item outstanding each, pushed
+	// back the instant its predecessor finishes (FIFO completion order).
+	for _, name := range []string{"gold", "silver"} {
+		for i := 0; i < 4; i++ {
+			if err := q.Push(name, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var running []string
+	counts := map[string]int{}
+	const pops = 4000
+	for i := 0; i < pops; i++ {
+		if len(running) == 4 {
+			done := running[0]
+			running = running[1:]
+			q.Finish(done)
+			if err := q.Push(done, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, name, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		counts[name]++
+		running = append(running, name)
+	}
+	gold := float64(counts["gold"]) / float64(pops)
+	if math.Abs(gold-0.75)/0.75 > 0.10 {
+		t.Errorf("closed-loop gold share = %.4f, want 0.75 ±10%% (got gold=%d silver=%d)",
+			gold, counts["gold"], counts["silver"])
+	}
+}
+
+// TestPriorityClassesStrict: a higher priority class with queued work is
+// always dispatched before any lower class, regardless of weights.
+func TestPriorityClassesStrict(t *testing.T) {
+	cfg := `{"tenants":[{"name":"lo","weight":1000},{"name":"hi","weight":1,"priority":3}]}`
+	q := NewQueue[int](1000, specsFor(t, cfg))
+	q.SetRunningLimit(1)
+	for i := 0; i < 10; i++ {
+		if err := q.Push("lo", i); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Push("hi", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		_, name, _ := q.Pop()
+		q.Finish(name)
+		if name != "hi" {
+			t.Fatalf("pop %d dispatched %q while priority-3 work was queued", i, name)
+		}
+	}
+	_, name, _ := q.Pop()
+	q.Finish(name)
+	if name != "lo" {
+		t.Fatalf("after the high class drained, pop dispatched %q, want lo", name)
+	}
+}
+
+// TestSingleTenantFIFO: with one tenant the queue is a plain FIFO — the
+// foundation of the service-level differential pin.
+func TestSingleTenantFIFO(t *testing.T) {
+	q := NewQueue[int](128, (*Config)(nil).Specs())
+	q.SetRunningLimit(1)
+	for i := 0; i < 100; i++ {
+		if err := q.Push(DefaultName, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, name, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v), want FIFO order", i, v, ok)
+		}
+		q.Finish(name)
+	}
+}
+
+// TestReactivationNoCredit: a tenant that idles while others work cannot
+// bank virtual time and monopolize the queue when it returns.
+func TestReactivationNoCredit(t *testing.T) {
+	cfg := `{"tenants":[{"name":"a","weight":1},{"name":"b","weight":1}]}`
+	q := NewQueue[int](10000, specsFor(t, cfg))
+	q.SetRunningLimit(1)
+	// a works alone for a long stretch: its pass advances far.
+	for i := 0; i < 1000; i++ {
+		if err := q.Push("a", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, q, 1000)
+	// b activates with a backlog; a also has fresh work. b must NOT get
+	// 1000 consecutive dispatches to "catch up".
+	for i := 0; i < 50; i++ {
+		q.Push("a", i)
+		q.Push("b", i)
+	}
+	counts := drain(t, q, 40)
+	if counts["a"] < 15 || counts["b"] < 15 {
+		t.Errorf("post-reactivation dispatches a=%d b=%d, want roughly even (no banked credit)", counts["a"], counts["b"])
+	}
+}
+
+// TestQueueCaps: the global capacity and the per-tenant MaxQueued cap
+// reject with the right sentinels, and a rejection changes nothing.
+func TestQueueCaps(t *testing.T) {
+	cfg := `{"tenants":[{"name":"capped","max_queued":2},{"name":"free"}]}`
+	q := NewQueue[int](3, specsFor(t, cfg))
+	if err := q.Push("capped", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("capped", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("capped", 3); !errors.Is(err, ErrTenantFull) {
+		t.Fatalf("per-tenant overflow err = %v, want ErrTenantFull", err)
+	}
+	if err := q.Push("free", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("free", 2); !errors.Is(err, ErrFull) {
+		t.Fatalf("global overflow err = %v, want ErrFull", err)
+	}
+	if got := q.Len(); got != 3 {
+		t.Errorf("Len = %d after rejections, want 3", got)
+	}
+	if err := q.Push("ghost", 1); err == nil {
+		t.Error("push for unconfigured tenant succeeded")
+	}
+}
+
+// TestRunningGate: Pop blocks while limit items are unfinished; Finish and
+// SetRunningLimit release it.
+func TestRunningGate(t *testing.T) {
+	q := NewQueue[int](16, (*Config)(nil).Specs())
+	q.SetRunningLimit(2)
+	for i := 0; i < 4; i++ {
+		q.Push(DefaultName, i)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, ok := q.Pop(); !ok {
+			t.Fatal("pop under limit blocked")
+		}
+	}
+	popped := make(chan int, 4)
+	go func() {
+		v, _, ok := q.Pop()
+		if ok {
+			popped <- v
+		}
+	}()
+	select {
+	case v := <-popped:
+		t.Fatalf("third pop returned %d with running=2, limit=2", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.Finish(DefaultName) // release one slot
+	select {
+	case <-popped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop still blocked after Finish")
+	}
+	go func() {
+		v, _, ok := q.Pop()
+		if ok {
+			popped <- v
+		}
+	}()
+	select {
+	case v := <-popped:
+		t.Fatalf("pop returned %d at the limit", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.SetRunningLimit(3) // grow the gate instead of finishing
+	select {
+	case <-popped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop still blocked after SetRunningLimit grew the gate")
+	}
+}
+
+// TestCloseDrains: Close stops Push immediately but Pop still delivers
+// everything enqueued before it — channel-close semantics.
+func TestCloseDrains(t *testing.T) {
+	q := NewQueue[int](16, (*Config)(nil).Specs())
+	q.SetRunningLimit(4)
+	for i := 0; i < 5; i++ {
+		q.Push(DefaultName, i)
+	}
+	q.Close()
+	if err := q.Push(DefaultName, 99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close err = %v, want ErrClosed", err)
+	}
+	for i := 0; i < 5; i++ {
+		v, name, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("drain pop %d = (%d, %v)", i, v, ok)
+		}
+		q.Finish(name)
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop on a closed drained queue reported ok")
+	}
+}
+
+// TestPopUnblocksOnClose: workers blocked in Pop return promptly when the
+// queue closes empty — the shutdown path must not hang.
+func TestPopUnblocksOnClose(t *testing.T) {
+	q := NewQueue[int](16, (*Config)(nil).Specs())
+	q.SetRunningLimit(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, name, ok := q.Pop()
+				if !ok {
+					return
+				}
+				q.Finish(name)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("workers did not unblock on Close")
+	}
+}
+
+// TestQueueConcurrentMixed hammers the queue from concurrent producers and
+// consumers across tenants — the -race tier's structural check that every
+// item pushed is popped exactly once.
+func TestQueueConcurrentMixed(t *testing.T) {
+	cfg := `{"tenants":[{"name":"a","weight":1},{"name":"b","weight":3},{"name":"hi","weight":1,"priority":2}]}`
+	q := NewQueue[string](4096, specsFor(t, cfg))
+	q.SetRunningLimit(3)
+	const perTenant = 300
+	var wg sync.WaitGroup
+	for _, name := range []string{"a", "b", "hi"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				for {
+					err := q.Push(name, fmt.Sprintf("%s-%d", name, i))
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrClosed) {
+						t.Errorf("push saw ErrClosed before Close")
+						return
+					}
+					time.Sleep(time.Millisecond) // full: retry
+				}
+			}
+		}(name)
+	}
+	seen := make(map[string]bool)
+	var seenMu sync.Mutex
+	var consumers sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for {
+				v, name, ok := q.Pop()
+				if !ok {
+					return
+				}
+				seenMu.Lock()
+				if seen[v] {
+					t.Errorf("item %s popped twice", v)
+				}
+				seen[v] = true
+				seenMu.Unlock()
+				q.Finish(name)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	consumers.Wait()
+	if got := len(seen); got != 3*perTenant {
+		t.Errorf("popped %d distinct items, want %d", got, 3*perTenant)
+	}
+}

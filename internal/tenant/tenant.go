@@ -1,0 +1,253 @@
+// Package tenant is the multi-tenant admission and scheduling layer of the
+// serving stack: per-tenant weighted-fair queueing with priority classes
+// (stride scheduling over per-tenant sub-queues), token-bucket rate limits
+// and in-flight quotas enforced at admission, and an AIMD controller that
+// auto-tunes the scheduler's concurrency from live latency signals.
+//
+// The package is deliberately dependency-free (stdlib only) so the config
+// parser can be fuzzed in isolation and the queue can be property-tested
+// deterministically: Queue is generic over the item type and never touches
+// the clock, and Limiter takes an injectable now() so bucket refill is
+// exact in tests.
+//
+// internal/service wires it in: one Queue[*Job] replaces the global FIFO
+// channel, one Limiter guards Submit, and the AutoTuner closes the loop
+// from the SLO engine's burn signal back to the queue's running limit.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultName is the tenant every unlabelled (or unknown, when the config
+// allows them) submission is accounted to. It is always present in a
+// parsed Config, with defaults from Config.Default when given.
+const DefaultName = "default"
+
+// Limits on Spec fields, enforced by Validate. MaxNameLen keeps tenant
+// names usable as metric-name fragments; MaxWeight and MaxPriority bound
+// the stride arithmetic and the class array.
+const (
+	MaxNameLen  = 32
+	MaxWeight   = 1_000_000
+	MaxPriority = 7
+	MaxBurst    = 1_000_000
+	maxRate     = 1e9
+)
+
+// Spec declares one tenant's scheduling weight and admission limits. The
+// zero value (plus a name) is a valid unlimited tenant at weight 1.
+type Spec struct {
+	// Name identifies the tenant; submissions carry it in JobSpec.Tenant or
+	// the X-Tenant header. 1–32 characters from [a-zA-Z0-9_-].
+	Name string `json:"name"`
+	// Weight is the tenant's share of scheduler dispatches relative to the
+	// other tenants in its priority class (stride scheduling): under
+	// saturation a tenant receives weight/Σweights of the dispatches.
+	// Default 1; range [1, 1e6].
+	Weight int `json:"weight,omitempty"`
+	// Priority is the tenant's class, 0–7; a higher class is always
+	// dispatched before any lower class with queued work. Weighted
+	// fairness applies within a class. Default 0.
+	Priority int `json:"priority,omitempty"`
+	// Rate is the tenant's sustained admission rate in jobs/second,
+	// enforced by a token bucket; 0 means unlimited. A submission that
+	// finds the bucket empty is throttled (HTTP 429 with Retry-After).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token bucket depth — the instantaneous excursion above
+	// Rate; 0 defaults to max(1, ceil(Rate)). Ignored when Rate is 0.
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight caps the tenant's jobs that are admitted but not yet
+	// terminal (queued + running); 0 means unlimited. Exceeding it is a
+	// quota rejection (HTTP 429).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// MaxQueued caps the tenant's queued (not yet dispatched) jobs on top
+	// of the queue's global capacity; 0 means unlimited. Exceeding it is a
+	// quota rejection (HTTP 429).
+	MaxQueued int `json:"max_queued,omitempty"`
+}
+
+// withDefaults fills the defaulted fields of a validated spec.
+func (s Spec) withDefaults() Spec {
+	if s.Weight == 0 {
+		s.Weight = 1
+	}
+	if s.Rate > 0 && s.Burst == 0 {
+		s.Burst = int(s.Rate)
+		if float64(s.Burst) < s.Rate {
+			s.Burst++
+		}
+		if s.Burst < 1 {
+			s.Burst = 1
+		}
+	}
+	return s
+}
+
+// Validate checks one spec's fields (the name per ValidName, the numeric
+// fields against the package limits).
+func (s Spec) Validate() error {
+	if err := ValidName(s.Name); err != nil {
+		return err
+	}
+	if s.Weight < 0 || s.Weight > MaxWeight {
+		return fmt.Errorf("tenant %q: weight %d out of range [0, %d]", s.Name, s.Weight, MaxWeight)
+	}
+	if s.Priority < 0 || s.Priority > MaxPriority {
+		return fmt.Errorf("tenant %q: priority %d out of range [0, %d]", s.Name, s.Priority, MaxPriority)
+	}
+	if s.Rate < 0 || s.Rate > maxRate {
+		return fmt.Errorf("tenant %q: rate %g out of range [0, %g]", s.Name, s.Rate, maxRate)
+	}
+	if s.Rate != s.Rate { // NaN
+		return fmt.Errorf("tenant %q: rate is NaN", s.Name)
+	}
+	if s.Burst < 0 || s.Burst > MaxBurst {
+		return fmt.Errorf("tenant %q: burst %d out of range [0, %d]", s.Name, s.Burst, MaxBurst)
+	}
+	if s.Burst > 0 && s.Rate == 0 {
+		return fmt.Errorf("tenant %q: burst %d without a rate", s.Name, s.Burst)
+	}
+	if s.MaxInFlight < 0 {
+		return fmt.Errorf("tenant %q: max_in_flight %d must be non-negative", s.Name, s.MaxInFlight)
+	}
+	if s.MaxQueued < 0 {
+		return fmt.Errorf("tenant %q: max_queued %d must be non-negative", s.Name, s.MaxQueued)
+	}
+	return nil
+}
+
+// ValidName checks a tenant name: 1–32 characters from [a-zA-Z0-9_-].
+// Names double as metric-name fragments (dashes map to underscores), so
+// the alphabet is deliberately small.
+func ValidName(name string) error {
+	if name == "" {
+		return fmt.Errorf("tenant name is empty")
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("tenant name %q longer than %d characters", name, MaxNameLen)
+	}
+	for _, c := range name {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_') {
+			return fmt.Errorf("tenant name %q contains invalid character %q", name, c)
+		}
+	}
+	return nil
+}
+
+// MetricName returns the name with every dash mapped to an underscore, for
+// use inside Prometheus metric names ("tenant_<name>_..."). Valid names
+// need no further escaping.
+func MetricName(name string) string {
+	return strings.ReplaceAll(name, "-", "_")
+}
+
+// Config is the parsed multi-tenant policy: the declared tenants plus the
+// policy for unlabelled or unknown submissions.
+type Config struct {
+	// Tenants are the declared tenants, sorted by name after parsing.
+	Tenants []Spec `json:"tenants"`
+	// Default, when non-nil, configures the reserved "default" tenant that
+	// absorbs submissions without a tenant label — and, when AllowUnknown
+	// is set, submissions naming an undeclared tenant. Its Name field is
+	// ignored. When nil the default tenant exists with zero-value limits
+	// (weight 1, unlimited).
+	Default *Spec `json:"default,omitempty"`
+	// AllowUnknown routes submissions naming an undeclared tenant into the
+	// default tenant instead of rejecting them. Off by default: an unknown
+	// tenant label is a client error.
+	AllowUnknown bool `json:"allow_unknown,omitempty"`
+}
+
+// ParseConfig parses and validates the JSON tenant policy, normalizing it:
+// specs are defaulted, sorted by name, and the reserved "default" tenant is
+// materialized. The wire format:
+//
+//	{"tenants": [{"name": "gold", "weight": 3, "priority": 1,
+//	              "rate": 50, "burst": 100, "max_in_flight": 8}],
+//	 "default": {"weight": 1, "rate": 5},
+//	 "allow_unknown": true}
+func ParseConfig(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("tenant config: %w", err)
+	}
+	if err := c.normalize(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// normalize validates and canonicalizes the config in place.
+func (c *Config) normalize() error {
+	if len(c.Tenants) > 1024 {
+		return fmt.Errorf("tenant config: %d tenants exceeds the cap of 1024", len(c.Tenants))
+	}
+	if c.Default != nil {
+		d := *c.Default
+		d.Name = DefaultName
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		d = d.withDefaults()
+		c.Default = &d
+	}
+	seen := make(map[string]bool, len(c.Tenants))
+	for i, t := range c.Tenants {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if t.Name == DefaultName {
+			return fmt.Errorf("tenant name %q is reserved; configure it via the \"default\" field", DefaultName)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		c.Tenants[i] = t.withDefaults()
+	}
+	sort.Slice(c.Tenants, func(i, j int) bool { return c.Tenants[i].Name < c.Tenants[j].Name })
+	return nil
+}
+
+// Specs returns every tenant the config declares, default tenant included,
+// sorted by name — the set the queue, limiter and metric registrations are
+// built from.
+func (c *Config) Specs() []Spec {
+	def := Spec{Name: DefaultName}.withDefaults()
+	if c != nil && c.Default != nil {
+		def = *c.Default
+	}
+	if c == nil {
+		return []Spec{def}
+	}
+	out := make([]Spec, 0, len(c.Tenants)+1)
+	out = append(out, def)
+	out = append(out, c.Tenants...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Resolve maps a submission's tenant label to the tenant it is accounted
+// to: "" maps to the default tenant, a declared name to itself, an unknown
+// name to the default tenant when AllowUnknown is set and to an error
+// otherwise. A nil config accepts everything into the default tenant.
+func (c *Config) Resolve(name string) (string, error) {
+	if name == "" || name == DefaultName {
+		return DefaultName, nil
+	}
+	if c == nil {
+		return DefaultName, nil
+	}
+	i := sort.Search(len(c.Tenants), func(i int) bool { return c.Tenants[i].Name >= name })
+	if i < len(c.Tenants) && c.Tenants[i].Name == name {
+		return name, nil
+	}
+	if c.AllowUnknown {
+		return DefaultName, nil
+	}
+	return "", fmt.Errorf("unknown tenant %q", name)
+}

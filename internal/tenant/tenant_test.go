@@ -1,0 +1,111 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseConfig: the happy path normalizes — defaults filled, tenants
+// sorted, default tenant materialized in Specs.
+func TestParseConfig(t *testing.T) {
+	c, err := ParseConfig([]byte(`{
+		"tenants": [
+			{"name": "silver", "weight": 1, "rate": 2.5},
+			{"name": "gold", "weight": 3, "priority": 2, "rate": 50, "burst": 100, "max_in_flight": 8, "max_queued": 32}
+		],
+		"default": {"weight": 1, "rate": 5},
+		"allow_unknown": true
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tenants) != 2 || c.Tenants[0].Name != "gold" || c.Tenants[1].Name != "silver" {
+		t.Fatalf("tenants not sorted by name: %+v", c.Tenants)
+	}
+	if got := c.Tenants[1].Burst; got != 3 {
+		t.Errorf("silver burst defaulted to %d, want ceil(2.5) = 3", got)
+	}
+	if c.Default == nil || c.Default.Name != DefaultName || c.Default.Burst != 5 {
+		t.Errorf("default tenant not normalized: %+v", c.Default)
+	}
+	specs := c.Specs()
+	if len(specs) != 3 {
+		t.Fatalf("Specs() = %d entries, want 3 (default + 2)", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Name < specs[i-1].Name {
+			t.Errorf("Specs() not sorted: %q after %q", specs[i].Name, specs[i-1].Name)
+		}
+	}
+}
+
+// TestParseConfigRejects: every malformed config is rejected with a
+// diagnostic, never a panic or a silent fixup.
+func TestParseConfigRejects(t *testing.T) {
+	cases := []struct{ name, cfg, want string }{
+		{"bad json", `{`, "tenant config"},
+		{"empty name", `{"tenants":[{"weight":1}]}`, "name is empty"},
+		{"long name", `{"tenants":[{"name":"` + strings.Repeat("x", 33) + `"}]}`, "longer than"},
+		{"bad char", `{"tenants":[{"name":"a b"}]}`, "invalid character"},
+		{"dup", `{"tenants":[{"name":"a"},{"name":"a"}]}`, "duplicate"},
+		{"reserved", `{"tenants":[{"name":"default"}]}`, "reserved"},
+		{"neg weight", `{"tenants":[{"name":"a","weight":-1}]}`, "weight"},
+		{"huge weight", `{"tenants":[{"name":"a","weight":2000000}]}`, "weight"},
+		{"neg priority", `{"tenants":[{"name":"a","priority":-1}]}`, "priority"},
+		{"big priority", `{"tenants":[{"name":"a","priority":8}]}`, "priority"},
+		{"neg rate", `{"tenants":[{"name":"a","rate":-2}]}`, "rate"},
+		{"burst sans rate", `{"tenants":[{"name":"a","burst":5}]}`, "burst"},
+		{"neg inflight", `{"tenants":[{"name":"a","max_in_flight":-1}]}`, "max_in_flight"},
+		{"neg queued", `{"tenants":[{"name":"a","max_queued":-1}]}`, "max_queued"},
+		{"bad default", `{"default":{"rate":-1}}`, "rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseConfig([]byte(tc.cfg)); err == nil {
+				t.Fatalf("config %s parsed, want error containing %q", tc.cfg, tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResolve: label → accounted tenant, per the AllowUnknown policy.
+func TestResolve(t *testing.T) {
+	strict, err := ParseConfig([]byte(`{"tenants":[{"name":"gold"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := ParseConfig([]byte(`{"tenants":[{"name":"gold"}],"allow_unknown":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		cfg   *Config
+		label string
+		want  string
+		ok    bool
+	}{
+		{nil, "", DefaultName, true},
+		{nil, "anything", DefaultName, true},
+		{strict, "", DefaultName, true},
+		{strict, "default", DefaultName, true},
+		{strict, "gold", "gold", true},
+		{strict, "ghost", "", false},
+		{open, "ghost", DefaultName, true},
+		{open, "gold", "gold", true},
+	} {
+		got, err := tc.cfg.Resolve(tc.label)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("Resolve(%q) = (%q, %v), want (%q, ok=%v)", tc.label, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestMetricName: dashes map to underscores so any valid tenant name is a
+// valid Prometheus metric-name fragment.
+func TestMetricName(t *testing.T) {
+	if got := MetricName("team-a_1"); got != "team_a_1" {
+		t.Errorf("MetricName = %q, want team_a_1", got)
+	}
+}
